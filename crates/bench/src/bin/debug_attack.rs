@@ -1,0 +1,47 @@
+//! Diagnostic: sweeps victim update strength to find the regime where benign
+//! (Random) queries barely move the model but PACE's targeted queries do —
+//! the qualitative signature of the paper's Tables/Figures.
+
+use pace_bench::{run_cell, ExpScale};
+use pace_ce::CeModelType;
+use pace_core::AttackMethod;
+use pace_data::DatasetKind;
+
+fn main() {
+    let methods = [
+        AttackMethod::Clean,
+        AttackMethod::Random,
+        AttackMethod::LbS,
+        AttackMethod::Greedy,
+        AttackMethod::LbG,
+        AttackMethod::Pace,
+    ];
+    for (update_lr, update_clip) in [(5e-3f32, 5.0f32), (1e-2, 5.0), (1e-2, 20.0)] {
+      for seed in [0xca11u64, 0xca22, 0xca33] {
+        let mut scale = ExpScale::quick();
+        scale.ce.update_lr = update_lr;
+        scale.ce.update_clip = update_clip;
+        scale.pipeline.attack.unroll_lr = update_lr;
+        scale.pipeline.attack.sync_every = usize::MAX;
+        scale.pipeline.attack.seed = seed;
+        let cells = run_cell(&scale, DatasetKind::Dmv, CeModelType::Fcn, &methods, seed);
+        print!("lr={update_lr:<6} clip={update_clip:<4} seed={seed:x}");
+        for c in &cells {
+            print!(" | {} x{:7.2}", c.method.name(), c.outcome.qerror_multiple());
+        }
+        println!();
+      }
+    }
+    // Dump a PACE objective curve for the chosen setting.
+    let mut scale = ExpScale::quick();
+    scale.ce.update_lr = 2e-2;
+    scale.ce.update_clip = 10.0;
+    scale.pipeline.attack.unroll_lr = 2e-2;
+    scale.pipeline.attack.sync_every = usize::MAX;
+    let cells = run_cell(&scale, DatasetKind::Dmv, CeModelType::Fcn, &[AttackMethod::Pace], 0xca12);
+    println!("PACE black-box: x{:.1}  curve tail {:?}", cells[0].outcome.qerror_multiple(),
+        &cells[0].outcome.objective_curve[cells[0].outcome.objective_curve.len().saturating_sub(3)..]);
+    scale.pipeline.white_box = true;
+    let cells = run_cell(&scale, DatasetKind::Dmv, CeModelType::Fcn, &[AttackMethod::Pace], 0xca12);
+    println!("PACE white-box: x{:.1}", cells[0].outcome.qerror_multiple());
+}

@@ -1,0 +1,41 @@
+//! Diagnostic: per-type single-query inference latency (the speculation
+//! fingerprint) and accuracy-residual separation.
+
+use pace_bench::{Ctx, ExpScale};
+use pace_ce::CeModelType;
+use pace_data::DatasetKind;
+use std::time::Instant;
+
+fn main() {
+    let scale = ExpScale::quick();
+    for kind in [DatasetKind::Dmv, DatasetKind::Tpch] {
+        println!("== {} ==", kind.name());
+        let ctx = Ctx::new(kind, &scale, 0x1a7);
+        let probes: Vec<Vec<f32>> = ctx
+            .test
+            .iter()
+            .take(20)
+            .map(|lq| pace_workload::QueryEncoder::new(&ctx.ds).encode(&lq.query))
+            .collect();
+        for ty in CeModelType::all() {
+            let model = ctx.train_victim_model(ty, scale.ce, 0x1a7 ^ ty as u64);
+            // Warm up.
+            for p in &probes {
+                let _ = model.estimate_encoded_batch(std::slice::from_ref(p));
+            }
+            let mut best = f64::INFINITY;
+            let mut mean = 0.0;
+            let reps = 5;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                for p in &probes {
+                    let _ = model.estimate_encoded_batch(std::slice::from_ref(p));
+                }
+                let dt = t0.elapsed().as_secs_f64() / probes.len() as f64;
+                best = best.min(dt);
+                mean += dt / reps as f64;
+            }
+            println!("{:>9}: min {:8.2}µs mean {:8.2}µs", ty.name(), best * 1e6, mean * 1e6);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Diagnostic: speculation confusion matrix and similarity vectors.
+
+use pace_bench::{Ctx, ExpScale};
+use pace_ce::CeModelType;
+use pace_core::{speculate_model_type, SpeculationConfig};
+use pace_data::DatasetKind;
+
+fn main() {
+    let scale = ExpScale::quick();
+    for kind in [DatasetKind::Tpch, DatasetKind::Dmv] {
+        println!("== {} ==", kind.name());
+        for ty in CeModelType::all() {
+            let ctx = Ctx::new(kind, &scale, 0xdeb5);
+            let model = ctx.train_victim_model(ty, scale.ce, 0xdeb5 ^ (ty as u64));
+            let victim = ctx.victim(model);
+            let k = ctx.knowledge();
+            let cfg = SpeculationConfig { seed: 0xdeb5, ..scale.pipeline.speculation.clone() };
+            let result = speculate_model_type(&victim, &k, &cfg);
+            print!("bb={:<9} -> {:<9} |", ty.name(), result.speculated.name());
+            for (cty, sim) in &result.similarities {
+                print!(" {} {:+.3}", cty.name(), sim);
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Diagnostic: clean victim quality per dataset/model under the experiment
+//! workloads.
+
+use pace_bench::{Ctx, ExpScale};
+use pace_ce::{CeModelType, EncodedWorkload};
+use pace_data::DatasetKind;
+use pace_workload::{QErrorSummary, QueryEncoder};
+
+fn main() {
+    for epochs in [30usize, 60] {
+        let mut scale = ExpScale::quick();
+        scale.ce.epochs = epochs;
+        println!("== epochs {epochs} ==");
+        for kind in DatasetKind::all() {
+            let ctx = Ctx::new(kind, &scale, 0xdbc);
+            let enc = QueryEncoder::new(&ctx.ds);
+            let test = EncodedWorkload::from_workload(&enc, &ctx.test);
+            print!("{:>6}:", kind.name());
+            for ty in [CeModelType::Fcn, CeModelType::Mscn, CeModelType::Lstm] {
+                let model = ctx.train_victim_model(ty, scale.ce, 0xdbc ^ ty as u64);
+                let s = QErrorSummary::from_samples(&model.evaluate(&test));
+                print!("  {} mean {:7.2} p95 {:8.2}", ty.name(), s.mean, s.p95);
+            }
+            println!();
+        }
+    }
+}

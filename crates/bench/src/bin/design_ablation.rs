@@ -1,0 +1,5 @@
+//! Ablates this reproduction's design choices. Usage: `--scale quick|full`.
+fn main() {
+    let scale = pace_bench::ExpScale::from_args();
+    pace_bench::experiments::design_ablation(&scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig11 result. Usage: `--scale quick|full`.
+fn main() {
+    let scale = pace_bench::ExpScale::from_args();
+    pace_bench::experiments::fig11(&scale);
+}

@@ -1,0 +1,5 @@
+//! Extension: learned vs traditional estimators under poisoning.
+fn main() {
+    let scale = pace_bench::ExpScale::from_args();
+    pace_bench::experiments::learned_vs_traditional(&scale);
+}

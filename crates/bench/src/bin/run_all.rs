@@ -1,0 +1,35 @@
+//! Runs every experiment in sequence, leaving one markdown report per
+//! table/figure under `results/`. Usage: `--scale quick|full`.
+
+use std::time::Instant;
+
+fn main() {
+    let scale = pace_bench::ExpScale::from_args();
+    let experiments: Vec<(&str, fn(&pace_bench::ExpScale))> = vec![
+        ("fig6_9", pace_bench::experiments::fig6_9),
+        ("table3", pace_bench::experiments::table3),
+        ("table4", pace_bench::experiments::table4),
+        ("table5", pace_bench::experiments::table5),
+        ("table6", pace_bench::experiments::table6),
+        ("table7", pace_bench::experiments::table7),
+        ("table8", pace_bench::experiments::table8),
+        ("table9", pace_bench::experiments::table9),
+        ("table10", pace_bench::experiments::table10),
+        ("fig10", pace_bench::experiments::fig10),
+        ("fig11", pace_bench::experiments::fig11),
+        ("fig12", pace_bench::experiments::fig12),
+        ("fig13", pace_bench::experiments::fig13),
+        ("fig14", pace_bench::experiments::fig14),
+        ("fig15", pace_bench::experiments::fig15),
+        ("design_ablation", pace_bench::experiments::design_ablation),
+        ("learned_vs_traditional", pace_bench::experiments::learned_vs_traditional),
+    ];
+    let t0 = Instant::now();
+    for (name, f) in experiments {
+        let t = Instant::now();
+        eprintln!(">>> running {name} ({})", scale.name);
+        f(&scale);
+        eprintln!(">>> {name} finished in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    eprintln!(">>> full suite finished in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table8 result. Usage: `--scale quick|full`.
+fn main() {
+    let scale = pace_bench::ExpScale::from_args();
+    pace_bench::experiments::table8(&scale);
+}

@@ -1,0 +1,275 @@
+//! Ablations and overhead experiments: Figure 12 (basic vs accelerated),
+//! Figure 13 (anomaly-detector threshold), Table 8 (poisoning-query count),
+//! Tables 9/10 (overhead).
+
+use crate::report::{fmt, Report, Table};
+use crate::setup::{Ctx, ExpScale};
+use pace_ce::CeModelType;
+use pace_core::{run_attack, AttackMethod, AttackOutcome};
+use pace_data::DatasetKind;
+use std::sync::Mutex;
+
+fn attack_once(
+    scale: &ExpScale,
+    kind: DatasetKind,
+    ty: CeModelType,
+    method: AttackMethod,
+    mutate: impl FnOnce(&mut pace_core::PipelineConfig),
+    seed: u64,
+) -> AttackOutcome {
+    let ctx = Ctx::new(kind, scale, seed);
+    let model = ctx.train_victim_model(ty, scale.ce, seed ^ 0x77);
+    let mut victim = ctx.victim(model);
+    let k = ctx.knowledge();
+    let mut cfg = scale.pipeline.clone();
+    cfg.surrogate_type = Some(ty);
+    mutate(&mut cfg);
+    run_attack(&mut victim, method, &ctx.test, &k, &cfg)
+}
+
+/// Figure 12: PACE-basic vs PACE-optimized — attack effectiveness and
+/// generator-training time on DMV.
+pub fn fig12(scale: &ExpScale) {
+    let models = if scale.name == "full" {
+        vec![CeModelType::Fcn, CeModelType::FcnPool, CeModelType::Mscn]
+    } else {
+        vec![CeModelType::Fcn, CeModelType::Mscn]
+    };
+    let rows: Mutex<Vec<(CeModelType, AttackOutcome, AttackOutcome)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for &ty in &models {
+            let rows = &rows;
+            let scale = scale.clone();
+            s.spawn(move || {
+                let basic =
+                    attack_once(&scale, DatasetKind::Dmv, ty, AttackMethod::PaceBasic, |_| {}, 0xf12);
+                let optimized =
+                    attack_once(&scale, DatasetKind::Dmv, ty, AttackMethod::Pace, |_| {}, 0xf12);
+                rows.lock().expect("f12 mutex").push((ty, basic, optimized));
+            });
+        }
+    });
+    let mut rows = rows.into_inner().expect("f12 mutex");
+    rows.sort_by_key(|r| r.0.name());
+
+    let mut report = Report::new(format!("fig12_{}", scale.name));
+    let mut t = Table::new(
+        "Figure 12 — PACE-basic vs PACE-optimized (DMV)",
+        &["CE model", "Variant", "Poisoned mean Q-error", "Generator-training time (s)"],
+    );
+    let mut speedups = Vec::new();
+    for (ty, basic, optimized) in &rows {
+        t.row(vec![
+            ty.name().into(),
+            "basic".into(),
+            fmt(basic.poisoned.mean),
+            fmt(basic.train_seconds),
+        ]);
+        t.row(vec![
+            ty.name().into(),
+            "optimized".into(),
+            fmt(optimized.poisoned.mean),
+            fmt(optimized.train_seconds),
+        ]);
+        speedups.push(basic.train_seconds / optimized.train_seconds.max(1e-9));
+    }
+    report.table(&t);
+    let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
+    report.note(format!("Average training speedup of the optimized algorithm: {avg:.1}× (paper: 9.7×)."));
+    report.finish();
+}
+
+/// Figure 13: detector-threshold sweep — poisoning effectiveness vs the
+/// JS divergence of poisoning queries (DMV, FCN).
+pub fn fig13(scale: &ExpScale) {
+    let thresholds = [0.05f32, 0.075, 0.10];
+    let rows: Mutex<Vec<(String, AttackOutcome)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        {
+            let rows = &rows;
+            let scale = scale.clone();
+            s.spawn(move || {
+                let o = attack_once(
+                    &scale,
+                    DatasetKind::Dmv,
+                    CeModelType::Fcn,
+                    AttackMethod::PaceNoDetector,
+                    |_| {},
+                    0xf13,
+                );
+                rows.lock().expect("f13 mutex").push(("without detector".into(), o));
+            });
+        }
+        for &delta in &thresholds {
+            let rows = &rows;
+            let scale = scale.clone();
+            s.spawn(move || {
+                let o = attack_once(
+                    &scale,
+                    DatasetKind::Dmv,
+                    CeModelType::Fcn,
+                    AttackMethod::Pace,
+                    |cfg| cfg.attack.detector.threshold = delta,
+                    0xf13,
+                );
+                rows.lock().expect("f13 mutex").push((format!("δ = {delta}"), o));
+            });
+        }
+    });
+    let mut rows = rows.into_inner().expect("f13 mutex");
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut report = Report::new(format!("fig13_{}", scale.name));
+    let mut t = Table::new(
+        "Figure 13 — detector threshold vs effectiveness and normality (DMV, FCN)",
+        &["Variant", "Poisoned mean Q-error", "JS divergence vs historical"],
+    );
+    for (label, o) in &rows {
+        t.row(vec![label.clone(), fmt(o.poisoned.mean), format!("{:.4}", o.divergence)]);
+    }
+    report.table(&t);
+    report.finish();
+}
+
+/// Table 8: Q-error multiple as the number of poisoning queries grows
+/// (DMV and IMDB, FCN).
+pub fn table8(scale: &ExpScale) {
+    let base = scale.pipeline.attack.n_poison;
+    let counts = [base / 2, base, base * 2, base * 4];
+    let datasets = [DatasetKind::Dmv, DatasetKind::Imdb];
+    let rows: Mutex<Vec<(DatasetKind, usize, f64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for &kind in &datasets {
+            for &n in &counts {
+                let rows = &rows;
+                let scale = scale.clone();
+                s.spawn(move || {
+                    let o = attack_once(
+                        &scale,
+                        kind,
+                        CeModelType::Fcn,
+                        AttackMethod::Pace,
+                        |cfg| cfg.attack.n_poison = n.max(1),
+                        0x7ab8,
+                    );
+                    rows.lock().expect("t8 mutex").push((kind, n, o.qerror_multiple()));
+                });
+            }
+        }
+    });
+    let rows = rows.into_inner().expect("t8 mutex");
+
+    let mut report = Report::new(format!("table8_{}", scale.name));
+    let mut t = Table::new(
+        format!("Table 8 — Q-error multiple vs number of poisoning queries (default {base})"),
+        &["Dataset", &half(base), &full_s(base), &twice(base), &quad(base)],
+    );
+    for kind in datasets {
+        let mut row = vec![kind.name().to_string()];
+        for &n in &counts {
+            let v = rows
+                .iter()
+                .find(|(k, c, _)| *k == kind && *c == n)
+                .expect("t8 cell")
+                .2;
+            row.push(fmt(v));
+        }
+        t.row(row);
+    }
+    report.table(&t);
+    report.finish();
+}
+
+fn half(b: usize) -> String {
+    format!("{}", b / 2)
+}
+fn full_s(b: usize) -> String {
+    format!("{b} (default)")
+}
+fn twice(b: usize) -> String {
+    format!("{}", b * 2)
+}
+fn quad(b: usize) -> String {
+    format!("{}", b * 4)
+}
+
+/// Table 9: PACE overhead (training / generation / attacking seconds) for the
+/// FCN victim across all four datasets.
+pub fn table9(scale: &ExpScale) {
+    let rows: Mutex<Vec<(DatasetKind, AttackOutcome)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for kind in DatasetKind::all() {
+            let rows = &rows;
+            let scale = scale.clone();
+            s.spawn(move || {
+                let o = attack_once(&scale, kind, CeModelType::Fcn, AttackMethod::Pace, |_| {}, 0x7ab9);
+                rows.lock().expect("t9 mutex").push((kind, o));
+            });
+        }
+    });
+    let rows = rows.into_inner().expect("t9 mutex");
+
+    let mut report = Report::new(format!("table9_{}", scale.name));
+    let mut t = Table::new(
+        "Table 9 — PACE overhead on FCN (seconds)",
+        &["Dataset", "Training", "Generation", "Attacking"],
+    );
+    for kind in DatasetKind::all() {
+        let (_, o) = rows.iter().find(|(k, _)| *k == kind).expect("t9 cell");
+        t.row(vec![
+            kind.name().into(),
+            format!("{:.2}", o.train_seconds),
+            format!("{:.4}", o.generate_seconds),
+            format!("{:.4}", o.attack_seconds),
+        ]);
+    }
+    report.table(&t);
+    report.finish();
+}
+
+/// Table 10: overhead vs the number of poisoning queries (DMV, FCN).
+pub fn table10(scale: &ExpScale) {
+    let base = scale.pipeline.attack.n_poison;
+    let counts = [base / 2, base, base * 2];
+    let rows: Mutex<Vec<(usize, AttackOutcome)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for &n in &counts {
+            let rows = &rows;
+            let scale = scale.clone();
+            s.spawn(move || {
+                let o = attack_once(
+                    &scale,
+                    DatasetKind::Dmv,
+                    CeModelType::Fcn,
+                    AttackMethod::Pace,
+                    |cfg| cfg.attack.n_poison = n.max(1),
+                    0x7a10,
+                );
+                rows.lock().expect("t10 mutex").push((n, o));
+            });
+        }
+    });
+    let mut rows = rows.into_inner().expect("t10 mutex");
+    rows.sort_by_key(|r| r.0);
+
+    let mut report = Report::new(format!("table10_{}", scale.name));
+    let mut t = Table::new(
+        "Table 10 — PACE overhead vs number of poisoning queries (DMV, FCN; seconds)",
+        &["#Queries", "Training", "Generation", "Attacking"],
+    );
+    for (n, o) in &rows {
+        t.row(vec![
+            format!("{n}"),
+            format!("{:.2}", o.train_seconds),
+            format!("{:.4}", o.generate_seconds),
+            format!("{:.4}", o.attack_seconds),
+        ]);
+    }
+    report.table(&t);
+    report.note(
+        "Training time is constant in the query count; generation and attacking scale with it \
+         (paper Section 7.5)."
+            .to_string(),
+    );
+    report.finish();
+}

@@ -1,0 +1,139 @@
+//! Headline accuracy experiments: Figures 6–9 (mean Q-error per dataset) and
+//! Tables 3/4 (tail percentiles).
+
+use crate::grid::{run_grid, CellResult};
+use crate::report::{fmt, Report, Table};
+use crate::setup::ExpScale;
+use pace_ce::CeModelType;
+use pace_core::AttackMethod;
+use pace_data::DatasetKind;
+
+/// Figures 6–9: mean test Q-error of every CE model before/after each attack,
+/// one table per dataset.
+pub fn fig6_9(scale: &ExpScale) {
+    let methods = AttackMethod::headline();
+    let cells = run_grid(
+        scale,
+        &DatasetKind::all(),
+        &CeModelType::all(),
+        &methods,
+        0xf169,
+    );
+    let mut report = Report::new(format!("fig6_9_{}", scale.name));
+    for kind in DatasetKind::all() {
+        let mut t = Table::new(
+            format!("Figure {} — mean Q-error on {}", fig_number(kind), kind.name()),
+            &["CE model", "Clean", "Random", "Lb-S", "Greedy", "Lb-G", "PACE"],
+        );
+        for ty in CeModelType::all() {
+            let mut row = vec![ty.name().to_string()];
+            for &m in &methods {
+                let cell = find(&cells, kind, ty, m);
+                row.push(fmt(cell.outcome.poisoned.mean));
+            }
+            t.row(row);
+        }
+        report.table(&t);
+    }
+    report.note(summary_note(&cells));
+    report.finish();
+}
+
+fn fig_number(kind: DatasetKind) -> u32 {
+    match kind {
+        DatasetKind::Dmv => 6,
+        DatasetKind::Imdb => 7,
+        DatasetKind::Tpch => 8,
+        DatasetKind::Stats => 9,
+    }
+}
+
+fn find(
+    cells: &[CellResult],
+    kind: DatasetKind,
+    ty: CeModelType,
+    m: AttackMethod,
+) -> &CellResult {
+    cells
+        .iter()
+        .find(|c| c.dataset == kind && c.model == ty && c.method == m)
+        .expect("grid cell missing")
+}
+
+fn summary_note(cells: &[CellResult]) -> String {
+    // Aggregate ordering check: PACE vs each baseline across all neural cells
+    // (Linear is excluded: the paper also finds it barely attackable).
+    let neural = |c: &&CellResult| c.model != CeModelType::Linear;
+    let mean_for = |m: AttackMethod| -> f64 {
+        let xs: Vec<f64> = cells
+            .iter()
+            .filter(neural)
+            .filter(|c| c.method == m)
+            .map(|c| c.outcome.qerror_multiple())
+            .collect();
+        xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    };
+    format!(
+        "Mean Q-error multiple vs clean across neural models: PACE {} | Lb-G {} | Greedy {} | Lb-S {} | Random {}",
+        fmt(mean_for(AttackMethod::Pace)),
+        fmt(mean_for(AttackMethod::LbG)),
+        fmt(mean_for(AttackMethod::Greedy)),
+        fmt(mean_for(AttackMethod::LbS)),
+        fmt(mean_for(AttackMethod::Random)),
+    )
+}
+
+/// Table 3: 90th/95th/99th/max percentile Q-errors for FCN, FCN+Pool, MSCN
+/// and RNN on all four datasets.
+pub fn table3(scale: &ExpScale) {
+    let models = [CeModelType::Fcn, CeModelType::FcnPool, CeModelType::Mscn, CeModelType::Rnn];
+    let methods = AttackMethod::headline();
+    let cells = run_grid(scale, &DatasetKind::all(), &models, &methods, 0x7ab3);
+    let mut report = Report::new(format!("table3_{}", scale.name));
+    for kind in DatasetKind::all() {
+        let mut t = Table::new(
+            format!("Table 3 ({}) — percentile Q-error", kind.name()),
+            &["CE model", "Method", "90th", "95th", "99th", "Max"],
+        );
+        for ty in models {
+            for &m in &methods {
+                let c = find(&cells, kind, ty, m);
+                let s = &c.outcome.poisoned;
+                t.row(vec![
+                    ty.name().into(),
+                    m.name().into(),
+                    fmt(s.p90),
+                    fmt(s.p95),
+                    fmt(s.p99),
+                    fmt(s.max),
+                ]);
+            }
+        }
+        report.table(&t);
+    }
+    report.finish();
+}
+
+/// Table 4: LSTM and Linear tail Q-errors (95th/max) on DMV, IMDB and TPC-H.
+pub fn table4(scale: &ExpScale) {
+    let models = [CeModelType::Lstm, CeModelType::Linear];
+    let datasets = [DatasetKind::Dmv, DatasetKind::Imdb, DatasetKind::Tpch];
+    let methods = AttackMethod::headline();
+    let cells = run_grid(scale, &datasets, &models, &methods, 0x7ab4);
+    let mut report = Report::new(format!("table4_{}", scale.name));
+    for kind in datasets {
+        let mut t = Table::new(
+            format!("Table 4 ({}) — percentile Q-error", kind.name()),
+            &["CE model", "Method", "95th", "Max"],
+        );
+        for ty in models {
+            for &m in &methods {
+                let c = find(&cells, kind, ty, m);
+                let s = &c.outcome.poisoned;
+                t.row(vec![ty.name().into(), m.name().into(), fmt(s.p95), fmt(s.max)]);
+            }
+        }
+        report.table(&t);
+    }
+    report.finish();
+}

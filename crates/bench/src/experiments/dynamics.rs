@@ -1,0 +1,144 @@
+//! Temporal-dynamics experiments: Figure 14 (attacking an incrementally
+//! trained model) and Figure 15 (convergence of the optimization objective).
+
+use crate::report::{fmt, Report, Table};
+use crate::setup::{Ctx, ExpScale};
+use pace_ce::{CeModel, CeModelType, EncodedWorkload};
+use pace_core::{run_attack, AttackMethod};
+use pace_data::DatasetKind;
+use pace_workload::QueryEncoder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Incremental-training rounds (paper: the training workload is split into 5
+/// parts).
+pub const ROUNDS: usize = 5;
+
+/// Figure 14: after each incremental-training round, attack the model and
+/// record the Q-error multiple.
+pub fn fig14(scale: &ExpScale) {
+    let rows: Mutex<Vec<(DatasetKind, Vec<f64>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for kind in DatasetKind::all() {
+            let rows = &rows;
+            let scale = scale.clone();
+            s.spawn(move || {
+                let ctx = Ctx::new(kind, &scale, 0xf14);
+                let encoder = QueryEncoder::new(&ctx.ds);
+                let data = EncodedWorkload::from_workload(&encoder, &ctx.train);
+                let part = (data.len() / ROUNDS).max(1);
+                let mut model =
+                    CeModel::new(CeModelType::Fcn, &ctx.ds, scale.ce, 0xf14 ^ kind as u64);
+                let mut rng = StdRng::seed_from_u64(0xf14);
+                let k = ctx.knowledge();
+                let mut multiples = Vec::with_capacity(ROUNDS);
+                for round in 0..ROUNDS {
+                    // Incremental training on the next chunk of the workload.
+                    let lo = round * part;
+                    let hi = ((round + 1) * part).min(data.len());
+                    let idx: Vec<usize> = (lo..hi).collect();
+                    let chunk = data.subset(&idx);
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    model.train(&chunk, &mut rng);
+                    // Attack a copy of the current model state.
+                    let snapshot = model.params().snapshot();
+                    let mut victim = ctx.victim(clone_model(&ctx, &model, &scale));
+                    let mut cfg = scale.pipeline.clone();
+                    cfg.surrogate_type = Some(CeModelType::Fcn);
+                    cfg.attack.seed ^= round as u64;
+                    let outcome =
+                        run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
+                    multiples.push(outcome.qerror_multiple());
+                    model.params_mut().restore(&snapshot);
+                }
+                rows.lock().expect("f14 mutex").push((kind, multiples));
+            });
+        }
+    });
+    let rows = rows.into_inner().expect("f14 mutex");
+
+    let mut report = Report::new(format!("fig14_{}", scale.name));
+    let mut t = Table::new(
+        "Figure 14 — Q-error multiple after attacking each incremental-training round (FCN)",
+        &["Dataset", "Round 1", "Round 2", "Round 3", "Round 4", "Round 5"],
+    );
+    for kind in DatasetKind::all() {
+        let (_, multiples) = rows.iter().find(|(k, _)| *k == kind).expect("f14 row");
+        let mut row = vec![kind.name().to_string()];
+        for r in 0..ROUNDS {
+            row.push(multiples.get(r).map_or("-".into(), |&m| fmt(m)));
+        }
+        t.row(row);
+    }
+    report.table(&t);
+    let all: Vec<f64> = rows.iter().flat_map(|(_, m)| m.iter().copied()).collect();
+    let avg = all.iter().sum::<f64>() / all.len().max(1) as f64;
+    report.note(format!("Average Q-error multiple per round: {avg:.1}× (paper: 22.4×)."));
+    report.finish();
+}
+
+/// A fresh model sharing the trained parameters (the victim takes ownership).
+fn clone_model(ctx: &Ctx, model: &CeModel, scale: &ExpScale) -> CeModel {
+    let mut copy = CeModel::new(model.model_type(), &ctx.ds, scale.ce, 0xc10e);
+    copy.params_mut().restore(&model.params().snapshot());
+    copy
+}
+
+/// Figure 15: the objective value of Eq. 10 per generator iteration, FCN on
+/// all four datasets.
+pub fn fig15(scale: &ExpScale) {
+    let rows: Mutex<Vec<(DatasetKind, Vec<f32>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for kind in DatasetKind::all() {
+            let rows = &rows;
+            let scale = scale.clone();
+            s.spawn(move || {
+                let ctx = Ctx::new(kind, &scale, 0xf15);
+                let model = ctx.train_victim_model(CeModelType::Fcn, scale.ce, 0xf15);
+                let mut victim = ctx.victim(model);
+                let k = ctx.knowledge();
+                let mut cfg = scale.pipeline.clone();
+                cfg.surrogate_type = Some(CeModelType::Fcn);
+                let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
+                rows.lock().expect("f15 mutex").push((kind, outcome.objective_curve));
+            });
+        }
+    });
+    let rows = rows.into_inner().expect("f15 mutex");
+
+    let mut report = Report::new(format!("fig15_{}", scale.name));
+    let mut t = Table::new(
+        "Figure 15 — objective value (mean test Q-error of the poisoned surrogate) per iteration",
+        &["Iteration", "dmv", "imdb", "tpch", "stats"],
+    );
+    let max_len = rows.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
+    for i in 0..max_len {
+        let mut row = vec![format!("{}", i + 1)];
+        for kind in DatasetKind::all() {
+            let curve = &rows.iter().find(|(k, _)| *k == kind).expect("f15 row").1;
+            row.push(curve.get(i).map_or("-".into(), |&v| fmt(f64::from(v))));
+        }
+        t.row(row);
+    }
+    report.table(&t);
+    // Convergence check: the tail should not be below the head.
+    let mut converging = 0;
+    for (_, curve) in &rows {
+        if curve.len() >= 4 {
+            let head: f32 = curve[..2].iter().sum::<f32>() / 2.0;
+            let tail: f32 = curve[curve.len() - 2..].iter().sum::<f32>() / 2.0;
+            if tail >= head {
+                converging += 1;
+            }
+        }
+    }
+    report.note(format!(
+        "{converging}/{} curves end at or above their starting objective (rising = the \
+         negative loss of Eq. 10 is falling, i.e. converging as in the paper).",
+        rows.len()
+    ));
+    report.finish();
+}

@@ -1,0 +1,145 @@
+//! Table 5 — end-to-end execution time of multi-table join queries when the
+//! optimizer plans with each (possibly poisoned) CE model.
+
+use crate::report::{fmt, Report, Table};
+use crate::setup::{Ctx, ExpScale};
+use pace_ce::CeModelType;
+use pace_core::{run_attack, AttackMethod};
+use pace_data::DatasetKind;
+use pace_engine::{total_latency, CostModel, Executor};
+use pace_workload::{generate_queries, Query, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Number of multi-table join queries executed end to end (paper: 20).
+pub const E2E_QUERIES: usize = 20;
+
+struct E2eCell {
+    dataset: DatasetKind,
+    model: CeModelType,
+    method: AttackMethod,
+    latency_s: f64,
+}
+
+/// Generates `n` heavy queries joining at least three tables with wide
+/// predicates — the class whose plans are sensitive to estimation quality.
+fn join_queries(ctx: &Ctx, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = WorkloadSpec {
+        max_join_tables: 4,
+        join_size_decay: 1.0,
+        width_range: (0.25, 0.9),
+        max_predicates: 2,
+        ..ctx.spec.clone()
+    };
+    let mut out = Vec::new();
+    while out.len() < n {
+        for q in generate_queries(&ctx.ds, &spec, &mut rng, n * 3) {
+            if q.tables.len() >= 3 && out.len() < n {
+                out.push(q);
+            }
+        }
+    }
+    out
+}
+
+/// Runs Table 5: 5 neural CE models × 6 methods × {IMDB, TPC-H, STATS}.
+pub fn table5(scale: &ExpScale) {
+    let datasets = [DatasetKind::Imdb, DatasetKind::Tpch, DatasetKind::Stats];
+    let models = [
+        CeModelType::Fcn,
+        CeModelType::FcnPool,
+        CeModelType::Mscn,
+        CeModelType::Rnn,
+        CeModelType::Lstm,
+    ];
+    let methods = AttackMethod::headline();
+    let cost = CostModel::default();
+
+    let cells: Mutex<Vec<E2eCell>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for &kind in &datasets {
+            for &ty in &models {
+                let cells = &cells;
+                let scale = scale.clone();
+                s.spawn(move || {
+                    let ctx = Ctx::new(kind, &scale, 0x7ab5);
+                    let joins = join_queries(&ctx, E2E_QUERIES, 0xe2e);
+                    // The attack targets the workload that will be executed,
+                    // exactly as in the paper — augmented with each join
+                    // query's connected sub-queries, which are the estimates
+                    // the optimizer actually consumes when ordering joins.
+                    // Misestimating *those* heterogeneously is what flips
+                    // plans.
+                    let target = {
+                        let exec = Executor::new(&ctx.ds);
+                        let mut qs = joins.clone();
+                        for q in &joins {
+                            for pattern in ctx.ds.schema.connected_patterns(q.tables.len()) {
+                                if pattern.len() >= 2
+                                    && pattern.len() < q.tables.len()
+                                    && pattern.iter().all(|t| q.tables.contains(t))
+                                {
+                                    let preds = q
+                                        .predicates
+                                        .iter()
+                                        .copied()
+                                        .filter(|p| pattern.contains(&p.table))
+                                        .collect();
+                                    qs.push(Query::new(pattern, preds));
+                                }
+                            }
+                        }
+                        exec.label(qs)
+                    };
+                    let model = ctx.train_victim_model(ty, scale.ce, 0x7ab5 ^ (ty as u64 + 1));
+                    let snapshot = model.params().snapshot();
+                    let mut victim = ctx.victim(model);
+                    let k = ctx.knowledge();
+                    let mut cfg = scale.pipeline.clone();
+                    cfg.surrogate_type = Some(ty);
+                    let mut local = Vec::new();
+                    for &method in &methods {
+                        victim.model_mut().params_mut().restore(&snapshot);
+                        let _ = run_attack(&mut victim, method, &target, &k, &cfg);
+                        let exec = Executor::new(&ctx.ds);
+                        let latency_s = total_latency(&joins, &exec, victim.model(), &cost);
+                        local.push(E2eCell { dataset: kind, model: ty, method, latency_s });
+                    }
+                    cells.lock().expect("e2e mutex").extend(local);
+                });
+            }
+        }
+    });
+    let cells = cells.into_inner().expect("e2e mutex");
+
+    let mut report = Report::new(format!("table5_{}", scale.name));
+    for kind in datasets {
+        let mut t = Table::new(
+            format!(
+                "Table 5 ({}) — simulated E2E latency of {E2E_QUERIES} join queries (s)",
+                kind.name()
+            ),
+            &["Method", "FCN", "FCN+Pool", "MSCN", "RNN", "LSTM"],
+        );
+        for &m in &methods {
+            let mut row = vec![m.name().to_string()];
+            for ty in models {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.dataset == kind && c.model == ty && c.method == m)
+                    .expect("e2e cell");
+                row.push(fmt(cell.latency_s));
+            }
+            t.row(row);
+        }
+        report.table(&t);
+    }
+    report.note(
+        "Latency is cost-simulated: plans are chosen by the (poisoned) model, then charged \
+         their true intermediate cardinalities (DESIGN.md, substitutions)."
+            .to_string(),
+    );
+    report.finish();
+}

@@ -1,0 +1,18 @@
+//! One module per paper table/figure; each exposes `run`-style functions the
+//! experiment binaries (and `run_all`) call.
+
+mod ablation;
+mod accuracy;
+mod design_ablation;
+mod dynamics;
+mod e2e;
+mod surrogate_exp;
+mod traditional_exp;
+
+pub use ablation::{fig12, fig13, table10, table8, table9};
+pub use design_ablation::design_ablation;
+pub use accuracy::{fig6_9, table3, table4};
+pub use dynamics::{fig14, fig15};
+pub use e2e::table5;
+pub use surrogate_exp::{fig10, fig11, table6, table7};
+pub use traditional_exp::learned_vs_traditional;

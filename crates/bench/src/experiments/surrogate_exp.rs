@@ -1,0 +1,281 @@
+//! Surrogate-validation experiments: Table 6 (speculation accuracy), Table 7
+//! (cost of mis-speculation), Figure 10 (training strategy Eq. 6 vs Eq. 7)
+//! and Figure 11 (hyperparameter mismatch).
+
+use crate::report::{fmt, Report, Table};
+use crate::setup::{Ctx, ExpScale};
+use pace_ce::{CeConfig, CeModelType};
+use pace_core::{
+    run_attack, speculate_model_type, AttackMethod, ImitationStrategy, SpeculationConfig,
+};
+use pace_data::DatasetKind;
+use std::sync::Mutex;
+
+/// Speculation repetitions per (dataset, type) cell (paper: 20).
+fn runs_for(scale: &ExpScale) -> usize {
+    if scale.name == "full" {
+        8
+    } else {
+        3
+    }
+}
+
+/// Table 6: accuracy of black-box model-type speculation.
+pub fn table6(scale: &ExpScale) {
+    let runs = runs_for(scale);
+    let results: Mutex<Vec<(DatasetKind, CeModelType, usize, usize)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for kind in DatasetKind::all() {
+            let results = &results;
+            let scale = scale.clone();
+            s.spawn(move || {
+                let mut local = Vec::new();
+                for ty in CeModelType::all() {
+                    let mut correct = 0;
+                    for run in 0..runs {
+                        let seed = 0x7ab6 ^ (run as u64 * 131) ^ (ty as u64);
+                        let ctx = Ctx::new(kind, &scale, seed);
+                        let model = ctx.train_victim_model(ty, scale.ce, seed ^ 0x51);
+                        let victim = ctx.victim(model);
+                        let k = ctx.knowledge();
+                        let spec_cfg = SpeculationConfig {
+                            seed,
+                            ..scale.pipeline.speculation.clone()
+                        };
+                        let result = speculate_model_type(&victim, &k, &spec_cfg);
+                        if result.speculated == ty {
+                            correct += 1;
+                        }
+                    }
+                    local.push((kind, ty, correct, runs));
+                }
+                results.lock().expect("t6 mutex").extend(local);
+            });
+        }
+    });
+    let results = results.into_inner().expect("t6 mutex");
+
+    let mut report = Report::new(format!("table6_{}", scale.name));
+    let mut t = Table::new(
+        format!("Table 6 — speculation accuracy over {runs} black boxes per cell"),
+        &["Dataset", "FCN", "FCN+Pool", "MSCN", "RNN", "LSTM", "Linear"],
+    );
+    let mut total_correct = 0;
+    let mut total_runs = 0;
+    for kind in DatasetKind::all() {
+        let mut row = vec![kind.name().to_string()];
+        for ty in CeModelType::all() {
+            let &(_, _, correct, n) = results
+                .iter()
+                .find(|(k, m, _, _)| *k == kind && *m == ty)
+                .expect("t6 cell");
+            total_correct += correct;
+            total_runs += n;
+            row.push(format!("{}%", 100 * correct / n));
+        }
+        t.row(row);
+    }
+    report.table(&t);
+    report.note(format!(
+        "Average speculation accuracy: {}% (paper: 87.5%).",
+        100 * total_correct / total_runs.max(1)
+    ));
+    report.finish();
+}
+
+/// Table 7: drop in attack effectiveness when the surrogate type is wrong
+/// (DMV; 6 victim types × 6 surrogate types).
+pub fn table7(scale: &ExpScale) {
+    let results: Mutex<Vec<(CeModelType, CeModelType, f64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for victim_ty in CeModelType::all() {
+            let results = &results;
+            let scale = scale.clone();
+            s.spawn(move || {
+                let ctx = Ctx::new(DatasetKind::Dmv, &scale, 0x7ab7);
+                let model =
+                    ctx.train_victim_model(victim_ty, scale.ce, 0x7ab7 ^ (victim_ty as u64));
+                let snapshot = model.params().snapshot();
+                let mut victim = ctx.victim(model);
+                let k = ctx.knowledge();
+                let mut local = Vec::new();
+                for surrogate_ty in CeModelType::all() {
+                    victim.model_mut().params_mut().restore(&snapshot);
+                    let mut cfg = scale.pipeline.clone();
+                    cfg.surrogate_type = Some(surrogate_ty);
+                    let outcome =
+                        run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
+                    local.push((victim_ty, surrogate_ty, outcome.qerror_multiple()));
+                }
+                results.lock().expect("t7 mutex").extend(local);
+            });
+        }
+    });
+    let results = results.into_inner().expect("t7 mutex");
+
+    let mut report = Report::new(format!("table7_{}", scale.name));
+    let mut t = Table::new(
+        "Table 7 — attack-effectiveness decrease under mis-speculated surrogate type (DMV)",
+        &["BB \\ Surrogate", "FCN", "FCN+Pool", "MSCN", "RNN", "LSTM", "Linear"],
+    );
+    let multiple =
+        |v: CeModelType, s: CeModelType| -> f64 {
+            results
+                .iter()
+                .find(|(a, b, _)| *a == v && *b == s)
+                .expect("t7 cell")
+                .2
+        };
+    let mut decreases = Vec::new();
+    for v in CeModelType::all() {
+        let diag = multiple(v, v);
+        let mut row = vec![v.name().to_string()];
+        for s in CeModelType::all() {
+            let m = multiple(v, s);
+            let dec = ((diag - m) / diag.max(1e-9) * 100.0).max(0.0);
+            if v != s {
+                decreases.push(dec);
+            }
+            row.push(if v == s { "0%".into() } else { format!("{dec:.1}%") });
+        }
+        t.row(row);
+    }
+    report.table(&t);
+    let avg = decreases.iter().sum::<f64>() / decreases.len().max(1) as f64;
+    report.note(format!("Average off-diagonal decrease: {avg:.1}% (paper: 8.2%)."));
+    report.finish();
+}
+
+/// Figure 10: attack effectiveness of the combined imitation loss (Eq. 7)
+/// vs direct imitation (Eq. 6), on DMV.
+pub fn fig10(scale: &ExpScale) {
+    let models = if scale.name == "full" {
+        CeModelType::all().to_vec()
+    } else {
+        vec![CeModelType::Fcn, CeModelType::Mscn, CeModelType::Rnn]
+    };
+    let mut report = Report::new(format!("fig10_{}", scale.name));
+    let mut t = Table::new(
+        "Figure 10 — poisoned mean Q-error: Eq. 7 (PACE) vs Eq. 6 (Direct Imitation), DMV",
+        &["CE model", "Clean", "Direct (Eq. 6)", "Combined (Eq. 7)", "Gain %"],
+    );
+    let rows: Mutex<Vec<(CeModelType, f64, f64, f64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for &ty in &models {
+            let rows = &rows;
+            let scale = scale.clone();
+            s.spawn(move || {
+                let ctx = Ctx::new(DatasetKind::Dmv, &scale, 0xf10);
+                let model = ctx.train_victim_model(ty, scale.ce, 0xf10 ^ (ty as u64));
+                let snapshot = model.params().snapshot();
+                let mut victim = ctx.victim(model);
+                let k = ctx.knowledge();
+                let mut by_strategy = [0.0f64; 2];
+                let mut clean = 0.0;
+                for (i, strategy) in
+                    [ImitationStrategy::Direct, ImitationStrategy::Combined].iter().enumerate()
+                {
+                    victim.model_mut().params_mut().restore(&snapshot);
+                    let mut cfg = scale.pipeline.clone();
+                    cfg.surrogate_type = Some(ty);
+                    cfg.surrogate.strategy = *strategy;
+                    let outcome =
+                        run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
+                    by_strategy[i] = outcome.poisoned.mean;
+                    clean = outcome.clean.mean;
+                }
+                rows.lock().expect("f10 mutex").push((ty, clean, by_strategy[0], by_strategy[1]));
+            });
+        }
+    });
+    let mut rows = rows.into_inner().expect("f10 mutex");
+    rows.sort_by_key(|r| r.0.name());
+    for (ty, clean, direct, combined) in rows {
+        let gain = (combined - direct) / direct.max(1e-9) * 100.0;
+        t.row(vec![
+            ty.name().into(),
+            fmt(clean),
+            fmt(direct),
+            fmt(combined),
+            format!("{gain:+.1}%"),
+        ]);
+    }
+    report.table(&t);
+    report.finish();
+}
+
+/// Figure 11: attack effectiveness when the black box's hyperparameters
+/// (layer count, hidden width) differ from the surrogate's defaults (IMDB).
+pub fn fig11(scale: &ExpScale) {
+    let mut report = Report::new(format!("fig11_{}", scale.name));
+    let base_layers = scale.ce.layers;
+    let base_hidden = scale.ce.hidden;
+
+    let run_with = |ce: CeConfig, seed: u64, scale: &ExpScale| -> f64 {
+        let ctx = Ctx::new(DatasetKind::Imdb, scale, 0xf11);
+        let model = ctx.train_victim_model(CeModelType::Fcn, ce, seed);
+        let mut victim = ctx.victim(model);
+        let k = ctx.knowledge();
+        let mut cfg = scale.pipeline.clone();
+        cfg.surrogate_type = Some(CeModelType::Fcn);
+        // The surrogate keeps the attacker's default hyperparameters.
+        run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg).qerror_multiple()
+    };
+
+    let layer_grid: Vec<usize> = vec![1, 2, 3, 4];
+    let hidden_scales: Vec<f64> = vec![0.5, 1.0, 2.0, 4.0];
+    let layer_out: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
+    let hidden_out: Mutex<Vec<(f64, f64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for &layers in &layer_grid {
+            let layer_out = &layer_out;
+            let scale = scale.clone();
+            s.spawn(move || {
+                let ce = CeConfig { layers, ..scale.ce };
+                let m = run_with(ce, 0x111 ^ layers as u64, &scale);
+                layer_out.lock().expect("f11 mutex").push((layers, m));
+            });
+        }
+        for &hs in &hidden_scales {
+            let hidden_out = &hidden_out;
+            let scale = scale.clone();
+            s.spawn(move || {
+                let hidden = ((base_hidden as f64 * hs) as usize).max(4);
+                let ce = CeConfig { hidden, ..scale.ce };
+                let m = run_with(ce, 0x112 ^ hidden as u64, &scale);
+                hidden_out.lock().expect("f11 mutex").push((hs, m));
+            });
+        }
+    });
+    let mut layer_rows = layer_out.into_inner().expect("f11 mutex");
+    layer_rows.sort_by_key(|a| a.0);
+    let mut hidden_rows = hidden_out.into_inner().expect("f11 mutex");
+    hidden_rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+
+    let base_l = layer_rows
+        .iter()
+        .find(|(l, _)| *l == base_layers)
+        .map_or(1.0, |(_, m)| *m);
+    let mut t = Table::new(
+        "Figure 11(a) — relative effectiveness vs black-box layer count (FCN, IMDB)",
+        &["BB layers", "Q-error multiple", "Relative to matched"],
+    );
+    for (l, m) in &layer_rows {
+        t.row(vec![l.to_string(), fmt(*m), format!("{:.2}", m / base_l)]);
+    }
+    report.table(&t);
+
+    let base_h = hidden_rows
+        .iter()
+        .find(|(s, _)| (*s - 1.0).abs() < 1e-9)
+        .map_or(1.0, |(_, m)| *m);
+    let mut t = Table::new(
+        "Figure 11(b) — relative effectiveness vs black-box hidden-width scale (FCN, IMDB)",
+        &["BB hidden ×", "Q-error multiple", "Relative to matched"],
+    );
+    for (s, m) in &hidden_rows {
+        t.row(vec![format!("{s}"), fmt(*m), format!("{:.2}", m / base_h)]);
+    }
+    report.table(&t);
+    report.finish();
+}

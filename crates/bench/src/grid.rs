@@ -1,0 +1,84 @@
+//! The (dataset × model × method) attack grid behind the headline accuracy
+//! results (Figures 6–9, Tables 3/4) — run cell-parallel across threads.
+
+use crate::setup::{Ctx, ExpScale};
+use pace_ce::CeModelType;
+use pace_core::{run_attack, AttackMethod, AttackOutcome};
+use pace_data::DatasetKind;
+use std::sync::Mutex;
+
+/// One grid cell's measurements.
+pub struct CellResult {
+    /// Dataset of the cell.
+    pub dataset: DatasetKind,
+    /// Victim model type.
+    pub model: CeModelType,
+    /// Attack method.
+    pub method: AttackMethod,
+    /// Full attack outcome (clean/poisoned summaries, divergence, times).
+    pub outcome: AttackOutcome,
+}
+
+/// Runs every (dataset, model) victim in its own thread; within a cell the
+/// methods run sequentially against parameter-restored copies of the same
+/// trained victim, so methods are compared on identical models.
+///
+/// The surrogate type is pinned to the victim's true type here; speculation
+/// accuracy and the cost of mis-speculation are measured separately
+/// (Tables 6/7), mirroring how the paper factors its analysis.
+pub fn run_grid(
+    scale: &ExpScale,
+    datasets: &[DatasetKind],
+    models: &[CeModelType],
+    methods: &[AttackMethod],
+    seed: u64,
+) -> Vec<CellResult> {
+    let results: Mutex<Vec<CellResult>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for &kind in datasets {
+            for &ty in models {
+                let results = &results;
+                let scale = scale.clone();
+                s.spawn(move || {
+                    let cell = run_cell(&scale, kind, ty, methods, seed);
+                    results.lock().expect("grid mutex").extend(cell);
+                });
+            }
+        }
+    });
+    let mut out = results.into_inner().expect("grid mutex");
+    // Deterministic report order.
+    out.sort_by_key(|c| {
+        (
+            c.dataset.name(),
+            c.model.name(),
+            methods.iter().position(|&m| m == c.method).unwrap_or(usize::MAX),
+        )
+    });
+    out
+}
+
+/// Runs all methods against one freshly trained victim.
+pub fn run_cell(
+    scale: &ExpScale,
+    kind: DatasetKind,
+    ty: CeModelType,
+    methods: &[AttackMethod],
+    seed: u64,
+) -> Vec<CellResult> {
+    let ctx = Ctx::new(kind, scale, seed);
+    let model = ctx.train_victim_model(ty, scale.ce, seed ^ (ty as u64 + 1));
+    let snapshot = model.params().snapshot();
+    let mut victim = ctx.victim(model);
+    let k = ctx.knowledge();
+    let mut cfg = scale.pipeline.clone();
+    cfg.surrogate_type = Some(ty);
+    methods
+        .iter()
+        .map(|&method| {
+            victim.model_mut().params_mut().restore(&snapshot);
+            let outcome = run_attack(&mut victim, method, &ctx.test, &k, &cfg);
+            CellResult { dataset: kind, model: ty, method, outcome }
+        })
+        .collect()
+}

@@ -1,0 +1,19 @@
+//! `pace-bench` — the experiment harness that regenerates every table and
+//! figure of the paper's evaluation (Section 7).
+//!
+//! Each table/figure has a dedicated binary (`cargo run -p pace-bench --bin
+//! table3 -- --scale quick|full`); `run_all` drives the whole suite and
+//! leaves markdown reports under `results/`. The mapping from experiment id
+//! to binary lives in DESIGN.md; paper-vs-measured numbers are recorded in
+//! EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod grid;
+pub mod report;
+pub mod setup;
+
+pub use grid::{run_cell, run_grid, CellResult};
+pub use report::{fmt, Report, Table};
+pub use setup::{Ctx, ExpScale};

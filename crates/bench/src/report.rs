@@ -1,0 +1,134 @@
+//! Markdown report emission shared by all experiment binaries.
+//!
+//! Every binary prints its table(s) to stdout and also appends them to
+//! `results/<name>.md`, so `run_all` leaves a browsable record next to
+//! EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A markdown table under construction.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a caption and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders to markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(out, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for r in &self.rows {
+            let _ = writeln!(out, "| {} |", r.join(" | "));
+        }
+        out
+    }
+}
+
+/// Collects an experiment's tables and notes, then prints and persists them.
+pub struct Report {
+    name: String,
+    sections: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report for the experiment `name` (e.g. `"table3"`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), sections: Vec::new() }
+    }
+
+    /// Adds a finished table.
+    pub fn table(&mut self, t: &Table) {
+        self.sections.push(t.render());
+    }
+
+    /// Adds a free-form note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.sections.push(format!("\n{}\n", text.into()));
+    }
+
+    /// Prints to stdout and writes `results/<name>.md`. Returns the path.
+    pub fn finish(self) -> PathBuf {
+        let body = format!("## Experiment: {}\n{}", self.name, self.sections.join(""));
+        println!("{body}");
+        let dir = PathBuf::from("results");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.md", self.name));
+        if let Err(e) = fs::write(&path, &body) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+        path
+    }
+}
+
+/// Formats a float compactly: 3 significant-ish digits, scientific for big
+/// magnitudes — matches how the paper prints Q-errors.
+pub fn fmt(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".into();
+    }
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 10_000.0 {
+        format!("{v:.3e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.render();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(42.4242), "42.4");
+        assert_eq!(fmt(512.3), "512");
+        assert!(fmt(123456.0).contains('e'));
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(f64::INFINITY), "inf");
+    }
+}

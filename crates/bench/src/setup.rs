@@ -1,0 +1,148 @@
+//! Shared experiment setup: datasets, workloads, victims, and the
+//! quick/full scaling knobs every experiment binary accepts.
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_core::{
+    AttackConfig, AttackerKnowledge, PipelineConfig, SpeculationConfig, SurrogateConfig, Victim,
+};
+use pace_data::{build, Dataset, DatasetKind, Scale};
+use pace_engine::Executor;
+use pace_workload::{
+    generate_from_templates, generate_queries, templates_for, Query, QueryEncoder, Workload,
+    WorkloadSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Experiment sizing. `quick` finishes the full suite in minutes; `full`
+/// uses larger data and workloads (closer to the paper's proportions, still
+/// laptop-sized — see DESIGN.md on scale substitution).
+#[derive(Clone, Debug)]
+pub struct ExpScale {
+    /// Human-readable name (`"quick"`/`"full"`).
+    pub name: &'static str,
+    /// Dataset row scale.
+    pub data: Scale,
+    /// Victim training-workload size (paper: 10000).
+    pub train_queries: usize,
+    /// Test-workload size (paper: 1000).
+    pub test_queries: usize,
+    /// Victim/candidate model hyperparameters.
+    pub ce: CeConfig,
+    /// Attack pipeline configuration.
+    pub pipeline: PipelineConfig,
+}
+
+impl ExpScale {
+    /// Fast mode: small data, short training.
+    pub fn quick() -> Self {
+        Self {
+            name: "quick",
+            data: Scale::quick(),
+            train_queries: 900,
+            test_queries: 150,
+            ce: CeConfig::quick(),
+            pipeline: PipelineConfig {
+                speculation: SpeculationConfig::quick(),
+                surrogate: SurrogateConfig::quick(),
+                attack: AttackConfig {
+                    n_poison: 45, // 5% of the training workload, like the paper
+                    batch: 48,
+                    iters: 30,
+                    test_subset: 64,
+                    ..AttackConfig::quick()
+                },
+                ..PipelineConfig::quick()
+            },
+        }
+    }
+
+    /// Full mode: the default experiment scale.
+    pub fn full() -> Self {
+        Self {
+            name: "full",
+            data: Scale::experiment(),
+            train_queries: 4000,
+            test_queries: 400,
+            ce: CeConfig::default(),
+            pipeline: PipelineConfig {
+                attack: AttackConfig { n_poison: 200, ..AttackConfig::default() },
+                ..PipelineConfig::default()
+            },
+        }
+    }
+
+    /// Parses `--scale quick|full` from argv; defaults to quick.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        match args.iter().position(|a| a == "--scale") {
+            Some(i) if args.get(i + 1).map(String::as_str) == Some("full") => Self::full(),
+            _ => Self::quick(),
+        }
+    }
+}
+
+/// One dataset's experiment context: data, workloads, attacker knowledge.
+pub struct Ctx {
+    /// Which dataset.
+    pub kind: DatasetKind,
+    /// The materialized dataset.
+    pub ds: Dataset,
+    /// Workload-shape parameters used throughout.
+    pub spec: WorkloadSpec,
+    /// The historical workload the victim trained on (queries only).
+    pub history: Vec<Query>,
+    /// Labeled training workload.
+    pub train: Workload,
+    /// Labeled test workload.
+    pub test: Workload,
+}
+
+impl Ctx {
+    /// Builds the context for one dataset at the given scale.
+    pub fn new(kind: DatasetKind, scale: &ExpScale, seed: u64) -> Self {
+        let ds = build(kind, scale.data, seed);
+        let spec = if kind == DatasetKind::Dmv {
+            WorkloadSpec::single_table()
+        } else {
+            WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() }
+        };
+        let exec = Executor::new(&ds);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
+        // DMV/TPC-H workloads are random over the schema; IMDB/STATS follow
+        // the JOB / STATS-CEB template families — mirroring the paper's
+        // workload construction (Section 7.1).
+        let templates = templates_for(&ds);
+        let gen = |n: usize, rng: &mut StdRng| -> Vec<Query> {
+            match &templates {
+                Some(t) => generate_from_templates(&ds, t, &spec, rng, n),
+                None => generate_queries(&ds, &spec, rng, n),
+            }
+        };
+        let train_q = gen(scale.train_queries, &mut rng);
+        let train = exec.label_nonzero(train_q);
+        let test_q = gen(scale.test_queries, &mut rng);
+        let test = exec.label_nonzero(test_q);
+        let history = train.iter().map(|lq| lq.query.clone()).collect();
+        Self { kind, ds, spec, history, train, test }
+    }
+
+    /// The attacker's public-knowledge bundle.
+    pub fn knowledge(&self) -> AttackerKnowledge {
+        AttackerKnowledge::from_public(&self.ds, self.spec.clone())
+    }
+
+    /// Trains a victim model of the given type on the training workload.
+    pub fn train_victim_model(&self, ty: CeModelType, ce: CeConfig, seed: u64) -> CeModel {
+        let data = EncodedWorkload::from_workload(&QueryEncoder::new(&self.ds), &self.train);
+        let mut model = CeModel::new(ty, &self.ds, ce, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7ea);
+        model.train(&data, &mut rng);
+        model
+    }
+
+    /// Wraps a trained model as a live victim.
+    pub fn victim(&self, model: CeModel) -> Victim<'_> {
+        Victim::new(model, Executor::new(&self.ds), self.history.clone())
+    }
+}

@@ -1,0 +1,69 @@
+//! The experiment harness's own invariants.
+
+use pace_bench::{Ctx, ExpScale};
+use pace_ce::CeModelType;
+use pace_core::AttackMethod;
+use pace_data::DatasetKind;
+
+#[test]
+fn ctx_builds_consistent_workloads() {
+    let mut scale = ExpScale::quick();
+    scale.train_queries = 120;
+    scale.test_queries = 40;
+    for kind in DatasetKind::all() {
+        let ctx = Ctx::new(kind, &scale, 9);
+        assert_eq!(ctx.kind, kind);
+        assert!(!ctx.train.is_empty() && ctx.train.len() <= 120);
+        assert!(!ctx.test.is_empty() && ctx.test.len() <= 40);
+        // History mirrors the training queries.
+        assert_eq!(ctx.history.len(), ctx.train.len());
+        // All labels are nonzero (label_nonzero filtering).
+        assert!(ctx.train.iter().all(|lq| lq.cardinality > 0));
+        assert!(ctx.test.iter().all(|lq| lq.cardinality > 0));
+        // Knowledge bundle is coherent.
+        let k = ctx.knowledge();
+        assert_eq!(k.encoder.num_tables(), ctx.ds.schema.num_tables());
+    }
+}
+
+#[test]
+fn ctx_is_deterministic_in_seed() {
+    let mut scale = ExpScale::quick();
+    scale.train_queries = 60;
+    scale.test_queries = 20;
+    let a = Ctx::new(DatasetKind::Tpch, &scale, 123);
+    let b = Ctx::new(DatasetKind::Tpch, &scale, 123);
+    assert_eq!(a.train.len(), b.train.len());
+    for (x, y) in a.train.iter().zip(&b.train) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn run_cell_restores_victim_between_methods() {
+    // Clean evaluated twice (before each method) must be identical: the cell
+    // runner restores the victim's parameters between methods.
+    let mut scale = ExpScale::quick();
+    scale.train_queries = 150;
+    scale.test_queries = 40;
+    scale.ce.epochs = 8;
+    scale.pipeline.attack.iters = 4;
+    scale.pipeline.attack.n_poison = 10;
+    scale.pipeline.attack.batch = 16;
+    scale.pipeline.surrogate.train_queries = 60;
+    scale.pipeline.surrogate.epochs = 5;
+    let cells = pace_bench::run_cell(
+        &scale,
+        DatasetKind::Dmv,
+        CeModelType::Linear,
+        &[AttackMethod::Random, AttackMethod::Clean],
+        77,
+    );
+    assert_eq!(cells.len(), 2);
+    // Clean outcome's "poisoned" equals its clean baseline…
+    let clean = cells.iter().find(|c| c.method == AttackMethod::Clean).expect("clean");
+    assert_eq!(clean.outcome.clean.mean, clean.outcome.poisoned.mean);
+    // …and both methods saw the same pre-attack model.
+    let random = cells.iter().find(|c| c.method == AttackMethod::Random).expect("random");
+    assert_eq!(clean.outcome.clean.mean, random.outcome.clean.mean);
+}

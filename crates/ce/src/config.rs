@@ -1,0 +1,69 @@
+//! Hyperparameters of query-driven CE models.
+
+/// Hyperparameters shared by all six model types.
+///
+/// The paper's Table 2 default set maps to [`CeConfig::default`]; experiments
+/// that probe hyperparameter mismatch (paper Figure 11) vary `hidden` and
+/// `layers`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CeConfig {
+    /// Hidden width of every internal layer.
+    pub hidden: usize,
+    /// Number of hidden layers in MLP-style towers.
+    pub layers: usize,
+    /// Adam learning rate used for initial training.
+    pub lr: f32,
+    /// SGD learning rate used for incremental updates — identical to the
+    /// step size the attack unrolls through (paper Eq. 9's `η`).
+    pub update_lr: f32,
+    /// Initial-training epochs.
+    pub epochs: usize,
+    /// Minibatch size during initial training.
+    pub batch_size: usize,
+    /// Number of incremental-update iterations when new queries arrive
+    /// (paper default: 10).
+    pub update_iters: usize,
+    /// Gradient-clipping threshold (global L2 norm) during initial training.
+    pub clip_norm: f32,
+    /// Gradient-clipping threshold during incremental updates. Looser than
+    /// `clip_norm`: deployed estimators genuinely fit newly arrived queries
+    /// (the mechanism poisoning exploits), so updates must be able to move
+    /// the parameters.
+    pub update_clip: f32,
+}
+
+impl Default for CeConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 64,
+            layers: 2,
+            lr: 1e-3,
+            update_lr: 1e-2,
+            epochs: 40,
+            batch_size: 128,
+            update_iters: 10,
+            clip_norm: 5.0,
+            update_clip: 20.0,
+        }
+    }
+}
+
+impl CeConfig {
+    /// A faster configuration for tests.
+    pub fn quick() -> Self {
+        Self { hidden: 32, epochs: 30, batch_size: 64, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CeConfig::default();
+        assert_eq!(c.update_iters, 10);
+        assert_eq!(c.lr, 1e-3);
+        assert_eq!(c.update_lr, 1e-2);
+    }
+}

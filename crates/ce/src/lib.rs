@@ -1,0 +1,41 @@
+//! `pace-ce` — learned query-driven cardinality estimators.
+//!
+//! Implements the six neural CE model families the paper evaluates and
+//! attacks — FCN, FCN+Pool, MSCN, RNN, LSTM, Linear — over the shared
+//! `T + 2A` query encoding, trained with a capped Q-error loss and supporting
+//! the incremental-update mechanism that poisoning exploits.
+//!
+//! Every model's forward pass is a pure function of a parameter [`pace_tensor::Binding`],
+//! so the attack (in `pace-core`) can differentiate through `K` unrolled
+//! update steps of a surrogate model.
+//!
+//! # Example
+//!
+//! ```
+//! use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+//! use pace_data::{build, DatasetKind, Scale};
+//! use pace_engine::Executor;
+//! use pace_workload::{generate_queries, QueryEncoder, WorkloadSpec};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let ds = build(DatasetKind::Dmv, Scale::tiny(), 1);
+//! let exec = Executor::new(&ds);
+//! let mut rng = StdRng::seed_from_u64(2);
+//! let queries = generate_queries(&ds, &WorkloadSpec::single_table(), &mut rng, 64);
+//! let train = EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &exec.label_nonzero(queries));
+//! let mut model = CeModel::new(CeModelType::Linear, &ds, CeConfig::quick(), 3);
+//! model.train(&train, &mut rng);
+//! let qerrs = model.evaluate(&train);
+//! assert!(qerrs.iter().all(|&q| q >= 1.0));
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod loss;
+mod model;
+
+pub use config::CeConfig;
+pub use loss::{capped_q_error, q_error_between, q_error_loss, QERR_CAP};
+pub use model::{rows_to_matrix, CeModel, CeModelType, EncodedWorkload};

@@ -1,0 +1,123 @@
+//! Differentiable Q-error loss (paper Section 2.1).
+//!
+//! With both estimate and truth strictly positive,
+//! `qerr = max(est/true, true/est) = exp(|ln est − ln true|)`. Models output a
+//! *normalized* log-cardinality `o ∈ (0,1)` (final sigmoid), denormalized as
+//! `ln est = o · ln C_max`, so the loss reduces to
+//! `exp(|o · ln C_max − ln true|)` — smooth almost everywhere.
+//!
+//! Raw exponentials explode for wildly wrong early predictions, so beyond a
+//! cap `Δ̄` the loss continues *linearly* with slope `e^Δ̄` (a first-order
+//! extension: continuous, monotone, non-vanishing gradients).
+
+use pace_tensor::{Graph, Matrix, Var};
+
+/// Log-error magnitude beyond which the Q-error loss grows linearly.
+pub const QERR_CAP: f32 = 8.0;
+
+/// Builds the mean capped Q-error of a batch.
+///
+/// * `pred_norm` — `n×1` normalized log-cardinality outputs in `(0,1)`;
+/// * `ln_truth` — `n` natural-log true cardinalities (constants);
+/// * `ln_max` — the dataset's normalization constant `ln C_max`.
+pub fn q_error_loss(g: &mut Graph, pred_norm: Var, ln_truth: &[f32], ln_max: f32) -> Var {
+    let (n, c) = g.shape(pred_norm);
+    assert_eq!(c, 1, "predictions must be Nx1");
+    assert_eq!(n, ln_truth.len(), "label count mismatch");
+    let truth = g.leaf(Matrix::from_vec(n, 1, ln_truth.to_vec()));
+    let ln_est = g.mul_scalar(pred_norm, ln_max);
+    let diff = g.sub(ln_est, truth);
+    let d = g.abs(diff);
+    per_element_capped_exp(g, d)
+}
+
+/// Mean of `exp(min(d, CAP)) + relu(d − CAP)·e^CAP` over all elements.
+fn per_element_capped_exp(g: &mut Graph, d: Var) -> Var {
+    let (r, c) = g.shape(d);
+    let cap = g.leaf(Matrix::full(r, c, QERR_CAP));
+    let clamped = g.minimum(d, cap);
+    let expd = g.exp(clamped);
+    let over = g.sub(d, cap);
+    let over = g.relu(over);
+    let linear = g.mul_scalar(over, QERR_CAP.exp());
+    let total = g.add(expd, linear);
+    g.mean_all(total)
+}
+
+/// Mean capped Q-error between two prediction vectors *in normalized log
+/// space* — the imitation loss `L(f_s(x), f_bb(x))` of surrogate training
+/// (paper Eq. 6/7 uses the same Q-error form with the black box's estimate in
+/// place of the truth).
+pub fn q_error_between(g: &mut Graph, pred_a: Var, pred_b: Var, ln_max: f32) -> Var {
+    assert_eq!(g.shape(pred_a), g.shape(pred_b), "prediction shape mismatch");
+    let diff = g.sub(pred_a, pred_b);
+    let scaled = g.mul_scalar(diff, ln_max);
+    let d = g.abs(scaled);
+    per_element_capped_exp(g, d)
+}
+
+/// Scalar (non-graph) capped Q-error used for reporting parity in tests.
+pub fn capped_q_error(ln_est: f32, ln_truth: f32) -> f32 {
+    let d = (ln_est - ln_truth).abs();
+    if d <= QERR_CAP {
+        d.exp()
+    } else {
+        QERR_CAP.exp() + (d - QERR_CAP) * QERR_CAP.exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_tensor::check::assert_grad_close;
+
+    #[test]
+    fn loss_is_one_at_perfect_prediction() {
+        let mut g = Graph::new();
+        let ln_max = 10.0f32;
+        let truth = [3.0f32, 7.0];
+        let pred = g.leaf(Matrix::from_vec(2, 1, vec![0.3, 0.7]));
+        let loss = q_error_loss(&mut g, pred, &truth, ln_max);
+        assert!((g.value(loss).as_scalar() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn loss_matches_exp_of_log_gap() {
+        let mut g = Graph::new();
+        let pred = g.leaf(Matrix::from_vec(1, 1, vec![0.5]));
+        // ln est = 5, ln truth = 3 → qerr = e².
+        let loss = q_error_loss(&mut g, pred, &[3.0], 10.0);
+        assert!((g.value(loss).as_scalar() - 2.0f32.exp()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn loss_linearizes_beyond_cap() {
+        let mut g = Graph::new();
+        let pred = g.leaf(Matrix::from_vec(1, 1, vec![1.0]));
+        // d = 20 − 0 = 20 > CAP.
+        let loss = q_error_loss(&mut g, pred, &[0.0], 20.0);
+        let expected = capped_q_error(20.0, 0.0);
+        let got = g.value(loss).as_scalar();
+        assert!((got - expected).abs() / expected < 1e-4, "{got} vs {expected}");
+        assert!(got < 20.0f32.exp(), "must be far below the raw exponential");
+    }
+
+    #[test]
+    fn loss_gradient_checks() {
+        let x = Matrix::from_vec(3, 1, vec![0.2, 0.5, 0.8]);
+        assert_grad_close("q_error_loss", &x, 3e-2, |g, v| {
+            q_error_loss(g, v, &[4.0, 1.0, 9.0], 12.0)
+        });
+    }
+
+    #[test]
+    fn between_is_symmetric() {
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::from_vec(2, 1, vec![0.2, 0.9]));
+        let b = g.leaf(Matrix::from_vec(2, 1, vec![0.4, 0.5]));
+        let ab = q_error_between(&mut g, a, b, 10.0);
+        let ba = q_error_between(&mut g, b, a, 10.0);
+        assert_eq!(g.value(ab).as_scalar(), g.value(ba).as_scalar());
+        assert!(g.value(ab).as_scalar() > 1.0);
+    }
+}

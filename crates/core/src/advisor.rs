@@ -1,0 +1,158 @@
+//! Robustness-aware model selection (paper Section 8, future work (2)):
+//! "test the vulnerability of various cardinality estimation models and
+//! recommend a robust one for the learned database systems."
+//!
+//! The advisor is defender-side tooling: the DBA owns the candidate models,
+//! so each is stress-tested under the *worst-case* (white-box) PACE attack
+//! and scored on clean accuracy and post-attack accuracy jointly.
+
+use crate::attack::{train_generator_accelerated, AttackConfig};
+use crate::knowledge::AttackerKnowledge;
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_workload::{QErrorSummary, Query, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One candidate's stress-test outcome.
+#[derive(Clone, Debug)]
+pub struct ModelRobustness {
+    /// The model family.
+    pub model: CeModelType,
+    /// Mean test Q-error before the attack.
+    pub clean: f64,
+    /// Mean test Q-error after a worst-case (white-box) PACE attack.
+    pub poisoned: f64,
+}
+
+impl ModelRobustness {
+    /// Joint score (lower is better): the geometric mean of clean and
+    /// poisoned Q-error, so a model must be both accurate and robust.
+    pub fn score(&self) -> f64 {
+        (self.clean.max(1.0) * self.poisoned.max(1.0)).sqrt()
+    }
+}
+
+/// Stress-test report over all candidate model families.
+#[derive(Clone, Debug)]
+pub struct RobustnessReport {
+    /// Per-model outcomes, sorted best score first.
+    pub rankings: Vec<ModelRobustness>,
+}
+
+impl RobustnessReport {
+    /// The recommended model family (best joint score).
+    pub fn recommended(&self) -> CeModelType {
+        self.rankings.first().expect("non-empty rankings").model
+    }
+}
+
+/// Trains every model family on `train`, stress-tests each with a white-box
+/// PACE attack against `test`, and ranks them.
+///
+/// `count` is the defender's own exact-count oracle (they own the database).
+pub fn recommend_robust_model(
+    k: &AttackerKnowledge,
+    count: &mut dyn FnMut(&Query) -> u64,
+    train: &Workload,
+    test: &Workload,
+    ce: CeConfig,
+    attack: &AttackConfig,
+    seed: u64,
+) -> RobustnessReport {
+    let train_data = {
+        let enc = train.iter().map(|lq| k.encoder.encode(&lq.query)).collect();
+        let cards: Vec<u64> = train.iter().map(|lq| lq.cardinality).collect();
+        EncodedWorkload::from_parts(enc, &cards)
+    };
+    let test_data = {
+        let enc = test.iter().map(|lq| k.encoder.encode(&lq.query)).collect();
+        let cards: Vec<u64> = test.iter().map(|lq| lq.cardinality).collect();
+        EncodedWorkload::from_parts(enc, &cards)
+    };
+    let historical: Vec<Vec<f32>> = train_data.enc.clone();
+
+    let mut rankings: Vec<ModelRobustness> = CeModelType::all()
+        .into_iter()
+        .map(|ty| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (ty as u64 + 1));
+            let mut model = CeModel::with_encoder(ty, k.encoder.clone(), k.ln_max, ce, seed);
+            model.train(&train_data, &mut rng);
+            let clean = QErrorSummary::from_samples(&model.evaluate(&test_data)).mean;
+            // Worst case: the attacker's surrogate IS the model.
+            let mut surrogate = model.clone();
+            let artifacts = train_generator_accelerated(
+                &mut surrogate,
+                count,
+                &test_data,
+                &historical,
+                k,
+                attack,
+            );
+            let (_, poison_encs) = artifacts.generator.generate(&mut rng, attack.n_poison);
+            let cards: Vec<u64> = poison_encs
+                .iter()
+                .map(|e| count(&k.encoder.decode(e)).max(1))
+                .collect();
+            model.update(&EncodedWorkload::from_parts(poison_encs, &cards));
+            let poisoned = QErrorSummary::from_samples(&model.evaluate(&test_data)).mean;
+            ModelRobustness { model: ty, clean, poisoned }
+        })
+        .collect();
+    rankings.sort_by(|a, b| a.score().partial_cmp(&b.score()).expect("finite scores"));
+    RobustnessReport { rankings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::victim::BlackBox;
+    use crate::victim::Victim;
+    use pace_data::{build, DatasetKind, Scale};
+    use pace_engine::Executor;
+    use pace_workload::{generate_queries, WorkloadSpec};
+
+    #[test]
+    fn advisor_ranks_all_families_and_recommends_one() {
+        let ds = build(DatasetKind::Dmv, Scale::tiny(), 61);
+        let spec = WorkloadSpec::single_table();
+        let exec = Executor::new(&ds);
+        let mut rng = StdRng::seed_from_u64(62);
+        let train = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 250));
+        let test = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 60));
+        let k = AttackerKnowledge::from_public(&ds, spec);
+        let oracle = Victim::new(
+            CeModel::with_encoder(
+                CeModelType::Linear,
+                k.encoder.clone(),
+                k.ln_max,
+                CeConfig::quick(),
+                63,
+            ),
+            Executor::new(&ds),
+            vec![],
+        );
+        let mut count = |q: &Query| oracle.count(q);
+        let attack = AttackConfig { iters: 6, batch: 24, n_poison: 24, ..AttackConfig::quick() };
+        let report = recommend_robust_model(
+            &k,
+            &mut count,
+            &train,
+            &test,
+            CeConfig { epochs: 10, ..CeConfig::quick() },
+            &attack,
+            64,
+        );
+        assert_eq!(report.rankings.len(), 6);
+        // Sorted by score ascending.
+        for w in report.rankings.windows(2) {
+            assert!(w[0].score() <= w[1].score());
+        }
+        let rec = report.recommended();
+        assert!(CeModelType::all().contains(&rec));
+        // Every candidate has sane measurements.
+        for r in &report.rankings {
+            assert!(r.clean >= 1.0 && r.clean.is_finite());
+            assert!(r.poisoned >= 1.0 && r.poisoned.is_finite());
+        }
+    }
+}

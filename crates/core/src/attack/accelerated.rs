@@ -1,0 +1,188 @@
+//! The accelerated generator-training algorithm (paper Algorithm 1,
+//! Figure 5(b)).
+//!
+//! Each iteration: train `G_j` on the join loss, generate a poisoning batch,
+//! virtually update the surrogate in-graph (mirroring the victim's K-step
+//! incremental update), push the generator up the hypergradient of the
+//! test-workload Q-error, and confront the anomaly detector; every
+//! `sync_every` iterations the surrogate is *really* updated on the current
+//! batch (line 20), so generator and model "interact in time" instead of
+//! wasting converged updates against stale counterparts.
+
+use super::{poisoning_objective, straight_through, unroll_virtual_updates, AttackArtifacts, AttackConfig};
+use crate::detector::AnomalyDetector;
+use crate::generator::PoisonGenerator;
+use crate::knowledge::AttackerKnowledge;
+use pace_ce::{rows_to_matrix, CeModel, EncodedWorkload};
+use pace_tensor::{Graph, Matrix};
+use pace_workload::Query;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Trains a poisoning generator with the accelerated schedule.
+///
+/// * `surrogate` — the white-box stand-in for the victim model; it is
+///   progressively poisoned during training (Algorithm 1 line 20).
+/// * `count` — the attacker's `COUNT(*)` oracle for labeling generated
+///   queries.
+/// * `test` — the target workload whose estimation error is maximized.
+/// * `historical` — encodings of historical queries (trains the detector).
+pub fn train_generator_accelerated(
+    surrogate: &mut CeModel,
+    count: &mut dyn FnMut(&Query) -> u64,
+    test: &EncodedWorkload,
+    historical: &[Vec<f32>],
+    k: &AttackerKnowledge,
+    cfg: &AttackConfig,
+) -> AttackArtifacts {
+    let t0 = Instant::now();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut generator =
+        PoisonGenerator::new(k.encoder.clone(), k.patterns.clone(), cfg.generator, cfg.seed ^ 0x9e1);
+    let detector = if cfg.use_detector && !historical.is_empty() {
+        let mut d = AnomalyDetector::new(k.encoder.dim(), cfg.detector, cfg.seed ^ 0x9e2);
+        d.train(historical, &mut rng);
+        Some(d)
+    } else {
+        None
+    };
+
+    let test_n = cfg.test_subset.min(test.len()).max(1);
+    let test_mat = rows_to_matrix(&test.enc[..test_n]);
+    let test_ln = &test.ln_card[..test_n];
+
+    let mut curve = Vec::with_capacity(cfg.iters);
+    let mut best = f32::NEG_INFINITY;
+    let mut best_params: Option<Vec<pace_tensor::Matrix>> = None;
+    let mut stall = 0usize;
+    let base_lr = cfg.generator.lr;
+
+    for it in 0..cfg.iters {
+        // (1)–(2) join generation and Eq. 8 training.
+        let batch = generator.sample_joins(&mut rng, cfg.batch);
+        generator.join_loss_step(&batch);
+
+        // (3)–(4) bound generation and masking.
+        let mut g = Graph::new();
+        let bind = generator.params().bind(&mut g);
+        let x = generator.forward_bounds(&mut g, &bind, &batch);
+
+        // (5) decode to concrete queries and label through the COUNT(*)
+        // oracle (constants in the graph). The victim will re-encode the
+        // *decoded* queries — bounds snapped to the integer domain — so the
+        // unroll consumes the quantized encodings via a straight-through
+        // estimator: values are quantized, gradients pass through to the
+        // generator unchanged.
+        let (queries, encs): (Vec<Query>, Vec<Vec<f32>>) = {
+            let vals = g.value(x);
+            let raw: Vec<Vec<f32>> =
+                (0..cfg.batch).map(|r| vals.row_slice(r).to_vec()).collect();
+            let queries: Vec<Query> =
+                raw.iter().map(|e| generator.encoder().decode(e)).collect();
+            let encs = queries.iter().map(|q| generator.encoder().encode(q)).collect();
+            (queries, encs)
+        };
+        let ln_labels: Vec<f32> =
+            queries.iter().map(|q| (count(q).max(1) as f32).ln()).collect();
+        let x_q = if cfg.ablate_quantization {
+            x
+        } else {
+            straight_through(&mut g, x, &encs)
+        };
+
+        // (6) virtual update of the surrogate, mirroring the victim's real
+        // K-step incremental update so the hypergradient sees the full
+        // deployment effect. (The acceleration over the basic algorithm is
+        // the *interleaving* of generator and model updates — Lemma 5.2's
+        // O(n₁+n₂) vs O(n₃(n₁+n₂)) — not a shallower lookahead.)
+        let theta0 = surrogate.params().bind(&mut g);
+        let theta1 = unroll_virtual_updates(
+            &mut g,
+            surrogate,
+            theta0,
+            x_q,
+            &ln_labels,
+            cfg.unroll_steps.max(1),
+            cfg.unroll_lr,
+        );
+
+        // (7) hypergradient step on the poisoning objective.
+        let test_x = g.leaf(test_mat.clone());
+        let objective = poisoning_objective(&mut g, surrogate, &theta1, test_x, test_ln);
+        let obj_value = g.value(objective).as_scalar();
+        curve.push(obj_value);
+
+        // (13)–(15) detector confrontation: reconstruction loss of flagged
+        // queries back-propagates into the generator.
+        if let Some(det) = &detector {
+            let dbind = det.params().bind(&mut g);
+            let errors = det.recon_error_graph(&mut g, &dbind, x);
+            let flagged: Vec<f32> = g
+                .value(errors)
+                .data()
+                .iter()
+                .map(|&e| if e > det.threshold() { 1.0 } else { 0.0 })
+                .collect();
+            let n_flagged: f32 = flagged.iter().sum();
+            if n_flagged > 0.0 {
+                let mask = g.leaf(Matrix::from_vec(cfg.batch, 1, flagged));
+                let masked = g.mul(errors, mask);
+                let total = g.sum_all(masked);
+                let recon_loss = g.mul_scalar(total, 1.0 / n_flagged);
+                generator.apply_step(&mut g, recon_loss, &bind);
+            }
+        }
+
+        // (19) generator ascent on the objective (descend its negative),
+        // with a large-step escape when progress stalls (Section 5.3). The
+        // best-performing generator state is checkpointed so an escape that
+        // overshoots cannot cost the attack its progress — and a collapse
+        // (objective far below the best seen) restores that checkpoint so
+        // the curve re-converges instead of wandering from a wrecked state.
+        if obj_value > best {
+            best = obj_value;
+            if !cfg.ablate_checkpoint {
+                best_params = Some(generator.params().snapshot());
+            }
+            stall = 0;
+        } else {
+            stall += 1;
+        }
+        if !cfg.ablate_checkpoint && obj_value < best * 0.25 {
+            if let Some(best_p) = &best_params {
+                generator.params_mut().restore(best_p);
+                generator.set_lr(base_lr);
+                stall = 0;
+                continue;
+            }
+        }
+        if stall >= cfg.escape_patience {
+            generator.set_lr(base_lr * cfg.escape_boost);
+            stall = 0;
+        } else {
+            generator.set_lr(base_lr);
+        }
+        let loss = g.neg(objective);
+        generator.apply_step(&mut g, loss, &bind);
+
+        // (20) periodic real surrogate update.
+        if (it + 1) % cfg.sync_every.max(1) == 0 {
+            let data = EncodedWorkload {
+                enc: encs,
+                ln_card: ln_labels,
+            };
+            surrogate.update(&data);
+        }
+    }
+
+    if let Some(best) = best_params {
+        generator.params_mut().restore(&best);
+    }
+    AttackArtifacts {
+        generator,
+        detector,
+        objective_curve: curve,
+        train_seconds: t0.elapsed().as_secs_f64(),
+    }
+}

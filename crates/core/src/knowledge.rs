@@ -1,0 +1,59 @@
+//! What the attacker legitimately knows (threat model, paper Section 2.2).
+//!
+//! The attacker has the database schema (tables, columns, join constraints —
+//! needed to craft legal SQL) and can run `COUNT(*)`/`EXPLAIN`. Everything in
+//! [`AttackerKnowledge`] is derivable from that surface: attribute domains
+//! from `SELECT MIN/MAX`-style counting probes, table sizes (and hence the
+//! log-cardinality normalization constant) from `COUNT(*)` per table, and
+//! valid join patterns from the schema's foreign keys.
+
+use pace_data::{Dataset, Schema};
+use pace_workload::{QueryEncoder, WorkloadSpec};
+
+/// The attacker-side bundle of public knowledge about the victim database.
+#[derive(Clone)]
+pub struct AttackerKnowledge {
+    /// Schema of the victim database.
+    pub schema: Schema,
+    /// Query encoder over the public attribute domains.
+    pub encoder: QueryEncoder,
+    /// Valid (connected) join patterns legal queries may use.
+    pub patterns: Vec<Vec<usize>>,
+    /// `ln C_max` — the output normalization constant, derived from
+    /// `COUNT(*)` over unfiltered pattern joins.
+    pub ln_max: f32,
+    /// The query-shape parameters the attacker crafts probes with.
+    pub spec: WorkloadSpec,
+}
+
+impl AttackerKnowledge {
+    /// Derives the knowledge bundle from a dataset's public surface. Only
+    /// schema metadata, column min/max, and table sizes are read — never the
+    /// rows themselves.
+    pub fn from_public(ds: &Dataset, spec: WorkloadSpec) -> Self {
+        let max_join = spec.max_join_tables.max(1);
+        Self {
+            schema: ds.schema.clone(),
+            encoder: QueryEncoder::new(ds),
+            patterns: ds.schema.connected_patterns(max_join),
+            ln_max: pace_engine::ln_max_cardinality(ds, 4) as f32,
+            spec,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_data::{build, DatasetKind, Scale};
+
+    #[test]
+    fn knowledge_derives_consistent_shapes() {
+        let ds = build(DatasetKind::Tpch, Scale::tiny(), 1);
+        let k = AttackerKnowledge::from_public(&ds, WorkloadSpec::default());
+        assert_eq!(k.encoder.num_tables(), ds.schema.num_tables());
+        assert!(!k.patterns.is_empty());
+        assert!(k.ln_max > 0.0);
+        assert!(k.patterns.iter().all(|p| k.schema.is_connected(p)));
+    }
+}

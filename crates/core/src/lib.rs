@@ -1,0 +1,56 @@
+//! `pace-core` — the PACE poisoning-attack framework (the paper's primary
+//! contribution).
+//!
+//! Given only black-box access to a learned query-driven cardinality
+//! estimator (`EXPLAIN` + `COUNT(*)` + schema), PACE crafts a small batch of
+//! legal SPJ queries that, once the estimator incrementally trains on them,
+//! wreck its accuracy on a target workload — while keeping the poisoning
+//! queries distributionally close to the historical workload.
+//!
+//! The pipeline (paper Figure 2):
+//!
+//! 1. **Surrogate acquisition** ([`surrogate`]): speculate the black box's
+//!    model type from behavioral similarity over diverse probes (Eq. 5),
+//!    then train a white-box surrogate by imitation (Eq. 6/7).
+//! 2. **Generator training** ([`attack`]): optimize the three-part query
+//!    generator ([`generator`]) against the bivariate objective (Eq. 10) with
+//!    hypergradients through unrolled surrogate updates — the basic
+//!    (Figure 5a) and accelerated (Algorithm 1) schedules are both provided —
+//!    while an adversarial VAE [`detector`] keeps generated queries
+//!    in-distribution.
+//! 3. **Attacking** ([`run_attack`]): inject the generated queries; the victim
+//!    labels them with true cardinalities and updates itself, absorbing the
+//!    poison.
+//!
+//! Baselines (Random / Lb-S / Greedy / Lb-G) live in [`attack::baselines`],
+//! and the paper's future-work directions are implemented in [`budget`]
+//! (budget-constrained attacks), [`defense`] (a poison-screening classifier
+//! trained on PACE's own output) and [`advisor`] (robustness-aware model
+//! recommendation).
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod attack;
+pub mod budget;
+pub mod defense;
+pub mod detector;
+pub mod generator;
+mod knowledge;
+mod pipeline;
+pub mod surrogate;
+mod victim;
+
+pub use advisor::{recommend_robust_model, ModelRobustness, RobustnessReport};
+pub use attack::{AttackArtifacts, AttackConfig};
+pub use budget::{select_budgeted_poison, BudgetedSelection};
+pub use defense::{ClassifierConfig, PoisonClassifier};
+pub use detector::{AnomalyDetector, DetectorConfig};
+pub use generator::{GeneratorConfig, JoinBatch, PoisonGenerator};
+pub use knowledge::AttackerKnowledge;
+pub use pipeline::{craft_poison, run_attack, AttackMethod, AttackOutcome, PipelineConfig};
+pub use surrogate::{
+    imitation_error, speculate_model_type, train_surrogate, ImitationStrategy, SpeculationConfig,
+    SpeculationResult, SurrogateConfig,
+};
+pub use victim::{BlackBox, Victim};

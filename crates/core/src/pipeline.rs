@@ -1,0 +1,272 @@
+//! End-to-end attack orchestration (paper Figure 2): surrogate acquisition →
+//! generator training → poisoning-query injection → evaluation.
+
+use crate::attack::{
+    greedy_poison, loss_based_selection, random_poison, train_generator_accelerated,
+    train_generator_basic, train_lbg, AttackConfig,
+};
+use crate::knowledge::AttackerKnowledge;
+use crate::surrogate::{
+    speculate_model_type, train_surrogate, SpeculationConfig, SurrogateConfig,
+};
+use crate::victim::{BlackBox, Victim};
+use pace_ce::{CeModelType, EncodedWorkload};
+use pace_workload::{js_divergence, QErrorSummary, Query, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// The poisoning strategies compared in the evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AttackMethod {
+    /// No attack (reference row).
+    Clean,
+    /// Random workload-like queries.
+    Random,
+    /// Loss-based selection from a random pool.
+    LbS,
+    /// Greedy per-attribute condition search.
+    Greedy,
+    /// Loss-based generation (PACE's generator, myopic objective).
+    LbG,
+    /// Full PACE with the accelerated algorithm.
+    Pace,
+    /// PACE with the basic (strawman) algorithm — ablation of Figure 12.
+    PaceBasic,
+    /// PACE without the anomaly detector — ablation of Figure 13.
+    PaceNoDetector,
+}
+
+impl AttackMethod {
+    /// The six methods of the headline tables, in paper order.
+    pub fn headline() -> [AttackMethod; 6] {
+        [
+            AttackMethod::Clean,
+            AttackMethod::Random,
+            AttackMethod::LbS,
+            AttackMethod::Greedy,
+            AttackMethod::LbG,
+            AttackMethod::Pace,
+        ]
+    }
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackMethod::Clean => "Clean",
+            AttackMethod::Random => "Random",
+            AttackMethod::LbS => "Lb-S",
+            AttackMethod::Greedy => "Greedy",
+            AttackMethod::LbG => "Lb-G",
+            AttackMethod::Pace => "PACE",
+            AttackMethod::PaceBasic => "PACE-basic",
+            AttackMethod::PaceNoDetector => "PACE-w/o-detector",
+        }
+    }
+}
+
+/// Configuration of the full pipeline.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct PipelineConfig {
+    /// When `Some`, skip speculation and use this surrogate type (experiments
+    /// that fix or deliberately mismatch the type); `None` speculates.
+    pub surrogate_type: Option<CeModelType>,
+    /// Speculation parameters.
+    pub speculation: SpeculationConfig,
+    /// Surrogate-training parameters.
+    pub surrogate: SurrogateConfig,
+    /// Generator/attack parameters.
+    pub attack: AttackConfig,
+    /// Diagnostic upper bound: hand the attacker an exact copy of the
+    /// victim's model as the surrogate (white-box). Used by ablations to
+    /// decompose how much attack effectiveness the black-box surrogate
+    /// transfer costs; never part of the threat model proper.
+    pub white_box: bool,
+}
+
+
+impl PipelineConfig {
+    /// A fast configuration for tests.
+    pub fn quick() -> Self {
+        Self {
+            surrogate_type: None,
+            speculation: SpeculationConfig::quick(),
+            surrogate: SurrogateConfig::quick(),
+            attack: AttackConfig::quick(),
+            white_box: false,
+        }
+    }
+}
+
+/// Everything measured about one attack run.
+#[derive(Clone, Debug)]
+pub struct AttackOutcome {
+    /// Strategy used.
+    pub method: AttackMethod,
+    /// The injected poisoning queries.
+    pub poison: Vec<Query>,
+    /// Test Q-error before the attack.
+    pub clean: QErrorSummary,
+    /// Test Q-error after the attack.
+    pub poisoned: QErrorSummary,
+    /// JS divergence between poisoning and historical query encodings.
+    pub divergence: f64,
+    /// Seconds crafting the poison (surrogate + generator training).
+    pub train_seconds: f64,
+    /// Seconds generating the final poisoning batch.
+    pub generate_seconds: f64,
+    /// Seconds injecting (victim model update).
+    pub attack_seconds: f64,
+    /// Generator-objective convergence curve, when applicable.
+    pub objective_curve: Vec<f32>,
+}
+
+impl AttackOutcome {
+    /// Multiplicative increase of the mean Q-error (the paper's headline
+    /// "reduces accuracy by N×" figure).
+    pub fn qerror_multiple(&self) -> f64 {
+        self.poisoned.mean / self.clean.mean.max(1.0)
+    }
+}
+
+/// Crafts poisoning queries with the given method (attacker side: read-only
+/// access to the victim). Returns the queries, crafting seconds, generation
+/// seconds, and the objective curve.
+pub fn craft_poison(
+    victim: &Victim<'_>,
+    method: AttackMethod,
+    test: &Workload,
+    k: &AttackerKnowledge,
+    cfg: &PipelineConfig,
+) -> (Vec<Query>, f64, f64, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(cfg.attack.seed ^ 0x91e);
+    let n = cfg.attack.n_poison;
+    let t_train = Instant::now();
+    match method {
+        AttackMethod::Clean => (Vec::new(), 0.0, 0.0, Vec::new()),
+        AttackMethod::Random => {
+            let queries = random_poison(k, &mut rng, n);
+            (queries, 0.0, t_train.elapsed().as_secs_f64(), Vec::new())
+        }
+        AttackMethod::LbS => {
+            let surrogate = acquire_surrogate(victim, k, cfg);
+            let mut count = |q: &Query| victim.count(q);
+            let train_s = t_train.elapsed().as_secs_f64();
+            let t_gen = Instant::now();
+            let queries = loss_based_selection(&surrogate, &mut count, k, &mut rng, n);
+            (queries, train_s, t_gen.elapsed().as_secs_f64(), Vec::new())
+        }
+        AttackMethod::Greedy => {
+            let surrogate = acquire_surrogate(victim, k, cfg);
+            let mut count = |q: &Query| victim.count(q);
+            let train_s = t_train.elapsed().as_secs_f64();
+            let t_gen = Instant::now();
+            let queries = greedy_poison(&surrogate, &mut count, k, &mut rng, n);
+            (queries, train_s, t_gen.elapsed().as_secs_f64(), Vec::new())
+        }
+        AttackMethod::LbG => {
+            let surrogate = acquire_surrogate(victim, k, cfg);
+            let mut count = |q: &Query| victim.count(q);
+            let artifacts = train_lbg(&surrogate, &mut count, k, &cfg.attack);
+            let train_s = t_train.elapsed().as_secs_f64();
+            let t_gen = Instant::now();
+            let (queries, _) = artifacts.generator.generate(&mut rng, n);
+            (queries, train_s, t_gen.elapsed().as_secs_f64(), artifacts.objective_curve)
+        }
+        AttackMethod::Pace | AttackMethod::PaceBasic | AttackMethod::PaceNoDetector => {
+            let mut surrogate = acquire_surrogate(victim, k, cfg);
+            let mut count = |q: &Query| victim.count(q);
+            let historical: Vec<Vec<f32>> =
+                victim.historical_sample().iter().map(|q| k.encoder.encode(q)).collect();
+            let test_data = {
+                let enc = test.iter().map(|lq| k.encoder.encode(&lq.query)).collect();
+                let cards: Vec<u64> = test.iter().map(|lq| lq.cardinality).collect();
+                EncodedWorkload::from_parts(enc, &cards)
+            };
+            let mut attack_cfg = cfg.attack.clone();
+            if method == AttackMethod::PaceNoDetector {
+                attack_cfg.use_detector = false;
+            }
+            let artifacts = if method == AttackMethod::PaceBasic {
+                train_generator_basic(
+                    &mut surrogate,
+                    &mut count,
+                    &test_data,
+                    &historical,
+                    k,
+                    &attack_cfg,
+                )
+            } else {
+                train_generator_accelerated(
+                    &mut surrogate,
+                    &mut count,
+                    &test_data,
+                    &historical,
+                    k,
+                    &attack_cfg,
+                )
+            };
+            let train_s = t_train.elapsed().as_secs_f64();
+            let t_gen = Instant::now();
+            let (queries, _) = artifacts.generator.generate(&mut rng, n);
+            (queries, train_s, t_gen.elapsed().as_secs_f64(), artifacts.objective_curve)
+        }
+    }
+}
+
+fn acquire_surrogate(
+    victim: &Victim<'_>,
+    k: &AttackerKnowledge,
+    cfg: &PipelineConfig,
+) -> pace_ce::CeModel {
+    if cfg.white_box {
+        return victim.model().clone();
+    }
+    let ty = cfg
+        .surrogate_type
+        .unwrap_or_else(|| speculate_model_type(victim, k, &cfg.speculation).speculated);
+    train_surrogate(victim, k, ty, &cfg.surrogate)
+}
+
+/// Runs a complete attack against a victim and measures its effect on the
+/// test workload. The victim's model is left in its poisoned state (callers
+/// snapshot/restore its parameters to compare methods).
+pub fn run_attack(
+    victim: &mut Victim<'_>,
+    method: AttackMethod,
+    test: &Workload,
+    k: &AttackerKnowledge,
+    cfg: &PipelineConfig,
+) -> AttackOutcome {
+    let clean = QErrorSummary::from_samples(&victim.q_errors(test));
+    let (poison, train_seconds, generate_seconds, objective_curve) =
+        craft_poison(victim, method, test, k, cfg);
+    let t_attack = Instant::now();
+    victim.run_queries(&poison);
+    let attack_seconds = t_attack.elapsed().as_secs_f64();
+    let poisoned = QErrorSummary::from_samples(&victim.q_errors(test));
+    let divergence = if poison.is_empty() {
+        0.0
+    } else {
+        let hist: Vec<Vec<f32>> =
+            victim.historical_sample().iter().map(|q| k.encoder.encode(q)).collect();
+        let pois: Vec<Vec<f32>> = poison.iter().map(|q| k.encoder.encode(q)).collect();
+        if hist.is_empty() {
+            0.0
+        } else {
+            js_divergence(&pois, &hist, 20)
+        }
+    };
+    AttackOutcome {
+        method,
+        poison,
+        clean,
+        poisoned,
+        divergence,
+        train_seconds,
+        generate_seconds,
+        attack_seconds,
+        objective_curve,
+    }
+}

@@ -1,0 +1,430 @@
+//! Surrogate CE-model acquisition (paper Section 4): speculate the black
+//! box's model type from behavioral similarity, then train a white-box
+//! surrogate by imitation.
+
+use crate::knowledge::AttackerKnowledge;
+use crate::victim::BlackBox;
+use pace_ce::{q_error_between, q_error_loss, CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_tensor::optim::{clip_global_norm, sanitize, Adam, Optimizer};
+use pace_tensor::{Graph, Matrix};
+use pace_workload::{
+    generate_queries_schema_only, q_error, schema_only_query_for_pattern, Query, WorkloadSpec,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Parameters of model-type speculation (paper Section 4.1).
+#[derive(Clone, Debug)]
+pub struct SpeculationConfig {
+    /// Queries used to train each candidate model.
+    pub candidate_train_queries: usize,
+    /// Probe queries per (column-count × range-size) group.
+    pub probes_per_group: usize,
+    /// Column counts probed (the diverse property the paper varies).
+    pub column_counts: Vec<usize>,
+    /// Normalized range sizes probed (small/medium/large).
+    pub range_sizes: Vec<f64>,
+    /// Candidate training configuration.
+    pub ce_config: CeConfig,
+    /// Seed for probe/candidate randomness.
+    pub seed: u64,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        Self {
+            candidate_train_queries: 600,
+            probes_per_group: 20,
+            column_counts: vec![1, 2, 3],
+            range_sizes: vec![0.05, 0.3, 0.8],
+            ce_config: CeConfig::default(),
+            seed: 0x5bec,
+        }
+    }
+}
+
+impl SpeculationConfig {
+    /// A faster configuration for tests.
+    pub fn quick() -> Self {
+        Self {
+            candidate_train_queries: 200,
+            probes_per_group: 14,
+            ce_config: CeConfig::quick(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of model-type speculation.
+#[derive(Clone, Debug)]
+pub struct SpeculationResult {
+    /// The speculated type (highest behavior similarity).
+    pub speculated: CeModelType,
+    /// Cosine similarity of each candidate's behavior vector to the black
+    /// box's, in [`CeModelType::all`] order.
+    pub similarities: Vec<(CeModelType, f64)>,
+}
+
+/// Builds probe queries grouped by column count and predicate range size.
+/// Returns `(group sizes are uniform)` the flat probe list, group by group.
+fn build_probes(
+    k: &AttackerKnowledge,
+    cfg: &SpeculationConfig,
+    rng: &mut StdRng,
+) -> Vec<Vec<Query>> {
+    let mut groups = Vec::new();
+    for &cols in &cfg.column_counts {
+        // Couple probe join size to the column count where the schema allows
+        // it: this is what makes the architecture-specific signals fire
+        // (sequence models' latency scales with the pattern's attributes,
+        // set models' accuracy degrades differently with column count).
+        let sized: Vec<&Vec<usize>> = k
+            .patterns
+            .iter()
+            .filter(|p| {
+                let attrs =
+                    k.encoder.attributes().iter().filter(|(t, _)| p.contains(t)).count();
+                p.len() == cols.min(k.encoder.num_tables()) && attrs >= cols
+            })
+            .collect();
+        let patterns: Vec<Vec<usize>> = if sized.is_empty() {
+            k.patterns
+                .iter()
+                .filter(|p| {
+                    k.encoder.attributes().iter().filter(|(t, _)| p.contains(t)).count() >= cols
+                })
+                .cloned()
+                .collect()
+        } else {
+            sized.into_iter().cloned().collect()
+        };
+        let patterns =
+            if patterns.is_empty() { k.patterns.clone() } else { patterns };
+        for &range in &cfg.range_sizes {
+            let spec = WorkloadSpec {
+                max_predicates: cols,
+                width_range: (range * 0.9, range),
+                ..k.spec.clone()
+            };
+            let mut group = Vec::with_capacity(cfg.probes_per_group);
+            for _ in 0..cfg.probes_per_group {
+                let pat = &patterns[rng.random_range(0..patterns.len())];
+                let mut q = schema_only_query_for_pattern(&k.encoder, &spec, rng, pat);
+                // Force exactly `cols` predicates where possible.
+                while q.predicates.len() > cols {
+                    q.predicates.pop();
+                }
+                group.push(q);
+            }
+            groups.push(group);
+        }
+    }
+    groups
+}
+
+/// Behavior vector of an estimator over probe groups. Per group, three
+/// features: the mean *signed* log error (architectural bias direction), the
+/// mean log Q-error (error magnitude), and the log of the minimum-of-3
+/// per-query inference latency (minimum filters scheduler noise; latency is
+/// the paper's second speculation signal).
+fn behavior_vector(
+    estimate: &mut dyn FnMut(&Query) -> (f64, f64),
+    truths: &[Vec<u64>],
+    groups: &[Vec<Query>],
+) -> Vec<f64> {
+    let mut v = Vec::with_capacity(groups.len() * 3);
+    // Warm-up pass: the first estimates after model construction pay
+    // allocator/cache costs that would otherwise masquerade as architecture
+    // latency (the black box is always probed first, so without this every
+    // black box looks like the slowest candidate).
+    for group in groups {
+        for q in group {
+            let _ = estimate(q);
+        }
+    }
+    for (group, truth) in groups.iter().zip(truths) {
+        let mut bias = 0.0;
+        let mut qe = 0.0;
+        let mut lat = 0.0;
+        for (q, &t) in group.iter().zip(truth) {
+            let mut best_l = f64::INFINITY;
+            let mut est = 1.0;
+            for _ in 0..3 {
+                let (e, l) = estimate(q);
+                est = e;
+                best_l = best_l.min(l);
+            }
+            bias += (est.max(1.0) / t as f64).ln();
+            qe += q_error(est, t as f64).ln();
+            lat += best_l;
+        }
+        v.push(bias / group.len() as f64);
+        v.push(qe / group.len() as f64);
+        v.push((lat / group.len() as f64).max(1e-9).ln());
+    }
+    v
+}
+
+/// Similarity between two z-scored behavior vectors: negative Euclidean
+/// distance mapped into `(0, 1]`. (A plain cosine over un-centered vectors
+/// degenerates: every dimension is positive, so the candidate with *average*
+/// behavior wins for every black box. Centering per dimension makes the
+/// match about behavioral *deviations* — which candidate errs and slows down
+/// in the same probe groups — which is the architecture fingerprint.)
+fn similarity(a: &[f64], b: &[f64]) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    1.0 / (1.0 + d2.sqrt())
+}
+
+/// Normalizes behavior vectors for matching, in two stages:
+///
+/// 1. *Per-vector block centering of the accuracy features* (bias and
+///    Q-error; dims interleaved per group): removes vector-global offsets —
+///    the black box trained on a different workload distribution than the
+///    candidates — keeping the *pattern across probe groups*. Latency is
+///    left absolute: both sides share the inference code path, so its
+///    magnitude is itself an architecture fingerprint.
+/// 2. *Cross-vector z-scoring* per dimension, so all features contribute
+///    comparably to the distance.
+fn normalize_dims(vectors: &mut [Vec<f64>]) {
+    if vectors.is_empty() {
+        return;
+    }
+    let dim = vectors[0].len();
+    const FEATURES: usize = 3;
+    let groups = dim / FEATURES;
+    // Center the two accuracy features only: they carry workload-distribution
+    // offsets. Latency stays absolute — black box and candidates share the
+    // same inference code path, so its magnitude is the architecture's own.
+    for v in vectors.iter_mut() {
+        for f in 0..2 {
+            let mean: f64 =
+                (0..groups).map(|g| v[g * FEATURES + f]).sum::<f64>() / groups as f64;
+            for g in 0..groups {
+                v[g * FEATURES + f] -= mean;
+            }
+        }
+    }
+    let n = vectors.len() as f64;
+    // Feature weights applied *after* z-scoring (weights applied before
+    // would be normalized away): latency is a near-deterministic
+    // architecture fingerprint measured over a shared code path, while the
+    // two accuracy residual features are noisy, so latency dominates.
+    const WEIGHTS: [f64; FEATURES] = [0.4, 0.4, 2.5];
+    for d in 0..dim {
+        let mean = vectors.iter().map(|v| v[d]).sum::<f64>() / n;
+        let var = vectors.iter().map(|v| (v[d] - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt().max(1e-12);
+        for v in vectors.iter_mut() {
+            v[d] = (v[d] - mean) / std * WEIGHTS[d % FEATURES];
+        }
+    }
+}
+
+/// Speculates the black-box model's type (paper Eq. 5): train candidates of
+/// every type on attacker-crafted queries, probe all of them plus the black
+/// box across diverse query groups, and pick the candidate whose
+/// (bias, Q-error, latency) behavior vector is most similar. (The paper uses
+/// a raw cosine; see the internal `similarity` helper for why a centered distance is
+/// the robust equivalent here.)
+pub fn speculate_model_type(
+    bb: &dyn BlackBox,
+    k: &AttackerKnowledge,
+    cfg: &SpeculationConfig,
+) -> SpeculationResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Candidate training data, labeled through the COUNT(*) oracle.
+    let train_queries = generate_queries_schema_only(
+        &k.encoder,
+        &k.patterns,
+        &k.spec,
+        &mut rng,
+        cfg.candidate_train_queries,
+    );
+    let labeled: Vec<(Query, u64)> =
+        train_queries.into_iter().map(|q| (q.clone(), bb.count(&q).max(1))).collect();
+    let enc: Vec<Vec<f32>> = labeled.iter().map(|(q, _)| k.encoder.encode(q)).collect();
+    let cards: Vec<u64> = labeled.iter().map(|(_, c)| *c).collect();
+    let data = EncodedWorkload::from_parts(enc, &cards);
+
+    let probes = build_probes(k, cfg, &mut rng);
+    let truths: Vec<Vec<u64>> =
+        probes.iter().map(|g| g.iter().map(|q| bb.count(q).max(1)).collect()).collect();
+
+    // Black-box behavior vector (EXPLAIN + latency).
+    let mut bb_est = |q: &Query| bb.explain_timed(q);
+    let bb_vec = behavior_vector(&mut bb_est, &truths, &probes);
+
+    let mut vectors = vec![bb_vec];
+    let mut types = Vec::new();
+    for ty in CeModelType::all() {
+        // Average two independently seeded candidates per type: behavioral
+        // residuals of a single candidate carry initialization noise that
+        // can drown the architecture fingerprint.
+        let mut avg: Vec<f64> = Vec::new();
+        const CANDIDATE_SEEDS: u64 = 2;
+        for c in 0..CANDIDATE_SEEDS {
+            let mut candidate = CeModel::with_encoder(
+                ty,
+                k.encoder.clone(),
+                k.ln_max,
+                cfg.ce_config,
+                cfg.seed ^ (ty as u64 + 1) ^ (c * 0x9e37),
+            );
+            candidate.train(&data, &mut rng);
+            let mut est = |q: &Query| {
+                let t0 = Instant::now();
+                let e = candidate.estimate_query(q);
+                (e, t0.elapsed().as_secs_f64())
+            };
+            let v = behavior_vector(&mut est, &truths, &probes);
+            if avg.is_empty() {
+                avg = v;
+            } else {
+                for (a, x) in avg.iter_mut().zip(v) {
+                    *a += x;
+                }
+            }
+        }
+        for a in &mut avg {
+            *a /= CANDIDATE_SEEDS as f64;
+        }
+        vectors.push(avg);
+        types.push(ty);
+    }
+    normalize_dims(&mut vectors);
+    let bb_vec = vectors[0].clone();
+    let similarities: Vec<(CeModelType, f64)> = types
+        .iter()
+        .zip(&vectors[1..])
+        .map(|(&ty, v)| (ty, similarity(&bb_vec, v)))
+        .collect();
+    let speculated = similarities
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite similarity"))
+        .expect("six candidates")
+        .0;
+    SpeculationResult { speculated, similarities }
+}
+
+/// How the surrogate is supervised (paper Section 4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ImitationStrategy {
+    /// Eq. 6: imitate only the black box's estimates.
+    Direct,
+    /// Eq. 7: imitate the black box *and* fit the true cardinalities.
+    Combined,
+}
+
+/// Parameters of surrogate training.
+#[derive(Clone, Debug)]
+pub struct SurrogateConfig {
+    /// Number of imitation queries.
+    pub train_queries: usize,
+    /// Supervision strategy.
+    pub strategy: ImitationStrategy,
+    /// Epochs of imitation training.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Model hyperparameters of the surrogate (the attacker's default set;
+    /// may differ from the hidden black-box hyperparameters).
+    pub ce_config: CeConfig,
+    /// Randomness seed.
+    pub seed: u64,
+}
+
+impl Default for SurrogateConfig {
+    fn default() -> Self {
+        Self {
+            train_queries: 800,
+            strategy: ImitationStrategy::Combined,
+            epochs: 40,
+            batch_size: 128,
+            lr: 1e-3,
+            ce_config: CeConfig::default(),
+            seed: 0x5a6e,
+        }
+    }
+}
+
+impl SurrogateConfig {
+    /// A faster configuration for tests.
+    pub fn quick() -> Self {
+        Self { train_queries: 600, epochs: 40, ce_config: CeConfig::quick(), ..Self::default() }
+    }
+}
+
+/// Trains a white-box surrogate of the speculated type against the black
+/// box's observable behavior (paper Eq. 6 / Eq. 7).
+pub fn train_surrogate(
+    bb: &dyn BlackBox,
+    k: &AttackerKnowledge,
+    ty: CeModelType,
+    cfg: &SurrogateConfig,
+) -> CeModel {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let queries =
+        generate_queries_schema_only(&k.encoder, &k.patterns, &k.spec, &mut rng, cfg.train_queries);
+    // Supervision: black-box estimates (normalized log) + true cardinalities.
+    let enc: Vec<Vec<f32>> = queries.iter().map(|q| k.encoder.encode(q)).collect();
+    let bb_norm: Vec<f32> = queries
+        .iter()
+        .map(|q| ((bb.explain(q).max(1.0).ln() as f32) / k.ln_max).clamp(0.0, 1.0))
+        .collect();
+    let ln_true: Vec<f32> = queries.iter().map(|q| (bb.count(q).max(1) as f32).ln()).collect();
+
+    let mut surrogate = CeModel::with_encoder(ty, k.encoder.clone(), k.ln_max, cfg.ce_config, cfg.seed);
+    let mut adam = Adam::new(cfg.lr);
+    let mut idx: Vec<usize> = (0..queries.len()).collect();
+    for _ in 0..cfg.epochs {
+        use rand::seq::SliceRandom;
+        idx.shuffle(&mut rng);
+        for chunk in idx.chunks(cfg.batch_size) {
+            let rows: Vec<Vec<f32>> = chunk.iter().map(|&i| enc[i].clone()).collect();
+            let bb_batch: Vec<f32> = chunk.iter().map(|&i| bb_norm[i]).collect();
+            let truth_batch: Vec<f32> = chunk.iter().map(|&i| ln_true[i]).collect();
+            let mut g = Graph::new();
+            let bind = surrogate.params().bind(&mut g);
+            let x = g.leaf(pace_ce::rows_to_matrix(&rows));
+            let out = surrogate.forward(&mut g, &bind, x);
+            let bb_leaf = g.leaf(Matrix::from_vec(bb_batch.len(), 1, bb_batch));
+            let imitate = q_error_between(&mut g, out, bb_leaf, k.ln_max);
+            let loss = match cfg.strategy {
+                ImitationStrategy::Direct => imitate,
+                ImitationStrategy::Combined => {
+                    let ground = q_error_loss(&mut g, out, &truth_batch, k.ln_max);
+                    g.add(imitate, ground)
+                }
+            };
+            let mut grads: Vec<Matrix> =
+                g.grad(loss, bind.vars()).iter().map(|&v| g.value(v).clone()).collect();
+            sanitize(&mut grads);
+            clip_global_norm(&mut grads, surrogate.config().clip_norm);
+            adam.step(surrogate.params_mut(), &grads);
+        }
+    }
+    surrogate
+}
+
+/// Mean Q-error between surrogate and black-box estimates on held-out probe
+/// queries — the imitation-fidelity measure reported in Section 7.4.
+pub fn imitation_error(
+    surrogate: &CeModel,
+    bb: &dyn BlackBox,
+    k: &AttackerKnowledge,
+    n_probes: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let probes = generate_queries_schema_only(&k.encoder, &k.patterns, &k.spec, &mut rng, n_probes);
+    let total: f64 = probes
+        .iter()
+        .map(|q| q_error(surrogate.estimate_query(q), bb.explain(q)))
+        .sum();
+    total / n_probes as f64
+}

@@ -1,0 +1,147 @@
+//! The victim database and the attacker's view of it (threat model,
+//! paper Section 2.2).
+//!
+//! The attacker can: obtain the schema (to craft legal queries), execute
+//! `COUNT(*)` SQL (true cardinalities), read `EXPLAIN` output (the black-box
+//! model's estimates, with wall-clock latency), and inject queries that the
+//! victim's CE model will incrementally train on. The attacker can *not* see
+//! the model type, parameters, data, or original training queries — the
+//! [`BlackBox`] trait exposes exactly the permitted surface.
+
+use pace_ce::{CeModel, EncodedWorkload};
+use pace_engine::Executor;
+use pace_workload::{LabeledQuery, Query, QueryEncoder, Workload};
+use std::time::Instant;
+
+/// The attacker-visible interface of a victim database.
+pub trait BlackBox {
+    /// `EXPLAIN`: the CE model's estimated cardinality.
+    fn explain(&self, q: &Query) -> f64;
+
+    /// `EXPLAIN` with measured inference latency in seconds.
+    fn explain_timed(&self, q: &Query) -> (f64, f64) {
+        let t0 = Instant::now();
+        let est = self.explain(q);
+        (est, t0.elapsed().as_secs_f64())
+    }
+
+    /// `SELECT COUNT(*)`: the true cardinality.
+    fn count(&self, q: &Query) -> u64;
+
+    /// Runs queries against the database; the CE model observes them (with
+    /// their true cardinalities) and updates itself incrementally.
+    fn run_queries(&mut self, queries: &[Query]);
+
+    /// A sample of the historical workload (used to train the anomaly
+    /// detector; the paper assumes the attacker "can obtain a set of
+    /// historical queries").
+    fn historical_sample(&self) -> &[Query];
+}
+
+/// A concrete victim: a trained CE model plus the live database it estimates
+/// for.
+pub struct Victim<'a> {
+    model: CeModel,
+    exec: Executor<'a>,
+    encoder: QueryEncoder,
+    history: Vec<Query>,
+    injected: Vec<LabeledQuery>,
+}
+
+impl<'a> Victim<'a> {
+    /// Wraps a trained model and its database. `history` is the workload the
+    /// model was trained on (its distribution is what poisoning queries must
+    /// blend into).
+    pub fn new(model: CeModel, exec: Executor<'a>, history: Vec<Query>) -> Self {
+        let encoder = model.encoder().clone();
+        Self { model, exec, encoder, history, injected: Vec::new() }
+    }
+
+    /// Read access to the model — for *evaluation only*, not available to the
+    /// attacker.
+    pub fn model(&self) -> &CeModel {
+        &self.model
+    }
+
+    /// Mutable access for evaluation-side snapshot/restore.
+    pub fn model_mut(&mut self) -> &mut CeModel {
+        &mut self.model
+    }
+
+    /// The executor (evaluation side).
+    pub fn executor(&self) -> &Executor<'a> {
+        &self.exec
+    }
+
+    /// Queries injected so far (evaluation side).
+    pub fn injected(&self) -> &[LabeledQuery] {
+        &self.injected
+    }
+
+    /// Labels and evaluates a test workload's Q-errors under the current
+    /// model state (evaluation side).
+    pub fn q_errors(&self, test: &Workload) -> Vec<f64> {
+        let data = EncodedWorkload::from_workload(&self.encoder, test);
+        self.model.evaluate(&data)
+    }
+}
+
+impl BlackBox for Victim<'_> {
+    fn explain(&self, q: &Query) -> f64 {
+        self.model.estimate_query(q)
+    }
+
+    fn count(&self, q: &Query) -> u64 {
+        self.exec.count(q)
+    }
+
+    fn run_queries(&mut self, queries: &[Query]) {
+        if queries.is_empty() {
+            return;
+        }
+        let labeled: Workload = queries
+            .iter()
+            .map(|q| LabeledQuery { query: q.clone(), cardinality: self.exec.count(q).max(1) })
+            .collect();
+        let data = EncodedWorkload::from_workload(&self.encoder, &labeled);
+        self.model.update(&data);
+        self.injected.extend(labeled);
+    }
+
+    fn historical_sample(&self) -> &[Query] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_ce::{CeConfig, CeModelType};
+    use pace_data::{build, DatasetKind, Scale};
+    use pace_workload::{generate_queries, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn victim_exposes_threat_model_surface() {
+        let ds = build(DatasetKind::Dmv, Scale::tiny(), 1);
+        let exec = Executor::new(&ds);
+        let mut rng = StdRng::seed_from_u64(2);
+        let history = generate_queries(&ds, &WorkloadSpec::single_table(), &mut rng, 20);
+        let model = CeModel::new(CeModelType::Linear, &ds, CeConfig::quick(), 3);
+        let mut victim = Victim::new(model, Executor::new(&ds), history.clone());
+
+        let q = &history[0];
+        let est = victim.explain(q);
+        assert!(est >= 1.0);
+        let truth = victim.count(q);
+        assert_eq!(truth, exec.count(q));
+        let (est2, latency) = victim.explain_timed(q);
+        assert_eq!(est, est2);
+        assert!(latency >= 0.0);
+        assert_eq!(victim.historical_sample().len(), 20);
+
+        victim.run_queries(&history[..5.min(history.len())]);
+        assert_eq!(victim.injected().len(), 5);
+    }
+}

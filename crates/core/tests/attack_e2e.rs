@@ -1,0 +1,205 @@
+//! End-to-end attack behavior: PACE must degrade a trained victim, and must
+//! degrade it more than naive baselines.
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_core::{
+    run_attack, train_surrogate, AttackMethod, AttackerKnowledge, PipelineConfig, SurrogateConfig,
+    Victim,
+};
+use pace_data::{build, Dataset, DatasetKind, Scale};
+use pace_engine::Executor;
+use pace_workload::{generate_queries, QueryEncoder, Workload, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Setup {
+    ds: Dataset,
+    history: Vec<pace_workload::Query>,
+    test: Workload,
+}
+
+fn setup(kind: DatasetKind, seed: u64) -> Setup {
+    let ds = build(kind, Scale::tiny(), seed);
+    let exec = Executor::new(&ds);
+    let mut rng = StdRng::seed_from_u64(seed + 100);
+    let spec = if kind == DatasetKind::Dmv {
+        WorkloadSpec::single_table()
+    } else {
+        WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() }
+    };
+    let history = generate_queries(&ds, &spec, &mut rng, 400);
+    let test_queries = generate_queries(&ds, &spec, &mut rng, 80);
+    let test = exec.label_nonzero(test_queries);
+    Setup { ds, history, test }
+}
+
+fn trained_victim<'a>(s: &'a Setup, ty: CeModelType, seed: u64) -> Victim<'a> {
+    let exec = Executor::new(&s.ds);
+    let labeled = exec.label_nonzero(s.history.clone());
+    let data = EncodedWorkload::from_workload(&QueryEncoder::new(&s.ds), &labeled);
+    let mut model = CeModel::new(ty, &s.ds, CeConfig::quick(), seed);
+    let mut rng = StdRng::seed_from_u64(seed + 7);
+    model.train(&data, &mut rng);
+    Victim::new(model, Executor::new(&s.ds), s.history.clone())
+}
+
+fn quick_pipeline(ty: CeModelType) -> PipelineConfig {
+    PipelineConfig { surrogate_type: Some(ty), ..PipelineConfig::quick() }
+}
+
+#[test]
+fn pace_degrades_fcn_victim_on_dmv() {
+    let s = setup(DatasetKind::Dmv, 1);
+    let k = AttackerKnowledge::from_public(&s.ds, WorkloadSpec::single_table());
+    let mut victim = trained_victim(&s, CeModelType::Fcn, 3);
+    let outcome = run_attack(
+        &mut victim,
+        AttackMethod::Pace,
+        &s.test,
+        &k,
+        &quick_pipeline(CeModelType::Fcn),
+    );
+    assert!(
+        outcome.poisoned.mean > outcome.clean.mean * 1.5,
+        "PACE failed to degrade the victim: clean {} -> poisoned {}",
+        outcome.clean.mean,
+        outcome.poisoned.mean
+    );
+    assert_eq!(outcome.poison.len(), outcome.poison.iter().filter(|q| q.is_valid(&s.ds.schema)).count());
+}
+
+#[test]
+fn pace_beats_random_baseline() {
+    let s = setup(DatasetKind::Dmv, 2);
+    let k = AttackerKnowledge::from_public(&s.ds, WorkloadSpec::single_table());
+    let cfg = quick_pipeline(CeModelType::Fcn);
+
+    let mut victim_rand = trained_victim(&s, CeModelType::Fcn, 5);
+    let random = run_attack(&mut victim_rand, AttackMethod::Random, &s.test, &k, &cfg);
+
+    let mut victim_pace = trained_victim(&s, CeModelType::Fcn, 5);
+    let pace = run_attack(&mut victim_pace, AttackMethod::Pace, &s.test, &k, &cfg);
+
+    assert!(
+        pace.poisoned.mean > random.poisoned.mean,
+        "PACE ({}) should beat Random ({})",
+        pace.poisoned.mean,
+        random.poisoned.mean
+    );
+}
+
+#[test]
+fn attack_works_on_a_join_dataset() {
+    let s = setup(DatasetKind::Tpch, 3);
+    let spec = WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() };
+    let k = AttackerKnowledge::from_public(&s.ds, spec);
+    let mut victim = trained_victim(&s, CeModelType::Mscn, 7);
+    let outcome = run_attack(
+        &mut victim,
+        AttackMethod::Pace,
+        &s.test,
+        &k,
+        &quick_pipeline(CeModelType::Mscn),
+    );
+    assert!(
+        outcome.poisoned.mean > outcome.clean.mean,
+        "clean {} -> poisoned {}",
+        outcome.clean.mean,
+        outcome.poisoned.mean
+    );
+}
+
+#[test]
+fn surrogate_imitates_black_box_better_than_untrained() {
+    let s = setup(DatasetKind::Dmv, 4);
+    let k = AttackerKnowledge::from_public(&s.ds, WorkloadSpec::single_table());
+    let victim = trained_victim(&s, CeModelType::Fcn, 9);
+    // Direct imitation is the right fidelity probe: the combined loss (Eq. 7)
+    // trades some on-distribution imitation for generalization.
+    let cfg = SurrogateConfig {
+        strategy: pace_core::ImitationStrategy::Direct,
+        ..SurrogateConfig::quick()
+    };
+    let surrogate = train_surrogate(&victim, &k, CeModelType::Fcn, &cfg);
+    let untrained = CeModel::with_encoder(
+        CeModelType::Fcn,
+        k.encoder.clone(),
+        k.ln_max,
+        CeConfig::quick(),
+        999,
+    );
+    let err_trained = pace_core::imitation_error(&surrogate, &victim, &k, 100, 11);
+    let err_untrained = pace_core::imitation_error(&untrained, &victim, &k, 100, 11);
+    assert!(
+        err_trained < err_untrained,
+        "imitation failed: trained {err_trained} vs untrained {err_untrained}"
+    );
+}
+
+#[test]
+fn speculation_identifies_extreme_architectures() {
+    // Linear is the most behaviorally distinctive candidate (fastest
+    // inference, weakest fit), so even a down-scaled speculation run must
+    // identify it. (Full per-type accuracy is measured by the table6
+    // experiment binary.)
+    let s = setup(DatasetKind::Tpch, 21);
+    let k = AttackerKnowledge::from_public(
+        &s.ds,
+        WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() },
+    );
+    let victim = trained_victim(&s, CeModelType::Linear, 22);
+    let cfg = pace_core::SpeculationConfig {
+        candidate_train_queries: 120,
+        probes_per_group: 6,
+        ..pace_core::SpeculationConfig::quick()
+    };
+    let result = pace_core::speculate_model_type(&victim, &k, &cfg);
+    assert_eq!(result.speculated, CeModelType::Linear, "{:?}", result.similarities);
+    // Six candidates scored, all finite.
+    assert_eq!(result.similarities.len(), 6);
+    assert!(result.similarities.iter().all(|(_, s)| s.is_finite()));
+}
+
+#[test]
+fn detector_confrontation_lowers_divergence() {
+    let s = setup(DatasetKind::Dmv, 6);
+    let k = AttackerKnowledge::from_public(&s.ds, WorkloadSpec::single_table());
+    let cfg = quick_pipeline(CeModelType::Fcn);
+
+    let mut victim_with = trained_victim(&s, CeModelType::Fcn, 13);
+    let with_det = run_attack(&mut victim_with, AttackMethod::Pace, &s.test, &k, &cfg);
+
+    let mut victim_without = trained_victim(&s, CeModelType::Fcn, 13);
+    let without_det =
+        run_attack(&mut victim_without, AttackMethod::PaceNoDetector, &s.test, &k, &cfg);
+
+    assert!(
+        with_det.divergence <= without_det.divergence * 1.15,
+        "detector confrontation failed to keep divergence in check: with {} vs without {}",
+        with_det.divergence,
+        without_det.divergence
+    );
+}
+
+#[test]
+fn objective_curve_trends_upward() {
+    let s = setup(DatasetKind::Dmv, 8);
+    let k = AttackerKnowledge::from_public(&s.ds, WorkloadSpec::single_table());
+    let mut victim = trained_victim(&s, CeModelType::Fcn, 17);
+    let outcome = run_attack(
+        &mut victim,
+        AttackMethod::Pace,
+        &s.test,
+        &k,
+        &quick_pipeline(CeModelType::Fcn),
+    );
+    let curve = &outcome.objective_curve;
+    assert!(!curve.is_empty());
+    let head: f32 = curve[..3.min(curve.len())].iter().sum::<f32>() / 3.0f32.min(curve.len() as f32);
+    let tail: f32 =
+        curve[curve.len().saturating_sub(3)..].iter().sum::<f32>() / 3.0f32.min(curve.len() as f32);
+    assert!(
+        tail > head * 0.8,
+        "objective collapsed during training: head {head}, tail {tail} ({curve:?})"
+    );
+}

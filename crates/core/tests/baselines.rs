@@ -1,0 +1,91 @@
+//! Behavior of the four baseline poisoning strategies.
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_core::attack::{greedy_poison, loss_based_selection, random_poison, train_lbg};
+use pace_core::{AttackConfig, AttackerKnowledge};
+use pace_data::{build, DatasetKind, Scale};
+use pace_engine::Executor;
+use pace_workload::{generate_queries, q_error, Query, QueryEncoder, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (pace_data::Dataset, AttackerKnowledge, CeModel) {
+    let ds = build(DatasetKind::Tpch, Scale::tiny(), 41);
+    let spec = WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() };
+    let k = AttackerKnowledge::from_public(&ds, spec.clone());
+    let exec = Executor::new(&ds);
+    let mut rng = StdRng::seed_from_u64(42);
+    let train = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 400));
+    let mut surrogate = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 43);
+    surrogate.train(&EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &train), &mut rng);
+    (ds, k, surrogate)
+}
+
+#[test]
+fn random_poison_is_valid_and_sized() {
+    let (ds, k, _) = setup();
+    let mut rng = StdRng::seed_from_u64(44);
+    let qs = random_poison(&k, &mut rng, 37);
+    assert_eq!(qs.len(), 37);
+    assert!(qs.iter().all(|q| q.is_valid(&ds.schema)));
+}
+
+#[test]
+fn loss_based_selection_picks_high_loss_queries() {
+    let (ds, k, surrogate) = setup();
+    let exec = Executor::new(&ds);
+    let mut rng = StdRng::seed_from_u64(45);
+    let mut count = |q: &Query| exec.count(q);
+    let selected = loss_based_selection(&surrogate, &mut count, &k, &mut rng, 20);
+    assert_eq!(selected.len(), 20);
+
+    // Selected queries must have higher mean inference loss than a random
+    // sample of the same size.
+    let mean_loss = |qs: &[Query]| -> f64 {
+        qs.iter()
+            .map(|q| q_error(surrogate.estimate_query(q), exec.count(q).max(1) as f64))
+            .sum::<f64>()
+            / qs.len() as f64
+    };
+    let random = random_poison(&k, &mut rng, 20);
+    assert!(
+        mean_loss(&selected) > mean_loss(&random),
+        "selection did not beat random: {} vs {}",
+        mean_loss(&selected),
+        mean_loss(&random)
+    );
+}
+
+#[test]
+fn greedy_poison_builds_valid_multi_predicate_queries() {
+    let (ds, k, surrogate) = setup();
+    let exec = Executor::new(&ds);
+    let mut rng = StdRng::seed_from_u64(46);
+    let mut count = |q: &Query| exec.count(q);
+    let qs = greedy_poison(&surrogate, &mut count, &k, &mut rng, 10);
+    assert_eq!(qs.len(), 10);
+    assert!(qs.iter().all(|q| q.is_valid(&ds.schema)));
+    // Greedy adds one condition per eligible attribute (up to the budget).
+    assert!(qs.iter().any(|q| !q.predicates.is_empty()));
+}
+
+#[test]
+fn lbg_training_increases_generated_inference_loss() {
+    let (ds, k, surrogate) = setup();
+    let exec = Executor::new(&ds);
+    let mut count = |q: &Query| exec.count(q);
+    let cfg = AttackConfig { iters: 15, batch: 32, ..AttackConfig::quick() };
+    let artifacts = train_lbg(&surrogate, &mut count, &k, &cfg);
+    let curve = &artifacts.objective_curve;
+    assert_eq!(curve.len(), 15);
+    let head = curve[..3].iter().sum::<f32>() / 3.0;
+    let tail = curve[curve.len() - 3..].iter().sum::<f32>() / 3.0;
+    assert!(
+        tail > head,
+        "Lb-G objective (inference loss of generated queries) did not rise: {head} -> {tail}"
+    );
+    // Its generator still emits valid queries.
+    let mut rng = StdRng::seed_from_u64(47);
+    let (qs, _) = artifacts.generator.generate(&mut rng, 25);
+    assert!(qs.iter().all(|q| q.is_valid(&ds.schema)));
+}

@@ -1,0 +1,164 @@
+//! A materialized dataset: schema + tables + per-attribute statistics.
+
+use crate::schema::Schema;
+use crate::table::Table;
+use rand::Rng;
+
+/// Min/max statistics of one column, used to normalize predicate bounds into
+/// `[0, 1]` for query encodings.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ColStats {
+    /// Minimum value present (0 for empty columns).
+    pub min: i64,
+    /// Maximum value present (0 for empty columns).
+    pub max: i64,
+}
+
+impl ColStats {
+    /// Maps a value into `[0, 1]` relative to the column domain.
+    pub fn normalize(&self, v: i64) -> f64 {
+        if self.max == self.min {
+            return 0.5;
+        }
+        ((v - self.min) as f64 / (self.max - self.min) as f64).clamp(0.0, 1.0)
+    }
+
+    /// Maps a normalized `[0, 1]` position back to a domain value.
+    pub fn denormalize(&self, x: f64) -> i64 {
+        let x = x.clamp(0.0, 1.0);
+        self.min + (x * (self.max - self.min) as f64).round() as i64
+    }
+
+    /// Domain width (`max - min`).
+    pub fn width(&self) -> i64 {
+        self.max - self.min
+    }
+}
+
+/// A complete synthetic database instance.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// The schema the tables instantiate.
+    pub schema: Schema,
+    /// Tables, parallel to `schema.tables`.
+    pub tables: Vec<Table>,
+    /// `stats[t][c]` for every table/column.
+    pub stats: Vec<Vec<ColStats>>,
+}
+
+impl Dataset {
+    /// Bundles tables with a schema and computes column statistics.
+    ///
+    /// # Panics
+    /// Panics when table count or column counts disagree with the schema.
+    pub fn new(schema: Schema, tables: Vec<Table>) -> Self {
+        assert_eq!(schema.tables.len(), tables.len(), "table count mismatch");
+        for (def, t) in schema.tables.iter().zip(&tables) {
+            assert_eq!(
+                def.columns.len(),
+                t.num_cols(),
+                "column count mismatch in table {}",
+                def.name
+            );
+        }
+        let stats = tables
+            .iter()
+            .map(|t| {
+                (0..t.num_cols())
+                    .map(|c| {
+                        let (min, max) = t.col_min_max(c);
+                        ColStats { min, max }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { schema, tables, stats }
+    }
+
+    /// Statistics of one column.
+    pub fn col_stats(&self, table: usize, col: usize) -> ColStats {
+        self.stats[table][col]
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::num_rows).sum()
+    }
+
+    /// Upper bound on any join cardinality: the product of table sizes of the
+    /// largest join pattern. Used to normalize log-cardinalities into (0, 1).
+    pub fn max_cardinality_bound(&self) -> f64 {
+        // Product over all tables is a loose but sufficient bound; taken in
+        // log space to avoid overflow.
+        let ln: f64 = self
+            .tables
+            .iter()
+            .map(|t| (t.num_rows().max(2) as f64).ln())
+            .sum();
+        ln.exp().min(f64::MAX / 4.0)
+    }
+
+    /// Natural log of [`Dataset::max_cardinality_bound`].
+    pub fn ln_max_cardinality(&self) -> f64 {
+        self.tables.iter().map(|t| (t.num_rows().max(2) as f64).ln()).sum()
+    }
+
+    /// Samples one existing row of `table` and returns the value of column
+    /// `col`; used to center generated predicates on populated regions.
+    pub fn sample_value(&self, rng: &mut impl Rng, table: usize, col: usize) -> i64 {
+        let t = &self.tables[table];
+        if t.num_rows() == 0 {
+            return 0;
+        }
+        t.get(rng.random_range(0..t.num_rows()), col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{table, JoinEdge};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(
+            "t",
+            vec![table("a", &["id"], &[], &["x"]), table("b", &["id"], &["a_id"], &["y"])],
+            vec![JoinEdge { left: (0, 0), right: (1, 1) }],
+        );
+        let ta = Table::from_columns(vec![vec![0, 1, 2], vec![10, 20, 30]]);
+        let tb = Table::from_columns(vec![vec![0, 1], vec![0, 2], vec![5, 15]]);
+        Dataset::new(schema, vec![ta, tb])
+    }
+
+    #[test]
+    fn stats_computed() {
+        let d = dataset();
+        assert_eq!(d.col_stats(0, 1), ColStats { min: 10, max: 30 });
+        assert_eq!(d.col_stats(1, 2), ColStats { min: 5, max: 15 });
+        assert_eq!(d.total_rows(), 5);
+    }
+
+    #[test]
+    fn normalize_roundtrip() {
+        let s = ColStats { min: 10, max: 30 };
+        assert_eq!(s.normalize(10), 0.0);
+        assert_eq!(s.normalize(30), 1.0);
+        assert_eq!(s.normalize(20), 0.5);
+        assert_eq!(s.denormalize(0.5), 20);
+        assert_eq!(s.denormalize(-1.0), 10);
+    }
+
+    #[test]
+    fn degenerate_column_normalizes_to_half() {
+        let s = ColStats { min: 7, max: 7 };
+        assert_eq!(s.normalize(7), 0.5);
+        assert_eq!(s.denormalize(0.9), 7);
+    }
+
+    #[test]
+    fn ln_max_cardinality_positive() {
+        let d = dataset();
+        assert!(d.ln_max_cardinality() > 0.0);
+        assert!((d.ln_max_cardinality() - (3.0f64.ln() + 2.0f64.ln())).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,696 @@
+//! Synthetic builders for the paper's four evaluation datasets.
+//!
+//! Each builder reproduces the real dataset's *shape* — table count, join
+//! graph, attribute counts — while generating values from seeded skewed and
+//! correlated distributions (see `distr`). Scale is configurable: the
+//! experiments run at a laptop-friendly fraction of the real row counts, which
+//! preserves the attack's comparative behaviour (DESIGN.md, substitutions).
+//!
+//! Join-graph fidelity notes:
+//! * IMDB: the 21-table JOB schema, arranged as the natural PK–FK tree around
+//!   `title` and `name`.
+//! * TPC-H: 8 tables; the `supplier–nation` and `partsupp–supplier` edges are
+//!   dropped (cycle-breaking) so the graph is the tree
+//!   `region–nation–customer–orders–lineitem–{supplier, part–partsupp}`.
+//! * STATS: 8 tables of the Stack Exchange dump, tree-shaped around `posts`.
+
+use crate::dataset::Dataset;
+use crate::distr::{correlated, gaussian_mixture, uniform_ints, zipf_indices, MixtureComponent};
+use crate::schema::{table, JoinEdge, Schema};
+use crate::table::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Row-count scaling for dataset builders.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scale {
+    /// Base row count of the central fact table; other tables derive from it.
+    pub fact_rows: usize,
+}
+
+impl Scale {
+    /// Small datasets for fast tests and CI (`fact_rows = 400`).
+    pub fn quick() -> Self {
+        Self { fact_rows: 400 }
+    }
+
+    /// The default experiment scale (`fact_rows = 2000`).
+    pub fn experiment() -> Self {
+        Self { fact_rows: 2000 }
+    }
+
+    /// Tiny datasets for property tests (`fact_rows = 60`).
+    pub fn tiny() -> Self {
+        Self { fact_rows: 60 }
+    }
+}
+
+/// The four evaluation datasets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum DatasetKind {
+    /// Single-table vehicle registrations (real-world skew, 11 attributes).
+    Dmv,
+    /// 21-table movie database (JOB).
+    Imdb,
+    /// 8-table decision-support benchmark.
+    Tpch,
+    /// 8-table Stack Exchange dump (STATS-CEB).
+    Stats,
+}
+
+impl DatasetKind {
+    /// All four kinds, in the paper's presentation order.
+    pub fn all() -> [DatasetKind; 4] {
+        [DatasetKind::Dmv, DatasetKind::Imdb, DatasetKind::Tpch, DatasetKind::Stats]
+    }
+
+    /// Lowercase display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Dmv => "dmv",
+            DatasetKind::Imdb => "imdb",
+            DatasetKind::Tpch => "tpch",
+            DatasetKind::Stats => "stats",
+        }
+    }
+}
+
+/// Builds the requested dataset at the given scale, deterministically in
+/// `seed`.
+pub fn build(kind: DatasetKind, scale: Scale, seed: u64) -> Dataset {
+    match kind {
+        DatasetKind::Dmv => dmv(scale, seed),
+        DatasetKind::Imdb => imdb(scale, seed),
+        DatasetKind::Tpch => tpch(scale, seed),
+        DatasetKind::Stats => stats(scale, seed),
+    }
+}
+
+fn ids(n: usize) -> Vec<i64> {
+    (0..n as i64).collect()
+}
+
+/// Foreign-key column over `parent_rows` ids with Zipf skew `s`.
+fn fk(rng: &mut StdRng, parent_rows: usize, rows: usize, s: f64) -> Vec<i64> {
+    zipf_indices(rng, parent_rows.max(1), rows, s).into_iter().map(|x| x as i64).collect()
+}
+
+/// DMV: one table, 11 dictionary-encoded attributes with heavy skew and
+/// several correlated pairs (body type ↔ registration class, revocation ↔
+/// suspension).
+pub fn dmv(scale: Scale, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd31);
+    let n = scale.fact_rows * 10; // single-table dataset: use more rows
+    let record_type: Vec<i64> =
+        zipf_indices(&mut rng, 5, n, 1.4).into_iter().map(|x| x as i64).collect();
+    let reg_class: Vec<i64> =
+        zipf_indices(&mut rng, 60, n, 1.1).into_iter().map(|x| x as i64).collect();
+    let state: Vec<i64> = zipf_indices(&mut rng, 51, n, 2.0).into_iter().map(|x| x as i64).collect();
+    let county: Vec<i64> =
+        zipf_indices(&mut rng, 62, n, 0.8).into_iter().map(|x| x as i64).collect();
+    let body_type = correlated(&mut rng, &reg_class, 0.5, 0.0, 3.0, 0, 30);
+    let fuel_type = correlated(&mut rng, &body_type, 0.2, 1.0, 1.0, 0, 8);
+    let reg_year = gaussian_mixture(
+        &mut rng,
+        &[
+            MixtureComponent { mean: 2018.0, std: 3.0, weight: 3.0 },
+            MixtureComponent { mean: 2005.0, std: 6.0, weight: 1.0 },
+        ],
+        1970,
+        2023,
+        n,
+    );
+    let color: Vec<i64> = zipf_indices(&mut rng, 20, n, 1.0).into_iter().map(|x| x as i64).collect();
+    let scofflaw: Vec<i64> =
+        zipf_indices(&mut rng, 2, n, 2.5).into_iter().map(|x| x as i64).collect();
+    let suspension: Vec<i64> =
+        zipf_indices(&mut rng, 2, n, 2.2).into_iter().map(|x| x as i64).collect();
+    let revocation = correlated(&mut rng, &suspension, 0.8, 0.0, 0.2, 0, 1);
+
+    let schema = Schema::new(
+        "dmv",
+        vec![table(
+            "vehicles",
+            &["id"],
+            &[],
+            &[
+                "record_type",
+                "reg_class",
+                "state",
+                "county",
+                "body_type",
+                "fuel_type",
+                "reg_year",
+                "color",
+                "scofflaw",
+                "suspension",
+                "revocation",
+            ],
+        )],
+        vec![],
+    );
+    let t = Table::from_columns(vec![
+        ids(n),
+        record_type,
+        reg_class,
+        state,
+        county,
+        body_type,
+        fuel_type,
+        reg_year,
+        color,
+        scofflaw,
+        suspension,
+        revocation,
+    ]);
+    Dataset::new(schema, vec![t])
+}
+
+/// IMDB: the 21-table JOB schema as a PK–FK tree.
+pub fn imdb(scale: Scale, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1bdb);
+    let n = scale.fact_rows;
+    // Dimension sizes.
+    let n_kind = 7;
+    let n_ctype = 4;
+    let n_itype = 20;
+    let n_role = 12;
+    let n_cctype = 4;
+    let n_ltype = 18;
+    let n_company = (n / 10).max(8);
+    let n_keyword = (n / 5).max(10);
+    let n_name = n * 2;
+    let n_char = n;
+
+    let schema = Schema::new(
+        "imdb",
+        vec![
+            table("title", &["id"], &["kind_id"], &["production_year", "imdb_index"]), // 0
+            table("kind_type", &["id"], &[], &["kind"]),                               // 1
+            table("movie_companies", &["id"], &["movie_id", "company_id", "company_type_id"], &["note"]), // 2
+            table("company_name", &["id"], &[], &["country_code"]),                    // 3
+            table("company_type", &["id"], &[], &["kind"]),                            // 4
+            table("movie_info", &["id"], &["movie_id", "info_type_id"], &["info"]),    // 5
+            table("info_type", &["id"], &[], &["code"]),                               // 6
+            table("movie_info_idx", &["id"], &["movie_id"], &["info_val"]),            // 7
+            table("movie_keyword", &["id"], &["movie_id", "keyword_id"], &[]),         // 8
+            table("keyword", &["id"], &[], &["phonetic"]),                             // 9
+            table("cast_info", &["id"], &["movie_id", "person_id", "role_id", "person_role_id"], &["nr_order"]), // 10
+            table("name", &["id"], &[], &["gender"]),                                  // 11
+            table("role_type", &["id"], &[], &["role"]),                               // 12
+            table("char_name", &["id"], &[], &["name_pcode"]),                         // 13
+            table("complete_cast", &["id"], &["movie_id", "subject_id"], &[]),         // 14
+            table("comp_cast_type", &["id"], &[], &["kind"]),                          // 15
+            table("aka_title", &["id"], &["movie_id"], &["year"]),                     // 16
+            table("movie_link", &["id"], &["movie_id", "link_type_id"], &[]),          // 17
+            table("link_type", &["id"], &[], &["link"]),                               // 18
+            table("aka_name", &["id"], &["person_id"], &["pcode"]),                    // 19
+            table("person_info", &["id"], &["person_id"], &["note"]),                  // 20
+        ],
+        vec![
+            JoinEdge { left: (0, 1), right: (1, 0) },   // title.kind_id = kind_type.id
+            JoinEdge { left: (2, 1), right: (0, 0) },   // movie_companies.movie_id = title.id
+            JoinEdge { left: (2, 2), right: (3, 0) },   // movie_companies.company_id = company_name.id
+            JoinEdge { left: (2, 3), right: (4, 0) },   // movie_companies.company_type_id = company_type.id
+            JoinEdge { left: (5, 1), right: (0, 0) },   // movie_info.movie_id = title.id
+            JoinEdge { left: (5, 2), right: (6, 0) },   // movie_info.info_type_id = info_type.id
+            JoinEdge { left: (7, 1), right: (0, 0) },   // movie_info_idx.movie_id = title.id
+            JoinEdge { left: (8, 1), right: (0, 0) },   // movie_keyword.movie_id = title.id
+            JoinEdge { left: (8, 2), right: (9, 0) },   // movie_keyword.keyword_id = keyword.id
+            JoinEdge { left: (10, 1), right: (0, 0) },  // cast_info.movie_id = title.id
+            JoinEdge { left: (10, 2), right: (11, 0) }, // cast_info.person_id = name.id
+            JoinEdge { left: (10, 3), right: (12, 0) }, // cast_info.role_id = role_type.id
+            JoinEdge { left: (10, 4), right: (13, 0) }, // cast_info.person_role_id = char_name.id
+            JoinEdge { left: (14, 1), right: (0, 0) },  // complete_cast.movie_id = title.id
+            JoinEdge { left: (14, 2), right: (15, 0) }, // complete_cast.subject_id = comp_cast_type.id
+            JoinEdge { left: (16, 1), right: (0, 0) },  // aka_title.movie_id = title.id
+            JoinEdge { left: (17, 1), right: (0, 0) },  // movie_link.movie_id = title.id
+            JoinEdge { left: (17, 2), right: (18, 0) }, // movie_link.link_type_id = link_type.id
+            JoinEdge { left: (19, 1), right: (11, 0) }, // aka_name.person_id = name.id
+            JoinEdge { left: (20, 1), right: (11, 0) }, // person_info.person_id = name.id
+        ],
+    );
+
+    let prod_year = gaussian_mixture(
+        &mut rng,
+        &[
+            MixtureComponent { mean: 2010.0, std: 8.0, weight: 3.0 },
+            MixtureComponent { mean: 1975.0, std: 15.0, weight: 1.0 },
+        ],
+        1900,
+        2023,
+        n,
+    );
+    let title = Table::from_columns(vec![
+        ids(n),
+        fk(&mut rng, n_kind, n, 1.3),
+        prod_year,
+        uniform_ints(&mut rng, 0, 25, n),
+    ]);
+    let kind_type = Table::from_columns(vec![ids(n_kind), ids(n_kind)]);
+
+    let mc_rows = n * 2;
+    let mc_movie = fk(&mut rng, n, mc_rows, 0.8);
+    let mc_note = correlated(&mut rng, &mc_movie, 0.01, 0.0, 2.0, 0, 50);
+    let movie_companies = Table::from_columns(vec![
+        ids(mc_rows),
+        mc_movie,
+        fk(&mut rng, n_company, mc_rows, 1.1),
+        fk(&mut rng, n_ctype, mc_rows, 1.0),
+        mc_note,
+    ]);
+    let company_name =
+        Table::from_columns(vec![ids(n_company), uniform_ints(&mut rng, 0, 80, n_company)]);
+    let company_type = Table::from_columns(vec![ids(n_ctype), ids(n_ctype)]);
+
+    let mi_rows = n * 3;
+    let mi_movie = fk(&mut rng, n, mi_rows, 0.7);
+    let mi_info = correlated(&mut rng, &mi_movie, 0.05, 10.0, 20.0, 0, 500);
+    let movie_info = Table::from_columns(vec![
+        ids(mi_rows),
+        mi_movie,
+        fk(&mut rng, n_itype, mi_rows, 1.2),
+        mi_info,
+    ]);
+    let info_type = Table::from_columns(vec![ids(n_itype), ids(n_itype)]);
+
+    let mii_rows = n;
+    let mii_movie = fk(&mut rng, n, mii_rows, 0.5);
+    let mii_val = gaussian_mixture(
+        &mut rng,
+        &[
+            MixtureComponent { mean: 60.0, std: 15.0, weight: 2.0 },
+            MixtureComponent { mean: 300.0, std: 60.0, weight: 1.0 },
+        ],
+        0,
+        1000,
+        mii_rows,
+    );
+    let movie_info_idx = Table::from_columns(vec![ids(mii_rows), mii_movie, mii_val]);
+
+    let mk_rows = n * 2;
+    let movie_keyword = Table::from_columns(vec![
+        ids(mk_rows),
+        fk(&mut rng, n, mk_rows, 0.9),
+        fk(&mut rng, n_keyword, mk_rows, 1.3),
+    ]);
+    let keyword = Table::from_columns(vec![ids(n_keyword), uniform_ints(&mut rng, 0, 99, n_keyword)]);
+
+    let ci_rows = n * 5;
+    let ci_movie = fk(&mut rng, n, ci_rows, 0.6);
+    let ci_order = correlated(&mut rng, &ci_movie, 0.0, 10.0, 8.0, 0, 100);
+    let cast_info = Table::from_columns(vec![
+        ids(ci_rows),
+        ci_movie,
+        fk(&mut rng, n_name, ci_rows, 1.0),
+        fk(&mut rng, n_role, ci_rows, 1.5),
+        fk(&mut rng, n_char, ci_rows, 1.0),
+        ci_order,
+    ]);
+    let name =
+        Table::from_columns(vec![ids(n_name), zipf_to_i64(&mut rng, 3, n_name, 0.7)]);
+    let role_type = Table::from_columns(vec![ids(n_role), ids(n_role)]);
+    let char_name =
+        Table::from_columns(vec![ids(n_char), uniform_ints(&mut rng, 0, 25, n_char)]);
+
+    let cc_rows = n / 2;
+    let complete_cast = Table::from_columns(vec![
+        ids(cc_rows),
+        fk(&mut rng, n, cc_rows, 0.4),
+        fk(&mut rng, n_cctype, cc_rows, 1.0),
+    ]);
+    let comp_cast_type = Table::from_columns(vec![ids(n_cctype), ids(n_cctype)]);
+
+    let at_rows = (n / 3).max(4);
+    let aka_title = Table::from_columns(vec![
+        ids(at_rows),
+        fk(&mut rng, n, at_rows, 1.0),
+        uniform_ints(&mut rng, 1950, 2023, at_rows),
+    ]);
+
+    let ml_rows = (n / 4).max(4);
+    let movie_link = Table::from_columns(vec![
+        ids(ml_rows),
+        fk(&mut rng, n, ml_rows, 1.2),
+        fk(&mut rng, n_ltype, ml_rows, 1.0),
+    ]);
+    let link_type = Table::from_columns(vec![ids(n_ltype), ids(n_ltype)]);
+
+    let an_rows = n;
+    let aka_name = Table::from_columns(vec![
+        ids(an_rows),
+        fk(&mut rng, n_name, an_rows, 1.1),
+        uniform_ints(&mut rng, 0, 25, an_rows),
+    ]);
+    let pi_rows = n * 2;
+    let pi_person = fk(&mut rng, n_name, pi_rows, 0.8);
+    let pi_note = correlated(&mut rng, &pi_person, 0.02, 0.0, 5.0, 0, 120);
+    let person_info = Table::from_columns(vec![ids(pi_rows), pi_person, pi_note]);
+
+    Dataset::new(
+        schema,
+        vec![
+            title,
+            kind_type,
+            movie_companies,
+            company_name,
+            company_type,
+            movie_info,
+            info_type,
+            movie_info_idx,
+            movie_keyword,
+            keyword,
+            cast_info,
+            name,
+            role_type,
+            char_name,
+            complete_cast,
+            comp_cast_type,
+            aka_title,
+            movie_link,
+            link_type,
+            aka_name,
+            person_info,
+        ],
+    )
+}
+
+fn zipf_to_i64(rng: &mut StdRng, n: usize, count: usize, s: f64) -> Vec<i64> {
+    zipf_indices(rng, n, count, s).into_iter().map(|x| x as i64).collect()
+}
+
+/// TPC-H: 8 tables, cycle-broken into the tree documented at module level.
+pub fn tpch(scale: Scale, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x79c4);
+    let n = scale.fact_rows; // customer count
+    let n_region = 5;
+    let n_nation = 25;
+    let n_cust = n;
+    let n_orders = n * 2;
+    let n_line = n * 8;
+    let n_supp = (n / 10).max(5);
+    let n_part = (n / 2).max(10);
+    let n_psupp = n;
+
+    let schema = Schema::new(
+        "tpch",
+        vec![
+            table("region", &["r_regionkey"], &[], &["r_size"]),                                  // 0
+            table("nation", &["n_nationkey"], &["n_regionkey"], &["n_zone"]),                     // 1
+            table("customer", &["c_custkey"], &["c_nationkey"], &["c_acctbal", "c_mktsegment"]),  // 2
+            table("orders", &["o_orderkey"], &["o_custkey"], &["o_totalprice", "o_orderdate", "o_orderstatus"]), // 3
+            table(
+                "lineitem",
+                &["l_linekey"],
+                &["l_orderkey", "l_suppkey", "l_partkey"],
+                &["l_quantity", "l_extendedprice", "l_discount", "l_shipdate"],
+            ), // 4
+            table("supplier", &["s_suppkey"], &[], &["s_acctbal"]),                               // 5
+            table("part", &["p_partkey"], &[], &["p_size", "p_retailprice"]),                     // 6
+            table("partsupp", &["ps_key"], &["ps_partkey"], &["ps_availqty", "ps_supplycost"]),   // 7
+        ],
+        vec![
+            JoinEdge { left: (1, 1), right: (0, 0) }, // nation.regionkey = region.regionkey
+            JoinEdge { left: (2, 1), right: (1, 0) }, // customer.nationkey = nation.nationkey
+            JoinEdge { left: (3, 1), right: (2, 0) }, // orders.custkey = customer.custkey
+            JoinEdge { left: (4, 1), right: (3, 0) }, // lineitem.orderkey = orders.orderkey
+            JoinEdge { left: (4, 2), right: (5, 0) }, // lineitem.suppkey = supplier.suppkey
+            JoinEdge { left: (4, 3), right: (6, 0) }, // lineitem.partkey = part.partkey
+            JoinEdge { left: (7, 1), right: (6, 0) }, // partsupp.partkey = part.partkey
+        ],
+    );
+
+    let region = Table::from_columns(vec![ids(n_region), uniform_ints(&mut rng, 0, 9, n_region)]);
+    let nation = Table::from_columns(vec![
+        ids(n_nation),
+        fk(&mut rng, n_region, n_nation, 0.3),
+        uniform_ints(&mut rng, 0, 4, n_nation),
+    ]);
+    let c_nation = fk(&mut rng, n_nation, n_cust, 0.6);
+    let c_acctbal = gaussian_mixture(
+        &mut rng,
+        &[MixtureComponent { mean: 4500.0, std: 3200.0, weight: 1.0 }],
+        -999,
+        9999,
+        n_cust,
+    );
+    let customer = Table::from_columns(vec![
+        ids(n_cust),
+        c_nation,
+        c_acctbal,
+        zipf_to_i64(&mut rng, 5, n_cust, 0.5),
+    ]);
+    let o_cust = fk(&mut rng, n_cust, n_orders, 0.8);
+    let o_date = uniform_ints(&mut rng, 0, 2555, n_orders); // days over 7 years
+    let o_price = correlated(&mut rng, &o_date, 8.0, 1000.0, 20_000.0, 900, 450_000);
+    let o_status = zipf_to_i64(&mut rng, 3, n_orders, 0.9);
+    let orders = Table::from_columns(vec![ids(n_orders), o_cust, o_price, o_date, o_status]);
+    let l_order = fk(&mut rng, n_orders, n_line, 0.4);
+    let l_qty = uniform_ints(&mut rng, 1, 50, n_line);
+    let l_price = correlated(&mut rng, &l_qty, 900.0, 100.0, 5000.0, 900, 105_000);
+    let l_disc = uniform_ints(&mut rng, 0, 10, n_line);
+    let l_ship = correlated(&mut rng, &l_order, 2555.0 / n_orders as f64, 15.0, 30.0, 0, 2620);
+    let lineitem = Table::from_columns(vec![
+        ids(n_line),
+        l_order,
+        fk(&mut rng, n_supp, n_line, 0.7),
+        fk(&mut rng, n_part, n_line, 0.9),
+        l_qty,
+        l_price,
+        l_disc,
+        l_ship,
+    ]);
+    let supplier = Table::from_columns(vec![
+        ids(n_supp),
+        gaussian_mixture(
+            &mut rng,
+            &[MixtureComponent { mean: 4500.0, std: 3200.0, weight: 1.0 }],
+            -999,
+            9999,
+            n_supp,
+        ),
+    ]);
+    let p_size = uniform_ints(&mut rng, 1, 50, n_part);
+    let p_retail = correlated(&mut rng, &p_size, 18.0, 900.0, 80.0, 900, 2000);
+    let part = Table::from_columns(vec![ids(n_part), p_size, p_retail]);
+    let ps_part = fk(&mut rng, n_part, n_psupp, 0.5);
+    let ps_avail = uniform_ints(&mut rng, 1, 9999, n_psupp);
+    let ps_cost = correlated(&mut rng, &ps_avail, 0.05, 100.0, 120.0, 1, 1000);
+    let partsupp = Table::from_columns(vec![ids(n_psupp), ps_part, ps_avail, ps_cost]);
+
+    Dataset::new(
+        schema,
+        vec![region, nation, customer, orders, lineitem, supplier, part, partsupp],
+    )
+}
+
+/// STATS: 8 tables of the Stack Exchange network dump, tree-shaped around
+/// `posts`.
+pub fn stats(scale: Scale, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57a7);
+    let n = scale.fact_rows; // users count
+    let n_users = n;
+    let n_posts = n * 3;
+    let n_comments = n * 5;
+    let n_badges = n;
+    let n_votes = n * 4;
+    let n_hist = n * 3;
+    let n_links = (n / 2).max(5);
+    let n_tags = (n / 10).max(5);
+
+    let schema = Schema::new(
+        "stats",
+        vec![
+            table("users", &["id"], &[], &["reputation", "upvotes", "creation_year"]), // 0
+            table("posts", &["id"], &["owner_user_id"], &["score", "view_count", "answer_count", "creation_year"]), // 1
+            table("comments", &["id"], &["post_id"], &["score", "creation_year"]),     // 2
+            table("badges", &["id"], &["user_id"], &["class"]),                        // 3
+            table("votes", &["id"], &["post_id"], &["vote_type", "creation_year"]),    // 4
+            table("post_history", &["id"], &["post_id"], &["type"]),                   // 5
+            table("post_links", &["id"], &["post_id"], &["link_type"]),                // 6
+            table("tags", &["id"], &["excerpt_post_id"], &["count"]),                  // 7
+        ],
+        vec![
+            JoinEdge { left: (1, 1), right: (0, 0) }, // posts.owner = users.id
+            JoinEdge { left: (2, 1), right: (1, 0) }, // comments.post = posts.id
+            JoinEdge { left: (3, 1), right: (0, 0) }, // badges.user = users.id
+            JoinEdge { left: (4, 1), right: (1, 0) }, // votes.post = posts.id
+            JoinEdge { left: (5, 1), right: (1, 0) }, // post_history.post = posts.id
+            JoinEdge { left: (6, 1), right: (1, 0) }, // post_links.post = posts.id
+            JoinEdge { left: (7, 1), right: (1, 0) }, // tags.excerpt_post = posts.id
+        ],
+    );
+
+    let reputation = gaussian_mixture(
+        &mut rng,
+        &[
+            MixtureComponent { mean: 1.0, std: 30.0, weight: 5.0 },
+            MixtureComponent { mean: 2000.0, std: 1500.0, weight: 1.0 },
+        ],
+        1,
+        90_000,
+        n_users,
+    );
+    let upvotes = correlated(&mut rng, &reputation, 0.08, 0.0, 20.0, 0, 8000);
+    let users = Table::from_columns(vec![
+        ids(n_users),
+        reputation,
+        upvotes,
+        uniform_ints(&mut rng, 2008, 2014, n_users),
+    ]);
+    let p_owner = fk(&mut rng, n_users, n_posts, 1.0);
+    let p_score = gaussian_mixture(
+        &mut rng,
+        &[MixtureComponent { mean: 2.0, std: 5.0, weight: 1.0 }],
+        -10,
+        200,
+        n_posts,
+    );
+    let p_views = correlated(&mut rng, &p_score, 90.0, 100.0, 250.0, 0, 25_000);
+    let p_answers = correlated(&mut rng, &p_score, 0.15, 1.0, 1.0, 0, 20);
+    let posts = Table::from_columns(vec![
+        ids(n_posts),
+        p_owner,
+        p_score,
+        p_views,
+        p_answers,
+        uniform_ints(&mut rng, 2008, 2014, n_posts),
+    ]);
+    let c_post = fk(&mut rng, n_posts, n_comments, 0.9);
+    let comments = Table::from_columns(vec![
+        ids(n_comments),
+        c_post,
+        gaussian_mixture(
+            &mut rng,
+            &[MixtureComponent { mean: 0.5, std: 1.5, weight: 1.0 }],
+            0,
+            60,
+            n_comments,
+        ),
+        uniform_ints(&mut rng, 2008, 2014, n_comments),
+    ]);
+    let badges = Table::from_columns(vec![
+        ids(n_badges),
+        fk(&mut rng, n_users, n_badges, 1.2),
+        zipf_to_i64(&mut rng, 3, n_badges, 0.8),
+    ]);
+    let votes = Table::from_columns(vec![
+        ids(n_votes),
+        fk(&mut rng, n_posts, n_votes, 0.8),
+        zipf_to_i64(&mut rng, 10, n_votes, 1.6),
+        uniform_ints(&mut rng, 2008, 2014, n_votes),
+    ]);
+    let post_history = Table::from_columns(vec![
+        ids(n_hist),
+        fk(&mut rng, n_posts, n_hist, 0.7),
+        zipf_to_i64(&mut rng, 8, n_hist, 1.1),
+    ]);
+    let post_links = Table::from_columns(vec![
+        ids(n_links),
+        fk(&mut rng, n_posts, n_links, 1.0),
+        zipf_to_i64(&mut rng, 2, n_links, 0.5),
+    ]);
+    let tags = Table::from_columns(vec![
+        ids(n_tags),
+        fk(&mut rng, n_posts, n_tags, 0.6),
+        gaussian_mixture(
+            &mut rng,
+            &[MixtureComponent { mean: 50.0, std: 80.0, weight: 1.0 }],
+            1,
+            2000,
+            n_tags,
+        ),
+    ]);
+
+    Dataset::new(
+        schema,
+        vec![users, posts, comments, badges, votes, post_history, post_links, tags],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnRole;
+
+    #[test]
+    fn dmv_shape() {
+        let d = dmv(Scale::tiny(), 1);
+        assert_eq!(d.schema.num_tables(), 1);
+        assert_eq!(d.schema.num_attributes(), 11);
+        assert_eq!(d.tables[0].num_rows(), 600);
+    }
+
+    #[test]
+    fn imdb_shape() {
+        let d = imdb(Scale::tiny(), 1);
+        assert_eq!(d.schema.num_tables(), 21);
+        assert_eq!(d.schema.edges.len(), 20); // spanning tree
+        assert!(d.schema.num_attributes() >= 18);
+    }
+
+    #[test]
+    fn tpch_shape() {
+        let d = tpch(Scale::tiny(), 1);
+        assert_eq!(d.schema.num_tables(), 8);
+        assert_eq!(d.schema.edges.len(), 7);
+        assert_eq!(d.schema.num_attributes(), 16);
+    }
+
+    #[test]
+    fn stats_shape() {
+        let d = stats(Scale::tiny(), 1);
+        assert_eq!(d.schema.num_tables(), 8);
+        assert_eq!(d.schema.edges.len(), 7);
+        assert_eq!(d.schema.num_attributes(), 15);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = tpch(Scale::tiny(), 9);
+        let b = tpch(Scale::tiny(), 9);
+        for (ta, tb) in a.tables.iter().zip(&b.tables) {
+            for c in 0..ta.num_cols() {
+                assert_eq!(ta.col(c), tb.col(c));
+            }
+        }
+        let c = tpch(Scale::tiny(), 10);
+        assert_ne!(a.tables[2].col(2), c.tables[2].col(2), "seeds should differ");
+    }
+
+    #[test]
+    fn fks_reference_valid_parent_rows() {
+        for kind in DatasetKind::all() {
+            let d = build(kind, Scale::tiny(), 3);
+            for e in &d.schema.edges {
+                for &(t, c) in [&e.left, &e.right] {
+                    let role = d.schema.tables[t].columns[c].role;
+                    assert_ne!(role, ColumnRole::Attribute, "join over attribute column");
+                    if role == ColumnRole::ForeignKey {
+                        // Opposite endpoint is the key side.
+                        let (pt, _) = if (t, c) == e.left { e.right } else { e.left };
+                        let parent_rows = d.tables[pt].num_rows() as i64;
+                        assert!(
+                            d.tables[t].col(c).iter().all(|&v| v >= 0 && v < parent_rows),
+                            "dangling FK in {}.{}",
+                            d.schema.tables[t].name,
+                            d.schema.tables[t].columns[c].name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_patterns_exist_for_all_datasets() {
+        for kind in DatasetKind::all() {
+            let d = build(kind, Scale::tiny(), 3);
+            let pats = d.schema.connected_patterns(3);
+            assert!(!pats.is_empty());
+            for p in &pats {
+                assert!(d.schema.is_connected(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Seeded samplers used by the synthetic dataset builders.
+//!
+//! The goal is not to match the real datasets' values but their *statistical
+//! character*: heavy skew (Zipf), multi-modal numeric attributes (Gaussian
+//! mixtures), and cross-column correlation — the properties that make the
+//! query→cardinality mapping non-trivial for a learned estimator.
+
+use rand::Rng;
+
+/// Samples `count` indices in `0..n` from a Zipf distribution with exponent
+/// `s` (`s = 0` degenerates to uniform). Uses inverse-CDF over precomputed
+/// cumulative weights.
+pub fn zipf_indices(rng: &mut impl Rng, n: usize, count: usize, s: f64) -> Vec<usize> {
+    assert!(n > 0, "zipf over empty domain");
+    let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w;
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..count)
+        .map(|_| {
+            let u = rng.random_range(0.0..total);
+            cdf.partition_point(|&c| c < u).min(n - 1)
+        })
+        .collect()
+}
+
+/// One component of a Gaussian mixture over integers.
+#[derive(Clone, Copy, Debug)]
+pub struct MixtureComponent {
+    /// Component mean.
+    pub mean: f64,
+    /// Component standard deviation.
+    pub std: f64,
+    /// Relative weight (need not be normalized).
+    pub weight: f64,
+}
+
+/// Samples `count` integers from a Gaussian mixture, clamped to `[min, max]`.
+pub fn gaussian_mixture(
+    rng: &mut impl Rng,
+    components: &[MixtureComponent],
+    min: i64,
+    max: i64,
+    count: usize,
+) -> Vec<i64> {
+    assert!(!components.is_empty(), "empty mixture");
+    assert!(min <= max);
+    let total: f64 = components.iter().map(|c| c.weight).sum();
+    (0..count)
+        .map(|_| {
+            let mut u = rng.random_range(0.0..total);
+            let mut chosen = components[components.len() - 1];
+            for c in components {
+                if u < c.weight {
+                    chosen = *c;
+                    break;
+                }
+                u -= c.weight;
+            }
+            let z = standard_normal(rng);
+            let v = chosen.mean + z * chosen.std;
+            (v.round() as i64).clamp(min, max)
+        })
+        .collect()
+}
+
+/// One standard-normal sample (Box–Muller).
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `count` uniform integers in `[min, max]`.
+pub fn uniform_ints(rng: &mut impl Rng, min: i64, max: i64, count: usize) -> Vec<i64> {
+    assert!(min <= max);
+    (0..count).map(|_| rng.random_range(min..=max)).collect()
+}
+
+/// Derives a column correlated with `base`: `out[i] = a·base[i] + b + noise`,
+/// clamped to `[min, max]`. Correlated attribute pairs are what break the
+/// independence assumptions a cardinality estimator must learn around.
+pub fn correlated(
+    rng: &mut impl Rng,
+    base: &[i64],
+    a: f64,
+    b: f64,
+    noise_std: f64,
+    min: i64,
+    max: i64,
+) -> Vec<i64> {
+    base.iter()
+        .map(|&x| {
+            let v = a * x as f64 + b + standard_normal(rng) * noise_std;
+            (v.round() as i64).clamp(min, max)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs = zipf_indices(&mut rng, 100, 20_000, 1.2);
+        let zero_frac = xs.iter().filter(|&&x| x == 0).count() as f64 / xs.len() as f64;
+        let tail_frac = xs.iter().filter(|&&x| x >= 50).count() as f64 / xs.len() as f64;
+        assert!(zero_frac > 0.15, "head not heavy: {zero_frac}");
+        assert!(tail_frac < 0.12, "tail too heavy: {tail_frac}");
+        assert!(xs.iter().all(|&x| x < 100));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs = zipf_indices(&mut rng, 10, 50_000, 0.0);
+        for v in 0..10 {
+            let frac = xs.iter().filter(|&&x| x == v).count() as f64 / xs.len() as f64;
+            assert!((frac - 0.1).abs() < 0.02, "bucket {v}: {frac}");
+        }
+    }
+
+    #[test]
+    fn mixture_respects_bounds_and_modes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let comps = [
+            MixtureComponent { mean: 10.0, std: 2.0, weight: 1.0 },
+            MixtureComponent { mean: 90.0, std: 2.0, weight: 1.0 },
+        ];
+        let xs = gaussian_mixture(&mut rng, &comps, 0, 100, 10_000);
+        assert!(xs.iter().all(|&x| (0..=100).contains(&x)));
+        let low = xs.iter().filter(|&&x| x < 50).count() as f64 / xs.len() as f64;
+        assert!((low - 0.5).abs() < 0.05, "modes unbalanced: {low}");
+        // Middle should be nearly empty (bimodal).
+        let mid = xs.iter().filter(|&&x| (30..=70).contains(&x)).count();
+        assert!(mid < 100, "not bimodal: {mid}");
+    }
+
+    #[test]
+    fn correlated_tracks_base() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base: Vec<i64> = (0..1000).collect();
+        let out = correlated(&mut rng, &base, 2.0, 5.0, 1.0, 0, 3000);
+        // Pearson correlation should be near 1.
+        let n = base.len() as f64;
+        let mx = base.iter().sum::<i64>() as f64 / n;
+        let my = out.iter().sum::<i64>() as f64 / n;
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (&x, &y) in base.iter().zip(&out) {
+            cov += (x as f64 - mx) * (y as f64 - my);
+            vx += (x as f64 - mx).powi(2);
+            vy += (y as f64 - my).powi(2);
+        }
+        let r = cov / (vx.sqrt() * vy.sqrt());
+        assert!(r > 0.99, "correlation too weak: {r}");
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs = uniform_ints(&mut rng, -5, 5, 5000);
+        assert!(xs.contains(&-5));
+        assert!(xs.contains(&5));
+        assert!(xs.iter().all(|&x| (-5..=5).contains(&x)));
+    }
+}

@@ -1,0 +1,34 @@
+//! `pace-data` — synthetic relational datasets for the PACE reproduction.
+//!
+//! Provides schemas (tables, columns, acyclic PK–FK join graphs), columnar
+//! table storage, seeded skewed/correlated value samplers, and builders for
+//! the paper's four evaluation datasets: DMV (single table), IMDB (21-table
+//! JOB schema), TPC-H (8 tables), and STATS (8-table Stack Exchange dump).
+//!
+//! The real datasets are multi-GB artifacts; the builders here reproduce
+//! their *shape* — join topology, attribute counts, skew, correlation — at a
+//! configurable scale. See DESIGN.md ("Substitutions") for why this preserves
+//! the attack's comparative behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use pace_data::{build, DatasetKind, Scale};
+//!
+//! let db = build(DatasetKind::Tpch, Scale::tiny(), 42);
+//! assert_eq!(db.schema.num_tables(), 8);
+//! assert!(db.schema.is_connected(&[db.schema.table("orders"), db.schema.table("lineitem")]));
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod datasets;
+pub mod distr;
+pub mod schema;
+mod table;
+
+pub use dataset::{ColStats, Dataset};
+pub use datasets::{build, dmv, imdb, stats, tpch, DatasetKind, Scale};
+pub use schema::{ColumnDef, ColumnRole, JoinEdge, Schema, TableDef};
+pub use table::Table;

@@ -1,0 +1,81 @@
+//! Columnar in-memory table storage.
+
+/// A table stored column-wise; every value is a dictionary-encoded `i64`
+/// (the paper encodes string attributes into numeric types the same way).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    cols: Vec<Vec<i64>>,
+    rows: usize,
+}
+
+impl Table {
+    /// Creates a table from columns.
+    ///
+    /// # Panics
+    /// Panics when column lengths differ.
+    pub fn from_columns(cols: Vec<Vec<i64>>) -> Self {
+        let rows = cols.first().map_or(0, Vec::len);
+        assert!(cols.iter().all(|c| c.len() == rows), "ragged columns");
+        Self { cols, rows }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Borrow one column.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[i64] {
+        &self.cols[c]
+    }
+
+    /// Single cell accessor.
+    #[inline]
+    pub fn get(&self, row: usize, c: usize) -> i64 {
+        self.cols[c][row]
+    }
+
+    /// Minimum and maximum of a column, or `(0, 0)` when empty.
+    pub fn col_min_max(&self, c: usize) -> (i64, i64) {
+        let col = &self.cols[c];
+        match (col.iter().min(), col.iter().max()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            _ => (0, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_columns_shape() {
+        let t = Table::from_columns(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_cols(), 2);
+        assert_eq!(t.get(1, 1), 5);
+        assert_eq!(t.col_min_max(0), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rejected() {
+        let _ = Table::from_columns(vec![vec![1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::from_columns(vec![vec![], vec![]]);
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.col_min_max(0), (0, 0));
+    }
+}

@@ -1,0 +1,122 @@
+//! Statistical properties of the synthetic datasets: the skew and
+//! correlation structure that makes the query→cardinality mapping
+//! non-trivial (DESIGN.md's faithfulness argument) must actually be present.
+
+use pace_data::{build, dmv, stats, tpch, DatasetKind, Scale};
+
+fn pearson(xs: &[i64], ys: &[i64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<i64>() as f64 / n;
+    let my = ys.iter().sum::<i64>() as f64 / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x as f64 - mx) * (y as f64 - my);
+        vx += (x as f64 - mx).powi(2);
+        vy += (y as f64 - my).powi(2);
+    }
+    cov / (vx.sqrt() * vy.sqrt()).max(1e-12)
+}
+
+/// Fraction of mass on the most frequent value — a cheap skew measure.
+fn top_value_mass(xs: &[i64]) -> f64 {
+    use std::collections::HashMap;
+    let mut counts: HashMap<i64, usize> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_default() += 1;
+    }
+    *counts.values().max().expect("non-empty") as f64 / xs.len() as f64
+}
+
+#[test]
+fn dmv_has_documented_correlations() {
+    let ds = dmv(Scale::quick(), 11);
+    let t = &ds.tables[0];
+    let body_type = t.col(ds.schema.tables[0].col("body_type"));
+    let reg_class = t.col(ds.schema.tables[0].col("reg_class"));
+    assert!(
+        pearson(reg_class, body_type) > 0.5,
+        "body_type should correlate with reg_class: {}",
+        pearson(reg_class, body_type)
+    );
+    let susp = t.col(ds.schema.tables[0].col("suspension"));
+    let revo = t.col(ds.schema.tables[0].col("revocation"));
+    assert!(pearson(susp, revo) > 0.5, "revocation should track suspension");
+}
+
+#[test]
+fn dmv_state_column_is_heavily_skewed() {
+    let ds = dmv(Scale::quick(), 12);
+    let state = ds.tables[0].col(ds.schema.tables[0].col("state"));
+    // Zipf s=2.0: the home state dominates.
+    assert!(top_value_mass(state) > 0.5, "state skew missing: {}", top_value_mass(state));
+}
+
+#[test]
+fn tpch_price_tracks_quantity() {
+    let ds = tpch(Scale::quick(), 13);
+    let li = ds.schema.table("lineitem");
+    let qty = ds.tables[li].col(ds.schema.tables[li].col("l_quantity"));
+    let price = ds.tables[li].col(ds.schema.tables[li].col("l_extendedprice"));
+    assert!(pearson(qty, price) > 0.8, "extendedprice ~ quantity: {}", pearson(qty, price));
+}
+
+#[test]
+fn stats_reputation_is_long_tailed() {
+    let ds = stats(Scale::quick(), 14);
+    let u = ds.schema.table("users");
+    let rep = ds.tables[u].col(ds.schema.tables[u].col("reputation"));
+    let mean = rep.iter().sum::<i64>() as f64 / rep.len() as f64;
+    let mut sorted = rep.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2] as f64;
+    assert!(
+        mean > 2.0 * median.max(1.0),
+        "reputation should be long-tailed: mean {mean}, median {median}"
+    );
+}
+
+#[test]
+fn fk_skew_means_hot_parents_exist() {
+    // Zipf-distributed FKs: some parents have far more children than the
+    // mean — the property that makes join cardinalities non-uniform.
+    let ds = tpch(Scale::quick(), 15);
+    let orders = ds.schema.table("orders");
+    let custkey = ds.tables[orders].col(ds.schema.tables[orders].col("o_custkey"));
+    let n_cust = ds.tables[ds.schema.table("customer")].num_rows();
+    let mut counts = vec![0usize; n_cust];
+    for &c in custkey {
+        counts[c as usize] += 1;
+    }
+    let mean = custkey.len() as f64 / n_cust as f64;
+    let max = *counts.iter().max().expect("non-empty") as f64;
+    assert!(max > 4.0 * mean, "FK skew missing: max {max}, mean {mean}");
+}
+
+#[test]
+fn scales_order_row_counts() {
+    for kind in DatasetKind::all() {
+        let tiny = build(kind, Scale::tiny(), 16);
+        let quick = build(kind, Scale::quick(), 16);
+        assert!(
+            quick.total_rows() > tiny.total_rows() * 3,
+            "{}: scaling broken ({} vs {})",
+            kind.name(),
+            quick.total_rows(),
+            tiny.total_rows()
+        );
+    }
+}
+
+#[test]
+fn column_stats_match_data_extremes() {
+    let ds = build(DatasetKind::Stats, Scale::tiny(), 17);
+    for (t, table) in ds.tables.iter().enumerate() {
+        for c in 0..table.num_cols() {
+            let s = ds.col_stats(t, c);
+            let (lo, hi) = table.col_min_max(c);
+            assert_eq!((s.min, s.max), (lo, hi));
+        }
+    }
+}

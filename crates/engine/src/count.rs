@@ -1,0 +1,317 @@
+//! Exact `COUNT(*)` of filtered SPJ queries.
+//!
+//! All schemas in this reproduction have acyclic (forest) join graphs, so the
+//! cardinality of a filtered join is computed by a bottom-up weighted
+//! semi-join aggregation over the pattern-induced join tree:
+//!
+//! * every row starts with weight 1 if it passes the table's predicates,
+//!   else 0;
+//! * a child table is folded into its parent by summing child weights per
+//!   join value and multiplying each parent row's weight by the sum matching
+//!   its join key;
+//! * the query cardinality is the weight sum at the root.
+//!
+//! One query costs `O(Σ pattern table rows)` — no materialization, exact
+//! counts. This implements both the attacker's `COUNT(*)` oracle and the true
+//! intermediate-size oracle of the execution simulator.
+
+use pace_data::Dataset;
+use pace_workload::{LabeledQuery, Query, Workload};
+use std::collections::HashMap;
+
+/// Exact-count executor over one dataset.
+pub struct Executor<'a> {
+    ds: &'a Dataset,
+    adj: Vec<Vec<(usize, usize)>>,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor (precomputes join-graph adjacency).
+    pub fn new(ds: &'a Dataset) -> Self {
+        Self { ds, adj: ds.schema.adjacency() }
+    }
+
+    /// The dataset this executor reads.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.ds
+    }
+
+    /// Exact cardinality of `q`.
+    ///
+    /// # Panics
+    /// Panics when the query's pattern is empty or not connected (invalid
+    /// queries should be filtered before execution).
+    pub fn count(&self, q: &Query) -> u64 {
+        assert!(
+            self.ds.schema.is_connected(&q.tables),
+            "count over a disconnected pattern {:?}",
+            q.tables
+        );
+        let root = q.tables[0];
+        let w = self.subtree_weights(q, root, usize::MAX);
+        w.iter().sum::<f64>().round() as u64
+    }
+
+    /// Weights of `table`'s rows after folding in all pattern children on the
+    /// far side from `parent`.
+    fn subtree_weights(&self, q: &Query, table: usize, parent: usize) -> Vec<f64> {
+        let t = &self.ds.tables[table];
+        let mut w = self.filter_mask(q, table);
+        for &(neighbor, edge_idx) in &self.adj[table] {
+            if neighbor == parent || !q.tables.contains(&neighbor) {
+                continue;
+            }
+            let child_w = self.subtree_weights(q, neighbor, table);
+            let edge = self.ds.schema.edges[edge_idx];
+            let (my_col, child_col) = if edge.left.0 == table {
+                (edge.left.1, edge.right.1)
+            } else {
+                (edge.right.1, edge.left.1)
+            };
+            let child_vals = self.ds.tables[neighbor].col(child_col);
+            let mut sums: HashMap<i64, f64> = HashMap::new();
+            for (r, &cw) in child_w.iter().enumerate() {
+                if cw > 0.0 {
+                    *sums.entry(child_vals[r]).or_insert(0.0) += cw;
+                }
+            }
+            let my_vals = t.col(my_col);
+            for (r, wr) in w.iter_mut().enumerate() {
+                if *wr > 0.0 {
+                    *wr *= sums.get(&my_vals[r]).copied().unwrap_or(0.0);
+                }
+            }
+        }
+        w
+    }
+
+    /// 1/0 weights of a table's rows under the query's predicates on it.
+    fn filter_mask(&self, q: &Query, table: usize) -> Vec<f64> {
+        let t = &self.ds.tables[table];
+        let mut w = vec![1.0f64; t.num_rows()];
+        for p in q.predicates_on(table) {
+            let col = t.col(p.col);
+            for (r, wr) in w.iter_mut().enumerate() {
+                if *wr > 0.0 && !(p.lo..=p.hi).contains(&col[r]) {
+                    *wr = 0.0;
+                }
+            }
+        }
+        w
+    }
+
+    /// Number of rows of `table` passing the query's predicates on it.
+    pub fn filtered_size(&self, q: &Query, table: usize) -> u64 {
+        self.filter_mask(q, table).iter().sum::<f64>() as u64
+    }
+
+    /// Cardinality of the sub-query induced by a connected subset of the
+    /// pattern (predicates restricted to the subset). Used for true
+    /// intermediate sizes during plan costing.
+    pub fn count_subset(&self, q: &Query, subset: &[usize]) -> u64 {
+        let sub = Query::new(
+            subset.to_vec(),
+            q.predicates.iter().copied().filter(|p| subset.contains(&p.table)).collect(),
+        );
+        self.count(&sub)
+    }
+
+    /// Labels a batch of queries with their exact cardinalities.
+    pub fn label(&self, queries: Vec<Query>) -> Workload {
+        queries
+            .into_iter()
+            .map(|q| {
+                let cardinality = self.count(&q);
+                LabeledQuery { query: q, cardinality }
+            })
+            .collect()
+    }
+
+    /// Labels queries, dropping those with zero cardinality (the paper
+    /// eliminates them during training).
+    pub fn label_nonzero(&self, queries: Vec<Query>) -> Workload {
+        self.label(queries).into_iter().filter(|lq| lq.cardinality > 0).collect()
+    }
+}
+
+/// Natural log of the largest unfiltered join cardinality over connected
+/// patterns of up to `max_pattern_size` tables, plus headroom. This is the
+/// output-normalization constant `ln C_max` CE models use: tight enough that
+/// real cardinalities span the sigmoid's range (a product-of-table-sizes
+/// bound wildly overshoots on PK–FK joins and cripples training).
+///
+/// Derivable by an attacker: every term is a `COUNT(*)` of an unfiltered
+/// join, which the threat model allows.
+pub fn ln_max_cardinality(ds: &Dataset, max_pattern_size: usize) -> f64 {
+    let exec = Executor::new(ds);
+    let mut max_card = 1u64;
+    for pattern in ds.schema.connected_patterns(max_pattern_size.max(1)) {
+        let q = Query::new(pattern, vec![]);
+        max_card = max_card.max(exec.count(&q));
+    }
+    ((max_card.max(2) as f64).ln() * 1.1 + 1.0).max(2.0)
+}
+
+/// Brute-force nested-loop reference counter; exponential, only for tests on
+/// tiny data.
+pub fn naive_count(ds: &Dataset, q: &Query) -> u64 {
+    fn passes(ds: &Dataset, q: &Query, table: usize, row: usize) -> bool {
+        q.predicates_on(table).all(|p| {
+            let v = ds.tables[table].get(row, p.col);
+            (p.lo..=p.hi).contains(&v)
+        })
+    }
+    // Enumerate row combinations over the pattern, checking all induced edges.
+    let tables = &q.tables;
+    let edges = ds.schema.induced_edges(tables);
+    let mut rows = vec![0usize; tables.len()];
+    let mut count = 0u64;
+    'outer: loop {
+        let ok = tables.iter().enumerate().all(|(i, &t)| passes(ds, q, t, rows[i]))
+            && edges.iter().all(|e| {
+                let li = tables.iter().position(|&t| t == e.left.0).expect("in pattern");
+                let ri = tables.iter().position(|&t| t == e.right.0).expect("in pattern");
+                ds.tables[e.left.0].get(rows[li], e.left.1)
+                    == ds.tables[e.right.0].get(rows[ri], e.right.1)
+            });
+        if ok {
+            count += 1;
+        }
+        // Odometer increment.
+        for i in 0..tables.len() {
+            rows[i] += 1;
+            if rows[i] < ds.tables[tables[i]].num_rows() {
+                continue 'outer;
+            }
+            rows[i] = 0;
+            if i == tables.len() - 1 {
+                break 'outer;
+            }
+        }
+        if tables.iter().any(|&t| ds.tables[t].num_rows() == 0) {
+            break;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_data::schema::{table, JoinEdge};
+    use pace_data::{Dataset, Schema, Table};
+    use pace_workload::Predicate;
+
+    fn chain_dataset() -> Dataset {
+        // a(4 rows) — b(6 rows) — c(5 rows)
+        let schema = Schema::new(
+            "chain",
+            vec![
+                table("a", &["id"], &[], &["x"]),
+                table("b", &["id"], &["a_id"], &["y"]),
+                table("c", &["id"], &["b_id"], &["z"]),
+            ],
+            vec![
+                JoinEdge { left: (0, 0), right: (1, 1) },
+                JoinEdge { left: (1, 0), right: (2, 1) },
+            ],
+        );
+        let a = Table::from_columns(vec![vec![0, 1, 2, 3], vec![10, 20, 30, 40]]);
+        let b = Table::from_columns(vec![
+            vec![0, 1, 2, 3, 4, 5],
+            vec![0, 0, 1, 1, 2, 9], // last row dangles
+            vec![5, 6, 7, 8, 9, 10],
+        ]);
+        let c = Table::from_columns(vec![
+            vec![0, 1, 2, 3, 4],
+            vec![0, 0, 0, 2, 4],
+            vec![1, 2, 3, 4, 5],
+        ]);
+        Dataset::new(schema, vec![a, b, c])
+    }
+
+    #[test]
+    fn single_table_count_with_predicate() {
+        let ds = chain_dataset();
+        let ex = Executor::new(&ds);
+        let q = Query::new(vec![0], vec![Predicate { table: 0, col: 1, lo: 15, hi: 35 }]);
+        assert_eq!(ex.count(&q), 2);
+        assert_eq!(ex.count(&q), naive_count(&ds, &q));
+    }
+
+    #[test]
+    fn two_way_join_count() {
+        let ds = chain_dataset();
+        let ex = Executor::new(&ds);
+        let q = Query::new(vec![0, 1], vec![]);
+        // b rows with a_id in {0,0,1,1,2} → 5 matches.
+        assert_eq!(ex.count(&q), 5);
+        assert_eq!(ex.count(&q), naive_count(&ds, &q));
+    }
+
+    #[test]
+    fn three_way_join_count_matches_naive() {
+        let ds = chain_dataset();
+        let ex = Executor::new(&ds);
+        let q = Query::new(vec![0, 1, 2], vec![]);
+        assert_eq!(ex.count(&q), naive_count(&ds, &q));
+        // b=0 matched by c rows {0,1,2}; b=2 by {3}; b=4 by {4}.
+        assert_eq!(ex.count(&q), 5);
+    }
+
+    #[test]
+    fn join_with_predicates_matches_naive() {
+        let ds = chain_dataset();
+        let ex = Executor::new(&ds);
+        let q = Query::new(
+            vec![0, 1, 2],
+            vec![
+                Predicate { table: 1, col: 2, lo: 5, hi: 7 },
+                Predicate { table: 2, col: 2, lo: 2, hi: 5 },
+            ],
+        );
+        assert_eq!(ex.count(&q), naive_count(&ds, &q));
+    }
+
+    #[test]
+    fn empty_result_when_predicate_excludes_all() {
+        let ds = chain_dataset();
+        let ex = Executor::new(&ds);
+        let q = Query::new(vec![0, 1], vec![Predicate { table: 0, col: 1, lo: 1000, hi: 2000 }]);
+        assert_eq!(ex.count(&q), 0);
+    }
+
+    #[test]
+    fn count_subset_restricts_predicates() {
+        let ds = chain_dataset();
+        let ex = Executor::new(&ds);
+        let q = Query::new(
+            vec![0, 1, 2],
+            vec![Predicate { table: 2, col: 2, lo: 100, hi: 200 }], // kills c
+        );
+        assert_eq!(ex.count(&q), 0);
+        // The {a, b} prefix ignores c's predicate.
+        assert_eq!(ex.count_subset(&q, &[0, 1]), 5);
+    }
+
+    #[test]
+    fn filtered_size_counts_matching_rows() {
+        let ds = chain_dataset();
+        let ex = Executor::new(&ds);
+        let q = Query::new(vec![1], vec![Predicate { table: 1, col: 2, lo: 6, hi: 9 }]);
+        assert_eq!(ex.filtered_size(&q, 1), 4);
+    }
+
+    #[test]
+    fn label_nonzero_drops_empty() {
+        let ds = chain_dataset();
+        let ex = Executor::new(&ds);
+        let qs = vec![
+            Query::new(vec![0], vec![]),
+            Query::new(vec![0], vec![Predicate { table: 0, col: 1, lo: 999, hi: 1000 }]),
+        ];
+        let labeled = ex.label_nonzero(qs);
+        assert_eq!(labeled.len(), 1);
+        assert_eq!(labeled[0].cardinality, 4);
+    }
+}

@@ -1,0 +1,52 @@
+//! The estimator interface the optimizer consumes.
+
+use crate::count::Executor;
+use pace_workload::Query;
+
+/// Anything that can estimate the cardinality of an SPJ query.
+///
+/// Implemented by the learned CE models (`pace-ce`) and by the oracle below.
+pub trait CardEstimator {
+    /// Estimated number of result tuples (≥ 0; the optimizer floors at 1).
+    fn estimate(&self, q: &Query) -> f64;
+}
+
+/// A perfect estimator backed by the exact-count executor; the "Clean
+/// optimizer" upper bound in end-to-end comparisons.
+pub struct OracleEstimator<'a> {
+    exec: Executor<'a>,
+}
+
+impl<'a> OracleEstimator<'a> {
+    /// Wraps an executor.
+    pub fn new(exec: Executor<'a>) -> Self {
+        Self { exec }
+    }
+}
+
+impl CardEstimator for OracleEstimator<'_> {
+    fn estimate(&self, q: &Query) -> f64 {
+        self.exec.count(q) as f64
+    }
+}
+
+/// An estimator with fixed multiplicative error, used by optimizer tests to
+/// verify that bad estimates change plan choice.
+pub struct ScaledEstimator<'a> {
+    inner: &'a dyn CardEstimator,
+    /// Multiplier applied to the inner estimate.
+    pub factor: f64,
+}
+
+impl<'a> ScaledEstimator<'a> {
+    /// Wraps `inner`, scaling every estimate by `factor`.
+    pub fn new(inner: &'a dyn CardEstimator, factor: f64) -> Self {
+        Self { inner, factor }
+    }
+}
+
+impl CardEstimator for ScaledEstimator<'_> {
+    fn estimate(&self, q: &Query) -> f64 {
+        self.inner.estimate(q) * self.factor
+    }
+}

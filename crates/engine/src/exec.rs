@@ -1,0 +1,212 @@
+//! Cost-simulated end-to-end execution (paper Section 7.3's E2E latency).
+//!
+//! A plan chosen by the optimizer — possibly under a *poisoned* estimator —
+//! is "executed" by charging the plan's true work: the sum of the exact
+//! cardinalities of every intermediate result it materializes, plus a
+//! per-join overhead. This reproduces the causal chain of the paper's E2E
+//! experiment (bad estimates → bad join orders → more tuples processed)
+//! without a full PostgreSQL testbed; see DESIGN.md ("Substitutions").
+
+use crate::count::Executor;
+use crate::estimator::CardEstimator;
+use crate::optimizer::{optimize, JoinOp, Plan, INDEX_LOOKUP_COST};
+use pace_workload::Query;
+
+/// Converts work units (tuples processed) into simulated seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Seconds charged per tuple of any intermediate (or scanned) result.
+    pub tuple_cost_s: f64,
+    /// Fixed overhead per join operator.
+    pub join_overhead_s: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self { tuple_cost_s: 1e-4, join_overhead_s: 2e-3 }
+    }
+}
+
+/// Outcome of simulating one query.
+#[derive(Clone, Debug)]
+pub struct ExecutionReport {
+    /// The join order executed.
+    pub order: Vec<usize>,
+    /// Cost the optimizer *believed* the plan had.
+    pub est_cost: f64,
+    /// True work: Σ exact cardinalities of every plan prefix.
+    pub true_work: f64,
+    /// Simulated wall-clock seconds.
+    pub latency_s: f64,
+}
+
+/// Plans `q` under `est` and simulates execution against the true data.
+pub fn run_query(
+    q: &Query,
+    exec: &Executor<'_>,
+    est: &dyn CardEstimator,
+    cost: &CostModel,
+) -> ExecutionReport {
+    let plan = optimize(q, &exec.dataset().schema, est);
+    run_plan(q, exec, &plan, cost)
+}
+
+/// Simulates a specific plan for `q` against the true data: each join step
+/// is charged its operator's true input work plus its true output size.
+pub fn run_plan(
+    q: &Query,
+    exec: &Executor<'_>,
+    plan: &Plan,
+    cost: &CostModel,
+) -> ExecutionReport {
+    // First table: scan of the filtered relation.
+    let mut true_work = exec.count_subset(q, &plan.order[..1]) as f64;
+    let mut outer = true_work;
+    for k in 2..=plan.order.len() {
+        let inner = exec.filtered_size(q, plan.order[k - 1]) as f64;
+        let out = exec.count_subset(q, &plan.order[..k]) as f64;
+        let op = plan.ops.get(k - 2).copied().unwrap_or(JoinOp::Hash);
+        true_work += match op {
+            JoinOp::Hash => outer + inner + out,
+            JoinOp::IndexNestedLoop => outer * INDEX_LOOKUP_COST + out,
+        };
+        outer = out;
+    }
+    let joins = plan.order.len().saturating_sub(1) as f64;
+    ExecutionReport {
+        order: plan.order.clone(),
+        est_cost: plan.est_cost,
+        true_work,
+        latency_s: true_work * cost.tuple_cost_s + joins * cost.join_overhead_s,
+    }
+}
+
+/// Total simulated latency of a workload under one estimator — the number the
+/// paper's Table 5 reports per CE model and attack method.
+pub fn total_latency(
+    queries: &[Query],
+    exec: &Executor<'_>,
+    est: &dyn CardEstimator,
+    cost: &CostModel,
+) -> f64 {
+    queries.iter().map(|q| run_query(q, exec, est, cost).latency_s).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::OracleEstimator;
+    use pace_data::schema::{table as tdef, JoinEdge};
+    use pace_data::{Dataset, Schema, Table};
+    use pace_workload::Query;
+
+    /// A star where joining the selective satellite first is much cheaper.
+    fn dataset() -> Dataset {
+        let schema = Schema::new(
+            "star",
+            vec![
+                tdef("hub", &["id"], &[], &["h"]),
+                tdef("big", &["id"], &["hub_id"], &["a"]),
+                tdef("small", &["id"], &["hub_id"], &["b"]),
+            ],
+            vec![
+                JoinEdge { left: (1, 1), right: (0, 0) },
+                JoinEdge { left: (2, 1), right: (0, 0) },
+            ],
+        );
+        let hub_n = 50usize;
+        let hub = Table::from_columns(vec![
+            (0..hub_n as i64).collect(),
+            (0..hub_n as i64).map(|x| x % 10).collect(),
+        ]);
+        // big: 20 rows per hub row (hub⋈big = 1000); small: only hub row 0 (hub⋈small = 2).
+        let big_n = hub_n * 20;
+        let big = Table::from_columns(vec![
+            (0..big_n as i64).collect(),
+            (0..big_n as i64).map(|x| x % hub_n as i64).collect(),
+            (0..big_n as i64).map(|x| x % 7).collect(),
+        ]);
+        let small = Table::from_columns(vec![vec![0, 1], vec![0, 0], vec![1, 2]]);
+        Dataset::new(schema, vec![hub, big, small])
+    }
+
+    #[test]
+    fn oracle_plans_selective_join_first() {
+        let ds = dataset();
+        let exec = Executor::new(&ds);
+        let est = OracleEstimator::new(Executor::new(&ds));
+        let q = Query::new(vec![0, 1, 2], vec![]);
+        let report = run_query(&q, &exec, &est, &CostModel::default());
+        // hub ⋈ small (2 rows) must come before big.
+        assert_eq!(*report.order.last().expect("3 tables"), 1, "order {:?}", report.order);
+    }
+
+    #[test]
+    fn bad_estimates_cost_more_true_work() {
+        let ds = dataset();
+        let exec = Executor::new(&ds);
+        let est = OracleEstimator::new(Executor::new(&ds));
+        let q = Query::new(vec![0, 1, 2], vec![]);
+        let good = run_query(&q, &exec, &est, &CostModel::default());
+
+        // An adversarial estimator that inverts the oracle's preferences:
+        // claims hub⋈small is huge and hub⋈big is tiny.
+        struct Inverted<'a>(OracleEstimator<'a>);
+        impl CardEstimator for Inverted<'_> {
+            fn estimate(&self, q: &Query) -> f64 {
+                let truth = self.0.estimate(q);
+                if q.tables.len() >= 2 {
+                    1e6 / truth.max(1.0)
+                } else {
+                    truth
+                }
+            }
+        }
+        let bad = run_query(
+            &q,
+            &exec,
+            &Inverted(OracleEstimator::new(Executor::new(&ds))),
+            &CostModel::default(),
+        );
+        assert!(
+            bad.true_work > good.true_work,
+            "bad plan should cost more: {} vs {}",
+            bad.true_work,
+            good.true_work
+        );
+        assert!(bad.latency_s > good.latency_s);
+    }
+
+    #[test]
+    fn true_work_charges_operator_inputs_and_output() {
+        let ds = dataset();
+        let exec = Executor::new(&ds);
+        let est = OracleEstimator::new(Executor::new(&ds));
+        let q = Query::new(vec![0, 2], vec![]);
+        let plan = crate::optimizer::optimize(&q, &ds.schema, &est);
+        let report = run_plan(&q, &exec, &plan, &CostModel::default());
+        let first = exec.count_subset(&q, &plan.order[..1]) as f64;
+        let inner = exec.filtered_size(&q, plan.order[1]) as f64;
+        let expected = match plan.ops[0] {
+            crate::optimizer::JoinOp::Hash => first + (first + inner + 2.0),
+            crate::optimizer::JoinOp::IndexNestedLoop => {
+                first + (first * crate::optimizer::INDEX_LOOKUP_COST + 2.0)
+            }
+        };
+        assert_eq!(report.true_work, expected);
+    }
+
+    #[test]
+    fn total_latency_accumulates() {
+        let ds = dataset();
+        let exec = Executor::new(&ds);
+        let est = OracleEstimator::new(Executor::new(&ds));
+        let q1 = Query::new(vec![0], vec![]);
+        let q2 = Query::new(vec![0, 2], vec![]);
+        let cost = CostModel::default();
+        let total = total_latency(&[q1.clone(), q2.clone()], &exec, &est, &cost);
+        let a = run_query(&q1, &exec, &est, &cost).latency_s;
+        let b = run_query(&q2, &exec, &est, &cost).latency_s;
+        assert!((total - (a + b)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,255 @@
+//! Traditional (non-learned) cardinality estimators: per-column equi-depth
+//! histograms under the attribute-value-independence assumption, and
+//! Bernoulli-sample estimation.
+//!
+//! The paper motivates learned CE by its accuracy advantage over these
+//! methods — and this reproduction uses them for a security counterpoint:
+//! they do not train on queries, so PACE's poisoning channel simply does not
+//! exist for them (see the `learned_vs_traditional` experiment).
+
+use crate::count::Executor;
+use crate::estimator::CardEstimator;
+use pace_data::Dataset;
+use pace_workload::Query;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// One column's equi-depth histogram.
+#[derive(Clone, Debug)]
+struct ColumnHistogram {
+    /// Bucket upper bounds (inclusive), ascending; equal-ish row counts per
+    /// bucket.
+    bounds: Vec<i64>,
+    rows: usize,
+}
+
+impl ColumnHistogram {
+    fn build(values: &[i64], buckets: usize) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let rows = sorted.len();
+        let buckets = buckets.max(1).min(rows.max(1));
+        let mut bounds = Vec::with_capacity(buckets);
+        for b in 1..=buckets {
+            let idx = (b * rows / buckets).saturating_sub(1);
+            bounds.push(sorted.get(idx).copied().unwrap_or(0));
+        }
+        bounds.dedup();
+        Self { bounds, rows }
+    }
+
+    /// Estimated selectivity of `lo ≤ v ≤ hi`.
+    fn selectivity(&self, lo: i64, hi: i64) -> f64 {
+        if self.rows == 0 || self.bounds.is_empty() || hi < lo {
+            return 0.0;
+        }
+        let frac_leq = |v: i64| -> f64 {
+            // Number of buckets entirely ≤ v, with linear interpolation
+            // inside the straddling bucket.
+            let n = self.bounds.len() as f64;
+            let mut covered = 0.0;
+            let mut prev = None::<i64>;
+            for (i, &ub) in self.bounds.iter().enumerate() {
+                if v >= ub {
+                    covered = (i + 1) as f64;
+                    prev = Some(ub);
+                } else {
+                    let lb = prev.unwrap_or(ub.min(v));
+                    let width = (ub - lb).max(1) as f64;
+                    let inside = ((v - lb).max(0) as f64 / width).min(1.0);
+                    covered += inside;
+                    break;
+                }
+            }
+            (covered / n).clamp(0.0, 1.0)
+        };
+        (frac_leq(hi) - frac_leq(lo - 1)).clamp(0.0, 1.0)
+    }
+}
+
+/// Histogram-based estimator: per-table selectivities multiply under the
+/// attribute-value-independence (AVI) assumption; joins are estimated with
+/// the classic `|R ⋈ S| ≈ |R|·|S| / max(V(R.a), V(S.b))` uniformity formula.
+pub struct HistogramEstimator {
+    histograms: Vec<Vec<ColumnHistogram>>,
+    table_rows: Vec<f64>,
+    distinct: Vec<Vec<f64>>,
+    schema: pace_data::Schema,
+}
+
+impl HistogramEstimator {
+    /// Builds histograms with `buckets` buckets per column.
+    pub fn build(ds: &Dataset, buckets: usize) -> Self {
+        let histograms = ds
+            .tables
+            .iter()
+            .map(|t| {
+                (0..t.num_cols()).map(|c| ColumnHistogram::build(t.col(c), buckets)).collect()
+            })
+            .collect();
+        let distinct = ds
+            .tables
+            .iter()
+            .map(|t| {
+                (0..t.num_cols())
+                    .map(|c| {
+                        let mut v = t.col(c).to_vec();
+                        v.sort_unstable();
+                        v.dedup();
+                        v.len().max(1) as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            histograms,
+            table_rows: ds.tables.iter().map(|t| t.num_rows() as f64).collect(),
+            distinct,
+            schema: ds.schema.clone(),
+        }
+    }
+
+    fn table_selectivity(&self, q: &Query, table: usize) -> f64 {
+        q.predicates_on(table)
+            .map(|p| self.histograms[table][p.col].selectivity(p.lo, p.hi))
+            .product()
+    }
+}
+
+impl CardEstimator for HistogramEstimator {
+    fn estimate(&self, q: &Query) -> f64 {
+        // Cross product of filtered table sizes…
+        let mut card: f64 = q
+            .tables
+            .iter()
+            .map(|&t| self.table_rows[t] * self.table_selectivity(q, t))
+            .product();
+        // …reduced by each join edge's uniformity factor.
+        for e in self.schema.induced_edges(&q.tables) {
+            let v_left = self.distinct[e.left.0][e.left.1];
+            let v_right = self.distinct[e.right.0][e.right.1];
+            card /= v_left.max(v_right);
+        }
+        card.max(0.0)
+    }
+}
+
+/// Bernoulli-sampling estimator: keeps a `rate` sample of every table and
+/// answers by exact counting over the sample, scaled back up.
+pub struct SamplingEstimator {
+    sample: Dataset,
+    /// Per-table inverse sampling rates.
+    scale: Vec<f64>,
+}
+
+impl SamplingEstimator {
+    /// Samples each table independently at `rate` (at least 1 row).
+    pub fn build(ds: &Dataset, rate: f64, seed: u64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tables = Vec::with_capacity(ds.tables.len());
+        let mut scale = Vec::with_capacity(ds.tables.len());
+        for t in &ds.tables {
+            let keep: Vec<usize> =
+                (0..t.num_rows()).filter(|_| rng.random_range(0.0..1.0) < rate).collect();
+            let keep = if keep.is_empty() && t.num_rows() > 0 { vec![0] } else { keep };
+            let cols = (0..t.num_cols())
+                .map(|c| keep.iter().map(|&r| t.get(r, c)).collect())
+                .collect();
+            scale.push(if keep.is_empty() {
+                1.0
+            } else {
+                t.num_rows() as f64 / keep.len() as f64
+            });
+            tables.push(pace_data::Table::from_columns(cols));
+        }
+        Self { sample: Dataset::new(ds.schema.clone(), tables), scale }
+    }
+}
+
+impl CardEstimator for SamplingEstimator {
+    fn estimate(&self, q: &Query) -> f64 {
+        let exec = Executor::new(&self.sample);
+        let raw = exec.count(q) as f64;
+        // Each joined table contributes its own scale-up factor.
+        let factor: f64 = q.tables.iter().map(|&t| self.scale[t]).product();
+        raw * factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_data::{build, DatasetKind, Scale};
+    use pace_workload::{generate_queries, q_error, WorkloadSpec};
+
+    #[test]
+    fn histogram_selectivity_basics() {
+        let h = ColumnHistogram::build(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], 5);
+        assert!((h.selectivity(1, 10) - 1.0).abs() < 1e-9);
+        let half = h.selectivity(1, 5);
+        assert!((half - 0.5).abs() < 0.15, "got {half}");
+        assert_eq!(h.selectivity(11, 20), 0.0);
+        assert_eq!(h.selectivity(5, 4), 0.0);
+    }
+
+    #[test]
+    fn histogram_estimator_is_reasonable_on_single_table() {
+        let ds = build(DatasetKind::Dmv, Scale::tiny(), 71);
+        let exec = Executor::new(&ds);
+        let est = HistogramEstimator::build(&ds, 32);
+        let mut rng = StdRng::seed_from_u64(72);
+        let qs = generate_queries(&ds, &WorkloadSpec::single_table(), &mut rng, 100);
+        let labeled = exec.label_nonzero(qs);
+        let mean_qerr: f64 = labeled
+            .iter()
+            .map(|lq| q_error(est.estimate(&lq.query), lq.cardinality as f64))
+            .sum::<f64>()
+            / labeled.len() as f64;
+        // AVI over correlated columns is rough but must stay sane.
+        assert!(mean_qerr < 100.0, "histogram wildly off: {mean_qerr}");
+        assert!(mean_qerr > 1.0);
+    }
+
+    #[test]
+    fn sampling_estimator_full_rate_is_exact() {
+        let ds = build(DatasetKind::Tpch, Scale::tiny(), 73);
+        let exec = Executor::new(&ds);
+        let est = SamplingEstimator::build(&ds, 1.0, 74);
+        let mut rng = StdRng::seed_from_u64(75);
+        for lq in exec.label_nonzero(generate_queries(&ds, &WorkloadSpec::default(), &mut rng, 30))
+        {
+            let e = est.estimate(&lq.query);
+            assert!((e - lq.cardinality as f64).abs() < 1e-6, "{e} vs {}", lq.cardinality);
+        }
+    }
+
+    #[test]
+    fn sampling_estimator_partial_rate_is_unbiasedish() {
+        let ds = build(DatasetKind::Dmv, Scale::quick(), 76);
+        let exec = Executor::new(&ds);
+        let q = Query::new(vec![0], vec![]);
+        let truth = exec.count(&q) as f64;
+        // Average over several sample seeds.
+        let mean: f64 = (0..5)
+            .map(|s| SamplingEstimator::build(&ds, 0.2, s).estimate(&q))
+            .sum::<f64>()
+            / 5.0;
+        assert!((mean - truth).abs() / truth < 0.05, "mean {mean} vs truth {truth}");
+    }
+
+    #[test]
+    fn join_estimates_are_finite_and_positive() {
+        let ds = build(DatasetKind::Stats, Scale::tiny(), 77);
+        let hist = HistogramEstimator::build(&ds, 16);
+        let samp = SamplingEstimator::build(&ds, 0.3, 78);
+        let mut rng = StdRng::seed_from_u64(79);
+        for q in generate_queries(&ds, &WorkloadSpec::default(), &mut rng, 50) {
+            for est in [&hist as &dyn CardEstimator, &samp] {
+                let e = est.estimate(&q);
+                assert!(e.is_finite() && e >= 0.0, "bad estimate {e} for {q:?}");
+            }
+        }
+    }
+}

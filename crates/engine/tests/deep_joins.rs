@@ -1,0 +1,117 @@
+//! Exact counting on deeper/star-shaped join trees, cross-checked against
+//! the brute-force reference, plus optimizer behavior on them.
+
+use pace_data::schema::{table, JoinEdge};
+use pace_data::{Dataset, Schema, Table};
+use pace_engine::{ln_max_cardinality, naive_count, optimize, Executor, OracleEstimator};
+use pace_workload::{Predicate, Query};
+
+/// hub with three satellites, one of which has its own child (depth 3).
+fn star_with_tail() -> Dataset {
+    let schema = Schema::new(
+        "star_tail",
+        vec![
+            table("hub", &["id"], &[], &["h"]),          // 0
+            table("s1", &["id"], &["hub_id"], &["a"]),   // 1
+            table("s2", &["id"], &["hub_id"], &["b"]),   // 2
+            table("s3", &["id"], &["hub_id"], &[]),      // 3
+            table("leaf", &["id"], &["s3_id"], &["c"]),  // 4
+        ],
+        vec![
+            JoinEdge { left: (1, 1), right: (0, 0) },
+            JoinEdge { left: (2, 1), right: (0, 0) },
+            JoinEdge { left: (3, 1), right: (0, 0) },
+            JoinEdge { left: (4, 1), right: (3, 0) },
+        ],
+    );
+    let hub = Table::from_columns(vec![vec![0, 1, 2], vec![5, 6, 7]]);
+    let s1 = Table::from_columns(vec![
+        vec![0, 1, 2, 3],
+        vec![0, 0, 1, 2],
+        vec![10, 11, 12, 13],
+    ]);
+    let s2 = Table::from_columns(vec![vec![0, 1, 2], vec![0, 1, 1], vec![20, 21, 22]]);
+    let s3 = Table::from_columns(vec![vec![0, 1, 2, 3], vec![0, 0, 0, 2]]);
+    let leaf = Table::from_columns(vec![
+        vec![0, 1, 2, 3, 4],
+        vec![0, 1, 1, 3, 3],
+        vec![30, 31, 32, 33, 34],
+    ]);
+    Dataset::new(schema, vec![hub, s1, s2, s3, leaf])
+}
+
+#[test]
+fn five_way_star_count_matches_bruteforce() {
+    let ds = star_with_tail();
+    let exec = Executor::new(&ds);
+    let q = Query::new(vec![0, 1, 2, 3, 4], vec![]);
+    assert_eq!(exec.count(&q), naive_count(&ds, &q));
+    assert!(exec.count(&q) > 0);
+}
+
+#[test]
+fn every_connected_pattern_matches_bruteforce() {
+    let ds = star_with_tail();
+    let exec = Executor::new(&ds);
+    for pattern in ds.schema.connected_patterns(5) {
+        let q = Query::new(pattern.clone(), vec![]);
+        assert_eq!(
+            exec.count(&q),
+            naive_count(&ds, &q),
+            "mismatch on pattern {pattern:?}"
+        );
+    }
+}
+
+#[test]
+fn predicates_prune_through_the_tail() {
+    let ds = star_with_tail();
+    let exec = Executor::new(&ds);
+    // Predicate on the depth-3 leaf must prune the whole join.
+    let all = Query::new(vec![0, 3, 4], vec![]);
+    let pruned = Query::new(
+        vec![0, 3, 4],
+        vec![Predicate { table: 4, col: 2, lo: 30, hi: 30 }],
+    );
+    assert!(exec.count(&pruned) < exec.count(&all));
+    assert_eq!(exec.count(&pruned), naive_count(&ds, &pruned));
+}
+
+#[test]
+fn optimizer_handles_five_way_star() {
+    let ds = star_with_tail();
+    let est = OracleEstimator::new(Executor::new(&ds));
+    let q = Query::new(vec![0, 1, 2, 3, 4], vec![]);
+    let plan = optimize(&q, &ds.schema, &est);
+    assert_eq!(plan.order.len(), 5);
+    assert_eq!(plan.ops.len(), 4);
+    for k in 1..=5 {
+        assert!(ds.schema.is_connected(&plan.order[..k]));
+    }
+}
+
+#[test]
+fn ln_max_reflects_largest_pattern_join() {
+    let ds = star_with_tail();
+    let exec = Executor::new(&ds);
+    let mut max_card = 0u64;
+    for pattern in ds.schema.connected_patterns(4) {
+        max_card = max_card.max(exec.count(&Query::new(pattern, vec![])));
+    }
+    let ln_max = ln_max_cardinality(&ds, 4);
+    assert!(ln_max >= (max_card as f64).ln(), "ln_max {ln_max} vs max {max_card}");
+    // Bound must be tight-ish (headroom, not product-of-tables overshoot).
+    assert!(ln_max <= (max_card as f64).ln() * 1.1 + 1.0 + 1e-9);
+}
+
+#[test]
+fn empty_satellite_zeroes_the_join() {
+    let ds = star_with_tail();
+    let exec = Executor::new(&ds);
+    let q = Query::new(
+        vec![0, 2],
+        vec![Predicate { table: 2, col: 2, lo: 99, hi: 100 }],
+    );
+    assert_eq!(exec.count(&q), 0);
+    assert_eq!(naive_count(&ds, &q), 0);
+}

@@ -1,0 +1,114 @@
+//! Numerical gradient checking utilities.
+//!
+//! Used throughout the workspace's test suites to validate both first- and
+//! second-order derivatives of graph-built functions against central finite
+//! differences.
+
+use crate::graph::{Graph, Var};
+use crate::matrix::Matrix;
+
+/// Central finite-difference gradient of `f` at `x`, perturbing one element
+/// at a time.
+///
+/// `f` receives a fresh graph and a leaf for the (perturbed) input and must
+/// return a scalar output var.
+pub fn numeric_grad(x: &Matrix, eps: f32, f: impl Fn(&mut Graph, Var) -> Var) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for i in 0..x.len() {
+        let mut hi = x.clone();
+        hi.data_mut()[i] += eps;
+        let mut lo = x.clone();
+        lo.data_mut()[i] -= eps;
+        let fh = eval_scalar(&hi, &f);
+        let fl = eval_scalar(&lo, &f);
+        out.data_mut()[i] = (fh - fl) / (2.0 * eps);
+    }
+    out
+}
+
+fn eval_scalar(x: &Matrix, f: &impl Fn(&mut Graph, Var) -> Var) -> f32 {
+    let mut g = Graph::new();
+    let v = g.leaf(x.clone());
+    let out = f(&mut g, v);
+    g.value(out).as_scalar()
+}
+
+/// Analytic (autograd) gradient of `f` at `x`.
+pub fn analytic_grad(x: &Matrix, f: impl Fn(&mut Graph, Var) -> Var) -> Matrix {
+    let mut g = Graph::new();
+    let v = g.leaf(x.clone());
+    let out = f(&mut g, v);
+    let grads = g.grad(out, &[v]);
+    g.value(grads[0]).clone()
+}
+
+/// Asserts that the autograd gradient of `f` matches finite differences to a
+/// mixed absolute/relative tolerance.
+///
+/// # Panics
+/// Panics with a labelled message when any element disagrees.
+pub fn assert_grad_close(
+    label: &str,
+    x: &Matrix,
+    tol: f32,
+    f: impl Fn(&mut Graph, Var) -> Var + Copy,
+) {
+    let ana = analytic_grad(x, f);
+    let num = numeric_grad(x, 1e-2, f);
+    for i in 0..x.len() {
+        let a = ana.data()[i];
+        let n = num.data()[i];
+        let denom = 1.0f32.max(a.abs()).max(n.abs());
+        assert!(
+            (a - n).abs() / denom <= tol,
+            "{label}: gradient mismatch at {i}: analytic {a} vs numeric {n}"
+        );
+    }
+}
+
+/// Asserts that `d/dx [d f/dx · w]` (a second-order quantity obtained via
+/// double backward) matches finite differences of the first-order autograd
+/// gradient.
+///
+/// # Panics
+/// Panics with a labelled message when any element disagrees.
+pub fn assert_second_order_close(
+    label: &str,
+    x: &Matrix,
+    w: &Matrix,
+    tol: f32,
+    f: impl Fn(&mut Graph, Var) -> Var + Copy,
+) {
+    assert_eq!(x.shape(), w.shape());
+    // Analytic: build f, take grad, dot with w, take grad again.
+    let analytic = {
+        let mut g = Graph::new();
+        let v = g.leaf(x.clone());
+        let out = f(&mut g, v);
+        let g1 = g.grad(out, &[v])[0];
+        let wv = g.leaf(w.clone());
+        let dot = g.mul(g1, wv);
+        let dot = g.sum_all(dot);
+        let g2 = g.grad(dot, &[v])[0];
+        g.value(g2).clone()
+    };
+    // Numeric: finite-difference the analytic first gradient dotted with w.
+    let eps = 1e-2;
+    let dir_grad = |pt: &Matrix| -> f32 {
+        let grad = analytic_grad(pt, f);
+        grad.data().iter().zip(w.data()).map(|(a, b)| a * b).sum()
+    };
+    for i in 0..x.len() {
+        let mut hi = x.clone();
+        hi.data_mut()[i] += eps;
+        let mut lo = x.clone();
+        lo.data_mut()[i] -= eps;
+        let n = (dir_grad(&hi) - dir_grad(&lo)) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let denom = 1.0f32.max(a.abs()).max(n.abs());
+        assert!(
+            (a - n).abs() / denom <= tol,
+            "{label}: second-order mismatch at {i}: analytic {a} vs numeric {n}"
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! Reverse-mode differentiation.
+//!
+//! [`Graph::grad`] walks the tape in reverse topological order and *appends*
+//! the gradient computation to the same tape: every vector-Jacobian product
+//! is built out of the graph's own primitive ops. The returned gradients are
+//! therefore ordinary [`Var`]s and can participate in further computation —
+//! including being differentiated again, which is how the PACE bivariate
+//! optimization obtains hypergradients through unrolled model updates.
+
+use crate::graph::{Graph, Op, Var};
+use crate::matrix::Matrix;
+use std::collections::HashMap;
+
+pub(crate) fn op_inputs(op: &Op) -> Vec<Var> {
+    match op {
+        Op::Leaf => vec![],
+        Op::Add(a, b)
+        | Op::Sub(a, b)
+        | Op::Mul(a, b)
+        | Op::Div(a, b)
+        | Op::Maximum(a, b)
+        | Op::Minimum(a, b)
+        | Op::MatMul(a, b)
+        | Op::AddRow(a, b)
+        | Op::MulRow(a, b)
+        | Op::MulCol(a, b) => vec![*a, *b],
+        Op::Neg(a)
+        | Op::AddScalar(a)
+        | Op::MulScalar(a, _)
+        | Op::PowScalar(a, _)
+        | Op::Transpose(a)
+        | Op::Sigmoid(a)
+        | Op::Tanh(a)
+        | Op::Relu(a)
+        | Op::Exp(a)
+        | Op::Ln(a)
+        | Op::Sqrt(a)
+        | Op::Abs(a)
+        | Op::SumAll(a)
+        | Op::MeanAll(a)
+        | Op::SumRows(a)
+        | Op::MeanRows(a)
+        | Op::RepeatRows(a)
+        | Op::SumCols(a)
+        | Op::RepeatCols(a)
+        | Op::BroadcastScalar(a)
+        | Op::SliceCols(a, _, _)
+        | Op::SliceRows(a, _, _) => vec![*a],
+        Op::ConcatCols(parts) | Op::ConcatRows(parts) => parts.clone(),
+    }
+}
+
+impl Graph {
+    /// Gradients of a scalar `output` with respect to each var in `wrt`.
+    ///
+    /// The gradients are new graph nodes (double-backward capable). Vars in
+    /// `wrt` that `output` does not depend on receive zero gradients of the
+    /// appropriate shape.
+    ///
+    /// # Panics
+    /// Panics when `output` is not a `1×1` scalar node; use
+    /// [`Graph::grad_seeded`] for matrix-valued outputs.
+    pub fn grad(&mut self, output: Var, wrt: &[Var]) -> Vec<Var> {
+        assert_eq!(
+            self.shape(output),
+            (1, 1),
+            "grad requires a scalar output; got {:?}. Use grad_seeded.",
+            self.shape(output)
+        );
+        let seed = self.leaf(Matrix::scalar(1.0));
+        self.grad_seeded(output, seed, wrt)
+    }
+
+    /// Vector-Jacobian product: gradients of `sum(output ⊙ seed)` w.r.t. `wrt`.
+    ///
+    /// # Panics
+    /// Panics when `seed` and `output` shapes differ.
+    pub fn grad_seeded(&mut self, output: Var, seed: Var, wrt: &[Var]) -> Vec<Var> {
+        assert_eq!(
+            self.shape(output),
+            self.shape(seed),
+            "grad seed shape {:?} does not match output shape {:?}",
+            self.shape(seed),
+            self.shape(output)
+        );
+        let order = self.reverse_topo(output);
+        let mut grads: HashMap<usize, Var> = HashMap::with_capacity(order.len());
+        grads.insert(output.0, seed);
+
+        for node in order {
+            let Some(&g) = grads.get(&node.0) else { continue };
+            let op = self.op(node).clone();
+            self.accumulate_vjp(&op, node, g, &mut grads);
+        }
+
+        wrt.iter()
+            .map(|w| grads.get(&w.0).copied().unwrap_or_else(|| self.zeros_like(*w)))
+            .collect()
+    }
+
+    /// Post-order DFS from `output`, reversed: each node precedes its inputs.
+    fn reverse_topo(&self, output: Var) -> Vec<Var> {
+        let mut visited = vec![false; self.len()];
+        let mut post = Vec::new();
+        // (node, inputs_expanded) explicit stack to avoid recursion depth limits.
+        let mut stack = vec![(output, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                post.push(v);
+                continue;
+            }
+            if visited[v.0] {
+                continue;
+            }
+            visited[v.0] = true;
+            stack.push((v, true));
+            for inp in op_inputs(self.op(v)) {
+                if !visited[inp.0] {
+                    stack.push((inp, false));
+                }
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    fn add_grad(&mut self, grads: &mut HashMap<usize, Var>, target: Var, piece: Var) {
+        match grads.get(&target.0) {
+            Some(&existing) => {
+                let sum = self.add(existing, piece);
+                grads.insert(target.0, sum);
+            }
+            None => {
+                grads.insert(target.0, piece);
+            }
+        }
+    }
+
+    /// Leaf holding 1.0 where `pred(value)` and 0.0 elsewhere; treated as a
+    /// constant by further differentiation (the a.e.-correct sub-gradient).
+    fn mask_leaf(&mut self, of: Var, pred: impl Fn(f32) -> bool) -> Var {
+        let m = self.value(of).map(|x| if pred(x) { 1.0 } else { 0.0 });
+        self.leaf(m)
+    }
+
+    fn accumulate_vjp(&mut self, op: &Op, node: Var, g: Var, grads: &mut HashMap<usize, Var>) {
+        match *op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                self.add_grad(grads, a, g);
+                self.add_grad(grads, b, g);
+            }
+            Op::Sub(a, b) => {
+                self.add_grad(grads, a, g);
+                let nb = self.neg(g);
+                self.add_grad(grads, b, nb);
+            }
+            Op::Mul(a, b) => {
+                let ga = self.mul(g, b);
+                let gb = self.mul(g, a);
+                self.add_grad(grads, a, ga);
+                self.add_grad(grads, b, gb);
+            }
+            Op::Div(a, b) => {
+                let ga = self.div(g, b);
+                self.add_grad(grads, a, ga);
+                // d/db (a/b) = -a / b^2
+                let b2 = self.mul(b, b);
+                let num = self.mul(g, a);
+                let frac = self.div(num, b2);
+                let gb = self.neg(frac);
+                self.add_grad(grads, b, gb);
+            }
+            Op::Neg(a) => {
+                let ga = self.neg(g);
+                self.add_grad(grads, a, ga);
+            }
+            Op::AddScalar(a) => self.add_grad(grads, a, g),
+            Op::MulScalar(a, c) => {
+                let ga = self.mul_scalar(g, c);
+                self.add_grad(grads, a, ga);
+            }
+            Op::PowScalar(a, p) => {
+                // d/da a^p = p * a^(p-1)
+                let am1 = self.pow_scalar(a, p - 1.0);
+                let scaled = self.mul_scalar(am1, p);
+                let ga = self.mul(g, scaled);
+                self.add_grad(grads, a, ga);
+            }
+            Op::MatMul(a, b) => {
+                let bt = self.transpose(b);
+                let ga = self.matmul(g, bt);
+                let at = self.transpose(a);
+                let gb = self.matmul(at, g);
+                self.add_grad(grads, a, ga);
+                self.add_grad(grads, b, gb);
+            }
+            Op::Transpose(a) => {
+                let ga = self.transpose(g);
+                self.add_grad(grads, a, ga);
+            }
+            Op::Sigmoid(a) => {
+                // y' = y (1 - y), expressed via the output node itself.
+                let ny = self.neg(node);
+                let one_minus = self.add_scalar(ny, 1.0);
+                let dy = self.mul(node, one_minus);
+                let ga = self.mul(g, dy);
+                self.add_grad(grads, a, ga);
+            }
+            Op::Tanh(a) => {
+                let y2 = self.mul(node, node);
+                let ny2 = self.neg(y2);
+                let dy = self.add_scalar(ny2, 1.0);
+                let ga = self.mul(g, dy);
+                self.add_grad(grads, a, ga);
+            }
+            Op::Relu(a) => {
+                let mask = self.mask_leaf(a, |x| x > 0.0);
+                let ga = self.mul(g, mask);
+                self.add_grad(grads, a, ga);
+            }
+            Op::Exp(a) => {
+                let ga = self.mul(g, node);
+                self.add_grad(grads, a, ga);
+            }
+            Op::Ln(a) => {
+                let ga = self.div(g, a);
+                self.add_grad(grads, a, ga);
+            }
+            Op::Sqrt(a) => {
+                // d sqrt = 1 / (2 sqrt(a)) = 0.5 / y
+                let half = self.mul_scalar(g, 0.5);
+                let ga = self.div(half, node);
+                self.add_grad(grads, a, ga);
+            }
+            Op::Abs(a) => {
+                let sign = {
+                    let m = self.value(a).map(|x| if x >= 0.0 { 1.0 } else { -1.0 });
+                    self.leaf(m)
+                };
+                let ga = self.mul(g, sign);
+                self.add_grad(grads, a, ga);
+            }
+            Op::Maximum(a, b) => {
+                // Ties route the gradient to `a` (consistent with value picking).
+                let mask_a = {
+                    let va = self.value(a).clone();
+                    let m = va.zip(self.value(b), |x, y| if x >= y { 1.0 } else { 0.0 });
+                    self.leaf(m)
+                };
+                let ones = {
+                    let (r, c) = self.shape(mask_a);
+                    self.leaf(Matrix::ones(r, c))
+                };
+                let mask_b = self.sub(ones, mask_a);
+                let ga = self.mul(g, mask_a);
+                let gb = self.mul(g, mask_b);
+                self.add_grad(grads, a, ga);
+                self.add_grad(grads, b, gb);
+            }
+            Op::Minimum(a, b) => {
+                let mask_a = {
+                    let va = self.value(a).clone();
+                    let m = va.zip(self.value(b), |x, y| if x <= y { 1.0 } else { 0.0 });
+                    self.leaf(m)
+                };
+                let ones = {
+                    let (r, c) = self.shape(mask_a);
+                    self.leaf(Matrix::ones(r, c))
+                };
+                let mask_b = self.sub(ones, mask_a);
+                let ga = self.mul(g, mask_a);
+                let gb = self.mul(g, mask_b);
+                self.add_grad(grads, a, ga);
+                self.add_grad(grads, b, gb);
+            }
+            Op::SumAll(a) => {
+                let (r, c) = self.shape(a);
+                let ga = self.broadcast_scalar(g, r, c);
+                self.add_grad(grads, a, ga);
+            }
+            Op::MeanAll(a) => {
+                let (r, c) = self.shape(a);
+                let b = self.broadcast_scalar(g, r, c);
+                let ga = self.mul_scalar(b, 1.0 / (r * c) as f32);
+                self.add_grad(grads, a, ga);
+            }
+            Op::SumRows(a) => {
+                let n = self.shape(a).0;
+                let ga = self.repeat_rows(g, n);
+                self.add_grad(grads, a, ga);
+            }
+            Op::MeanRows(a) => {
+                let n = self.shape(a).0;
+                let rep = self.repeat_rows(g, n);
+                let ga = self.mul_scalar(rep, 1.0 / n as f32);
+                self.add_grad(grads, a, ga);
+            }
+            Op::RepeatRows(a) => {
+                let ga = self.sum_rows(g);
+                self.add_grad(grads, a, ga);
+            }
+            Op::BroadcastScalar(a) => {
+                let ga = self.sum_all(g);
+                self.add_grad(grads, a, ga);
+            }
+            Op::AddRow(a, row) => {
+                self.add_grad(grads, a, g);
+                let gr = self.sum_rows(g);
+                self.add_grad(grads, row, gr);
+            }
+            Op::MulRow(a, row) => {
+                let n = self.shape(a).0;
+                let rep = self.repeat_rows(row, n);
+                let ga = self.mul(g, rep);
+                self.add_grad(grads, a, ga);
+                let prod = self.mul(g, a);
+                let gr = self.sum_rows(prod);
+                self.add_grad(grads, row, gr);
+            }
+            Op::MulCol(a, col) => {
+                let d = self.shape(a).1;
+                let rep = self.repeat_cols(col, d);
+                let ga = self.mul(g, rep);
+                self.add_grad(grads, a, ga);
+                let prod = self.mul(g, a);
+                let gc = self.sum_cols(prod);
+                self.add_grad(grads, col, gc);
+            }
+            Op::SumCols(a) => {
+                let d = self.shape(a).1;
+                let ga = self.repeat_cols(g, d);
+                self.add_grad(grads, a, ga);
+            }
+            Op::RepeatCols(a) => {
+                let ga = self.sum_cols(g);
+                self.add_grad(grads, a, ga);
+            }
+            Op::ConcatCols(ref parts) => {
+                let mut start = 0;
+                for &p in parts {
+                    let w = self.shape(p).1;
+                    let gp = self.slice_cols(g, start, start + w);
+                    self.add_grad(grads, p, gp);
+                    start += w;
+                }
+            }
+            Op::ConcatRows(ref parts) => {
+                let mut start = 0;
+                for &p in parts {
+                    let h = self.shape(p).0;
+                    let gp = self.slice_rows(g, start, start + h);
+                    self.add_grad(grads, p, gp);
+                    start += h;
+                }
+            }
+            Op::SliceCols(a, start, end) => {
+                // Pad the gradient back into the input's column span.
+                let (r, c) = self.shape(a);
+                let mut parts = Vec::with_capacity(3);
+                if start > 0 {
+                    parts.push(self.leaf(Matrix::zeros(r, start)));
+                }
+                parts.push(g);
+                if end < c {
+                    parts.push(self.leaf(Matrix::zeros(r, c - end)));
+                }
+                let ga = if parts.len() == 1 { parts[0] } else { self.concat_cols(&parts) };
+                self.add_grad(grads, a, ga);
+            }
+            Op::SliceRows(a, start, end) => {
+                let (r, c) = self.shape(a);
+                let mut parts = Vec::with_capacity(3);
+                if start > 0 {
+                    parts.push(self.leaf(Matrix::zeros(start, c)));
+                }
+                parts.push(g);
+                if end < r {
+                    parts.push(self.leaf(Matrix::zeros(r - end, c)));
+                }
+                let ga = if parts.len() == 1 { parts[0] } else { self.concat_rows(&parts) };
+                self.add_grad(grads, a, ga);
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Weight initialization schemes.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The default for sigmoid/tanh layers.
+pub fn xavier_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.random_range(-a..a)).collect())
+}
+
+/// He/Kaiming uniform initialization: `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+/// The default for ReLU layers.
+pub fn he_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    let a = (6.0 / rows as f32).sqrt();
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.random_range(-a..a)).collect())
+}
+
+/// Uniform `U(-a, a)` initialization with explicit bound.
+pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, a: f32) -> Matrix {
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.random_range(-a..a)).collect())
+}
+
+/// Standard Gaussian noise matrix (the generator's latent input).
+pub fn gaussian(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    // Box-Muller transform; avoids a rand_distr dependency.
+    let mut data = Vec::with_capacity(rows * cols);
+    while data.len() < rows * cols {
+        let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.random_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos());
+        if data.len() < rows * cols {
+            data.push(r * theta.sin());
+        }
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(&mut rng, 30, 20);
+        let a = (6.0f32 / 50.0).sqrt();
+        assert!(m.data().iter().all(|&x| x.abs() <= a));
+        // Not all identical.
+        assert!(m.data().iter().any(|&x| x != m.data()[0]));
+    }
+
+    #[test]
+    fn gaussian_moments_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = gaussian(&mut rng, 100, 100);
+        let mean = m.mean();
+        let var = m.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            / (m.len() - 1) as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_odd_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = gaussian(&mut rng, 3, 3);
+        assert_eq!(m.len(), 9);
+        assert!(m.all_finite());
+    }
+}

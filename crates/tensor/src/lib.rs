@@ -1,0 +1,49 @@
+//! `pace-tensor` — a minimal, dependency-light autograd engine.
+//!
+//! This crate is the deep-learning substrate of the PACE reproduction. It
+//! provides:
+//!
+//! * [`Matrix`] — a dense row-major `f32` matrix;
+//! * [`Graph`]/[`Var`] — an eager, append-only autograd tape whose backward
+//!   pass *builds graph nodes*, so gradients are differentiable again
+//!   (double backward). This property is load-bearing: PACE's bivariate
+//!   optimization (paper Eq. 10) needs hypergradients through `K` unrolled
+//!   SGD updates of a surrogate cardinality-estimation model;
+//! * [`nn`] — dense/MLP/RNN/LSTM building blocks whose forward passes read
+//!   parameters through a [`Binding`], allowing evaluation at parameters
+//!   that only exist inside a graph;
+//! * [`optim`] — SGD and Adam, plus gradient clipping;
+//! * [`check`] — finite-difference gradient checkers used by test suites.
+//!
+//! # Example
+//!
+//! ```
+//! use pace_tensor::{Graph, Matrix};
+//!
+//! let mut g = Graph::new();
+//! let x = g.leaf(Matrix::row(&[2.0]));
+//! let y = g.mul(x, x);            // y = x²
+//! let y = g.sum_all(y);
+//! let dy = g.grad(y, &[x])[0];    // dy/dx = 2x = 4
+//! assert_eq!(g.value(dy).data(), &[4.0]);
+//! // Double backward: d²y/dx² = 2
+//! let dy_sum = g.sum_all(dy);
+//! let d2y = g.grad(dy_sum, &[x])[0];
+//! assert_eq!(g.value(d2y).data(), &[2.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod check;
+mod grad;
+mod graph;
+pub mod init;
+mod matrix;
+pub mod nn;
+pub mod optim;
+mod param;
+pub mod serialize;
+
+pub use graph::{Graph, Var};
+pub use matrix::Matrix;
+pub use param::{Binding, ParamId, ParamStore};

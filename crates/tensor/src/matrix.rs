@@ -1,0 +1,415 @@
+//! Dense row-major `f32` matrix used as the value type of every graph node.
+//!
+//! The matrix is deliberately minimal: the autograd graph in [`crate::graph`]
+//! is responsible for composition; this type only knows how to hold data and
+//! perform the eager value computations each op needs.
+
+use std::fmt;
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// Scalars are represented as `1×1`, row vectors as `1×n`. All autograd ops
+/// operate on this type; shape errors panic with a descriptive message since
+/// they are programming errors, not runtime conditions.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 0.0)
+    }
+
+    /// Creates a matrix of ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Creates a `1×1` matrix holding a single scalar.
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(1, 1, vec![value])
+    }
+
+    /// Creates a `1×n` row vector from a slice.
+    pub fn row(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True when the matrix is `1×1`.
+    #[inline]
+    pub fn is_scalar(&self) -> bool {
+        self.rows == 1 && self.cols == 1
+    }
+
+    /// The single element of a `1×1` matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not `1×1`.
+    pub fn as_scalar(&self) -> f32 {
+        assert!(self.is_scalar(), "as_scalar called on {}x{} matrix", self.rows, self.cols);
+        self.data[0]
+    }
+
+    /// Borrow the underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow one row as a slice.
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Applies `f` elementwise, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Combines two same-shaped matrices elementwise.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "elementwise op on mismatched shapes {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics when inner dimensions differ.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} . {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; n * m];
+        // i-k-j loop order: streams through `other` rows, cache friendly.
+        for i in 0..n {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * m..(i + 1) * m];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * m..(kk + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Self { rows: n, cols: m, data: out }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        let mut out = vec![0.0f32; self.len()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        Self { rows: self.cols, cols: self.rows, data: out }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Column-wise sum, producing a `1×cols` row vector.
+    pub fn sum_rows(&self) -> Self {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &x) in out.iter_mut().zip(self.row_slice(r)) {
+                *o += x;
+            }
+        }
+        Self { rows: 1, cols: self.cols, data: out }
+    }
+
+    /// Stacks `n` copies of a `1×cols` row vector into an `n×cols` matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not a single row.
+    pub fn repeat_rows(&self, n: usize) -> Self {
+        assert_eq!(self.rows, 1, "repeat_rows requires a 1xN matrix");
+        let mut data = Vec::with_capacity(n * self.cols);
+        for _ in 0..n {
+            data.extend_from_slice(&self.data);
+        }
+        Self { rows: n, cols: self.cols, data }
+    }
+
+    /// Horizontal concatenation of matrices sharing a row count.
+    ///
+    /// # Panics
+    /// Panics when `parts` is empty or row counts differ.
+    pub fn concat_cols(parts: &[&Matrix]) -> Self {
+        assert!(!parts.is_empty(), "concat_cols of zero matrices");
+        let rows = parts[0].rows;
+        assert!(
+            parts.iter().all(|p| p.rows == rows),
+            "concat_cols row mismatch: {:?}",
+            parts.iter().map(|p| p.shape()).collect::<Vec<_>>()
+        );
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for p in parts {
+                data.extend_from_slice(p.row_slice(r));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Vertical concatenation of matrices sharing a column count.
+    ///
+    /// # Panics
+    /// Panics when `parts` is empty or column counts differ.
+    pub fn concat_rows(parts: &[&Matrix]) -> Self {
+        assert!(!parts.is_empty(), "concat_rows of zero matrices");
+        let cols = parts[0].cols;
+        assert!(
+            parts.iter().all(|p| p.cols == cols),
+            "concat_rows col mismatch: {:?}",
+            parts.iter().map(|p| p.shape()).collect::<Vec<_>>()
+        );
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Copy of columns `[start, end)`.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.cols, "slice_cols [{start},{end}) out of {}", self.cols);
+        let cols = end - start;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(&self.row_slice(r)[start..end]);
+        }
+        Self { rows: self.rows, cols, data }
+    }
+
+    /// Copy of rows `[start, end)`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.rows, "slice_rows [{start},{end}) out of {}", self.rows);
+        Self {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![3., -1., 2., 5.]);
+        let i = Matrix::from_vec(2, 2, vec![1., 0., 0., 1.]);
+        assert_eq!(a.matmul(&i).data(), a.data());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn sum_rows_matches_manual() {
+        let a = Matrix::from_vec(3, 2, vec![1., 10., 2., 20., 3., 30.]);
+        assert_eq!(a.sum_rows().data(), &[6., 60.]);
+    }
+
+    #[test]
+    fn repeat_rows_stacks() {
+        let v = Matrix::row(&[1., 2.]);
+        let m = v.repeat_rows(3);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.row_slice(2), &[1., 2.]);
+    }
+
+    #[test]
+    fn concat_and_slice_cols_roundtrip() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_vec(2, 1, vec![5., 6.]);
+        let c = Matrix::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row_slice(1), &[3., 4., 6.]);
+        assert_eq!(c.slice_cols(0, 2), a);
+        assert_eq!(c.slice_cols(2, 3), b);
+    }
+
+    #[test]
+    fn concat_and_slice_rows_roundtrip() {
+        let a = Matrix::from_vec(1, 2, vec![1., 2.]);
+        let b = Matrix::from_vec(2, 2, vec![3., 4., 5., 6.]);
+        let c = Matrix::concat_rows(&[&a, &b]);
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c.slice_rows(0, 1), a);
+        assert_eq!(c.slice_rows(1, 3), b);
+    }
+
+    #[test]
+    fn mean_and_norm() {
+        let a = Matrix::from_vec(1, 4, vec![3., 4., 0., 0.]);
+        assert!((a.mean() - 1.75).abs() < 1e-6);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+    }
+}

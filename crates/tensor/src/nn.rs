@@ -1,0 +1,375 @@
+//! Neural-network building blocks.
+//!
+//! Every layer stores only [`ParamId`]s; forward passes take a [`Binding`]
+//! that maps ids to graph vars. Evaluating a model at parameters that exist
+//! only inside a graph (the attack's `θ_k` chain) is therefore just a matter
+//! of constructing a different binding.
+
+use crate::graph::{Graph, Var};
+use crate::init;
+use crate::param::{Binding, ParamId, ParamStore};
+use rand::Rng;
+
+/// Activation applied after a [`Dense`] layer's affine transform.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Activation {
+    /// Identity.
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation as a graph op.
+    pub fn apply(self, g: &mut Graph, x: Var) -> Var {
+        match self {
+            Activation::None => x,
+            Activation::Relu => g.relu(x),
+            Activation::Sigmoid => g.sigmoid(x),
+            Activation::Tanh => g.tanh(x),
+        }
+    }
+}
+
+/// Fully connected layer `act(x·W + b)` over row-major batches (`n×in`).
+#[derive(Clone, Debug)]
+pub struct Dense {
+    w: ParamId,
+    b: ParamId,
+    act: Activation,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Dense {
+    /// Allocates a layer's parameters in `ps` (He init for ReLU, Xavier
+    /// otherwise; zero bias).
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        act: Activation,
+    ) -> Self {
+        let w_init = match act {
+            Activation::Relu => init::he_uniform(rng, in_dim, out_dim),
+            _ => init::xavier_uniform(rng, in_dim, out_dim),
+        };
+        let w = ps.alloc(format!("{name}.w"), w_init);
+        let b = ps.alloc(format!("{name}.b"), crate::matrix::Matrix::zeros(1, out_dim));
+        Self { w, b, act, in_dim, out_dim }
+    }
+
+    /// Forward pass for a `n×in_dim` batch, producing `n×out_dim`.
+    pub fn forward(&self, g: &mut Graph, bind: &Binding, x: Var) -> Var {
+        debug_assert_eq!(g.shape(x).1, self.in_dim, "Dense input width mismatch");
+        let wx = g.matmul(x, bind.var(self.w));
+        let z = g.add_row(wx, bind.var(self.b));
+        self.act.apply(g, z)
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// A stack of [`Dense`] layers.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP through the widths in `dims` (length ≥ 2); every hidden
+    /// layer uses `hidden_act`, the final layer uses `out_act`.
+    ///
+    /// # Panics
+    /// Panics when fewer than two widths are supplied.
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        dims: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least input and output widths");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == dims.len() { out_act } else { hidden_act };
+                Dense::new(ps, rng, &format!("{name}.{i}"), w[0], w[1], act)
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Forward pass through every layer.
+    pub fn forward(&self, g: &mut Graph, bind: &Binding, x: Var) -> Var {
+        self.layers.iter().fold(x, |h, layer| layer.forward(g, bind, h))
+    }
+
+    /// The layers, for introspection.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Input width of the first layer.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output width of the last layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+}
+
+/// Elman RNN cell: `h' = tanh(x·Wx + h·Wh + b)`.
+#[derive(Clone, Debug)]
+pub struct RnnCell {
+    wx: ParamId,
+    wh: ParamId,
+    b: ParamId,
+    hidden: usize,
+}
+
+impl RnnCell {
+    /// Allocates cell parameters.
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        let wx = ps.alloc(format!("{name}.wx"), init::xavier_uniform(rng, in_dim, hidden));
+        let wh = ps.alloc(format!("{name}.wh"), init::xavier_uniform(rng, hidden, hidden));
+        let b = ps.alloc(format!("{name}.b"), crate::matrix::Matrix::zeros(1, hidden));
+        Self { wx, wh, b, hidden }
+    }
+
+    /// One step: consumes `x` (`n×in`) and `h` (`n×hidden`), returns `h'`.
+    pub fn step(&self, g: &mut Graph, bind: &Binding, x: Var, h: Var) -> Var {
+        let xw = g.matmul(x, bind.var(self.wx));
+        let hw = g.matmul(h, bind.var(self.wh));
+        let s = g.add(xw, hw);
+        let s = g.add_row(s, bind.var(self.b));
+        g.tanh(s)
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// A zero initial hidden state for a batch of `n` rows.
+    pub fn zero_state(&self, g: &mut Graph, n: usize) -> Var {
+        g.leaf(crate::matrix::Matrix::zeros(n, self.hidden))
+    }
+}
+
+/// LSTM cell with input/forget/output gates and a candidate cell state.
+#[derive(Clone, Debug)]
+pub struct LstmCell {
+    // One (wx, wh, b) triple per gate: input, forget, output, candidate.
+    gates: [(ParamId, ParamId, ParamId); 4],
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Allocates cell parameters. The forget-gate bias starts at 1.0, the
+    /// standard trick to avoid early vanishing of the cell state.
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        let mut make = |gate: &str, bias: f32| {
+            let wx = ps.alloc(format!("{name}.{gate}.wx"), init::xavier_uniform(rng, in_dim, hidden));
+            let wh = ps.alloc(format!("{name}.{gate}.wh"), init::xavier_uniform(rng, hidden, hidden));
+            let b = ps.alloc(format!("{name}.{gate}.b"), crate::matrix::Matrix::full(1, hidden, bias));
+            (wx, wh, b)
+        };
+        let gates = [make("i", 0.0), make("f", 1.0), make("o", 0.0), make("c", 0.0)];
+        Self { gates, hidden }
+    }
+
+    fn gate(&self, g: &mut Graph, bind: &Binding, idx: usize, x: Var, h: Var) -> Var {
+        let (wx, wh, b) = self.gates[idx];
+        let xw = g.matmul(x, bind.var(wx));
+        let hw = g.matmul(h, bind.var(wh));
+        let s = g.add(xw, hw);
+        g.add_row(s, bind.var(b))
+    }
+
+    /// One step: `(h, c) → (h', c')` for an `n×in` input batch.
+    pub fn step(&self, g: &mut Graph, bind: &Binding, x: Var, h: Var, c: Var) -> (Var, Var) {
+        let i_pre = self.gate(g, bind, 0, x, h);
+        let i = g.sigmoid(i_pre);
+        let f_pre = self.gate(g, bind, 1, x, h);
+        let f = g.sigmoid(f_pre);
+        let o_pre = self.gate(g, bind, 2, x, h);
+        let o = g.sigmoid(o_pre);
+        let cand_pre = self.gate(g, bind, 3, x, h);
+        let cand = g.tanh(cand_pre);
+        let fc = g.mul(f, c);
+        let ic = g.mul(i, cand);
+        let c_next = g.add(fc, ic);
+        let c_act = g.tanh(c_next);
+        let h_next = g.mul(o, c_act);
+        (h_next, c_next)
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Zero `(h, c)` state for a batch of `n` rows.
+    pub fn zero_state(&self, g: &mut Graph, n: usize) -> (Var, Var) {
+        let h = g.leaf(crate::matrix::Matrix::zeros(n, self.hidden));
+        let c = g.leaf(crate::matrix::Matrix::zeros(n, self.hidden));
+        (h, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::optim::{Optimizer, Sgd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ps = ParamStore::new();
+        let layer = Dense::new(&mut ps, &mut rng, "d", 3, 5, Activation::Relu);
+        let mut g = Graph::new();
+        let bind = ps.bind(&mut g);
+        let x = g.leaf(Matrix::ones(4, 3));
+        let y = layer.forward(&mut g, &bind, x);
+        assert_eq!(g.shape(y), (4, 5));
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ps = ParamStore::new();
+        let mlp = Mlp::new(&mut ps, &mut rng, "m", &[2, 8, 1], Activation::Tanh, Activation::Sigmoid);
+        let xs = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+        let ys = Matrix::from_vec(4, 1, vec![0., 1., 1., 0.]);
+        let mut opt = Sgd::new(1.0);
+        let mut final_loss = f32::MAX;
+        for _ in 0..800 {
+            let mut g = Graph::new();
+            let bind = ps.bind(&mut g);
+            let x = g.leaf(xs.clone());
+            let t = g.leaf(ys.clone());
+            let pred = mlp.forward(&mut g, &bind, x);
+            let diff = g.sub(pred, t);
+            let sq = g.mul(diff, diff);
+            let loss = g.mean_all(sq);
+            final_loss = g.value(loss).as_scalar();
+            let grads: Vec<Matrix> =
+                g.grad(loss, bind.vars()).iter().map(|&v| g.value(v).clone()).collect();
+            opt.step(&mut ps, &grads);
+        }
+        assert!(final_loss < 0.05, "XOR loss did not converge: {final_loss}");
+    }
+
+    #[test]
+    fn rnn_cell_shapes_and_state() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps = ParamStore::new();
+        let cell = RnnCell::new(&mut ps, &mut rng, "r", 4, 6);
+        let mut g = Graph::new();
+        let bind = ps.bind(&mut g);
+        let h0 = cell.zero_state(&mut g, 3);
+        let x = g.leaf(Matrix::ones(3, 4));
+        let h1 = cell.step(&mut g, &bind, x, h0);
+        assert_eq!(g.shape(h1), (3, 6));
+        // tanh output bounded.
+        assert!(g.value(h1).data().iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn lstm_cell_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps = ParamStore::new();
+        let cell = LstmCell::new(&mut ps, &mut rng, "l", 4, 6);
+        let mut g = Graph::new();
+        let bind = ps.bind(&mut g);
+        let (h0, c0) = cell.zero_state(&mut g, 2);
+        let x = g.leaf(Matrix::ones(2, 4));
+        let (h1, c1) = cell.step(&mut g, &bind, x, h0, c0);
+        assert_eq!(g.shape(h1), (2, 6));
+        assert_eq!(g.shape(c1), (2, 6));
+    }
+
+    #[test]
+    fn lstm_remembers_longer_than_one_step() {
+        // Feed a distinctive first input then zeros; the hidden state after
+        // several steps must still depend on the first input.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps = ParamStore::new();
+        let cell = LstmCell::new(&mut ps, &mut rng, "l", 2, 4);
+        let run = |ps: &ParamStore, first: f32| -> Vec<f32> {
+            let mut g = Graph::new();
+            let bind = ps.bind(&mut g);
+            let (mut h, mut c) = cell.zero_state(&mut g, 1);
+            for t in 0..4 {
+                let x = g.leaf(Matrix::row(&[if t == 0 { first } else { 0.0 }, 0.0]));
+                let (h2, c2) = cell.step(&mut g, &bind, x, h, c);
+                h = h2;
+                c = c2;
+            }
+            g.value(h).data().to_vec()
+        };
+        let a = run(&ps, 1.0);
+        let b = run(&ps, -1.0);
+        assert_ne!(a, b, "LSTM forgot its first input entirely");
+    }
+}
+
+#[cfg(test)]
+mod activation_tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn activation_none_is_identity() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::row(&[-2.0, 3.0]));
+        let y = Activation::None.apply(&mut g, x);
+        assert_eq!(g.value(y).data(), &[-2.0, 3.0]);
+    }
+
+    #[test]
+    fn activations_bound_outputs() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::row(&[-50.0, 50.0]));
+        let s = Activation::Sigmoid.apply(&mut g, x);
+        assert!(g.value(s).data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let t = Activation::Tanh.apply(&mut g, x);
+        assert!(g.value(t).data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        let r = Activation::Relu.apply(&mut g, x);
+        assert_eq!(g.value(r).data(), &[0.0, 50.0]);
+    }
+}

@@ -1,0 +1,235 @@
+//! First-order optimizers operating on a [`ParamStore`].
+//!
+//! A training step materializes gradient matrices from the graph (via
+//! [`crate::Graph::grad`] + [`crate::Graph::value`]) and hands them to an
+//! optimizer together with the store. Optimizer state (Adam moments) is keyed
+//! by parameter order, so one optimizer must stay paired with one store.
+
+use crate::matrix::Matrix;
+use crate::param::ParamStore;
+
+/// A stateful gradient-descent rule.
+pub trait Optimizer {
+    /// Applies one update. `grads[i]` must correspond to the `i`-th parameter
+    /// of `params` in allocation order.
+    ///
+    /// # Panics
+    /// Panics when `grads.len() != params.len()` or shapes mismatch.
+    fn step(&mut self, params: &mut ParamStore, grads: &[Matrix]);
+
+    /// The base learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the base learning rate (used for "large steps in the case of
+    /// small gradients" escapes from local optima — Section 5.3).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent: `θ ← θ − lr·g`.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamStore, grads: &[Matrix]) {
+        assert_eq!(grads.len(), params.len(), "gradient count mismatch");
+        let ids: Vec<_> = params.iter().map(|(id, _)| id).collect();
+        for (i, id) in ids.into_iter().enumerate() {
+            let g = &grads[i];
+            let p = params.get_mut(id);
+            assert_eq!(p.shape(), g.shape(), "gradient shape mismatch at {i}");
+            for (pv, gv) in p.data_mut().iter_mut().zip(g.data()) {
+                *pv -= self.lr * gv;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2014) with bias correction — the optimizer the paper
+/// applies to both CE models and the generator (learning rate `1e-3`).
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates Adam with the paper's defaults (`β₁=0.9, β₂=0.999, ε=1e-8`).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    fn ensure_state(&mut self, params: &ParamStore) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|(_, p)| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.v = self.m.clone();
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamStore, grads: &[Matrix]) {
+        assert_eq!(grads.len(), params.len(), "gradient count mismatch");
+        self.ensure_state(params);
+        assert_eq!(self.m.len(), params.len(), "Adam state / store mismatch");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let ids: Vec<_> = params.iter().map(|(id, _)| id).collect();
+        for (i, id) in ids.into_iter().enumerate() {
+            let g = &grads[i];
+            let p = params.get_mut(id);
+            assert_eq!(p.shape(), g.shape(), "gradient shape mismatch at {i}");
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            for j in 0..g.len() {
+                let gj = g.data()[j];
+                m.data_mut()[j] = self.beta1 * m.data()[j] + (1.0 - self.beta1) * gj;
+                v.data_mut()[j] = self.beta2 * v.data()[j] + (1.0 - self.beta2) * gj * gj;
+                let mhat = m.data()[j] / bc1;
+                let vhat = v.data()[j] / bc2;
+                p.data_mut()[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Rescales `grads` in place so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_global_norm(grads: &mut [Matrix], max_norm: f32) -> f32 {
+    let norm = grads.iter().map(|g| g.data().iter().map(|x| x * x).sum::<f32>()).sum::<f32>().sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            for x in g.data_mut() {
+                *x *= scale;
+            }
+        }
+    }
+    norm
+}
+
+/// Replaces NaN/Inf gradient entries with zero. The attack's Q-error losses
+/// can spike; this keeps a single bad batch from destroying the parameters.
+pub fn sanitize(grads: &mut [Matrix]) {
+    for g in grads.iter_mut() {
+        for x in g.data_mut() {
+            if !x.is_finite() {
+                *x = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimizes (x-3)^2 and checks convergence.
+    fn run_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut ps = ParamStore::new();
+        let x = ps.alloc("x", Matrix::scalar(0.0));
+        for _ in 0..steps {
+            let mut g = Graph::new();
+            let bind = ps.bind(&mut g);
+            let xv = bind.var(x);
+            let diff = g.add_scalar(xv, -3.0);
+            let loss = g.mul(diff, diff);
+            let grads: Vec<Matrix> =
+                g.grad(loss, bind.vars()).iter().map(|&v| g.value(v).clone()).collect();
+            opt.step(&mut ps, &grads);
+        }
+        ps.get(x).as_scalar()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = run_quadratic(&mut opt, 100);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let x = run_quadratic(&mut opt, 300);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn clip_reduces_norm() {
+        let mut grads = vec![Matrix::row(&[3.0, 4.0])];
+        let pre = clip_global_norm(&mut grads, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post = grads[0].norm();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_noop_below_threshold() {
+        let mut grads = vec![Matrix::row(&[0.3, 0.4])];
+        clip_global_norm(&mut grads, 1.0);
+        assert_eq!(grads[0].data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn sanitize_zeroes_nonfinite() {
+        let mut grads = vec![Matrix::row(&[f32::NAN, 1.0, f32::INFINITY])];
+        sanitize(&mut grads);
+        assert_eq!(grads[0].data(), &[0.0, 1.0, 0.0]);
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn learning_rate_is_adjustable_through_trait_objects() {
+        let mut opts: Vec<Box<dyn Optimizer>> =
+            vec![Box::new(Sgd::new(0.1)), Box::new(Adam::new(0.1))];
+        for opt in &mut opts {
+            assert_eq!(opt.learning_rate(), 0.1);
+            opt.set_learning_rate(0.5);
+            assert_eq!(opt.learning_rate(), 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient count mismatch")]
+    fn wrong_gradient_count_is_rejected() {
+        let mut ps = ParamStore::new();
+        ps.alloc("x", Matrix::scalar(0.0));
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut ps, &[]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Parameter storage decoupled from the autograd tape.
+//!
+//! Training loops build a fresh [`crate::Graph`] per step; persistent model
+//! parameters therefore live in a [`ParamStore`] and are *bound* into a graph
+//! as leaves (or, for the attack's differentiable update unrolling, bound to
+//! arbitrary intermediate vars) through a [`Binding`].
+
+use crate::graph::{Graph, Var};
+use crate::matrix::Matrix;
+
+/// Stable identifier of one parameter matrix within a [`ParamStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParamId(usize);
+
+impl ParamId {
+    /// Position of the parameter in store order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An ordered collection of named parameter matrices.
+#[derive(Default, Clone)]
+pub struct ParamStore {
+    mats: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter, returning its id.
+    pub fn alloc(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.mats.push(value);
+        self.names.push(name.into());
+        ParamId(self.mats.len() - 1)
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    /// Current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.mats[id.0]
+    }
+
+    /// Mutable access to a parameter's value.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.mats[id.0]
+    }
+
+    /// Name given at allocation time.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over `(id, value)` pairs in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.mats.iter().enumerate().map(|(i, m)| (ParamId(i), m))
+    }
+
+    /// Binds every parameter into `g` as a leaf, in store order.
+    pub fn bind(&self, g: &mut Graph) -> Binding {
+        Binding {
+            vars: self.mats.iter().map(|m| g.leaf(m.clone())).collect(),
+        }
+    }
+
+    /// Copies all current values (used to snapshot a model before poisoning).
+    pub fn snapshot(&self) -> Vec<Matrix> {
+        self.mats.clone()
+    }
+
+    /// Restores values captured by [`ParamStore::snapshot`].
+    ///
+    /// # Panics
+    /// Panics when the snapshot has a different parameter count or shapes.
+    pub fn restore(&mut self, snapshot: &[Matrix]) {
+        assert_eq!(snapshot.len(), self.mats.len(), "snapshot size mismatch");
+        for (cur, snap) in self.mats.iter_mut().zip(snapshot) {
+            assert_eq!(cur.shape(), snap.shape(), "snapshot shape mismatch");
+            *cur = snap.clone();
+        }
+    }
+
+    /// Total number of scalar parameters across all matrices.
+    pub fn num_scalars(&self) -> usize {
+        self.mats.iter().map(Matrix::len).sum()
+    }
+}
+
+/// Maps [`ParamId`]s to the graph vars a forward pass should read.
+///
+/// A binding is usually produced by [`ParamStore::bind`], but the attack code
+/// constructs bindings over *updated* parameter vars (`θ_k`) to evaluate a
+/// model at parameters that exist only inside the graph.
+#[derive(Clone)]
+pub struct Binding {
+    vars: Vec<Var>,
+}
+
+impl Binding {
+    /// Builds a binding directly from vars in store order.
+    pub fn from_vars(vars: Vec<Var>) -> Self {
+        Self { vars }
+    }
+
+    /// The var bound to `id`.
+    pub fn var(&self, id: ParamId) -> Var {
+        self.vars[id.0]
+    }
+
+    /// All bound vars, in store order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Number of bound parameters.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_roundtrip() {
+        let mut ps = ParamStore::new();
+        let a = ps.alloc("w", Matrix::ones(2, 2));
+        let b = ps.alloc("b", Matrix::zeros(1, 2));
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.name(a), "w");
+        assert_eq!(ps.get(b).shape(), (1, 2));
+        assert_eq!(ps.num_scalars(), 6);
+    }
+
+    #[test]
+    fn snapshot_restore() {
+        let mut ps = ParamStore::new();
+        let a = ps.alloc("w", Matrix::ones(1, 2));
+        let snap = ps.snapshot();
+        ps.get_mut(a).data_mut()[0] = 42.0;
+        assert_eq!(ps.get(a).data()[0], 42.0);
+        ps.restore(&snap);
+        assert_eq!(ps.get(a).data()[0], 1.0);
+    }
+
+    #[test]
+    fn bind_creates_leaves_in_order() {
+        let mut ps = ParamStore::new();
+        let a = ps.alloc("a", Matrix::scalar(1.0));
+        let b = ps.alloc("b", Matrix::scalar(2.0));
+        let mut g = Graph::new();
+        let bind = ps.bind(&mut g);
+        assert_eq!(g.value(bind.var(a)).as_scalar(), 1.0);
+        assert_eq!(g.value(bind.var(b)).as_scalar(), 2.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Minimal binary persistence for [`ParamStore`] values.
+//!
+//! Trained CE models and attack generators can be snapshotted to disk and
+//! restored into an identically-constructed model (same architecture/seed
+//! path), without pulling in a serialization framework. The format is
+//! deliberately simple: a magic tag, a parameter count, then per parameter
+//! the name (UTF-8, length-prefixed), shape, and little-endian `f32` data.
+
+use crate::matrix::Matrix;
+use crate::param::ParamStore;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"PACEPAR1";
+
+/// Writes every parameter of `store` to `w`.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_params(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.len() as u64).to_le_bytes())?;
+    for (id, m) in store.iter() {
+        let name = store.name(id).as_bytes();
+        w.write_all(&(name.len() as u64).to_le_bytes())?;
+        w.write_all(name)?;
+        w.write_all(&(m.rows() as u64).to_le_bytes())?;
+        w.write_all(&(m.cols() as u64).to_le_bytes())?;
+        for &x in m.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads parameter values written by [`write_params`] into `store`, matching
+/// by position and validating names and shapes.
+///
+/// # Errors
+/// Returns `InvalidData` on magic/name/shape mismatches, and propagates I/O
+/// errors from the reader.
+pub fn read_params(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let count = read_u64(r)? as usize;
+    if count != store.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("parameter count mismatch: file {count}, store {}", store.len()),
+        ));
+    }
+    let ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
+    for id in ids {
+        let name_len = read_u64(r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 name"))?;
+        if name != store.name(id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("parameter name mismatch: file {name:?}, store {:?}", store.name(id)),
+            ));
+        }
+        let rows = read_u64(r)? as usize;
+        let cols = read_u64(r)? as usize;
+        if (rows, cols) != store.get(id).shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shape mismatch for {name}: file {rows}x{cols}"),
+            ));
+        }
+        let mut data = vec![0.0f32; rows * cols];
+        let mut buf = [0u8; 4];
+        for x in &mut data {
+            r.read_exact(&mut buf)?;
+            *x = f32::from_le_bytes(buf);
+        }
+        *store.get_mut(id) = Matrix::from_vec(rows, cols, data);
+    }
+    Ok(())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ParamStore {
+        let mut ps = ParamStore::new();
+        ps.alloc("w", Matrix::from_vec(2, 3, vec![1., -2., 3., 0.5, 0.25, -0.125]));
+        ps.alloc("b", Matrix::row(&[9.0, -9.0]));
+        ps
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let src = store();
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).expect("write");
+        let mut dst = store();
+        for (id, _) in dst.iter().map(|(id, m)| (id, m.clone())).collect::<Vec<_>>() {
+            dst.get_mut(id).data_mut().fill(0.0);
+        }
+        read_params(&mut dst, &mut buf.as_slice()).expect("read");
+        for ((_, a), (_, b)) in src.iter().zip(dst.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut dst = store();
+        let err = read_params(&mut dst, &mut &b"NOTPACE1xxxx"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_mismatched_store() {
+        let src = store();
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).expect("write");
+        let mut other = ParamStore::new();
+        other.alloc("w", Matrix::zeros(2, 3));
+        let err = read_params(&mut other, &mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_wrong_shape() {
+        let src = store();
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).expect("write");
+        let mut other = ParamStore::new();
+        other.alloc("w", Matrix::zeros(3, 2));
+        other.alloc("b", Matrix::zeros(1, 2));
+        let err = read_params(&mut other, &mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_errors_cleanly() {
+        let src = store();
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).expect("write");
+        buf.truncate(buf.len() - 3);
+        let mut dst = store();
+        assert!(read_params(&mut dst, &mut buf.as_slice()).is_err());
+    }
+}

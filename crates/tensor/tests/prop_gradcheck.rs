@@ -1,0 +1,96 @@
+//! Property-based gradient checking: random shapes, random values, random op
+//! chains — the analytic gradient must always match finite differences.
+
+use pace_tensor::check::assert_grad_close;
+use pace_tensor::{Graph, Matrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(max_r: usize, max_c: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_r, 1..=max_c).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-1.5f32..1.5, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn smooth_unary_chains_gradcheck(m in matrix_strategy(4, 5), pick in 0u8..5) {
+        assert_grad_close("prop_unary", &m, 4e-2, move |g, x| {
+            let y = match pick {
+                0 => g.sigmoid(x),
+                1 => g.tanh(x),
+                2 => { let e = g.exp(x); g.sigmoid(e) }
+                3 => { let s = g.mul_scalar(x, 0.5); g.tanh(s) }
+                _ => { let a = g.add_scalar(x, 2.0); g.mul(a, a) }
+            };
+            let y2 = g.mul(y, y);
+            g.sum_all(y2)
+        });
+    }
+
+    #[test]
+    fn matmul_sandwich_gradcheck(m in matrix_strategy(3, 4)) {
+        assert_grad_close("prop_matmul", &m, 4e-2, |g, x| {
+            let t = g.transpose(x);
+            let sq = g.matmul(x, t); // r×r
+            let s = g.sigmoid(sq);
+            g.mean_all(s)
+        });
+    }
+
+    #[test]
+    fn reduction_combinations_gradcheck(m in matrix_strategy(4, 4), pick in 0u8..4) {
+        assert_grad_close("prop_reduce", &m, 4e-2, move |g, x| {
+            match pick {
+                0 => { let r = g.sum_rows(x); let r2 = g.mul(r, r); g.sum_all(r2) }
+                1 => { let c = g.sum_cols(x); let c2 = g.mul(c, c); g.sum_all(c2) }
+                2 => { let r = g.mean_rows(x); let e = g.exp(r); g.mean_all(e) }
+                _ => { let s = g.mean_all(x); let b = g.broadcast_scalar(s, 2, 2);
+                       let b2 = g.mul(b, b); g.sum_all(b2) }
+            }
+        });
+    }
+
+    #[test]
+    fn structural_round_trips_preserve_gradients(m in matrix_strategy(3, 4)) {
+        // Slicing into pieces and concatenating back is the identity, so the
+        // gradient of any downstream loss must match the direct version.
+        let direct = |g: &mut Graph, x: pace_tensor::Var| {
+            let s = g.sigmoid(x);
+            g.sum_all(s)
+        };
+        let via_slices = move |g: &mut Graph, x: pace_tensor::Var| {
+            let (_, c) = g.shape(x);
+            let parts: Vec<_> = (0..c).map(|i| g.slice_cols(x, i, i + 1)).collect();
+            let rebuilt = g.concat_cols(&parts);
+            let s = g.sigmoid(rebuilt);
+            g.sum_all(s)
+        };
+        let g1 = pace_tensor::check::analytic_grad(&m, direct);
+        let g2 = pace_tensor::check::analytic_grad(&m, via_slices);
+        for (a, b) in g1.data().iter().zip(g2.data()) {
+            prop_assert!((a - b).abs() < 1e-6, "slice/concat changed gradient: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn second_order_random_quadratics(v in prop::collection::vec(-1.0f32..1.0, 3)) {
+        // f(x) = sum((x ⊙ x) ⊙ c): Hessian = diag(2c) — check via double backward.
+        let c = [0.7f32, -1.3, 2.1];
+        let m = Matrix::row(&v);
+        let mut g = Graph::new();
+        let x = g.leaf(m);
+        let cv = g.leaf(Matrix::row(&c));
+        let x2 = g.mul(x, x);
+        let f = g.mul(x2, cv);
+        let f = g.sum_all(f);
+        let g1 = g.grad(f, &[x])[0];
+        let s1 = g.sum_all(g1);
+        let g2 = g.grad(s1, &[x])[0];
+        for (got, want) in g.value(g2).data().iter().zip(c.iter().map(|ci| 2.0 * ci)) {
+            prop_assert!((got - want).abs() < 1e-4, "hessian diag: {got} vs {want}");
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Random SPJ workload generation.
+//!
+//! Generates "historical"/training/test workloads the way the paper does for
+//! DMV and TPC-H (random queries over the schema) and template-style for
+//! IMDB/STATS (queries drawn from the schema's connected join patterns, with
+//! predicates centered on populated data regions so cardinalities are
+//! non-trivial).
+
+use crate::encode::QueryEncoder;
+use crate::query::{Predicate, Query};
+use pace_data::Dataset;
+use rand::Rng;
+
+/// Parameters of the workload generator.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Maximum number of tables in a join pattern.
+    pub max_join_tables: usize,
+    /// Maximum number of range predicates per query.
+    pub max_predicates: usize,
+    /// Probability mass decay per extra join table (smaller ⇒ more joins).
+    pub join_size_decay: f64,
+    /// Predicate width as a fraction of the attribute domain is drawn
+    /// log-uniformly from this range.
+    pub width_range: (f64, f64),
+    /// When true, predicate centers are sampled from actual rows (queries hit
+    /// populated regions); when false, centers are uniform over the domain.
+    pub center_on_data: bool,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self {
+            max_join_tables: 4,
+            max_predicates: 4,
+            join_size_decay: 0.55,
+            width_range: (0.02, 0.6),
+            center_on_data: true,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// A spec for single-table workloads.
+    pub fn single_table() -> Self {
+        Self { max_join_tables: 1, ..Self::default() }
+    }
+}
+
+/// Generates `count` random valid queries over `ds`.
+pub fn generate_queries(
+    ds: &Dataset,
+    spec: &WorkloadSpec,
+    rng: &mut impl Rng,
+    count: usize,
+) -> Vec<Query> {
+    let patterns = ds.schema.connected_patterns(spec.max_join_tables.max(1));
+    assert!(!patterns.is_empty(), "schema has no join patterns");
+    // Weight patterns by size: weight ∝ decay^(size-1).
+    let weights: Vec<f64> =
+        patterns.iter().map(|p| spec.join_size_decay.powi(p.len() as i32 - 1)).collect();
+    let total: f64 = weights.iter().sum();
+    (0..count)
+        .map(|_| {
+            let mut u = rng.random_range(0.0..total);
+            let mut idx = patterns.len() - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if u < *w {
+                    idx = i;
+                    break;
+                }
+                u -= w;
+            }
+            random_query_for_pattern(ds, spec, rng, &patterns[idx])
+        })
+        .collect()
+}
+
+/// Generates a random query over a fixed, connected table pattern.
+pub fn random_query_for_pattern(
+    ds: &Dataset,
+    spec: &WorkloadSpec,
+    rng: &mut impl Rng,
+    pattern: &[usize],
+) -> Query {
+    let attrs: Vec<(usize, usize)> = ds
+        .schema
+        .attributes()
+        .into_iter()
+        .filter(|(t, _)| pattern.contains(t))
+        .collect();
+    let mut predicates = Vec::new();
+    if !attrs.is_empty() {
+        let n_preds = rng.random_range(1..=spec.max_predicates.min(attrs.len()));
+        // Sample attributes without replacement.
+        let mut pool = attrs;
+        for _ in 0..n_preds {
+            let i = rng.random_range(0..pool.len());
+            let (t, c) = pool.swap_remove(i);
+            predicates.push(random_predicate(ds, spec, rng, t, c));
+        }
+    }
+    Query::new(pattern.to_vec(), predicates)
+}
+
+/// Generates one range predicate over a specific attribute.
+pub fn random_predicate(
+    ds: &Dataset,
+    spec: &WorkloadSpec,
+    rng: &mut impl Rng,
+    table: usize,
+    col: usize,
+) -> Predicate {
+    let stats = ds.col_stats(table, col);
+    let center = if spec.center_on_data {
+        ds.sample_value(rng, table, col)
+    } else {
+        rng.random_range(stats.min..=stats.max.max(stats.min))
+    };
+    let (w_lo, w_hi) = spec.width_range;
+    let frac = (w_lo.ln() + rng.random_range(0.0..1.0) * (w_hi.ln() - w_lo.ln())).exp();
+    let half = ((stats.width() as f64 * frac) / 2.0).ceil() as i64;
+    Predicate {
+        table,
+        col,
+        lo: (center - half).max(stats.min),
+        hi: (center + half).min(stats.max),
+    }
+}
+
+/// Generates `count` queries knowing only the schema shape — the attacker's
+/// generation path (no access to table data; predicate centers are uniform
+/// over each attribute's public domain).
+pub fn generate_queries_schema_only(
+    encoder: &QueryEncoder,
+    patterns: &[Vec<usize>],
+    spec: &WorkloadSpec,
+    rng: &mut impl Rng,
+    count: usize,
+) -> Vec<Query> {
+    assert!(!patterns.is_empty(), "no join patterns supplied");
+    let weights: Vec<f64> =
+        patterns.iter().map(|p| spec.join_size_decay.powi(p.len() as i32 - 1)).collect();
+    let total: f64 = weights.iter().sum();
+    (0..count)
+        .map(|_| {
+            let mut u = rng.random_range(0.0..total);
+            let mut idx = patterns.len() - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if u < *w {
+                    idx = i;
+                    break;
+                }
+                u -= w;
+            }
+            schema_only_query_for_pattern(encoder, spec, rng, &patterns[idx])
+        })
+        .collect()
+}
+
+/// Schema-only random query over a fixed pattern (see
+/// [`generate_queries_schema_only`]).
+pub fn schema_only_query_for_pattern(
+    encoder: &QueryEncoder,
+    spec: &WorkloadSpec,
+    rng: &mut impl Rng,
+    pattern: &[usize],
+) -> Query {
+    let attrs: Vec<usize> = encoder
+        .attributes()
+        .iter()
+        .enumerate()
+        .filter(|(_, (t, _))| pattern.contains(t))
+        .map(|(i, _)| i)
+        .collect();
+    let mut predicates = Vec::new();
+    if !attrs.is_empty() {
+        let n_preds = rng.random_range(1..=spec.max_predicates.min(attrs.len()));
+        let mut pool = attrs;
+        for _ in 0..n_preds {
+            let k = rng.random_range(0..pool.len());
+            let i = pool.swap_remove(k);
+            let (t, c) = encoder.attributes()[i];
+            let stats = encoder.attr_stats(i);
+            let center: f64 = rng.random_range(0.0..1.0);
+            let (w_lo, w_hi) = spec.width_range;
+            let frac = (w_lo.ln() + rng.random_range(0.0..1.0) * (w_hi.ln() - w_lo.ln())).exp();
+            let lo = (center - frac / 2.0).max(0.0);
+            let hi = (center + frac / 2.0).min(1.0);
+            predicates.push(Predicate {
+                table: t,
+                col: c,
+                lo: stats.denormalize(lo),
+                hi: stats.denormalize(hi),
+            });
+        }
+    }
+    Query::new(pattern.to_vec(), predicates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_data::{build, DatasetKind, Scale};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_queries_are_valid() {
+        for kind in DatasetKind::all() {
+            let ds = build(kind, Scale::tiny(), 5);
+            let mut rng = StdRng::seed_from_u64(1);
+            let spec = WorkloadSpec::default();
+            for q in generate_queries(&ds, &spec, &mut rng, 200) {
+                assert!(q.is_valid(&ds.schema), "invalid query on {}: {q:?}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn join_sizes_vary_and_respect_max() {
+        let ds = build(DatasetKind::Imdb, Scale::tiny(), 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() };
+        let qs = generate_queries(&ds, &spec, &mut rng, 300);
+        assert!(qs.iter().all(|q| q.tables.len() <= 3));
+        assert!(qs.iter().any(|q| q.tables.len() == 1));
+        assert!(qs.iter().any(|q| q.tables.len() > 1));
+    }
+
+    #[test]
+    fn single_table_spec_never_joins() {
+        let ds = build(DatasetKind::Dmv, Scale::tiny(), 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let qs = generate_queries(&ds, &WorkloadSpec::single_table(), &mut rng, 50);
+        assert!(qs.iter().all(|q| q.tables == vec![0]));
+        assert!(qs.iter().all(|q| !q.predicates.is_empty()));
+    }
+
+    #[test]
+    fn predicates_within_domain() {
+        let ds = build(DatasetKind::Stats, Scale::tiny(), 5);
+        let mut rng = StdRng::seed_from_u64(4);
+        for q in generate_queries(&ds, &WorkloadSpec::default(), &mut rng, 200) {
+            for p in &q.predicates {
+                let s = ds.col_stats(p.table, p.col);
+                assert!(p.lo >= s.min && p.hi <= s.max && p.lo <= p.hi);
+            }
+        }
+    }
+
+    #[test]
+    fn schema_only_queries_are_valid() {
+        let ds = build(DatasetKind::Imdb, Scale::tiny(), 5);
+        let encoder = crate::encode::QueryEncoder::new(&ds);
+        let patterns = ds.schema.connected_patterns(3);
+        let mut rng = StdRng::seed_from_u64(6);
+        let qs = generate_queries_schema_only(&encoder, &patterns, &WorkloadSpec::default(), &mut rng, 150);
+        for q in qs {
+            assert!(q.is_valid(&ds.schema), "invalid schema-only query {q:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = build(DatasetKind::Tpch, Scale::tiny(), 5);
+        let spec = WorkloadSpec::default();
+        let a = generate_queries(&ds, &spec, &mut StdRng::seed_from_u64(9), 20);
+        let b = generate_queries(&ds, &spec, &mut StdRng::seed_from_u64(9), 20);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,43 @@
+//! `pace-workload` — the SPJ query model shared by every crate in the
+//! reproduction: queries and labeled workloads, the paper's `T + 2A` vector
+//! encoding, seeded workload generators, and evaluation metrics (Q-error
+//! summaries, Jensen–Shannon divergence between query distributions).
+//!
+//! # Example
+//!
+//! ```
+//! use pace_data::{build, DatasetKind, Scale};
+//! use pace_workload::{generate_queries, QueryEncoder, WorkloadSpec};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let ds = build(DatasetKind::Tpch, Scale::tiny(), 1);
+//! let enc = QueryEncoder::new(&ds);
+//! let mut rng = StdRng::seed_from_u64(2);
+//! let queries = generate_queries(&ds, &WorkloadSpec::default(), &mut rng, 10);
+//! for q in &queries {
+//!     let v = enc.encode(q);
+//!     assert_eq!(v.len(), enc.dim());
+//!     assert_eq!(enc.decode(&v).tables, q.tables);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod encode;
+mod gen;
+mod metrics;
+mod query;
+mod templates;
+
+pub use encode::QueryEncoder;
+pub use gen::{
+    generate_queries, generate_queries_schema_only, random_predicate, random_query_for_pattern,
+    schema_only_query_for_pattern, WorkloadSpec,
+};
+pub use metrics::{js_divergence, q_error, QErrorSummary};
+pub use query::{LabeledQuery, Predicate, Query, Workload};
+pub use templates::{
+    generate_from_templates, imdb_templates, instantiate_template, stats_templates,
+    templates_for, QueryTemplate,
+};

@@ -1,0 +1,154 @@
+//! Attack-evaluation metrics (paper Section 2.2): Q-error with percentile
+//! summaries, and Jensen–Shannon divergence between query-encoding
+//! distributions (the "normality" of poisoning queries).
+
+/// Q-error of an estimate against the truth:
+/// `max(est/true, true/est) ≥ 1`. Both sides are floored at 1 tuple, matching
+/// the paper's setup where zero-cardinality queries are eliminated.
+pub fn q_error(est: f64, truth: f64) -> f64 {
+    let e = est.max(1.0);
+    let t = truth.max(1.0);
+    (e / t).max(t / e)
+}
+
+/// Summary statistics of a Q-error sample: mean, median, and the tail
+/// percentiles the paper reports (90th/95th/99th/max).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QErrorSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 50th percentile.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl QErrorSummary {
+    /// Computes the summary of a non-empty sample.
+    ///
+    /// # Panics
+    /// Panics on an empty sample.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "QErrorSummary of empty sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN q-errors"));
+        let pct = |p: f64| -> f64 {
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        Self {
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            median: pct(0.50),
+            p90: pct(0.90),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Jensen–Shannon divergence between two distributions of encoded queries.
+///
+/// Each encoding dimension is histogrammed into `bins` buckets over `[0, 1]`
+/// and the per-dimension JS divergences (natural log) are averaged. Returns a
+/// value in `[0, ln 2]`; 0 means identical distributions.
+///
+/// # Panics
+/// Panics when either sample is empty or widths differ.
+pub fn js_divergence(a: &[Vec<f32>], b: &[Vec<f32>], bins: usize) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "js_divergence of empty sample");
+    let dim = a[0].len();
+    assert!(a.iter().chain(b).all(|v| v.len() == dim), "encoding width mismatch");
+    assert!(bins >= 2);
+    let hist = |sample: &[Vec<f32>], d: usize| -> Vec<f64> {
+        let mut h = vec![0.0f64; bins];
+        for v in sample {
+            let x = v[d].clamp(0.0, 1.0) as f64;
+            let i = ((x * bins as f64) as usize).min(bins - 1);
+            h[i] += 1.0;
+        }
+        let total: f64 = h.iter().sum();
+        for x in &mut h {
+            *x /= total;
+        }
+        h
+    };
+    let kl = |p: &[f64], q: &[f64]| -> f64 {
+        p.iter()
+            .zip(q)
+            .filter(|(pi, _)| **pi > 0.0)
+            .map(|(pi, qi)| pi * (pi / qi).ln())
+            .sum()
+    };
+    let mut total = 0.0;
+    for d in 0..dim {
+        let p = hist(a, d);
+        let q = hist(b, d);
+        let m: Vec<f64> = p.iter().zip(&q).map(|(x, y)| 0.5 * (x + y)).collect();
+        total += 0.5 * kl(&p, &m) + 0.5 * kl(&q, &m);
+    }
+    total / dim as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_symmetric_and_floored() {
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(5.0, 5.0), 1.0);
+        // Sub-tuple estimates floored at 1.
+        assert_eq!(q_error(0.001, 10.0), 10.0);
+        assert_eq!(q_error(10.0, 0.0), 10.0);
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = QErrorSummary::from_samples(&samples);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.p90 - 90.0).abs() <= 1.0);
+        assert!((s.p99 - 99.0).abs() <= 1.0);
+        assert!((s.median - 50.0).abs() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_empty_panics() {
+        let _ = QErrorSummary::from_samples(&[]);
+    }
+
+    #[test]
+    fn js_zero_for_identical() {
+        let a: Vec<Vec<f32>> = (0..100).map(|i| vec![(i % 10) as f32 / 10.0]).collect();
+        let d = js_divergence(&a, &a, 10);
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_maximal_for_disjoint() {
+        let a: Vec<Vec<f32>> = (0..100).map(|_| vec![0.05f32]).collect();
+        let b: Vec<Vec<f32>> = (0..100).map(|_| vec![0.95f32]).collect();
+        let d = js_divergence(&a, &b, 10);
+        assert!((d - std::f64::consts::LN_2).abs() < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn js_monotone_in_overlap() {
+        let a: Vec<Vec<f32>> = (0..200).map(|i| vec![(i % 100) as f32 / 100.0]).collect();
+        let near: Vec<Vec<f32>> = (0..200).map(|i| vec![((i + 5) % 100) as f32 / 100.0]).collect();
+        let far: Vec<Vec<f32>> = (0..200).map(|i| vec![((i % 50) as f32) / 100.0]).collect();
+        let d_near = js_divergence(&a, &near, 10);
+        let d_far = js_divergence(&a, &far, 10);
+        assert!(d_near < d_far, "near {d_near} !< far {d_far}");
+    }
+}

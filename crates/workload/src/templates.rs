@@ -1,0 +1,256 @@
+//! Template-based workload generation.
+//!
+//! The paper generates IMDB and STATS workloads "based on the templates in
+//! IMDB-JOB and STATS-CEB". This module defines the corresponding template
+//! families over this repo's synthetic schemas — fixed join patterns with a
+//! set of filterable attributes each — and a generator that instantiates
+//! them with data-centered predicates.
+
+use crate::gen::WorkloadSpec;
+use crate::query::{Predicate, Query};
+use pace_data::Dataset;
+use rand::Rng;
+
+/// A named query template: a fixed join pattern plus the attributes its
+/// instances may filter on.
+#[derive(Clone, Debug)]
+pub struct QueryTemplate {
+    /// Template name (mirrors the JOB/CEB family naming style).
+    pub name: &'static str,
+    /// Table names of the join pattern.
+    pub tables: &'static [&'static str],
+    /// `(table, column)` attribute names instances may filter.
+    pub attrs: &'static [(&'static str, &'static str)],
+}
+
+/// Join-order-benchmark-style templates over the synthetic IMDB schema.
+pub fn imdb_templates() -> Vec<QueryTemplate> {
+    vec![
+        QueryTemplate {
+            name: "job-1: production era",
+            tables: &["title"],
+            attrs: &[("title", "production_year"), ("title", "imdb_index")],
+        },
+        QueryTemplate {
+            name: "job-2: company movies",
+            tables: &["title", "movie_companies", "company_name"],
+            attrs: &[
+                ("title", "production_year"),
+                ("movie_companies", "note"),
+                ("company_name", "country_code"),
+            ],
+        },
+        QueryTemplate {
+            name: "job-3: info lookups",
+            tables: &["title", "movie_info", "info_type"],
+            attrs: &[("title", "production_year"), ("movie_info", "info"), ("info_type", "code")],
+        },
+        QueryTemplate {
+            name: "job-4: ratings",
+            tables: &["title", "movie_info_idx"],
+            attrs: &[("title", "production_year"), ("movie_info_idx", "info_val")],
+        },
+        QueryTemplate {
+            name: "job-5: keyworded titles",
+            tables: &["title", "movie_keyword", "keyword"],
+            attrs: &[("title", "production_year"), ("keyword", "phonetic")],
+        },
+        QueryTemplate {
+            name: "job-6: cast",
+            tables: &["title", "cast_info", "name"],
+            attrs: &[
+                ("title", "production_year"),
+                ("cast_info", "nr_order"),
+                ("name", "gender"),
+            ],
+        },
+        QueryTemplate {
+            name: "job-7: roles",
+            tables: &["cast_info", "role_type", "char_name"],
+            attrs: &[
+                ("cast_info", "nr_order"),
+                ("role_type", "role"),
+                ("char_name", "name_pcode"),
+            ],
+        },
+        QueryTemplate {
+            name: "job-8: person info",
+            tables: &["name", "person_info", "aka_name"],
+            attrs: &[("name", "gender"), ("person_info", "note"), ("aka_name", "pcode")],
+        },
+    ]
+}
+
+/// STATS-CEB-style templates over the synthetic Stack Exchange schema.
+pub fn stats_templates() -> Vec<QueryTemplate> {
+    vec![
+        QueryTemplate {
+            name: "ceb-1: user reputation",
+            tables: &["users"],
+            attrs: &[("users", "reputation"), ("users", "upvotes"), ("users", "creation_year")],
+        },
+        QueryTemplate {
+            name: "ceb-2: user posts",
+            tables: &["users", "posts"],
+            attrs: &[
+                ("users", "reputation"),
+                ("posts", "score"),
+                ("posts", "view_count"),
+                ("posts", "creation_year"),
+            ],
+        },
+        QueryTemplate {
+            name: "ceb-3: commented posts",
+            tables: &["posts", "comments"],
+            attrs: &[("posts", "score"), ("comments", "score"), ("comments", "creation_year")],
+        },
+        QueryTemplate {
+            name: "ceb-4: voted posts",
+            tables: &["posts", "votes"],
+            attrs: &[("posts", "view_count"), ("votes", "vote_type"), ("votes", "creation_year")],
+        },
+        QueryTemplate {
+            name: "ceb-5: badged users' posts",
+            tables: &["badges", "users", "posts"],
+            attrs: &[("badges", "class"), ("users", "reputation"), ("posts", "answer_count")],
+        },
+        QueryTemplate {
+            name: "ceb-6: post history",
+            tables: &["posts", "post_history"],
+            attrs: &[("posts", "score"), ("post_history", "type")],
+        },
+        QueryTemplate {
+            name: "ceb-7: linked posts",
+            tables: &["posts", "post_links"],
+            attrs: &[("posts", "view_count"), ("post_links", "link_type")],
+        },
+        QueryTemplate {
+            name: "ceb-8: tagged discussions",
+            tables: &["posts", "tags", "comments"],
+            attrs: &[("tags", "count"), ("comments", "score")],
+        },
+    ]
+}
+
+/// The template family for a dataset, when the paper prescribes one.
+pub fn templates_for(ds: &Dataset) -> Option<Vec<QueryTemplate>> {
+    match ds.schema.name.as_str() {
+        "imdb" => Some(imdb_templates()),
+        "stats" => Some(stats_templates()),
+        _ => None,
+    }
+}
+
+/// Instantiates `count` queries from the template family: uniform template
+/// choice, a random non-empty subset of the template's attributes, and
+/// predicates centered on data per `spec`.
+///
+/// # Panics
+/// Panics when a template references names missing from the schema (a
+/// template/schema mismatch is a programming error).
+pub fn generate_from_templates(
+    ds: &Dataset,
+    templates: &[QueryTemplate],
+    spec: &WorkloadSpec,
+    rng: &mut impl Rng,
+    count: usize,
+) -> Vec<Query> {
+    assert!(!templates.is_empty(), "no templates supplied");
+    (0..count)
+        .map(|_| {
+            let t = &templates[rng.random_range(0..templates.len())];
+            instantiate_template(ds, t, spec, rng)
+        })
+        .collect()
+}
+
+/// Instantiates a single template.
+pub fn instantiate_template(
+    ds: &Dataset,
+    template: &QueryTemplate,
+    spec: &WorkloadSpec,
+    rng: &mut impl Rng,
+) -> Query {
+    let tables: Vec<usize> = template.tables.iter().map(|n| ds.schema.table(n)).collect();
+    let resolved: Vec<(usize, usize)> = template
+        .attrs
+        .iter()
+        .map(|(tn, cn)| {
+            let t = ds.schema.table(tn);
+            (t, ds.schema.tables[t].col(cn))
+        })
+        .collect();
+    let n_preds = rng.random_range(1..=resolved.len().min(spec.max_predicates.max(1)));
+    let mut pool = resolved;
+    let mut predicates = Vec::with_capacity(n_preds);
+    for _ in 0..n_preds {
+        let i = rng.random_range(0..pool.len());
+        let (t, c) = pool.swap_remove(i);
+        predicates.push(template_predicate(ds, spec, rng, t, c));
+    }
+    Query::new(tables, predicates)
+}
+
+fn template_predicate(
+    ds: &Dataset,
+    spec: &WorkloadSpec,
+    rng: &mut impl Rng,
+    table: usize,
+    col: usize,
+) -> Predicate {
+    crate::gen::random_predicate(ds, spec, rng, table, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_data::{build, DatasetKind, Scale};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn imdb_templates_resolve_and_generate_valid_queries() {
+        let ds = build(DatasetKind::Imdb, Scale::tiny(), 81);
+        let templates = templates_for(&ds).expect("imdb has templates");
+        assert_eq!(templates.len(), 8);
+        let mut rng = StdRng::seed_from_u64(82);
+        let qs = generate_from_templates(&ds, &templates, &WorkloadSpec::default(), &mut rng, 200);
+        for q in &qs {
+            assert!(q.is_valid(&ds.schema), "invalid template query {q:?}");
+        }
+        // Every template family should show up over 200 draws.
+        let distinct_patterns: std::collections::HashSet<Vec<usize>> =
+            qs.iter().map(|q| q.tables.clone()).collect();
+        assert!(distinct_patterns.len() >= 6, "templates underused: {distinct_patterns:?}");
+    }
+
+    #[test]
+    fn stats_templates_resolve_and_generate_valid_queries() {
+        let ds = build(DatasetKind::Stats, Scale::tiny(), 83);
+        let templates = templates_for(&ds).expect("stats has templates");
+        let mut rng = StdRng::seed_from_u64(84);
+        for q in generate_from_templates(&ds, &templates, &WorkloadSpec::default(), &mut rng, 200) {
+            assert!(q.is_valid(&ds.schema), "invalid template query {q:?}");
+        }
+    }
+
+    #[test]
+    fn non_template_datasets_return_none() {
+        let ds = build(DatasetKind::Dmv, Scale::tiny(), 85);
+        assert!(templates_for(&ds).is_none());
+        let ds = build(DatasetKind::Tpch, Scale::tiny(), 86);
+        assert!(templates_for(&ds).is_none());
+    }
+
+    #[test]
+    fn template_patterns_are_connected() {
+        for kind in [DatasetKind::Imdb, DatasetKind::Stats] {
+            let ds = build(kind, Scale::tiny(), 87);
+            for t in templates_for(&ds).expect("templated dataset") {
+                let tables: Vec<usize> =
+                    t.tables.iter().map(|n| ds.schema.table(n)).collect();
+                assert!(ds.schema.is_connected(&tables), "template {} disconnected", t.name);
+            }
+        }
+    }
+}

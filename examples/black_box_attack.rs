@@ -1,0 +1,67 @@
+//! The paper's Figure 1 scenario, end to end: Alice has only black-box access
+//! to a database whose optimizer uses a learned cardinality estimator. She
+//! speculates the model's type, trains a surrogate, trains a poisoning-query
+//! generator against it, and injects queries that the estimator will
+//! incrementally train on — wrecking its accuracy while the queries stay
+//! close to the historical workload.
+//!
+//! ```text
+//! cargo run --release --example black_box_attack
+//! ```
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_core::{
+    run_attack, speculate_model_type, AttackMethod, AttackerKnowledge, PipelineConfig, Victim,
+};
+use pace_data::{build, DatasetKind, Scale};
+use pace_engine::Executor;
+use pace_workload::{generate_queries, QueryEncoder, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- The victim's side ---------------------------------------------------
+    let ds = build(DatasetKind::Dmv, Scale::quick(), 3);
+    let exec = Executor::new(&ds);
+    let spec = WorkloadSpec::single_table();
+    let mut rng = StdRng::seed_from_u64(11);
+    let history_q = generate_queries(&ds, &spec, &mut rng, 900);
+    let history = exec.label_nonzero(history_q);
+    let test = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 150));
+
+    let encoder = QueryEncoder::new(&ds);
+    let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 5);
+    model.train(&EncodedWorkload::from_workload(&encoder, &history), &mut rng);
+    let history_queries = history.iter().map(|lq| lq.query.clone()).collect();
+    let mut victim = Victim::new(model, Executor::new(&ds), history_queries);
+    println!("victim: FCN estimator trained on {} historical queries", history.len());
+
+    // --- Alice's side (black-box) --------------------------------------------
+    let k = AttackerKnowledge::from_public(&ds, spec);
+    let mut cfg = PipelineConfig::quick();
+    cfg.attack.n_poison = 45;
+    cfg.attack.iters = 30;
+
+    // Step 1: speculate the hidden model's type from behavioral probes.
+    let speculation = speculate_model_type(&victim, &k, &cfg.speculation);
+    println!("speculated model type: {}", speculation.speculated.name());
+    for (ty, sim) in &speculation.similarities {
+        println!("  behavior similarity vs {:>8}: {sim:.3}", ty.name());
+    }
+    cfg.surrogate_type = Some(speculation.speculated);
+
+    // Steps 2–3: surrogate training, generator training, injection.
+    let outcome = run_attack(&mut victim, AttackMethod::Pace, &test, &k, &cfg);
+
+    println!("\ninjected {} poisoning queries", outcome.poison.len());
+    println!("  mean q-error: {:.2} -> {:.2} ({:.0}x)",
+        outcome.clean.mean, outcome.poisoned.mean, outcome.qerror_multiple());
+    println!("  p95  q-error: {:.2} -> {:.2}", outcome.clean.p95, outcome.poisoned.p95);
+    println!("  JS divergence of poison vs historical workload: {:.4}", outcome.divergence);
+    println!(
+        "  overhead: train {:.1}s, generate {:.3}s, inject {:.3}s",
+        outcome.train_seconds, outcome.generate_seconds, outcome.attack_seconds
+    );
+    let sample = &outcome.poison[0];
+    println!("\na poisoning query looks perfectly ordinary: {sample:?}");
+}

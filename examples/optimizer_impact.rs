@@ -1,0 +1,82 @@
+//! The "malicious competitor" scenario (paper Case 2): how poisoning the
+//! cardinality estimator degrades *end-to-end query performance* — the
+//! optimizer picks worse join orders, so the same queries process far more
+//! tuples.
+//!
+//! ```text
+//! cargo run --release --example optimizer_impact
+//! ```
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_core::{run_attack, AttackMethod, AttackerKnowledge, PipelineConfig, Victim};
+use pace_data::{build, DatasetKind, Scale};
+use pace_engine::{optimize, run_plan, total_latency, CostModel, Executor, OracleEstimator};
+use pace_workload::{generate_queries, QueryEncoder, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ds = build(DatasetKind::Tpch, Scale::quick(), 9);
+    let exec = Executor::new(&ds);
+    let spec = WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() };
+    let mut rng = StdRng::seed_from_u64(21);
+
+    // Train the victim estimator.
+    let train = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 1200));
+    let encoder = QueryEncoder::new(&ds);
+    let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 2);
+    model.train(&EncodedWorkload::from_workload(&encoder, &train), &mut rng);
+
+    // 20 multi-table join queries we will execute end to end.
+    let join_spec = WorkloadSpec { join_size_decay: 1.0, max_join_tables: 4, ..spec.clone() };
+    let joins: Vec<_> = generate_queries(&ds, &join_spec, &mut rng, 200)
+        .into_iter()
+        .filter(|q| q.tables.len() >= 2)
+        .take(20)
+        .collect();
+    let cost = CostModel::default();
+
+    // Reference points: a perfect oracle and the clean learned estimator.
+    let oracle = OracleEstimator::new(Executor::new(&ds));
+    let oracle_latency = total_latency(&joins, &exec, &oracle, &cost);
+    let clean_latency = total_latency(&joins, &exec, &model, &cost);
+
+    // Attack the estimator, then re-plan the same queries.
+    let history = train.iter().map(|lq| lq.query.clone()).collect();
+    let mut victim = Victim::new(model, Executor::new(&ds), history);
+    let k = AttackerKnowledge::from_public(&ds, spec);
+    let mut cfg = PipelineConfig::quick();
+    cfg.surrogate_type = Some(CeModelType::Fcn);
+    cfg.attack.n_poison = 60;
+    cfg.attack.iters = 45;
+    cfg.attack.batch = 64;
+    // Target the executed join workload itself (as the paper's E2E
+    // experiment does).
+    let target = exec.label(joins.clone());
+    let outcome = run_attack(&mut victim, AttackMethod::Pace, &target, &k, &cfg);
+    let poisoned_latency = total_latency(&joins, &exec, victim.model(), &cost);
+
+    println!("simulated E2E latency of 20 join queries:");
+    println!("  perfect-oracle plans : {oracle_latency:8.2} s");
+    println!("  clean learned model  : {clean_latency:8.2} s");
+    println!("  poisoned model       : {poisoned_latency:8.2} s");
+    println!(
+        "\npoisoning raised estimator q-error {:.1}x and end-to-end latency {:.2}x",
+        outcome.qerror_multiple(),
+        poisoned_latency / clean_latency
+    );
+
+    // Show one query whose plan flipped.
+    for q in &joins {
+        let clean_plan = optimize(q, &ds.schema, &oracle);
+        let poisoned_plan = optimize(q, &ds.schema, victim.model());
+        if clean_plan.order != poisoned_plan.order {
+            let good = run_plan(q, &exec, &clean_plan, &cost);
+            let bad = run_plan(q, &exec, &poisoned_plan, &cost);
+            println!("\nexample plan flip on tables {:?}:", q.tables);
+            println!("  oracle order  {:?} -> {:>10.0} tuples", good.order, good.true_work);
+            println!("  poisoned order {:?} -> {:>9.0} tuples", bad.order, bad.true_work);
+            break;
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a synthetic database, train a learned cardinality
+//! estimator, and compare its estimates against exact counts.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_data::{build, DatasetKind, Scale};
+use pace_engine::Executor;
+use pace_workload::{generate_queries, QErrorSummary, QueryEncoder, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A synthetic TPC-H instance (8 tables, tree-shaped join graph).
+    let ds = build(DatasetKind::Tpch, Scale::quick(), 42);
+    println!(
+        "dataset: {} tables, {} rows total, {} filterable attributes",
+        ds.schema.num_tables(),
+        ds.total_rows(),
+        ds.schema.num_attributes()
+    );
+
+    // 2. A training workload labeled with exact cardinalities.
+    let exec = Executor::new(&ds);
+    let mut rng = StdRng::seed_from_u64(7);
+    let spec = WorkloadSpec::default();
+    let train = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 1500));
+    let test = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 200));
+    println!("workload: {} training / {} test queries", train.len(), test.len());
+
+    // 3. Train an MSCN estimator on (query → cardinality) pairs.
+    let encoder = QueryEncoder::new(&ds);
+    let train_data = EncodedWorkload::from_workload(&encoder, &train);
+    let test_data = EncodedWorkload::from_workload(&encoder, &test);
+    let mut model = CeModel::new(CeModelType::Mscn, &ds, CeConfig::quick(), 1);
+    let final_loss = model.train(&train_data, &mut rng);
+    println!("trained MSCN, final epoch loss {final_loss:.3}");
+
+    // 4. Evaluate with the Q-error metric.
+    let summary = QErrorSummary::from_samples(&model.evaluate(&test_data));
+    println!(
+        "test q-error: mean {:.2}, median {:.2}, p95 {:.2}, max {:.2}",
+        summary.mean, summary.median, summary.p95, summary.max
+    );
+
+    // 5. Estimate one query by hand.
+    let q = &test[0].query;
+    println!(
+        "example query over tables {:?}: estimated {:.0}, true {}",
+        q.tables,
+        model.estimate_query(q),
+        test[0].cardinality
+    );
+}

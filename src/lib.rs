@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the PACE reproduction workspace.
+pub use pace_ce as ce;
+pub use pace_core as attack;
+pub use pace_data as data;
+pub use pace_engine as engine;
+pub use pace_tensor as tensor;
+pub use pace_workload as workload;

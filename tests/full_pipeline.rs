@@ -1,0 +1,150 @@
+//! Cross-crate integration: the complete reproduction pipeline on a small
+//! dataset, asserting the paper's qualitative shape end to end.
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_core::{run_attack, AttackMethod, AttackerKnowledge, BlackBox, PipelineConfig, Victim};
+use pace_data::{build, DatasetKind, Scale};
+use pace_engine::{total_latency, CostModel, Executor, OracleEstimator};
+use pace_workload::{generate_queries, QErrorSummary, QueryEncoder, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn full_reproduction_shape_on_dmv() {
+    // Victim side.
+    let ds = build(DatasetKind::Dmv, Scale::quick(), 77);
+    let exec = Executor::new(&ds);
+    let spec = WorkloadSpec::single_table();
+    let mut rng = StdRng::seed_from_u64(78);
+    let train = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 900));
+    let test = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 150));
+    let encoder = QueryEncoder::new(&ds);
+    let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 79);
+    model.train(&EncodedWorkload::from_workload(&encoder, &train), &mut rng);
+    let snapshot = model.params().snapshot();
+
+    // Clean accuracy must be decent — attacks are only meaningful against a
+    // model that actually works.
+    let clean = QErrorSummary::from_samples(
+        &model.evaluate(&EncodedWorkload::from_workload(&encoder, &test)),
+    );
+    assert!(clean.mean < 10.0, "victim under-trained: mean q-error {}", clean.mean);
+
+    let history: Vec<_> = train.iter().map(|lq| lq.query.clone()).collect();
+    let mut victim = Victim::new(model, Executor::new(&ds), history);
+    let k = AttackerKnowledge::from_public(&ds, spec);
+    let mut cfg = PipelineConfig::quick();
+    cfg.surrogate_type = Some(CeModelType::Fcn);
+
+    // Paper shape: PACE ≫ Random ≈ Clean.
+    let random = run_attack(&mut victim, AttackMethod::Random, &test, &k, &cfg);
+    victim.model_mut().params_mut().restore(&snapshot);
+    let pace = run_attack(&mut victim, AttackMethod::Pace, &test, &k, &cfg);
+
+    assert!(
+        random.qerror_multiple() < 8.0,
+        "benign-looking random queries should barely hurt: {}x",
+        random.qerror_multiple()
+    );
+    assert!(
+        pace.qerror_multiple() > 5.0,
+        "PACE should hurt substantially: {}x",
+        pace.qerror_multiple()
+    );
+    assert!(
+        pace.qerror_multiple() > 2.0 * random.qerror_multiple(),
+        "PACE ({:.1}x) must clearly dominate Random ({:.1}x)",
+        pace.qerror_multiple(),
+        random.qerror_multiple()
+    );
+    // Stealth: poisoning queries stay distributionally close to history.
+    assert!(pace.divergence < 0.4, "divergence too high: {}", pace.divergence);
+    // All injected queries are legal SQL over the schema.
+    assert!(pace.poison.iter().all(|q| q.is_valid(&ds.schema)));
+}
+
+#[test]
+fn poisoned_optimizer_does_more_true_work() {
+    let ds = build(DatasetKind::Tpch, Scale::quick(), 90);
+    let exec = Executor::new(&ds);
+    let spec = WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() };
+    let mut rng = StdRng::seed_from_u64(91);
+    let train = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 900));
+    let encoder = QueryEncoder::new(&ds);
+    let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 92);
+    model.train(&EncodedWorkload::from_workload(&encoder, &train), &mut rng);
+
+    let joins: Vec<_> = generate_queries(
+        &ds,
+        &WorkloadSpec { join_size_decay: 1.0, ..spec.clone() },
+        &mut rng,
+        200,
+    )
+    .into_iter()
+    .filter(|q| q.tables.len() >= 2)
+    .take(20)
+    .collect();
+    let target = exec.label(joins.clone());
+    let cost = CostModel::default();
+    let clean_latency = total_latency(&joins, &exec, &model, &cost);
+
+    let history = train.iter().map(|lq| lq.query.clone()).collect();
+    let mut victim = Victim::new(model, Executor::new(&ds), history);
+    let k = AttackerKnowledge::from_public(&ds, spec);
+    let mut cfg = PipelineConfig::quick();
+    cfg.surrogate_type = Some(CeModelType::Fcn);
+    cfg.attack.iters = 40;
+    cfg.attack.batch = 64;
+    cfg.attack.n_poison = 60;
+    let outcome = run_attack(&mut victim, AttackMethod::Pace, &target, &k, &cfg);
+    let poisoned_latency = total_latency(&joins, &exec, victim.model(), &cost);
+
+    assert!(outcome.qerror_multiple() > 1.2, "attack failed: {}x", outcome.qerror_multiple());
+    assert!(
+        poisoned_latency >= clean_latency * 0.99,
+        "poisoning should not speed up execution: {clean_latency} -> {poisoned_latency}"
+    );
+    // Oracle is the lower bound on achievable latency.
+    let oracle = OracleEstimator::new(Executor::new(&ds));
+    let oracle_latency = total_latency(&joins, &exec, &oracle, &cost);
+    assert!(oracle_latency <= clean_latency * 1.001);
+}
+
+#[test]
+fn injected_queries_round_trip_through_victim_encoding() {
+    // The victim re-encodes decoded queries; that re-encoding must be stable
+    // (encode∘decode∘encode = encode∘decode), otherwise the attack surface
+    // and the training surface silently diverge.
+    let ds = build(DatasetKind::Stats, Scale::tiny(), 5);
+    let encoder = QueryEncoder::new(&ds);
+    let k = AttackerKnowledge::from_public(&ds, WorkloadSpec::default());
+    let generator = pace_core::PoisonGenerator::new(
+        encoder.clone(),
+        k.patterns.clone(),
+        pace_core::GeneratorConfig::default(),
+        7,
+    );
+    let mut rng = StdRng::seed_from_u64(8);
+    let (queries, _) = generator.generate(&mut rng, 40);
+    for q in queries {
+        let enc1 = encoder.encode(&q);
+        let q2 = encoder.decode(&enc1);
+        let enc2 = encoder.encode(&q2);
+        assert_eq!(enc1, enc2, "unstable encode/decode for {q:?}");
+    }
+}
+
+#[test]
+fn victim_injection_is_observable_and_cumulative() {
+    let ds = build(DatasetKind::Dmv, Scale::tiny(), 60);
+    let exec = Executor::new(&ds);
+    let spec = WorkloadSpec::single_table();
+    let mut rng = StdRng::seed_from_u64(61);
+    let history = generate_queries(&ds, &spec, &mut rng, 50);
+    let model = CeModel::new(CeModelType::Linear, &ds, CeConfig::quick(), 62);
+    let mut victim = Victim::new(model, exec, history.clone());
+    victim.run_queries(&history[..10]);
+    victim.run_queries(&history[10..15]);
+    assert_eq!(victim.injected().len(), 15);
+    assert!(victim.injected().iter().all(|lq| lq.cardinality >= 1));
+}

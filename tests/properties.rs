@@ -1,0 +1,160 @@
+//! Cross-crate property-based tests (proptest): the exact-count engine versus
+//! a brute-force reference, encoder round-trips, generator validity, and
+//! optimizer invariants over randomized inputs.
+
+use pace_data::schema::{table, JoinEdge};
+use pace_data::{Dataset, Schema, Table};
+use pace_engine::{naive_count, optimize, CardEstimator, Executor};
+use pace_workload::{Predicate, Query, QueryEncoder};
+use proptest::prelude::*;
+
+/// A small random chain database `a — b — c` with data driven by proptest.
+fn chain_db(a_vals: Vec<i64>, b_fk: Vec<u8>, b_vals: Vec<i64>, c_fk: Vec<u8>) -> Dataset {
+    let schema = Schema::new(
+        "prop",
+        vec![
+            table("a", &["id"], &[], &["x"]),
+            table("b", &["id"], &["a_id"], &["y"]),
+            table("c", &["id"], &["b_id"], &[]),
+        ],
+        vec![
+            JoinEdge { left: (0, 0), right: (1, 1) },
+            JoinEdge { left: (1, 0), right: (2, 1) },
+        ],
+    );
+    let na = a_vals.len().max(1) as i64;
+    let nb = b_fk.len().max(1) as i64;
+    let a = Table::from_columns(vec![(0..a_vals.len() as i64).collect(), a_vals]);
+    let b = Table::from_columns(vec![
+        (0..b_fk.len() as i64).collect(),
+        b_fk.iter().map(|&v| i64::from(v) % na).collect(),
+        b_vals,
+    ]);
+    let c = Table::from_columns(vec![
+        (0..c_fk.len() as i64).collect(),
+        c_fk.iter().map(|&v| i64::from(v) % nb).collect(),
+    ]);
+    Dataset::new(schema, vec![a, b, c])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn semijoin_count_matches_bruteforce(
+        a_vals in prop::collection::vec(0i64..20, 1..8),
+        b_fk in prop::collection::vec(any::<u8>(), 1..8),
+        b_vals in prop::collection::vec(0i64..20, 8),
+        c_fk in prop::collection::vec(any::<u8>(), 1..8),
+        lo in 0i64..20,
+        width in 0i64..20,
+        pattern_pick in 0usize..4,
+    ) {
+        let b_vals = b_vals[..b_fk.len()].to_vec();
+        let ds = chain_db(a_vals, b_fk, b_vals, c_fk);
+        let exec = Executor::new(&ds);
+        let tables = match pattern_pick {
+            0 => vec![0],
+            1 => vec![0, 1],
+            2 => vec![1, 2],
+            _ => vec![0, 1, 2],
+        };
+        let mut predicates = vec![];
+        if tables.contains(&1) {
+            predicates.push(Predicate { table: 1, col: 2, lo, hi: lo + width });
+        } else if tables.contains(&0) {
+            predicates.push(Predicate { table: 0, col: 1, lo, hi: lo + width });
+        }
+        let q = Query::new(tables, predicates);
+        prop_assert_eq!(exec.count(&q), naive_count(&ds, &q));
+    }
+
+    #[test]
+    fn count_monotone_in_predicate_width(
+        a_vals in prop::collection::vec(0i64..30, 2..10),
+        lo in 0i64..30,
+        w1 in 0i64..15,
+        extra in 1i64..15,
+    ) {
+        let ds = chain_db(a_vals, vec![0], vec![0], vec![0]);
+        let exec = Executor::new(&ds);
+        let narrow = Query::new(vec![0], vec![Predicate { table: 0, col: 1, lo, hi: lo + w1 }]);
+        let wide = Query::new(vec![0], vec![Predicate { table: 0, col: 1, lo, hi: lo + w1 + extra }]);
+        prop_assert!(exec.count(&narrow) <= exec.count(&wide));
+    }
+
+    #[test]
+    fn encoder_decode_encode_is_stable(
+        a_vals in prop::collection::vec(0i64..50, 2..10),
+        b_vals in prop::collection::vec(0i64..50, 4),
+        raw in prop::collection::vec(0f32..1.0, 3 + 2 * 2),
+    ) {
+        let ds = chain_db(a_vals, vec![0, 1, 2, 3], b_vals, vec![0]);
+        let enc = QueryEncoder::new(&ds);
+        // Force the join prefix to a valid pattern; bounds stay raw.
+        let mut v = raw.clone();
+        v[0] = 1.0;
+        v[1] = 1.0;
+        v[2] = 0.0;
+        // Order each bound pair.
+        for i in 0..2 {
+            let lo = 3 + 2 * i;
+            if v[lo] > v[lo + 1] {
+                v.swap(lo, lo + 1);
+            }
+        }
+        let q = enc.decode(&v);
+        prop_assert!(q.is_valid(&ds.schema));
+        let e1 = enc.encode(&q);
+        let e2 = enc.encode(&enc.decode(&e1));
+        prop_assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn optimizer_plans_are_valid_permutations(
+        cards in prop::collection::vec(1f64..1e6, 7),
+    ) {
+        // Random positive cardinalities for every subset of a 3-table chain.
+        struct VecEst(Vec<f64>);
+        impl CardEstimator for VecEst {
+            fn estimate(&self, q: &Query) -> f64 {
+                // Index by bitmask of the pattern.
+                let mask = q.tables.iter().fold(0usize, |m, &t| m | (1 << t));
+                self.0[mask - 1]
+            }
+        }
+        let ds = chain_db(vec![1, 2], vec![0, 1], vec![3, 4], vec![0, 1]);
+        let q = Query::new(vec![0, 1, 2], vec![]);
+        let plan = optimize(&q, &ds.schema, &VecEst(cards));
+        let mut sorted = plan.order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, vec![0, 1, 2]);
+        for k in 1..=plan.order.len() {
+            prop_assert!(ds.schema.is_connected(&plan.order[..k]));
+        }
+        prop_assert!(plan.est_cost.is_finite());
+        prop_assert!(plan.est_cost > 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generator_outputs_valid_queries_under_any_seed(seed in any::<u64>()) {
+        use pace_core::{GeneratorConfig, PoisonGenerator};
+        use pace_data::{build, DatasetKind, Scale};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let ds = build(DatasetKind::Tpch, Scale::tiny(), 3);
+        let enc = QueryEncoder::new(&ds);
+        let patterns = ds.schema.connected_patterns(3);
+        let generator = PoisonGenerator::new(enc, patterns, GeneratorConfig::default(), seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let (queries, encs) = generator.generate(&mut rng, 16);
+        for (q, e) in queries.iter().zip(&encs) {
+            prop_assert!(q.is_valid(&ds.schema), "invalid query {:?}", q);
+            prop_assert!(e.iter().all(|x| x.is_finite()));
+        }
+    }
+}
