@@ -17,7 +17,14 @@ use std::hint::black_box;
 fn bench_autograd(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut ps = ParamStore::new();
-    let mlp = Mlp::new(&mut ps, &mut rng, "m", &[64, 64, 64, 1], Activation::Relu, Activation::Sigmoid);
+    let mlp = Mlp::new(
+        &mut ps,
+        &mut rng,
+        "m",
+        &[64, 64, 64, 1],
+        Activation::Relu,
+        Activation::Sigmoid,
+    );
     let x = Matrix::full(96, 64, 0.3);
 
     c.bench_function("autograd/mlp_forward_96x64", |b| {

@@ -17,20 +17,24 @@ fn main() {
         AttackMethod::Pace,
     ];
     for (update_lr, update_clip) in [(5e-3f32, 5.0f32), (1e-2, 5.0), (1e-2, 20.0)] {
-      for seed in [0xca11u64, 0xca22, 0xca33] {
-        let mut scale = ExpScale::quick();
-        scale.ce.update_lr = update_lr;
-        scale.ce.update_clip = update_clip;
-        scale.pipeline.attack.unroll_lr = update_lr;
-        scale.pipeline.attack.sync_every = usize::MAX;
-        scale.pipeline.attack.seed = seed;
-        let cells = run_cell(&scale, DatasetKind::Dmv, CeModelType::Fcn, &methods, seed);
-        print!("lr={update_lr:<6} clip={update_clip:<4} seed={seed:x}");
-        for c in &cells {
-            print!(" | {} x{:7.2}", c.method.name(), c.outcome.qerror_multiple());
+        for seed in [0xca11u64, 0xca22, 0xca33] {
+            let mut scale = ExpScale::quick();
+            scale.ce.update_lr = update_lr;
+            scale.ce.update_clip = update_clip;
+            scale.pipeline.attack.unroll_lr = update_lr;
+            scale.pipeline.attack.sync_every = usize::MAX;
+            scale.pipeline.attack.seed = seed;
+            let cells = run_cell(&scale, DatasetKind::Dmv, CeModelType::Fcn, &methods, seed);
+            print!("lr={update_lr:<6} clip={update_clip:<4} seed={seed:x}");
+            for c in &cells {
+                print!(
+                    " | {} x{:7.2}",
+                    c.method.name(),
+                    c.outcome.qerror_multiple()
+                );
+            }
+            println!();
         }
-        println!();
-      }
     }
     // Dump a PACE objective curve for the chosen setting.
     let mut scale = ExpScale::quick();
@@ -38,10 +42,26 @@ fn main() {
     scale.ce.update_clip = 10.0;
     scale.pipeline.attack.unroll_lr = 2e-2;
     scale.pipeline.attack.sync_every = usize::MAX;
-    let cells = run_cell(&scale, DatasetKind::Dmv, CeModelType::Fcn, &[AttackMethod::Pace], 0xca12);
-    println!("PACE black-box: x{:.1}  curve tail {:?}", cells[0].outcome.qerror_multiple(),
-        &cells[0].outcome.objective_curve[cells[0].outcome.objective_curve.len().saturating_sub(3)..]);
+    let cells = run_cell(
+        &scale,
+        DatasetKind::Dmv,
+        CeModelType::Fcn,
+        &[AttackMethod::Pace],
+        0xca12,
+    );
+    println!(
+        "PACE black-box: x{:.1}  curve tail {:?}",
+        cells[0].outcome.qerror_multiple(),
+        &cells[0].outcome.objective_curve
+            [cells[0].outcome.objective_curve.len().saturating_sub(3)..]
+    );
     scale.pipeline.white_box = true;
-    let cells = run_cell(&scale, DatasetKind::Dmv, CeModelType::Fcn, &[AttackMethod::Pace], 0xca12);
+    let cells = run_cell(
+        &scale,
+        DatasetKind::Dmv,
+        CeModelType::Fcn,
+        &[AttackMethod::Pace],
+        0xca12,
+    );
     println!("PACE white-box: x{:.1}", cells[0].outcome.qerror_multiple());
 }

@@ -35,7 +35,12 @@ fn main() {
                 best = best.min(dt);
                 mean += dt / reps as f64;
             }
-            println!("{:>9}: min {:8.2}µs mean {:8.2}µs", ty.name(), best * 1e6, mean * 1e6);
+            println!(
+                "{:>9}: min {:8.2}µs mean {:8.2}µs",
+                ty.name(),
+                best * 1e6,
+                mean * 1e6
+            );
         }
     }
 }

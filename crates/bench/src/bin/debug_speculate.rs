@@ -14,7 +14,10 @@ fn main() {
             let model = ctx.train_victim_model(ty, scale.ce, 0xdeb5 ^ (ty as u64));
             let victim = ctx.victim(model);
             let k = ctx.knowledge();
-            let cfg = SpeculationConfig { seed: 0xdeb5, ..scale.pipeline.speculation.clone() };
+            let cfg = SpeculationConfig {
+                seed: 0xdeb5,
+                ..scale.pipeline.speculation.clone()
+            };
             let result = speculate_model_type(&victim, &k, &cfg);
             print!("bb={:<9} -> {:<9} |", ty.name(), result.speculated.name());
             for (cty, sim) in &result.similarities {

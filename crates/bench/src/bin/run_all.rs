@@ -3,9 +3,11 @@
 
 use std::time::Instant;
 
+type Experiment = (&'static str, fn(&pace_bench::ExpScale));
+
 fn main() {
     let scale = pace_bench::ExpScale::from_args();
-    let experiments: Vec<(&str, fn(&pace_bench::ExpScale))> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("fig6_9", pace_bench::experiments::fig6_9),
         ("table3", pace_bench::experiments::table3),
         ("table4", pace_bench::experiments::table4),
@@ -22,7 +24,10 @@ fn main() {
         ("fig14", pace_bench::experiments::fig14),
         ("fig15", pace_bench::experiments::fig15),
         ("design_ablation", pace_bench::experiments::design_ablation),
-        ("learned_vs_traditional", pace_bench::experiments::learned_vs_traditional),
+        (
+            "learned_vs_traditional",
+            pace_bench::experiments::learned_vs_traditional,
+        ),
     ];
     let t0 = Instant::now();
     for (name, f) in experiments {
@@ -31,5 +36,8 @@ fn main() {
         f(&scale);
         eprintln!(">>> {name} finished in {:.1}s", t.elapsed().as_secs_f64());
     }
-    eprintln!(">>> full suite finished in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        ">>> full suite finished in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -41,10 +41,22 @@ pub fn fig12(scale: &ExpScale) {
             let rows = &rows;
             let scale = scale.clone();
             s.spawn(move || {
-                let basic =
-                    attack_once(&scale, DatasetKind::Dmv, ty, AttackMethod::PaceBasic, |_| {}, 0xf12);
-                let optimized =
-                    attack_once(&scale, DatasetKind::Dmv, ty, AttackMethod::Pace, |_| {}, 0xf12);
+                let basic = attack_once(
+                    &scale,
+                    DatasetKind::Dmv,
+                    ty,
+                    AttackMethod::PaceBasic,
+                    |_| {},
+                    0xf12,
+                );
+                let optimized = attack_once(
+                    &scale,
+                    DatasetKind::Dmv,
+                    ty,
+                    AttackMethod::Pace,
+                    |_| {},
+                    0xf12,
+                );
                 rows.lock().expect("f12 mutex").push((ty, basic, optimized));
             });
         }
@@ -55,7 +67,12 @@ pub fn fig12(scale: &ExpScale) {
     let mut report = Report::new(format!("fig12_{}", scale.name));
     let mut t = Table::new(
         "Figure 12 — PACE-basic vs PACE-optimized (DMV)",
-        &["CE model", "Variant", "Poisoned mean Q-error", "Generator-training time (s)"],
+        &[
+            "CE model",
+            "Variant",
+            "Poisoned mean Q-error",
+            "Generator-training time (s)",
+        ],
     );
     let mut speedups = Vec::new();
     for (ty, basic, optimized) in &rows {
@@ -75,7 +92,9 @@ pub fn fig12(scale: &ExpScale) {
     }
     report.table(&t);
     let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
-    report.note(format!("Average training speedup of the optimized algorithm: {avg:.1}× (paper: 9.7×)."));
+    report.note(format!(
+        "Average training speedup of the optimized algorithm: {avg:.1}× (paper: 9.7×)."
+    ));
     report.finish();
 }
 
@@ -97,7 +116,9 @@ pub fn fig13(scale: &ExpScale) {
                     |_| {},
                     0xf13,
                 );
-                rows.lock().expect("f13 mutex").push(("without detector".into(), o));
+                rows.lock()
+                    .expect("f13 mutex")
+                    .push(("without detector".into(), o));
             });
         }
         for &delta in &thresholds {
@@ -112,7 +133,9 @@ pub fn fig13(scale: &ExpScale) {
                     |cfg| cfg.attack.detector.threshold = delta,
                     0xf13,
                 );
-                rows.lock().expect("f13 mutex").push((format!("δ = {delta}"), o));
+                rows.lock()
+                    .expect("f13 mutex")
+                    .push((format!("δ = {delta}"), o));
             });
         }
     });
@@ -122,10 +145,18 @@ pub fn fig13(scale: &ExpScale) {
     let mut report = Report::new(format!("fig13_{}", scale.name));
     let mut t = Table::new(
         "Figure 13 — detector threshold vs effectiveness and normality (DMV, FCN)",
-        &["Variant", "Poisoned mean Q-error", "JS divergence vs historical"],
+        &[
+            "Variant",
+            "Poisoned mean Q-error",
+            "JS divergence vs historical",
+        ],
     );
     for (label, o) in &rows {
-        t.row(vec![label.clone(), fmt(o.poisoned.mean), format!("{:.4}", o.divergence)]);
+        t.row(vec![
+            label.clone(),
+            fmt(o.poisoned.mean),
+            format!("{:.4}", o.divergence),
+        ]);
     }
     report.table(&t);
     report.finish();
@@ -152,7 +183,9 @@ pub fn table8(scale: &ExpScale) {
                         |cfg| cfg.attack.n_poison = n.max(1),
                         0x7ab8,
                     );
-                    rows.lock().expect("t8 mutex").push((kind, n, o.qerror_multiple()));
+                    rows.lock()
+                        .expect("t8 mutex")
+                        .push((kind, n, o.qerror_multiple()));
                 });
             }
         }
@@ -162,7 +195,13 @@ pub fn table8(scale: &ExpScale) {
     let mut report = Report::new(format!("table8_{}", scale.name));
     let mut t = Table::new(
         format!("Table 8 — Q-error multiple vs number of poisoning queries (default {base})"),
-        &["Dataset", &half(base), &full_s(base), &twice(base), &quad(base)],
+        &[
+            "Dataset",
+            &half(base),
+            &full_s(base),
+            &twice(base),
+            &quad(base),
+        ],
     );
     for kind in datasets {
         let mut row = vec![kind.name().to_string()];
@@ -202,7 +241,14 @@ pub fn table9(scale: &ExpScale) {
             let rows = &rows;
             let scale = scale.clone();
             s.spawn(move || {
-                let o = attack_once(&scale, kind, CeModelType::Fcn, AttackMethod::Pace, |_| {}, 0x7ab9);
+                let o = attack_once(
+                    &scale,
+                    kind,
+                    CeModelType::Fcn,
+                    AttackMethod::Pace,
+                    |_| {},
+                    0x7ab9,
+                );
                 rows.lock().expect("t9 mutex").push((kind, o));
             });
         }

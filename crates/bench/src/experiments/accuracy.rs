@@ -22,8 +22,14 @@ pub fn fig6_9(scale: &ExpScale) {
     let mut report = Report::new(format!("fig6_9_{}", scale.name));
     for kind in DatasetKind::all() {
         let mut t = Table::new(
-            format!("Figure {} — mean Q-error on {}", fig_number(kind), kind.name()),
-            &["CE model", "Clean", "Random", "Lb-S", "Greedy", "Lb-G", "PACE"],
+            format!(
+                "Figure {} — mean Q-error on {}",
+                fig_number(kind),
+                kind.name()
+            ),
+            &[
+                "CE model", "Clean", "Random", "Lb-S", "Greedy", "Lb-G", "PACE",
+            ],
         );
         for ty in CeModelType::all() {
             let mut row = vec![ty.name().to_string()];
@@ -48,12 +54,7 @@ fn fig_number(kind: DatasetKind) -> u32 {
     }
 }
 
-fn find(
-    cells: &[CellResult],
-    kind: DatasetKind,
-    ty: CeModelType,
-    m: AttackMethod,
-) -> &CellResult {
+fn find(cells: &[CellResult], kind: DatasetKind, ty: CeModelType, m: AttackMethod) -> &CellResult {
     cells
         .iter()
         .find(|c| c.dataset == kind && c.model == ty && c.method == m)
@@ -86,7 +87,12 @@ fn summary_note(cells: &[CellResult]) -> String {
 /// Table 3: 90th/95th/99th/max percentile Q-errors for FCN, FCN+Pool, MSCN
 /// and RNN on all four datasets.
 pub fn table3(scale: &ExpScale) {
-    let models = [CeModelType::Fcn, CeModelType::FcnPool, CeModelType::Mscn, CeModelType::Rnn];
+    let models = [
+        CeModelType::Fcn,
+        CeModelType::FcnPool,
+        CeModelType::Mscn,
+        CeModelType::Rnn,
+    ];
     let methods = AttackMethod::headline();
     let cells = run_grid(scale, &DatasetKind::all(), &models, &methods, 0x7ab3);
     let mut report = Report::new(format!("table3_{}", scale.name));
@@ -130,7 +136,12 @@ pub fn table4(scale: &ExpScale) {
             for &m in &methods {
                 let c = find(&cells, kind, ty, m);
                 let s = &c.outcome.poisoned;
-                t.row(vec![ty.name().into(), m.name().into(), fmt(s.p95), fmt(s.max)]);
+                t.row(vec![
+                    ty.name().into(),
+                    m.name().into(),
+                    fmt(s.p95),
+                    fmt(s.max),
+                ]);
             }
         }
         report.table(&t);

@@ -16,10 +16,18 @@ pub fn design_ablation(scale: &ExpScale) {
     type Variant = (&'static str, fn(&mut PipelineConfig));
     let variants: Vec<Variant> = vec![
         ("full PACE", |_| {}),
-        ("w/o straight-through quantization", |c| c.attack.ablate_quantization = true),
-        ("w/o best-checkpointing", |c| c.attack.ablate_checkpoint = true),
-        ("w/ surrogate sync every 5 iters", |c| c.attack.sync_every = 5),
-        ("w/o detector confrontation", |c| c.attack.use_detector = false),
+        ("w/o straight-through quantization", |c| {
+            c.attack.ablate_quantization = true
+        }),
+        ("w/o best-checkpointing", |c| {
+            c.attack.ablate_checkpoint = true
+        }),
+        ("w/ surrogate sync every 5 iters", |c| {
+            c.attack.sync_every = 5
+        }),
+        ("w/o detector confrontation", |c| {
+            c.attack.use_detector = false
+        }),
         ("white-box surrogate (upper bound)", |c| c.white_box = true),
     ];
     let rows: Mutex<Vec<(usize, f64, f64)>> = Mutex::new(Vec::new());

@@ -49,8 +49,7 @@ pub fn fig14(scale: &ExpScale) {
                     let mut cfg = scale.pipeline.clone();
                     cfg.surrogate_type = Some(CeModelType::Fcn);
                     cfg.attack.seed ^= round as u64;
-                    let outcome =
-                        run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
+                    let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
                     multiples.push(outcome.qerror_multiple());
                     model.params_mut().restore(&snapshot);
                 }
@@ -63,7 +62,9 @@ pub fn fig14(scale: &ExpScale) {
     let mut report = Report::new(format!("fig14_{}", scale.name));
     let mut t = Table::new(
         "Figure 14 — Q-error multiple after attacking each incremental-training round (FCN)",
-        &["Dataset", "Round 1", "Round 2", "Round 3", "Round 4", "Round 5"],
+        &[
+            "Dataset", "Round 1", "Round 2", "Round 3", "Round 4", "Round 5",
+        ],
     );
     for kind in DatasetKind::all() {
         let (_, multiples) = rows.iter().find(|(k, _)| *k == kind).expect("f14 row");
@@ -76,7 +77,9 @@ pub fn fig14(scale: &ExpScale) {
     report.table(&t);
     let all: Vec<f64> = rows.iter().flat_map(|(_, m)| m.iter().copied()).collect();
     let avg = all.iter().sum::<f64>() / all.len().max(1) as f64;
-    report.note(format!("Average Q-error multiple per round: {avg:.1}× (paper: 22.4×)."));
+    report.note(format!(
+        "Average Q-error multiple per round: {avg:.1}× (paper: 22.4×)."
+    ));
     report.finish();
 }
 
@@ -103,7 +106,9 @@ pub fn fig15(scale: &ExpScale) {
                 let mut cfg = scale.pipeline.clone();
                 cfg.surrogate_type = Some(CeModelType::Fcn);
                 let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
-                rows.lock().expect("f15 mutex").push((kind, outcome.objective_curve));
+                rows.lock()
+                    .expect("f15 mutex")
+                    .push((kind, outcome.objective_curve));
             });
         }
     });

@@ -105,7 +105,12 @@ pub fn table5(scale: &ExpScale) {
                         let _ = run_attack(&mut victim, method, &target, &k, &cfg);
                         let exec = Executor::new(&ctx.ds);
                         let latency_s = total_latency(&joins, &exec, victim.model(), &cost);
-                        local.push(E2eCell { dataset: kind, model: ty, method, latency_s });
+                        local.push(E2eCell {
+                            dataset: kind,
+                            model: ty,
+                            method,
+                            latency_s,
+                        });
                     }
                     cells.lock().expect("e2e mutex").extend(local);
                 });

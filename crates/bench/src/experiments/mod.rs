@@ -10,8 +10,8 @@ mod surrogate_exp;
 mod traditional_exp;
 
 pub use ablation::{fig12, fig13, table10, table8, table9};
-pub use design_ablation::design_ablation;
 pub use accuracy::{fig6_9, table3, table4};
+pub use design_ablation::design_ablation;
 pub use dynamics::{fig14, fig15};
 pub use e2e::table5;
 pub use surrogate_exp::{fig10, fig11, table6, table7};

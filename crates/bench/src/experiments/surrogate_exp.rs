@@ -58,7 +58,9 @@ pub fn table6(scale: &ExpScale) {
     let mut report = Report::new(format!("table6_{}", scale.name));
     let mut t = Table::new(
         format!("Table 6 — speculation accuracy over {runs} black boxes per cell"),
-        &["Dataset", "FCN", "FCN+Pool", "MSCN", "RNN", "LSTM", "Linear"],
+        &[
+            "Dataset", "FCN", "FCN+Pool", "MSCN", "RNN", "LSTM", "Linear",
+        ],
     );
     let mut total_correct = 0;
     let mut total_runs = 0;
@@ -103,8 +105,7 @@ pub fn table7(scale: &ExpScale) {
                     victim.model_mut().params_mut().restore(&snapshot);
                     let mut cfg = scale.pipeline.clone();
                     cfg.surrogate_type = Some(surrogate_ty);
-                    let outcome =
-                        run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
+                    let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
                     local.push((victim_ty, surrogate_ty, outcome.qerror_multiple()));
                 }
                 results.lock().expect("t7 mutex").extend(local);
@@ -116,16 +117,23 @@ pub fn table7(scale: &ExpScale) {
     let mut report = Report::new(format!("table7_{}", scale.name));
     let mut t = Table::new(
         "Table 7 — attack-effectiveness decrease under mis-speculated surrogate type (DMV)",
-        &["BB \\ Surrogate", "FCN", "FCN+Pool", "MSCN", "RNN", "LSTM", "Linear"],
+        &[
+            "BB \\ Surrogate",
+            "FCN",
+            "FCN+Pool",
+            "MSCN",
+            "RNN",
+            "LSTM",
+            "Linear",
+        ],
     );
-    let multiple =
-        |v: CeModelType, s: CeModelType| -> f64 {
-            results
-                .iter()
-                .find(|(a, b, _)| *a == v && *b == s)
-                .expect("t7 cell")
-                .2
-        };
+    let multiple = |v: CeModelType, s: CeModelType| -> f64 {
+        results
+            .iter()
+            .find(|(a, b, _)| *a == v && *b == s)
+            .expect("t7 cell")
+            .2
+    };
     let mut decreases = Vec::new();
     for v in CeModelType::all() {
         let diag = multiple(v, v);
@@ -136,13 +144,19 @@ pub fn table7(scale: &ExpScale) {
             if v != s {
                 decreases.push(dec);
             }
-            row.push(if v == s { "0%".into() } else { format!("{dec:.1}%") });
+            row.push(if v == s {
+                "0%".into()
+            } else {
+                format!("{dec:.1}%")
+            });
         }
         t.row(row);
     }
     report.table(&t);
     let avg = decreases.iter().sum::<f64>() / decreases.len().max(1) as f64;
-    report.note(format!("Average off-diagonal decrease: {avg:.1}% (paper: 8.2%)."));
+    report.note(format!(
+        "Average off-diagonal decrease: {avg:.1}% (paper: 8.2%)."
+    ));
     report.finish();
 }
 
@@ -157,7 +171,13 @@ pub fn fig10(scale: &ExpScale) {
     let mut report = Report::new(format!("fig10_{}", scale.name));
     let mut t = Table::new(
         "Figure 10 — poisoned mean Q-error: Eq. 7 (PACE) vs Eq. 6 (Direct Imitation), DMV",
-        &["CE model", "Clean", "Direct (Eq. 6)", "Combined (Eq. 7)", "Gain %"],
+        &[
+            "CE model",
+            "Clean",
+            "Direct (Eq. 6)",
+            "Combined (Eq. 7)",
+            "Gain %",
+        ],
     );
     let rows: Mutex<Vec<(CeModelType, f64, f64, f64)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
@@ -172,19 +192,21 @@ pub fn fig10(scale: &ExpScale) {
                 let k = ctx.knowledge();
                 let mut by_strategy = [0.0f64; 2];
                 let mut clean = 0.0;
-                for (i, strategy) in
-                    [ImitationStrategy::Direct, ImitationStrategy::Combined].iter().enumerate()
+                for (i, strategy) in [ImitationStrategy::Direct, ImitationStrategy::Combined]
+                    .iter()
+                    .enumerate()
                 {
                     victim.model_mut().params_mut().restore(&snapshot);
                     let mut cfg = scale.pipeline.clone();
                     cfg.surrogate_type = Some(ty);
                     cfg.surrogate.strategy = *strategy;
-                    let outcome =
-                        run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
+                    let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
                     by_strategy[i] = outcome.poisoned.mean;
                     clean = outcome.clean.mean;
                 }
-                rows.lock().expect("f10 mutex").push((ty, clean, by_strategy[0], by_strategy[1]));
+                rows.lock()
+                    .expect("f10 mutex")
+                    .push((ty, clean, by_strategy[0], by_strategy[1]));
             });
         }
     });

@@ -39,10 +39,8 @@ pub fn learned_vs_traditional(scale: &ExpScale) {
 
                 let model = ctx.train_victim_model(CeModelType::Fcn, scale.ce, 0x7d3);
                 let clean_q = {
-                    let data = EncodedWorkload::from_workload(
-                        &QueryEncoder::new(&ctx.ds),
-                        &ctx.test,
-                    );
+                    let data =
+                        EncodedWorkload::from_workload(&QueryEncoder::new(&ctx.ds), &ctx.test);
                     QErrorSummary::from_samples(&model.evaluate(&data)).mean
                 };
                 let mut victim = ctx.victim(model);
@@ -50,9 +48,13 @@ pub fn learned_vs_traditional(scale: &ExpScale) {
                 let mut cfg = scale.pipeline.clone();
                 cfg.surrogate_type = Some(CeModelType::Fcn);
                 let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
-                rows.lock()
-                    .expect("lvt mutex")
-                    .push((kind, clean_q, outcome.poisoned.mean, hist_q, samp_q));
+                rows.lock().expect("lvt mutex").push((
+                    kind,
+                    clean_q,
+                    outcome.poisoned.mean,
+                    hist_q,
+                    samp_q,
+                ));
             });
         }
     });
@@ -61,12 +63,23 @@ pub fn learned_vs_traditional(scale: &ExpScale) {
     let mut report = Report::new(format!("learned_vs_traditional_{}", scale.name));
     let mut t = Table::new(
         "Extension — mean Q-error: learned FCN vs traditional estimators under PACE",
-        &["Dataset", "FCN clean", "FCN poisoned", "Histogram (AVI)", "Sampling 10%"],
+        &[
+            "Dataset",
+            "FCN clean",
+            "FCN poisoned",
+            "Histogram (AVI)",
+            "Sampling 10%",
+        ],
     );
     for kind in datasets {
-        let &(_, clean, poisoned, hist, samp) =
-            rows.iter().find(|r| r.0 == kind).expect("lvt row");
-        t.row(vec![kind.name().into(), fmt(clean), fmt(poisoned), fmt(hist), fmt(samp)]);
+        let &(_, clean, poisoned, hist, samp) = rows.iter().find(|r| r.0 == kind).expect("lvt row");
+        t.row(vec![
+            kind.name().into(),
+            fmt(clean),
+            fmt(poisoned),
+            fmt(hist),
+            fmt(samp),
+        ]);
     }
     report.table(&t);
     report.note(

@@ -52,7 +52,10 @@ pub fn run_grid(
         (
             c.dataset.name(),
             c.model.name(),
-            methods.iter().position(|&m| m == c.method).unwrap_or(usize::MAX),
+            methods
+                .iter()
+                .position(|&m| m == c.method)
+                .unwrap_or(usize::MAX),
         )
     });
     out
@@ -78,7 +81,12 @@ pub fn run_cell(
         .map(|&method| {
             victim.model_mut().params_mut().restore(&snapshot);
             let outcome = run_attack(&mut victim, method, &ctx.test, &k, &cfg);
-            CellResult { dataset: kind, model: ty, method, outcome }
+            CellResult {
+                dataset: kind,
+                model: ty,
+                method,
+                outcome,
+            }
         })
         .collect()
 }

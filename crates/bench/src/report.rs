@@ -36,7 +36,15 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "\n### {}\n", self.title);
         let _ = writeln!(out, "| {} |", self.header.join(" | "));
-        let _ = writeln!(out, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for r in &self.rows {
             let _ = writeln!(out, "| {} |", r.join(" | "));
         }
@@ -53,7 +61,10 @@ pub struct Report {
 impl Report {
     /// Starts a report for the experiment `name` (e.g. `"table3"`).
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), sections: Vec::new() }
+        Self {
+            name: name.into(),
+            sections: Vec::new(),
+        }
     }
 
     /// Adds a finished table.
@@ -124,7 +135,7 @@ mod tests {
 
     #[test]
     fn fmt_ranges() {
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(3.1459), "3.15");
         assert_eq!(fmt(42.4242), "42.4");
         assert_eq!(fmt(512.3), "512");
         assert!(fmt(123456.0).contains('e'));

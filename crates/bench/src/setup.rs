@@ -66,7 +66,10 @@ impl ExpScale {
             test_queries: 400,
             ce: CeConfig::default(),
             pipeline: PipelineConfig {
-                attack: AttackConfig { n_poison: 200, ..AttackConfig::default() },
+                attack: AttackConfig {
+                    n_poison: 200,
+                    ..AttackConfig::default()
+                },
                 ..PipelineConfig::default()
             },
         }
@@ -105,7 +108,10 @@ impl Ctx {
         let spec = if kind == DatasetKind::Dmv {
             WorkloadSpec::single_table()
         } else {
-            WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() }
+            WorkloadSpec {
+                max_join_tables: 3,
+                ..WorkloadSpec::default()
+            }
         };
         let exec = Executor::new(&ds);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
@@ -124,7 +130,14 @@ impl Ctx {
         let test_q = gen(scale.test_queries, &mut rng);
         let test = exec.label_nonzero(test_q);
         let history = train.iter().map(|lq| lq.query.clone()).collect();
-        Self { kind, ds, spec, history, train, test }
+        Self {
+            kind,
+            ds,
+            spec,
+            history,
+            train,
+            test,
+        }
     }
 
     /// The attacker's public-knowledge bundle.

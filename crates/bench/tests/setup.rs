@@ -61,9 +61,15 @@ fn run_cell_restores_victim_between_methods() {
     );
     assert_eq!(cells.len(), 2);
     // Clean outcome's "poisoned" equals its clean baseline…
-    let clean = cells.iter().find(|c| c.method == AttackMethod::Clean).expect("clean");
+    let clean = cells
+        .iter()
+        .find(|c| c.method == AttackMethod::Clean)
+        .expect("clean");
     assert_eq!(clean.outcome.clean.mean, clean.outcome.poisoned.mean);
     // …and both methods saw the same pre-attack model.
-    let random = cells.iter().find(|c| c.method == AttackMethod::Random).expect("random");
+    let random = cells
+        .iter()
+        .find(|c| c.method == AttackMethod::Random)
+        .expect("random");
     assert_eq!(clean.outcome.clean.mean, random.outcome.clean.mean);
 }

@@ -51,7 +51,12 @@ impl Default for CeConfig {
 impl CeConfig {
     /// A faster configuration for tests.
     pub fn quick() -> Self {
-        Self { hidden: 32, epochs: 30, batch_size: 64, ..Self::default() }
+        Self {
+            hidden: 32,
+            epochs: 30,
+            batch_size: 64,
+            ..Self::default()
+        }
     }
 }
 

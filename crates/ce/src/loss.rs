@@ -49,7 +49,11 @@ fn per_element_capped_exp(g: &mut Graph, d: Var) -> Var {
 /// (paper Eq. 6/7 uses the same Q-error form with the black box's estimate in
 /// place of the truth).
 pub fn q_error_between(g: &mut Graph, pred_a: Var, pred_b: Var, ln_max: f32) -> Var {
-    assert_eq!(g.shape(pred_a), g.shape(pred_b), "prediction shape mismatch");
+    assert_eq!(
+        g.shape(pred_a),
+        g.shape(pred_b),
+        "prediction shape mismatch"
+    );
     let diff = g.sub(pred_a, pred_b);
     let scaled = g.mul_scalar(diff, ln_max);
     let d = g.abs(scaled);
@@ -98,7 +102,10 @@ mod tests {
         let loss = q_error_loss(&mut g, pred, &[0.0], 20.0);
         let expected = capped_q_error(20.0, 0.0);
         let got = g.value(loss).as_scalar();
-        assert!((got - expected).abs() / expected < 1e-4, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() / expected < 1e-4,
+            "{got} vs {expected}"
+        );
         assert!(got < 20.0f32.exp(), "must be far below the raw exponential");
     }
 

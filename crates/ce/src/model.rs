@@ -23,7 +23,7 @@ use pace_engine::CardEstimator;
 use pace_tensor::nn::{Activation, Dense, LstmCell, Mlp, RnnCell};
 use pace_tensor::optim::{clip_global_norm, sanitize, Adam, Optimizer, Sgd};
 use pace_tensor::{Binding, Graph, Matrix, ParamStore, Var};
-use pace_workload::{QueryEncoder, Query, Workload};
+use pace_workload::{Query, QueryEncoder, Workload};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -127,7 +127,10 @@ impl EncodedWorkload {
     /// Encodes a labeled workload.
     pub fn from_workload(encoder: &QueryEncoder, w: &Workload) -> Self {
         let enc = w.iter().map(|lq| encoder.encode(&lq.query)).collect();
-        let ln_card = w.iter().map(|lq| (lq.cardinality.max(1) as f32).ln()).collect();
+        let ln_card = w
+            .iter()
+            .map(|lq| (lq.cardinality.max(1) as f32).ln())
+            .collect();
         Self { enc, ln_card }
     }
 
@@ -210,12 +213,26 @@ impl CeModel {
                 let mut dims = hidden_dims(dim);
                 dims.push(1);
                 Arch::Fcn {
-                    mlp: Mlp::new(&mut params, &mut rng, "fcn", &dims, Activation::Relu, Activation::Sigmoid),
+                    mlp: Mlp::new(
+                        &mut params,
+                        &mut rng,
+                        "fcn",
+                        &dims,
+                        Activation::Relu,
+                        Activation::Sigmoid,
+                    ),
                 }
             }
             CeModelType::FcnPool => {
                 let tower = |params: &mut ParamStore, rng: &mut StdRng, name: &str, inp: usize| {
-                    Mlp::new(params, rng, name, &hidden_dims(inp), Activation::Relu, Activation::Relu)
+                    Mlp::new(
+                        params,
+                        rng,
+                        name,
+                        &hidden_dims(inp),
+                        Activation::Relu,
+                        Activation::Relu,
+                    )
                 };
                 let join_tower = tower(&mut params, &mut rng, "pool.join", t);
                 let lo_tower = tower(&mut params, &mut rng, "pool.lo", a.max(1));
@@ -228,7 +245,12 @@ impl CeModel {
                     Activation::Relu,
                     Activation::Sigmoid,
                 );
-                Arch::FcnPool { join_tower, lo_tower, hi_tower, head }
+                Arch::FcnPool {
+                    join_tower,
+                    lo_tower,
+                    hi_tower,
+                    head,
+                }
             }
             CeModelType::Mscn => {
                 let table_mlp = Mlp::new(
@@ -255,7 +277,11 @@ impl CeModel {
                     Activation::Relu,
                     Activation::Sigmoid,
                 );
-                Arch::Mscn { table_mlp, pred_mlp, head }
+                Arch::Mscn {
+                    table_mlp,
+                    pred_mlp,
+                    head,
+                }
             }
             CeModelType::Rnn => {
                 let cell = RnnCell::new(&mut params, &mut rng, "rnn", t + 2, h);
@@ -264,7 +290,14 @@ impl CeModel {
             }
             CeModelType::Lstm => {
                 let cell = LstmCell::new(&mut params, &mut rng, "lstm", t + 2, h);
-                let head = Dense::new(&mut params, &mut rng, "lstm.head", h, 1, Activation::Sigmoid);
+                let head = Dense::new(
+                    &mut params,
+                    &mut rng,
+                    "lstm.head",
+                    h,
+                    1,
+                    Activation::Sigmoid,
+                );
                 Arch::Lstm { cell, head }
             }
         };
@@ -276,7 +309,16 @@ impl CeModel {
             v
         };
         let adam = Adam::new(config.lr);
-        Self { ty, config, encoder, ln_max, params, arch, adam, attrs_by_table }
+        Self {
+            ty,
+            config,
+            encoder,
+            ln_max,
+            params,
+            arch,
+            adam,
+            attrs_by_table,
+        }
     }
 
     /// The model family.
@@ -324,7 +366,12 @@ impl CeModel {
         match &self.arch {
             Arch::Linear { out } => out.forward(g, bind, x),
             Arch::Fcn { mlp } => mlp.forward(g, bind, x),
-            Arch::FcnPool { join_tower, lo_tower, hi_tower, head } => {
+            Arch::FcnPool {
+                join_tower,
+                lo_tower,
+                hi_tower,
+                head,
+            } => {
                 let t = self.encoder.num_tables();
                 let a = self.encoder.attributes().len();
                 let join = g.slice_cols(x, 0, t);
@@ -332,10 +379,12 @@ impl CeModel {
                     let (n, _) = g.shape(x);
                     (g.leaf(Matrix::zeros(n, 1)), g.leaf(Matrix::ones(n, 1)))
                 } else {
-                    let lo_parts: Vec<Var> =
-                        (0..a).map(|i| g.slice_cols(x, self.lo_col(i), self.lo_col(i) + 1)).collect();
-                    let hi_parts: Vec<Var> =
-                        (0..a).map(|i| g.slice_cols(x, self.hi_col(i), self.hi_col(i) + 1)).collect();
+                    let lo_parts: Vec<Var> = (0..a)
+                        .map(|i| g.slice_cols(x, self.lo_col(i), self.lo_col(i) + 1))
+                        .collect();
+                    let hi_parts: Vec<Var> = (0..a)
+                        .map(|i| g.slice_cols(x, self.hi_col(i), self.hi_col(i) + 1))
+                        .collect();
                     (g.concat_cols(&lo_parts), g.concat_cols(&hi_parts))
                 };
                 let hj = join_tower.forward(g, bind, join);
@@ -346,20 +395,36 @@ impl CeModel {
                 let pooled = g.mul_scalar(s, 1.0 / 3.0);
                 head.forward(g, bind, pooled)
             }
-            Arch::Mscn { table_mlp, pred_mlp, head } => {
-                self.forward_mscn(g, bind, x, table_mlp, pred_mlp, head)
-            }
-            Arch::Rnn { cell, head } => self.forward_sequence(g, bind, x, &|g, bind, inp, state| {
-                let h = cell.step(g, bind, inp, state[0]);
-                vec![h]
-            }, |g, n| vec![cell.zero_state(g, n)], head),
-            Arch::Lstm { cell, head } => self.forward_sequence(g, bind, x, &|g, bind, inp, state| {
-                let (h, c) = cell.step(g, bind, inp, state[0], state[1]);
-                vec![h, c]
-            }, |g, n| {
-                let (h, c) = cell.zero_state(g, n);
-                vec![h, c]
-            }, head),
+            Arch::Mscn {
+                table_mlp,
+                pred_mlp,
+                head,
+            } => self.forward_mscn(g, bind, x, table_mlp, pred_mlp, head),
+            Arch::Rnn { cell, head } => self.forward_sequence(
+                g,
+                bind,
+                x,
+                &|g, bind, inp, state| {
+                    let h = cell.step(g, bind, inp, state[0]);
+                    vec![h]
+                },
+                |g, n| vec![cell.zero_state(g, n)],
+                head,
+            ),
+            Arch::Lstm { cell, head } => self.forward_sequence(
+                g,
+                bind,
+                x,
+                &|g, bind, inp, state| {
+                    let (h, c) = cell.step(g, bind, inp, state[0], state[1]);
+                    vec![h, c]
+                },
+                |g, n| {
+                    let (h, c) = cell.zero_state(g, n);
+                    vec![h, c]
+                },
+                head,
+            ),
         }
     }
 
@@ -500,7 +565,11 @@ impl CeModel {
             outputs.push(head.forward(g, bind, state[0]));
             start = end;
         }
-        let stacked = if outputs.len() == 1 { outputs[0] } else { g.concat_rows(&outputs) };
+        let stacked = if outputs.len() == 1 {
+            outputs[0]
+        } else {
+            g.concat_rows(&outputs)
+        };
         // Un-permute: P is a permutation, so P⁻¹ = Pᵀ.
         let pt = g.transpose(perm);
         g.matmul(pt, stacked)
@@ -572,9 +641,13 @@ impl CeModel {
         let x = g.leaf(rows_to_matrix(&batch.enc));
         let out = self.forward(&mut g, &bind, x);
         let loss = q_error_loss(&mut g, out, &batch.ln_card, self.ln_max);
+        pace_tensor::analysis::audit_if_enabled(&g, loss, bind.vars(), "ce::step_adam");
         let value = g.value(loss).as_scalar();
-        let mut grads: Vec<Matrix> =
-            g.grad(loss, bind.vars()).iter().map(|&v| g.value(v).clone()).collect();
+        let mut grads: Vec<Matrix> = g
+            .grad(loss, bind.vars())
+            .iter()
+            .map(|&v| g.value(v).clone())
+            .collect();
         sanitize(&mut grads);
         clip_global_norm(&mut grads, self.config.clip_norm);
         self.adam.step(&mut self.params, &grads);
@@ -615,8 +688,12 @@ impl CeModel {
             let x = g.leaf(rows_to_matrix(&data.enc));
             let out = self.forward(&mut g, &bind, x);
             let loss = q_error_loss(&mut g, out, &data.ln_card, self.ln_max);
-            let mut grads: Vec<Matrix> =
-                g.grad(loss, bind.vars()).iter().map(|&v| g.value(v).clone()).collect();
+            pace_tensor::analysis::audit_if_enabled(&g, loss, bind.vars(), "ce::update");
+            let mut grads: Vec<Matrix> = g
+                .grad(loss, bind.vars())
+                .iter()
+                .map(|&v| g.value(v).clone())
+                .collect();
             sanitize(&mut grads);
             clip_global_norm(&mut grads, self.config.update_clip);
             sgd.step(&mut self.params, &grads);

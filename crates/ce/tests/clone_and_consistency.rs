@@ -35,7 +35,10 @@ fn clone_is_deep_for_parameters() {
     });
     let after_original: Vec<f64> = model.estimate_encoded_batch(&data.enc[..10]);
     let after_copy: Vec<f64> = copy.estimate_encoded_batch(&data.enc[..10]);
-    assert_eq!(before, after_original, "updating a clone mutated the original");
+    assert_eq!(
+        before, after_original,
+        "updating a clone mutated the original"
+    );
     assert_ne!(after_original, after_copy, "clone update had no effect");
 }
 
@@ -57,7 +60,10 @@ fn snapshot_restore_roundtrips_estimates() {
     let (_, mut model, data) = trained_model();
     let before = model.estimate_encoded_batch(&data.enc[..5]);
     let snap = model.params().snapshot();
-    model.update(&EncodedWorkload { enc: data.enc[..5].to_vec(), ln_card: vec![0.0; 5] });
+    model.update(&EncodedWorkload {
+        enc: data.enc[..5].to_vec(),
+        ln_card: vec![0.0; 5],
+    });
     assert_ne!(before, model.estimate_encoded_batch(&data.enc[..5]));
     model.params_mut().restore(&snap);
     assert_eq!(before, model.estimate_encoded_batch(&data.enc[..5]));
@@ -104,6 +110,10 @@ fn ln_max_is_attainable_by_real_cardinalities() {
     let (_, model, data) = trained_model();
     for &lc in &data.ln_card {
         let norm = lc / model.ln_max();
-        assert!((0.0..1.0).contains(&norm), "ln_card {lc} vs ln_max {}", model.ln_max());
+        assert!(
+            (0.0..1.0).contains(&norm),
+            "ln_card {lc} vs ln_max {}",
+            model.ln_max()
+        );
     }
 }

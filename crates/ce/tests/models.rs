@@ -4,7 +4,7 @@ use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
 use pace_data::{build, DatasetKind, Scale};
 use pace_engine::{CardEstimator, Executor};
 use pace_tensor::Graph;
-use pace_workload::{generate_queries, QueryEncoder, QErrorSummary, WorkloadSpec};
+use pace_workload::{generate_queries, QErrorSummary, QueryEncoder, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -15,7 +15,10 @@ fn training_data(kind: DatasetKind, n: usize, seed: u64) -> (pace_data::Dataset,
     let spec = if kind == DatasetKind::Dmv {
         WorkloadSpec::single_table()
     } else {
-        WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() }
+        WorkloadSpec {
+            max_join_tables: 3,
+            ..WorkloadSpec::default()
+        }
     };
     let queries = generate_queries(&ds, &spec, &mut rng, n);
     let labeled = exec.label_nonzero(queries);
@@ -34,7 +37,10 @@ fn all_models_produce_unit_interval_outputs() {
         let out = model.forward(&mut g, &bind, x);
         assert_eq!(g.shape(out), (data.len(), 1), "{}", ty.name());
         assert!(
-            g.value(out).data().iter().all(|&v| (0.0..=1.0).contains(&v)),
+            g.value(out)
+                .data()
+                .iter()
+                .all(|&v| (0.0..=1.0).contains(&v)),
             "{} output escaped (0,1)",
             ty.name()
         );
@@ -149,7 +155,11 @@ fn forward_is_differentiable_wrt_input_encoding() {
         let gx = g.grad(s, &[x])[0];
         let norm = g.value(gx).norm();
         assert!(norm > 0.0, "{}: zero input gradient", ty.name());
-        assert!(g.value(gx).all_finite(), "{}: non-finite input gradient", ty.name());
+        assert!(
+            g.value(gx).all_finite(),
+            "{}: non-finite input gradient",
+            ty.name()
+        );
     }
 }
 
@@ -170,7 +180,12 @@ fn models_distinguish_small_from_large_ranges_after_training() {
     let stats = ds.col_stats(0, 7); // reg_year
     let tight = pace_workload::Query::new(
         vec![0],
-        vec![pace_workload::Predicate { table: 0, col: 7, lo: stats.min, hi: stats.min + 1 }],
+        vec![pace_workload::Predicate {
+            table: 0,
+            col: 7,
+            lo: stats.min,
+            hi: stats.min + 1,
+        }],
     );
     let e_full = model.estimate_query(&full);
     let e_tight = model.estimate_query(&tight);

@@ -95,7 +95,11 @@ pub fn recommend_robust_model(
                 .collect();
             model.update(&EncodedWorkload::from_parts(poison_encs, &cards));
             let poisoned = QErrorSummary::from_samples(&model.evaluate(&test_data)).mean;
-            ModelRobustness { model: ty, clean, poisoned }
+            ModelRobustness {
+                model: ty,
+                clean,
+                poisoned,
+            }
         })
         .collect();
     rankings.sort_by(|a, b| a.score().partial_cmp(&b.score()).expect("finite scores"));
@@ -132,13 +136,21 @@ mod tests {
             vec![],
         );
         let mut count = |q: &Query| oracle.count(q);
-        let attack = AttackConfig { iters: 6, batch: 24, n_poison: 24, ..AttackConfig::quick() };
+        let attack = AttackConfig {
+            iters: 6,
+            batch: 24,
+            n_poison: 24,
+            ..AttackConfig::quick()
+        };
         let report = recommend_robust_model(
             &k,
             &mut count,
             &train,
             &test,
-            CeConfig { epochs: 10, ..CeConfig::quick() },
+            CeConfig {
+                epochs: 10,
+                ..CeConfig::quick()
+            },
             &attack,
             64,
         );

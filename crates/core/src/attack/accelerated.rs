@@ -9,7 +9,9 @@
 //! batch (line 20), so generator and model "interact in time" instead of
 //! wasting converged updates against stale counterparts.
 
-use super::{poisoning_objective, straight_through, unroll_virtual_updates, AttackArtifacts, AttackConfig};
+use super::{
+    poisoning_objective, straight_through, unroll_virtual_updates, AttackArtifacts, AttackConfig,
+};
 use crate::detector::AnomalyDetector;
 use crate::generator::PoisonGenerator;
 use crate::knowledge::AttackerKnowledge;
@@ -38,8 +40,12 @@ pub fn train_generator_accelerated(
 ) -> AttackArtifacts {
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut generator =
-        PoisonGenerator::new(k.encoder.clone(), k.patterns.clone(), cfg.generator, cfg.seed ^ 0x9e1);
+    let mut generator = PoisonGenerator::new(
+        k.encoder.clone(),
+        k.patterns.clone(),
+        cfg.generator,
+        cfg.seed ^ 0x9e1,
+    );
     let detector = if cfg.use_detector && !historical.is_empty() {
         let mut d = AnomalyDetector::new(k.encoder.dim(), cfg.detector, cfg.seed ^ 0x9e2);
         d.train(historical, &mut rng);
@@ -54,7 +60,7 @@ pub fn train_generator_accelerated(
 
     let mut curve = Vec::with_capacity(cfg.iters);
     let mut best = f32::NEG_INFINITY;
-    let mut best_params: Option<Vec<pace_tensor::Matrix>> = None;
+    let mut best_params: Option<Vec<Matrix>> = None;
     let mut stall = 0usize;
     let base_lr = cfg.generator.lr;
 
@@ -76,15 +82,18 @@ pub fn train_generator_accelerated(
         // generator unchanged.
         let (queries, encs): (Vec<Query>, Vec<Vec<f32>>) = {
             let vals = g.value(x);
-            let raw: Vec<Vec<f32>> =
-                (0..cfg.batch).map(|r| vals.row_slice(r).to_vec()).collect();
-            let queries: Vec<Query> =
-                raw.iter().map(|e| generator.encoder().decode(e)).collect();
-            let encs = queries.iter().map(|q| generator.encoder().encode(q)).collect();
+            let raw: Vec<Vec<f32>> = (0..cfg.batch).map(|r| vals.row_slice(r).to_vec()).collect();
+            let queries: Vec<Query> = raw.iter().map(|e| generator.encoder().decode(e)).collect();
+            let encs = queries
+                .iter()
+                .map(|q| generator.encoder().encode(q))
+                .collect();
             (queries, encs)
         };
-        let ln_labels: Vec<f32> =
-            queries.iter().map(|q| (count(q).max(1) as f32).ln()).collect();
+        let ln_labels: Vec<f32> = queries
+            .iter()
+            .map(|q| (count(q).max(1) as f32).ln())
+            .collect();
         let x_q = if cfg.ablate_quantization {
             x
         } else {
@@ -110,6 +119,7 @@ pub fn train_generator_accelerated(
         // (7) hypergradient step on the poisoning objective.
         let test_x = g.leaf(test_mat.clone());
         let objective = poisoning_objective(&mut g, surrogate, &theta1, test_x, test_ln);
+        pace_tensor::analysis::audit_if_enabled(&g, objective, bind.vars(), "attack::accelerated");
         let obj_value = g.value(objective).as_scalar();
         curve.push(obj_value);
 

@@ -108,8 +108,12 @@ pub fn train_lbg(
 ) -> AttackArtifacts {
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1b6);
-    let mut generator =
-        PoisonGenerator::new(k.encoder.clone(), k.patterns.clone(), cfg.generator, cfg.seed ^ 0x1b7);
+    let mut generator = PoisonGenerator::new(
+        k.encoder.clone(),
+        k.patterns.clone(),
+        cfg.generator,
+        cfg.seed ^ 0x1b7,
+    );
     let mut curve = Vec::with_capacity(cfg.iters);
     for _ in 0..cfg.iters {
         let batch = generator.sample_joins(&mut rng, cfg.batch);

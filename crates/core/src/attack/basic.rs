@@ -8,7 +8,9 @@
 //! counterparts — this is exactly the inefficiency Algorithm 1 removes
 //! (complexity `O(n₃(n₁+n₂))` vs `O(n₁+n₂)`; paper Section 5.3, Lemma 5.2).
 
-use super::{poisoning_objective, straight_through, unroll_virtual_updates, AttackArtifacts, AttackConfig};
+use super::{
+    poisoning_objective, straight_through, unroll_virtual_updates, AttackArtifacts, AttackConfig,
+};
 use crate::detector::AnomalyDetector;
 use crate::generator::PoisonGenerator;
 use crate::knowledge::AttackerKnowledge;
@@ -30,8 +32,12 @@ pub fn train_generator_basic(
 ) -> AttackArtifacts {
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut generator =
-        PoisonGenerator::new(k.encoder.clone(), k.patterns.clone(), cfg.generator, cfg.seed ^ 0xba1);
+    let mut generator = PoisonGenerator::new(
+        k.encoder.clone(),
+        k.patterns.clone(),
+        cfg.generator,
+        cfg.seed ^ 0xba1,
+    );
     let detector = if cfg.use_detector && !historical.is_empty() {
         let mut d = AnomalyDetector::new(k.encoder.dim(), cfg.detector, cfg.seed ^ 0xba2);
         d.train(historical, &mut rng);
@@ -46,7 +52,7 @@ pub fn train_generator_basic(
     let test_ln = &test.ln_card[..test_n];
     let mut curve = Vec::new();
     let mut best = f32::NEG_INFINITY;
-    let mut best_params: Option<Vec<pace_tensor::Matrix>> = None;
+    let mut best_params: Option<Vec<Matrix>> = None;
 
     for _outer in 0..cfg.basic_outer {
         // Step (2): optimize the generator against the current surrogate,
@@ -64,10 +70,14 @@ pub fn train_generator_basic(
                     .map(|r| generator.encoder().decode(vals.row_slice(r)))
                     .collect()
             };
-            let encs: Vec<Vec<f32>> =
-                queries.iter().map(|q| generator.encoder().encode(q)).collect();
-            let ln_labels: Vec<f32> =
-                queries.iter().map(|q| (count(q).max(1) as f32).ln()).collect();
+            let encs: Vec<Vec<f32>> = queries
+                .iter()
+                .map(|q| generator.encoder().encode(q))
+                .collect();
+            let ln_labels: Vec<f32> = queries
+                .iter()
+                .map(|q| (count(q).max(1) as f32).ln())
+                .collect();
             let x_q = straight_through(&mut g, x, &encs);
             let theta0 = surrogate.params().bind(&mut g);
             let theta_k = unroll_virtual_updates(
@@ -81,6 +91,7 @@ pub fn train_generator_basic(
             );
             let test_x = g.leaf(test_mat.clone());
             let objective = poisoning_objective(&mut g, surrogate, &theta_k, test_x, test_ln);
+            pace_tensor::analysis::audit_if_enabled(&g, objective, bind.vars(), "attack::basic");
             let obj_value = g.value(objective).as_scalar();
             curve.push(obj_value);
             if obj_value > best {

@@ -102,7 +102,10 @@ impl AttackConfig {
             basic_inner: 30,
             unroll_steps: 4,
             test_subset: 40,
-            detector: DetectorConfig { epochs: 15, ..DetectorConfig::default() },
+            detector: DetectorConfig {
+                epochs: 15,
+                ..DetectorConfig::default()
+            },
             ..Self::default()
         }
     }

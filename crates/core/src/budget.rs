@@ -47,8 +47,10 @@ pub fn select_budgeted_poison(
     assert!(!pool.is_empty(), "empty candidate pool");
     assert!(budget > 0, "zero budget");
     let pool_enc: Vec<Vec<f32>> = pool.iter().map(|q| encoder.encode(q)).collect();
-    let pool_ln: Vec<f32> =
-        pool.iter().map(|q| (bb.count(q).max(1) as f32).ln()).collect();
+    let pool_ln: Vec<f32> = pool
+        .iter()
+        .map(|q| (bb.count(q).max(1) as f32).ln())
+        .collect();
 
     let mut chosen: Vec<usize> = Vec::new();
     let mut damage_curve = Vec::new();
@@ -128,14 +130,17 @@ mod tests {
         let test = EncodedWorkload::from_workload(&k.encoder, &test_w);
 
         let pool = generate_queries(&ds, &spec, &mut rng, 30);
-        let selection =
-            select_budgeted_poison(&surrogate, &victim, &k.encoder, &pool, &test, 5);
+        let selection = select_budgeted_poison(&surrogate, &victim, &k.encoder, &pool, &test, 5);
         assert!(!selection.queries.is_empty());
         assert!(selection.queries.len() <= 5);
         assert_eq!(selection.queries.len(), selection.damage_curve.len());
         // Early stopping makes the curve strictly increasing.
         for w in selection.damage_curve.windows(2) {
-            assert!(w[1] > w[0], "non-monotone curve: {:?}", selection.damage_curve);
+            assert!(
+                w[1] > w[0],
+                "non-monotone curve: {:?}",
+                selection.damage_curve
+            );
         }
         // The first pick is at least as damaging as any single candidate that
         // was available (it is the argmax over singletons).
@@ -157,7 +162,10 @@ mod tests {
         let victim = Victim::new(surrogate.clone(), Executor::new(&ds), vec![]);
         let mut rng = StdRng::seed_from_u64(37);
         let pool = generate_queries(&ds, &spec, &mut rng, 3);
-        let test = EncodedWorkload { enc: vec![vec![0.0; k.encoder.dim()]], ln_card: vec![0.0] };
+        let test = EncodedWorkload {
+            enc: vec![vec![0.0; k.encoder.dim()]],
+            ln_card: vec![0.0],
+        };
         let _ = select_budgeted_poison(&surrogate, &victim, &k.encoder, &pool, &test, 0);
     }
 }

@@ -31,7 +31,13 @@ pub struct ClassifierConfig {
 
 impl Default for ClassifierConfig {
     fn default() -> Self {
-        Self { hidden: 64, epochs: 40, batch_size: 64, lr: 1e-3, threshold: 0.5 }
+        Self {
+            hidden: 64,
+            epochs: 40,
+            batch_size: 64,
+            lr: 1e-3,
+            threshold: 0.5,
+        }
     }
 }
 
@@ -55,20 +61,22 @@ impl PoisonClassifier {
             Activation::Relu,
             Activation::Sigmoid,
         );
-        Self { params, mlp, config }
+        Self {
+            params,
+            mlp,
+            config,
+        }
     }
 
     /// Trains on labeled encodings; returns the final epoch's mean BCE loss.
     ///
     /// # Panics
     /// Panics when either class is empty or widths are inconsistent.
-    pub fn train(
-        &mut self,
-        poison: &[Vec<f32>],
-        benign: &[Vec<f32>],
-        rng: &mut StdRng,
-    ) -> f32 {
-        assert!(!poison.is_empty() && !benign.is_empty(), "need both classes");
+    pub fn train(&mut self, poison: &[Vec<f32>], benign: &[Vec<f32>], rng: &mut StdRng) -> f32 {
+        assert!(
+            !poison.is_empty() && !benign.is_empty(),
+            "need both classes"
+        );
         let mut examples: Vec<(&Vec<f32>, f32)> = Vec::with_capacity(poison.len() + benign.len());
         examples.extend(poison.iter().map(|e| (e, 1.0f32)));
         examples.extend(benign.iter().map(|e| (e, 0.0f32)));
@@ -113,8 +121,11 @@ impl PoisonClassifier {
         let m = g.mean_all(s);
         let loss = g.neg(m);
         let value = g.value(loss).as_scalar();
-        let mut grads: Vec<Matrix> =
-            g.grad(loss, bind.vars()).iter().map(|&v| g.value(v).clone()).collect();
+        let mut grads: Vec<Matrix> = g
+            .grad(loss, bind.vars())
+            .iter()
+            .map(|&v| g.value(v).clone())
+            .collect();
         sanitize(&mut grads);
         clip_global_norm(&mut grads, 5.0);
         adam.step(&mut self.params, &grads);
@@ -135,7 +146,10 @@ impl PoisonClassifier {
 
     /// Whether each encoding is classified as poison.
     pub fn is_poison(&self, rows: &[Vec<f32>]) -> Vec<bool> {
-        self.scores(rows).iter().map(|&s| s > self.config.threshold).collect()
+        self.scores(rows)
+            .iter()
+            .map(|&s| s > self.config.threshold)
+            .collect()
     }
 
     /// (true-positive rate on `poison`, false-positive rate on `benign`).
@@ -161,11 +175,10 @@ mod tests {
         let ds = build(DatasetKind::Tpch, Scale::tiny(), 21);
         let enc = QueryEncoder::new(&ds);
         let mut rng = StdRng::seed_from_u64(22);
-        let benign: Vec<Vec<f32>> =
-            generate_queries(&ds, &WorkloadSpec::default(), &mut rng, 300)
-                .iter()
-                .map(|q| enc.encode(q))
-                .collect();
+        let benign: Vec<Vec<f32>> = generate_queries(&ds, &WorkloadSpec::default(), &mut rng, 300)
+            .iter()
+            .map(|q| enc.encode(q))
+            .collect();
         // An untrained generator's raw output is far from the workload
         // distribution — exactly what a screening classifier must catch.
         let generator = PoisonGenerator::new(

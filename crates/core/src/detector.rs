@@ -69,9 +69,30 @@ impl AnomalyDetector {
         let mut params = ParamStore::new();
         let h = config.hidden;
         // 7 layers total: enc (2) + μ (1) + logvar (parallel) + dec (3).
-        let enc = Mlp::new(&mut params, &mut rng, "vae.enc", &[dim, h, h], Activation::Relu, Activation::Relu);
-        let mu = Dense::new(&mut params, &mut rng, "vae.mu", h, config.latent, Activation::None);
-        let logvar = Dense::new(&mut params, &mut rng, "vae.logvar", h, config.latent, Activation::None);
+        let enc = Mlp::new(
+            &mut params,
+            &mut rng,
+            "vae.enc",
+            &[dim, h, h],
+            Activation::Relu,
+            Activation::Relu,
+        );
+        let mu = Dense::new(
+            &mut params,
+            &mut rng,
+            "vae.mu",
+            h,
+            config.latent,
+            Activation::None,
+        );
+        let logvar = Dense::new(
+            &mut params,
+            &mut rng,
+            "vae.logvar",
+            h,
+            config.latent,
+            Activation::None,
+        );
         let dec = Mlp::new(
             &mut params,
             &mut rng,
@@ -81,7 +102,16 @@ impl AnomalyDetector {
             Activation::Sigmoid,
         );
         let adam = Adam::new(config.lr);
-        Self { params, enc, mu, logvar, dec, config, adam, dim }
+        Self {
+            params,
+            enc,
+            mu,
+            logvar,
+            dec,
+            config,
+            adam,
+            dim,
+        }
     }
 
     /// The detector's configuration.
@@ -155,8 +185,11 @@ impl AnomalyDetector {
         let kl_term = g.mul_scalar(kl, self.config.beta);
         let loss = g.add(mse, kl_term);
         let value = g.value(loss).as_scalar();
-        let mut grads: Vec<Matrix> =
-            g.grad(loss, bind.vars()).iter().map(|&v| g.value(v).clone()).collect();
+        let mut grads: Vec<Matrix> = g
+            .grad(loss, bind.vars())
+            .iter()
+            .map(|&v| g.value(v).clone())
+            .collect();
         sanitize(&mut grads);
         clip_global_norm(&mut grads, 5.0);
         self.adam.step(&mut self.params, &grads);
@@ -191,7 +224,10 @@ impl AnomalyDetector {
 
     /// Whether each row is abnormal under the current threshold.
     pub fn flag_abnormal(&self, rows: &[Vec<f32>]) -> Vec<bool> {
-        self.recon_errors(rows).iter().map(|&e| e > self.config.threshold).collect()
+        self.recon_errors(rows)
+            .iter()
+            .map(|&e| e > self.config.threshold)
+            .collect()
     }
 }
 
@@ -218,7 +254,10 @@ mod tests {
         let dim = hist[0].len();
         let mut det = AnomalyDetector::new(
             dim,
-            DetectorConfig { epochs: 40, ..DetectorConfig::default() },
+            DetectorConfig {
+                epochs: 40,
+                ..DetectorConfig::default()
+            },
             7,
         );
         let mut rng = StdRng::seed_from_u64(8);
@@ -235,8 +274,7 @@ mod tests {
         let mut det = AnomalyDetector::new(dim, DetectorConfig::default(), 9);
         let mut rng = StdRng::seed_from_u64(10);
         det.train(&hist, &mut rng);
-        let in_dist: f32 =
-            det.recon_errors(&hist).iter().sum::<f32>() / hist.len() as f32;
+        let in_dist: f32 = det.recon_errors(&hist).iter().sum::<f32>() / hist.len() as f32;
         // Outliers: adversarially scrambled encodings (invalid bound shapes).
         let outliers: Vec<Vec<f32>> = hist
             .iter()
@@ -272,6 +310,9 @@ mod tests {
         let err = det.recon_error_graph(&mut g, &bind, x);
         let total = g.sum_all(err);
         let gx = g.grad(total, &[x])[0];
-        assert!(g.value(gx).norm() > 0.0, "confrontation path has no input gradient");
+        assert!(
+            g.value(gx).norm() > 0.0,
+            "confrontation path has no input gradient"
+        );
     }
 }

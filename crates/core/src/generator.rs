@@ -47,7 +47,14 @@ pub struct GeneratorConfig {
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        Self { noise_dim: 16, hidden: 64, gj_layers: 4, bound_layers: 5, lr: 1e-3, clip_norm: 5.0 }
+        Self {
+            noise_dim: 16,
+            hidden: 64,
+            gj_layers: 4,
+            bound_layers: 5,
+            lr: 1e-3,
+            clip_norm: 5.0,
+        }
     }
 }
 
@@ -121,7 +128,16 @@ impl PoisonGenerator {
             Activation::Sigmoid,
         );
         let adam = Adam::new(config.lr);
-        Self { params, gj, gl, gr, encoder, valid_patterns, config, adam }
+        Self {
+            params,
+            gj,
+            gl,
+            gr,
+            encoder,
+            valid_patterns,
+            config,
+            adam,
+        }
     }
 
     /// The generator's parameters.
@@ -268,8 +284,11 @@ impl PoisonGenerator {
     /// Applies one Adam step from a scalar loss (used by the attack loops for
     /// the poisoning and detector-confrontation objectives).
     pub fn apply_step(&mut self, g: &mut Graph, loss: Var, bind: &Binding) {
-        let mut grads: Vec<Matrix> =
-            g.grad(loss, bind.vars()).iter().map(|&v| g.value(v).clone()).collect();
+        let mut grads: Vec<Matrix> = g
+            .grad(loss, bind.vars())
+            .iter()
+            .map(|&v| g.value(v).clone())
+            .collect();
         sanitize(&mut grads);
         clip_global_norm(&mut grads, self.config.clip_norm);
         self.adam.step(&mut self.params, &grads);
@@ -421,6 +440,9 @@ mod tests {
         let s = g.sum_all(x);
         let grads = g.grad(s, bind.vars());
         let total: f32 = grads.iter().map(|&gv| g.value(gv).norm()).sum();
-        assert!(total > 0.0, "no gradient flow from encoded batch to generator");
+        assert!(
+            total > 0.0,
+            "no gradient flow from encoded batch to generator"
+        );
     }
 }

@@ -6,9 +6,7 @@ use crate::attack::{
     train_generator_basic, train_lbg, AttackConfig,
 };
 use crate::knowledge::AttackerKnowledge;
-use crate::surrogate::{
-    speculate_model_type, train_surrogate, SpeculationConfig, SurrogateConfig,
-};
+use crate::surrogate::{speculate_model_type, train_surrogate, SpeculationConfig, SurrogateConfig};
 use crate::victim::{BlackBox, Victim};
 use pace_ce::{CeModelType, EncodedWorkload};
 use pace_workload::{js_divergence, QErrorSummary, Query, Workload};
@@ -66,8 +64,7 @@ impl AttackMethod {
 }
 
 /// Configuration of the full pipeline.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PipelineConfig {
     /// When `Some`, skip speculation and use this surrogate type (experiments
     /// that fix or deliberately mismatch the type); `None` speculates.
@@ -84,7 +81,6 @@ pub struct PipelineConfig {
     /// transfer costs; never part of the threat model proper.
     pub white_box: bool,
 }
-
 
 impl PipelineConfig {
     /// A fast configuration for tests.
@@ -172,13 +168,21 @@ pub fn craft_poison(
             let train_s = t_train.elapsed().as_secs_f64();
             let t_gen = Instant::now();
             let (queries, _) = artifacts.generator.generate(&mut rng, n);
-            (queries, train_s, t_gen.elapsed().as_secs_f64(), artifacts.objective_curve)
+            (
+                queries,
+                train_s,
+                t_gen.elapsed().as_secs_f64(),
+                artifacts.objective_curve,
+            )
         }
         AttackMethod::Pace | AttackMethod::PaceBasic | AttackMethod::PaceNoDetector => {
             let mut surrogate = acquire_surrogate(victim, k, cfg);
             let mut count = |q: &Query| victim.count(q);
-            let historical: Vec<Vec<f32>> =
-                victim.historical_sample().iter().map(|q| k.encoder.encode(q)).collect();
+            let historical: Vec<Vec<f32>> = victim
+                .historical_sample()
+                .iter()
+                .map(|q| k.encoder.encode(q))
+                .collect();
             let test_data = {
                 let enc = test.iter().map(|lq| k.encoder.encode(&lq.query)).collect();
                 let cards: Vec<u64> = test.iter().map(|lq| lq.cardinality).collect();
@@ -210,7 +214,12 @@ pub fn craft_poison(
             let train_s = t_train.elapsed().as_secs_f64();
             let t_gen = Instant::now();
             let (queries, _) = artifacts.generator.generate(&mut rng, n);
-            (queries, train_s, t_gen.elapsed().as_secs_f64(), artifacts.objective_curve)
+            (
+                queries,
+                train_s,
+                t_gen.elapsed().as_secs_f64(),
+                artifacts.objective_curve,
+            )
         }
     }
 }
@@ -249,8 +258,11 @@ pub fn run_attack(
     let divergence = if poison.is_empty() {
         0.0
     } else {
-        let hist: Vec<Vec<f32>> =
-            victim.historical_sample().iter().map(|q| k.encoder.encode(q)).collect();
+        let hist: Vec<Vec<f32>> = victim
+            .historical_sample()
+            .iter()
+            .map(|q| k.encoder.encode(q))
+            .collect();
         let pois: Vec<Vec<f32>> = poison.iter().map(|q| k.encoder.encode(q)).collect();
         if hist.is_empty() {
             0.0

@@ -84,8 +84,12 @@ fn build_probes(
             .patterns
             .iter()
             .filter(|p| {
-                let attrs =
-                    k.encoder.attributes().iter().filter(|(t, _)| p.contains(t)).count();
+                let attrs = k
+                    .encoder
+                    .attributes()
+                    .iter()
+                    .filter(|(t, _)| p.contains(t))
+                    .count();
                 p.len() == cols.min(k.encoder.num_tables()) && attrs >= cols
             })
             .collect();
@@ -93,15 +97,23 @@ fn build_probes(
             k.patterns
                 .iter()
                 .filter(|p| {
-                    k.encoder.attributes().iter().filter(|(t, _)| p.contains(t)).count() >= cols
+                    k.encoder
+                        .attributes()
+                        .iter()
+                        .filter(|(t, _)| p.contains(t))
+                        .count()
+                        >= cols
                 })
                 .cloned()
                 .collect()
         } else {
             sized.into_iter().cloned().collect()
         };
-        let patterns =
-            if patterns.is_empty() { k.patterns.clone() } else { patterns };
+        let patterns = if patterns.is_empty() {
+            k.patterns.clone()
+        } else {
+            patterns
+        };
         for &range in &cfg.range_sizes {
             let spec = WorkloadSpec {
                 max_predicates: cols,
@@ -200,8 +212,7 @@ fn normalize_dims(vectors: &mut [Vec<f64>]) {
     // same inference code path, so its magnitude is the architecture's own.
     for v in vectors.iter_mut() {
         for f in 0..2 {
-            let mean: f64 =
-                (0..groups).map(|g| v[g * FEATURES + f]).sum::<f64>() / groups as f64;
+            let mean: f64 = (0..groups).map(|g| v[g * FEATURES + f]).sum::<f64>() / groups as f64;
             for g in 0..groups {
                 v[g * FEATURES + f] -= mean;
             }
@@ -243,15 +254,19 @@ pub fn speculate_model_type(
         &mut rng,
         cfg.candidate_train_queries,
     );
-    let labeled: Vec<(Query, u64)> =
-        train_queries.into_iter().map(|q| (q.clone(), bb.count(&q).max(1))).collect();
+    let labeled: Vec<(Query, u64)> = train_queries
+        .into_iter()
+        .map(|q| (q.clone(), bb.count(&q).max(1)))
+        .collect();
     let enc: Vec<Vec<f32>> = labeled.iter().map(|(q, _)| k.encoder.encode(q)).collect();
     let cards: Vec<u64> = labeled.iter().map(|(_, c)| *c).collect();
     let data = EncodedWorkload::from_parts(enc, &cards);
 
     let probes = build_probes(k, cfg, &mut rng);
-    let truths: Vec<Vec<u64>> =
-        probes.iter().map(|g| g.iter().map(|q| bb.count(q).max(1)).collect()).collect();
+    let truths: Vec<Vec<u64>> = probes
+        .iter()
+        .map(|g| g.iter().map(|q| bb.count(q).max(1)).collect())
+        .collect();
 
     // Black-box behavior vector (EXPLAIN + latency).
     let mut bb_est = |q: &Query| bb.explain_timed(q);
@@ -306,7 +321,10 @@ pub fn speculate_model_type(
         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite similarity"))
         .expect("six candidates")
         .0;
-    SpeculationResult { speculated, similarities }
+    SpeculationResult {
+        speculated,
+        similarities,
+    }
 }
 
 /// How the surrogate is supervised (paper Section 4.2).
@@ -355,7 +373,12 @@ impl Default for SurrogateConfig {
 impl SurrogateConfig {
     /// A faster configuration for tests.
     pub fn quick() -> Self {
-        Self { train_queries: 600, epochs: 40, ce_config: CeConfig::quick(), ..Self::default() }
+        Self {
+            train_queries: 600,
+            epochs: 40,
+            ce_config: CeConfig::quick(),
+            ..Self::default()
+        }
     }
 }
 
@@ -368,17 +391,26 @@ pub fn train_surrogate(
     cfg: &SurrogateConfig,
 ) -> CeModel {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let queries =
-        generate_queries_schema_only(&k.encoder, &k.patterns, &k.spec, &mut rng, cfg.train_queries);
+    let queries = generate_queries_schema_only(
+        &k.encoder,
+        &k.patterns,
+        &k.spec,
+        &mut rng,
+        cfg.train_queries,
+    );
     // Supervision: black-box estimates (normalized log) + true cardinalities.
     let enc: Vec<Vec<f32>> = queries.iter().map(|q| k.encoder.encode(q)).collect();
     let bb_norm: Vec<f32> = queries
         .iter()
         .map(|q| ((bb.explain(q).max(1.0).ln() as f32) / k.ln_max).clamp(0.0, 1.0))
         .collect();
-    let ln_true: Vec<f32> = queries.iter().map(|q| (bb.count(q).max(1) as f32).ln()).collect();
+    let ln_true: Vec<f32> = queries
+        .iter()
+        .map(|q| (bb.count(q).max(1) as f32).ln())
+        .collect();
 
-    let mut surrogate = CeModel::with_encoder(ty, k.encoder.clone(), k.ln_max, cfg.ce_config, cfg.seed);
+    let mut surrogate =
+        CeModel::with_encoder(ty, k.encoder.clone(), k.ln_max, cfg.ce_config, cfg.seed);
     let mut adam = Adam::new(cfg.lr);
     let mut idx: Vec<usize> = (0..queries.len()).collect();
     for _ in 0..cfg.epochs {
@@ -401,8 +433,12 @@ pub fn train_surrogate(
                     g.add(imitate, ground)
                 }
             };
-            let mut grads: Vec<Matrix> =
-                g.grad(loss, bind.vars()).iter().map(|&v| g.value(v).clone()).collect();
+            pace_tensor::analysis::audit_if_enabled(&g, loss, bind.vars(), "surrogate::imitate");
+            let mut grads: Vec<Matrix> = g
+                .grad(loss, bind.vars())
+                .iter()
+                .map(|&v| g.value(v).clone())
+                .collect();
             sanitize(&mut grads);
             clip_global_norm(&mut grads, surrogate.config().clip_norm);
             adam.step(surrogate.params_mut(), &grads);

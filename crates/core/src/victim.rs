@@ -54,7 +54,13 @@ impl<'a> Victim<'a> {
     /// blend into).
     pub fn new(model: CeModel, exec: Executor<'a>, history: Vec<Query>) -> Self {
         let encoder = model.encoder().clone();
-        Self { model, exec, encoder, history, injected: Vec::new() }
+        Self {
+            model,
+            exec,
+            encoder,
+            history,
+            injected: Vec::new(),
+        }
     }
 
     /// Read access to the model — for *evaluation only*, not available to the
@@ -101,7 +107,10 @@ impl BlackBox for Victim<'_> {
         }
         let labeled: Workload = queries
             .iter()
-            .map(|q| LabeledQuery { query: q.clone(), cardinality: self.exec.count(q).max(1) })
+            .map(|q| LabeledQuery {
+                query: q.clone(),
+                cardinality: self.exec.count(q).max(1),
+            })
             .collect();
         let data = EncodedWorkload::from_workload(&self.encoder, &labeled);
         self.model.update(&data);

@@ -25,7 +25,10 @@ fn setup(kind: DatasetKind, seed: u64) -> Setup {
     let spec = if kind == DatasetKind::Dmv {
         WorkloadSpec::single_table()
     } else {
-        WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() }
+        WorkloadSpec {
+            max_join_tables: 3,
+            ..WorkloadSpec::default()
+        }
     };
     let history = generate_queries(&ds, &spec, &mut rng, 400);
     let test_queries = generate_queries(&ds, &spec, &mut rng, 80);
@@ -44,7 +47,10 @@ fn trained_victim<'a>(s: &'a Setup, ty: CeModelType, seed: u64) -> Victim<'a> {
 }
 
 fn quick_pipeline(ty: CeModelType) -> PipelineConfig {
-    PipelineConfig { surrogate_type: Some(ty), ..PipelineConfig::quick() }
+    PipelineConfig {
+        surrogate_type: Some(ty),
+        ..PipelineConfig::quick()
+    }
 }
 
 #[test]
@@ -65,7 +71,14 @@ fn pace_degrades_fcn_victim_on_dmv() {
         outcome.clean.mean,
         outcome.poisoned.mean
     );
-    assert_eq!(outcome.poison.len(), outcome.poison.iter().filter(|q| q.is_valid(&s.ds.schema)).count());
+    assert_eq!(
+        outcome.poison.len(),
+        outcome
+            .poison
+            .iter()
+            .filter(|q| q.is_valid(&s.ds.schema))
+            .count()
+    );
 }
 
 #[test]
@@ -91,7 +104,10 @@ fn pace_beats_random_baseline() {
 #[test]
 fn attack_works_on_a_join_dataset() {
     let s = setup(DatasetKind::Tpch, 3);
-    let spec = WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() };
+    let spec = WorkloadSpec {
+        max_join_tables: 3,
+        ..WorkloadSpec::default()
+    };
     let k = AttackerKnowledge::from_public(&s.ds, spec);
     let mut victim = trained_victim(&s, CeModelType::Mscn, 7);
     let outcome = run_attack(
@@ -145,7 +161,10 @@ fn speculation_identifies_extreme_architectures() {
     let s = setup(DatasetKind::Tpch, 21);
     let k = AttackerKnowledge::from_public(
         &s.ds,
-        WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() },
+        WorkloadSpec {
+            max_join_tables: 3,
+            ..WorkloadSpec::default()
+        },
     );
     let victim = trained_victim(&s, CeModelType::Linear, 22);
     let cfg = pace_core::SpeculationConfig {
@@ -154,7 +173,12 @@ fn speculation_identifies_extreme_architectures() {
         ..pace_core::SpeculationConfig::quick()
     };
     let result = pace_core::speculate_model_type(&victim, &k, &cfg);
-    assert_eq!(result.speculated, CeModelType::Linear, "{:?}", result.similarities);
+    assert_eq!(
+        result.speculated,
+        CeModelType::Linear,
+        "{:?}",
+        result.similarities
+    );
     // Six candidates scored, all finite.
     assert_eq!(result.similarities.len(), 6);
     assert!(result.similarities.iter().all(|(_, s)| s.is_finite()));
@@ -170,8 +194,13 @@ fn detector_confrontation_lowers_divergence() {
     let with_det = run_attack(&mut victim_with, AttackMethod::Pace, &s.test, &k, &cfg);
 
     let mut victim_without = trained_victim(&s, CeModelType::Fcn, 13);
-    let without_det =
-        run_attack(&mut victim_without, AttackMethod::PaceNoDetector, &s.test, &k, &cfg);
+    let without_det = run_attack(
+        &mut victim_without,
+        AttackMethod::PaceNoDetector,
+        &s.test,
+        &k,
+        &cfg,
+    );
 
     assert!(
         with_det.divergence <= without_det.divergence * 1.15,
@@ -195,7 +224,8 @@ fn objective_curve_trends_upward() {
     );
     let curve = &outcome.objective_curve;
     assert!(!curve.is_empty());
-    let head: f32 = curve[..3.min(curve.len())].iter().sum::<f32>() / 3.0f32.min(curve.len() as f32);
+    let head: f32 =
+        curve[..3.min(curve.len())].iter().sum::<f32>() / 3.0f32.min(curve.len() as f32);
     let tail: f32 =
         curve[curve.len().saturating_sub(3)..].iter().sum::<f32>() / 3.0f32.min(curve.len() as f32);
     assert!(

@@ -11,13 +11,19 @@ use rand::SeedableRng;
 
 fn setup() -> (pace_data::Dataset, AttackerKnowledge, CeModel) {
     let ds = build(DatasetKind::Tpch, Scale::tiny(), 41);
-    let spec = WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() };
+    let spec = WorkloadSpec {
+        max_join_tables: 3,
+        ..WorkloadSpec::default()
+    };
     let k = AttackerKnowledge::from_public(&ds, spec.clone());
     let exec = Executor::new(&ds);
     let mut rng = StdRng::seed_from_u64(42);
     let train = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 400));
     let mut surrogate = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 43);
-    surrogate.train(&EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &train), &mut rng);
+    surrogate.train(
+        &EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &train),
+        &mut rng,
+    );
     (ds, k, surrogate)
 }
 
@@ -74,7 +80,11 @@ fn lbg_training_increases_generated_inference_loss() {
     let (ds, k, surrogate) = setup();
     let exec = Executor::new(&ds);
     let mut count = |q: &Query| exec.count(q);
-    let cfg = AttackConfig { iters: 15, batch: 32, ..AttackConfig::quick() };
+    let cfg = AttackConfig {
+        iters: 15,
+        batch: 32,
+        ..AttackConfig::quick()
+    };
     let artifacts = train_lbg(&surrogate, &mut count, &k, &cfg);
     let curve = &artifacts.objective_curve;
     assert_eq!(curve.len(), 15);

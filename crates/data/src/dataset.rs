@@ -72,7 +72,11 @@ impl Dataset {
                     .collect()
             })
             .collect();
-        Self { schema, tables, stats }
+        Self {
+            schema,
+            tables,
+            stats,
+        }
     }
 
     /// Statistics of one column.
@@ -100,7 +104,10 @@ impl Dataset {
 
     /// Natural log of [`Dataset::max_cardinality_bound`].
     pub fn ln_max_cardinality(&self) -> f64 {
-        self.tables.iter().map(|t| (t.num_rows().max(2) as f64).ln()).sum()
+        self.tables
+            .iter()
+            .map(|t| (t.num_rows().max(2) as f64).ln())
+            .sum()
     }
 
     /// Samples one existing row of `table` and returns the value of column
@@ -122,8 +129,14 @@ mod tests {
     fn dataset() -> Dataset {
         let schema = Schema::new(
             "t",
-            vec![table("a", &["id"], &[], &["x"]), table("b", &["id"], &["a_id"], &["y"])],
-            vec![JoinEdge { left: (0, 0), right: (1, 1) }],
+            vec![
+                table("a", &["id"], &[], &["x"]),
+                table("b", &["id"], &["a_id"], &["y"]),
+            ],
+            vec![JoinEdge {
+                left: (0, 0),
+                right: (1, 1),
+            }],
         );
         let ta = Table::from_columns(vec![vec![0, 1, 2], vec![10, 20, 30]]);
         let tb = Table::from_columns(vec![vec![0, 1], vec![0, 2], vec![5, 15]]);

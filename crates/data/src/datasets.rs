@@ -61,7 +61,12 @@ pub enum DatasetKind {
 impl DatasetKind {
     /// All four kinds, in the paper's presentation order.
     pub fn all() -> [DatasetKind; 4] {
-        [DatasetKind::Dmv, DatasetKind::Imdb, DatasetKind::Tpch, DatasetKind::Stats]
+        [
+            DatasetKind::Dmv,
+            DatasetKind::Imdb,
+            DatasetKind::Tpch,
+            DatasetKind::Stats,
+        ]
     }
 
     /// Lowercase display name.
@@ -92,7 +97,10 @@ fn ids(n: usize) -> Vec<i64> {
 
 /// Foreign-key column over `parent_rows` ids with Zipf skew `s`.
 fn fk(rng: &mut StdRng, parent_rows: usize, rows: usize, s: f64) -> Vec<i64> {
-    zipf_indices(rng, parent_rows.max(1), rows, s).into_iter().map(|x| x as i64).collect()
+    zipf_indices(rng, parent_rows.max(1), rows, s)
+        .into_iter()
+        .map(|x| x as i64)
+        .collect()
 }
 
 /// DMV: one table, 11 dictionary-encoded attributes with heavy skew and
@@ -101,30 +109,54 @@ fn fk(rng: &mut StdRng, parent_rows: usize, rows: usize, s: f64) -> Vec<i64> {
 pub fn dmv(scale: Scale, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xd31);
     let n = scale.fact_rows * 10; // single-table dataset: use more rows
-    let record_type: Vec<i64> =
-        zipf_indices(&mut rng, 5, n, 1.4).into_iter().map(|x| x as i64).collect();
-    let reg_class: Vec<i64> =
-        zipf_indices(&mut rng, 60, n, 1.1).into_iter().map(|x| x as i64).collect();
-    let state: Vec<i64> = zipf_indices(&mut rng, 51, n, 2.0).into_iter().map(|x| x as i64).collect();
-    let county: Vec<i64> =
-        zipf_indices(&mut rng, 62, n, 0.8).into_iter().map(|x| x as i64).collect();
+    let record_type: Vec<i64> = zipf_indices(&mut rng, 5, n, 1.4)
+        .into_iter()
+        .map(|x| x as i64)
+        .collect();
+    let reg_class: Vec<i64> = zipf_indices(&mut rng, 60, n, 1.1)
+        .into_iter()
+        .map(|x| x as i64)
+        .collect();
+    let state: Vec<i64> = zipf_indices(&mut rng, 51, n, 2.0)
+        .into_iter()
+        .map(|x| x as i64)
+        .collect();
+    let county: Vec<i64> = zipf_indices(&mut rng, 62, n, 0.8)
+        .into_iter()
+        .map(|x| x as i64)
+        .collect();
     let body_type = correlated(&mut rng, &reg_class, 0.5, 0.0, 3.0, 0, 30);
     let fuel_type = correlated(&mut rng, &body_type, 0.2, 1.0, 1.0, 0, 8);
     let reg_year = gaussian_mixture(
         &mut rng,
         &[
-            MixtureComponent { mean: 2018.0, std: 3.0, weight: 3.0 },
-            MixtureComponent { mean: 2005.0, std: 6.0, weight: 1.0 },
+            MixtureComponent {
+                mean: 2018.0,
+                std: 3.0,
+                weight: 3.0,
+            },
+            MixtureComponent {
+                mean: 2005.0,
+                std: 6.0,
+                weight: 1.0,
+            },
         ],
         1970,
         2023,
         n,
     );
-    let color: Vec<i64> = zipf_indices(&mut rng, 20, n, 1.0).into_iter().map(|x| x as i64).collect();
-    let scofflaw: Vec<i64> =
-        zipf_indices(&mut rng, 2, n, 2.5).into_iter().map(|x| x as i64).collect();
-    let suspension: Vec<i64> =
-        zipf_indices(&mut rng, 2, n, 2.2).into_iter().map(|x| x as i64).collect();
+    let color: Vec<i64> = zipf_indices(&mut rng, 20, n, 1.0)
+        .into_iter()
+        .map(|x| x as i64)
+        .collect();
+    let scofflaw: Vec<i64> = zipf_indices(&mut rng, 2, n, 2.5)
+        .into_iter()
+        .map(|x| x as i64)
+        .collect();
+    let suspension: Vec<i64> = zipf_indices(&mut rng, 2, n, 2.2)
+        .into_iter()
+        .map(|x| x as i64)
+        .collect();
     let revocation = correlated(&mut rng, &suspension, 0.8, 0.0, 0.2, 0, 1);
 
     let schema = Schema::new(
@@ -185,57 +217,145 @@ pub fn imdb(scale: Scale, seed: u64) -> Dataset {
     let schema = Schema::new(
         "imdb",
         vec![
-            table("title", &["id"], &["kind_id"], &["production_year", "imdb_index"]), // 0
-            table("kind_type", &["id"], &[], &["kind"]),                               // 1
-            table("movie_companies", &["id"], &["movie_id", "company_id", "company_type_id"], &["note"]), // 2
-            table("company_name", &["id"], &[], &["country_code"]),                    // 3
-            table("company_type", &["id"], &[], &["kind"]),                            // 4
-            table("movie_info", &["id"], &["movie_id", "info_type_id"], &["info"]),    // 5
-            table("info_type", &["id"], &[], &["code"]),                               // 6
-            table("movie_info_idx", &["id"], &["movie_id"], &["info_val"]),            // 7
-            table("movie_keyword", &["id"], &["movie_id", "keyword_id"], &[]),         // 8
-            table("keyword", &["id"], &[], &["phonetic"]),                             // 9
-            table("cast_info", &["id"], &["movie_id", "person_id", "role_id", "person_role_id"], &["nr_order"]), // 10
-            table("name", &["id"], &[], &["gender"]),                                  // 11
-            table("role_type", &["id"], &[], &["role"]),                               // 12
-            table("char_name", &["id"], &[], &["name_pcode"]),                         // 13
-            table("complete_cast", &["id"], &["movie_id", "subject_id"], &[]),         // 14
-            table("comp_cast_type", &["id"], &[], &["kind"]),                          // 15
-            table("aka_title", &["id"], &["movie_id"], &["year"]),                     // 16
-            table("movie_link", &["id"], &["movie_id", "link_type_id"], &[]),          // 17
-            table("link_type", &["id"], &[], &["link"]),                               // 18
-            table("aka_name", &["id"], &["person_id"], &["pcode"]),                    // 19
-            table("person_info", &["id"], &["person_id"], &["note"]),                  // 20
+            table(
+                "title",
+                &["id"],
+                &["kind_id"],
+                &["production_year", "imdb_index"],
+            ), // 0
+            table("kind_type", &["id"], &[], &["kind"]), // 1
+            table(
+                "movie_companies",
+                &["id"],
+                &["movie_id", "company_id", "company_type_id"],
+                &["note"],
+            ), // 2
+            table("company_name", &["id"], &[], &["country_code"]), // 3
+            table("company_type", &["id"], &[], &["kind"]), // 4
+            table(
+                "movie_info",
+                &["id"],
+                &["movie_id", "info_type_id"],
+                &["info"],
+            ), // 5
+            table("info_type", &["id"], &[], &["code"]), // 6
+            table("movie_info_idx", &["id"], &["movie_id"], &["info_val"]), // 7
+            table("movie_keyword", &["id"], &["movie_id", "keyword_id"], &[]), // 8
+            table("keyword", &["id"], &[], &["phonetic"]), // 9
+            table(
+                "cast_info",
+                &["id"],
+                &["movie_id", "person_id", "role_id", "person_role_id"],
+                &["nr_order"],
+            ), // 10
+            table("name", &["id"], &[], &["gender"]),    // 11
+            table("role_type", &["id"], &[], &["role"]), // 12
+            table("char_name", &["id"], &[], &["name_pcode"]), // 13
+            table("complete_cast", &["id"], &["movie_id", "subject_id"], &[]), // 14
+            table("comp_cast_type", &["id"], &[], &["kind"]), // 15
+            table("aka_title", &["id"], &["movie_id"], &["year"]), // 16
+            table("movie_link", &["id"], &["movie_id", "link_type_id"], &[]), // 17
+            table("link_type", &["id"], &[], &["link"]), // 18
+            table("aka_name", &["id"], &["person_id"], &["pcode"]), // 19
+            table("person_info", &["id"], &["person_id"], &["note"]), // 20
         ],
         vec![
-            JoinEdge { left: (0, 1), right: (1, 0) },   // title.kind_id = kind_type.id
-            JoinEdge { left: (2, 1), right: (0, 0) },   // movie_companies.movie_id = title.id
-            JoinEdge { left: (2, 2), right: (3, 0) },   // movie_companies.company_id = company_name.id
-            JoinEdge { left: (2, 3), right: (4, 0) },   // movie_companies.company_type_id = company_type.id
-            JoinEdge { left: (5, 1), right: (0, 0) },   // movie_info.movie_id = title.id
-            JoinEdge { left: (5, 2), right: (6, 0) },   // movie_info.info_type_id = info_type.id
-            JoinEdge { left: (7, 1), right: (0, 0) },   // movie_info_idx.movie_id = title.id
-            JoinEdge { left: (8, 1), right: (0, 0) },   // movie_keyword.movie_id = title.id
-            JoinEdge { left: (8, 2), right: (9, 0) },   // movie_keyword.keyword_id = keyword.id
-            JoinEdge { left: (10, 1), right: (0, 0) },  // cast_info.movie_id = title.id
-            JoinEdge { left: (10, 2), right: (11, 0) }, // cast_info.person_id = name.id
-            JoinEdge { left: (10, 3), right: (12, 0) }, // cast_info.role_id = role_type.id
-            JoinEdge { left: (10, 4), right: (13, 0) }, // cast_info.person_role_id = char_name.id
-            JoinEdge { left: (14, 1), right: (0, 0) },  // complete_cast.movie_id = title.id
-            JoinEdge { left: (14, 2), right: (15, 0) }, // complete_cast.subject_id = comp_cast_type.id
-            JoinEdge { left: (16, 1), right: (0, 0) },  // aka_title.movie_id = title.id
-            JoinEdge { left: (17, 1), right: (0, 0) },  // movie_link.movie_id = title.id
-            JoinEdge { left: (17, 2), right: (18, 0) }, // movie_link.link_type_id = link_type.id
-            JoinEdge { left: (19, 1), right: (11, 0) }, // aka_name.person_id = name.id
-            JoinEdge { left: (20, 1), right: (11, 0) }, // person_info.person_id = name.id
+            JoinEdge {
+                left: (0, 1),
+                right: (1, 0),
+            }, // title.kind_id = kind_type.id
+            JoinEdge {
+                left: (2, 1),
+                right: (0, 0),
+            }, // movie_companies.movie_id = title.id
+            JoinEdge {
+                left: (2, 2),
+                right: (3, 0),
+            }, // movie_companies.company_id = company_name.id
+            JoinEdge {
+                left: (2, 3),
+                right: (4, 0),
+            }, // movie_companies.company_type_id = company_type.id
+            JoinEdge {
+                left: (5, 1),
+                right: (0, 0),
+            }, // movie_info.movie_id = title.id
+            JoinEdge {
+                left: (5, 2),
+                right: (6, 0),
+            }, // movie_info.info_type_id = info_type.id
+            JoinEdge {
+                left: (7, 1),
+                right: (0, 0),
+            }, // movie_info_idx.movie_id = title.id
+            JoinEdge {
+                left: (8, 1),
+                right: (0, 0),
+            }, // movie_keyword.movie_id = title.id
+            JoinEdge {
+                left: (8, 2),
+                right: (9, 0),
+            }, // movie_keyword.keyword_id = keyword.id
+            JoinEdge {
+                left: (10, 1),
+                right: (0, 0),
+            }, // cast_info.movie_id = title.id
+            JoinEdge {
+                left: (10, 2),
+                right: (11, 0),
+            }, // cast_info.person_id = name.id
+            JoinEdge {
+                left: (10, 3),
+                right: (12, 0),
+            }, // cast_info.role_id = role_type.id
+            JoinEdge {
+                left: (10, 4),
+                right: (13, 0),
+            }, // cast_info.person_role_id = char_name.id
+            JoinEdge {
+                left: (14, 1),
+                right: (0, 0),
+            }, // complete_cast.movie_id = title.id
+            JoinEdge {
+                left: (14, 2),
+                right: (15, 0),
+            }, // complete_cast.subject_id = comp_cast_type.id
+            JoinEdge {
+                left: (16, 1),
+                right: (0, 0),
+            }, // aka_title.movie_id = title.id
+            JoinEdge {
+                left: (17, 1),
+                right: (0, 0),
+            }, // movie_link.movie_id = title.id
+            JoinEdge {
+                left: (17, 2),
+                right: (18, 0),
+            }, // movie_link.link_type_id = link_type.id
+            JoinEdge {
+                left: (19, 1),
+                right: (11, 0),
+            }, // aka_name.person_id = name.id
+            JoinEdge {
+                left: (20, 1),
+                right: (11, 0),
+            }, // person_info.person_id = name.id
         ],
     );
 
     let prod_year = gaussian_mixture(
         &mut rng,
         &[
-            MixtureComponent { mean: 2010.0, std: 8.0, weight: 3.0 },
-            MixtureComponent { mean: 1975.0, std: 15.0, weight: 1.0 },
+            MixtureComponent {
+                mean: 2010.0,
+                std: 8.0,
+                weight: 3.0,
+            },
+            MixtureComponent {
+                mean: 1975.0,
+                std: 15.0,
+                weight: 1.0,
+            },
         ],
         1900,
         2023,
@@ -259,8 +379,10 @@ pub fn imdb(scale: Scale, seed: u64) -> Dataset {
         fk(&mut rng, n_ctype, mc_rows, 1.0),
         mc_note,
     ]);
-    let company_name =
-        Table::from_columns(vec![ids(n_company), uniform_ints(&mut rng, 0, 80, n_company)]);
+    let company_name = Table::from_columns(vec![
+        ids(n_company),
+        uniform_ints(&mut rng, 0, 80, n_company),
+    ]);
     let company_type = Table::from_columns(vec![ids(n_ctype), ids(n_ctype)]);
 
     let mi_rows = n * 3;
@@ -279,8 +401,16 @@ pub fn imdb(scale: Scale, seed: u64) -> Dataset {
     let mii_val = gaussian_mixture(
         &mut rng,
         &[
-            MixtureComponent { mean: 60.0, std: 15.0, weight: 2.0 },
-            MixtureComponent { mean: 300.0, std: 60.0, weight: 1.0 },
+            MixtureComponent {
+                mean: 60.0,
+                std: 15.0,
+                weight: 2.0,
+            },
+            MixtureComponent {
+                mean: 300.0,
+                std: 60.0,
+                weight: 1.0,
+            },
         ],
         0,
         1000,
@@ -294,7 +424,10 @@ pub fn imdb(scale: Scale, seed: u64) -> Dataset {
         fk(&mut rng, n, mk_rows, 0.9),
         fk(&mut rng, n_keyword, mk_rows, 1.3),
     ]);
-    let keyword = Table::from_columns(vec![ids(n_keyword), uniform_ints(&mut rng, 0, 99, n_keyword)]);
+    let keyword = Table::from_columns(vec![
+        ids(n_keyword),
+        uniform_ints(&mut rng, 0, 99, n_keyword),
+    ]);
 
     let ci_rows = n * 5;
     let ci_movie = fk(&mut rng, n, ci_rows, 0.6);
@@ -307,11 +440,9 @@ pub fn imdb(scale: Scale, seed: u64) -> Dataset {
         fk(&mut rng, n_char, ci_rows, 1.0),
         ci_order,
     ]);
-    let name =
-        Table::from_columns(vec![ids(n_name), zipf_to_i64(&mut rng, 3, n_name, 0.7)]);
+    let name = Table::from_columns(vec![ids(n_name), zipf_to_i64(&mut rng, 3, n_name, 0.7)]);
     let role_type = Table::from_columns(vec![ids(n_role), ids(n_role)]);
-    let char_name =
-        Table::from_columns(vec![ids(n_char), uniform_ints(&mut rng, 0, 25, n_char)]);
+    let char_name = Table::from_columns(vec![ids(n_char), uniform_ints(&mut rng, 0, 25, n_char)]);
 
     let cc_rows = n / 2;
     let complete_cast = Table::from_columns(vec![
@@ -376,7 +507,10 @@ pub fn imdb(scale: Scale, seed: u64) -> Dataset {
 }
 
 fn zipf_to_i64(rng: &mut StdRng, n: usize, count: usize, s: f64) -> Vec<i64> {
-    zipf_indices(rng, n, count, s).into_iter().map(|x| x as i64).collect()
+    zipf_indices(rng, n, count, s)
+        .into_iter()
+        .map(|x| x as i64)
+        .collect()
 }
 
 /// TPC-H: 8 tables, cycle-broken into the tree documented at module level.
@@ -395,28 +529,64 @@ pub fn tpch(scale: Scale, seed: u64) -> Dataset {
     let schema = Schema::new(
         "tpch",
         vec![
-            table("region", &["r_regionkey"], &[], &["r_size"]),                                  // 0
-            table("nation", &["n_nationkey"], &["n_regionkey"], &["n_zone"]),                     // 1
-            table("customer", &["c_custkey"], &["c_nationkey"], &["c_acctbal", "c_mktsegment"]),  // 2
-            table("orders", &["o_orderkey"], &["o_custkey"], &["o_totalprice", "o_orderdate", "o_orderstatus"]), // 3
+            table("region", &["r_regionkey"], &[], &["r_size"]), // 0
+            table("nation", &["n_nationkey"], &["n_regionkey"], &["n_zone"]), // 1
+            table(
+                "customer",
+                &["c_custkey"],
+                &["c_nationkey"],
+                &["c_acctbal", "c_mktsegment"],
+            ), // 2
+            table(
+                "orders",
+                &["o_orderkey"],
+                &["o_custkey"],
+                &["o_totalprice", "o_orderdate", "o_orderstatus"],
+            ), // 3
             table(
                 "lineitem",
                 &["l_linekey"],
                 &["l_orderkey", "l_suppkey", "l_partkey"],
                 &["l_quantity", "l_extendedprice", "l_discount", "l_shipdate"],
             ), // 4
-            table("supplier", &["s_suppkey"], &[], &["s_acctbal"]),                               // 5
-            table("part", &["p_partkey"], &[], &["p_size", "p_retailprice"]),                     // 6
-            table("partsupp", &["ps_key"], &["ps_partkey"], &["ps_availqty", "ps_supplycost"]),   // 7
+            table("supplier", &["s_suppkey"], &[], &["s_acctbal"]), // 5
+            table("part", &["p_partkey"], &[], &["p_size", "p_retailprice"]), // 6
+            table(
+                "partsupp",
+                &["ps_key"],
+                &["ps_partkey"],
+                &["ps_availqty", "ps_supplycost"],
+            ), // 7
         ],
         vec![
-            JoinEdge { left: (1, 1), right: (0, 0) }, // nation.regionkey = region.regionkey
-            JoinEdge { left: (2, 1), right: (1, 0) }, // customer.nationkey = nation.nationkey
-            JoinEdge { left: (3, 1), right: (2, 0) }, // orders.custkey = customer.custkey
-            JoinEdge { left: (4, 1), right: (3, 0) }, // lineitem.orderkey = orders.orderkey
-            JoinEdge { left: (4, 2), right: (5, 0) }, // lineitem.suppkey = supplier.suppkey
-            JoinEdge { left: (4, 3), right: (6, 0) }, // lineitem.partkey = part.partkey
-            JoinEdge { left: (7, 1), right: (6, 0) }, // partsupp.partkey = part.partkey
+            JoinEdge {
+                left: (1, 1),
+                right: (0, 0),
+            }, // nation.regionkey = region.regionkey
+            JoinEdge {
+                left: (2, 1),
+                right: (1, 0),
+            }, // customer.nationkey = nation.nationkey
+            JoinEdge {
+                left: (3, 1),
+                right: (2, 0),
+            }, // orders.custkey = customer.custkey
+            JoinEdge {
+                left: (4, 1),
+                right: (3, 0),
+            }, // lineitem.orderkey = orders.orderkey
+            JoinEdge {
+                left: (4, 2),
+                right: (5, 0),
+            }, // lineitem.suppkey = supplier.suppkey
+            JoinEdge {
+                left: (4, 3),
+                right: (6, 0),
+            }, // lineitem.partkey = part.partkey
+            JoinEdge {
+                left: (7, 1),
+                right: (6, 0),
+            }, // partsupp.partkey = part.partkey
         ],
     );
 
@@ -429,7 +599,11 @@ pub fn tpch(scale: Scale, seed: u64) -> Dataset {
     let c_nation = fk(&mut rng, n_nation, n_cust, 0.6);
     let c_acctbal = gaussian_mixture(
         &mut rng,
-        &[MixtureComponent { mean: 4500.0, std: 3200.0, weight: 1.0 }],
+        &[MixtureComponent {
+            mean: 4500.0,
+            std: 3200.0,
+            weight: 1.0,
+        }],
         -999,
         9999,
         n_cust,
@@ -449,7 +623,15 @@ pub fn tpch(scale: Scale, seed: u64) -> Dataset {
     let l_qty = uniform_ints(&mut rng, 1, 50, n_line);
     let l_price = correlated(&mut rng, &l_qty, 900.0, 100.0, 5000.0, 900, 105_000);
     let l_disc = uniform_ints(&mut rng, 0, 10, n_line);
-    let l_ship = correlated(&mut rng, &l_order, 2555.0 / n_orders as f64, 15.0, 30.0, 0, 2620);
+    let l_ship = correlated(
+        &mut rng,
+        &l_order,
+        2555.0 / n_orders as f64,
+        15.0,
+        30.0,
+        0,
+        2620,
+    );
     let lineitem = Table::from_columns(vec![
         ids(n_line),
         l_order,
@@ -464,7 +646,11 @@ pub fn tpch(scale: Scale, seed: u64) -> Dataset {
         ids(n_supp),
         gaussian_mixture(
             &mut rng,
-            &[MixtureComponent { mean: 4500.0, std: 3200.0, weight: 1.0 }],
+            &[MixtureComponent {
+                mean: 4500.0,
+                std: 3200.0,
+                weight: 1.0,
+            }],
             -999,
             9999,
             n_supp,
@@ -480,7 +666,9 @@ pub fn tpch(scale: Scale, seed: u64) -> Dataset {
 
     Dataset::new(
         schema,
-        vec![region, nation, customer, orders, lineitem, supplier, part, partsupp],
+        vec![
+            region, nation, customer, orders, lineitem, supplier, part, partsupp,
+        ],
     )
 }
 
@@ -501,31 +689,80 @@ pub fn stats(scale: Scale, seed: u64) -> Dataset {
     let schema = Schema::new(
         "stats",
         vec![
-            table("users", &["id"], &[], &["reputation", "upvotes", "creation_year"]), // 0
-            table("posts", &["id"], &["owner_user_id"], &["score", "view_count", "answer_count", "creation_year"]), // 1
-            table("comments", &["id"], &["post_id"], &["score", "creation_year"]),     // 2
-            table("badges", &["id"], &["user_id"], &["class"]),                        // 3
-            table("votes", &["id"], &["post_id"], &["vote_type", "creation_year"]),    // 4
-            table("post_history", &["id"], &["post_id"], &["type"]),                   // 5
-            table("post_links", &["id"], &["post_id"], &["link_type"]),                // 6
-            table("tags", &["id"], &["excerpt_post_id"], &["count"]),                  // 7
+            table(
+                "users",
+                &["id"],
+                &[],
+                &["reputation", "upvotes", "creation_year"],
+            ), // 0
+            table(
+                "posts",
+                &["id"],
+                &["owner_user_id"],
+                &["score", "view_count", "answer_count", "creation_year"],
+            ), // 1
+            table(
+                "comments",
+                &["id"],
+                &["post_id"],
+                &["score", "creation_year"],
+            ), // 2
+            table("badges", &["id"], &["user_id"], &["class"]), // 3
+            table(
+                "votes",
+                &["id"],
+                &["post_id"],
+                &["vote_type", "creation_year"],
+            ), // 4
+            table("post_history", &["id"], &["post_id"], &["type"]), // 5
+            table("post_links", &["id"], &["post_id"], &["link_type"]), // 6
+            table("tags", &["id"], &["excerpt_post_id"], &["count"]), // 7
         ],
         vec![
-            JoinEdge { left: (1, 1), right: (0, 0) }, // posts.owner = users.id
-            JoinEdge { left: (2, 1), right: (1, 0) }, // comments.post = posts.id
-            JoinEdge { left: (3, 1), right: (0, 0) }, // badges.user = users.id
-            JoinEdge { left: (4, 1), right: (1, 0) }, // votes.post = posts.id
-            JoinEdge { left: (5, 1), right: (1, 0) }, // post_history.post = posts.id
-            JoinEdge { left: (6, 1), right: (1, 0) }, // post_links.post = posts.id
-            JoinEdge { left: (7, 1), right: (1, 0) }, // tags.excerpt_post = posts.id
+            JoinEdge {
+                left: (1, 1),
+                right: (0, 0),
+            }, // posts.owner = users.id
+            JoinEdge {
+                left: (2, 1),
+                right: (1, 0),
+            }, // comments.post = posts.id
+            JoinEdge {
+                left: (3, 1),
+                right: (0, 0),
+            }, // badges.user = users.id
+            JoinEdge {
+                left: (4, 1),
+                right: (1, 0),
+            }, // votes.post = posts.id
+            JoinEdge {
+                left: (5, 1),
+                right: (1, 0),
+            }, // post_history.post = posts.id
+            JoinEdge {
+                left: (6, 1),
+                right: (1, 0),
+            }, // post_links.post = posts.id
+            JoinEdge {
+                left: (7, 1),
+                right: (1, 0),
+            }, // tags.excerpt_post = posts.id
         ],
     );
 
     let reputation = gaussian_mixture(
         &mut rng,
         &[
-            MixtureComponent { mean: 1.0, std: 30.0, weight: 5.0 },
-            MixtureComponent { mean: 2000.0, std: 1500.0, weight: 1.0 },
+            MixtureComponent {
+                mean: 1.0,
+                std: 30.0,
+                weight: 5.0,
+            },
+            MixtureComponent {
+                mean: 2000.0,
+                std: 1500.0,
+                weight: 1.0,
+            },
         ],
         1,
         90_000,
@@ -541,7 +778,11 @@ pub fn stats(scale: Scale, seed: u64) -> Dataset {
     let p_owner = fk(&mut rng, n_users, n_posts, 1.0);
     let p_score = gaussian_mixture(
         &mut rng,
-        &[MixtureComponent { mean: 2.0, std: 5.0, weight: 1.0 }],
+        &[MixtureComponent {
+            mean: 2.0,
+            std: 5.0,
+            weight: 1.0,
+        }],
         -10,
         200,
         n_posts,
@@ -562,7 +803,11 @@ pub fn stats(scale: Scale, seed: u64) -> Dataset {
         c_post,
         gaussian_mixture(
             &mut rng,
-            &[MixtureComponent { mean: 0.5, std: 1.5, weight: 1.0 }],
+            &[MixtureComponent {
+                mean: 0.5,
+                std: 1.5,
+                weight: 1.0,
+            }],
             0,
             60,
             n_comments,
@@ -595,7 +840,11 @@ pub fn stats(scale: Scale, seed: u64) -> Dataset {
         fk(&mut rng, n_posts, n_tags, 0.6),
         gaussian_mixture(
             &mut rng,
-            &[MixtureComponent { mean: 50.0, std: 80.0, weight: 1.0 }],
+            &[MixtureComponent {
+                mean: 50.0,
+                std: 80.0,
+                weight: 1.0,
+            }],
             1,
             2000,
             n_tags,
@@ -604,7 +853,16 @@ pub fn stats(scale: Scale, seed: u64) -> Dataset {
 
     Dataset::new(
         schema,
-        vec![users, posts, comments, badges, votes, post_history, post_links, tags],
+        vec![
+            users,
+            posts,
+            comments,
+            badges,
+            votes,
+            post_history,
+            post_links,
+            tags,
+        ],
     )
 }
 
@@ -655,7 +913,11 @@ mod tests {
             }
         }
         let c = tpch(Scale::tiny(), 10);
-        assert_ne!(a.tables[2].col(2), c.tables[2].col(2), "seeds should differ");
+        assert_ne!(
+            a.tables[2].col(2),
+            c.tables[2].col(2),
+            "seeds should differ"
+        );
     }
 
     #[test]
@@ -671,7 +933,10 @@ mod tests {
                         let (pt, _) = if (t, c) == e.left { e.right } else { e.left };
                         let parent_rows = d.tables[pt].num_rows() as i64;
                         assert!(
-                            d.tables[t].col(c).iter().all(|&v| v >= 0 && v < parent_rows),
+                            d.tables[t]
+                                .col(c)
+                                .iter()
+                                .all(|&v| v >= 0 && v < parent_rows),
                             "dangling FK in {}.{}",
                             d.schema.tables[t].name,
                             d.schema.tables[t].columns[c].name

@@ -132,8 +132,16 @@ mod tests {
     fn mixture_respects_bounds_and_modes() {
         let mut rng = StdRng::seed_from_u64(3);
         let comps = [
-            MixtureComponent { mean: 10.0, std: 2.0, weight: 1.0 },
-            MixtureComponent { mean: 90.0, std: 2.0, weight: 1.0 },
+            MixtureComponent {
+                mean: 10.0,
+                std: 2.0,
+                weight: 1.0,
+            },
+            MixtureComponent {
+                mean: 90.0,
+                std: 2.0,
+                weight: 1.0,
+            },
         ];
         let xs = gaussian_mixture(&mut rng, &comps, 0, 100, 10_000);
         assert!(xs.iter().all(|&x| (0..=100).contains(&x)));

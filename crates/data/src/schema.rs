@@ -74,7 +74,11 @@ impl Schema {
     /// Panics on duplicate table names, out-of-range edge endpoints, or a
     /// cyclic join graph.
     pub fn new(name: impl Into<String>, tables: Vec<TableDef>, edges: Vec<JoinEdge>) -> Self {
-        let schema = Self { name: name.into(), tables, edges };
+        let schema = Self {
+            name: name.into(),
+            tables,
+            edges,
+        };
         schema.validate();
         schema
     }
@@ -82,7 +86,11 @@ impl Schema {
     fn validate(&self) {
         for (i, t) in self.tables.iter().enumerate() {
             for (j, u) in self.tables.iter().enumerate() {
-                assert!(i == j || t.name != u.name, "duplicate table name {}", t.name);
+                assert!(
+                    i == j || t.name != u.name,
+                    "duplicate table name {}",
+                    t.name
+                );
             }
         }
         // Union-find cycle check.
@@ -103,11 +111,24 @@ impl Schema {
         for e in &self.edges {
             let (lt, lc) = e.left;
             let (rt, rc) = e.right;
-            assert!(lt < self.tables.len() && rt < self.tables.len(), "edge table out of range");
-            assert!(lc < self.tables[lt].columns.len(), "edge column out of range");
-            assert!(rc < self.tables[rt].columns.len(), "edge column out of range");
+            assert!(
+                lt < self.tables.len() && rt < self.tables.len(),
+                "edge table out of range"
+            );
+            assert!(
+                lc < self.tables[lt].columns.len(),
+                "edge column out of range"
+            );
+            assert!(
+                rc < self.tables[rt].columns.len(),
+                "edge column out of range"
+            );
             let (a, b) = (find(&mut parent, lt), find(&mut parent, rt));
-            assert!(a != b, "join graph has a cycle through {}", self.tables[lt].name);
+            assert!(
+                a != b,
+                "join graph has a cycle through {}",
+                self.tables[lt].name
+            );
             parent[a] = b;
         }
     }
@@ -244,15 +265,27 @@ impl Schema {
 pub fn table(name: &str, keys: &[&str], fks: &[&str], attrs: &[&str]) -> TableDef {
     let mut columns = Vec::new();
     for k in keys {
-        columns.push(ColumnDef { name: (*k).into(), role: ColumnRole::Key });
+        columns.push(ColumnDef {
+            name: (*k).into(),
+            role: ColumnRole::Key,
+        });
     }
     for f in fks {
-        columns.push(ColumnDef { name: (*f).into(), role: ColumnRole::ForeignKey });
+        columns.push(ColumnDef {
+            name: (*f).into(),
+            role: ColumnRole::ForeignKey,
+        });
     }
     for a in attrs {
-        columns.push(ColumnDef { name: (*a).into(), role: ColumnRole::Attribute });
+        columns.push(ColumnDef {
+            name: (*a).into(),
+            role: ColumnRole::Attribute,
+        });
     }
-    TableDef { name: name.into(), columns }
+    TableDef {
+        name: name.into(),
+        columns,
+    }
 }
 
 #[cfg(test)]
@@ -267,8 +300,14 @@ mod tests {
             table("c", &["id"], &["b_id"], &["w"]),
         ];
         let edges = vec![
-            JoinEdge { left: (0, 0), right: (1, 1) },
-            JoinEdge { left: (1, 0), right: (2, 1) },
+            JoinEdge {
+                left: (0, 0),
+                right: (1, 1),
+            },
+            JoinEdge {
+                left: (1, 0),
+                right: (2, 1),
+            },
         ];
         Schema::new("tiny", tables, edges)
     }
@@ -296,7 +335,14 @@ mod tests {
         let pats = s.connected_patterns(3);
         assert_eq!(
             pats,
-            vec![vec![0], vec![0, 1], vec![0, 1, 2], vec![1], vec![1, 2], vec![2]]
+            vec![
+                vec![0],
+                vec![0, 1],
+                vec![0, 1, 2],
+                vec![1],
+                vec![1, 2],
+                vec![2]
+            ]
         );
     }
 
@@ -317,9 +363,18 @@ mod tests {
             table("c", &["id"], &["b_id"], &[]),
         ];
         let edges = vec![
-            JoinEdge { left: (0, 0), right: (1, 1) },
-            JoinEdge { left: (1, 0), right: (2, 1) },
-            JoinEdge { left: (2, 0), right: (0, 1) },
+            JoinEdge {
+                left: (0, 0),
+                right: (1, 1),
+            },
+            JoinEdge {
+                left: (1, 0),
+                right: (2, 1),
+            },
+            JoinEdge {
+                left: (2, 0),
+                right: (0, 1),
+            },
         ];
         let _ = Schema::new("cyclic", tables, edges);
     }

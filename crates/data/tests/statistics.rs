@@ -42,7 +42,10 @@ fn dmv_has_documented_correlations() {
     );
     let susp = t.col(ds.schema.tables[0].col("suspension"));
     let revo = t.col(ds.schema.tables[0].col("revocation"));
-    assert!(pearson(susp, revo) > 0.5, "revocation should track suspension");
+    assert!(
+        pearson(susp, revo) > 0.5,
+        "revocation should track suspension"
+    );
 }
 
 #[test]
@@ -50,7 +53,11 @@ fn dmv_state_column_is_heavily_skewed() {
     let ds = dmv(Scale::quick(), 12);
     let state = ds.tables[0].col(ds.schema.tables[0].col("state"));
     // Zipf s=2.0: the home state dominates.
-    assert!(top_value_mass(state) > 0.5, "state skew missing: {}", top_value_mass(state));
+    assert!(
+        top_value_mass(state) > 0.5,
+        "state skew missing: {}",
+        top_value_mass(state)
+    );
 }
 
 #[test]
@@ -59,7 +66,11 @@ fn tpch_price_tracks_quantity() {
     let li = ds.schema.table("lineitem");
     let qty = ds.tables[li].col(ds.schema.tables[li].col("l_quantity"));
     let price = ds.tables[li].col(ds.schema.tables[li].col("l_extendedprice"));
-    assert!(pearson(qty, price) > 0.8, "extendedprice ~ quantity: {}", pearson(qty, price));
+    assert!(
+        pearson(qty, price) > 0.8,
+        "extendedprice ~ quantity: {}",
+        pearson(qty, price)
+    );
 }
 
 #[test]

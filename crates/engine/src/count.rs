@@ -28,7 +28,10 @@ pub struct Executor<'a> {
 impl<'a> Executor<'a> {
     /// Creates an executor (precomputes join-graph adjacency).
     pub fn new(ds: &'a Dataset) -> Self {
-        Self { ds, adj: ds.schema.adjacency() }
+        Self {
+            ds,
+            adj: ds.schema.adjacency(),
+        }
     }
 
     /// The dataset this executor reads.
@@ -111,7 +114,11 @@ impl<'a> Executor<'a> {
     pub fn count_subset(&self, q: &Query, subset: &[usize]) -> u64 {
         let sub = Query::new(
             subset.to_vec(),
-            q.predicates.iter().copied().filter(|p| subset.contains(&p.table)).collect(),
+            q.predicates
+                .iter()
+                .copied()
+                .filter(|p| subset.contains(&p.table))
+                .collect(),
         );
         self.count(&sub)
     }
@@ -122,7 +129,10 @@ impl<'a> Executor<'a> {
             .into_iter()
             .map(|q| {
                 let cardinality = self.count(&q);
-                LabeledQuery { query: q, cardinality }
+                LabeledQuery {
+                    query: q,
+                    cardinality,
+                }
             })
             .collect()
     }
@@ -130,7 +140,10 @@ impl<'a> Executor<'a> {
     /// Labels queries, dropping those with zero cardinality (the paper
     /// eliminates them during training).
     pub fn label_nonzero(&self, queries: Vec<Query>) -> Workload {
-        self.label(queries).into_iter().filter(|lq| lq.cardinality > 0).collect()
+        self.label(queries)
+            .into_iter()
+            .filter(|lq| lq.cardinality > 0)
+            .collect()
     }
 }
 
@@ -167,10 +180,19 @@ pub fn naive_count(ds: &Dataset, q: &Query) -> u64 {
     let mut rows = vec![0usize; tables.len()];
     let mut count = 0u64;
     'outer: loop {
-        let ok = tables.iter().enumerate().all(|(i, &t)| passes(ds, q, t, rows[i]))
+        let ok = tables
+            .iter()
+            .enumerate()
+            .all(|(i, &t)| passes(ds, q, t, rows[i]))
             && edges.iter().all(|e| {
-                let li = tables.iter().position(|&t| t == e.left.0).expect("in pattern");
-                let ri = tables.iter().position(|&t| t == e.right.0).expect("in pattern");
+                let li = tables
+                    .iter()
+                    .position(|&t| t == e.left.0)
+                    .expect("in pattern");
+                let ri = tables
+                    .iter()
+                    .position(|&t| t == e.right.0)
+                    .expect("in pattern");
                 ds.tables[e.left.0].get(rows[li], e.left.1)
                     == ds.tables[e.right.0].get(rows[ri], e.right.1)
             });
@@ -212,8 +234,14 @@ mod tests {
                 table("c", &["id"], &["b_id"], &["z"]),
             ],
             vec![
-                JoinEdge { left: (0, 0), right: (1, 1) },
-                JoinEdge { left: (1, 0), right: (2, 1) },
+                JoinEdge {
+                    left: (0, 0),
+                    right: (1, 1),
+                },
+                JoinEdge {
+                    left: (1, 0),
+                    right: (2, 1),
+                },
             ],
         );
         let a = Table::from_columns(vec![vec![0, 1, 2, 3], vec![10, 20, 30, 40]]);
@@ -234,7 +262,15 @@ mod tests {
     fn single_table_count_with_predicate() {
         let ds = chain_dataset();
         let ex = Executor::new(&ds);
-        let q = Query::new(vec![0], vec![Predicate { table: 0, col: 1, lo: 15, hi: 35 }]);
+        let q = Query::new(
+            vec![0],
+            vec![Predicate {
+                table: 0,
+                col: 1,
+                lo: 15,
+                hi: 35,
+            }],
+        );
         assert_eq!(ex.count(&q), 2);
         assert_eq!(ex.count(&q), naive_count(&ds, &q));
     }
@@ -266,8 +302,18 @@ mod tests {
         let q = Query::new(
             vec![0, 1, 2],
             vec![
-                Predicate { table: 1, col: 2, lo: 5, hi: 7 },
-                Predicate { table: 2, col: 2, lo: 2, hi: 5 },
+                Predicate {
+                    table: 1,
+                    col: 2,
+                    lo: 5,
+                    hi: 7,
+                },
+                Predicate {
+                    table: 2,
+                    col: 2,
+                    lo: 2,
+                    hi: 5,
+                },
             ],
         );
         assert_eq!(ex.count(&q), naive_count(&ds, &q));
@@ -277,7 +323,15 @@ mod tests {
     fn empty_result_when_predicate_excludes_all() {
         let ds = chain_dataset();
         let ex = Executor::new(&ds);
-        let q = Query::new(vec![0, 1], vec![Predicate { table: 0, col: 1, lo: 1000, hi: 2000 }]);
+        let q = Query::new(
+            vec![0, 1],
+            vec![Predicate {
+                table: 0,
+                col: 1,
+                lo: 1000,
+                hi: 2000,
+            }],
+        );
         assert_eq!(ex.count(&q), 0);
     }
 
@@ -287,7 +341,12 @@ mod tests {
         let ex = Executor::new(&ds);
         let q = Query::new(
             vec![0, 1, 2],
-            vec![Predicate { table: 2, col: 2, lo: 100, hi: 200 }], // kills c
+            vec![Predicate {
+                table: 2,
+                col: 2,
+                lo: 100,
+                hi: 200,
+            }], // kills c
         );
         assert_eq!(ex.count(&q), 0);
         // The {a, b} prefix ignores c's predicate.
@@ -298,7 +357,15 @@ mod tests {
     fn filtered_size_counts_matching_rows() {
         let ds = chain_dataset();
         let ex = Executor::new(&ds);
-        let q = Query::new(vec![1], vec![Predicate { table: 1, col: 2, lo: 6, hi: 9 }]);
+        let q = Query::new(
+            vec![1],
+            vec![Predicate {
+                table: 1,
+                col: 2,
+                lo: 6,
+                hi: 9,
+            }],
+        );
         assert_eq!(ex.filtered_size(&q, 1), 4);
     }
 
@@ -308,7 +375,15 @@ mod tests {
         let ex = Executor::new(&ds);
         let qs = vec![
             Query::new(vec![0], vec![]),
-            Query::new(vec![0], vec![Predicate { table: 0, col: 1, lo: 999, hi: 1000 }]),
+            Query::new(
+                vec![0],
+                vec![Predicate {
+                    table: 0,
+                    col: 1,
+                    lo: 999,
+                    hi: 1000,
+                }],
+            ),
         ];
         let labeled = ex.label_nonzero(qs);
         assert_eq!(labeled.len(), 1);

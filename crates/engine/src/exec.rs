@@ -23,7 +23,10 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        Self { tuple_cost_s: 1e-4, join_overhead_s: 2e-3 }
+        Self {
+            tuple_cost_s: 1e-4,
+            join_overhead_s: 2e-3,
+        }
     }
 }
 
@@ -53,12 +56,7 @@ pub fn run_query(
 
 /// Simulates a specific plan for `q` against the true data: each join step
 /// is charged its operator's true input work plus its true output size.
-pub fn run_plan(
-    q: &Query,
-    exec: &Executor<'_>,
-    plan: &Plan,
-    cost: &CostModel,
-) -> ExecutionReport {
+pub fn run_plan(q: &Query, exec: &Executor<'_>, plan: &Plan, cost: &CostModel) -> ExecutionReport {
     // First table: scan of the filtered relation.
     let mut true_work = exec.count_subset(q, &plan.order[..1]) as f64;
     let mut outer = true_work;
@@ -89,7 +87,10 @@ pub fn total_latency(
     est: &dyn CardEstimator,
     cost: &CostModel,
 ) -> f64 {
-    queries.iter().map(|q| run_query(q, exec, est, cost).latency_s).sum()
+    queries
+        .iter()
+        .map(|q| run_query(q, exec, est, cost).latency_s)
+        .sum()
 }
 
 #[cfg(test)]
@@ -110,8 +111,14 @@ mod tests {
                 tdef("small", &["id"], &["hub_id"], &["b"]),
             ],
             vec![
-                JoinEdge { left: (1, 1), right: (0, 0) },
-                JoinEdge { left: (2, 1), right: (0, 0) },
+                JoinEdge {
+                    left: (1, 1),
+                    right: (0, 0),
+                },
+                JoinEdge {
+                    left: (2, 1),
+                    right: (0, 0),
+                },
             ],
         );
         let hub_n = 50usize;
@@ -138,7 +145,12 @@ mod tests {
         let q = Query::new(vec![0, 1, 2], vec![]);
         let report = run_query(&q, &exec, &est, &CostModel::default());
         // hub ⋈ small (2 rows) must come before big.
-        assert_eq!(*report.order.last().expect("3 tables"), 1, "order {:?}", report.order);
+        assert_eq!(
+            *report.order.last().expect("3 tables"),
+            1,
+            "order {:?}",
+            report.order
+        );
     }
 
     #[test]
@@ -183,15 +195,13 @@ mod tests {
         let exec = Executor::new(&ds);
         let est = OracleEstimator::new(Executor::new(&ds));
         let q = Query::new(vec![0, 2], vec![]);
-        let plan = crate::optimizer::optimize(&q, &ds.schema, &est);
+        let plan = optimize(&q, &ds.schema, &est);
         let report = run_plan(&q, &exec, &plan, &CostModel::default());
         let first = exec.count_subset(&q, &plan.order[..1]) as f64;
         let inner = exec.filtered_size(&q, plan.order[1]) as f64;
         let expected = match plan.ops[0] {
-            crate::optimizer::JoinOp::Hash => first + (first + inner + 2.0),
-            crate::optimizer::JoinOp::IndexNestedLoop => {
-                first + (first * crate::optimizer::INDEX_LOOKUP_COST + 2.0)
-            }
+            JoinOp::Hash => first + (first + inner + 2.0),
+            JoinOp::IndexNestedLoop => first + (first * INDEX_LOOKUP_COST + 2.0),
         };
         assert_eq!(report.true_work, expected);
     }

@@ -52,7 +52,11 @@ pub fn optimize(q: &Query, schema: &Schema, est: &dyn CardEstimator) -> Plan {
     assert!(n <= 20, "pattern too large for subset DP");
     if n == 1 {
         let cost = est.estimate(q).max(1.0);
-        return Plan { order: tables.clone(), ops: Vec::new(), est_cost: cost };
+        return Plan {
+            order: tables.clone(),
+            ops: Vec::new(),
+            est_cost: cost,
+        };
     }
 
     // Local adjacency between pattern tables.
@@ -72,11 +76,17 @@ pub fn optimize(q: &Query, schema: &Schema, est: &dyn CardEstimator) -> Plan {
     let mut last_op = vec![JoinOp::Hash; (full + 1) as usize];
 
     let sub_query = |mask: u32| -> Query {
-        let subset: Vec<usize> =
-            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| tables[i]).collect();
+        let subset: Vec<usize> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| tables[i])
+            .collect();
         Query::new(
             subset.clone(),
-            q.predicates.iter().copied().filter(|p| subset.contains(&p.table)).collect(),
+            q.predicates
+                .iter()
+                .copied()
+                .filter(|p| subset.contains(&p.table))
+                .collect(),
         )
     };
     let connected = |mask: u32| -> bool {
@@ -193,9 +203,18 @@ mod tests {
                 table("s3", &["id"], &["hub_id"], &["c"]),
             ],
             vec![
-                JoinEdge { left: (1, 1), right: (0, 0) },
-                JoinEdge { left: (2, 1), right: (0, 0) },
-                JoinEdge { left: (3, 1), right: (0, 0) },
+                JoinEdge {
+                    left: (1, 1),
+                    right: (0, 0),
+                },
+                JoinEdge {
+                    left: (2, 1),
+                    right: (0, 0),
+                },
+                JoinEdge {
+                    left: (3, 1),
+                    right: (0, 0),
+                },
             ],
         )
     }
@@ -216,7 +235,11 @@ mod tests {
         let plan = optimize(&q, &schema, &est);
         // First two tables must be {0, 2} in some order.
         let first_two: Vec<usize> = plan.order[..2].to_vec();
-        assert!(first_two.contains(&0) && first_two.contains(&2), "order {:?}", plan.order);
+        assert!(
+            first_two.contains(&0) && first_two.contains(&2),
+            "order {:?}",
+            plan.order
+        );
         assert_eq!(plan.order[2], 1);
     }
 
@@ -264,7 +287,12 @@ mod tests {
         m.insert(vec![0, 1], 10.0);
         let q = Query::new(vec![0, 1], vec![]);
         let plan = optimize(&q, &schema, &MapEstimator(m));
-        assert_eq!(plan.ops, vec![JoinOp::IndexNestedLoop], "order {:?}", plan.order);
+        assert_eq!(
+            plan.ops,
+            vec![JoinOp::IndexNestedLoop],
+            "order {:?}",
+            plan.order
+        );
 
         let mut m = HashMap::new();
         m.insert(vec![0], 1000.0);

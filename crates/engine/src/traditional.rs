@@ -85,7 +85,9 @@ impl HistogramEstimator {
             .tables
             .iter()
             .map(|t| {
-                (0..t.num_cols()).map(|c| ColumnHistogram::build(t.col(c), buckets)).collect()
+                (0..t.num_cols())
+                    .map(|c| ColumnHistogram::build(t.col(c), buckets))
+                    .collect()
             })
             .collect();
         let distinct = ds
@@ -151,9 +153,14 @@ impl SamplingEstimator {
         let mut tables = Vec::with_capacity(ds.tables.len());
         let mut scale = Vec::with_capacity(ds.tables.len());
         for t in &ds.tables {
-            let keep: Vec<usize> =
-                (0..t.num_rows()).filter(|_| rng.random_range(0.0..1.0) < rate).collect();
-            let keep = if keep.is_empty() && t.num_rows() > 0 { vec![0] } else { keep };
+            let keep: Vec<usize> = (0..t.num_rows())
+                .filter(|_| rng.random_range(0.0..1.0) < rate)
+                .collect();
+            let keep = if keep.is_empty() && t.num_rows() > 0 {
+                vec![0]
+            } else {
+                keep
+            };
             let cols = (0..t.num_cols())
                 .map(|c| keep.iter().map(|&r| t.get(r, c)).collect())
                 .collect();
@@ -164,7 +171,10 @@ impl SamplingEstimator {
             });
             tables.push(pace_data::Table::from_columns(cols));
         }
-        Self { sample: Dataset::new(ds.schema.clone(), tables), scale }
+        Self {
+            sample: Dataset::new(ds.schema.clone(), tables),
+            scale,
+        }
     }
 }
 
@@ -218,10 +228,18 @@ mod tests {
         let exec = Executor::new(&ds);
         let est = SamplingEstimator::build(&ds, 1.0, 74);
         let mut rng = StdRng::seed_from_u64(75);
-        for lq in exec.label_nonzero(generate_queries(&ds, &WorkloadSpec::default(), &mut rng, 30))
-        {
+        for lq in exec.label_nonzero(generate_queries(
+            &ds,
+            &WorkloadSpec::default(),
+            &mut rng,
+            30,
+        )) {
             let e = est.estimate(&lq.query);
-            assert!((e - lq.cardinality as f64).abs() < 1e-6, "{e} vs {}", lq.cardinality);
+            assert!(
+                (e - lq.cardinality as f64).abs() < 1e-6,
+                "{e} vs {}",
+                lq.cardinality
+            );
         }
     }
 
@@ -236,7 +254,10 @@ mod tests {
             .map(|s| SamplingEstimator::build(&ds, 0.2, s).estimate(&q))
             .sum::<f64>()
             / 5.0;
-        assert!((mean - truth).abs() / truth < 0.05, "mean {mean} vs truth {truth}");
+        assert!(
+            (mean - truth).abs() / truth < 0.05,
+            "mean {mean} vs truth {truth}"
+        );
     }
 
     #[test]

@@ -11,17 +11,29 @@ fn star_with_tail() -> Dataset {
     let schema = Schema::new(
         "star_tail",
         vec![
-            table("hub", &["id"], &[], &["h"]),          // 0
-            table("s1", &["id"], &["hub_id"], &["a"]),   // 1
-            table("s2", &["id"], &["hub_id"], &["b"]),   // 2
-            table("s3", &["id"], &["hub_id"], &[]),      // 3
-            table("leaf", &["id"], &["s3_id"], &["c"]),  // 4
+            table("hub", &["id"], &[], &["h"]),         // 0
+            table("s1", &["id"], &["hub_id"], &["a"]),  // 1
+            table("s2", &["id"], &["hub_id"], &["b"]),  // 2
+            table("s3", &["id"], &["hub_id"], &[]),     // 3
+            table("leaf", &["id"], &["s3_id"], &["c"]), // 4
         ],
         vec![
-            JoinEdge { left: (1, 1), right: (0, 0) },
-            JoinEdge { left: (2, 1), right: (0, 0) },
-            JoinEdge { left: (3, 1), right: (0, 0) },
-            JoinEdge { left: (4, 1), right: (3, 0) },
+            JoinEdge {
+                left: (1, 1),
+                right: (0, 0),
+            },
+            JoinEdge {
+                left: (2, 1),
+                right: (0, 0),
+            },
+            JoinEdge {
+                left: (3, 1),
+                right: (0, 0),
+            },
+            JoinEdge {
+                left: (4, 1),
+                right: (3, 0),
+            },
         ],
     );
     let hub = Table::from_columns(vec![vec![0, 1, 2], vec![5, 6, 7]]);
@@ -71,7 +83,12 @@ fn predicates_prune_through_the_tail() {
     let all = Query::new(vec![0, 3, 4], vec![]);
     let pruned = Query::new(
         vec![0, 3, 4],
-        vec![Predicate { table: 4, col: 2, lo: 30, hi: 30 }],
+        vec![Predicate {
+            table: 4,
+            col: 2,
+            lo: 30,
+            hi: 30,
+        }],
     );
     assert!(exec.count(&pruned) < exec.count(&all));
     assert_eq!(exec.count(&pruned), naive_count(&ds, &pruned));
@@ -99,7 +116,10 @@ fn ln_max_reflects_largest_pattern_join() {
         max_card = max_card.max(exec.count(&Query::new(pattern, vec![])));
     }
     let ln_max = ln_max_cardinality(&ds, 4);
-    assert!(ln_max >= (max_card as f64).ln(), "ln_max {ln_max} vs max {max_card}");
+    assert!(
+        ln_max >= (max_card as f64).ln(),
+        "ln_max {ln_max} vs max {max_card}"
+    );
     // Bound must be tight-ish (headroom, not product-of-tables overshoot).
     assert!(ln_max <= (max_card as f64).ln() * 1.1 + 1.0 + 1e-9);
 }
@@ -110,7 +130,12 @@ fn empty_satellite_zeroes_the_join() {
     let exec = Executor::new(&ds);
     let q = Query::new(
         vec![0, 2],
-        vec![Predicate { table: 2, col: 2, lo: 99, hi: 100 }],
+        vec![Predicate {
+            table: 2,
+            col: 2,
+            lo: 99,
+            hi: 100,
+        }],
     );
     assert_eq!(exec.count(&q), 0);
     assert_eq!(naive_count(&ds, &q), 0);

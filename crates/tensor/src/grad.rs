@@ -40,10 +40,10 @@ pub(crate) fn op_inputs(op: &Op) -> Vec<Var> {
         | Op::MeanAll(a)
         | Op::SumRows(a)
         | Op::MeanRows(a)
-        | Op::RepeatRows(a)
+        | Op::RepeatRows(a, _)
         | Op::SumCols(a)
-        | Op::RepeatCols(a)
-        | Op::BroadcastScalar(a)
+        | Op::RepeatCols(a, _)
+        | Op::BroadcastScalar(a, _, _)
         | Op::SliceCols(a, _, _)
         | Op::SliceRows(a, _, _) => vec![*a],
         Op::ConcatCols(parts) | Op::ConcatRows(parts) => parts.clone(),
@@ -88,13 +88,20 @@ impl Graph {
         grads.insert(output.0, seed);
 
         for node in order {
-            let Some(&g) = grads.get(&node.0) else { continue };
+            let Some(&g) = grads.get(&node.0) else {
+                continue;
+            };
             let op = self.op(node).clone();
             self.accumulate_vjp(&op, node, g, &mut grads);
         }
 
         wrt.iter()
-            .map(|w| grads.get(&w.0).copied().unwrap_or_else(|| self.zeros_like(*w)))
+            .map(|w| {
+                grads
+                    .get(&w.0)
+                    .copied()
+                    .unwrap_or_else(|| self.zeros_like(*w))
+            })
             .collect()
     }
 
@@ -296,11 +303,11 @@ impl Graph {
                 let ga = self.mul_scalar(rep, 1.0 / n as f32);
                 self.add_grad(grads, a, ga);
             }
-            Op::RepeatRows(a) => {
+            Op::RepeatRows(a, _) => {
                 let ga = self.sum_rows(g);
                 self.add_grad(grads, a, ga);
             }
-            Op::BroadcastScalar(a) => {
+            Op::BroadcastScalar(a, _, _) => {
                 let ga = self.sum_all(g);
                 self.add_grad(grads, a, ga);
             }
@@ -332,7 +339,7 @@ impl Graph {
                 let ga = self.repeat_cols(g, d);
                 self.add_grad(grads, a, ga);
             }
-            Op::RepeatCols(a) => {
+            Op::RepeatCols(a, _) => {
                 let ga = self.sum_cols(g);
                 self.add_grad(grads, a, ga);
             }
@@ -365,7 +372,11 @@ impl Graph {
                 if end < c {
                     parts.push(self.leaf(Matrix::zeros(r, c - end)));
                 }
-                let ga = if parts.len() == 1 { parts[0] } else { self.concat_cols(&parts) };
+                let ga = if parts.len() == 1 {
+                    parts[0]
+                } else {
+                    self.concat_cols(&parts)
+                };
                 self.add_grad(grads, a, ga);
             }
             Op::SliceRows(a, start, end) => {
@@ -378,7 +389,11 @@ impl Graph {
                 if end < r {
                     parts.push(self.leaf(Matrix::zeros(r - end, c)));
                 }
-                let ga = if parts.len() == 1 { parts[0] } else { self.concat_rows(&parts) };
+                let ga = if parts.len() == 1 {
+                    parts[0]
+                } else {
+                    self.concat_rows(&parts)
+                };
                 self.add_grad(grads, a, ga);
             }
         }

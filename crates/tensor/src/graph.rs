@@ -14,6 +14,18 @@ use crate::matrix::Matrix;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Var(pub(crate) usize);
 
+impl Var {
+    /// Position of this node on its tape (nodes are appended in creation
+    /// order, so indices double as topological order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    pub(crate) fn from_index(i: usize) -> Self {
+        Var(i)
+    }
+}
+
 /// The primitive operations of the graph.
 ///
 /// Every op's VJP is expressible in terms of other ops in this enum, which is
@@ -45,8 +57,10 @@ pub(crate) enum Op {
     MeanAll(Var),
     SumRows(Var),
     MeanRows(Var),
-    RepeatRows(Var),
-    BroadcastScalar(Var),
+    /// Stacks a `1×d` row the recorded number of times into `n×d`.
+    RepeatRows(Var, usize),
+    /// Broadcasts a `1×1` scalar to the recorded `r×c` shape.
+    BroadcastScalar(Var, usize, usize),
     /// `n×d` plus a `1×d` row broadcast over every row (bias add).
     AddRow(Var, Var),
     /// `n×d` times a `1×d` row broadcast over every row.
@@ -55,12 +69,55 @@ pub(crate) enum Op {
     MulCol(Var, Var),
     /// Row-wise sum: `n×d → n×1`.
     SumCols(Var),
-    /// Stacks an `n×1` column `d` times into `n×d`.
-    RepeatCols(Var),
+    /// Stacks an `n×1` column the recorded number of times into `n×d`.
+    RepeatCols(Var, usize),
     ConcatCols(Vec<Var>),
     ConcatRows(Vec<Var>),
     SliceCols(Var, usize, usize),
     SliceRows(Var, usize, usize),
+}
+
+impl Op {
+    /// The variant's bare name (without operands), for reports and counters.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "Leaf",
+            Op::Add(..) => "Add",
+            Op::Sub(..) => "Sub",
+            Op::Mul(..) => "Mul",
+            Op::Div(..) => "Div",
+            Op::Neg(_) => "Neg",
+            Op::AddScalar(_) => "AddScalar",
+            Op::MulScalar(..) => "MulScalar",
+            Op::PowScalar(..) => "PowScalar",
+            Op::MatMul(..) => "MatMul",
+            Op::Transpose(_) => "Transpose",
+            Op::Sigmoid(_) => "Sigmoid",
+            Op::Tanh(_) => "Tanh",
+            Op::Relu(_) => "Relu",
+            Op::Exp(_) => "Exp",
+            Op::Ln(_) => "Ln",
+            Op::Sqrt(_) => "Sqrt",
+            Op::Abs(_) => "Abs",
+            Op::Maximum(..) => "Maximum",
+            Op::Minimum(..) => "Minimum",
+            Op::SumAll(_) => "SumAll",
+            Op::MeanAll(_) => "MeanAll",
+            Op::SumRows(_) => "SumRows",
+            Op::MeanRows(_) => "MeanRows",
+            Op::RepeatRows(..) => "RepeatRows",
+            Op::BroadcastScalar(..) => "BroadcastScalar",
+            Op::AddRow(..) => "AddRow",
+            Op::MulRow(..) => "MulRow",
+            Op::MulCol(..) => "MulCol",
+            Op::SumCols(_) => "SumCols",
+            Op::RepeatCols(..) => "RepeatCols",
+            Op::ConcatCols(_) => "ConcatCols",
+            Op::ConcatRows(_) => "ConcatRows",
+            Op::SliceCols(..) => "SliceCols",
+            Op::SliceRows(..) => "SliceRows",
+        }
+    }
 }
 
 struct Node {
@@ -76,6 +133,10 @@ struct Node {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// First node whose value contains a non-finite element, with the op's
+    /// name — set once and kept, so the *origin* of a NaN/Inf cascade stays
+    /// attributable (see [`Graph::first_nonfinite`]).
+    first_nonfinite: Option<(Var, &'static str)>,
 }
 
 impl Graph {
@@ -95,10 +156,31 @@ impl Graph {
     }
 
     fn push(&mut self, op: Op, value: Matrix) -> Var {
-        debug_assert!(value.all_finite() || matches!(op, Op::Leaf | Op::Ln(_) | Op::Div(..) | Op::Exp(_)),
-            "non-finite value produced by {op:?}");
+        // Non-finite values are recorded, not rejected: `Ln`/`Div`/`Sqrt` on
+        // degenerate inputs legitimately occur mid-training (and are often
+        // masked out downstream), but the *first* producer must stay
+        // attributable so a poisoned-loss NaN can be traced to its origin
+        // instead of surfacing as a mystery deep inside an attack loop.
+        if self.first_nonfinite.is_none() && !value.all_finite() {
+            self.first_nonfinite = Some((Var(self.nodes.len()), op.name()));
+        }
         self.nodes.push(Node { op, value });
         Var(self.nodes.len() - 1)
+    }
+
+    /// The first node whose value contains a NaN or ±Inf, with the producing
+    /// op's name — `None` while every value on the tape is finite. Surfaced
+    /// by [`crate::analysis::audit`] so non-finite losses are attributable.
+    pub fn first_nonfinite(&self) -> Option<(Var, &'static str)> {
+        self.first_nonfinite
+    }
+
+    /// Appends a node without executing its op — the test hook that lets the
+    /// analysis suite seed tapes whose recorded values *disagree* with their
+    /// op semantics. Never used by the real op constructors.
+    #[cfg(test)]
+    pub(crate) fn push_raw(&mut self, op: Op, value: Matrix) -> Var {
+        self.push(op, value)
     }
 
     /// Value of a node (eagerly computed at creation time).
@@ -133,25 +215,33 @@ impl Graph {
 
     /// Elementwise sum of equal-shaped operands.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x + y);
         self.push(Op::Add(a, b), v)
     }
 
     /// Elementwise difference of equal-shaped operands.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x - y);
         self.push(Op::Sub(a, b), v)
     }
 
     /// Elementwise product of equal-shaped operands.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x * y);
         self.push(Op::Mul(a, b), v)
     }
 
     /// Elementwise quotient of equal-shaped operands.
     pub fn div(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x / y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x / y);
         self.push(Op::Div(a, b), v)
     }
 
@@ -283,13 +373,13 @@ impl Graph {
     /// Stacks a `1×d` row `n` times into `n×d`.
     pub fn repeat_rows(&mut self, a: Var, n: usize) -> Var {
         let v = self.nodes[a.0].value.repeat_rows(n);
-        self.push(Op::RepeatRows(a), v)
+        self.push(Op::RepeatRows(a, n), v)
     }
 
     /// Broadcasts a `1×1` scalar node to an `r×c` matrix.
     pub fn broadcast_scalar(&mut self, a: Var, r: usize, c: usize) -> Var {
         let s = self.nodes[a.0].value.as_scalar();
-        self.push(Op::BroadcastScalar(a), Matrix::full(r, c, s))
+        self.push(Op::BroadcastScalar(a, r, c), Matrix::full(r, c, s))
     }
 
     /// Adds a `1×d` row vector to every row of an `n×d` matrix.
@@ -359,7 +449,7 @@ impl Graph {
             data.extend(std::iter::repeat_n(x, d));
         }
         let v = Matrix::from_vec(m.rows(), d, data);
-        self.push(Op::RepeatCols(a), v)
+        self.push(Op::RepeatCols(a, d), v)
     }
 
     // ---- structural ----------------------------------------------------------
@@ -399,7 +489,8 @@ impl Graph {
     /// slowly in viewers; prefer dumping small repros.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("digraph tape {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n");
+        let mut out =
+            String::from("digraph tape {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n");
         for (i, node) in self.nodes.iter().enumerate() {
             let (r, c) = node.value.shape();
             let label = format!("{:?}", node.op);

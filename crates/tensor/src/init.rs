@@ -7,19 +7,31 @@ use rand::Rng;
 /// `a = sqrt(6 / (fan_in + fan_out))`. The default for sigmoid/tanh layers.
 pub fn xavier_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
     let a = (6.0 / (rows + cols) as f32).sqrt();
-    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.random_range(-a..a)).collect())
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.random_range(-a..a)).collect(),
+    )
 }
 
 /// He/Kaiming uniform initialization: `U(-a, a)` with `a = sqrt(6 / fan_in)`.
 /// The default for ReLU layers.
 pub fn he_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
     let a = (6.0 / rows as f32).sqrt();
-    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.random_range(-a..a)).collect())
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.random_range(-a..a)).collect(),
+    )
 }
 
 /// Uniform `U(-a, a)` initialization with explicit bound.
 pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, a: f32) -> Matrix {
-    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.random_range(-a..a)).collect())
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.random_range(-a..a)).collect(),
+    )
 }
 
 /// Standard Gaussian noise matrix (the generator's latent input).
@@ -60,7 +72,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let m = gaussian(&mut rng, 100, 100);
         let mean = m.mean();
-        let var = m.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = m
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / (m.len() - 1) as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod check;
 mod grad;
 mod graph;

@@ -35,7 +35,11 @@ impl Matrix {
 
     /// Creates a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a zero matrix.
@@ -99,7 +103,12 @@ impl Matrix {
     /// # Panics
     /// Panics if the matrix is not `1×1`.
     pub fn as_scalar(&self) -> f32 {
-        assert!(self.is_scalar(), "as_scalar called on {}x{} matrix", self.rows, self.cols);
+        assert!(
+            self.is_scalar(),
+            "as_scalar called on {}x{} matrix",
+            self.rows,
+            self.cols
+        );
         self.data[0]
     }
 
@@ -194,7 +203,11 @@ impl Matrix {
                 }
             }
         }
-        Self { rows: n, cols: m, data: out }
+        Self {
+            rows: n,
+            cols: m,
+            data: out,
+        }
     }
 
     /// Transposed copy.
@@ -205,7 +218,11 @@ impl Matrix {
                 out[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        Self { rows: self.cols, cols: self.rows, data: out }
+        Self {
+            rows: self.cols,
+            cols: self.rows,
+            data: out,
+        }
     }
 
     /// Sum of all elements.
@@ -230,7 +247,11 @@ impl Matrix {
                 *o += x;
             }
         }
-        Self { rows: 1, cols: self.cols, data: out }
+        Self {
+            rows: 1,
+            cols: self.cols,
+            data: out,
+        }
     }
 
     /// Stacks `n` copies of a `1×cols` row vector into an `n×cols` matrix.
@@ -243,7 +264,11 @@ impl Matrix {
         for _ in 0..n {
             data.extend_from_slice(&self.data);
         }
-        Self { rows: n, cols: self.cols, data }
+        Self {
+            rows: n,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Horizontal concatenation of matrices sharing a row count.
@@ -290,18 +315,30 @@ impl Matrix {
 
     /// Copy of columns `[start, end)`.
     pub fn slice_cols(&self, start: usize, end: usize) -> Self {
-        assert!(start <= end && end <= self.cols, "slice_cols [{start},{end}) out of {}", self.cols);
+        assert!(
+            start <= end && end <= self.cols,
+            "slice_cols [{start},{end}) out of {}",
+            self.cols
+        );
         let cols = end - start;
         let mut data = Vec::with_capacity(self.rows * cols);
         for r in 0..self.rows {
             data.extend_from_slice(&self.row_slice(r)[start..end]);
         }
-        Self { rows: self.rows, cols, data }
+        Self {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// Copy of rows `[start, end)`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Self {
-        assert!(start <= end && end <= self.rows, "slice_rows [{start},{end}) out of {}", self.rows);
+        assert!(
+            start <= end && end <= self.rows,
+            "slice_rows [{start},{end}) out of {}",
+            self.rows
+        );
         Self {
             rows: end - start,
             cols: self.cols,

@@ -61,8 +61,17 @@ impl Dense {
             _ => init::xavier_uniform(rng, in_dim, out_dim),
         };
         let w = ps.alloc(format!("{name}.w"), w_init);
-        let b = ps.alloc(format!("{name}.b"), crate::matrix::Matrix::zeros(1, out_dim));
-        Self { w, b, act, in_dim, out_dim }
+        let b = ps.alloc(
+            format!("{name}.b"),
+            crate::matrix::Matrix::zeros(1, out_dim),
+        );
+        Self {
+            w,
+            b,
+            act,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Forward pass for a `n×in_dim` batch, producing `n×out_dim`.
@@ -104,12 +113,19 @@ impl Mlp {
         hidden_act: Activation,
         out_act: Activation,
     ) -> Self {
-        assert!(dims.len() >= 2, "Mlp needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "Mlp needs at least input and output widths"
+        );
         let layers = dims
             .windows(2)
             .enumerate()
             .map(|(i, w)| {
-                let act = if i + 2 == dims.len() { out_act } else { hidden_act };
+                let act = if i + 2 == dims.len() {
+                    out_act
+                } else {
+                    hidden_act
+                };
                 Dense::new(ps, rng, &format!("{name}.{i}"), w[0], w[1], act)
             })
             .collect();
@@ -118,7 +134,9 @@ impl Mlp {
 
     /// Forward pass through every layer.
     pub fn forward(&self, g: &mut Graph, bind: &Binding, x: Var) -> Var {
-        self.layers.iter().fold(x, |h, layer| layer.forward(g, bind, h))
+        self.layers
+            .iter()
+            .fold(x, |h, layer| layer.forward(g, bind, h))
     }
 
     /// The layers, for introspection.
@@ -155,8 +173,14 @@ impl RnnCell {
         in_dim: usize,
         hidden: usize,
     ) -> Self {
-        let wx = ps.alloc(format!("{name}.wx"), init::xavier_uniform(rng, in_dim, hidden));
-        let wh = ps.alloc(format!("{name}.wh"), init::xavier_uniform(rng, hidden, hidden));
+        let wx = ps.alloc(
+            format!("{name}.wx"),
+            init::xavier_uniform(rng, in_dim, hidden),
+        );
+        let wh = ps.alloc(
+            format!("{name}.wh"),
+            init::xavier_uniform(rng, hidden, hidden),
+        );
         let b = ps.alloc(format!("{name}.b"), crate::matrix::Matrix::zeros(1, hidden));
         Self { wx, wh, b, hidden }
     }
@@ -200,12 +224,26 @@ impl LstmCell {
         hidden: usize,
     ) -> Self {
         let mut make = |gate: &str, bias: f32| {
-            let wx = ps.alloc(format!("{name}.{gate}.wx"), init::xavier_uniform(rng, in_dim, hidden));
-            let wh = ps.alloc(format!("{name}.{gate}.wh"), init::xavier_uniform(rng, hidden, hidden));
-            let b = ps.alloc(format!("{name}.{gate}.b"), crate::matrix::Matrix::full(1, hidden, bias));
+            let wx = ps.alloc(
+                format!("{name}.{gate}.wx"),
+                init::xavier_uniform(rng, in_dim, hidden),
+            );
+            let wh = ps.alloc(
+                format!("{name}.{gate}.wh"),
+                init::xavier_uniform(rng, hidden, hidden),
+            );
+            let b = ps.alloc(
+                format!("{name}.{gate}.b"),
+                crate::matrix::Matrix::full(1, hidden, bias),
+            );
             (wx, wh, b)
         };
-        let gates = [make("i", 0.0), make("f", 1.0), make("o", 0.0), make("c", 0.0)];
+        let gates = [
+            make("i", 0.0),
+            make("f", 1.0),
+            make("o", 0.0),
+            make("c", 0.0),
+        ];
         Self { gates, hidden }
     }
 
@@ -272,7 +310,14 @@ mod tests {
     fn mlp_learns_xor() {
         let mut rng = StdRng::seed_from_u64(42);
         let mut ps = ParamStore::new();
-        let mlp = Mlp::new(&mut ps, &mut rng, "m", &[2, 8, 1], Activation::Tanh, Activation::Sigmoid);
+        let mlp = Mlp::new(
+            &mut ps,
+            &mut rng,
+            "m",
+            &[2, 8, 1],
+            Activation::Tanh,
+            Activation::Sigmoid,
+        );
         let xs = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
         let ys = Matrix::from_vec(4, 1, vec![0., 1., 1., 0.]);
         let mut opt = Sgd::new(1.0);
@@ -287,8 +332,11 @@ mod tests {
             let sq = g.mul(diff, diff);
             let loss = g.mean_all(sq);
             final_loss = g.value(loss).as_scalar();
-            let grads: Vec<Matrix> =
-                g.grad(loss, bind.vars()).iter().map(|&v| g.value(v).clone()).collect();
+            let grads: Vec<Matrix> = g
+                .grad(loss, bind.vars())
+                .iter()
+                .map(|&v| g.value(v).clone())
+                .collect();
             opt.step(&mut ps, &grads);
         }
         assert!(final_loss < 0.05, "XOR loss did not converge: {final_loss}");

@@ -77,12 +77,23 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with the paper's defaults (`β₁=0.9, β₂=0.999, ε=1e-8`).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     fn ensure_state(&mut self, params: &ParamStore) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|(_, p)| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.m = params
+                .iter()
+                .map(|(_, p)| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
             self.v = self.m.clone();
         }
     }
@@ -125,7 +136,11 @@ impl Optimizer for Adam {
 /// Rescales `grads` in place so their global L2 norm is at most `max_norm`.
 /// Returns the pre-clip norm.
 pub fn clip_global_norm(grads: &mut [Matrix], max_norm: f32) -> f32 {
-    let norm = grads.iter().map(|g| g.data().iter().map(|x| x * x).sum::<f32>()).sum::<f32>().sqrt();
+    let norm = grads
+        .iter()
+        .map(|g| g.data().iter().map(|x| x * x).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for g in grads.iter_mut() {
@@ -164,8 +179,11 @@ mod tests {
             let xv = bind.var(x);
             let diff = g.add_scalar(xv, -3.0);
             let loss = g.mul(diff, diff);
-            let grads: Vec<Matrix> =
-                g.grad(loss, bind.vars()).iter().map(|&v| g.value(v).clone()).collect();
+            let grads: Vec<Matrix> = g
+                .grad(loss, bind.vars())
+                .iter()
+                .map(|&v| g.value(v).clone())
+                .collect();
             opt.step(&mut ps, &grads);
         }
         ps.get(x).as_scalar()

@@ -48,7 +48,10 @@ pub fn read_params(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> 
     if count != store.len() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("parameter count mismatch: file {count}, store {}", store.len()),
+            format!(
+                "parameter count mismatch: file {count}, store {}",
+                store.len()
+            ),
         ));
     }
     let ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
@@ -61,7 +64,10 @@ pub fn read_params(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> 
         if name != store.name(id) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("parameter name mismatch: file {name:?}, store {:?}", store.name(id)),
+                format!(
+                    "parameter name mismatch: file {name:?}, store {:?}",
+                    store.name(id)
+                ),
             ));
         }
         let rows = read_u64(r)? as usize;
@@ -95,7 +101,10 @@ mod tests {
 
     fn store() -> ParamStore {
         let mut ps = ParamStore::new();
-        ps.alloc("w", Matrix::from_vec(2, 3, vec![1., -2., 3., 0.5, 0.25, -0.125]));
+        ps.alloc(
+            "w",
+            Matrix::from_vec(2, 3, vec![1., -2., 3., 0.5, 0.25, -0.125]),
+        );
         ps.alloc("b", Matrix::row(&[9.0, -9.0]));
         ps
     }
@@ -106,7 +115,11 @@ mod tests {
         let mut buf = Vec::new();
         write_params(&src, &mut buf).expect("write");
         let mut dst = store();
-        for (id, _) in dst.iter().map(|(id, m)| (id, m.clone())).collect::<Vec<_>>() {
+        for (id, _) in dst
+            .iter()
+            .map(|(id, m)| (id, m.clone()))
+            .collect::<Vec<_>>()
+        {
             dst.get_mut(id).data_mut().fill(0.0);
         }
         read_params(&mut dst, &mut buf.as_slice()).expect("read");

@@ -318,6 +318,185 @@ fn third_order_smoke() {
 }
 
 #[test]
+fn second_order_every_op() {
+    // Every differentiable op, squared-and-summed so the Hessian is
+    // non-trivial wherever the op has curvature, double-backward checked
+    // against finite differences. Piecewise-linear ops (relu, abs, max/min,
+    // slicing) have zero curvature away from their kinks — the check then
+    // verifies the second-order graph builds and agrees that it is zero.
+    type F = fn(&mut Graph, Var) -> Var;
+    fn sq_sum(g: &mut Graph, y: Var) -> Var {
+        let y2 = g.mul(y, y);
+        g.sum_all(y2)
+    }
+    // Strictly positive input for domain-restricted ops (ln, sqrt, div, pow).
+    fn p23() -> Matrix {
+        Matrix::from_vec(2, 3, vec![0.4, 0.9, 1.3, 0.6, 1.1, 0.8])
+    }
+    let cases: Vec<(&str, Matrix, F)> = vec![
+        ("add", m23(), |g, x| {
+            let y = g.add(x, x);
+            sq_sum(g, y)
+        }),
+        ("sub", m23(), |g, x| {
+            let c = g.leaf(Matrix::full(2, 3, 0.3));
+            let y = g.sub(x, c);
+            sq_sum(g, y)
+        }),
+        ("mul", m23(), |g, x| {
+            let y = g.mul(x, x);
+            g.sum_all(y)
+        }),
+        ("div", p23(), |g, x| {
+            let c = g.leaf(Matrix::full(2, 3, 2.0));
+            let y = g.div(c, x);
+            g.sum_all(y)
+        }),
+        ("neg", m23(), |g, x| {
+            let y = g.neg(x);
+            sq_sum(g, y)
+        }),
+        ("add_scalar", m23(), |g, x| {
+            let y = g.add_scalar(x, 0.7);
+            sq_sum(g, y)
+        }),
+        ("mul_scalar", m23(), |g, x| {
+            let y = g.mul_scalar(x, 1.4);
+            sq_sum(g, y)
+        }),
+        ("pow_scalar", p23(), |g, x| {
+            let y = g.pow_scalar(x, 2.5);
+            g.sum_all(y)
+        }),
+        ("matmul", m23(), |g, x| {
+            let w = g.leaf(Matrix::from_vec(3, 2, vec![0.2, -0.4, 0.8, 0.1, -0.6, 0.9]));
+            let y = g.matmul(x, w);
+            sq_sum(g, y)
+        }),
+        ("transpose", m23(), |g, x| {
+            let y = g.transpose(x);
+            sq_sum(g, y)
+        }),
+        ("sigmoid", m23(), |g, x| {
+            let y = g.sigmoid(x);
+            g.sum_all(y)
+        }),
+        ("tanh", m23(), |g, x| {
+            let y = g.tanh(x);
+            g.sum_all(y)
+        }),
+        ("relu", m23(), |g, x| {
+            let y = g.relu(x);
+            sq_sum(g, y)
+        }),
+        ("exp", m23(), |g, x| {
+            let y = g.exp(x);
+            g.sum_all(y)
+        }),
+        ("ln", p23(), |g, x| {
+            let y = g.ln(x);
+            g.sum_all(y)
+        }),
+        ("sqrt", p23(), |g, x| {
+            let y = g.sqrt(x);
+            g.sum_all(y)
+        }),
+        ("abs", m23(), |g, x| {
+            let y = g.abs(x);
+            sq_sum(g, y)
+        }),
+        ("maximum", m23(), |g, x| {
+            let c = g.leaf(Matrix::full(2, 3, 0.05));
+            let y = g.maximum(x, c);
+            sq_sum(g, y)
+        }),
+        ("minimum", m23(), |g, x| {
+            let c = g.leaf(Matrix::full(2, 3, 0.05));
+            let y = g.minimum(x, c);
+            sq_sum(g, y)
+        }),
+        ("sum_all", m23(), |g, x| {
+            let s = g.sum_all(x);
+            g.mul(s, s)
+        }),
+        ("mean_all", m23(), |g, x| {
+            let s = g.mean_all(x);
+            g.mul(s, s)
+        }),
+        ("sum_rows", m23(), |g, x| {
+            let s = g.sum_rows(x);
+            sq_sum(g, s)
+        }),
+        ("mean_rows", m23(), |g, x| {
+            let s = g.mean_rows(x);
+            sq_sum(g, s)
+        }),
+        ("sum_cols", m23(), |g, x| {
+            let s = g.sum_cols(x);
+            sq_sum(g, s)
+        }),
+        ("repeat_rows", mat(&[0.4, -0.9, 0.6]), |g, x| {
+            let r = g.repeat_rows(x, 3);
+            sq_sum(g, r)
+        }),
+        (
+            "repeat_cols",
+            Matrix::from_vec(2, 1, vec![0.4, -0.9]),
+            |g, x| {
+                let r = g.repeat_cols(x, 3);
+                sq_sum(g, r)
+            },
+        ),
+        ("broadcast_scalar", Matrix::scalar(1.2), |g, x| {
+            let b = g.broadcast_scalar(x, 2, 2);
+            sq_sum(g, b)
+        }),
+        ("add_row", m23(), |g, x| {
+            let b = g.leaf(mat(&[0.1, -0.2, 0.3]));
+            let y = g.add_row(x, b);
+            sq_sum(g, y)
+        }),
+        ("mul_row", m23(), |g, x| {
+            let b = g.leaf(mat(&[0.5, -1.2, 0.8]));
+            let y = g.mul_row(x, b);
+            sq_sum(g, y)
+        }),
+        ("mul_col", m23(), |g, x| {
+            let c = g.leaf(Matrix::from_vec(2, 1, vec![0.7, -1.3]));
+            let y = g.mul_col(x, c);
+            sq_sum(g, y)
+        }),
+        ("concat_cols", m23(), |g, x| {
+            let c = g.leaf(Matrix::from_vec(2, 1, vec![0.7, -0.3]));
+            let y = g.concat_cols(&[x, c]);
+            sq_sum(g, y)
+        }),
+        ("concat_rows", m23(), |g, x| {
+            let c = g.leaf(Matrix::from_vec(1, 3, vec![0.7, -0.3, 0.2]));
+            let y = g.concat_rows(&[x, c]);
+            sq_sum(g, y)
+        }),
+        ("slice_cols", m23(), |g, x| {
+            let y = g.slice_cols(x, 1, 3);
+            sq_sum(g, y)
+        }),
+        ("slice_rows", m23(), |g, x| {
+            let y = g.slice_rows(x, 1, 2);
+            sq_sum(g, y)
+        }),
+    ];
+    for (name, x, f) in cases {
+        let (r, c) = x.shape();
+        let w = Matrix::from_vec(
+            r,
+            c,
+            (0..r * c).map(|i| 0.3 + 0.2 * ((i % 3) as f32)).collect(),
+        );
+        assert_second_order_close(name, &x, &w, 8e-2, f);
+    }
+}
+
+#[test]
 fn grad_col_ops() {
     assert_grad_close("mul_col_lhs", &m23(), TOL, |g, x| {
         let c = g.leaf(Matrix::from_vec(2, 1, vec![0.7, -1.3]));
@@ -325,20 +504,30 @@ fn grad_col_ops() {
         let y2 = g.mul(y, y);
         g.sum_all(y2)
     });
-    assert_grad_close("mul_col_rhs", &Matrix::from_vec(2, 1, vec![0.7, -1.3]), TOL, |g, x| {
-        let a = g.leaf(m23());
-        let y = g.mul_col(a, x);
-        let y2 = g.mul(y, y);
-        g.sum_all(y2)
-    });
+    assert_grad_close(
+        "mul_col_rhs",
+        &Matrix::from_vec(2, 1, vec![0.7, -1.3]),
+        TOL,
+        |g, x| {
+            let a = g.leaf(m23());
+            let y = g.mul_col(a, x);
+            let y2 = g.mul(y, y);
+            g.sum_all(y2)
+        },
+    );
     assert_grad_close("sum_cols", &m23(), TOL, |g, x| {
         let s = g.sum_cols(x);
         let s2 = g.mul(s, s);
         g.sum_all(s2)
     });
-    assert_grad_close("repeat_cols", &Matrix::from_vec(2, 1, vec![0.4, -0.9]), TOL, |g, x| {
-        let r = g.repeat_cols(x, 3);
-        let r2 = g.mul(r, r);
-        g.sum_all(r2)
-    });
+    assert_grad_close(
+        "repeat_cols",
+        &Matrix::from_vec(2, 1, vec![0.4, -0.9]),
+        TOL,
+        |g, x| {
+            let r = g.repeat_cols(x, 3);
+            let r2 = g.mul(r, r);
+            g.sum_all(r2)
+        },
+    );
 }

@@ -1,0 +1,131 @@
+//! Property tests for the tape auditor: on randomly built graphs, static
+//! shape inference must agree with the shapes the eager execution actually
+//! produced, and a graph built purely through the public op constructors
+//! must never raise a shape issue.
+
+use pace_tensor::analysis::{audit, inferred_shape};
+use pace_tensor::{Graph, Matrix, Var};
+use proptest::prelude::*;
+
+/// Applies one randomly selected, always-well-formed op to the chain.
+///
+/// `x` is the current chain head (arbitrary shape); returns the new head.
+/// Each arm only uses shape information available at build time, mirroring
+/// how model code composes ops.
+fn apply_op(g: &mut Graph, x: Var, pick: u8, all: &mut Vec<Var>) -> Var {
+    let (r, c) = g.shape(x);
+    let y = match pick % 16 {
+        0 => g.add(x, x),
+        1 => {
+            let prev = all[all.len() / 2];
+            if g.shape(prev) == (r, c) {
+                g.sub(x, prev)
+            } else {
+                g.neg(x)
+            }
+        }
+        2 => g.mul(x, x),
+        3 => {
+            // Keep the denominator away from zero.
+            let a = g.abs(x);
+            let d = g.add_scalar(a, 1.0);
+            g.div(x, d)
+        }
+        4 => g.sigmoid(x),
+        5 => g.tanh(x),
+        6 => {
+            let t = g.transpose(x);
+            g.matmul(x, t) // r×c · c×r = r×r
+        }
+        7 => {
+            let s = g.sum_all(x);
+            g.broadcast_scalar(s, r, c)
+        }
+        8 => {
+            let row = g.sum_rows(x); // 1×c
+            let back = g.repeat_rows(row, r);
+            g.add(back, x)
+        }
+        9 => {
+            let col = g.sum_cols(x); // r×1
+            let back = g.repeat_cols(col, c);
+            g.mul(back, x)
+        }
+        10 => {
+            let row = g.mean_rows(x);
+            g.add_row(x, row)
+        }
+        11 => {
+            let col = g.sum_cols(x);
+            g.mul_col(x, col)
+        }
+        12 => g.concat_cols(&[x, x]),
+        13 => g.concat_rows(&[x, x]),
+        14 => {
+            if c > 1 {
+                g.slice_cols(x, 0, c - 1)
+            } else {
+                g.slice_rows(x, 0, r)
+            }
+        }
+        _ => {
+            let a = g.abs(x);
+            let shifted = g.add_scalar(a, 0.5);
+            let l = g.ln(shifted);
+            g.sqrt(shifted); // also exercise sqrt on the same positive input
+            l
+        }
+    };
+    all.push(y);
+    y
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every node of a randomly composed graph, [`inferred_shape`] must
+    /// return exactly the shape eager execution recorded, and the audit
+    /// must contain zero shape issues — the static pass and the interpreter
+    /// agree on the whole op vocabulary reachable through the public API.
+    #[test]
+    fn inference_agrees_with_execution(
+        r in 1usize..4,
+        c in 1usize..4,
+        seed_vals in prop::collection::vec(-1.5f32..1.5, 9),
+        picks in prop::collection::vec(0u8..=255, 1..12),
+    ) {
+        let mut g = Graph::new();
+        let data: Vec<f32> = (0..r * c).map(|i| seed_vals[i % seed_vals.len()]).collect();
+        let leaf = g.leaf(Matrix::from_vec(r, c, data));
+        let mut all = vec![leaf];
+        let mut head = leaf;
+        for &p in &picks {
+            head = apply_op(&mut g, head, p, &mut all);
+        }
+        let out = g.sum_all(head);
+
+        // Node-by-node agreement between the static pass and execution for
+        // every var the builder handed out (intermediates created inside
+        // `apply_op` arms are covered by the audit's full-tape pass below).
+        for &v in all.iter().chain([&out]) {
+            let inferred = inferred_shape(&g, v);
+            prop_assert_eq!(
+                inferred.clone(),
+                Ok(g.shape(v)),
+                "node n{} disagrees: {:?}",
+                v.index(),
+                inferred
+            );
+        }
+
+        let report = audit(&g, out, &[leaf], "prop::inference");
+        prop_assert!(
+            report.shape_issues.is_empty(),
+            "well-formed graph raised shape issues:\n{}",
+            report.render()
+        );
+        prop_assert!(report.no_grad_params.is_empty(), "chain head depends on the leaf");
+        prop_assert!(report.closure_failures.is_empty(), "{}", report.render());
+        prop_assert_eq!(report.nodes, g.len());
+    }
+}

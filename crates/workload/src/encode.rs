@@ -22,7 +22,11 @@ impl QueryEncoder {
     pub fn new(ds: &Dataset) -> Self {
         let attrs = ds.schema.attributes();
         let stats = attrs.iter().map(|&(t, c)| ds.col_stats(t, c)).collect();
-        Self { num_tables: ds.schema.num_tables(), attrs, stats }
+        Self {
+            num_tables: ds.schema.num_tables(),
+            attrs,
+            stats,
+        }
     }
 
     /// Width of encoded vectors: `T + 2A`.
@@ -73,8 +77,7 @@ impl QueryEncoder {
     /// dropped as "no predicate".
     pub fn decode(&self, v: &[f32]) -> Query {
         assert_eq!(v.len(), self.dim(), "encoded vector width mismatch");
-        let tables: Vec<usize> =
-            (0..self.num_tables).filter(|&t| v[t] > 0.5).collect();
+        let tables: Vec<usize> = (0..self.num_tables).filter(|&t| v[t] > 0.5).collect();
         let mut predicates = Vec::new();
         for (i, &(t, c)) in self.attrs.iter().enumerate() {
             if !tables.contains(&t) {
@@ -119,7 +122,10 @@ mod tests {
     #[test]
     fn dim_is_t_plus_2a() {
         let (ds, enc) = encoder();
-        assert_eq!(enc.dim(), ds.schema.num_tables() + 2 * ds.schema.num_attributes());
+        assert_eq!(
+            enc.dim(),
+            ds.schema.num_tables() + 2 * ds.schema.num_attributes()
+        );
     }
 
     #[test]
@@ -130,13 +136,22 @@ mod tests {
         let stats = ds.col_stats(cust, acct_col);
         let q = Query::new(
             vec![cust],
-            vec![Predicate { table: cust, col: acct_col, lo: stats.min, hi: stats.max }],
+            vec![Predicate {
+                table: cust,
+                col: acct_col,
+                lo: stats.min,
+                hi: stats.max,
+            }],
         );
         let v = enc.encode(&q);
         assert_eq!(v[cust], 1.0);
         assert_eq!(v.iter().take(enc.num_tables()).sum::<f32>(), 1.0);
         // Full-range predicate encodes as [0, 1].
-        let i = enc.attributes().iter().position(|&a| a == (cust, acct_col)).unwrap();
+        let i = enc
+            .attributes()
+            .iter()
+            .position(|&a| a == (cust, acct_col))
+            .unwrap();
         assert_eq!(v[enc.num_tables() + 2 * i], 0.0);
         assert_eq!(v[enc.num_tables() + 2 * i + 1], 1.0);
     }
@@ -160,7 +175,15 @@ mod tests {
         let s = ds.col_stats(cust, acct);
         let lo = s.denormalize(0.25);
         let hi = s.denormalize(0.75);
-        let q = Query::new(vec![cust], vec![Predicate { table: cust, col: acct, lo, hi }]);
+        let q = Query::new(
+            vec![cust],
+            vec![Predicate {
+                table: cust,
+                col: acct,
+                lo,
+                hi,
+            }],
+        );
         let rt = enc.decode(&enc.encode(&q));
         assert_eq!(rt.tables, q.tables);
         assert_eq!(rt.predicates.len(), 1);

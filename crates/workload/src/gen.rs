@@ -43,7 +43,10 @@ impl Default for WorkloadSpec {
 impl WorkloadSpec {
     /// A spec for single-table workloads.
     pub fn single_table() -> Self {
-        Self { max_join_tables: 1, ..Self::default() }
+        Self {
+            max_join_tables: 1,
+            ..Self::default()
+        }
     }
 }
 
@@ -57,8 +60,10 @@ pub fn generate_queries(
     let patterns = ds.schema.connected_patterns(spec.max_join_tables.max(1));
     assert!(!patterns.is_empty(), "schema has no join patterns");
     // Weight patterns by size: weight ∝ decay^(size-1).
-    let weights: Vec<f64> =
-        patterns.iter().map(|p| spec.join_size_decay.powi(p.len() as i32 - 1)).collect();
+    let weights: Vec<f64> = patterns
+        .iter()
+        .map(|p| spec.join_size_decay.powi(p.len() as i32 - 1))
+        .collect();
     let total: f64 = weights.iter().sum();
     (0..count)
         .map(|_| {
@@ -118,7 +123,7 @@ pub fn random_predicate(
         rng.random_range(stats.min..=stats.max.max(stats.min))
     };
     let (w_lo, w_hi) = spec.width_range;
-    let frac = (w_lo.ln() + rng.random_range(0.0..1.0) * (w_hi.ln() - w_lo.ln())).exp();
+    let frac = (w_lo.ln() + rng.random_range(0.0f64..1.0) * (w_hi.ln() - w_lo.ln())).exp();
     let half = ((stats.width() as f64 * frac) / 2.0).ceil() as i64;
     Predicate {
         table,
@@ -139,8 +144,10 @@ pub fn generate_queries_schema_only(
     count: usize,
 ) -> Vec<Query> {
     assert!(!patterns.is_empty(), "no join patterns supplied");
-    let weights: Vec<f64> =
-        patterns.iter().map(|p| spec.join_size_decay.powi(p.len() as i32 - 1)).collect();
+    let weights: Vec<f64> = patterns
+        .iter()
+        .map(|p| spec.join_size_decay.powi(p.len() as i32 - 1))
+        .collect();
     let total: f64 = weights.iter().sum();
     (0..count)
         .map(|_| {
@@ -184,7 +191,7 @@ pub fn schema_only_query_for_pattern(
             let stats = encoder.attr_stats(i);
             let center: f64 = rng.random_range(0.0..1.0);
             let (w_lo, w_hi) = spec.width_range;
-            let frac = (w_lo.ln() + rng.random_range(0.0..1.0) * (w_hi.ln() - w_lo.ln())).exp();
+            let frac = (w_lo.ln() + rng.random_range(0.0f64..1.0) * (w_hi.ln() - w_lo.ln())).exp();
             let lo = (center - frac / 2.0).max(0.0);
             let hi = (center + frac / 2.0).min(1.0);
             predicates.push(Predicate {
@@ -212,7 +219,11 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(1);
             let spec = WorkloadSpec::default();
             for q in generate_queries(&ds, &spec, &mut rng, 200) {
-                assert!(q.is_valid(&ds.schema), "invalid query on {}: {q:?}", kind.name());
+                assert!(
+                    q.is_valid(&ds.schema),
+                    "invalid query on {}: {q:?}",
+                    kind.name()
+                );
             }
         }
     }
@@ -221,7 +232,10 @@ mod tests {
     fn join_sizes_vary_and_respect_max() {
         let ds = build(DatasetKind::Imdb, Scale::tiny(), 5);
         let mut rng = StdRng::seed_from_u64(2);
-        let spec = WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() };
+        let spec = WorkloadSpec {
+            max_join_tables: 3,
+            ..WorkloadSpec::default()
+        };
         let qs = generate_queries(&ds, &spec, &mut rng, 300);
         assert!(qs.iter().all(|q| q.tables.len() <= 3));
         assert!(qs.iter().any(|q| q.tables.len() == 1));
@@ -252,10 +266,16 @@ mod tests {
     #[test]
     fn schema_only_queries_are_valid() {
         let ds = build(DatasetKind::Imdb, Scale::tiny(), 5);
-        let encoder = crate::encode::QueryEncoder::new(&ds);
+        let encoder = QueryEncoder::new(&ds);
         let patterns = ds.schema.connected_patterns(3);
         let mut rng = StdRng::seed_from_u64(6);
-        let qs = generate_queries_schema_only(&encoder, &patterns, &WorkloadSpec::default(), &mut rng, 150);
+        let qs = generate_queries_schema_only(
+            &encoder,
+            &patterns,
+            &WorkloadSpec::default(),
+            &mut rng,
+            150,
+        );
         for q in qs {
             assert!(q.is_valid(&ds.schema), "invalid schema-only query {q:?}");
         }

@@ -38,6 +38,6 @@ pub use gen::{
 pub use metrics::{js_divergence, q_error, QErrorSummary};
 pub use query::{LabeledQuery, Predicate, Query, Workload};
 pub use templates::{
-    generate_from_templates, imdb_templates, instantiate_template, stats_templates,
-    templates_for, QueryTemplate,
+    generate_from_templates, imdb_templates, instantiate_template, stats_templates, templates_for,
+    QueryTemplate,
 };

@@ -62,9 +62,15 @@ impl QErrorSummary {
 /// # Panics
 /// Panics when either sample is empty or widths differ.
 pub fn js_divergence(a: &[Vec<f32>], b: &[Vec<f32>], bins: usize) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "js_divergence of empty sample");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "js_divergence of empty sample"
+    );
     let dim = a[0].len();
-    assert!(a.iter().chain(b).all(|v| v.len() == dim), "encoding width mismatch");
+    assert!(
+        a.iter().chain(b).all(|v| v.len() == dim),
+        "encoding width mismatch"
+    );
     assert!(bins >= 2);
     let hist = |sample: &[Vec<f32>], d: usize| -> Vec<f64> {
         let mut h = vec![0.0f64; bins];
@@ -145,7 +151,9 @@ mod tests {
     #[test]
     fn js_monotone_in_overlap() {
         let a: Vec<Vec<f32>> = (0..200).map(|i| vec![(i % 100) as f32 / 100.0]).collect();
-        let near: Vec<Vec<f32>> = (0..200).map(|i| vec![((i + 5) % 100) as f32 / 100.0]).collect();
+        let near: Vec<Vec<f32>> = (0..200)
+            .map(|i| vec![((i + 5) % 100) as f32 / 100.0])
+            .collect();
         let far: Vec<Vec<f32>> = (0..200).map(|i| vec![((i % 50) as f32) / 100.0]).collect();
         let d_near = js_divergence(&a, &near, 10);
         let d_far = js_divergence(&a, &far, 10);

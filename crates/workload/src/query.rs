@@ -84,7 +84,10 @@ mod tests {
                 table("a", &["id"], &[], &["x"]),
                 table("b", &["id"], &["a_id"], &["y"]),
             ],
-            vec![JoinEdge { left: (0, 0), right: (1, 1) }],
+            vec![JoinEdge {
+                left: (0, 0),
+                right: (1, 1),
+            }],
         )
     }
 
@@ -97,16 +100,48 @@ mod tests {
     #[test]
     fn validity_checks() {
         let s = schema();
-        let ok = Query::new(vec![0, 1], vec![Predicate { table: 0, col: 1, lo: 0, hi: 5 }]);
+        let ok = Query::new(
+            vec![0, 1],
+            vec![Predicate {
+                table: 0,
+                col: 1,
+                lo: 0,
+                hi: 5,
+            }],
+        );
         assert!(ok.is_valid(&s));
         // Predicate on a table not in the pattern.
-        let bad = Query::new(vec![0], vec![Predicate { table: 1, col: 2, lo: 0, hi: 5 }]);
+        let bad = Query::new(
+            vec![0],
+            vec![Predicate {
+                table: 1,
+                col: 2,
+                lo: 0,
+                hi: 5,
+            }],
+        );
         assert!(!bad.is_valid(&s));
         // Reversed bounds.
-        let bad = Query::new(vec![0], vec![Predicate { table: 0, col: 1, lo: 5, hi: 0 }]);
+        let bad = Query::new(
+            vec![0],
+            vec![Predicate {
+                table: 0,
+                col: 1,
+                lo: 5,
+                hi: 0,
+            }],
+        );
         assert!(!bad.is_valid(&s));
         // Predicate on a key column.
-        let bad = Query::new(vec![0], vec![Predicate { table: 0, col: 0, lo: 0, hi: 5 }]);
+        let bad = Query::new(
+            vec![0],
+            vec![Predicate {
+                table: 0,
+                col: 0,
+                lo: 0,
+                hi: 5,
+            }],
+        );
         assert!(!bad.is_valid(&s));
         // Empty pattern.
         assert!(!Query::new(vec![], vec![]).is_valid(&s));
@@ -117,8 +152,18 @@ mod tests {
         let q = Query::new(
             vec![0, 1],
             vec![
-                Predicate { table: 0, col: 1, lo: 0, hi: 1 },
-                Predicate { table: 1, col: 2, lo: 2, hi: 3 },
+                Predicate {
+                    table: 0,
+                    col: 1,
+                    lo: 0,
+                    hi: 1,
+                },
+                Predicate {
+                    table: 1,
+                    col: 2,
+                    lo: 2,
+                    hi: 3,
+                },
             ],
         );
         assert_eq!(q.predicates_on(1).count(), 1);

@@ -43,7 +43,11 @@ pub fn imdb_templates() -> Vec<QueryTemplate> {
         QueryTemplate {
             name: "job-3: info lookups",
             tables: &["title", "movie_info", "info_type"],
-            attrs: &[("title", "production_year"), ("movie_info", "info"), ("info_type", "code")],
+            attrs: &[
+                ("title", "production_year"),
+                ("movie_info", "info"),
+                ("info_type", "code"),
+            ],
         },
         QueryTemplate {
             name: "job-4: ratings",
@@ -76,7 +80,11 @@ pub fn imdb_templates() -> Vec<QueryTemplate> {
         QueryTemplate {
             name: "job-8: person info",
             tables: &["name", "person_info", "aka_name"],
-            attrs: &[("name", "gender"), ("person_info", "note"), ("aka_name", "pcode")],
+            attrs: &[
+                ("name", "gender"),
+                ("person_info", "note"),
+                ("aka_name", "pcode"),
+            ],
         },
     ]
 }
@@ -87,7 +95,11 @@ pub fn stats_templates() -> Vec<QueryTemplate> {
         QueryTemplate {
             name: "ceb-1: user reputation",
             tables: &["users"],
-            attrs: &[("users", "reputation"), ("users", "upvotes"), ("users", "creation_year")],
+            attrs: &[
+                ("users", "reputation"),
+                ("users", "upvotes"),
+                ("users", "creation_year"),
+            ],
         },
         QueryTemplate {
             name: "ceb-2: user posts",
@@ -102,17 +114,29 @@ pub fn stats_templates() -> Vec<QueryTemplate> {
         QueryTemplate {
             name: "ceb-3: commented posts",
             tables: &["posts", "comments"],
-            attrs: &[("posts", "score"), ("comments", "score"), ("comments", "creation_year")],
+            attrs: &[
+                ("posts", "score"),
+                ("comments", "score"),
+                ("comments", "creation_year"),
+            ],
         },
         QueryTemplate {
             name: "ceb-4: voted posts",
             tables: &["posts", "votes"],
-            attrs: &[("posts", "view_count"), ("votes", "vote_type"), ("votes", "creation_year")],
+            attrs: &[
+                ("posts", "view_count"),
+                ("votes", "vote_type"),
+                ("votes", "creation_year"),
+            ],
         },
         QueryTemplate {
             name: "ceb-5: badged users' posts",
             tables: &["badges", "users", "posts"],
-            attrs: &[("badges", "class"), ("users", "reputation"), ("posts", "answer_count")],
+            attrs: &[
+                ("badges", "class"),
+                ("users", "reputation"),
+                ("posts", "answer_count"),
+            ],
         },
         QueryTemplate {
             name: "ceb-6: post history",
@@ -221,7 +245,10 @@ mod tests {
         // Every template family should show up over 200 draws.
         let distinct_patterns: std::collections::HashSet<Vec<usize>> =
             qs.iter().map(|q| q.tables.clone()).collect();
-        assert!(distinct_patterns.len() >= 6, "templates underused: {distinct_patterns:?}");
+        assert!(
+            distinct_patterns.len() >= 6,
+            "templates underused: {distinct_patterns:?}"
+        );
     }
 
     #[test]
@@ -247,9 +274,12 @@ mod tests {
         for kind in [DatasetKind::Imdb, DatasetKind::Stats] {
             let ds = build(kind, Scale::tiny(), 87);
             for t in templates_for(&ds).expect("templated dataset") {
-                let tables: Vec<usize> =
-                    t.tables.iter().map(|n| ds.schema.table(n)).collect();
-                assert!(ds.schema.is_connected(&tables), "template {} disconnected", t.name);
+                let tables: Vec<usize> = t.tables.iter().map(|n| ds.schema.table(n)).collect();
+                assert!(
+                    ds.schema.is_connected(&tables),
+                    "template {} disconnected",
+                    t.name
+                );
             }
         }
     }

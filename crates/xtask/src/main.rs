@@ -1,0 +1,265 @@
+//! Workspace lint gate: `cargo run -p xtask -- lint`.
+//!
+//! Source-level checks the compiler cannot express, run in CI next to
+//! `cargo clippy`:
+//!
+//! 1. **`Op` coverage** — every variant of the tape's `Op` enum
+//!    (`crates/tensor/src/graph.rs`) must be mentioned in both the VJP
+//!    dispatch (`grad.rs`) and the auditor (`analysis.rs`). A variant added
+//!    to the enum but forgotten in either file would otherwise surface as a
+//!    runtime panic (grad) or a silent audit gap (analysis); wildcard match
+//!    arms make the compiler's exhaustiveness check insufficient.
+//! 2. **No `unwrap()` in library code** — panics in the library crates must
+//!    carry context (`expect`) or be handled; bare `.unwrap()` is allowed
+//!    only under `#[cfg(test)]`, in `tests/`, benches, and this xtask.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    if mode != "lint" {
+        eprintln!("usage: cargo run -p xtask -- lint");
+        return ExitCode::FAILURE;
+    }
+    let root = workspace_root();
+    let mut failures = Vec::new();
+    check_op_coverage(&root, &mut failures);
+    check_no_unwrap(&root, &mut failures);
+    if failures.is_empty() {
+        println!("xtask lint: OK");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("xtask lint: {f}");
+        }
+        eprintln!("xtask lint: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: this binary's manifest lives at `crates/xtask`.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask has a workspace two levels up")
+        .to_path_buf()
+}
+
+fn read(root: &Path, rel: &str) -> String {
+    let path = root.join(rel);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("xtask lint: cannot read {}: {e}", path.display()))
+}
+
+/// Extracts the variant names of `enum Op` from the graph source.
+fn op_variants(graph_src: &str) -> Vec<String> {
+    let start = graph_src
+        .find("enum Op {")
+        .expect("crates/tensor/src/graph.rs declares `enum Op {`");
+    let body_start = start + "enum Op {".len();
+    let mut depth = 1usize;
+    let mut end = body_start;
+    for (i, ch) in graph_src[body_start..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = body_start + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body = &graph_src[body_start..end];
+    let mut variants = Vec::new();
+    // Variant declarations sit at brace depth 0 within the enum body, at the
+    // start of a line (after doc comments), shaped `Name` or `Name(...),`.
+    let mut brace = 0i32;
+    let mut paren = 0i32;
+    for line in body.lines() {
+        let trimmed = line.trim();
+        if brace == 0
+            && paren == 0
+            && !trimmed.is_empty()
+            && !trimmed.starts_with("//")
+            && !trimmed.starts_with('#')
+            && trimmed
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase())
+        {
+            let name: String = trimmed
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                variants.push(name);
+            }
+        }
+        for ch in trimmed.chars() {
+            match ch {
+                '{' => brace += 1,
+                '}' => brace -= 1,
+                '(' => paren += 1,
+                ')' => paren -= 1,
+                _ => {}
+            }
+        }
+    }
+    variants
+}
+
+fn check_op_coverage(root: &Path, failures: &mut Vec<String>) {
+    let graph_src = read(root, "crates/tensor/src/graph.rs");
+    let variants = op_variants(&graph_src);
+    if variants.len() < 30 {
+        failures.push(format!(
+            "crates/tensor/src/graph.rs: expected to parse the full Op enum, found only \
+             {} variant(s) — the lint's parser may be out of date",
+            variants.len()
+        ));
+        return;
+    }
+    for rel in ["crates/tensor/src/grad.rs", "crates/tensor/src/analysis.rs"] {
+        let src = read(root, rel);
+        for v in &variants {
+            let mentioned = src.contains(&format!("Op::{v}(")) // pattern with operands
+                || src.contains(&format!("Op::{v} ")) // bare pattern in match arm
+                || src.contains(&format!("Op::{v},"))
+                || src.contains(&format!("Op::{v} =>"));
+            if !mentioned {
+                failures.push(format!(
+                    "{rel}: Op::{v} is not handled (no `Op::{v}` mention)"
+                ));
+            }
+        }
+    }
+}
+
+/// True for paths whose `.unwrap()` calls are exempt from the lint.
+fn unwrap_exempt(rel: &Path) -> bool {
+    let s = rel.to_string_lossy();
+    s.starts_with("crates/xtask/")
+        || s.starts_with("vendor/")
+        || s.contains("/tests/")
+        || s.contains("/benches/")
+        || s.contains("/examples/")
+        || s.starts_with("tests/")
+        || s.starts_with("target/")
+}
+
+fn check_no_unwrap(root: &Path, failures: &mut Vec<String>) {
+    let mut sources = Vec::new();
+    collect_rs(&root.join("crates"), root, &mut sources);
+    for rel in sources {
+        if unwrap_exempt(&rel) {
+            continue;
+        }
+        let src = read(root, &rel.to_string_lossy());
+        for (line_no, line) in strip_test_modules(&src) {
+            let code = line.split("//").next().unwrap_or(line);
+            if code.contains(".unwrap()") {
+                failures.push(format!(
+                    "{}:{}: `.unwrap()` in library code — use `expect` with context or \
+                     handle the error",
+                    rel.display(),
+                    line_no
+                ));
+            }
+        }
+    }
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, root, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+/// Yields `(line_number, line)` for lines outside `#[cfg(test)]` items.
+///
+/// Brace-counting heuristic: when a line contains `#[cfg(test)]`, skip until
+/// the braces opened by the following item close again. Good enough for this
+/// workspace's rustfmt-formatted sources; not a general Rust parser.
+fn strip_test_modules(src: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((i, line)) = lines.next() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            let mut depth = 0i32;
+            let mut opened = false;
+            for (_, l) in lines.by_ref() {
+                for ch in l.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+            }
+            continue;
+        }
+        out.push((i + 1, line));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_op_variants_from_real_source() {
+        let src = read(&workspace_root(), "crates/tensor/src/graph.rs");
+        let variants = op_variants(&src);
+        assert!(variants.contains(&"Leaf".to_string()));
+        assert!(variants.contains(&"BroadcastScalar".to_string()));
+        assert!(variants.contains(&"SliceRows".to_string()));
+        assert!(
+            variants.len() >= 35,
+            "found {}: {variants:?}",
+            variants.len()
+        );
+    }
+
+    #[test]
+    fn strip_test_modules_removes_cfg_test_blocks() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let kept: Vec<&str> = strip_test_modules(src)
+            .into_iter()
+            .map(|(_, l)| l)
+            .collect();
+        assert_eq!(kept, vec!["fn a() {}", "fn c() {}"]);
+    }
+
+    #[test]
+    fn lint_passes_on_current_tree() {
+        let root = workspace_root();
+        let mut failures = Vec::new();
+        check_op_coverage(&root, &mut failures);
+        check_no_unwrap(&root, &mut failures);
+        assert!(failures.is_empty(), "{failures:#?}");
+    }
+}

@@ -31,10 +31,16 @@ fn main() {
 
     let encoder = QueryEncoder::new(&ds);
     let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 5);
-    model.train(&EncodedWorkload::from_workload(&encoder, &history), &mut rng);
+    model.train(
+        &EncodedWorkload::from_workload(&encoder, &history),
+        &mut rng,
+    );
     let history_queries = history.iter().map(|lq| lq.query.clone()).collect();
     let mut victim = Victim::new(model, Executor::new(&ds), history_queries);
-    println!("victim: FCN estimator trained on {} historical queries", history.len());
+    println!(
+        "victim: FCN estimator trained on {} historical queries",
+        history.len()
+    );
 
     // --- Alice's side (black-box) --------------------------------------------
     let k = AttackerKnowledge::from_public(&ds, spec);
@@ -54,10 +60,20 @@ fn main() {
     let outcome = run_attack(&mut victim, AttackMethod::Pace, &test, &k, &cfg);
 
     println!("\ninjected {} poisoning queries", outcome.poison.len());
-    println!("  mean q-error: {:.2} -> {:.2} ({:.0}x)",
-        outcome.clean.mean, outcome.poisoned.mean, outcome.qerror_multiple());
-    println!("  p95  q-error: {:.2} -> {:.2}", outcome.clean.p95, outcome.poisoned.p95);
-    println!("  JS divergence of poison vs historical workload: {:.4}", outcome.divergence);
+    println!(
+        "  mean q-error: {:.2} -> {:.2} ({:.0}x)",
+        outcome.clean.mean,
+        outcome.poisoned.mean,
+        outcome.qerror_multiple()
+    );
+    println!(
+        "  p95  q-error: {:.2} -> {:.2}",
+        outcome.clean.p95, outcome.poisoned.p95
+    );
+    println!(
+        "  JS divergence of poison vs historical workload: {:.4}",
+        outcome.divergence
+    );
     println!(
         "  overhead: train {:.1}s, generate {:.3}s, inject {:.3}s",
         outcome.train_seconds, outcome.generate_seconds, outcome.attack_seconds

@@ -28,7 +28,10 @@ fn main() {
     let encoder = QueryEncoder::new(&ds);
 
     let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 31);
-    model.train(&EncodedWorkload::from_workload(&encoder, &history), &mut rng);
+    model.train(
+        &EncodedWorkload::from_workload(&encoder, &history),
+        &mut rng,
+    );
     let snapshot = model.params().snapshot();
     let history_q: Vec<_> = history.iter().map(|lq| lq.query.clone()).collect();
     let mut victim = Victim::new(model, Executor::new(&ds), history_q);
@@ -38,11 +41,13 @@ fn main() {
     let mut cfg = PipelineConfig::quick();
     cfg.surrogate_type = Some(CeModelType::Fcn);
     let (pool, _, _, _) = craft_poison(&victim, AttackMethod::Pace, &test, &k, &cfg);
-    println!("candidate pool from the trained generator: {} queries", pool.len());
+    println!(
+        "candidate pool from the trained generator: {} queries",
+        pool.len()
+    );
 
     // Greedy marginal-damage selection against a surrogate simulation.
-    let surrogate =
-        pace_core::train_surrogate(&victim, &k, CeModelType::Fcn, &cfg.surrogate);
+    let surrogate = pace_core::train_surrogate(&victim, &k, CeModelType::Fcn, &cfg.surrogate);
     let test_data = EncodedWorkload::from_workload(&encoder, &test);
     let budget = 8;
     let selection =
@@ -52,7 +57,11 @@ fn main() {
         selection.queries.len()
     );
     for (i, d) in selection.damage_curve.iter().enumerate() {
-        println!("  after query {:>2}: simulated mean q-error {:8.2}", i + 1, d);
+        println!(
+            "  after query {:>2}: simulated mean q-error {:8.2}",
+            i + 1,
+            d
+        );
     }
 
     // Deploy both and compare.
@@ -66,8 +75,15 @@ fn main() {
 
     println!("\nmean test q-error:");
     println!("  clean                      : {clean:8.2}");
-    println!("  {budget:>2}-query budgeted attack   : {budgeted:8.2} ({:.0}x)", budgeted / clean);
-    println!("  {:>2}-query full attack       : {full:8.2} ({:.0}x)", pool.len(), full / clean);
+    println!(
+        "  {budget:>2}-query budgeted attack   : {budgeted:8.2} ({:.0}x)",
+        budgeted / clean
+    );
+    println!(
+        "  {:>2}-query full attack       : {full:8.2} ({:.0}x)",
+        pool.len(),
+        full / clean
+    );
     let kept = 100.0 * (budgeted - clean) / (full - clean).max(1e-9);
     if kept > 100.0 {
         println!(

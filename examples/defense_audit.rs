@@ -9,8 +9,8 @@
 
 use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
 use pace_core::{
-    craft_poison, AnomalyDetector, AttackMethod, AttackerKnowledge, DetectorConfig,
-    PipelineConfig, Victim,
+    craft_poison, AnomalyDetector, AttackMethod, AttackerKnowledge, DetectorConfig, PipelineConfig,
+    Victim,
 };
 use pace_data::{build, DatasetKind, Scale};
 use pace_engine::Executor;
@@ -28,7 +28,10 @@ fn main() {
     let encoder = QueryEncoder::new(&ds);
 
     let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 31);
-    model.train(&EncodedWorkload::from_workload(&encoder, &history), &mut rng);
+    model.train(
+        &EncodedWorkload::from_workload(&encoder, &history),
+        &mut rng,
+    );
     let snapshot = model.params().snapshot();
     let history_queries: Vec<_> = history.iter().map(|lq| lq.query.clone()).collect();
     let mut victim = Victim::new(model, Executor::new(&ds), history_queries.clone());
@@ -38,20 +41,29 @@ fn main() {
     let k = AttackerKnowledge::from_public(&ds, spec);
     let mut cfg = PipelineConfig::quick();
     cfg.surrogate_type = Some(CeModelType::Fcn);
-    let (poison, _, _, _) =
-        craft_poison(&victim, AttackMethod::PaceNoDetector, &test, &k, &cfg);
+    let (poison, _, _, _) = craft_poison(&victim, AttackMethod::PaceNoDetector, &test, &k, &cfg);
 
     // The DBA trains a detector on the trusted historical workload.
     let hist_enc: Vec<Vec<f32>> = history_queries.iter().map(|q| encoder.encode(q)).collect();
-    let dba_cfg = DetectorConfig { threshold: 0.03, ..DetectorConfig::default() };
+    let dba_cfg = DetectorConfig {
+        threshold: 0.03,
+        ..DetectorConfig::default()
+    };
     let mut dba_detector = AnomalyDetector::new(encoder.dim(), dba_cfg, 41);
     dba_detector.train(&hist_enc, &mut rng);
 
     let poison_enc: Vec<Vec<f32>> = poison.iter().map(|q| encoder.encode(q)).collect();
     let flags = dba_detector.flag_abnormal(&poison_enc);
     let caught = flags.iter().filter(|&&f| f).count();
-    let false_pos = dba_detector.flag_abnormal(&hist_enc).iter().filter(|&&f| f).count();
-    println!("DBA detector flagged {caught}/{} poisoning queries", poison.len());
+    let false_pos = dba_detector
+        .flag_abnormal(&hist_enc)
+        .iter()
+        .filter(|&&f| f)
+        .count();
+    println!(
+        "DBA detector flagged {caught}/{} poisoning queries",
+        poison.len()
+    );
     println!(
         "screening cost: {false_pos}/{} benign historical queries falsely flagged ({:.1}%)",
         hist_enc.len(),
@@ -59,9 +71,8 @@ fn main() {
     );
 
     // Unprotected database: everything trains the model.
-    let eval = |victim: &Victim<'_>| -> f64 {
-        QErrorSummary::from_samples(&victim.q_errors(&test)).mean
-    };
+    let eval =
+        |victim: &Victim<'_>| -> f64 { QErrorSummary::from_samples(&victim.q_errors(&test)).mean };
     let clean = eval(&victim);
     {
         use pace_core::BlackBox;
@@ -85,10 +96,18 @@ fn main() {
 
     println!("mean test q-error:");
     println!("  clean model            : {clean:8.2}");
-    println!("  poisoned, unprotected  : {unprotected:8.2} ({:.0}x)", unprotected / clean);
-    println!("  poisoned, screened     : {protected:8.2} ({:.1}x)", protected / clean);
+    println!(
+        "  poisoned, unprotected  : {unprotected:8.2} ({:.0}x)",
+        unprotected / clean
+    );
+    println!(
+        "  poisoned, screened     : {protected:8.2} ({:.1}x)",
+        protected / clean
+    );
     if protected < unprotected {
-        println!("\nscreening absorbed {:.0}% of the attack's damage",
-            (1.0 - (protected - clean) / (unprotected - clean).max(1e-9)) * 100.0);
+        println!(
+            "\nscreening absorbed {:.0}% of the attack's damage",
+            (1.0 - (protected - clean) / (unprotected - clean).max(1e-9)) * 100.0
+        );
     }
 }

@@ -18,7 +18,10 @@ use rand::SeedableRng;
 fn main() {
     let ds = build(DatasetKind::Tpch, Scale::quick(), 9);
     let exec = Executor::new(&ds);
-    let spec = WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() };
+    let spec = WorkloadSpec {
+        max_join_tables: 3,
+        ..WorkloadSpec::default()
+    };
     let mut rng = StdRng::seed_from_u64(21);
 
     // Train the victim estimator.
@@ -28,7 +31,11 @@ fn main() {
     model.train(&EncodedWorkload::from_workload(&encoder, &train), &mut rng);
 
     // 20 multi-table join queries we will execute end to end.
-    let join_spec = WorkloadSpec { join_size_decay: 1.0, max_join_tables: 4, ..spec.clone() };
+    let join_spec = WorkloadSpec {
+        join_size_decay: 1.0,
+        max_join_tables: 4,
+        ..spec.clone()
+    };
     let joins: Vec<_> = generate_queries(&ds, &join_spec, &mut rng, 200)
         .into_iter()
         .filter(|q| q.tables.len() >= 2)
@@ -74,8 +81,14 @@ fn main() {
             let good = run_plan(q, &exec, &clean_plan, &cost);
             let bad = run_plan(q, &exec, &poisoned_plan, &cost);
             println!("\nexample plan flip on tables {:?}:", q.tables);
-            println!("  oracle order  {:?} -> {:>10.0} tuples", good.order, good.true_work);
-            println!("  poisoned order {:?} -> {:>9.0} tuples", bad.order, bad.true_work);
+            println!(
+                "  oracle order  {:?} -> {:>10.0} tuples",
+                good.order, good.true_work
+            );
+            println!(
+                "  poisoned order {:?} -> {:>9.0} tuples",
+                bad.order, bad.true_work
+            );
             break;
         }
     }

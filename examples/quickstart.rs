@@ -28,7 +28,11 @@ fn main() {
     let spec = WorkloadSpec::default();
     let train = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 1500));
     let test = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 200));
-    println!("workload: {} training / {} test queries", train.len(), test.len());
+    println!(
+        "workload: {} training / {} test queries",
+        train.len(),
+        test.len()
+    );
 
     // 3. Train an MSCN estimator on (query → cardinality) pairs.
     let encoder = QueryEncoder::new(&ds);

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_e2e-535a008c2e83f265.d: crates/core/tests/attack_e2e.rs
+
+/root/repo/target/debug/deps/attack_e2e-535a008c2e83f265: crates/core/tests/attack_e2e.rs
+
+crates/core/tests/attack_e2e.rs:

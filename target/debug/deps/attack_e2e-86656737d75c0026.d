@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack_e2e-86656737d75c0026.d: crates/core/tests/attack_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack_e2e-86656737d75c0026.rmeta: crates/core/tests/attack_e2e.rs Cargo.toml
+
+crates/core/tests/attack_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

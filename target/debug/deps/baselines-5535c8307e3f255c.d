@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-5535c8307e3f255c.d: crates/core/tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-5535c8307e3f255c: crates/core/tests/baselines.rs
+
+crates/core/tests/baselines.rs:

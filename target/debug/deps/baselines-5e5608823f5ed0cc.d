@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-5e5608823f5ed0cc.d: crates/core/tests/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-5e5608823f5ed0cc.rmeta: crates/core/tests/baselines.rs Cargo.toml
+
+crates/core/tests/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

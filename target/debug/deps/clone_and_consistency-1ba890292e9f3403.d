@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clone_and_consistency-1ba890292e9f3403.d: crates/ce/tests/clone_and_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclone_and_consistency-1ba890292e9f3403.rmeta: crates/ce/tests/clone_and_consistency.rs Cargo.toml
+
+crates/ce/tests/clone_and_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

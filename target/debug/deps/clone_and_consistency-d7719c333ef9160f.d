@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clone_and_consistency-d7719c333ef9160f.d: crates/ce/tests/clone_and_consistency.rs
+
+/root/repo/target/debug/deps/clone_and_consistency-d7719c333ef9160f: crates/ce/tests/clone_and_consistency.rs
+
+crates/ce/tests/clone_and_consistency.rs:

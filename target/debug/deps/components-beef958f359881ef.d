@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/components-beef958f359881ef.d: crates/bench/benches/components.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomponents-beef958f359881ef.rmeta: crates/bench/benches/components.rs Cargo.toml
+
+crates/bench/benches/components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

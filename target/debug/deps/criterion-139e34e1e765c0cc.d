@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-139e34e1e765c0cc.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-139e34e1e765c0cc.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-139e34e1e765c0cc.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

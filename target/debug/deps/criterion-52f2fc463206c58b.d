@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-52f2fc463206c58b.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-52f2fc463206c58b: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_attack-3a417d662f1ec221.d: crates/bench/src/bin/debug_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_attack-3a417d662f1ec221.rmeta: crates/bench/src/bin/debug_attack.rs Cargo.toml
+
+crates/bench/src/bin/debug_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_attack-75c6911d6f5d35c7.d: crates/bench/src/bin/debug_attack.rs
+
+/root/repo/target/debug/deps/debug_attack-75c6911d6f5d35c7: crates/bench/src/bin/debug_attack.rs
+
+crates/bench/src/bin/debug_attack.rs:

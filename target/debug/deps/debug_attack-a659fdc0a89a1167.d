@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_attack-a659fdc0a89a1167.d: crates/bench/src/bin/debug_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_attack-a659fdc0a89a1167.rmeta: crates/bench/src/bin/debug_attack.rs Cargo.toml
+
+crates/bench/src/bin/debug_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_attack-ac8fbbcef9ecba69.d: crates/bench/src/bin/debug_attack.rs
+
+/root/repo/target/debug/deps/debug_attack-ac8fbbcef9ecba69: crates/bench/src/bin/debug_attack.rs
+
+crates/bench/src/bin/debug_attack.rs:

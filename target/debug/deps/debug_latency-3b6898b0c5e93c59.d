@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_latency-3b6898b0c5e93c59.d: crates/bench/src/bin/debug_latency.rs
+
+/root/repo/target/debug/deps/debug_latency-3b6898b0c5e93c59: crates/bench/src/bin/debug_latency.rs
+
+crates/bench/src/bin/debug_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_latency-95780a5c8e95170b.d: crates/bench/src/bin/debug_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_latency-95780a5c8e95170b.rmeta: crates/bench/src/bin/debug_latency.rs Cargo.toml
+
+crates/bench/src/bin/debug_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_latency-c6dabe0ed3b1ce1a.d: crates/bench/src/bin/debug_latency.rs
+
+/root/repo/target/debug/deps/debug_latency-c6dabe0ed3b1ce1a: crates/bench/src/bin/debug_latency.rs
+
+crates/bench/src/bin/debug_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_latency-ef7cd117464ae1ba.d: crates/bench/src/bin/debug_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_latency-ef7cd117464ae1ba.rmeta: crates/bench/src/bin/debug_latency.rs Cargo.toml
+
+crates/bench/src/bin/debug_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_speculate-07826d1d92fd3751.d: crates/bench/src/bin/debug_speculate.rs
+
+/root/repo/target/debug/deps/debug_speculate-07826d1d92fd3751: crates/bench/src/bin/debug_speculate.rs
+
+crates/bench/src/bin/debug_speculate.rs:

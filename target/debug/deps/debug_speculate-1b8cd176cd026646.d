@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_speculate-1b8cd176cd026646.d: crates/bench/src/bin/debug_speculate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_speculate-1b8cd176cd026646.rmeta: crates/bench/src/bin/debug_speculate.rs Cargo.toml
+
+crates/bench/src/bin/debug_speculate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_speculate-651e39bb51a55a20.d: crates/bench/src/bin/debug_speculate.rs
+
+/root/repo/target/debug/deps/debug_speculate-651e39bb51a55a20: crates/bench/src/bin/debug_speculate.rs
+
+crates/bench/src/bin/debug_speculate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_speculate-b39232587e6450a0.d: crates/bench/src/bin/debug_speculate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_speculate-b39232587e6450a0.rmeta: crates/bench/src/bin/debug_speculate.rs Cargo.toml
+
+crates/bench/src/bin/debug_speculate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

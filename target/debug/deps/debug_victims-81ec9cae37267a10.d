@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_victims-81ec9cae37267a10.d: crates/bench/src/bin/debug_victims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_victims-81ec9cae37267a10.rmeta: crates/bench/src/bin/debug_victims.rs Cargo.toml
+
+crates/bench/src/bin/debug_victims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

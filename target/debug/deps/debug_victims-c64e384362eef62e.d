@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_victims-c64e384362eef62e.d: crates/bench/src/bin/debug_victims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_victims-c64e384362eef62e.rmeta: crates/bench/src/bin/debug_victims.rs Cargo.toml
+
+crates/bench/src/bin/debug_victims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

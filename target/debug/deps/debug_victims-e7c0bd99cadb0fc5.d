@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_victims-e7c0bd99cadb0fc5.d: crates/bench/src/bin/debug_victims.rs
+
+/root/repo/target/debug/deps/debug_victims-e7c0bd99cadb0fc5: crates/bench/src/bin/debug_victims.rs
+
+crates/bench/src/bin/debug_victims.rs:

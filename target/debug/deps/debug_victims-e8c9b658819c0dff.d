@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_victims-e8c9b658819c0dff.d: crates/bench/src/bin/debug_victims.rs
+
+/root/repo/target/debug/deps/debug_victims-e8c9b658819c0dff: crates/bench/src/bin/debug_victims.rs
+
+crates/bench/src/bin/debug_victims.rs:

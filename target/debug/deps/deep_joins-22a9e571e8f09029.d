@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deep_joins-22a9e571e8f09029.d: crates/engine/tests/deep_joins.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeep_joins-22a9e571e8f09029.rmeta: crates/engine/tests/deep_joins.rs Cargo.toml
+
+crates/engine/tests/deep_joins.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deep_joins-90d3e83f5dc1fa29.d: crates/engine/tests/deep_joins.rs
+
+/root/repo/target/debug/deps/deep_joins-90d3e83f5dc1fa29: crates/engine/tests/deep_joins.rs
+
+crates/engine/tests/deep_joins.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_ablation-10ac169d71207c37.d: crates/bench/src/bin/design_ablation.rs
+
+/root/repo/target/debug/deps/design_ablation-10ac169d71207c37: crates/bench/src/bin/design_ablation.rs
+
+crates/bench/src/bin/design_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_ablation-3a4ed0b27570efc6.d: crates/bench/src/bin/design_ablation.rs
+
+/root/repo/target/debug/deps/design_ablation-3a4ed0b27570efc6: crates/bench/src/bin/design_ablation.rs
+
+crates/bench/src/bin/design_ablation.rs:

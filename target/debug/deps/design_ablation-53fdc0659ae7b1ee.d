@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design_ablation-53fdc0659ae7b1ee.d: crates/bench/src/bin/design_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign_ablation-53fdc0659ae7b1ee.rmeta: crates/bench/src/bin/design_ablation.rs Cargo.toml
+
+crates/bench/src/bin/design_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-dc0cda8c6ee94fd4.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-dc0cda8c6ee94fd4: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-f67ad7daeac6fdfd.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-f67ad7daeac6fdfd: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

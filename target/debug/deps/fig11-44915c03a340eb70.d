@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-44915c03a340eb70.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-44915c03a340eb70: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-e9f0d9f279f3b4d5.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-e9f0d9f279f3b4d5: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

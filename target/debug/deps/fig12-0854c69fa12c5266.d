@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-0854c69fa12c5266.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-0854c69fa12c5266: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-4945395f158773d5.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-4945395f158773d5: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

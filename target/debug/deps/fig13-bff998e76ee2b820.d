@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-bff998e76ee2b820.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-bff998e76ee2b820: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

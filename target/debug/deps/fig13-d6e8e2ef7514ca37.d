@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-d6e8e2ef7514ca37.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-d6e8e2ef7514ca37: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-62256f8d130cda07.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-62256f8d130cda07: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

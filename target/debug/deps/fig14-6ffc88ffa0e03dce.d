@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-6ffc88ffa0e03dce.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-6ffc88ffa0e03dce: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-0017710aa47e1cbd.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-0017710aa47e1cbd: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

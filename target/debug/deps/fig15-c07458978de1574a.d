@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-c07458978de1574a.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-c07458978de1574a: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

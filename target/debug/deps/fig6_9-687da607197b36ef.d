@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_9-687da607197b36ef.d: crates/bench/src/bin/fig6_9.rs
+
+/root/repo/target/debug/deps/fig6_9-687da607197b36ef: crates/bench/src/bin/fig6_9.rs
+
+crates/bench/src/bin/fig6_9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_9-891e698e3153bbec.d: crates/bench/src/bin/fig6_9.rs
+
+/root/repo/target/debug/deps/fig6_9-891e698e3153bbec: crates/bench/src/bin/fig6_9.rs
+
+crates/bench/src/bin/fig6_9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_9-e4f4ccabfacf53a3.d: crates/bench/src/bin/fig6_9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_9-e4f4ccabfacf53a3.rmeta: crates/bench/src/bin/fig6_9.rs Cargo.toml
+
+crates/bench/src/bin/fig6_9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

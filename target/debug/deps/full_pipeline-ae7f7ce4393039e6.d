@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-ae7f7ce4393039e6.d: tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-ae7f7ce4393039e6: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:

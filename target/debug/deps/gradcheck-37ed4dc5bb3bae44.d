@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gradcheck-37ed4dc5bb3bae44.d: crates/tensor/tests/gradcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgradcheck-37ed4dc5bb3bae44.rmeta: crates/tensor/tests/gradcheck.rs Cargo.toml
+
+crates/tensor/tests/gradcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradcheck-f7b7f1c0de6dc4b6.d: crates/tensor/tests/gradcheck.rs
+
+/root/repo/target/debug/deps/gradcheck-f7b7f1c0de6dc4b6: crates/tensor/tests/gradcheck.rs
+
+crates/tensor/tests/gradcheck.rs:

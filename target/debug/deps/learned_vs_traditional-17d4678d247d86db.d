@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/learned_vs_traditional-17d4678d247d86db.d: crates/bench/src/bin/learned_vs_traditional.rs
+
+/root/repo/target/debug/deps/learned_vs_traditional-17d4678d247d86db: crates/bench/src/bin/learned_vs_traditional.rs
+
+crates/bench/src/bin/learned_vs_traditional.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/learned_vs_traditional-3f8b61a637929d2d.d: crates/bench/src/bin/learned_vs_traditional.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblearned_vs_traditional-3f8b61a637929d2d.rmeta: crates/bench/src/bin/learned_vs_traditional.rs Cargo.toml
+
+crates/bench/src/bin/learned_vs_traditional.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

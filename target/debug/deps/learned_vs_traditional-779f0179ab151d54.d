@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/learned_vs_traditional-779f0179ab151d54.d: crates/bench/src/bin/learned_vs_traditional.rs
+
+/root/repo/target/debug/deps/learned_vs_traditional-779f0179ab151d54: crates/bench/src/bin/learned_vs_traditional.rs
+
+crates/bench/src/bin/learned_vs_traditional.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/models-6085638469dd4a64.d: crates/ce/tests/models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodels-6085638469dd4a64.rmeta: crates/ce/tests/models.rs Cargo.toml
+
+crates/ce/tests/models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/models-fba66a97a20e12ed.d: crates/ce/tests/models.rs
+
+/root/repo/target/debug/deps/models-fba66a97a20e12ed: crates/ce/tests/models.rs
+
+crates/ce/tests/models.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pace_bench-4de7d550f083cfaa.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/accuracy.rs crates/bench/src/experiments/design_ablation.rs crates/bench/src/experiments/dynamics.rs crates/bench/src/experiments/e2e.rs crates/bench/src/experiments/surrogate_exp.rs crates/bench/src/experiments/traditional_exp.rs crates/bench/src/grid.rs crates/bench/src/report.rs crates/bench/src/setup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_bench-4de7d550f083cfaa.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/accuracy.rs crates/bench/src/experiments/design_ablation.rs crates/bench/src/experiments/dynamics.rs crates/bench/src/experiments/e2e.rs crates/bench/src/experiments/surrogate_exp.rs crates/bench/src/experiments/traditional_exp.rs crates/bench/src/grid.rs crates/bench/src/report.rs crates/bench/src/setup.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/accuracy.rs:
+crates/bench/src/experiments/design_ablation.rs:
+crates/bench/src/experiments/dynamics.rs:
+crates/bench/src/experiments/e2e.rs:
+crates/bench/src/experiments/surrogate_exp.rs:
+crates/bench/src/experiments/traditional_exp.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/report.rs:
+crates/bench/src/setup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pace_bench-53218ff196f8231f.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/accuracy.rs crates/bench/src/experiments/design_ablation.rs crates/bench/src/experiments/dynamics.rs crates/bench/src/experiments/e2e.rs crates/bench/src/experiments/surrogate_exp.rs crates/bench/src/experiments/traditional_exp.rs crates/bench/src/grid.rs crates/bench/src/report.rs crates/bench/src/setup.rs
+
+/root/repo/target/debug/deps/pace_bench-53218ff196f8231f: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/accuracy.rs crates/bench/src/experiments/design_ablation.rs crates/bench/src/experiments/dynamics.rs crates/bench/src/experiments/e2e.rs crates/bench/src/experiments/surrogate_exp.rs crates/bench/src/experiments/traditional_exp.rs crates/bench/src/grid.rs crates/bench/src/report.rs crates/bench/src/setup.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/accuracy.rs:
+crates/bench/src/experiments/design_ablation.rs:
+crates/bench/src/experiments/dynamics.rs:
+crates/bench/src/experiments/e2e.rs:
+crates/bench/src/experiments/surrogate_exp.rs:
+crates/bench/src/experiments/traditional_exp.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/report.rs:
+crates/bench/src/setup.rs:

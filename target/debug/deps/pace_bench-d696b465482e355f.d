@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pace_bench-d696b465482e355f.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/accuracy.rs crates/bench/src/experiments/design_ablation.rs crates/bench/src/experiments/dynamics.rs crates/bench/src/experiments/e2e.rs crates/bench/src/experiments/surrogate_exp.rs crates/bench/src/experiments/traditional_exp.rs crates/bench/src/grid.rs crates/bench/src/report.rs crates/bench/src/setup.rs
+
+/root/repo/target/debug/deps/libpace_bench-d696b465482e355f.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/accuracy.rs crates/bench/src/experiments/design_ablation.rs crates/bench/src/experiments/dynamics.rs crates/bench/src/experiments/e2e.rs crates/bench/src/experiments/surrogate_exp.rs crates/bench/src/experiments/traditional_exp.rs crates/bench/src/grid.rs crates/bench/src/report.rs crates/bench/src/setup.rs
+
+/root/repo/target/debug/deps/libpace_bench-d696b465482e355f.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/accuracy.rs crates/bench/src/experiments/design_ablation.rs crates/bench/src/experiments/dynamics.rs crates/bench/src/experiments/e2e.rs crates/bench/src/experiments/surrogate_exp.rs crates/bench/src/experiments/traditional_exp.rs crates/bench/src/grid.rs crates/bench/src/report.rs crates/bench/src/setup.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/accuracy.rs:
+crates/bench/src/experiments/design_ablation.rs:
+crates/bench/src/experiments/dynamics.rs:
+crates/bench/src/experiments/e2e.rs:
+crates/bench/src/experiments/surrogate_exp.rs:
+crates/bench/src/experiments/traditional_exp.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/report.rs:
+crates/bench/src/setup.rs:

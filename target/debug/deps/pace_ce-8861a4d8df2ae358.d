@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pace_ce-8861a4d8df2ae358.d: crates/ce/src/lib.rs crates/ce/src/config.rs crates/ce/src/loss.rs crates/ce/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_ce-8861a4d8df2ae358.rmeta: crates/ce/src/lib.rs crates/ce/src/config.rs crates/ce/src/loss.rs crates/ce/src/model.rs Cargo.toml
+
+crates/ce/src/lib.rs:
+crates/ce/src/config.rs:
+crates/ce/src/loss.rs:
+crates/ce/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

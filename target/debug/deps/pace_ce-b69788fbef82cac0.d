@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pace_ce-b69788fbef82cac0.d: crates/ce/src/lib.rs crates/ce/src/config.rs crates/ce/src/loss.rs crates/ce/src/model.rs
+
+/root/repo/target/debug/deps/pace_ce-b69788fbef82cac0: crates/ce/src/lib.rs crates/ce/src/config.rs crates/ce/src/loss.rs crates/ce/src/model.rs
+
+crates/ce/src/lib.rs:
+crates/ce/src/config.rs:
+crates/ce/src/loss.rs:
+crates/ce/src/model.rs:

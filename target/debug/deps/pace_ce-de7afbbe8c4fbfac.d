@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pace_ce-de7afbbe8c4fbfac.d: crates/ce/src/lib.rs crates/ce/src/config.rs crates/ce/src/loss.rs crates/ce/src/model.rs
+
+/root/repo/target/debug/deps/libpace_ce-de7afbbe8c4fbfac.rlib: crates/ce/src/lib.rs crates/ce/src/config.rs crates/ce/src/loss.rs crates/ce/src/model.rs
+
+/root/repo/target/debug/deps/libpace_ce-de7afbbe8c4fbfac.rmeta: crates/ce/src/lib.rs crates/ce/src/config.rs crates/ce/src/loss.rs crates/ce/src/model.rs
+
+crates/ce/src/lib.rs:
+crates/ce/src/config.rs:
+crates/ce/src/loss.rs:
+crates/ce/src/model.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/pace_core-0ae0e584ed254136.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/attack/mod.rs crates/core/src/attack/accelerated.rs crates/core/src/attack/baselines.rs crates/core/src/attack/basic.rs crates/core/src/budget.rs crates/core/src/defense.rs crates/core/src/detector.rs crates/core/src/generator.rs crates/core/src/knowledge.rs crates/core/src/pipeline.rs crates/core/src/surrogate.rs crates/core/src/victim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_core-0ae0e584ed254136.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/attack/mod.rs crates/core/src/attack/accelerated.rs crates/core/src/attack/baselines.rs crates/core/src/attack/basic.rs crates/core/src/budget.rs crates/core/src/defense.rs crates/core/src/detector.rs crates/core/src/generator.rs crates/core/src/knowledge.rs crates/core/src/pipeline.rs crates/core/src/surrogate.rs crates/core/src/victim.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/attack/mod.rs:
+crates/core/src/attack/accelerated.rs:
+crates/core/src/attack/baselines.rs:
+crates/core/src/attack/basic.rs:
+crates/core/src/budget.rs:
+crates/core/src/defense.rs:
+crates/core/src/detector.rs:
+crates/core/src/generator.rs:
+crates/core/src/knowledge.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/surrogate.rs:
+crates/core/src/victim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

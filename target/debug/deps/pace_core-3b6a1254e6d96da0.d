@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pace_core-3b6a1254e6d96da0.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/attack/mod.rs crates/core/src/attack/accelerated.rs crates/core/src/attack/baselines.rs crates/core/src/attack/basic.rs crates/core/src/budget.rs crates/core/src/defense.rs crates/core/src/detector.rs crates/core/src/generator.rs crates/core/src/knowledge.rs crates/core/src/pipeline.rs crates/core/src/surrogate.rs crates/core/src/victim.rs
+
+/root/repo/target/debug/deps/pace_core-3b6a1254e6d96da0: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/attack/mod.rs crates/core/src/attack/accelerated.rs crates/core/src/attack/baselines.rs crates/core/src/attack/basic.rs crates/core/src/budget.rs crates/core/src/defense.rs crates/core/src/detector.rs crates/core/src/generator.rs crates/core/src/knowledge.rs crates/core/src/pipeline.rs crates/core/src/surrogate.rs crates/core/src/victim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/attack/mod.rs:
+crates/core/src/attack/accelerated.rs:
+crates/core/src/attack/baselines.rs:
+crates/core/src/attack/basic.rs:
+crates/core/src/budget.rs:
+crates/core/src/defense.rs:
+crates/core/src/detector.rs:
+crates/core/src/generator.rs:
+crates/core/src/knowledge.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/surrogate.rs:
+crates/core/src/victim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pace_data-3738910434563540.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/datasets.rs crates/data/src/distr.rs crates/data/src/schema.rs crates/data/src/table.rs
+
+/root/repo/target/debug/deps/pace_data-3738910434563540: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/datasets.rs crates/data/src/distr.rs crates/data/src/schema.rs crates/data/src/table.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/datasets.rs:
+crates/data/src/distr.rs:
+crates/data/src/schema.rs:
+crates/data/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pace_data-612cd6b2a0dd03a8.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/datasets.rs crates/data/src/distr.rs crates/data/src/schema.rs crates/data/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_data-612cd6b2a0dd03a8.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/datasets.rs crates/data/src/distr.rs crates/data/src/schema.rs crates/data/src/table.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/datasets.rs:
+crates/data/src/distr.rs:
+crates/data/src/schema.rs:
+crates/data/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pace_data-85c7121eabd5bb8f.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/datasets.rs crates/data/src/distr.rs crates/data/src/schema.rs crates/data/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_data-85c7121eabd5bb8f.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/datasets.rs crates/data/src/distr.rs crates/data/src/schema.rs crates/data/src/table.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/datasets.rs:
+crates/data/src/distr.rs:
+crates/data/src/schema.rs:
+crates/data/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pace_data-b7a546b96ca6a0f5.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/datasets.rs crates/data/src/distr.rs crates/data/src/schema.rs crates/data/src/table.rs
+
+/root/repo/target/debug/deps/libpace_data-b7a546b96ca6a0f5.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/datasets.rs crates/data/src/distr.rs crates/data/src/schema.rs crates/data/src/table.rs
+
+/root/repo/target/debug/deps/libpace_data-b7a546b96ca6a0f5.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/datasets.rs crates/data/src/distr.rs crates/data/src/schema.rs crates/data/src/table.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/datasets.rs:
+crates/data/src/distr.rs:
+crates/data/src/schema.rs:
+crates/data/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pace_engine-0692729b717f4c15.d: crates/engine/src/lib.rs crates/engine/src/count.rs crates/engine/src/estimator.rs crates/engine/src/exec.rs crates/engine/src/optimizer.rs crates/engine/src/traditional.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_engine-0692729b717f4c15.rmeta: crates/engine/src/lib.rs crates/engine/src/count.rs crates/engine/src/estimator.rs crates/engine/src/exec.rs crates/engine/src/optimizer.rs crates/engine/src/traditional.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/count.rs:
+crates/engine/src/estimator.rs:
+crates/engine/src/exec.rs:
+crates/engine/src/optimizer.rs:
+crates/engine/src/traditional.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

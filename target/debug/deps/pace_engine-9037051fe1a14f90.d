@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pace_engine-9037051fe1a14f90.d: crates/engine/src/lib.rs crates/engine/src/count.rs crates/engine/src/estimator.rs crates/engine/src/exec.rs crates/engine/src/optimizer.rs crates/engine/src/traditional.rs
+
+/root/repo/target/debug/deps/pace_engine-9037051fe1a14f90: crates/engine/src/lib.rs crates/engine/src/count.rs crates/engine/src/estimator.rs crates/engine/src/exec.rs crates/engine/src/optimizer.rs crates/engine/src/traditional.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/count.rs:
+crates/engine/src/estimator.rs:
+crates/engine/src/exec.rs:
+crates/engine/src/optimizer.rs:
+crates/engine/src/traditional.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pace_engine-a74ac26ed01a294a.d: crates/engine/src/lib.rs crates/engine/src/count.rs crates/engine/src/estimator.rs crates/engine/src/exec.rs crates/engine/src/optimizer.rs crates/engine/src/traditional.rs
+
+/root/repo/target/debug/deps/libpace_engine-a74ac26ed01a294a.rlib: crates/engine/src/lib.rs crates/engine/src/count.rs crates/engine/src/estimator.rs crates/engine/src/exec.rs crates/engine/src/optimizer.rs crates/engine/src/traditional.rs
+
+/root/repo/target/debug/deps/libpace_engine-a74ac26ed01a294a.rmeta: crates/engine/src/lib.rs crates/engine/src/count.rs crates/engine/src/estimator.rs crates/engine/src/exec.rs crates/engine/src/optimizer.rs crates/engine/src/traditional.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/count.rs:
+crates/engine/src/estimator.rs:
+crates/engine/src/exec.rs:
+crates/engine/src/optimizer.rs:
+crates/engine/src/traditional.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pace_repro-3883eb6203180233.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_repro-3883eb6203180233.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

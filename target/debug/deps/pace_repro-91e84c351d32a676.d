@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pace_repro-91e84c351d32a676.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_repro-91e84c351d32a676.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

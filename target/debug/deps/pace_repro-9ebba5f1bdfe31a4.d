@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pace_repro-9ebba5f1bdfe31a4.d: src/lib.rs
+
+/root/repo/target/debug/deps/pace_repro-9ebba5f1bdfe31a4: src/lib.rs
+
+src/lib.rs:

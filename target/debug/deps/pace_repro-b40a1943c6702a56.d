@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pace_repro-b40a1943c6702a56.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpace_repro-b40a1943c6702a56.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpace_repro-b40a1943c6702a56.rmeta: src/lib.rs
+
+src/lib.rs:

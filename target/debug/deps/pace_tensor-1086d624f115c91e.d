@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pace_tensor-1086d624f115c91e.d: crates/tensor/src/lib.rs crates/tensor/src/analysis.rs crates/tensor/src/check.rs crates/tensor/src/grad.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/serialize.rs
+
+/root/repo/target/debug/deps/libpace_tensor-1086d624f115c91e.rlib: crates/tensor/src/lib.rs crates/tensor/src/analysis.rs crates/tensor/src/check.rs crates/tensor/src/grad.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/serialize.rs
+
+/root/repo/target/debug/deps/libpace_tensor-1086d624f115c91e.rmeta: crates/tensor/src/lib.rs crates/tensor/src/analysis.rs crates/tensor/src/check.rs crates/tensor/src/grad.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/serialize.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/analysis.rs:
+crates/tensor/src/check.rs:
+crates/tensor/src/grad.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/nn.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/param.rs:
+crates/tensor/src/serialize.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pace_tensor-1cb1111a73bdda23.d: crates/tensor/src/lib.rs crates/tensor/src/analysis.rs crates/tensor/src/check.rs crates/tensor/src/grad.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/serialize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_tensor-1cb1111a73bdda23.rmeta: crates/tensor/src/lib.rs crates/tensor/src/analysis.rs crates/tensor/src/check.rs crates/tensor/src/grad.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/serialize.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/analysis.rs:
+crates/tensor/src/check.rs:
+crates/tensor/src/grad.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/nn.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/param.rs:
+crates/tensor/src/serialize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pace_tensor-ff749212f40bfd14.d: crates/tensor/src/lib.rs crates/tensor/src/analysis.rs crates/tensor/src/check.rs crates/tensor/src/grad.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/serialize.rs
+
+/root/repo/target/debug/deps/pace_tensor-ff749212f40bfd14: crates/tensor/src/lib.rs crates/tensor/src/analysis.rs crates/tensor/src/check.rs crates/tensor/src/grad.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/serialize.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/analysis.rs:
+crates/tensor/src/check.rs:
+crates/tensor/src/grad.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/nn.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/param.rs:
+crates/tensor/src/serialize.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pace_workload-0e2868de2426a837.d: crates/workload/src/lib.rs crates/workload/src/encode.rs crates/workload/src/gen.rs crates/workload/src/metrics.rs crates/workload/src/query.rs crates/workload/src/templates.rs
+
+/root/repo/target/debug/deps/libpace_workload-0e2868de2426a837.rlib: crates/workload/src/lib.rs crates/workload/src/encode.rs crates/workload/src/gen.rs crates/workload/src/metrics.rs crates/workload/src/query.rs crates/workload/src/templates.rs
+
+/root/repo/target/debug/deps/libpace_workload-0e2868de2426a837.rmeta: crates/workload/src/lib.rs crates/workload/src/encode.rs crates/workload/src/gen.rs crates/workload/src/metrics.rs crates/workload/src/query.rs crates/workload/src/templates.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/encode.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/metrics.rs:
+crates/workload/src/query.rs:
+crates/workload/src/templates.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pace_workload-5500afb5fb4edaf8.d: crates/workload/src/lib.rs crates/workload/src/encode.rs crates/workload/src/gen.rs crates/workload/src/metrics.rs crates/workload/src/query.rs crates/workload/src/templates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_workload-5500afb5fb4edaf8.rmeta: crates/workload/src/lib.rs crates/workload/src/encode.rs crates/workload/src/gen.rs crates/workload/src/metrics.rs crates/workload/src/query.rs crates/workload/src/templates.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/encode.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/metrics.rs:
+crates/workload/src/query.rs:
+crates/workload/src/templates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

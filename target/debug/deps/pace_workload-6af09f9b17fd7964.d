@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pace_workload-6af09f9b17fd7964.d: crates/workload/src/lib.rs crates/workload/src/encode.rs crates/workload/src/gen.rs crates/workload/src/metrics.rs crates/workload/src/query.rs crates/workload/src/templates.rs
+
+/root/repo/target/debug/deps/pace_workload-6af09f9b17fd7964: crates/workload/src/lib.rs crates/workload/src/encode.rs crates/workload/src/gen.rs crates/workload/src/metrics.rs crates/workload/src/query.rs crates/workload/src/templates.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/encode.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/metrics.rs:
+crates/workload/src/query.rs:
+crates/workload/src/templates.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pace_workload-c3b0a4716cb6b37f.d: crates/workload/src/lib.rs crates/workload/src/encode.rs crates/workload/src/gen.rs crates/workload/src/metrics.rs crates/workload/src/query.rs crates/workload/src/templates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_workload-c3b0a4716cb6b37f.rmeta: crates/workload/src/lib.rs crates/workload/src/encode.rs crates/workload/src/gen.rs crates/workload/src/metrics.rs crates/workload/src/query.rs crates/workload/src/templates.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/encode.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/metrics.rs:
+crates/workload/src/query.rs:
+crates/workload/src/templates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_analysis-844eafb959117716.d: crates/tensor/tests/prop_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_analysis-844eafb959117716.rmeta: crates/tensor/tests/prop_analysis.rs Cargo.toml
+
+crates/tensor/tests/prop_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

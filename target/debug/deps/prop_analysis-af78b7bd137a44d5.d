@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_analysis-af78b7bd137a44d5.d: crates/tensor/tests/prop_analysis.rs
+
+/root/repo/target/debug/deps/prop_analysis-af78b7bd137a44d5: crates/tensor/tests/prop_analysis.rs
+
+crates/tensor/tests/prop_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_gradcheck-3f8111030e5fcb95.d: crates/tensor/tests/prop_gradcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_gradcheck-3f8111030e5fcb95.rmeta: crates/tensor/tests/prop_gradcheck.rs Cargo.toml
+
+crates/tensor/tests/prop_gradcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_gradcheck-f27b85a16924f0cf.d: crates/tensor/tests/prop_gradcheck.rs
+
+/root/repo/target/debug/deps/prop_gradcheck-f27b85a16924f0cf: crates/tensor/tests/prop_gradcheck.rs
+
+crates/tensor/tests/prop_gradcheck.rs:

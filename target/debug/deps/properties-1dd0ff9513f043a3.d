@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-1dd0ff9513f043a3.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-1dd0ff9513f043a3.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2da14b02e1ac1cdf.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2da14b02e1ac1cdf: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-5769f9d38caeab28.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-5769f9d38caeab28: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

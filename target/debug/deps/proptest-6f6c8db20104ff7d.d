@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-6f6c8db20104ff7d.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6f6c8db20104ff7d.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6f6c8db20104ff7d.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-bb7922bfe1159ca1.d: vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-bb7922bfe1159ca1.rmeta: vendor/proptest/src/lib.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

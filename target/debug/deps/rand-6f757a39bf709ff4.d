@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-6f757a39bf709ff4.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-6f757a39bf709ff4: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

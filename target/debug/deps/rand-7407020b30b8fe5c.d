@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-7407020b30b8fe5c.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7407020b30b8fe5c.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7407020b30b8fe5c.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

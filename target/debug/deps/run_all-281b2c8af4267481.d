@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run_all-281b2c8af4267481.d: crates/bench/src/bin/run_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun_all-281b2c8af4267481.rmeta: crates/bench/src/bin/run_all.rs Cargo.toml
+
+crates/bench/src/bin/run_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

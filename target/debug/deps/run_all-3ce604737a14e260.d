@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-3ce604737a14e260.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-3ce604737a14e260: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run_all-9f1f4c4d026d42a0.d: crates/bench/src/bin/run_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun_all-9f1f4c4d026d42a0.rmeta: crates/bench/src/bin/run_all.rs Cargo.toml
+
+crates/bench/src/bin/run_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

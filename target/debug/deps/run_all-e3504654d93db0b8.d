@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-e3504654d93db0b8.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-e3504654d93db0b8: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

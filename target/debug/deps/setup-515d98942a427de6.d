@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/setup-515d98942a427de6.d: crates/bench/tests/setup.rs
+
+/root/repo/target/debug/deps/setup-515d98942a427de6: crates/bench/tests/setup.rs
+
+crates/bench/tests/setup.rs:

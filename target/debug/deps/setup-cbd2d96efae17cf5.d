@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setup-cbd2d96efae17cf5.d: crates/bench/tests/setup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetup-cbd2d96efae17cf5.rmeta: crates/bench/tests/setup.rs Cargo.toml
+
+crates/bench/tests/setup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

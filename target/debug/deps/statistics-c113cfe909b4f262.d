@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/statistics-c113cfe909b4f262.d: crates/data/tests/statistics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatistics-c113cfe909b4f262.rmeta: crates/data/tests/statistics.rs Cargo.toml
+
+crates/data/tests/statistics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/statistics-cb742aba5f226500.d: crates/data/tests/statistics.rs
+
+/root/repo/target/debug/deps/statistics-cb742aba5f226500: crates/data/tests/statistics.rs
+
+crates/data/tests/statistics.rs:

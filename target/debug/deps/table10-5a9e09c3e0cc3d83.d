@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-5a9e09c3e0cc3d83.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-5a9e09c3e0cc3d83: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

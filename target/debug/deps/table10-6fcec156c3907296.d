@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table10-6fcec156c3907296.d: crates/bench/src/bin/table10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable10-6fcec156c3907296.rmeta: crates/bench/src/bin/table10.rs Cargo.toml
+
+crates/bench/src/bin/table10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table10-8df1ff9496b7e7ef.d: crates/bench/src/bin/table10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable10-8df1ff9496b7e7ef.rmeta: crates/bench/src/bin/table10.rs Cargo.toml
+
+crates/bench/src/bin/table10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

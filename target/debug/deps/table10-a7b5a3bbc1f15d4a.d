@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-a7b5a3bbc1f15d4a.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-a7b5a3bbc1f15d4a: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

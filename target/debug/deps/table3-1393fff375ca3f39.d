@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-1393fff375ca3f39.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-1393fff375ca3f39: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

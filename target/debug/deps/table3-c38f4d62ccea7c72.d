@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-c38f4d62ccea7c72.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-c38f4d62ccea7c72: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-77443b6dec6e5a85.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-77443b6dec6e5a85: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

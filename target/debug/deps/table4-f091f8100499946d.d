@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-f091f8100499946d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-f091f8100499946d: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-2156af95a0763a07.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-2156af95a0763a07: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-686837a6583d5a8f.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-686837a6583d5a8f: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

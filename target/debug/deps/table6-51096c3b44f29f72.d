@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6-51096c3b44f29f72.d: crates/bench/src/bin/table6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6-51096c3b44f29f72.rmeta: crates/bench/src/bin/table6.rs Cargo.toml
+
+crates/bench/src/bin/table6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

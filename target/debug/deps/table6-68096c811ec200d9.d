@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-68096c811ec200d9.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-68096c811ec200d9: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-ac4a91caa6541e14.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-ac4a91caa6541e14: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

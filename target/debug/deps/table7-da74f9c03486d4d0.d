@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-da74f9c03486d4d0.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-da74f9c03486d4d0: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-f76440ac93acc512.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-f76440ac93acc512: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-0b51c74d243a2092.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-0b51c74d243a2092: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

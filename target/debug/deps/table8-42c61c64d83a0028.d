@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8-42c61c64d83a0028.d: crates/bench/src/bin/table8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8-42c61c64d83a0028.rmeta: crates/bench/src/bin/table8.rs Cargo.toml
+
+crates/bench/src/bin/table8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-fdb75db58c28ffc8.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-fdb75db58c28ffc8: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

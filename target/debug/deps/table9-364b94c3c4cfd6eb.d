@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table9-364b94c3c4cfd6eb.d: crates/bench/src/bin/table9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable9-364b94c3c4cfd6eb.rmeta: crates/bench/src/bin/table9.rs Cargo.toml
+
+crates/bench/src/bin/table9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-49c3725ffbe65178.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-49c3725ffbe65178: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

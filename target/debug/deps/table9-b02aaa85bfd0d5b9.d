@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table9-b02aaa85bfd0d5b9.d: crates/bench/src/bin/table9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable9-b02aaa85bfd0d5b9.rmeta: crates/bench/src/bin/table9.rs Cargo.toml
+
+crates/bench/src/bin/table9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

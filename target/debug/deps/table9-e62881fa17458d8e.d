@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-e62881fa17458d8e.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-e62881fa17458d8e: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

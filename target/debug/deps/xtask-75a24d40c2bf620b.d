@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xtask-75a24d40c2bf620b.d: crates/xtask/src/main.rs
+
+/root/repo/target/debug/deps/xtask-75a24d40c2bf620b: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

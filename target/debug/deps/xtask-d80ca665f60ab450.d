@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xtask-d80ca665f60ab450.d: crates/xtask/src/main.rs
+
+/root/repo/target/debug/deps/xtask-d80ca665f60ab450: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/black_box_attack-c5f1105a35fedf87.d: examples/black_box_attack.rs
+
+/root/repo/target/debug/examples/black_box_attack-c5f1105a35fedf87: examples/black_box_attack.rs
+
+examples/black_box_attack.rs:

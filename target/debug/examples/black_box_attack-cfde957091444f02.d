@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/black_box_attack-cfde957091444f02.d: examples/black_box_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libblack_box_attack-cfde957091444f02.rmeta: examples/black_box_attack.rs Cargo.toml
+
+examples/black_box_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/budgeted_attack-1709c4b0e4356008.d: examples/budgeted_attack.rs
+
+/root/repo/target/debug/examples/budgeted_attack-1709c4b0e4356008: examples/budgeted_attack.rs
+
+examples/budgeted_attack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/budgeted_attack-c14f0a63578564f8.d: examples/budgeted_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbudgeted_attack-c14f0a63578564f8.rmeta: examples/budgeted_attack.rs Cargo.toml
+
+examples/budgeted_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

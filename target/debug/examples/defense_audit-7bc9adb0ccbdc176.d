@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/defense_audit-7bc9adb0ccbdc176.d: examples/defense_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdefense_audit-7bc9adb0ccbdc176.rmeta: examples/defense_audit.rs Cargo.toml
+
+examples/defense_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/defense_audit-b02a063570197141.d: examples/defense_audit.rs
+
+/root/repo/target/debug/examples/defense_audit-b02a063570197141: examples/defense_audit.rs
+
+examples/defense_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/optimizer_impact-8c583db7eb7e5c15.d: examples/optimizer_impact.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboptimizer_impact-8c583db7eb7e5c15.rmeta: examples/optimizer_impact.rs Cargo.toml
+
+examples/optimizer_impact.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

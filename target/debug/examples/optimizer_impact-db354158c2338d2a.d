@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/optimizer_impact-db354158c2338d2a.d: examples/optimizer_impact.rs
+
+/root/repo/target/debug/examples/optimizer_impact-db354158c2338d2a: examples/optimizer_impact.rs
+
+examples/optimizer_impact.rs:

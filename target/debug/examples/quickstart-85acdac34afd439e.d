@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-85acdac34afd439e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-85acdac34afd439e: examples/quickstart.rs
+
+examples/quickstart.rs:

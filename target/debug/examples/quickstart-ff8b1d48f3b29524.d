@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-ff8b1d48f3b29524.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-ff8b1d48f3b29524.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pace_ce-8f696b48a43e6a96.d: crates/ce/src/lib.rs crates/ce/src/config.rs crates/ce/src/loss.rs crates/ce/src/model.rs
+
+/root/repo/target/release/deps/libpace_ce-8f696b48a43e6a96.rlib: crates/ce/src/lib.rs crates/ce/src/config.rs crates/ce/src/loss.rs crates/ce/src/model.rs
+
+/root/repo/target/release/deps/libpace_ce-8f696b48a43e6a96.rmeta: crates/ce/src/lib.rs crates/ce/src/config.rs crates/ce/src/loss.rs crates/ce/src/model.rs
+
+crates/ce/src/lib.rs:
+crates/ce/src/config.rs:
+crates/ce/src/loss.rs:
+crates/ce/src/model.rs:

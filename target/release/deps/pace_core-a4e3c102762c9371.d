@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/pace_core-a4e3c102762c9371.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/attack/mod.rs crates/core/src/attack/accelerated.rs crates/core/src/attack/baselines.rs crates/core/src/attack/basic.rs crates/core/src/budget.rs crates/core/src/defense.rs crates/core/src/detector.rs crates/core/src/generator.rs crates/core/src/knowledge.rs crates/core/src/pipeline.rs crates/core/src/surrogate.rs crates/core/src/victim.rs
+
+/root/repo/target/release/deps/libpace_core-a4e3c102762c9371.rlib: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/attack/mod.rs crates/core/src/attack/accelerated.rs crates/core/src/attack/baselines.rs crates/core/src/attack/basic.rs crates/core/src/budget.rs crates/core/src/defense.rs crates/core/src/detector.rs crates/core/src/generator.rs crates/core/src/knowledge.rs crates/core/src/pipeline.rs crates/core/src/surrogate.rs crates/core/src/victim.rs
+
+/root/repo/target/release/deps/libpace_core-a4e3c102762c9371.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/attack/mod.rs crates/core/src/attack/accelerated.rs crates/core/src/attack/baselines.rs crates/core/src/attack/basic.rs crates/core/src/budget.rs crates/core/src/defense.rs crates/core/src/detector.rs crates/core/src/generator.rs crates/core/src/knowledge.rs crates/core/src/pipeline.rs crates/core/src/surrogate.rs crates/core/src/victim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/attack/mod.rs:
+crates/core/src/attack/accelerated.rs:
+crates/core/src/attack/baselines.rs:
+crates/core/src/attack/basic.rs:
+crates/core/src/budget.rs:
+crates/core/src/defense.rs:
+crates/core/src/detector.rs:
+crates/core/src/generator.rs:
+crates/core/src/knowledge.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/surrogate.rs:
+crates/core/src/victim.rs:

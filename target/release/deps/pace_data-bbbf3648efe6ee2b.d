@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pace_data-bbbf3648efe6ee2b.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/datasets.rs crates/data/src/distr.rs crates/data/src/schema.rs crates/data/src/table.rs
+
+/root/repo/target/release/deps/libpace_data-bbbf3648efe6ee2b.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/datasets.rs crates/data/src/distr.rs crates/data/src/schema.rs crates/data/src/table.rs
+
+/root/repo/target/release/deps/libpace_data-bbbf3648efe6ee2b.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/datasets.rs crates/data/src/distr.rs crates/data/src/schema.rs crates/data/src/table.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/datasets.rs:
+crates/data/src/distr.rs:
+crates/data/src/schema.rs:
+crates/data/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pace_engine-dd139c6bd1e42d3c.d: crates/engine/src/lib.rs crates/engine/src/count.rs crates/engine/src/estimator.rs crates/engine/src/exec.rs crates/engine/src/optimizer.rs crates/engine/src/traditional.rs
+
+/root/repo/target/release/deps/libpace_engine-dd139c6bd1e42d3c.rlib: crates/engine/src/lib.rs crates/engine/src/count.rs crates/engine/src/estimator.rs crates/engine/src/exec.rs crates/engine/src/optimizer.rs crates/engine/src/traditional.rs
+
+/root/repo/target/release/deps/libpace_engine-dd139c6bd1e42d3c.rmeta: crates/engine/src/lib.rs crates/engine/src/count.rs crates/engine/src/estimator.rs crates/engine/src/exec.rs crates/engine/src/optimizer.rs crates/engine/src/traditional.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/count.rs:
+crates/engine/src/estimator.rs:
+crates/engine/src/exec.rs:
+crates/engine/src/optimizer.rs:
+crates/engine/src/traditional.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pace_repro-4bffc1b3db1460dc.d: src/lib.rs
+
+/root/repo/target/release/deps/libpace_repro-4bffc1b3db1460dc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpace_repro-4bffc1b3db1460dc.rmeta: src/lib.rs
+
+src/lib.rs:

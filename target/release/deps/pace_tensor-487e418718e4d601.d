@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pace_tensor-487e418718e4d601.d: crates/tensor/src/lib.rs crates/tensor/src/analysis.rs crates/tensor/src/check.rs crates/tensor/src/grad.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/serialize.rs
+
+/root/repo/target/release/deps/libpace_tensor-487e418718e4d601.rlib: crates/tensor/src/lib.rs crates/tensor/src/analysis.rs crates/tensor/src/check.rs crates/tensor/src/grad.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/serialize.rs
+
+/root/repo/target/release/deps/libpace_tensor-487e418718e4d601.rmeta: crates/tensor/src/lib.rs crates/tensor/src/analysis.rs crates/tensor/src/check.rs crates/tensor/src/grad.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/serialize.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/analysis.rs:
+crates/tensor/src/check.rs:
+crates/tensor/src/grad.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/nn.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/param.rs:
+crates/tensor/src/serialize.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pace_workload-e9cd1254c57b7b4b.d: crates/workload/src/lib.rs crates/workload/src/encode.rs crates/workload/src/gen.rs crates/workload/src/metrics.rs crates/workload/src/query.rs crates/workload/src/templates.rs
+
+/root/repo/target/release/deps/libpace_workload-e9cd1254c57b7b4b.rlib: crates/workload/src/lib.rs crates/workload/src/encode.rs crates/workload/src/gen.rs crates/workload/src/metrics.rs crates/workload/src/query.rs crates/workload/src/templates.rs
+
+/root/repo/target/release/deps/libpace_workload-e9cd1254c57b7b4b.rmeta: crates/workload/src/lib.rs crates/workload/src/encode.rs crates/workload/src/gen.rs crates/workload/src/metrics.rs crates/workload/src/query.rs crates/workload/src/templates.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/encode.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/metrics.rs:
+crates/workload/src/query.rs:
+crates/workload/src/templates.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-7861e35aadc59fa9.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7861e35aadc59fa9.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7861e35aadc59fa9.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5fe11221cdf531d7.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5fe11221cdf531d7: examples/quickstart.rs
+
+examples/quickstart.rs:

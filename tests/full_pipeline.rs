@@ -28,7 +28,11 @@ fn full_reproduction_shape_on_dmv() {
     let clean = QErrorSummary::from_samples(
         &model.evaluate(&EncodedWorkload::from_workload(&encoder, &test)),
     );
-    assert!(clean.mean < 10.0, "victim under-trained: mean q-error {}", clean.mean);
+    assert!(
+        clean.mean < 10.0,
+        "victim under-trained: mean q-error {}",
+        clean.mean
+    );
 
     let history: Vec<_> = train.iter().map(|lq| lq.query.clone()).collect();
     let mut victim = Victim::new(model, Executor::new(&ds), history);
@@ -58,7 +62,11 @@ fn full_reproduction_shape_on_dmv() {
         random.qerror_multiple()
     );
     // Stealth: poisoning queries stay distributionally close to history.
-    assert!(pace.divergence < 0.4, "divergence too high: {}", pace.divergence);
+    assert!(
+        pace.divergence < 0.4,
+        "divergence too high: {}",
+        pace.divergence
+    );
     // All injected queries are legal SQL over the schema.
     assert!(pace.poison.iter().all(|q| q.is_valid(&ds.schema)));
 }
@@ -67,7 +75,10 @@ fn full_reproduction_shape_on_dmv() {
 fn poisoned_optimizer_does_more_true_work() {
     let ds = build(DatasetKind::Tpch, Scale::quick(), 90);
     let exec = Executor::new(&ds);
-    let spec = WorkloadSpec { max_join_tables: 3, ..WorkloadSpec::default() };
+    let spec = WorkloadSpec {
+        max_join_tables: 3,
+        ..WorkloadSpec::default()
+    };
     let mut rng = StdRng::seed_from_u64(91);
     let train = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 900));
     let encoder = QueryEncoder::new(&ds);
@@ -76,7 +87,10 @@ fn poisoned_optimizer_does_more_true_work() {
 
     let joins: Vec<_> = generate_queries(
         &ds,
-        &WorkloadSpec { join_size_decay: 1.0, ..spec.clone() },
+        &WorkloadSpec {
+            join_size_decay: 1.0,
+            ..spec.clone()
+        },
         &mut rng,
         200,
     )
@@ -99,7 +113,11 @@ fn poisoned_optimizer_does_more_true_work() {
     let outcome = run_attack(&mut victim, AttackMethod::Pace, &target, &k, &cfg);
     let poisoned_latency = total_latency(&joins, &exec, victim.model(), &cost);
 
-    assert!(outcome.qerror_multiple() > 1.2, "attack failed: {}x", outcome.qerror_multiple());
+    assert!(
+        outcome.qerror_multiple() > 1.2,
+        "attack failed: {}x",
+        outcome.qerror_multiple()
+    );
     assert!(
         poisoned_latency >= clean_latency * 0.99,
         "poisoning should not speed up execution: {clean_latency} -> {poisoned_latency}"

@@ -18,8 +18,14 @@ fn chain_db(a_vals: Vec<i64>, b_fk: Vec<u8>, b_vals: Vec<i64>, c_fk: Vec<u8>) ->
             table("c", &["id"], &["b_id"], &[]),
         ],
         vec![
-            JoinEdge { left: (0, 0), right: (1, 1) },
-            JoinEdge { left: (1, 0), right: (2, 1) },
+            JoinEdge {
+                left: (0, 0),
+                right: (1, 1),
+            },
+            JoinEdge {
+                left: (1, 0),
+                right: (2, 1),
+            },
         ],
     );
     let na = a_vals.len().max(1) as i64;
