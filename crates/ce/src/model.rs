@@ -643,11 +643,11 @@ impl CeModel {
         let loss = q_error_loss(&mut g, out, &batch.ln_card, self.ln_max);
         pace_tensor::analysis::audit_if_enabled(&g, loss, bind.vars(), "ce::step_adam");
         let value = g.value(loss).as_scalar();
-        let mut grads: Vec<Matrix> = g
-            .grad(loss, bind.vars())
-            .iter()
-            .map(|&v| g.value(v).clone())
-            .collect();
+        let grad_vars = g.grad(loss, bind.vars());
+        let mut opt_outputs = vec![loss];
+        opt_outputs.extend(&grad_vars);
+        pace_tensor::opt::optimize_if_enabled(&g, &opt_outputs, bind.vars(), "ce::step_adam");
+        let mut grads: Vec<Matrix> = grad_vars.iter().map(|&v| g.value(v).clone()).collect();
         sanitize(&mut grads);
         clip_global_norm(&mut grads, self.config.clip_norm);
         self.adam.step(&mut self.params, &grads);
@@ -689,11 +689,11 @@ impl CeModel {
             let out = self.forward(&mut g, &bind, x);
             let loss = q_error_loss(&mut g, out, &data.ln_card, self.ln_max);
             pace_tensor::analysis::audit_if_enabled(&g, loss, bind.vars(), "ce::update");
-            let mut grads: Vec<Matrix> = g
-                .grad(loss, bind.vars())
-                .iter()
-                .map(|&v| g.value(v).clone())
-                .collect();
+            let grad_vars = g.grad(loss, bind.vars());
+            let mut opt_outputs = vec![loss];
+            opt_outputs.extend(&grad_vars);
+            pace_tensor::opt::optimize_if_enabled(&g, &opt_outputs, bind.vars(), "ce::update");
+            let mut grads: Vec<Matrix> = grad_vars.iter().map(|&v| g.value(v).clone()).collect();
             sanitize(&mut grads);
             clip_global_norm(&mut grads, self.config.update_clip);
             sgd.step(&mut self.params, &grads);

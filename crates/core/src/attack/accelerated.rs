@@ -140,7 +140,7 @@ pub fn train_generator_accelerated(
                 let masked = g.mul(errors, mask);
                 let total = g.sum_all(masked);
                 let recon_loss = g.mul_scalar(total, 1.0 / n_flagged);
-                generator.apply_step(&mut g, recon_loss, &bind);
+                generator.apply_step(&mut g, recon_loss, &bind, "attack::accelerated::detector");
             }
         }
 
@@ -174,7 +174,7 @@ pub fn train_generator_accelerated(
             generator.set_lr(base_lr);
         }
         let loss = g.neg(objective);
-        generator.apply_step(&mut g, loss, &bind);
+        generator.apply_step(&mut g, loss, &bind, "attack::accelerated::hypergradient");
 
         // (20) periodic real surrogate update.
         if (it + 1) % cfg.sync_every.max(1) == 0 {

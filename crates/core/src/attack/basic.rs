@@ -114,11 +114,11 @@ pub fn train_generator_basic(
                     let masked = g.mul(errors, mask);
                     let total = g.sum_all(masked);
                     let recon_loss = g.mul_scalar(total, 1.0 / n_flagged);
-                    generator.apply_step(&mut g, recon_loss, &bind);
+                    generator.apply_step(&mut g, recon_loss, &bind, "attack::basic::detector");
                 }
             }
             let loss = g.neg(objective);
-            generator.apply_step(&mut g, loss, &bind);
+            generator.apply_step(&mut g, loss, &bind, "attack::basic::hypergradient");
         }
 
         // Step (3): regenerate queries, reset to θ₀, and poison for real.

@@ -207,6 +207,39 @@ pub(crate) fn poisoning_objective(
     q_error_loss(g, out, test_ln, model.ln_max())
 }
 
+/// Builds a standalone attack hypergradient tape — the graph both attack
+/// loops differentiate: `K` unrolled virtual SGD updates of `model` on the
+/// poisoning batch (Eq. 9), the test-workload Q-error objective at `θ_K`
+/// (Eq. 10), and the hypergradient of that objective with respect to the
+/// poisoning encodings.
+///
+/// Returns `(graph, outputs, inputs)` in the shape the static-analysis
+/// tooling consumes ([`pace_tensor::opt::optimize`],
+/// [`pace_tensor::dataflow`]): `outputs` is `[objective, ∂objective/∂x]`,
+/// `inputs` is the poisoning-batch leaf followed by the `θ₀` parameter
+/// leaves. Used by `xtask tape-report`, the `tape_opt` benchmark, and the
+/// node-reduction acceptance test.
+pub fn build_hypergradient_tape(
+    model: &CeModel,
+    poison_enc: &[Vec<f32>],
+    poison_ln: &[f32],
+    test_enc: &[Vec<f32>],
+    test_ln: &[f32],
+    steps: usize,
+    lr: f32,
+) -> (Graph, Vec<Var>, Vec<Var>) {
+    let mut g = Graph::new();
+    let x = g.leaf(pace_ce::rows_to_matrix(poison_enc));
+    let theta0 = model.params().bind(&mut g);
+    let mut inputs = vec![x];
+    inputs.extend(theta0.vars().iter().copied());
+    let theta_k = unroll_virtual_updates(&mut g, model, theta0, x, poison_ln, steps, lr);
+    let test_x = g.leaf(pace_ce::rows_to_matrix(test_enc));
+    let objective = poisoning_objective(&mut g, model, &theta_k, test_x, test_ln);
+    let hypergrad = g.grad(objective, &[x])[0];
+    (g, vec![objective, hypergrad], inputs)
+}
+
 pub use accelerated::train_generator_accelerated;
 pub use baselines::{greedy_poison, loss_based_selection, random_poison, train_lbg};
 pub use basic::train_generator_basic;

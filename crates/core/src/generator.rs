@@ -237,7 +237,7 @@ impl PoisonGenerator {
         let y = g.leaf(batch.j.clone());
         let loss = bce(&mut g, p, y);
         let value = g.value(loss).as_scalar();
-        self.apply_step(&mut g, loss, &bind);
+        self.apply_step(&mut g, loss, &bind, "generator::join_loss_step");
         value
     }
 
@@ -282,13 +282,16 @@ impl PoisonGenerator {
     }
 
     /// Applies one Adam step from a scalar loss (used by the attack loops for
-    /// the poisoning and detector-confrontation objectives).
-    pub fn apply_step(&mut self, g: &mut Graph, loss: Var, bind: &Binding) {
-        let mut grads: Vec<Matrix> = g
-            .grad(loss, bind.vars())
-            .iter()
-            .map(|&v| g.value(v).clone())
-            .collect();
+    /// the poisoning and detector-confrontation objectives). `context` labels
+    /// the tape for the `PACE_OPT` pipeline ([`pace_tensor::opt`]); the
+    /// gradient built here is the attack hypergradient, so this is where the
+    /// optimizer sees the full unrolled graph.
+    pub fn apply_step(&mut self, g: &mut Graph, loss: Var, bind: &Binding, context: &str) {
+        let grad_vars = g.grad(loss, bind.vars());
+        let mut opt_outputs = vec![loss];
+        opt_outputs.extend(&grad_vars);
+        pace_tensor::opt::optimize_if_enabled(g, &opt_outputs, bind.vars(), context);
+        let mut grads: Vec<Matrix> = grad_vars.iter().map(|&v| g.value(v).clone()).collect();
         sanitize(&mut grads);
         clip_global_norm(&mut grads, self.config.clip_norm);
         self.adam.step(&mut self.params, &grads);

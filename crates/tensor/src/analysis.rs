@@ -32,7 +32,6 @@ use crate::grad::op_inputs;
 use crate::graph::{Graph, Op, Var};
 use crate::matrix::Matrix;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU8, Ordering};
 
 /// A node whose recorded shape (or operand shapes) contradict its op.
 #[derive(Clone, Debug)]
@@ -219,29 +218,24 @@ impl AuditReport {
 
 // ---- enablement -----------------------------------------------------------
 
-/// 0 = read env on first use, 1 = off, 2 = on.
-static AUDIT_MODE: AtomicU8 = AtomicU8::new(0);
-
 /// Forces auditing on or off for this process, overriding `PACE_AUDIT`.
 pub fn set_audit_enabled(enabled: bool) {
-    AUDIT_MODE.store(if enabled { 2 } else { 1 }, Ordering::Relaxed);
+    crate::flags::AUDIT.set(if enabled {
+        crate::flags::FlagMode::On
+    } else {
+        crate::flags::FlagMode::Off
+    });
 }
 
 /// True when tape auditing is enabled (via [`set_audit_enabled`] or the
-/// `PACE_AUDIT=1` environment variable).
+/// `PACE_AUDIT` environment variable — see [`crate::flags`] for the shared
+/// `0/1/strict` grammar).
 pub fn audit_enabled() -> bool {
-    match AUDIT_MODE.load(Ordering::Relaxed) {
-        0 => {
-            let on = std::env::var("PACE_AUDIT").is_ok_and(|v| v == "1" || v == "true");
-            AUDIT_MODE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
-            on
-        }
-        1 => false,
-        _ => true,
-    }
+    crate::flags::AUDIT.enabled()
 }
 
-/// Runs [`audit`] when auditing is enabled; prints a dirty report to stderr.
+/// Runs [`audit`] when auditing is enabled; prints a dirty report to stderr
+/// (and panics on one under `PACE_AUDIT=strict`).
 ///
 /// This is the hook the workspace's graph-construction choke points call —
 /// free when auditing is off.
@@ -251,6 +245,11 @@ pub fn audit_if_enabled(g: &Graph, output: Var, wrt: &[Var], context: &str) -> O
     }
     let report = audit(g, output, wrt, context);
     if !report.is_clean() {
+        assert!(
+            !crate::flags::AUDIT.strict(),
+            "PACE_AUDIT=strict: dirty tape audit\n{}",
+            report.render()
+        );
         eprintln!("{}", report.render());
     } else {
         // Confirm once per context that auditing is live — silence would be
@@ -307,7 +306,7 @@ pub fn inferred_shape(g: &Graph, v: Var) -> Result<(usize, usize), String> {
         Op::Maximum(a, b) => same(a, b, "Maximum"),
         Op::Minimum(a, b) => same(a, b, "Minimum"),
         Op::Neg(a)
-        | Op::AddScalar(a)
+        | Op::AddScalar(a, _)
         | Op::MulScalar(a, _)
         | Op::PowScalar(a, _)
         | Op::Sigmoid(a)

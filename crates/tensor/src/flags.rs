@@ -1,0 +1,140 @@
+//! Shared runtime-flag parsing for the tape-instrumentation switches.
+//!
+//! Both the auditor (`PACE_AUDIT`, [`crate::analysis`]) and the optimizing
+//! pass pipeline (`PACE_OPT`, [`crate::opt`]) are opt-in at the workspace's
+//! graph-construction choke points and share one env-variable grammar:
+//!
+//! * `0` (or unset, or anything unrecognized) — off;
+//! * `1` / `true` / `on` — enabled: findings are *reported* (a dirty audit
+//!   or a pass-verification mismatch prints to stderr, execution continues);
+//! * `strict` — enabled, and findings are *fatal*: a dirty audit or an
+//!   optimized-replay mismatch panics at the choke point, so CI and
+//!   experiment runs cannot silently proceed on a corrupted tape.
+//!
+//! The env variable is read once, on first query; tests and embedders can
+//! override it at any time with [`EnvFlag::set`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The three states a tape-instrumentation flag can be in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlagMode {
+    /// Instrumentation disabled (the default).
+    Off,
+    /// Instrumentation enabled; findings are reported on stderr.
+    On,
+    /// Instrumentation enabled; findings panic at the choke point.
+    Strict,
+}
+
+const UNREAD: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+const STRICT: u8 = 3;
+
+/// A lazily-read, process-global on/off/strict switch backed by an
+/// environment variable.
+pub struct EnvFlag {
+    name: &'static str,
+    state: AtomicU8,
+}
+
+impl EnvFlag {
+    /// Declares a flag backed by the environment variable `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            state: AtomicU8::new(UNREAD),
+        }
+    }
+
+    /// The environment variable this flag reads.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Parses the shared `0/1/strict` grammar (see the module docs).
+    pub fn parse(raw: &str) -> FlagMode {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" => FlagMode::On,
+            "strict" => FlagMode::Strict,
+            _ => FlagMode::Off,
+        }
+    }
+
+    /// Current mode, reading the environment variable on first use.
+    pub fn mode(&self) -> FlagMode {
+        match self.state.load(Ordering::Relaxed) {
+            UNREAD => {
+                let mode = std::env::var(self.name)
+                    .map(|v| Self::parse(&v))
+                    .unwrap_or(FlagMode::Off);
+                self.state.store(encode(mode), Ordering::Relaxed);
+                mode
+            }
+            OFF => FlagMode::Off,
+            ON => FlagMode::On,
+            _ => FlagMode::Strict,
+        }
+    }
+
+    /// Forces the flag for this process, overriding the environment.
+    pub fn set(&self, mode: FlagMode) {
+        self.state.store(encode(mode), Ordering::Relaxed);
+    }
+
+    /// True in [`FlagMode::On`] and [`FlagMode::Strict`].
+    pub fn enabled(&self) -> bool {
+        self.mode() != FlagMode::Off
+    }
+
+    /// True only in [`FlagMode::Strict`].
+    pub fn strict(&self) -> bool {
+        self.mode() == FlagMode::Strict
+    }
+}
+
+fn encode(mode: FlagMode) -> u8 {
+    match mode {
+        FlagMode::Off => OFF,
+        FlagMode::On => ON,
+        FlagMode::Strict => STRICT,
+    }
+}
+
+/// The tape-auditor switch (`PACE_AUDIT`); see [`crate::analysis`].
+pub static AUDIT: EnvFlag = EnvFlag::new("PACE_AUDIT");
+
+/// The optimizing-pipeline switch (`PACE_OPT`); see [`crate::opt`].
+pub static OPT: EnvFlag = EnvFlag::new("PACE_OPT");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_covers_on_off_strict() {
+        assert_eq!(EnvFlag::parse("1"), FlagMode::On);
+        assert_eq!(EnvFlag::parse("true"), FlagMode::On);
+        assert_eq!(EnvFlag::parse("ON"), FlagMode::On);
+        assert_eq!(EnvFlag::parse("strict"), FlagMode::Strict);
+        assert_eq!(EnvFlag::parse("STRICT "), FlagMode::Strict);
+        assert_eq!(EnvFlag::parse("0"), FlagMode::Off);
+        assert_eq!(EnvFlag::parse(""), FlagMode::Off);
+        assert_eq!(EnvFlag::parse("yes?"), FlagMode::Off);
+    }
+
+    #[test]
+    fn set_overrides_and_sticks() {
+        static F: EnvFlag = EnvFlag::new("PACE_TEST_FLAG_NEVER_SET");
+        assert!(!F.enabled());
+        F.set(FlagMode::Strict);
+        assert!(F.enabled());
+        assert!(F.strict());
+        F.set(FlagMode::On);
+        assert!(F.enabled());
+        assert!(!F.strict());
+        F.set(FlagMode::Off);
+        assert!(!F.enabled());
+    }
+}

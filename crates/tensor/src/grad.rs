@@ -25,7 +25,7 @@ pub(crate) fn op_inputs(op: &Op) -> Vec<Var> {
         | Op::MulRow(a, b)
         | Op::MulCol(a, b) => vec![*a, *b],
         Op::Neg(a)
-        | Op::AddScalar(a)
+        | Op::AddScalar(a, _)
         | Op::MulScalar(a, _)
         | Op::PowScalar(a, _)
         | Op::Transpose(a)
@@ -182,7 +182,7 @@ impl Graph {
                 let ga = self.neg(g);
                 self.add_grad(grads, a, ga);
             }
-            Op::AddScalar(a) => self.add_grad(grads, a, g),
+            Op::AddScalar(a, _) => self.add_grad(grads, a, g),
             Op::MulScalar(a, c) => {
                 let ga = self.mul_scalar(g, c);
                 self.add_grad(grads, a, ga);

@@ -39,7 +39,7 @@ pub(crate) enum Op {
     Mul(Var, Var),
     Div(Var, Var),
     Neg(Var),
-    AddScalar(Var),
+    AddScalar(Var, f32),
     MulScalar(Var, f32),
     PowScalar(Var, f32),
     MatMul(Var, Var),
@@ -87,7 +87,7 @@ impl Op {
             Op::Mul(..) => "Mul",
             Op::Div(..) => "Div",
             Op::Neg(_) => "Neg",
-            Op::AddScalar(_) => "AddScalar",
+            Op::AddScalar(..) => "AddScalar",
             Op::MulScalar(..) => "MulScalar",
             Op::PowScalar(..) => "PowScalar",
             Op::MatMul(..) => "MatMul",
@@ -268,7 +268,7 @@ impl Graph {
     /// Adds a scalar constant to every element.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
         let v = self.nodes[a.0].value.map(|x| x + c);
-        self.push(Op::AddScalar(a), v)
+        self.push(Op::AddScalar(a, c), v)
     }
 
     /// Multiplies every element by a scalar constant.

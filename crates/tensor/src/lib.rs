@@ -13,7 +13,14 @@
 //!   parameters through a [`Binding`], allowing evaluation at parameters
 //!   that only exist inside a graph;
 //! * [`optim`] — SGD and Adam, plus gradient clipping;
-//! * [`check`] — finite-difference gradient checkers used by test suites.
+//! * [`check`] — finite-difference gradient checkers used by test suites;
+//! * [`analysis`] — the tape auditor (`PACE_AUDIT`): shape inference,
+//!   numerical-hazard scan, zero-gradient detection, double-backward closure;
+//! * [`dataflow`] / [`opt`] — compiler-style static analyses (use-def,
+//!   liveness, available expressions, cost model) and the verified
+//!   optimizing pass pipeline (`PACE_OPT`): constant folding, CSE, dead-node
+//!   elimination, liveness-driven buffer reuse, replay verification;
+//! * [`flags`] — the shared `0/1/strict` environment-flag grammar.
 //!
 //! # Example
 //!
@@ -36,11 +43,14 @@
 
 pub mod analysis;
 pub mod check;
+pub mod dataflow;
+pub mod flags;
 mod grad;
 mod graph;
 pub mod init;
 mod matrix;
 pub mod nn;
+pub mod opt;
 pub mod optim;
 mod param;
 pub mod serialize;

@@ -346,6 +346,16 @@ impl Matrix {
         }
     }
 
+    /// Reshapes this matrix in place to `rows×cols`, reusing the existing
+    /// allocation where possible. Element contents are unspecified afterwards;
+    /// callers must overwrite every element. Used by the optimized-tape
+    /// replay interpreter ([`crate::opt`]) to recycle arena buffers.
+    pub(crate) fn reset_shape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()

@@ -1,27 +1,56 @@
-//! Workspace lint gate: `cargo run -p xtask -- lint`.
+//! Workspace maintenance tasks: `cargo run -p xtask -- <lint|tape-report>`.
 //!
-//! Source-level checks the compiler cannot express, run in CI next to
-//! `cargo clippy`:
+//! # `lint` — source-level checks the compiler cannot express
+//!
+//! Run in CI next to `cargo clippy`:
 //!
 //! 1. **`Op` coverage** — every variant of the tape's `Op` enum
-//!    (`crates/tensor/src/graph.rs`) must be mentioned in both the VJP
-//!    dispatch (`grad.rs`) and the auditor (`analysis.rs`). A variant added
-//!    to the enum but forgotten in either file would otherwise surface as a
-//!    runtime panic (grad) or a silent audit gap (analysis); wildcard match
-//!    arms make the compiler's exhaustiveness check insufficient.
+//!    (`crates/tensor/src/graph.rs`) must be mentioned in the VJP dispatch
+//!    (`grad.rs`), the auditor (`analysis.rs`), the dataflow analyses —
+//!    structural hashing and the cost model — (`dataflow.rs`), and the
+//!    replay interpreter (`opt.rs`). A variant added to the enum but
+//!    forgotten in any of them would otherwise surface as a runtime panic
+//!    (grad, replay) or a silent analysis gap; wildcard match arms make the
+//!    compiler's exhaustiveness check insufficient.
 //! 2. **No `unwrap()` in library code** — panics in the library crates must
 //!    carry context (`expect`) or be handled; bare `.unwrap()` is allowed
 //!    only under `#[cfg(test)]`, in `tests/`, benches, and this xtask.
+//!
+//! # `tape-report` — static statistics of the real tapes
+//!
+//! Builds each tape the `PACE_OPT` choke points see — a CE training step, a
+//! surrogate imitation step, and the attack hypergradient at `K = 1` and
+//! `K = 4` unrolled virtual updates — runs the full pass pipeline
+//! ([`pace_tensor::opt`]), verifies the optimized replay against eager
+//! execution, and prints the per-context report: node/FLOP/peak-live-byte
+//! counts before and after, per-pass removal counts, and the op histogram.
 
+use pace_ce::{
+    q_error_between, q_error_loss, rows_to_matrix, CeConfig, CeModel, CeModelType, EncodedWorkload,
+};
+use pace_core::attack::build_hypergradient_tape;
+use pace_data::{build, DatasetKind, Scale};
+use pace_engine::Executor;
+use pace_tensor::{Graph, Matrix, Var};
+use pace_workload::{generate_queries, QueryEncoder, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mode = std::env::args().nth(1).unwrap_or_default();
-    if mode != "lint" {
-        eprintln!("usage: cargo run -p xtask -- lint");
-        return ExitCode::FAILURE;
+    match mode.as_str() {
+        "lint" => lint(),
+        "tape-report" => tape_report(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- <lint|tape-report>");
+            ExitCode::FAILURE
+        }
     }
+}
+
+fn lint() -> ExitCode {
     let root = workspace_root();
     let mut failures = Vec::new();
     check_op_coverage(&root, &mut failures);
@@ -37,6 +66,106 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     }
 }
+
+// ---- tape-report ------------------------------------------------------------
+
+/// Optimizes and verifies one tape, printing the static report. Returns
+/// whether the optimized replay matched eager execution.
+fn report_tape(g: &Graph, outputs: &[Var], inputs: &[Var], context: &str) -> bool {
+    let plan = pace_tensor::opt::optimize(g, outputs, inputs, context);
+    print!("{}", plan.stats().render());
+    match plan.verify(g, pace_tensor::opt::VERIFY_TOL) {
+        Ok(()) => {
+            println!(
+                "   replay: VERIFIED against eager execution (tol {})\n",
+                pace_tensor::opt::VERIFY_TOL
+            );
+            true
+        }
+        Err(e) => {
+            println!("   replay: MISMATCH — {e}\n");
+            false
+        }
+    }
+}
+
+fn tape_report() -> ExitCode {
+    println!("tape-report: building quick TPC-H dataset + labeled workload...");
+    let ds = build(DatasetKind::Tpch, Scale::quick(), 2);
+    let exec = Executor::new(&ds);
+    let mut rng = StdRng::seed_from_u64(42);
+    let spec = WorkloadSpec::default();
+    let labeled = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 96));
+    let encoder = QueryEncoder::new(&ds);
+    let data = EncodedWorkload::from_workload(&encoder, &labeled);
+    let model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 6);
+    println!(
+        "tape-report: {} queries, {} model parameters\n",
+        data.enc.len(),
+        model.params().num_scalars()
+    );
+    let mut all_ok = true;
+
+    // One CE training step: forward + Q-error loss + parameter gradients —
+    // the tape `ce::step_adam` / `ce::update` build every iteration.
+    {
+        let mut g = Graph::new();
+        let bind = model.params().bind(&mut g);
+        let x = g.leaf(rows_to_matrix(&data.enc));
+        let out = model.forward(&mut g, &bind, x);
+        let loss = q_error_loss(&mut g, out, &data.ln_card, model.ln_max());
+        let grads = g.grad(loss, bind.vars());
+        let mut outputs = vec![loss];
+        outputs.extend(&grads);
+        all_ok &= report_tape(&g, &outputs, bind.vars(), "ce::train_step");
+    }
+
+    // One surrogate imitation step: Q-error against black-box estimates.
+    {
+        let mut g = Graph::new();
+        let bind = model.params().bind(&mut g);
+        let x = g.leaf(rows_to_matrix(&data.enc));
+        let out = model.forward(&mut g, &bind, x);
+        let bb: Vec<f32> = data.ln_card.iter().map(|&v| v / model.ln_max()).collect();
+        let bb_leaf = g.leaf(Matrix::from_vec(bb.len(), 1, bb));
+        let loss = q_error_between(&mut g, out, bb_leaf, model.ln_max());
+        let grads = g.grad(loss, bind.vars());
+        let mut outputs = vec![loss];
+        outputs.extend(&grads);
+        all_ok &= report_tape(&g, &outputs, bind.vars(), "surrogate::imitate");
+    }
+
+    // The attack hypergradient: objective + ∂objective/∂(poison batch)
+    // through K unrolled virtual SGD updates (paper Eq. 9–10).
+    let half = data.enc.len() / 2;
+    for steps in [1usize, 4] {
+        let (g, outputs, inputs) = build_hypergradient_tape(
+            &model,
+            &data.enc[..half.min(32)],
+            &data.ln_card[..half.min(32)],
+            &data.enc[half..half + half.min(32)],
+            &data.ln_card[half..half + half.min(32)],
+            steps,
+            1e-2,
+        );
+        all_ok &= report_tape(
+            &g,
+            &outputs,
+            &inputs,
+            &format!("attack::hypergradient K={steps}"),
+        );
+    }
+
+    if all_ok {
+        println!("tape-report: all optimized replays verified");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("tape-report: at least one optimized replay diverged");
+        ExitCode::FAILURE
+    }
+}
+
+// ---- lint -------------------------------------------------------------------
 
 /// The workspace root: this binary's manifest lives at `crates/xtask`.
 fn workspace_root() -> PathBuf {
@@ -114,6 +243,16 @@ fn op_variants(graph_src: &str) -> Vec<String> {
     variants
 }
 
+/// Files that must mention every `Op` variant: the VJP dispatch, the
+/// auditor's shape/closure tables, the dataflow analyses (structural hash +
+/// cost model), and the optimizer's replay interpreter.
+const OP_COVERAGE_FILES: [&str; 4] = [
+    "crates/tensor/src/grad.rs",
+    "crates/tensor/src/analysis.rs",
+    "crates/tensor/src/dataflow.rs",
+    "crates/tensor/src/opt.rs",
+];
+
 fn check_op_coverage(root: &Path, failures: &mut Vec<String>) {
     let graph_src = read(root, "crates/tensor/src/graph.rs");
     let variants = op_variants(&graph_src);
@@ -125,7 +264,7 @@ fn check_op_coverage(root: &Path, failures: &mut Vec<String>) {
         ));
         return;
     }
-    for rel in ["crates/tensor/src/grad.rs", "crates/tensor/src/analysis.rs"] {
+    for rel in OP_COVERAGE_FILES {
         let src = read(root, rel);
         for v in &variants {
             let mentioned = src.contains(&format!("Op::{v}(")) // pattern with operands
@@ -261,5 +400,13 @@ mod tests {
         check_op_coverage(&root, &mut failures);
         check_no_unwrap(&root, &mut failures);
         assert!(failures.is_empty(), "{failures:#?}");
+    }
+
+    #[test]
+    fn op_coverage_spans_the_analysis_stack() {
+        // The coverage list must include the new dataflow + opt modules so a
+        // future Op variant cannot silently skip the analyses.
+        assert!(OP_COVERAGE_FILES.contains(&"crates/tensor/src/dataflow.rs"));
+        assert!(OP_COVERAGE_FILES.contains(&"crates/tensor/src/opt.rs"));
     }
 }

@@ -5,8 +5,44 @@
 //! `cargo bench` to run the workspace's benchmarks and print per-benchmark
 //! mean wall-clock times. No statistical analysis, warm-up control, plots,
 //! or HTML reports.
+//!
+//! One extension over upstream: when the `CRITERION_JSON` environment
+//! variable names a file, every completed benchmark rewrites it with a JSON
+//! array of `{"id", "mean_us", "iters"}` objects accumulated so far — CI
+//! uses this to publish benchmark numbers as build artifacts.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+static JSON_RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+
+/// Records one result and, when `CRITERION_JSON` is set, rewrites the whole
+/// accumulated array so the file is valid JSON after every benchmark.
+fn record_json(id: &str, mean_us: f64, iters: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let mut results = JSON_RESULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    results.push((id.to_string(), mean_us, iters));
+    let mut out = String::from("[\n");
+    for (i, (id, mean, iters)) in results.iter().enumerate() {
+        let escaped: String = id
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "  {{\"id\": \"{escaped}\", \"mean_us\": {mean:.3}, \"iters\": {iters}}}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    let _ = std::fs::write(&path, out);
+}
 
 /// How per-iteration inputs are batched (accepted, ignored).
 #[derive(Clone, Copy, Debug)]
@@ -84,6 +120,7 @@ impl Criterion {
             mean * 1e6,
             b.iterations
         );
+        record_json(id, mean * 1e6, b.iterations);
         self
     }
 }
