@@ -130,7 +130,7 @@ fn bench_models(c: &mut Criterion) {
         b.iter_batched(
             || CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 7),
             |mut m| {
-                m.update(&data);
+                m.update(&data).expect("update converges");
                 black_box(m.params().num_scalars())
             },
             BatchSize::SmallInput,

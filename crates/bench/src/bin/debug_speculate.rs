@@ -18,7 +18,7 @@ fn main() {
                 seed: 0xdeb5,
                 ..scale.pipeline.speculation.clone()
             };
-            let result = speculate_model_type(&victim, &k, &cfg);
+            let result = speculate_model_type(&victim, &k, &cfg).expect("speculation completes");
             print!("bb={:<9} -> {:<9} |", ty.name(), result.speculated.name());
             for (cty, sim) in &result.similarities {
                 print!(" {} {:+.3}", cty.name(), sim);

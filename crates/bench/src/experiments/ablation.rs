@@ -24,7 +24,7 @@ fn attack_once(
     let mut cfg = scale.pipeline.clone();
     cfg.surrogate_type = Some(ty);
     mutate(&mut cfg);
-    run_attack(&mut victim, method, &ctx.test, &k, &cfg)
+    run_attack(&mut victim, method, &ctx.test, &k, &cfg).expect("attack campaign completes")
 }
 
 /// Figure 12: PACE-basic vs PACE-optimized — attack effectiveness and

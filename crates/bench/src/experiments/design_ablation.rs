@@ -51,7 +51,8 @@ pub fn design_ablation(scale: &ExpScale) {
                     cfg.surrogate_type = Some(CeModelType::Fcn);
                     cfg.attack.seed = seed;
                     mutate(&mut cfg);
-                    let o = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
+                    let o = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
+                        .expect("attack campaign completes");
                     mult += o.qerror_multiple();
                     div += o.divergence;
                 }

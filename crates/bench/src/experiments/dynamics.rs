@@ -42,14 +42,17 @@ pub fn fig14(scale: &ExpScale) {
                     if chunk.is_empty() {
                         break;
                     }
-                    model.train(&chunk, &mut rng);
+                    model
+                        .train(&chunk, &mut rng)
+                        .expect("incremental training converges");
                     // Attack a copy of the current model state.
                     let snapshot = model.params().snapshot();
                     let mut victim = ctx.victim(clone_model(&ctx, &model, &scale));
                     let mut cfg = scale.pipeline.clone();
                     cfg.surrogate_type = Some(CeModelType::Fcn);
                     cfg.attack.seed ^= round as u64;
-                    let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
+                    let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
+                        .expect("attack campaign completes");
                     multiples.push(outcome.qerror_multiple());
                     model.params_mut().restore(&snapshot);
                 }
@@ -105,7 +108,8 @@ pub fn fig15(scale: &ExpScale) {
                 let k = ctx.knowledge();
                 let mut cfg = scale.pipeline.clone();
                 cfg.surrogate_type = Some(CeModelType::Fcn);
-                let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
+                let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
+                    .expect("attack campaign completes");
                 rows.lock()
                     .expect("f15 mutex")
                     .push((kind, outcome.objective_curve));

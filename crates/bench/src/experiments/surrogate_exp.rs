@@ -42,7 +42,8 @@ pub fn table6(scale: &ExpScale) {
                             seed,
                             ..scale.pipeline.speculation.clone()
                         };
-                        let result = speculate_model_type(&victim, &k, &spec_cfg);
+                        let result = speculate_model_type(&victim, &k, &spec_cfg)
+                            .expect("speculation completes");
                         if result.speculated == ty {
                             correct += 1;
                         }
@@ -105,7 +106,8 @@ pub fn table7(scale: &ExpScale) {
                     victim.model_mut().params_mut().restore(&snapshot);
                     let mut cfg = scale.pipeline.clone();
                     cfg.surrogate_type = Some(surrogate_ty);
-                    let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
+                    let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
+                        .expect("attack campaign completes");
                     local.push((victim_ty, surrogate_ty, outcome.qerror_multiple()));
                 }
                 results.lock().expect("t7 mutex").extend(local);
@@ -200,7 +202,8 @@ pub fn fig10(scale: &ExpScale) {
                     let mut cfg = scale.pipeline.clone();
                     cfg.surrogate_type = Some(ty);
                     cfg.surrogate.strategy = *strategy;
-                    let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
+                    let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
+                        .expect("attack campaign completes");
                     by_strategy[i] = outcome.poisoned.mean;
                     clean = outcome.clean.mean;
                 }
@@ -241,7 +244,9 @@ pub fn fig11(scale: &ExpScale) {
         let mut cfg = scale.pipeline.clone();
         cfg.surrogate_type = Some(CeModelType::Fcn);
         // The surrogate keeps the attacker's default hyperparameters.
-        run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg).qerror_multiple()
+        run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
+            .expect("attack campaign completes")
+            .qerror_multiple()
     };
 
     let layer_grid: Vec<usize> = vec![1, 2, 3, 4];

@@ -47,7 +47,8 @@ pub fn learned_vs_traditional(scale: &ExpScale) {
                 let k = ctx.knowledge();
                 let mut cfg = scale.pipeline.clone();
                 cfg.surrogate_type = Some(CeModelType::Fcn);
-                let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg);
+                let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
+                    .expect("attack campaign completes");
                 rows.lock().expect("lvt mutex").push((
                     kind,
                     clean_q,

@@ -80,7 +80,8 @@ pub fn run_cell(
         .iter()
         .map(|&method| {
             victim.model_mut().params_mut().restore(&snapshot);
-            let outcome = run_attack(&mut victim, method, &ctx.test, &k, &cfg);
+            let outcome = run_attack(&mut victim, method, &ctx.test, &k, &cfg)
+                .expect("attack campaign completes");
             CellResult {
                 dataset: kind,
                 model: ty,

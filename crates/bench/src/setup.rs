@@ -150,7 +150,9 @@ impl Ctx {
         let data = EncodedWorkload::from_workload(&QueryEncoder::new(&self.ds), &self.train);
         let mut model = CeModel::new(ty, &self.ds, ce, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7ea);
-        model.train(&data, &mut rng);
+        model
+            .train(&data, &mut rng)
+            .expect("victim training converges");
         model
     }
 

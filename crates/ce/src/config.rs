@@ -30,6 +30,18 @@ pub struct CeConfig {
     /// (the mechanism poisoning exploits), so updates must be able to move
     /// the parameters.
     pub update_clip: f32,
+    /// Training takes a rollback checkpoint (params + Adam state + RNG
+    /// state) at the first epoch boundary after this many optimizer steps.
+    pub checkpoint_every: usize,
+    /// Divergence guard band: a per-batch loss above this value triggers a
+    /// rollback. The default (`+∞`) leaves loss spikes to best-epoch restore
+    /// and only treats *non-finite* losses as divergence, so recovery can
+    /// never perturb a healthy run.
+    pub guard_band: f32,
+    /// How many rollback recoveries (each halving the learning rate) a
+    /// training or update run may consume before giving up with
+    /// [`crate::TrainError::Diverged`].
+    pub max_rollbacks: u32,
 }
 
 impl Default for CeConfig {
@@ -44,6 +56,9 @@ impl Default for CeConfig {
             update_iters: 10,
             clip_norm: 5.0,
             update_clip: 20.0,
+            checkpoint_every: 25,
+            guard_band: f32::INFINITY,
+            max_rollbacks: 3,
         }
     }
 }

@@ -1,0 +1,36 @@
+//! Typed training failures.
+//!
+//! Training a CE model is part of a long-running campaign against a remote
+//! victim; a bad batch must surface as a value the campaign runtime can act
+//! on (retry, roll back, resume), not as a panic that loses hours of probe
+//! budget.
+
+use std::fmt;
+
+/// Why a training or incremental-update run could not produce a model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrainError {
+    /// The training workload contained no queries.
+    EmptyWorkload,
+    /// Optimization kept diverging (non-finite loss or a loss past the
+    /// configured guard band) after exhausting every rollback recovery.
+    Diverged {
+        /// Rollback recoveries consumed before giving up (each one restored
+        /// the last good checkpoint and halved the learning rate).
+        rollbacks: u32,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::EmptyWorkload => write!(f, "training workload is empty"),
+            TrainError::Diverged { rollbacks } => write!(
+                f,
+                "optimization diverged and stayed divergent after {rollbacks} rollback(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}

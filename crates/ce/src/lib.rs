@@ -25,7 +25,7 @@
 //! let queries = generate_queries(&ds, &WorkloadSpec::single_table(), &mut rng, 64);
 //! let train = EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &exec.label_nonzero(queries));
 //! let mut model = CeModel::new(CeModelType::Linear, &ds, CeConfig::quick(), 3);
-//! model.train(&train, &mut rng);
+//! model.train(&train, &mut rng).expect("training converges");
 //! let qerrs = model.evaluate(&train);
 //! assert!(qerrs.iter().all(|&q| q >= 1.0));
 //! ```
@@ -33,9 +33,11 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
 mod loss;
 mod model;
 
 pub use config::CeConfig;
+pub use error::TrainError;
 pub use loss::{capped_q_error, q_error_between, q_error_loss, QERR_CAP};
 pub use model::{rows_to_matrix, CeModel, CeModelType, EncodedWorkload};

@@ -17,11 +17,13 @@
 //! | `Lstm`    | same sequence through an LSTM cell |
 
 use crate::config::CeConfig;
+use crate::error::TrainError;
 use crate::loss::q_error_loss;
 use pace_data::Dataset;
 use pace_engine::CardEstimator;
+use pace_tensor::fault;
 use pace_tensor::nn::{Activation, Dense, LstmCell, Mlp, RnnCell};
-use pace_tensor::optim::{clip_global_norm, sanitize, Adam, Optimizer, Sgd};
+use pace_tensor::optim::{clip_global_norm, sanitize, Adam, AdamState, Optimizer, Sgd};
 use pace_tensor::{Binding, Graph, Matrix, ParamStore, Var};
 use pace_workload::{Query, QueryEncoder, Workload};
 use rand::rngs::StdRng;
@@ -162,6 +164,54 @@ impl EncodedWorkload {
 
 /// A recurrent cell step: `(graph, binding, input, state) → state'`.
 type StepFn<'a> = &'a dyn Fn(&mut Graph, &Binding, Var, &[Var]) -> Vec<Var>;
+
+/// Everything [`CeModel::train`] must restore to resume from a known-good
+/// point: parameters, Adam state, the RNG mid-stream state, and the
+/// best-epoch bookkeeping, pinned to an epoch index.
+struct RollbackPoint {
+    epoch: usize,
+    params: Vec<Matrix>,
+    adam: AdamState,
+    rng: [u64; 4],
+    best_loss: f32,
+    best_params: Option<Vec<Matrix>>,
+}
+
+impl RollbackPoint {
+    fn capture(
+        model: &CeModel,
+        rng: &StdRng,
+        epoch: usize,
+        best_loss: f32,
+        best_params: &Option<Vec<Matrix>>,
+    ) -> Self {
+        Self {
+            epoch,
+            params: model.params.snapshot(),
+            adam: model.adam.export_state(),
+            rng: rng.state(),
+            best_loss,
+            best_params: best_params.clone(),
+        }
+    }
+
+    /// Restores the captured state into `model`/`rng` and returns the epoch
+    /// to resume from.
+    fn restore(
+        &self,
+        model: &mut CeModel,
+        rng: &mut StdRng,
+        best_loss: &mut f32,
+        best_params: &mut Option<Vec<Matrix>>,
+    ) -> usize {
+        model.params.restore(&self.params);
+        model.adam.import_state(self.adam.clone());
+        *rng = StdRng::from_state(self.rng);
+        *best_loss = self.best_loss;
+        *best_params = self.best_params.clone();
+        self.epoch
+    }
+}
 
 /// Stacks encoded rows into an `n×dim` matrix.
 pub fn rows_to_matrix(rows: &[Vec<f32>]) -> Matrix {
@@ -609,30 +659,86 @@ impl CeModel {
     /// of the best epoch (the exponential Q-error loss can spike late in
     /// training; best-epoch restore makes victim quality robust to that).
     /// Returns the best epoch's mean loss.
-    pub fn train(&mut self, data: &EncodedWorkload, rng: &mut StdRng) -> f32 {
-        assert!(!data.is_empty(), "training on an empty workload");
+    ///
+    /// Training is self-healing: at the first epoch boundary after every
+    /// `config.checkpoint_every` optimizer steps it snapshots params, Adam
+    /// state, and the RNG state, and when a step diverges (non-finite loss,
+    /// or loss past `config.guard_band`) it rolls the whole triple back to
+    /// the last good checkpoint with a halved learning rate instead of
+    /// carrying NaN parameters to completion. When no divergence occurs the
+    /// trajectory is bit-identical to a build without this machinery —
+    /// checkpoints only read state.
+    ///
+    /// # Errors
+    /// [`TrainError::EmptyWorkload`] on an empty workload;
+    /// [`TrainError::Diverged`] when `config.max_rollbacks` recoveries were
+    /// not enough to finish training with finite parameters.
+    pub fn train(&mut self, data: &EncodedWorkload, rng: &mut StdRng) -> Result<f32, TrainError> {
+        if data.is_empty() {
+            return Err(TrainError::EmptyWorkload);
+        }
         let mut best_loss = f32::MAX;
         let mut best_params: Option<Vec<Matrix>> = None;
         let mut idx: Vec<usize> = (0..data.len()).collect();
-        for _ in 0..self.config.epochs {
+        let mut ckpt = RollbackPoint::capture(self, rng, 0, best_loss, &best_params);
+        let mut steps_since_ckpt = 0usize;
+        let mut rollbacks = 0u32;
+        let mut epoch = 0usize;
+        while epoch < self.config.epochs {
+            if steps_since_ckpt >= self.config.checkpoint_every && self.params_finite() {
+                ckpt = RollbackPoint::capture(self, rng, epoch, best_loss, &best_params);
+                steps_since_ckpt = 0;
+            }
             idx.shuffle(rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0;
+            let mut diverged = false;
             for chunk in idx.chunks(self.config.batch_size) {
                 let batch = data.subset(chunk);
-                epoch_loss += self.step_adam(&batch);
+                let value = self.step_adam(&batch);
+                steps_since_ckpt += 1;
+                // The capped loss drops NaN through IEEE min/max, so a
+                // poisoned step can report a finite loss — parameter
+                // finiteness is the authoritative divergence signal.
+                if !value.is_finite() || value > self.config.guard_band || !self.params_finite() {
+                    diverged = true;
+                    break;
+                }
+                epoch_loss += value;
                 batches += 1;
+            }
+            if diverged {
+                if rollbacks >= self.config.max_rollbacks {
+                    return Err(TrainError::Diverged { rollbacks });
+                }
+                rollbacks += 1;
+                epoch = ckpt.restore(self, rng, &mut best_loss, &mut best_params);
+                self.adam.set_learning_rate(self.adam.learning_rate() * 0.5);
+                steps_since_ckpt = 0;
+                continue;
             }
             let epoch_loss = epoch_loss / batches as f32;
             if epoch_loss < best_loss {
                 best_loss = epoch_loss;
                 best_params = Some(self.params.snapshot());
             }
+            epoch += 1;
         }
         if let Some(best) = best_params {
             self.params.restore(&best);
         }
-        best_loss
+        if !self.params_finite() {
+            return Err(TrainError::Diverged { rollbacks });
+        }
+        Ok(best_loss)
+    }
+
+    /// True when every parameter value is finite — the invariant rollback
+    /// recovery maintains and checkpoints require.
+    pub fn params_finite(&self) -> bool {
+        self.params
+            .iter()
+            .all(|(_, m)| m.data().iter().all(|x| x.is_finite()))
     }
 
     fn step_adam(&mut self, batch: &EncodedWorkload) -> f32 {
@@ -650,6 +756,10 @@ impl CeModel {
         let mut grads: Vec<Matrix> = grad_vars.iter().map(|&v| g.value(v).clone()).collect();
         sanitize(&mut grads);
         clip_global_norm(&mut grads, self.config.clip_norm);
+        // Chaos hook, after sanitize/clip so the injected NaN reaches the
+        // optimizer and exercises the divergence-rollback path (sanitize
+        // would otherwise zero it out).
+        fault::poison_grads("ce-train", &mut grads);
         self.adam.step(&mut self.params, &grads);
         value
     }
@@ -676,27 +786,113 @@ impl CeModel {
         pace_tensor::serialize::read_params(&mut self.params, &mut f)
     }
 
+    /// Saves a full training checkpoint — parameters, Adam state, and the
+    /// caller's RNG state — in the checksummed `PACECKP2` format, so a
+    /// killed run can resume bit-identically via
+    /// [`CeModel::load_checkpoint`]. The file is written to a sibling
+    /// temporary path and renamed into place, so a crash mid-write leaves
+    /// either the old checkpoint or the new one, never a torn file.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn save_checkpoint(
+        &self,
+        rng: &StdRng,
+        step: u64,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        let extras = pace_tensor::serialize::Checkpoint {
+            step,
+            adam: Some(self.adam.export_state()),
+            rng: rng.state(),
+        };
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            pace_tensor::serialize::write_checkpoint(&self.params, &extras, &mut f)?;
+            use std::io::Write as _;
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Restores a checkpoint saved by [`CeModel::save_checkpoint`] into this
+    /// model, returning the RNG (rebuilt mid-stream) and the step count.
+    ///
+    /// # Errors
+    /// Fails with `InvalidData` when the file is corrupt or does not match
+    /// this model's architecture.
+    pub fn load_checkpoint(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<(StdRng, u64)> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let extras = pace_tensor::serialize::read_checkpoint(&mut self.params, &mut f)?;
+        if let Some(adam) = extras.adam {
+            self.adam.import_state(adam);
+        }
+        Ok((StdRng::from_state(extras.rng), extras.step))
+    }
+
     /// Incremental update on newly arrived queries: `update_iters` full-batch
     /// SGD steps at `update_lr` — exactly the update process the attack
     /// differentiates through (paper Eq. 9).
-    pub fn update(&mut self, data: &EncodedWorkload) {
-        assert!(!data.is_empty(), "update with an empty workload");
-        let mut sgd = Sgd::new(self.config.update_lr);
-        for _ in 0..self.config.update_iters {
-            let mut g = Graph::new();
-            let bind = self.params.bind(&mut g);
-            let x = g.leaf(rows_to_matrix(&data.enc));
-            let out = self.forward(&mut g, &bind, x);
-            let loss = q_error_loss(&mut g, out, &data.ln_card, self.ln_max);
-            pace_tensor::analysis::audit_if_enabled(&g, loss, bind.vars(), "ce::update");
-            let grad_vars = g.grad(loss, bind.vars());
-            let mut opt_outputs = vec![loss];
-            opt_outputs.extend(&grad_vars);
-            pace_tensor::opt::optimize_if_enabled(&g, &opt_outputs, bind.vars(), "ce::update");
-            let mut grads: Vec<Matrix> = grad_vars.iter().map(|&v| g.value(v).clone()).collect();
-            sanitize(&mut grads);
-            clip_global_norm(&mut grads, self.config.update_clip);
-            sgd.step(&mut self.params, &grads);
+    ///
+    /// Like [`CeModel::train`], the update is self-healing: the parameters
+    /// are snapshotted on entry, and an attempt that ends with non-finite
+    /// parameters (or hits a non-finite loss mid-way) is rolled back and
+    /// retried at half the step size, up to `config.max_rollbacks` times.
+    ///
+    /// # Errors
+    /// [`TrainError::EmptyWorkload`] on an empty workload;
+    /// [`TrainError::Diverged`] when every retry diverged.
+    pub fn update(&mut self, data: &EncodedWorkload) -> Result<(), TrainError> {
+        if data.is_empty() {
+            return Err(TrainError::EmptyWorkload);
+        }
+        let entry = self.params.snapshot();
+        let mut lr = self.config.update_lr;
+        let mut rollbacks = 0u32;
+        loop {
+            let mut sgd = Sgd::new(lr);
+            let mut diverged = false;
+            for _ in 0..self.config.update_iters {
+                let mut g = Graph::new();
+                let bind = self.params.bind(&mut g);
+                let x = g.leaf(rows_to_matrix(&data.enc));
+                let out = self.forward(&mut g, &bind, x);
+                let loss = q_error_loss(&mut g, out, &data.ln_card, self.ln_max);
+                pace_tensor::analysis::audit_if_enabled(&g, loss, bind.vars(), "ce::update");
+                if !g.value(loss).as_scalar().is_finite() {
+                    diverged = true;
+                    break;
+                }
+                let grad_vars = g.grad(loss, bind.vars());
+                let mut opt_outputs = vec![loss];
+                opt_outputs.extend(&grad_vars);
+                pace_tensor::opt::optimize_if_enabled(&g, &opt_outputs, bind.vars(), "ce::update");
+                let mut grads: Vec<Matrix> =
+                    grad_vars.iter().map(|&v| g.value(v).clone()).collect();
+                sanitize(&mut grads);
+                clip_global_norm(&mut grads, self.config.update_clip);
+                fault::poison_grads("ce-update", &mut grads);
+                sgd.step(&mut self.params, &grads);
+                if !self.params_finite() {
+                    diverged = true;
+                    break;
+                }
+            }
+            if !diverged && self.params_finite() {
+                return Ok(());
+            }
+            if rollbacks >= self.config.max_rollbacks {
+                self.params.restore(&entry);
+                return Err(TrainError::Diverged { rollbacks });
+            }
+            rollbacks += 1;
+            lr *= 0.5;
+            self.params.restore(&entry);
         }
     }
 }

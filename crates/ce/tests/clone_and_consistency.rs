@@ -20,7 +20,7 @@ fn trained_model() -> (pace_data::Dataset, CeModel, EncodedWorkload) {
     ));
     let data = EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &train);
     let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 53);
-    model.train(&data, &mut rng);
+    model.train(&data, &mut rng).expect("train");
     (ds, model, data)
 }
 
@@ -32,7 +32,8 @@ fn clone_is_deep_for_parameters() {
     copy.update(&EncodedWorkload {
         enc: data.enc[..10].to_vec(),
         ln_card: vec![0.0; 10],
-    });
+    })
+    .expect("update");
     let after_original: Vec<f64> = model.estimate_encoded_batch(&data.enc[..10]);
     let after_copy: Vec<f64> = copy.estimate_encoded_batch(&data.enc[..10]);
     assert_eq!(
@@ -60,10 +61,12 @@ fn snapshot_restore_roundtrips_estimates() {
     let (_, mut model, data) = trained_model();
     let before = model.estimate_encoded_batch(&data.enc[..5]);
     let snap = model.params().snapshot();
-    model.update(&EncodedWorkload {
-        enc: data.enc[..5].to_vec(),
-        ln_card: vec![0.0; 5],
-    });
+    model
+        .update(&EncodedWorkload {
+            enc: data.enc[..5].to_vec(),
+            ln_card: vec![0.0; 5],
+        })
+        .expect("update");
     assert_ne!(before, model.estimate_encoded_batch(&data.enc[..5]));
     model.params_mut().restore(&snap);
     assert_eq!(before, model.estimate_encoded_batch(&data.enc[..5]));

@@ -54,7 +54,7 @@ fn training_reduces_q_error_for_every_model() {
         let mut model = CeModel::new(ty, &ds, CeConfig::quick(), 11);
         let before = QErrorSummary::from_samples(&model.evaluate(&data)).mean;
         let mut rng = StdRng::seed_from_u64(13);
-        model.train(&data, &mut rng);
+        model.train(&data, &mut rng).expect("train");
         let after = QErrorSummary::from_samples(&model.evaluate(&data)).mean;
         assert!(
             after < before,
@@ -71,7 +71,7 @@ fn multi_join_models_train_on_tpch() {
         let mut model = CeModel::new(ty, &ds, CeConfig::quick(), 17);
         let before = QErrorSummary::from_samples(&model.evaluate(&data)).mean;
         let mut rng = StdRng::seed_from_u64(19);
-        model.train(&data, &mut rng);
+        model.train(&data, &mut rng).expect("train");
         let after = QErrorSummary::from_samples(&model.evaluate(&data)).mean;
         assert!(after < before, "{}: {before} -> {after}", ty.name());
     }
@@ -103,7 +103,7 @@ fn update_moves_predictions_toward_new_labels() {
     let (ds, data) = training_data(DatasetKind::Dmv, 200, 6);
     let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 37);
     let mut rng = StdRng::seed_from_u64(41);
-    model.train(&data, &mut rng);
+    model.train(&data, &mut rng).expect("train");
 
     // Build an adversarial update set: same queries, labels forced to 1.
     let poison = EncodedWorkload {
@@ -111,7 +111,7 @@ fn update_moves_predictions_toward_new_labels() {
         ln_card: vec![0.0; 50.min(data.len())],
     };
     let before: f64 = model.estimate_encoded_batch(&poison.enc).iter().sum();
-    model.update(&poison);
+    model.update(&poison).expect("update");
     let after: f64 = model.estimate_encoded_batch(&poison.enc).iter().sum();
     assert!(
         after < before,
@@ -173,7 +173,7 @@ fn models_distinguish_small_from_large_ranges_after_training() {
     let labeled = exec.label_nonzero(queries);
     let data = EncodedWorkload::from_workload(&enc, &labeled);
     let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 59);
-    model.train(&data, &mut rng);
+    model.train(&data, &mut rng).expect("train");
 
     // Full-table query must be estimated (much) larger than a tight one.
     let full = pace_workload::Query::new(vec![0], vec![]);

@@ -1,0 +1,263 @@
+//! Recovery-path tests: injected NaN gradients, rollback/retry, typed
+//! training errors, checkpoint persistence, and the bit-identity guarantee
+//! of the checkpoint machinery when no fault fires.
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload, TrainError};
+use pace_data::{build, DatasetKind, Scale};
+use pace_engine::Executor;
+use pace_tensor::fault::{self, FaultSpec};
+use pace_workload::{generate_queries, QueryEncoder, WorkloadSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// The fault injector is process-global; tests that install specs (and tests
+/// that require none) must not interleave.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    match FAULT_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn quick_config() -> CeConfig {
+    CeConfig {
+        epochs: 6,
+        batch_size: 16,
+        checkpoint_every: 8,
+        ..CeConfig::quick()
+    }
+}
+
+fn training_data(n: usize, seed: u64) -> (pace_data::Dataset, EncodedWorkload) {
+    let ds = build(DatasetKind::Dmv, Scale::tiny(), seed);
+    let exec = Executor::new(&ds);
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    let queries = generate_queries(&ds, &WorkloadSpec::single_table(), &mut rng, n);
+    let labeled = exec.label_nonzero(queries);
+    let data = EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &labeled);
+    (ds, data)
+}
+
+#[test]
+fn empty_workload_is_a_typed_error() {
+    let _g = lock();
+    fault::install(None);
+    let (ds, _) = training_data(8, 1);
+    let mut model = CeModel::new(CeModelType::Linear, &ds, quick_config(), 7);
+    let mut rng = StdRng::seed_from_u64(2);
+    assert_eq!(
+        model.train(&EncodedWorkload::default(), &mut rng),
+        Err(TrainError::EmptyWorkload)
+    );
+    assert_eq!(
+        model.update(&EncodedWorkload::default()),
+        Err(TrainError::EmptyWorkload)
+    );
+}
+
+#[test]
+fn nan_grad_fault_rolls_back_and_training_recovers() {
+    let _g = lock();
+    fault::install(Some(
+        FaultSpec::parse("nan,at=3,site=ce-train").expect("spec"),
+    ));
+    let (ds, data) = training_data(120, 3);
+    let mut model = CeModel::new(CeModelType::Linear, &ds, quick_config(), 11);
+    let mut rng = StdRng::seed_from_u64(13);
+    let loss = model.train(&data, &mut rng);
+    fault::install(None);
+    let loss = loss.expect("one injected NaN step must be survivable");
+    assert!(loss.is_finite());
+    assert!(model.params_finite(), "rollback left non-finite parameters");
+    assert!(model
+        .estimate_encoded_batch(&data.enc)
+        .iter()
+        .all(|e| e.is_finite()));
+}
+
+#[test]
+fn persistent_nan_grads_exhaust_rollbacks_into_typed_error() {
+    let _g = lock();
+    fault::install(Some(
+        FaultSpec::parse("nan,every=1,site=ce-train").expect("spec"),
+    ));
+    let (ds, data) = training_data(60, 5);
+    let mut model = CeModel::new(CeModelType::Linear, &ds, quick_config(), 17);
+    let mut rng = StdRng::seed_from_u64(19);
+    let result = model.train(&data, &mut rng);
+    fault::install(None);
+    match result {
+        Err(TrainError::Diverged { rollbacks }) => {
+            assert_eq!(rollbacks, quick_config().max_rollbacks);
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+}
+
+#[test]
+fn nan_grad_fault_in_update_retries_to_success() {
+    let _g = lock();
+    fault::install(None);
+    let (ds, data) = training_data(80, 7);
+    let mut model = CeModel::new(CeModelType::Linear, &ds, quick_config(), 23);
+    let mut rng = StdRng::seed_from_u64(29);
+    model.train(&data, &mut rng).expect("clean train");
+    fault::install(Some(
+        FaultSpec::parse("nan,at=2,site=ce-update").expect("spec"),
+    ));
+    let result = model.update(&data);
+    fault::install(None);
+    result.expect("one injected NaN update step must be survivable");
+    assert!(model.params_finite());
+}
+
+#[test]
+fn guard_band_divergence_is_detected_without_faults() {
+    let _g = lock();
+    fault::install(None);
+    let (ds, data) = training_data(60, 9);
+    let config = CeConfig {
+        guard_band: 0.0, // every finite loss "diverges"
+        ..quick_config()
+    };
+    let mut model = CeModel::new(CeModelType::Linear, &ds, config, 31);
+    let mut rng = StdRng::seed_from_u64(37);
+    match model.train(&data, &mut rng) {
+        Err(TrainError::Diverged { rollbacks }) => assert_eq!(rollbacks, config.max_rollbacks),
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+    assert!(
+        model.params_finite(),
+        "failed training must not leave NaN parameters"
+    );
+}
+
+#[test]
+fn checkpoint_file_restores_model_optimizer_and_rng() {
+    let _g = lock();
+    fault::install(None);
+    let (ds, data) = training_data(100, 11);
+    let mut model = CeModel::new(CeModelType::Fcn, &ds, quick_config(), 41);
+    let mut rng = StdRng::seed_from_u64(43);
+    model.train(&data, &mut rng).expect("train");
+
+    let dir = std::env::temp_dir().join("pace_ce_recovery_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("model.ckpt");
+    model.save_checkpoint(&rng, 123, &path).expect("save");
+
+    let mut restored = CeModel::new(CeModelType::Fcn, &ds, quick_config(), 999);
+    let (mut restored_rng, step) = restored.load_checkpoint(&path).expect("load");
+    assert_eq!(step, 123);
+    assert_eq!(
+        model.estimate_encoded_batch(&data.enc[..5]),
+        restored.estimate_encoded_batch(&data.enc[..5]),
+        "restored parameters differ"
+    );
+    // The RNG resumes mid-stream: both generators must continue identically.
+    for _ in 0..32 {
+        assert_eq!(
+            rng.random_range(0u64..1_000_000),
+            restored_rng.random_range(0u64..1_000_000)
+        );
+    }
+    // Continued training from the restored triple matches the original.
+    let a = model.update(&data);
+    let b = restored.update(&data);
+    assert_eq!(a, b);
+    assert_eq!(
+        model.estimate_encoded_batch(&data.enc[..5]),
+        restored.estimate_encoded_batch(&data.enc[..5])
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_checkpoint_file_is_invalid_data() {
+    let _g = lock();
+    fault::install(None);
+    let (ds, data) = training_data(40, 13);
+    let mut model = CeModel::new(CeModelType::Linear, &ds, quick_config(), 47);
+    let mut rng = StdRng::seed_from_u64(53);
+    model.train(&data, &mut rng).expect("train");
+    let dir = std::env::temp_dir().join("pace_ce_recovery_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("corrupt.ckpt");
+    model.save_checkpoint(&rng, 1, &path).expect("save");
+    let mut bytes = std::fs::read(&path).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("rewrite");
+    let err = model
+        .load_checkpoint(&path)
+        .expect_err("corruption accepted");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// With no fault firing, the checkpoint machinery must be invisible:
+    /// training with any checkpoint cadence produces bit-identical
+    /// parameters to training that never checkpoints.
+    #[test]
+    fn checkpoint_cadence_never_changes_results(
+        seed in 0u64..1000,
+        ckpt_every in 1usize..12,
+    ) {
+        let _g = lock();
+        fault::install(None);
+        let (ds, data) = training_data(60, 15);
+        let base = CeConfig { epochs: 4, batch_size: 16, ..CeConfig::quick() };
+        let mut never = CeModel::new(
+            CeModelType::Linear,
+            &ds,
+            CeConfig { checkpoint_every: usize::MAX, ..base },
+            seed,
+        );
+        let mut often = CeModel::new(
+            CeModelType::Linear,
+            &ds,
+            CeConfig { checkpoint_every: ckpt_every, ..base },
+            seed,
+        );
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let la = never.train(&data, &mut rng_a).expect("train");
+        let lb = often.train(&data, &mut rng_b).expect("train");
+        prop_assert_eq!(la.to_bits(), lb.to_bits(), "best loss diverged");
+        prop_assert_eq!(
+            rng_a.state(),
+            rng_b.state(),
+            "checkpointing consumed RNG state"
+        );
+        let pa = never.params().snapshot();
+        let pb = often.params().snapshot();
+        prop_assert_eq!(pa, pb);
+    }
+
+    /// `StdRng::from_state(state())` continues the exact stream — the
+    /// round-trip every rollback and resume depends on.
+    #[test]
+    fn rng_state_roundtrip_continues_the_stream(
+        seed in any::<u64>(),
+        warmup in 0usize..64,
+    ) {
+        let mut a = StdRng::seed_from_u64(seed);
+        for _ in 0..warmup {
+            let _ = a.random_range(0u64..u64::MAX);
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..64 {
+            prop_assert_eq!(
+                a.random_range(0u64..u64::MAX),
+                b.random_range(0u64..u64::MAX)
+            );
+        }
+    }
+}

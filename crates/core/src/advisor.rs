@@ -8,6 +8,7 @@
 
 use crate::attack::{train_generator_accelerated, AttackConfig};
 use crate::knowledge::AttackerKnowledge;
+use crate::resilience::{CampaignError, ProbeError};
 use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
 use pace_workload::{QErrorSummary, Query, Workload};
 use rand::rngs::StdRng;
@@ -40,25 +41,29 @@ pub struct RobustnessReport {
 }
 
 impl RobustnessReport {
-    /// The recommended model family (best joint score).
-    pub fn recommended(&self) -> CeModelType {
-        self.rankings.first().expect("non-empty rankings").model
+    /// The recommended model family (best joint score), or `None` for an
+    /// empty report.
+    pub fn recommended(&self) -> Option<CeModelType> {
+        self.rankings.first().map(|r| r.model)
     }
 }
 
 /// Trains every model family on `train`, stress-tests each with a white-box
 /// PACE attack against `test`, and ranks them.
 ///
-/// `count` is the defender's own exact-count oracle (they own the database).
+/// `count` is the defender's own exact-count oracle (they own the database);
+/// it is still fallible — even an in-house oracle times out — and an
+/// exhausted oracle or an unrecoverably divergent stress-test surfaces as a
+/// typed [`CampaignError`].
 pub fn recommend_robust_model(
     k: &AttackerKnowledge,
-    count: &mut dyn FnMut(&Query) -> u64,
+    count: &mut dyn FnMut(&Query) -> Result<u64, ProbeError>,
     train: &Workload,
     test: &Workload,
     ce: CeConfig,
     attack: &AttackConfig,
     seed: u64,
-) -> RobustnessReport {
+) -> Result<RobustnessReport, CampaignError> {
     let train_data = {
         let enc = train.iter().map(|lq| k.encoder.encode(&lq.query)).collect();
         let cards: Vec<u64> = train.iter().map(|lq| lq.cardinality).collect();
@@ -71,39 +76,31 @@ pub fn recommend_robust_model(
     };
     let historical: Vec<Vec<f32>> = train_data.enc.clone();
 
-    let mut rankings: Vec<ModelRobustness> = CeModelType::all()
-        .into_iter()
-        .map(|ty| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (ty as u64 + 1));
-            let mut model = CeModel::with_encoder(ty, k.encoder.clone(), k.ln_max, ce, seed);
-            model.train(&train_data, &mut rng);
-            let clean = QErrorSummary::from_samples(&model.evaluate(&test_data)).mean;
-            // Worst case: the attacker's surrogate IS the model.
-            let mut surrogate = model.clone();
-            let artifacts = train_generator_accelerated(
-                &mut surrogate,
-                count,
-                &test_data,
-                &historical,
-                k,
-                attack,
-            );
-            let (_, poison_encs) = artifacts.generator.generate(&mut rng, attack.n_poison);
-            let cards: Vec<u64> = poison_encs
-                .iter()
-                .map(|e| count(&k.encoder.decode(e)).max(1))
-                .collect();
-            model.update(&EncodedWorkload::from_parts(poison_encs, &cards));
-            let poisoned = QErrorSummary::from_samples(&model.evaluate(&test_data)).mean;
-            ModelRobustness {
-                model: ty,
-                clean,
-                poisoned,
-            }
-        })
-        .collect();
-    rankings.sort_by(|a, b| a.score().partial_cmp(&b.score()).expect("finite scores"));
-    RobustnessReport { rankings }
+    let mut rankings: Vec<ModelRobustness> = Vec::with_capacity(CeModelType::all().len());
+    for ty in CeModelType::all() {
+        let mut rng = StdRng::seed_from_u64(seed ^ (ty as u64 + 1));
+        let mut model = CeModel::with_encoder(ty, k.encoder.clone(), k.ln_max, ce, seed);
+        model.train(&train_data, &mut rng)?;
+        let clean = QErrorSummary::from_samples(&model.evaluate(&test_data)).mean;
+        // Worst case: the attacker's surrogate IS the model.
+        let mut surrogate = model.clone();
+        let artifacts =
+            train_generator_accelerated(&mut surrogate, count, &test_data, &historical, k, attack)?;
+        let (_, poison_encs) = artifacts.generator.generate(&mut rng, attack.n_poison);
+        let mut cards: Vec<u64> = Vec::with_capacity(poison_encs.len());
+        for e in &poison_encs {
+            cards.push(count(&k.encoder.decode(e))?.max(1));
+        }
+        model.update(&EncodedWorkload::from_parts(poison_encs, &cards))?;
+        let poisoned = QErrorSummary::from_samples(&model.evaluate(&test_data)).mean;
+        rankings.push(ModelRobustness {
+            model: ty,
+            clean,
+            poisoned,
+        });
+    }
+    rankings.sort_by(|a, b| a.score().total_cmp(&b.score()));
+    Ok(RobustnessReport { rankings })
 }
 
 #[cfg(test)]
@@ -153,13 +150,14 @@ mod tests {
             },
             &attack,
             64,
-        );
+        )
+        .expect("no faults installed");
         assert_eq!(report.rankings.len(), 6);
         // Sorted by score ascending.
         for w in report.rankings.windows(2) {
             assert!(w[0].score() <= w[1].score());
         }
-        let rec = report.recommended();
+        let rec = report.recommended().expect("non-empty rankings");
         assert!(CeModelType::all().contains(&rec));
         // Every candidate has sane measurements.
         for r in &report.rankings {

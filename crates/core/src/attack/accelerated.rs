@@ -8,6 +8,13 @@
 //! `sync_every` iterations the surrogate is *really* updated on the current
 //! batch (line 20), so generator and model "interact in time" instead of
 //! wasting converged updates against stale counterparts.
+//!
+//! The loop is resilient: the `COUNT(*)` oracle is fallible (the caller
+//! supplies a retrying closure), and every `checkpoint_every` iterations the
+//! generator snapshots its parameters, optimizer moments and RNG state; a
+//! divergent iteration — non-finite objective or parameters, e.g. from an
+//! injected NaN gradient — rolls back to the snapshot with a halved learning
+//! rate instead of wrecking hours of attack progress.
 
 use super::{
     poisoning_objective, straight_through, unroll_virtual_updates, AttackArtifacts, AttackConfig,
@@ -15,29 +22,101 @@ use super::{
 use crate::detector::AnomalyDetector;
 use crate::generator::PoisonGenerator;
 use crate::knowledge::AttackerKnowledge;
-use pace_ce::{rows_to_matrix, CeModel, EncodedWorkload};
+use crate::resilience::{CampaignError, ProbeError};
+use pace_ce::{rows_to_matrix, CeModel, EncodedWorkload, TrainError};
+use pace_tensor::optim::AdamState;
 use pace_tensor::{Graph, Matrix};
 use pace_workload::Query;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
+/// Everything both attack loops need to resume the optimization stream
+/// exactly after a divergent iteration: generator params + Adam moments +
+/// RNG state, the surrogate's params (the accelerated loop really updates
+/// them), and the best-checkpoint bookkeeping.
+pub(super) struct LoopCheckpoint {
+    pub iter: usize,
+    pub gen_params: Vec<Matrix>,
+    pub gen_opt: AdamState,
+    pub surrogate_params: Vec<Matrix>,
+    pub rng: [u64; 4],
+    pub best: f32,
+    pub best_params: Option<Vec<Matrix>>,
+    pub stall: usize,
+    pub curve_len: usize,
+}
+
+impl LoopCheckpoint {
+    /// Captures the loop state. Read-only: capturing must never perturb the
+    /// optimization stream, so fault-free runs are bit-identical with any
+    /// checkpoint cadence.
+    #[allow(clippy::too_many_arguments)]
+    pub fn capture(
+        iter: usize,
+        generator: &PoisonGenerator,
+        surrogate: &CeModel,
+        rng: &StdRng,
+        best: f32,
+        best_params: &Option<Vec<Matrix>>,
+        stall: usize,
+        curve_len: usize,
+    ) -> Self {
+        Self {
+            iter,
+            gen_params: generator.params().snapshot(),
+            gen_opt: generator.opt_state(),
+            surrogate_params: surrogate.params().snapshot(),
+            rng: rng.state(),
+            best,
+            best_params: best_params.clone(),
+            stall,
+            curve_len,
+        }
+    }
+
+    /// Restores everything captured; returns the iteration to resume from.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        &self,
+        generator: &mut PoisonGenerator,
+        surrogate: &mut CeModel,
+        rng: &mut StdRng,
+        best: &mut f32,
+        best_params: &mut Option<Vec<Matrix>>,
+        stall: &mut usize,
+        curve: &mut Vec<f32>,
+    ) -> usize {
+        generator.params_mut().restore(&self.gen_params);
+        generator.set_opt_state(self.gen_opt.clone());
+        surrogate.params_mut().restore(&self.surrogate_params);
+        *rng = StdRng::from_state(self.rng);
+        *best = self.best;
+        *best_params = self.best_params.clone();
+        *stall = self.stall;
+        curve.truncate(self.curve_len);
+        self.iter
+    }
+}
+
 /// Trains a poisoning generator with the accelerated schedule.
 ///
 /// * `surrogate` — the white-box stand-in for the victim model; it is
 ///   progressively poisoned during training (Algorithm 1 line 20).
 /// * `count` — the attacker's `COUNT(*)` oracle for labeling generated
-///   queries.
+///   queries; fallible, typically a [`crate::resilience::ResilientOracle`]
+///   closure. An error here means the oracle stayed down past every retry,
+///   which aborts generator training with [`CampaignError::Oracle`].
 /// * `test` — the target workload whose estimation error is maximized.
 /// * `historical` — encodings of historical queries (trains the detector).
 pub fn train_generator_accelerated(
     surrogate: &mut CeModel,
-    count: &mut dyn FnMut(&Query) -> u64,
+    count: &mut dyn FnMut(&Query) -> Result<u64, ProbeError>,
     test: &EncodedWorkload,
     historical: &[Vec<f32>],
     k: &AttackerKnowledge,
     cfg: &AttackConfig,
-) -> AttackArtifacts {
+) -> Result<AttackArtifacts, CampaignError> {
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut generator = PoisonGenerator::new(
@@ -62,9 +141,30 @@ pub fn train_generator_accelerated(
     let mut best = f32::NEG_INFINITY;
     let mut best_params: Option<Vec<Matrix>> = None;
     let mut stall = 0usize;
-    let base_lr = cfg.generator.lr;
+    let mut base_lr = cfg.generator.lr;
 
-    for it in 0..cfg.iters {
+    let mut checkpoint =
+        LoopCheckpoint::capture(0, &generator, surrogate, &rng, best, &best_params, stall, 0);
+    let mut since_ckpt = 0usize;
+    let mut rollbacks = 0u32;
+    let mut it = 0usize;
+    while it < cfg.iters {
+        if since_ckpt >= cfg.checkpoint_every.max(1)
+            && generator.params_finite()
+            && surrogate.params_finite()
+        {
+            checkpoint = LoopCheckpoint::capture(
+                it,
+                &generator,
+                surrogate,
+                &rng,
+                best,
+                &best_params,
+                stall,
+                curve.len(),
+            );
+            since_ckpt = 0;
+        }
         // (1)–(2) join generation and Eq. 8 training.
         let batch = generator.sample_joins(&mut rng, cfg.batch);
         generator.join_loss_step(&batch);
@@ -90,10 +190,10 @@ pub fn train_generator_accelerated(
                 .collect();
             (queries, encs)
         };
-        let ln_labels: Vec<f32> = queries
-            .iter()
-            .map(|q| (count(q).max(1) as f32).ln())
-            .collect();
+        let mut ln_labels: Vec<f32> = Vec::with_capacity(queries.len());
+        for q in &queries {
+            ln_labels.push((count(q)?.max(1) as f32).ln());
+        }
         let x_q = if cfg.ablate_quantization {
             x
         } else {
@@ -164,6 +264,8 @@ pub fn train_generator_accelerated(
                 generator.params_mut().restore(best_p);
                 generator.set_lr(base_lr);
                 stall = 0;
+                it += 1;
+                since_ckpt += 1;
                 continue;
             }
         }
@@ -177,22 +279,47 @@ pub fn train_generator_accelerated(
         generator.apply_step(&mut g, loss, &bind, "attack::accelerated::hypergradient");
 
         // (20) periodic real surrogate update.
-        if (it + 1) % cfg.sync_every.max(1) == 0 {
+        if (it + 1).is_multiple_of(cfg.sync_every.max(1)) {
             let data = EncodedWorkload {
                 enc: encs,
                 ln_card: ln_labels,
             };
-            surrogate.update(&data);
+            surrogate.update(&data)?;
         }
+
+        // Divergence recovery: a non-finite objective or non-finite
+        // parameters (the capped Q-error masks NaN through IEEE min/max, so
+        // parameter finiteness is the authoritative signal) rolls the whole
+        // loop state back and halves the learning rate.
+        if !obj_value.is_finite() || !generator.params_finite() || !surrogate.params_finite() {
+            if rollbacks >= cfg.max_rollbacks {
+                return Err(CampaignError::Train(TrainError::Diverged { rollbacks }));
+            }
+            rollbacks += 1;
+            base_lr *= 0.5;
+            it = checkpoint.restore(
+                &mut generator,
+                surrogate,
+                &mut rng,
+                &mut best,
+                &mut best_params,
+                &mut stall,
+                &mut curve,
+            );
+            since_ckpt = 0;
+            continue;
+        }
+        it += 1;
+        since_ckpt += 1;
     }
 
     if let Some(best) = best_params {
         generator.params_mut().restore(&best);
     }
-    AttackArtifacts {
+    Ok(AttackArtifacts {
         generator,
         detector,
         objective_curve: curve,
         train_seconds: t0.elapsed().as_secs_f64(),
-    }
+    })
 }

@@ -4,6 +4,7 @@
 use super::{AttackArtifacts, AttackConfig};
 use crate::generator::PoisonGenerator;
 use crate::knowledge::AttackerKnowledge;
+use crate::resilience::{CampaignError, ProbeError};
 use pace_ce::{q_error_loss, CeModel};
 use pace_tensor::Graph;
 use pace_workload::{
@@ -25,22 +26,20 @@ pub fn random_poison(k: &AttackerKnowledge, rng: &mut StdRng, n: usize) -> Vec<Q
 /// keep the `n` with the highest inference loss of the *unpoisoned* surrogate.
 pub fn loss_based_selection(
     surrogate: &CeModel,
-    count: &mut dyn FnMut(&Query) -> u64,
+    count: &mut dyn FnMut(&Query) -> Result<u64, ProbeError>,
     k: &AttackerKnowledge,
     rng: &mut StdRng,
     n: usize,
-) -> Vec<Query> {
+) -> Result<Vec<Query>, CampaignError> {
     let pool = generate_queries_schema_only(&k.encoder, &k.patterns, &k.spec, rng, n * 10);
-    let mut scored: Vec<(f64, Query)> = pool
-        .into_iter()
-        .map(|q| {
-            let truth = count(&q).max(1) as f64;
-            let score = q_error(surrogate.estimate_query(&q), truth);
-            (score, q)
-        })
-        .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
-    scored.into_iter().take(n).map(|(_, q)| q).collect()
+    let mut scored: Vec<(f64, Query)> = Vec::with_capacity(pool.len());
+    for q in pool {
+        let truth = count(&q)?.max(1) as f64;
+        let score = q_error(surrogate.estimate_query(&q), truth);
+        scored.push((score, q));
+    }
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+    Ok(scored.into_iter().take(n).map(|(_, q)| q).collect())
 }
 
 /// **Greedy**: per query, pick a random join pattern, then build predicates
@@ -48,53 +47,53 @@ pub fn loss_based_selection(
 /// that maximizes the unpoisoned surrogate's inference loss.
 pub fn greedy_poison(
     surrogate: &CeModel,
-    count: &mut dyn FnMut(&Query) -> u64,
+    count: &mut dyn FnMut(&Query) -> Result<u64, ProbeError>,
     k: &AttackerKnowledge,
     rng: &mut StdRng,
     n: usize,
-) -> Vec<Query> {
-    (0..n)
-        .map(|_| {
-            let pattern = k.patterns[rng.random_range(0..k.patterns.len())].clone();
-            let attrs: Vec<usize> = k
-                .encoder
-                .attributes()
-                .iter()
-                .enumerate()
-                .filter(|(_, (t, _))| pattern.contains(t))
-                .map(|(i, _)| i)
-                .collect();
-            let mut query = Query::new(pattern, vec![]);
-            let budget = k.spec.max_predicates.min(attrs.len());
-            for &attr in attrs.iter().take(budget) {
-                let (t, c) = k.encoder.attributes()[attr];
-                let stats = k.encoder.attr_stats(attr);
-                let mut best: Option<(f64, Predicate)> = None;
-                for _ in 0..10 {
-                    let a: f64 = rng.random_range(0.0..1.0);
-                    let b: f64 = rng.random_range(0.0..1.0);
-                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-                    let cand = Predicate {
-                        table: t,
-                        col: c,
-                        lo: stats.denormalize(lo),
-                        hi: stats.denormalize(hi),
-                    };
-                    let mut trial = query.clone();
-                    trial.predicates.push(cand);
-                    let truth = count(&trial).max(1) as f64;
-                    let score = q_error(surrogate.estimate_query(&trial), truth);
-                    if best.as_ref().is_none_or(|(s, _)| score > *s) {
-                        best = Some((score, cand));
-                    }
-                }
-                if let Some((_, p)) = best {
-                    query.predicates.push(p);
+) -> Result<Vec<Query>, CampaignError> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pattern = k.patterns[rng.random_range(0..k.patterns.len())].clone();
+        let attrs: Vec<usize> = k
+            .encoder
+            .attributes()
+            .iter()
+            .enumerate()
+            .filter(|(_, (t, _))| pattern.contains(t))
+            .map(|(i, _)| i)
+            .collect();
+        let mut query = Query::new(pattern, vec![]);
+        let budget = k.spec.max_predicates.min(attrs.len());
+        for &attr in attrs.iter().take(budget) {
+            let (t, c) = k.encoder.attributes()[attr];
+            let stats = k.encoder.attr_stats(attr);
+            let mut best: Option<(f64, Predicate)> = None;
+            for _ in 0..10 {
+                let a: f64 = rng.random_range(0.0..1.0);
+                let b: f64 = rng.random_range(0.0..1.0);
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let cand = Predicate {
+                    table: t,
+                    col: c,
+                    lo: stats.denormalize(lo),
+                    hi: stats.denormalize(hi),
+                };
+                let mut trial = query.clone();
+                trial.predicates.push(cand);
+                let truth = count(&trial)?.max(1) as f64;
+                let score = q_error(surrogate.estimate_query(&trial), truth);
+                if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                    best = Some((score, cand));
                 }
             }
-            query
-        })
-        .collect()
+            if let Some((_, p)) = best {
+                query.predicates.push(p);
+            }
+        }
+        out.push(query);
+    }
+    Ok(out)
 }
 
 /// **Lb-G (loss-based generation)**: the same three-part generator as PACE,
@@ -102,10 +101,10 @@ pub fn greedy_poison(
 /// on the generated queries themselves — no bivariate lookahead, no detector.
 pub fn train_lbg(
     surrogate: &CeModel,
-    count: &mut dyn FnMut(&Query) -> u64,
+    count: &mut dyn FnMut(&Query) -> Result<u64, ProbeError>,
     k: &AttackerKnowledge,
     cfg: &AttackConfig,
-) -> AttackArtifacts {
+) -> Result<AttackArtifacts, CampaignError> {
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1b6);
     let mut generator = PoisonGenerator::new(
@@ -123,12 +122,14 @@ pub fn train_lbg(
         let x = generator.forward_bounds(&mut g, &bind, &batch);
         let ln_labels: Vec<f32> = {
             let vals = g.value(x);
-            (0..cfg.batch)
-                .map(|r| {
-                    let q = generator.encoder().decode(vals.row_slice(r));
-                    (count(&q).max(1) as f32).ln()
-                })
-                .collect()
+            let queries: Vec<Query> = (0..cfg.batch)
+                .map(|r| generator.encoder().decode(vals.row_slice(r)))
+                .collect();
+            let mut labels = Vec::with_capacity(queries.len());
+            for q in &queries {
+                labels.push((count(q)?.max(1) as f32).ln());
+            }
+            labels
         };
         let theta = surrogate.params().bind(&mut g);
         let out = surrogate.forward(&mut g, &theta, x);
@@ -137,12 +138,12 @@ pub fn train_lbg(
         let loss = g.neg(inference_loss);
         generator.apply_step(&mut g, loss, &bind, "attack::baseline");
     }
-    AttackArtifacts {
+    Ok(AttackArtifacts {
         generator,
         detector: None,
         objective_curve: curve,
         train_seconds: t0.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 /// Helper shared by experiments: a random query for one fixed pattern.

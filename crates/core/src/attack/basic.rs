@@ -7,14 +7,21 @@
 //! information once per outer round, so most inner updates chase stale
 //! counterparts — this is exactly the inefficiency Algorithm 1 removes
 //! (complexity `O(n₃(n₁+n₂))` vs `O(n₁+n₂)`; paper Section 5.3, Lemma 5.2).
+//!
+//! Like the accelerated loop, the oracle closure is fallible and each outer
+//! round starts from a rollback checkpoint (generator params + optimizer +
+//! RNG state): a divergent round — non-finite objective or parameters —
+//! restarts from its own beginning with a halved learning rate.
 
+use super::accelerated::LoopCheckpoint;
 use super::{
     poisoning_objective, straight_through, unroll_virtual_updates, AttackArtifacts, AttackConfig,
 };
 use crate::detector::AnomalyDetector;
 use crate::generator::PoisonGenerator;
 use crate::knowledge::AttackerKnowledge;
-use pace_ce::{rows_to_matrix, CeModel, EncodedWorkload};
+use crate::resilience::{CampaignError, ProbeError};
+use pace_ce::{rows_to_matrix, CeModel, EncodedWorkload, TrainError};
 use pace_tensor::{Graph, Matrix};
 use pace_workload::Query;
 use rand::rngs::StdRng;
@@ -24,12 +31,12 @@ use std::time::Instant;
 /// Trains a poisoning generator with the basic alternating schedule.
 pub fn train_generator_basic(
     surrogate: &mut CeModel,
-    count: &mut dyn FnMut(&Query) -> u64,
+    count: &mut dyn FnMut(&Query) -> Result<u64, ProbeError>,
     test: &EncodedWorkload,
     historical: &[Vec<f32>],
     k: &AttackerKnowledge,
     cfg: &AttackConfig,
-) -> AttackArtifacts {
+) -> Result<AttackArtifacts, CampaignError> {
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut generator = PoisonGenerator::new(
@@ -54,7 +61,27 @@ pub fn train_generator_basic(
     let mut best = f32::NEG_INFINITY;
     let mut best_params: Option<Vec<Matrix>> = None;
 
-    for _outer in 0..cfg.basic_outer {
+    let mut rollbacks = 0u32;
+    let mut base_lr = cfg.generator.lr;
+    let mut outer = 0usize;
+    // Checkpoint at outer-round granularity: each round starts from a clean
+    // snapshot, so a divergent round is retried from its own beginning.
+    let mut checkpoint =
+        LoopCheckpoint::capture(0, &generator, surrogate, &rng, best, &best_params, 0, 0);
+    while outer < cfg.basic_outer {
+        if generator.params_finite() && surrogate.params_finite() {
+            checkpoint = LoopCheckpoint::capture(
+                outer,
+                &generator,
+                surrogate,
+                &rng,
+                best,
+                &best_params,
+                0,
+                curve.len(),
+            );
+        }
+        let mut diverged = false;
         // Step (2): optimize the generator against the current surrogate,
         // differentiating through the full K-step unroll each time.
         for _inner in 0..cfg.basic_inner {
@@ -74,10 +101,10 @@ pub fn train_generator_basic(
                 .iter()
                 .map(|q| generator.encoder().encode(q))
                 .collect();
-            let ln_labels: Vec<f32> = queries
-                .iter()
-                .map(|q| (count(q).max(1) as f32).ln())
-                .collect();
+            let mut ln_labels: Vec<f32> = Vec::with_capacity(queries.len());
+            for q in &queries {
+                ln_labels.push((count(q)?.max(1) as f32).ln());
+            }
             let x_q = straight_through(&mut g, x, &encs);
             let theta0 = surrogate.params().bind(&mut g);
             let theta_k = unroll_virtual_updates(
@@ -119,25 +146,57 @@ pub fn train_generator_basic(
             }
             let loss = g.neg(objective);
             generator.apply_step(&mut g, loss, &bind, "attack::basic::hypergradient");
+            // The capped Q-error loss masks NaN through IEEE min/max, so
+            // parameter finiteness is the authoritative divergence signal.
+            if !obj_value.is_finite() || !generator.params_finite() {
+                diverged = true;
+                break;
+            }
         }
 
-        // Step (3): regenerate queries, reset to θ₀, and poison for real.
-        let (_, encs) = generator.generate(&mut rng, cfg.batch);
-        let cards: Vec<u64> = encs
-            .iter()
-            .map(|e| count(&generator.encoder().decode(e)).max(1))
-            .collect();
-        surrogate.params_mut().restore(&theta_origin);
-        surrogate.update(&EncodedWorkload::from_parts(encs, &cards));
+        if !diverged {
+            // Step (3): regenerate queries, reset to θ₀, and poison for real.
+            let (_, encs) = generator.generate(&mut rng, cfg.batch);
+            let mut cards: Vec<u64> = Vec::with_capacity(encs.len());
+            for e in &encs {
+                cards.push(count(&generator.encoder().decode(e))?.max(1));
+            }
+            surrogate.params_mut().restore(&theta_origin);
+            surrogate.update(&EncodedWorkload::from_parts(encs, &cards))?;
+            if !surrogate.params_finite() {
+                diverged = true;
+            }
+        }
+
+        if diverged {
+            if rollbacks >= cfg.max_rollbacks {
+                return Err(CampaignError::Train(TrainError::Diverged { rollbacks }));
+            }
+            rollbacks += 1;
+            base_lr *= 0.5;
+            let mut stall = 0usize;
+            outer = checkpoint.restore(
+                &mut generator,
+                surrogate,
+                &mut rng,
+                &mut best,
+                &mut best_params,
+                &mut stall,
+                &mut curve,
+            );
+            generator.set_lr(base_lr);
+            continue;
+        }
+        outer += 1;
     }
 
     if let Some(best) = best_params {
         generator.params_mut().restore(&best);
     }
-    AttackArtifacts {
+    Ok(AttackArtifacts {
         generator,
         detector,
         objective_curve: curve,
         train_seconds: t0.elapsed().as_secs_f64(),
-    }
+    })
 }

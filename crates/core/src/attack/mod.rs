@@ -62,6 +62,14 @@ pub struct AttackConfig {
     pub escape_patience: usize,
     /// Learning-rate multiplier of the escape step.
     pub escape_boost: f32,
+    /// Both attack loops take a rollback checkpoint (generator params +
+    /// optimizer + RNG state) every this many iterations; a divergent
+    /// iteration (non-finite objective or parameters) restores it with a
+    /// halved learning rate.
+    pub checkpoint_every: usize,
+    /// Rollback recoveries before generator training gives up with
+    /// [`pace_ce::TrainError::Diverged`].
+    pub max_rollbacks: u32,
     /// Randomness seed.
     pub seed: u64,
 }
@@ -85,6 +93,8 @@ impl Default for AttackConfig {
             ablate_checkpoint: false,
             escape_patience: 6,
             escape_boost: 5.0,
+            checkpoint_every: 10,
+            max_rollbacks: 3,
             seed: 0xacce,
         }
     }

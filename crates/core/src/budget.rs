@@ -9,6 +9,7 @@
 //! poison. This realizes the same constrained optimum the penalty method
 //! converges to, with an exact marginal-damage curve as a bonus.
 
+use crate::resilience::{CampaignError, ProbeError, ResilientOracle, RetryPolicy};
 use crate::victim::BlackBox;
 use pace_ce::{CeModel, EncodedWorkload};
 use pace_workload::{QErrorSummary, Query, QueryEncoder};
@@ -25,6 +26,10 @@ pub struct BudgetedSelection {
 
 /// Greedily selects at most `budget` queries from `pool` maximizing the
 /// simulated post-update test Q-error of `surrogate`.
+///
+/// Pool labels come from the black-box `COUNT(*)` oracle through a
+/// [`ResilientOracle`] with the given policy, so transient oracle faults are
+/// retried; an error means the oracle stayed down past every retry.
 ///
 /// Each round simulates the victim's incremental update on the
 /// currently-selected set plus each remaining candidate (on a scratch copy of
@@ -43,14 +48,16 @@ pub fn select_budgeted_poison(
     pool: &[Query],
     test: &EncodedWorkload,
     budget: usize,
-) -> BudgetedSelection {
+    retry: &RetryPolicy,
+) -> Result<BudgetedSelection, CampaignError> {
     assert!(!pool.is_empty(), "empty candidate pool");
     assert!(budget > 0, "zero budget");
+    let oracle = ResilientOracle::new(bb, retry.clone());
     let pool_enc: Vec<Vec<f32>> = pool.iter().map(|q| encoder.encode(q)).collect();
-    let pool_ln: Vec<f32> = pool
-        .iter()
-        .map(|q| (bb.count(q).max(1) as f32).ln())
-        .collect();
+    let mut pool_ln: Vec<f32> = Vec::with_capacity(pool.len());
+    for q in pool {
+        pool_ln.push((oracle.count(q)?.max(1) as f32).ln());
+    }
 
     let mut chosen: Vec<usize> = Vec::new();
     let mut damage_curve = Vec::new();
@@ -62,12 +69,13 @@ pub fn select_budgeted_poison(
         for (pos, &cand) in remaining.iter().enumerate() {
             let mut trial_idx = chosen.clone();
             trial_idx.push(cand);
-            let damage = simulate_damage(surrogate, &pool_enc, &pool_ln, &trial_idx, test);
+            let damage = simulate_damage(surrogate, &pool_enc, &pool_ln, &trial_idx, test)?;
             if best.is_none_or(|(_, d)| damage > d) {
                 best = Some((pos, damage));
             }
         }
-        let (pos, damage) = best.expect("non-empty remaining");
+        // `remaining` is non-empty (loop bound), so a best always exists.
+        let Some((pos, damage)) = best else { break };
         if damage <= current_damage {
             break; // every further query would dilute the poison
         }
@@ -76,10 +84,10 @@ pub fn select_budgeted_poison(
         damage_curve.push(damage);
     }
 
-    BudgetedSelection {
+    Ok(BudgetedSelection {
         queries: chosen.iter().map(|&i| pool[i].clone()).collect(),
         damage_curve,
-    }
+    })
 }
 
 /// Mean test Q-error of a scratch copy of `surrogate` after updating on the
@@ -90,14 +98,16 @@ fn simulate_damage(
     pool_ln: &[f32],
     selected: &[usize],
     test: &EncodedWorkload,
-) -> f64 {
+) -> Result<f64, CampaignError> {
     let data = EncodedWorkload {
         enc: selected.iter().map(|&i| pool_enc[i].clone()).collect(),
         ln_card: selected.iter().map(|&i| pool_ln[i]).collect(),
     };
     let mut scratch = surrogate.clone();
-    scratch.update(&data);
-    QErrorSummary::from_samples(&scratch.evaluate(test)).mean
+    scratch
+        .update(&data)
+        .map_err(|e| CampaignError::Oracle(ProbeError::Update(e)))?;
+    Ok(QErrorSummary::from_samples(&scratch.evaluate(test)).mean)
 }
 
 #[cfg(test)]
@@ -122,15 +132,26 @@ mod tests {
         let test_w = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 60));
         let k = AttackerKnowledge::from_public(&ds, spec.clone());
         let mut surrogate = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 33);
-        surrogate.train(
-            &EncodedWorkload::from_workload(&k.encoder, &train),
-            &mut rng,
-        );
+        surrogate
+            .train(
+                &EncodedWorkload::from_workload(&k.encoder, &train),
+                &mut rng,
+            )
+            .expect("surrogate training converges");
         let victim = Victim::new(surrogate.clone(), Executor::new(&ds), vec![]);
         let test = EncodedWorkload::from_workload(&k.encoder, &test_w);
 
         let pool = generate_queries(&ds, &spec, &mut rng, 30);
-        let selection = select_budgeted_poison(&surrogate, &victim, &k.encoder, &pool, &test, 5);
+        let selection = select_budgeted_poison(
+            &surrogate,
+            &victim,
+            &k.encoder,
+            &pool,
+            &test,
+            5,
+            &RetryPolicy::default(),
+        )
+        .expect("no faults installed");
         assert!(!selection.queries.is_empty());
         assert!(selection.queries.len() <= 5);
         assert_eq!(selection.queries.len(), selection.damage_curve.len());
@@ -166,6 +187,14 @@ mod tests {
             enc: vec![vec![0.0; k.encoder.dim()]],
             ln_card: vec![0.0],
         };
-        let _ = select_budgeted_poison(&surrogate, &victim, &k.encoder, &pool, &test, 0);
+        let _ = select_budgeted_poison(
+            &surrogate,
+            &victim,
+            &k.encoder,
+            &pool,
+            &test,
+            0,
+            &RetryPolicy::default(),
+        );
     }
 }

@@ -1,0 +1,441 @@
+//! Crash-safe, resumable attack campaigns.
+//!
+//! [`run_campaign`] is [`run_attack`](crate::pipeline::run_attack) with
+//! durability: the poison batch is injected in waves of
+//! [`PipelineConfig::wave_size`] queries, and after the craft phase and after
+//! every wave a versioned, checksummed *campaign manifest* is persisted
+//! atomically (write-to-temp + rename). A process killed mid-campaign — by a
+//! crash fault, an OOM kill, a pre-empted spot instance — resumes at the
+//! exact wave boundary it last persisted: the victim's poisoned parameters,
+//! the already-injected queries, the clean baseline and all timings are
+//! restored from the manifest, and only the remaining waves run. On
+//! successful completion the manifest is removed.
+//!
+//! The manifest format (`PACECAM1`) is length-prefixed and FNV-1a
+//! checksummed like the training-checkpoint format in
+//! [`pace_tensor::serialize`]; a truncated or bit-flipped manifest fails
+//! closed with [`CampaignError::Storage`] instead of resuming from garbage.
+
+use crate::knowledge::AttackerKnowledge;
+use crate::pipeline::{
+    craft_poison, poison_divergence, AttackMethod, AttackOutcome, PipelineConfig,
+};
+use crate::resilience::{run_queries_resilient, CampaignError};
+use crate::victim::Victim;
+use pace_tensor::{fault, serialize};
+use pace_workload::{Predicate, QErrorSummary, Query, Workload};
+use std::fs;
+use std::io::{self, Read};
+use std::path::Path;
+use std::time::Instant;
+
+const MAGIC: &[u8; 8] = b"PACECAM1";
+
+/// Everything a killed campaign needs to resume: progress counters, the
+/// poison batch, the clean baseline, timings, and the victim's parameters as
+/// of the last persisted wave.
+#[derive(Clone, Debug, PartialEq)]
+struct Manifest {
+    method_tag: u8,
+    /// Poisoning queries already applied to the victim (a wave boundary).
+    applied: u64,
+    train_seconds: f64,
+    generate_seconds: f64,
+    attack_seconds: f64,
+    clean_samples: Vec<f64>,
+    objective_curve: Vec<f32>,
+    poison: Vec<Query>,
+    /// `serialize::write_params` image of the victim model.
+    victim_params: Vec<u8>,
+}
+
+/// Runs an attack campaign that persists its progress to `manifest_path`.
+///
+/// If a manifest from an interrupted run exists there (same method), the
+/// campaign resumes from its last persisted wave instead of starting over;
+/// a fresh run crafts the poison, persists, then injects wave by wave. A
+/// resumed campaign is bit-identical to an uninterrupted one: the wave cuts,
+/// injection order and victim updates are unchanged — only where the process
+/// happened to stop differs. (Unlike
+/// [`run_attack`](crate::pipeline::run_attack), which submits the whole
+/// payload as a single batch, a campaign injects in waves of
+/// `cfg.wave_size`, so the two poisoned models can differ slightly.)
+pub fn run_campaign(
+    victim: &mut Victim<'_>,
+    method: AttackMethod,
+    test: &Workload,
+    k: &AttackerKnowledge,
+    cfg: &PipelineConfig,
+    manifest_path: &Path,
+) -> Result<AttackOutcome, CampaignError> {
+    let mut manifest = match load_manifest(manifest_path)? {
+        Some(m) => {
+            if m.method_tag != method.tag() {
+                return Err(CampaignError::Storage(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "manifest at {} belongs to method {:?}, not {:?}",
+                        manifest_path.display(),
+                        AttackMethod::from_tag(m.method_tag),
+                        method
+                    ),
+                )));
+            }
+            // Resume: restore the victim to the last persisted wave boundary.
+            serialize::read_params(
+                victim.model_mut().params_mut(),
+                &mut io::Cursor::new(&m.victim_params),
+            )
+            .map_err(CampaignError::Storage)?;
+            let applied = (m.applied as usize).min(m.poison.len());
+            victim.restore_injected(&m.poison[..applied]);
+            m
+        }
+        None => {
+            let clean_samples = victim.q_errors(test);
+            let (poison, train_seconds, generate_seconds, objective_curve) =
+                craft_poison(victim, method, test, k, cfg)?;
+            let m = Manifest {
+                method_tag: method.tag(),
+                applied: 0,
+                train_seconds,
+                generate_seconds,
+                attack_seconds: 0.0,
+                clean_samples,
+                objective_curve,
+                poison,
+                victim_params: params_image(victim)?,
+            };
+            store_manifest(manifest_path, &m)?;
+            // Crash fault point: after persisting, so a killed process
+            // resumes without re-crafting (the expensive phase).
+            fault::crash_point("campaign-craft");
+            m
+        }
+    };
+
+    let wave_size = cfg.wave_size.max(1);
+    while (manifest.applied as usize) < manifest.poison.len() {
+        let start = manifest.applied as usize;
+        let end = (start + wave_size).min(manifest.poison.len());
+        let t_wave = Instant::now();
+        run_queries_resilient(victim, &manifest.poison[start..end], &cfg.retry)?;
+        manifest.attack_seconds += t_wave.elapsed().as_secs_f64();
+        manifest.applied = end as u64;
+        manifest.victim_params = params_image(victim)?;
+        store_manifest(manifest_path, &manifest)?;
+        fault::crash_point("campaign-wave");
+    }
+
+    let clean = QErrorSummary::from_samples(&manifest.clean_samples);
+    let poisoned = QErrorSummary::from_samples(&victim.q_errors(test));
+    let divergence = poison_divergence(victim, &manifest.poison, k);
+    // The campaign is complete; a stale manifest must not hijack the next
+    // run into a bogus resume.
+    fs::remove_file(manifest_path).map_err(CampaignError::Storage)?;
+    Ok(AttackOutcome {
+        method,
+        poison: manifest.poison,
+        clean,
+        poisoned,
+        divergence,
+        train_seconds: manifest.train_seconds,
+        generate_seconds: manifest.generate_seconds,
+        attack_seconds: manifest.attack_seconds,
+        objective_curve: manifest.objective_curve,
+    })
+}
+
+fn params_image(victim: &Victim<'_>) -> Result<Vec<u8>, CampaignError> {
+    let mut buf = Vec::new();
+    serialize::write_params(victim.model().params(), &mut buf).map_err(CampaignError::Storage)?;
+    Ok(buf)
+}
+
+// ---- manifest serialization -----------------------------------------------
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn store_manifest(path: &Path, m: &Manifest) -> Result<(), CampaignError> {
+    let payload = encode_manifest(m);
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    let tmp = path.with_extension("tmp");
+    let write = (|| {
+        fs::write(&tmp, &out)?;
+        fs::rename(&tmp, path)
+    })();
+    write.map_err(CampaignError::Storage)
+}
+
+/// Reads a manifest if one exists. `Ok(None)` means no interrupted campaign;
+/// a present-but-invalid manifest is an error, never a silent fresh start.
+fn load_manifest(path: &Path) -> Result<Option<Manifest>, CampaignError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CampaignError::Storage(e)),
+    };
+    decode_manifest_file(&bytes)
+        .map(Some)
+        .map_err(CampaignError::Storage)
+}
+
+fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut w = Vec::new();
+    w.push(m.method_tag);
+    w.extend_from_slice(&m.applied.to_le_bytes());
+    w.extend_from_slice(&m.train_seconds.to_le_bytes());
+    w.extend_from_slice(&m.generate_seconds.to_le_bytes());
+    w.extend_from_slice(&m.attack_seconds.to_le_bytes());
+    w.extend_from_slice(&(m.clean_samples.len() as u64).to_le_bytes());
+    for s in &m.clean_samples {
+        w.extend_from_slice(&s.to_le_bytes());
+    }
+    w.extend_from_slice(&(m.objective_curve.len() as u64).to_le_bytes());
+    for s in &m.objective_curve {
+        w.extend_from_slice(&s.to_le_bytes());
+    }
+    w.extend_from_slice(&(m.poison.len() as u64).to_le_bytes());
+    for q in &m.poison {
+        w.extend_from_slice(&(q.tables.len() as u64).to_le_bytes());
+        for &t in &q.tables {
+            w.extend_from_slice(&(t as u64).to_le_bytes());
+        }
+        w.extend_from_slice(&(q.predicates.len() as u64).to_le_bytes());
+        for p in &q.predicates {
+            w.extend_from_slice(&(p.table as u64).to_le_bytes());
+            w.extend_from_slice(&(p.col as u64).to_le_bytes());
+            w.extend_from_slice(&p.lo.to_le_bytes());
+            w.extend_from_slice(&p.hi.to_le_bytes());
+        }
+    }
+    w.extend_from_slice(&(m.victim_params.len() as u64).to_le_bytes());
+    w.extend_from_slice(&m.victim_params);
+    w
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("campaign manifest: {msg}"),
+    )
+}
+
+fn decode_manifest_file(bytes: &[u8]) -> io::Result<Manifest> {
+    let mut r = io::Cursor::new(bytes);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(invalid("bad magic"));
+    }
+    let len = read_u64(&mut r)? as usize;
+    if len > bytes.len() {
+        return Err(invalid("payload length exceeds file size"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let stored = read_u64(&mut r)?;
+    if stored != fnv1a(&payload) {
+        return Err(invalid("checksum mismatch"));
+    }
+    decode_manifest(&payload)
+}
+
+/// Bounds a length field before allocating: a corrupted count must not
+/// trigger a huge allocation even when the checksum collides.
+fn read_len(r: &mut io::Cursor<&[u8]>, elem_size: usize) -> io::Result<usize> {
+    let n = read_u64(r)? as usize;
+    let remaining = r.get_ref().len() - (r.position() as usize).min(r.get_ref().len());
+    if n.saturating_mul(elem_size.max(1)) > remaining {
+        return Err(invalid("length field exceeds payload"));
+    }
+    Ok(n)
+}
+
+fn decode_manifest(payload: &[u8]) -> io::Result<Manifest> {
+    let mut r = io::Cursor::new(payload);
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let method_tag = tag[0];
+    if AttackMethod::from_tag(method_tag).is_none() {
+        return Err(invalid("unknown attack method tag"));
+    }
+    let applied = read_u64(&mut r)?;
+    let train_seconds = read_f64(&mut r)?;
+    let generate_seconds = read_f64(&mut r)?;
+    let attack_seconds = read_f64(&mut r)?;
+    let n_clean = read_len(&mut r, 8)?;
+    let mut clean_samples = Vec::with_capacity(n_clean);
+    for _ in 0..n_clean {
+        clean_samples.push(read_f64(&mut r)?);
+    }
+    let n_curve = read_len(&mut r, 4)?;
+    let mut objective_curve = Vec::with_capacity(n_curve);
+    for _ in 0..n_curve {
+        objective_curve.push(read_f32(&mut r)?);
+    }
+    let n_poison = read_len(&mut r, 16)?;
+    let mut poison = Vec::with_capacity(n_poison);
+    for _ in 0..n_poison {
+        let n_tables = read_len(&mut r, 8)?;
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            tables.push(read_u64(&mut r)? as usize);
+        }
+        let n_preds = read_len(&mut r, 32)?;
+        let mut predicates = Vec::with_capacity(n_preds);
+        for _ in 0..n_preds {
+            predicates.push(Predicate {
+                table: read_u64(&mut r)? as usize,
+                col: read_u64(&mut r)? as usize,
+                lo: read_i64(&mut r)?,
+                hi: read_i64(&mut r)?,
+            });
+        }
+        poison.push(Query::new(tables, predicates));
+    }
+    if applied as usize > poison.len() {
+        return Err(invalid("applied count exceeds poison batch"));
+    }
+    let n_params = read_len(&mut r, 1)?;
+    let mut victim_params = vec![0u8; n_params];
+    r.read_exact(&mut victim_params)?;
+    Ok(Manifest {
+        method_tag,
+        applied,
+        train_seconds,
+        generate_seconds,
+        attack_seconds,
+        clean_samples,
+        objective_curve,
+        poison,
+        victim_params,
+    })
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_i64(r: &mut impl Read) -> io::Result<i64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(i64::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> Manifest {
+        Manifest {
+            method_tag: AttackMethod::Pace.tag(),
+            applied: 2,
+            train_seconds: 1.25,
+            generate_seconds: 0.5,
+            attack_seconds: 0.125,
+            clean_samples: vec![1.0, 2.5, 10.0],
+            objective_curve: vec![0.1, 0.7, 0.9],
+            poison: vec![
+                Query::new(
+                    vec![0, 1],
+                    vec![Predicate {
+                        table: 0,
+                        col: 1,
+                        lo: -5,
+                        hi: 40,
+                    }],
+                ),
+                Query::new(vec![2], vec![]),
+                Query::new(
+                    vec![0],
+                    vec![Predicate {
+                        table: 0,
+                        col: 0,
+                        lo: 0,
+                        hi: 7,
+                    }],
+                ),
+            ],
+            victim_params: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample_manifest();
+        let payload = encode_manifest(&m);
+        let mut file = Vec::new();
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&payload);
+        file.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        assert_eq!(decode_manifest_file(&file).expect("round trip"), m);
+    }
+
+    #[test]
+    fn manifest_rejects_corruption() {
+        let m = sample_manifest();
+        let payload = encode_manifest(&m);
+        let mut file = Vec::new();
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&payload);
+        file.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        // Every single-byte flip in the payload region must be caught by the
+        // checksum; truncations must be caught by the length prefix.
+        for i in [16, 17, file.len() / 2, file.len() - 9] {
+            let mut bad = file.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_manifest_file(&bad).is_err(), "flip at {i} accepted");
+        }
+        for cut in [4, 15, file.len() - 4] {
+            assert!(
+                decode_manifest_file(&file[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_bounds_length_fields() {
+        let m = sample_manifest();
+        let mut payload = encode_manifest(&m);
+        // The clean-sample count sits right after tag + applied + 3 timings.
+        let off = 1 + 8 + 24;
+        payload[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        // Recompute the checksum so only the bounds check can reject it.
+        let mut file = Vec::new();
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&payload);
+        file.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        let err = decode_manifest_file(&file).expect_err("absurd length accepted");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

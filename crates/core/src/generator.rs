@@ -18,9 +18,10 @@
 //! Attributes of tables outside the join pattern are masked to the full
 //! range `[0, 1]`, so decoded queries are always well-formed.
 
+use pace_tensor::fault;
 use pace_tensor::init::gaussian;
 use pace_tensor::nn::{Activation, Mlp};
-use pace_tensor::optim::{clip_global_norm, sanitize, Adam, Optimizer};
+use pace_tensor::optim::{clip_global_norm, sanitize, Adam, AdamState, Optimizer};
 use pace_tensor::{Binding, Graph, Matrix, ParamStore, Var};
 use pace_workload::{Query, QueryEncoder};
 use rand::rngs::StdRng;
@@ -294,7 +295,29 @@ impl PoisonGenerator {
         let mut grads: Vec<Matrix> = grad_vars.iter().map(|&v| g.value(v).clone()).collect();
         sanitize(&mut grads);
         clip_global_norm(&mut grads, self.config.clip_norm);
+        // Fault hook after sanitize/clip: an injected NaN reaches the
+        // optimizer exactly as a genuinely broken gradient would. `context`
+        // doubles as the fault site, so specs can target one attack loop.
+        fault::poison_grads(context, &mut grads);
         self.adam.step(&mut self.params, &grads);
+    }
+
+    /// Exports the optimizer state (attack-loop rollback checkpoints).
+    pub fn opt_state(&self) -> AdamState {
+        self.adam.export_state()
+    }
+
+    /// Restores optimizer state captured by [`Self::opt_state`].
+    pub fn set_opt_state(&mut self, state: AdamState) {
+        self.adam.import_state(state);
+    }
+
+    /// Whether every generator parameter is finite — the authoritative
+    /// divergence signal of the attack loops.
+    pub fn params_finite(&self) -> bool {
+        self.params
+            .iter()
+            .all(|(_, m)| m.data().iter().all(|v| v.is_finite()))
     }
 
     /// Generates `n` poisoning queries (deployment path, paper Section 3.4):

@@ -27,28 +27,41 @@
 //! (budget-constrained attacks), [`defense`] (a poison-screening classifier
 //! trained on PACE's own output) and [`advisor`] (robustness-aware model
 //! recommendation).
+//!
+//! All oracle interaction is fallible and fault-tolerant: probes return
+//! typed [`ProbeError`]s and every call site retries through a
+//! [`ResilientOracle`] governed by a [`RetryPolicy`] ([`resilience`]);
+//! long-running attacks persist resumable progress through [`campaign`].
+//! Deterministic fault injection for all of it is configured with the
+//! `PACE_FAULTS` environment variable (see `pace_tensor::fault`).
 
 #![warn(missing_docs)]
 
 pub mod advisor;
 pub mod attack;
 pub mod budget;
+pub mod campaign;
 pub mod defense;
 pub mod detector;
 pub mod generator;
 mod knowledge;
 mod pipeline;
+pub mod resilience;
 pub mod surrogate;
 mod victim;
 
 pub use advisor::{recommend_robust_model, ModelRobustness, RobustnessReport};
 pub use attack::{AttackArtifacts, AttackConfig};
 pub use budget::{select_budgeted_poison, BudgetedSelection};
+pub use campaign::run_campaign;
 pub use defense::{ClassifierConfig, PoisonClassifier};
 pub use detector::{AnomalyDetector, DetectorConfig};
 pub use generator::{GeneratorConfig, JoinBatch, PoisonGenerator};
 pub use knowledge::AttackerKnowledge;
 pub use pipeline::{craft_poison, run_attack, AttackMethod, AttackOutcome, PipelineConfig};
+pub use resilience::{
+    run_queries_resilient, CampaignError, OracleStats, ProbeError, ResilientOracle, RetryPolicy,
+};
 pub use surrogate::{
     imitation_error, speculate_model_type, train_surrogate, ImitationStrategy, SpeculationConfig,
     SpeculationResult, SurrogateConfig,

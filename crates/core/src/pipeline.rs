@@ -1,11 +1,19 @@
 //! End-to-end attack orchestration (paper Figure 2): surrogate acquisition →
 //! generator training → poisoning-query injection → evaluation.
+//!
+//! Every oracle interaction runs through a
+//! [`ResilientOracle`](crate::resilience::ResilientOracle) built from the
+//! pipeline's [`RetryPolicy`], so probe failures retry/degrade instead of
+//! aborting; [`run_attack`] returns a typed [`CampaignError`] when recovery
+//! is exhausted. The crash-safe, resumable variant — wave-based injection
+//! with a persisted manifest — lives in [`crate::campaign`].
 
 use crate::attack::{
     greedy_poison, loss_based_selection, random_poison, train_generator_accelerated,
     train_generator_basic, train_lbg, AttackConfig,
 };
 use crate::knowledge::AttackerKnowledge;
+use crate::resilience::{run_queries_resilient, CampaignError, ResilientOracle, RetryPolicy};
 use crate::surrogate::{speculate_model_type, train_surrogate, SpeculationConfig, SurrogateConfig};
 use crate::victim::{BlackBox, Victim};
 use pace_ce::{CeModelType, EncodedWorkload};
@@ -61,6 +69,35 @@ impl AttackMethod {
             AttackMethod::PaceNoDetector => "PACE-w/o-detector",
         }
     }
+
+    /// Stable on-disk tag of the campaign manifest.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            AttackMethod::Clean => 0,
+            AttackMethod::Random => 1,
+            AttackMethod::LbS => 2,
+            AttackMethod::Greedy => 3,
+            AttackMethod::LbG => 4,
+            AttackMethod::Pace => 5,
+            AttackMethod::PaceBasic => 6,
+            AttackMethod::PaceNoDetector => 7,
+        }
+    }
+
+    /// Inverse of [`Self::tag`].
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => AttackMethod::Clean,
+            1 => AttackMethod::Random,
+            2 => AttackMethod::LbS,
+            3 => AttackMethod::Greedy,
+            4 => AttackMethod::LbG,
+            5 => AttackMethod::Pace,
+            6 => AttackMethod::PaceBasic,
+            7 => AttackMethod::PaceNoDetector,
+            _ => return None,
+        })
+    }
 }
 
 /// Configuration of the full pipeline.
@@ -75,6 +112,11 @@ pub struct PipelineConfig {
     pub surrogate: SurrogateConfig,
     /// Generator/attack parameters.
     pub attack: AttackConfig,
+    /// Retry/breaker policy wrapping every oracle probe of the pipeline.
+    pub retry: RetryPolicy,
+    /// Queries injected per campaign wave; the resumable campaign persists
+    /// its manifest after each wave ([`crate::campaign::run_campaign`]).
+    pub wave_size: usize,
     /// Diagnostic upper bound: hand the attacker an exact copy of the
     /// victim's model as the surrogate (white-box). Used by ablations to
     /// decompose how much attack effectiveness the black-box surrogate
@@ -90,6 +132,8 @@ impl PipelineConfig {
             speculation: SpeculationConfig::quick(),
             surrogate: SurrogateConfig::quick(),
             attack: AttackConfig::quick(),
+            retry: RetryPolicy::default(),
+            wave_size: 16,
             white_box: false,
         }
     }
@@ -135,36 +179,37 @@ pub fn craft_poison(
     test: &Workload,
     k: &AttackerKnowledge,
     cfg: &PipelineConfig,
-) -> (Vec<Query>, f64, f64, Vec<f32>) {
+) -> Result<(Vec<Query>, f64, f64, Vec<f32>), CampaignError> {
     let mut rng = StdRng::seed_from_u64(cfg.attack.seed ^ 0x91e);
     let n = cfg.attack.n_poison;
+    let oracle = ResilientOracle::new(victim, cfg.retry.clone());
     let t_train = Instant::now();
-    match method {
+    Ok(match method {
         AttackMethod::Clean => (Vec::new(), 0.0, 0.0, Vec::new()),
         AttackMethod::Random => {
             let queries = random_poison(k, &mut rng, n);
             (queries, 0.0, t_train.elapsed().as_secs_f64(), Vec::new())
         }
         AttackMethod::LbS => {
-            let surrogate = acquire_surrogate(victim, k, cfg);
-            let mut count = |q: &Query| victim.count(q);
+            let surrogate = acquire_surrogate(victim, k, cfg)?;
+            let mut count = |q: &Query| oracle.count(q);
             let train_s = t_train.elapsed().as_secs_f64();
             let t_gen = Instant::now();
-            let queries = loss_based_selection(&surrogate, &mut count, k, &mut rng, n);
+            let queries = loss_based_selection(&surrogate, &mut count, k, &mut rng, n)?;
             (queries, train_s, t_gen.elapsed().as_secs_f64(), Vec::new())
         }
         AttackMethod::Greedy => {
-            let surrogate = acquire_surrogate(victim, k, cfg);
-            let mut count = |q: &Query| victim.count(q);
+            let surrogate = acquire_surrogate(victim, k, cfg)?;
+            let mut count = |q: &Query| oracle.count(q);
             let train_s = t_train.elapsed().as_secs_f64();
             let t_gen = Instant::now();
-            let queries = greedy_poison(&surrogate, &mut count, k, &mut rng, n);
+            let queries = greedy_poison(&surrogate, &mut count, k, &mut rng, n)?;
             (queries, train_s, t_gen.elapsed().as_secs_f64(), Vec::new())
         }
         AttackMethod::LbG => {
-            let surrogate = acquire_surrogate(victim, k, cfg);
-            let mut count = |q: &Query| victim.count(q);
-            let artifacts = train_lbg(&surrogate, &mut count, k, &cfg.attack);
+            let surrogate = acquire_surrogate(victim, k, cfg)?;
+            let mut count = |q: &Query| oracle.count(q);
+            let artifacts = train_lbg(&surrogate, &mut count, k, &cfg.attack)?;
             let train_s = t_train.elapsed().as_secs_f64();
             let t_gen = Instant::now();
             let (queries, _) = artifacts.generator.generate(&mut rng, n);
@@ -176,8 +221,8 @@ pub fn craft_poison(
             )
         }
         AttackMethod::Pace | AttackMethod::PaceBasic | AttackMethod::PaceNoDetector => {
-            let mut surrogate = acquire_surrogate(victim, k, cfg);
-            let mut count = |q: &Query| victim.count(q);
+            let mut surrogate = acquire_surrogate(victim, k, cfg)?;
+            let mut count = |q: &Query| oracle.count(q);
             let historical: Vec<Vec<f32>> = victim
                 .historical_sample()
                 .iter()
@@ -200,7 +245,7 @@ pub fn craft_poison(
                     &historical,
                     k,
                     &attack_cfg,
-                )
+                )?
             } else {
                 train_generator_accelerated(
                     &mut surrogate,
@@ -209,7 +254,7 @@ pub fn craft_poison(
                     &historical,
                     k,
                     &attack_cfg,
-                )
+                )?
             };
             let train_s = t_train.elapsed().as_secs_f64();
             let t_gen = Instant::now();
@@ -221,56 +266,48 @@ pub fn craft_poison(
                 artifacts.objective_curve,
             )
         }
-    }
+    })
 }
 
 fn acquire_surrogate(
     victim: &Victim<'_>,
     k: &AttackerKnowledge,
     cfg: &PipelineConfig,
-) -> pace_ce::CeModel {
+) -> Result<pace_ce::CeModel, CampaignError> {
     if cfg.white_box {
-        return victim.model().clone();
+        return Ok(victim.model().clone());
     }
-    let ty = cfg
-        .surrogate_type
-        .unwrap_or_else(|| speculate_model_type(victim, k, &cfg.speculation).speculated);
+    let ty = match cfg.surrogate_type {
+        Some(ty) => ty,
+        None => speculate_model_type(victim, k, &cfg.speculation)?.speculated,
+    };
     train_surrogate(victim, k, ty, &cfg.surrogate)
 }
 
 /// Runs a complete attack against a victim and measures its effect on the
 /// test workload. The victim's model is left in its poisoned state (callers
 /// snapshot/restore its parameters to compare methods).
+///
+/// Injection retries under the pipeline's [`RetryPolicy`]; an error means
+/// the oracle stayed down or training stayed divergent past every recovery.
+/// For a crash-safe campaign that persists progress and can resume after a
+/// kill, use [`crate::campaign::run_campaign`].
 pub fn run_attack(
     victim: &mut Victim<'_>,
     method: AttackMethod,
     test: &Workload,
     k: &AttackerKnowledge,
     cfg: &PipelineConfig,
-) -> AttackOutcome {
+) -> Result<AttackOutcome, CampaignError> {
     let clean = QErrorSummary::from_samples(&victim.q_errors(test));
     let (poison, train_seconds, generate_seconds, objective_curve) =
-        craft_poison(victim, method, test, k, cfg);
+        craft_poison(victim, method, test, k, cfg)?;
     let t_attack = Instant::now();
-    victim.run_queries(&poison);
+    run_queries_resilient(victim, &poison, &cfg.retry)?;
     let attack_seconds = t_attack.elapsed().as_secs_f64();
     let poisoned = QErrorSummary::from_samples(&victim.q_errors(test));
-    let divergence = if poison.is_empty() {
-        0.0
-    } else {
-        let hist: Vec<Vec<f32>> = victim
-            .historical_sample()
-            .iter()
-            .map(|q| k.encoder.encode(q))
-            .collect();
-        let pois: Vec<Vec<f32>> = poison.iter().map(|q| k.encoder.encode(q)).collect();
-        if hist.is_empty() {
-            0.0
-        } else {
-            js_divergence(&pois, &hist, 20)
-        }
-    };
-    AttackOutcome {
+    let divergence = poison_divergence(victim, &poison, k);
+    Ok(AttackOutcome {
         method,
         poison,
         clean,
@@ -280,5 +317,28 @@ pub fn run_attack(
         generate_seconds,
         attack_seconds,
         objective_curve,
+    })
+}
+
+/// JS divergence between the poison batch and the historical workload
+/// (shared by [`run_attack`] and the resumable campaign).
+pub(crate) fn poison_divergence(
+    victim: &Victim<'_>,
+    poison: &[Query],
+    k: &AttackerKnowledge,
+) -> f64 {
+    if poison.is_empty() {
+        return 0.0;
+    }
+    let hist: Vec<Vec<f32>> = victim
+        .historical_sample()
+        .iter()
+        .map(|q| k.encoder.encode(q))
+        .collect();
+    let pois: Vec<Vec<f32>> = poison.iter().map(|q| k.encoder.encode(q)).collect();
+    if hist.is_empty() {
+        0.0
+    } else {
+        js_divergence(&pois, &hist, 20)
     }
 }

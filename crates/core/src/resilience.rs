@@ -1,0 +1,502 @@
+//! Probe-level fault tolerance for the black-box campaign runtime.
+//!
+//! A real PACE campaign spends hours issuing `EXPLAIN`/`COUNT(*)` probes
+//! against a remote victim. Probes time out, connections drop, and responses
+//! occasionally arrive mangled; an attack run that panics on the first bad
+//! probe loses its entire probe budget. This module makes every oracle
+//! interaction fallible and recoverable:
+//!
+//! * [`ProbeError`] — the typed failure surface of [`crate::BlackBox`].
+//! * [`RetryPolicy`] — bounded retries with exponential backoff + jitter and
+//!   a per-probe deadline.
+//! * [`ResilientOracle`] — wraps a `BlackBox` with the retry policy, response
+//!   validation (corrupted responses are detected and retried), a response
+//!   cache, and a circuit breaker that degrades to cached estimates when the
+//!   oracle goes hard-down, so a transient outage cannot abort a campaign.
+//!
+//! Faults are injected *deterministically* through
+//! [`pace_tensor::fault`] (the `PACE_FAULTS` environment spec), so every
+//! recovery path in this module is exercised by reproducible tests instead
+//! of waiting for a flaky network. Because the oracle in this reproduction
+//! is an in-process model, backoff waits are tracked on a **virtual clock**
+//! (latency accounting) instead of real sleeps: deadlines, breaker cooldowns
+//! and the latency returned by [`ResilientOracle::explain_timed`] all read
+//! this clock, and the test suite stays fast. A deployment against a remote
+//! oracle would sleep for the same durations.
+
+use crate::victim::BlackBox;
+use pace_ce::TrainError;
+use pace_workload::Query;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a single black-box probe (or probe sequence) failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProbeError {
+    /// The oracle did not answer within its latency budget.
+    Timeout {
+        /// Seconds spent waiting before giving up.
+        seconds: f64,
+    },
+    /// The oracle returned an error (connection refused, internal error...).
+    Unavailable,
+    /// The response arrived but failed validation (non-finite estimate,
+    /// absurd cardinality) — retried like any other transient failure.
+    Corrupted {
+        /// What the validation rejected.
+        what: &'static str,
+    },
+    /// The victim accepted the queries but its incremental update diverged.
+    /// Not retryable: the update is deterministic, so a retry would diverge
+    /// identically.
+    Update(TrainError),
+    /// Retries and the probe deadline are exhausted.
+    Exhausted {
+        /// The probe site that kept failing.
+        site: &'static str,
+        /// How many attempts were made.
+        attempts: u32,
+        /// The final underlying failure.
+        last: Box<ProbeError>,
+    },
+}
+
+impl ProbeError {
+    /// Whether another attempt could plausibly succeed.
+    fn retryable(&self) -> bool {
+        !matches!(self, ProbeError::Update(_) | ProbeError::Exhausted { .. })
+    }
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::Timeout { seconds } => write!(f, "oracle timed out after {seconds}s"),
+            ProbeError::Unavailable => write!(f, "oracle unavailable"),
+            ProbeError::Corrupted { what } => write!(f, "corrupted oracle response: {what}"),
+            ProbeError::Update(e) => write!(f, "victim update failed: {e}"),
+            ProbeError::Exhausted {
+                site,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "probe `{site}` exhausted {attempts} attempt(s); last: {last}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
+/// Why a whole campaign phase failed after all probe-level recovery.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The oracle stayed down past every retry and degradation path.
+    Oracle(ProbeError),
+    /// Surrogate or victim training stayed divergent past every rollback.
+    Train(TrainError),
+    /// The campaign manifest could not be read or written.
+    Storage(std::io::Error),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Oracle(e) => write!(f, "oracle failure: {e}"),
+            CampaignError::Train(e) => write!(f, "training failure: {e}"),
+            CampaignError::Storage(e) => write!(f, "campaign storage failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<ProbeError> for CampaignError {
+    fn from(e: ProbeError) -> Self {
+        CampaignError::Oracle(e)
+    }
+}
+
+impl From<TrainError> for CampaignError {
+    fn from(e: TrainError) -> Self {
+        CampaignError::Train(e)
+    }
+}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Storage(e)
+    }
+}
+
+/// Bounded-retry policy for black-box probes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per probe (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in seconds; doubles per retry.
+    pub base_backoff: f64,
+    /// Backoff ceiling in seconds.
+    pub max_backoff: f64,
+    /// Total (virtual) seconds a single probe may consume, waits included.
+    pub deadline: f64,
+    /// Consecutive exhausted probes that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// Degraded probes served while the breaker is open before the next
+    /// half-open trial against the real oracle.
+    pub breaker_cooldown: u64,
+    /// Seed of the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: 0.05,
+            max_backoff: 2.0,
+            deadline: 30.0,
+            breaker_threshold: 3,
+            breaker_cooldown: 16,
+            seed: 0x5e71,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff (seconds) before attempt `attempt + 1`, with deterministic
+    /// jitter in `[0.5, 1.0)` of the exponential schedule.
+    fn backoff(&self, site: &str, attempt: u32) -> f64 {
+        let exp = (self.base_backoff * f64::from(1u32 << attempt.min(16))).min(self.max_backoff);
+        let mut h = self.seed ^ u64::from(attempt).wrapping_mul(0x9e3779b97f4a7c15);
+        for b in site.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        }
+        let frac = (splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64;
+        exp * frac.mul_add(0.5, 0.5)
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Counters describing what the resilience layer absorbed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Probes issued through the wrapper.
+    pub probes: u64,
+    /// Individual retry attempts after a failure.
+    pub retries: u64,
+    /// Failures that a retry subsequently recovered from.
+    pub faults_absorbed: u64,
+    /// Probes answered from the degradation path (breaker open).
+    pub degraded: u64,
+    /// Times the circuit breaker opened.
+    pub breaker_trips: u64,
+}
+
+#[derive(Default)]
+struct OracleState {
+    /// Accumulated virtual seconds: injected latencies + backoff waits.
+    virtual_clock: f64,
+    consecutive_exhausted: u32,
+    /// While `Some(n)`, the breaker is open and `n` more probes are served
+    /// degraded before a half-open trial.
+    breaker_open: Option<u64>,
+    explain_cache: HashMap<String, f64>,
+    count_cache: HashMap<String, u64>,
+    stats: OracleStats,
+}
+
+/// A [`BlackBox`] wrapper that retries, validates, caches and — when the
+/// oracle goes hard-down — degrades instead of failing the campaign.
+pub struct ResilientOracle<'a> {
+    bb: &'a dyn BlackBox,
+    policy: RetryPolicy,
+    state: RefCell<OracleState>,
+}
+
+impl<'a> ResilientOracle<'a> {
+    /// Wraps `bb` with `policy`.
+    pub fn new(bb: &'a dyn BlackBox, policy: RetryPolicy) -> Self {
+        Self {
+            bb,
+            policy,
+            state: RefCell::new(OracleState::default()),
+        }
+    }
+
+    /// What the wrapper absorbed so far.
+    pub fn stats(&self) -> OracleStats {
+        self.state.borrow().stats
+    }
+
+    /// Virtual seconds accumulated by injected latencies and backoff waits.
+    pub fn virtual_seconds(&self) -> f64 {
+        self.state.borrow().virtual_clock
+    }
+
+    /// `EXPLAIN` with retries, validation, caching and breaker degradation.
+    pub fn explain(&self, q: &Query) -> Result<f64, ProbeError> {
+        let key = cache_key(q);
+        let est = self.probe(
+            "explain",
+            || {
+                let est = self.bb.explain(q)?;
+                if est.is_finite() && est >= 0.0 {
+                    Ok(est)
+                } else {
+                    Err(ProbeError::Corrupted {
+                        what: "non-finite cardinality estimate",
+                    })
+                }
+            },
+            |state| {
+                state.explain_cache.get(&key).copied().or_else(|| {
+                    // No cached answer for this exact query: serve the median
+                    // of everything seen (the Lb-S style coarse stand-in).
+                    median(state.explain_cache.values().copied())
+                })
+            },
+        )?;
+        self.state.borrow_mut().explain_cache.insert(key, est);
+        Ok(est)
+    }
+
+    /// `EXPLAIN` with measured latency. The measurement covers the **whole
+    /// retry loop** — the oracle-reported seconds of every attempt, summed,
+    /// plus the virtual seconds of injected latencies and backoff waits — so
+    /// a flaky oracle genuinely looks slow to the speculation features,
+    /// exactly as it would over a network. Wrapper bookkeeping (cache
+    /// lookups, validation) is deliberately *outside* the measurement: it is
+    /// attacker-side work, not victim latency.
+    pub fn explain_timed(&self, q: &Query) -> Result<(f64, f64), ProbeError> {
+        let key = cache_key(q);
+        let clock0 = self.state.borrow().virtual_clock;
+        let attempt_seconds = Cell::new(0.0_f64);
+        let est = self.probe(
+            "explain",
+            || {
+                let (est, secs) = self.bb.explain_timed(q)?;
+                attempt_seconds.set(attempt_seconds.get() + secs);
+                if est.is_finite() && est >= 0.0 {
+                    Ok(est)
+                } else {
+                    Err(ProbeError::Corrupted {
+                        what: "non-finite cardinality estimate",
+                    })
+                }
+            },
+            |state| {
+                state
+                    .explain_cache
+                    .get(&key)
+                    .copied()
+                    .or_else(|| median(state.explain_cache.values().copied()))
+            },
+        )?;
+        self.state.borrow_mut().explain_cache.insert(key, est);
+        let virtual_spent = self.state.borrow().virtual_clock - clock0;
+        Ok((est, attempt_seconds.get() + virtual_spent))
+    }
+
+    /// `COUNT(*)` with retries, validation, caching and breaker degradation.
+    pub fn count(&self, q: &Query) -> Result<u64, ProbeError> {
+        let key = cache_key(q);
+        let c = self.probe(
+            "count",
+            || {
+                let c = self.bb.count(q)?;
+                if c == u64::MAX {
+                    Err(ProbeError::Corrupted {
+                        what: "absurd cardinality",
+                    })
+                } else {
+                    Ok(c)
+                }
+            },
+            |state| {
+                state
+                    .count_cache
+                    .get(&key)
+                    .copied()
+                    .or_else(|| median(state.count_cache.values().copied()))
+            },
+        )?;
+        self.state.borrow_mut().count_cache.insert(key, c);
+        Ok(c)
+    }
+
+    /// The historical-workload sample (infallible; local knowledge).
+    pub fn historical_sample(&self) -> &[Query] {
+        self.bb.historical_sample()
+    }
+
+    /// One resilient probe: bounded retries under the deadline, then — if
+    /// the breaker is open or just tripped — the degradation path.
+    fn probe<T>(
+        &self,
+        site: &'static str,
+        attempt: impl Fn() -> Result<T, ProbeError>,
+        degrade: impl Fn(&OracleState) -> Option<T>,
+    ) -> Result<T, ProbeError> {
+        {
+            let mut state = self.state.borrow_mut();
+            state.stats.probes += 1;
+            if let Some(remaining) = state.breaker_open {
+                if remaining > 0 {
+                    state.breaker_open = Some(remaining - 1);
+                    state.stats.degraded += 1;
+                    return degrade(&state).ok_or(ProbeError::Unavailable);
+                }
+                // Cooldown over: half-open, fall through to one real trial.
+            }
+        }
+        let deadline_start = self.state.borrow().virtual_clock;
+        let mut attempts = 0u32;
+        let mut had_failure = false;
+        let outcome = loop {
+            attempts += 1;
+            match attempt() {
+                Ok(v) => {
+                    if had_failure {
+                        self.state.borrow_mut().stats.faults_absorbed += 1;
+                    }
+                    break Ok(v);
+                }
+                Err(e) => {
+                    had_failure = true;
+                    if let ProbeError::Timeout { seconds } = e {
+                        self.state.borrow_mut().virtual_clock += seconds;
+                    }
+                    if !e.retryable() {
+                        break Err(e);
+                    }
+                    let wait = self.policy.backoff(site, attempts - 1);
+                    let spent = self.state.borrow().virtual_clock - deadline_start;
+                    if attempts >= self.policy.max_attempts || spent + wait > self.policy.deadline {
+                        break Err(ProbeError::Exhausted {
+                            site,
+                            attempts,
+                            last: Box::new(e),
+                        });
+                    }
+                    let mut state = self.state.borrow_mut();
+                    state.stats.retries += 1;
+                    state.virtual_clock += wait;
+                }
+            }
+        };
+        let mut state = self.state.borrow_mut();
+        match outcome {
+            Ok(v) => {
+                state.consecutive_exhausted = 0;
+                state.breaker_open = None;
+                Ok(v)
+            }
+            Err(e) => {
+                state.consecutive_exhausted += 1;
+                let was_open = state.breaker_open.is_some();
+                if state.consecutive_exhausted >= self.policy.breaker_threshold || was_open {
+                    if !was_open {
+                        state.stats.breaker_trips += 1;
+                    }
+                    state.breaker_open = Some(self.policy.breaker_cooldown);
+                    if let Some(v) = degrade(&state) {
+                        state.stats.degraded += 1;
+                        return Ok(v);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Injects `queries` into the victim with bounded retries. The victim checks
+/// its fault points *before* mutating the model, so a retried wave is never
+/// double-applied. Update divergence ([`ProbeError::Update`]) is
+/// deterministic and therefore not retried.
+pub fn run_queries_resilient<B: BlackBox + ?Sized>(
+    bb: &mut B,
+    queries: &[Query],
+    policy: &RetryPolicy,
+) -> Result<(), ProbeError> {
+    let mut attempts = 0u32;
+    let mut waited = 0.0f64;
+    loop {
+        attempts += 1;
+        match bb.run_queries(queries) {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                if let ProbeError::Timeout { seconds } = e {
+                    waited += seconds;
+                }
+                if !e.retryable() {
+                    return Err(e);
+                }
+                let wait = policy.backoff("run-queries", attempts - 1);
+                if attempts >= policy.max_attempts || waited + wait > policy.deadline {
+                    return Err(ProbeError::Exhausted {
+                        site: "run-queries",
+                        attempts,
+                        last: Box::new(e),
+                    });
+                }
+                waited += wait;
+            }
+        }
+    }
+}
+
+fn cache_key(q: &Query) -> String {
+    format!("{q:?}")
+}
+
+fn median<T: Copy + PartialOrd>(values: impl Iterator<Item = T>) -> Option<T> {
+    let mut v: Vec<T> = values.collect();
+    if v.is_empty() {
+        return None;
+    }
+    let mid = v.len() / 2;
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Some(v[mid])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 0..8 {
+            let a = p.backoff("explain", attempt);
+            let b = p.backoff("explain", attempt);
+            assert_eq!(a, b, "jitter must be deterministic");
+            assert!(a > 0.0 && a <= p.max_backoff);
+        }
+        // Different sites land on different jitter.
+        assert_ne!(p.backoff("explain", 1), p.backoff("count", 1));
+    }
+
+    #[test]
+    fn median_of_cached_values() {
+        assert_eq!(median([3.0, 1.0, 2.0].into_iter()), Some(2.0));
+        assert_eq!(median(std::iter::empty::<f64>()), None);
+    }
+
+    #[test]
+    fn update_errors_are_not_retryable() {
+        assert!(!ProbeError::Update(TrainError::EmptyWorkload).retryable());
+        assert!(ProbeError::Timeout { seconds: 0.1 }.retryable());
+        assert!(ProbeError::Unavailable.retryable());
+        assert!(ProbeError::Corrupted { what: "x" }.retryable());
+    }
+}

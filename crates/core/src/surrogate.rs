@@ -1,11 +1,23 @@
 //! Surrogate CE-model acquisition (paper Section 4): speculate the black
 //! box's model type from behavioral similarity, then train a white-box
 //! surrogate by imitation.
+//!
+//! Every black-box interaction goes through a
+//! [`ResilientOracle`](crate::resilience::ResilientOracle), so transient
+//! oracle failures are retried (and, past the circuit-breaker threshold,
+//! degraded) instead of aborting the acquisition; the imitation loop itself
+//! checkpoints parameters + optimizer + RNG state and rolls back with a
+//! halved learning rate when optimization diverges, mirroring
+//! `CeModel::train`.
 
 use crate::knowledge::AttackerKnowledge;
+use crate::resilience::{CampaignError, ProbeError, ResilientOracle, RetryPolicy};
 use crate::victim::BlackBox;
-use pace_ce::{q_error_between, q_error_loss, CeConfig, CeModel, CeModelType, EncodedWorkload};
-use pace_tensor::optim::{clip_global_norm, sanitize, Adam, Optimizer};
+use pace_ce::{
+    q_error_between, q_error_loss, CeConfig, CeModel, CeModelType, EncodedWorkload, TrainError,
+};
+use pace_tensor::fault;
+use pace_tensor::optim::{clip_global_norm, sanitize, Adam, AdamState, Optimizer};
 use pace_tensor::{Graph, Matrix};
 use pace_workload::{
     generate_queries_schema_only, q_error, schema_only_query_for_pattern, Query, WorkloadSpec,
@@ -28,6 +40,8 @@ pub struct SpeculationConfig {
     pub range_sizes: Vec<f64>,
     /// Candidate training configuration.
     pub ce_config: CeConfig,
+    /// Retry/breaker policy for the oracle probes.
+    pub retry: RetryPolicy,
     /// Seed for probe/candidate randomness.
     pub seed: u64,
 }
@@ -40,6 +54,7 @@ impl Default for SpeculationConfig {
             column_counts: vec![1, 2, 3],
             range_sizes: vec![0.05, 0.3, 0.8],
             ce_config: CeConfig::default(),
+            retry: RetryPolicy::default(),
             seed: 0x5bec,
         }
     }
@@ -136,16 +151,20 @@ fn build_probes(
     groups
 }
 
+/// A fallible `(estimate, seconds)` probe — the shape of
+/// [`crate::BlackBox::explain_timed`] and of candidate-model timers.
+type TimedEstimator<'a> = dyn FnMut(&Query) -> Result<(f64, f64), ProbeError> + 'a;
+
 /// Behavior vector of an estimator over probe groups. Per group, three
 /// features: the mean *signed* log error (architectural bias direction), the
 /// mean log Q-error (error magnitude), and the log of the minimum-of-3
 /// per-query inference latency (minimum filters scheduler noise; latency is
 /// the paper's second speculation signal).
 fn behavior_vector(
-    estimate: &mut dyn FnMut(&Query) -> (f64, f64),
+    estimate: &mut TimedEstimator<'_>,
     truths: &[Vec<u64>],
     groups: &[Vec<Query>],
-) -> Vec<f64> {
+) -> Result<Vec<f64>, ProbeError> {
     let mut v = Vec::with_capacity(groups.len() * 3);
     // Warm-up pass: the first estimates after model construction pay
     // allocator/cache costs that would otherwise masquerade as architecture
@@ -153,7 +172,7 @@ fn behavior_vector(
     // black box looks like the slowest candidate).
     for group in groups {
         for q in group {
-            let _ = estimate(q);
+            let _ = estimate(q)?;
         }
     }
     for (group, truth) in groups.iter().zip(truths) {
@@ -164,7 +183,7 @@ fn behavior_vector(
             let mut best_l = f64::INFINITY;
             let mut est = 1.0;
             for _ in 0..3 {
-                let (e, l) = estimate(q);
+                let (e, l) = estimate(q)?;
                 est = e;
                 best_l = best_l.min(l);
             }
@@ -176,7 +195,7 @@ fn behavior_vector(
         v.push(qe / group.len() as f64);
         v.push((lat / group.len() as f64).max(1e-9).ln());
     }
-    v
+    Ok(v)
 }
 
 /// Similarity between two z-scored behavior vectors: negative Euclidean
@@ -240,11 +259,16 @@ fn normalize_dims(vectors: &mut [Vec<f64>]) {
 /// (bias, Q-error, latency) behavior vector is most similar. (The paper uses
 /// a raw cosine; see the internal `similarity` helper for why a centered distance is
 /// the robust equivalent here.)
+///
+/// All probes run through the configured [`RetryPolicy`]; the error is the
+/// oracle staying down past every retry, or a candidate's training staying
+/// divergent past every rollback.
 pub fn speculate_model_type(
     bb: &dyn BlackBox,
     k: &AttackerKnowledge,
     cfg: &SpeculationConfig,
-) -> SpeculationResult {
+) -> Result<SpeculationResult, CampaignError> {
+    let oracle = ResilientOracle::new(bb, cfg.retry.clone());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Candidate training data, labeled through the COUNT(*) oracle.
     let train_queries = generate_queries_schema_only(
@@ -254,23 +278,29 @@ pub fn speculate_model_type(
         &mut rng,
         cfg.candidate_train_queries,
     );
-    let labeled: Vec<(Query, u64)> = train_queries
-        .into_iter()
-        .map(|q| (q.clone(), bb.count(&q).max(1)))
-        .collect();
+    let mut labeled: Vec<(Query, u64)> = Vec::with_capacity(train_queries.len());
+    for q in train_queries {
+        let c = oracle.count(&q)?.max(1);
+        labeled.push((q, c));
+    }
     let enc: Vec<Vec<f32>> = labeled.iter().map(|(q, _)| k.encoder.encode(q)).collect();
     let cards: Vec<u64> = labeled.iter().map(|(_, c)| *c).collect();
     let data = EncodedWorkload::from_parts(enc, &cards);
 
     let probes = build_probes(k, cfg, &mut rng);
-    let truths: Vec<Vec<u64>> = probes
-        .iter()
-        .map(|g| g.iter().map(|q| bb.count(q).max(1)).collect())
-        .collect();
+    let mut truths: Vec<Vec<u64>> = Vec::with_capacity(probes.len());
+    for g in &probes {
+        let mut t = Vec::with_capacity(g.len());
+        for q in g {
+            t.push(oracle.count(q)?.max(1));
+        }
+        truths.push(t);
+    }
 
-    // Black-box behavior vector (EXPLAIN + latency).
-    let mut bb_est = |q: &Query| bb.explain_timed(q);
-    let bb_vec = behavior_vector(&mut bb_est, &truths, &probes);
+    // Black-box behavior vector (EXPLAIN + latency). The latency timer wraps
+    // the oracle's whole retry loop, so injected slowness shows up here.
+    let mut bb_est = |q: &Query| oracle.explain_timed(q);
+    let bb_vec = behavior_vector(&mut bb_est, &truths, &probes)?;
 
     let mut vectors = vec![bb_vec];
     let mut types = Vec::new();
@@ -288,13 +318,13 @@ pub fn speculate_model_type(
                 cfg.ce_config,
                 cfg.seed ^ (ty as u64 + 1) ^ (c * 0x9e37),
             );
-            candidate.train(&data, &mut rng);
-            let mut est = |q: &Query| {
+            candidate.train(&data, &mut rng)?;
+            let mut est = |q: &Query| -> Result<(f64, f64), ProbeError> {
                 let t0 = Instant::now();
                 let e = candidate.estimate_query(q);
-                (e, t0.elapsed().as_secs_f64())
+                Ok((e, t0.elapsed().as_secs_f64()))
             };
-            let v = behavior_vector(&mut est, &truths, &probes);
+            let v = behavior_vector(&mut est, &truths, &probes)?;
             if avg.is_empty() {
                 avg = v;
             } else {
@@ -318,13 +348,13 @@ pub fn speculate_model_type(
         .collect();
     let speculated = similarities
         .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite similarity"))
-        .expect("six candidates")
-        .0;
-    SpeculationResult {
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|&(ty, _)| ty)
+        .unwrap_or(CeModelType::Fcn);
+    Ok(SpeculationResult {
         speculated,
         similarities,
-    }
+    })
 }
 
 /// How the surrogate is supervised (paper Section 4.2).
@@ -350,8 +380,12 @@ pub struct SurrogateConfig {
     /// Adam learning rate.
     pub lr: f32,
     /// Model hyperparameters of the surrogate (the attacker's default set;
-    /// may differ from the hidden black-box hyperparameters).
+    /// may differ from the hidden black-box hyperparameters). Its
+    /// `checkpoint_every` / `guard_band` / `max_rollbacks` fields also govern
+    /// the imitation loop's own rollback recovery.
     pub ce_config: CeConfig,
+    /// Retry/breaker policy for the oracle probes that label the data.
+    pub retry: RetryPolicy,
     /// Randomness seed.
     pub seed: u64,
 }
@@ -365,6 +399,7 @@ impl Default for SurrogateConfig {
             batch_size: 128,
             lr: 1e-3,
             ce_config: CeConfig::default(),
+            retry: RetryPolicy::default(),
             seed: 0x5a6e,
         }
     }
@@ -382,14 +417,30 @@ impl SurrogateConfig {
     }
 }
 
+/// A rollback point of the imitation loop: everything needed to resume the
+/// optimization stream exactly (params + Adam moments + RNG state).
+struct ImitationCheckpoint {
+    epoch: usize,
+    params: Vec<Matrix>,
+    adam: AdamState,
+    rng: [u64; 4],
+}
+
 /// Trains a white-box surrogate of the speculated type against the black
 /// box's observable behavior (paper Eq. 6 / Eq. 7).
+///
+/// Labeling probes retry under the configured policy; the imitation loop
+/// checkpoints (params, Adam state, RNG) every
+/// `ce_config.checkpoint_every` steps at epoch boundaries and recovers from
+/// divergence — non-finite loss or parameters — by rolling back with a
+/// halved learning rate, up to `ce_config.max_rollbacks` times.
 pub fn train_surrogate(
     bb: &dyn BlackBox,
     k: &AttackerKnowledge,
     ty: CeModelType,
     cfg: &SurrogateConfig,
-) -> CeModel {
+) -> Result<CeModel, CampaignError> {
+    let oracle = ResilientOracle::new(bb, cfg.retry.clone());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let queries = generate_queries_schema_only(
         &k.encoder,
@@ -400,22 +451,40 @@ pub fn train_surrogate(
     );
     // Supervision: black-box estimates (normalized log) + true cardinalities.
     let enc: Vec<Vec<f32>> = queries.iter().map(|q| k.encoder.encode(q)).collect();
-    let bb_norm: Vec<f32> = queries
-        .iter()
-        .map(|q| ((bb.explain(q).max(1.0).ln() as f32) / k.ln_max).clamp(0.0, 1.0))
-        .collect();
-    let ln_true: Vec<f32> = queries
-        .iter()
-        .map(|q| (bb.count(q).max(1) as f32).ln())
-        .collect();
+    let mut bb_norm: Vec<f32> = Vec::with_capacity(queries.len());
+    let mut ln_true: Vec<f32> = Vec::with_capacity(queries.len());
+    for q in &queries {
+        bb_norm.push(((oracle.explain(q)?.max(1.0).ln() as f32) / k.ln_max).clamp(0.0, 1.0));
+        ln_true.push((oracle.count(q)?.max(1) as f32).ln());
+    }
 
     let mut surrogate =
         CeModel::with_encoder(ty, k.encoder.clone(), k.ln_max, cfg.ce_config, cfg.seed);
     let mut adam = Adam::new(cfg.lr);
     let mut idx: Vec<usize> = (0..queries.len()).collect();
-    for _ in 0..cfg.epochs {
+    let recovery = cfg.ce_config;
+    let mut checkpoint = ImitationCheckpoint {
+        epoch: 0,
+        params: surrogate.params().snapshot(),
+        adam: adam.export_state(),
+        rng: rng.state(),
+    };
+    let mut steps_since_ckpt = 0usize;
+    let mut rollbacks = 0u32;
+    let mut epoch = 0usize;
+    while epoch < cfg.epochs {
+        if steps_since_ckpt >= recovery.checkpoint_every && surrogate.params_finite() {
+            checkpoint = ImitationCheckpoint {
+                epoch,
+                params: surrogate.params().snapshot(),
+                adam: adam.export_state(),
+                rng: rng.state(),
+            };
+            steps_since_ckpt = 0;
+        }
         use rand::seq::SliceRandom;
         idx.shuffle(&mut rng);
+        let mut diverged = false;
         for chunk in idx.chunks(cfg.batch_size) {
             let rows: Vec<Vec<f32>> = chunk.iter().map(|&i| enc[i].clone()).collect();
             let bb_batch: Vec<f32> = chunk.iter().map(|&i| bb_norm[i]).collect();
@@ -443,13 +512,46 @@ pub fn train_surrogate(
                 bind.vars(),
                 "surrogate::imitate",
             );
+            let loss_value = g.value(loss).as_scalar();
             let mut grads: Vec<Matrix> = grad_vars.iter().map(|&v| g.value(v).clone()).collect();
             sanitize(&mut grads);
             clip_global_norm(&mut grads, surrogate.config().clip_norm);
+            // Fault hook after sanitize/clip, so an injected NaN reaches the
+            // optimizer exactly as a genuinely broken gradient would.
+            fault::poison_grads("surrogate-imitate", &mut grads);
             adam.step(surrogate.params_mut(), &grads);
+            steps_since_ckpt += 1;
+            // The capped Q-error loss drops NaN through IEEE min/max, so
+            // parameter finiteness is the authoritative divergence signal.
+            if !loss_value.is_finite()
+                || loss_value > recovery.guard_band
+                || !surrogate.params_finite()
+            {
+                diverged = true;
+                break;
+            }
         }
+        if diverged {
+            if rollbacks >= recovery.max_rollbacks {
+                return Err(CampaignError::Train(TrainError::Diverged { rollbacks }));
+            }
+            rollbacks += 1;
+            surrogate.params_mut().restore(&checkpoint.params);
+            let mut restored = checkpoint.adam.clone();
+            restored.lr *= 0.5;
+            adam.import_state(restored);
+            checkpoint.adam.lr *= 0.5;
+            rng = StdRng::from_state(checkpoint.rng);
+            epoch = checkpoint.epoch;
+            steps_since_ckpt = 0;
+            continue;
+        }
+        epoch += 1;
     }
-    surrogate
+    if !surrogate.params_finite() {
+        return Err(CampaignError::Train(TrainError::Diverged { rollbacks }));
+    }
+    Ok(surrogate)
 }
 
 /// Mean Q-error between surrogate and black-box estimates on held-out probe
@@ -460,12 +562,12 @@ pub fn imitation_error(
     k: &AttackerKnowledge,
     n_probes: usize,
     seed: u64,
-) -> f64 {
+) -> Result<f64, ProbeError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let probes = generate_queries_schema_only(&k.encoder, &k.patterns, &k.spec, &mut rng, n_probes);
-    let total: f64 = probes
-        .iter()
-        .map(|q| q_error(surrogate.estimate_query(q), bb.explain(q)))
-        .sum();
-    total / n_probes as f64
+    let mut total = 0.0f64;
+    for q in &probes {
+        total += q_error(surrogate.estimate_query(q), bb.explain(q)?);
+    }
+    Ok(total / n_probes as f64)
 }

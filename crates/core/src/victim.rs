@@ -7,30 +7,56 @@
 //! victim's CE model will incrementally train on. The attacker can *not* see
 //! the model type, parameters, data, or original training queries — the
 //! [`BlackBox`] trait exposes exactly the permitted surface.
+//!
+//! Every probe is **fallible**: a remote oracle times out, errors, or
+//! returns garbage, so the trait returns [`ProbeError`] and campaigns wrap
+//! it in a [`crate::resilience::ResilientOracle`]. The concrete [`Victim`]
+//! consults [`pace_tensor::fault`] at each probe site (`explain`, `count`,
+//! `run-queries`), which is how the chaos suite drives every recovery path
+//! deterministically.
 
+use crate::resilience::ProbeError;
 use pace_ce::{CeModel, EncodedWorkload};
 use pace_engine::Executor;
+use pace_tensor::fault::{self, Fault};
 use pace_workload::{LabeledQuery, Query, QueryEncoder, Workload};
 use std::time::Instant;
+
+/// Maps an injected fault to the probe error a remote oracle would produce.
+/// `Corrupt` returns `None`: the probe then *succeeds* with a mangled value,
+/// which the resilience layer must catch by validation.
+fn injected_failure(site: &str) -> Result<Option<()>, ProbeError> {
+    match fault::probe(site) {
+        Some(Fault::Timeout { seconds }) => Err(ProbeError::Timeout { seconds }),
+        Some(Fault::Error) => Err(ProbeError::Unavailable),
+        Some(Fault::Corrupt) => Ok(Some(())),
+        None => Ok(None),
+    }
+}
 
 /// The attacker-visible interface of a victim database.
 pub trait BlackBox {
     /// `EXPLAIN`: the CE model's estimated cardinality.
-    fn explain(&self, q: &Query) -> f64;
+    fn explain(&self, q: &Query) -> Result<f64, ProbeError>;
 
-    /// `EXPLAIN` with measured inference latency in seconds.
-    fn explain_timed(&self, q: &Query) -> (f64, f64) {
+    /// `EXPLAIN` with measured inference latency in seconds. The timer wraps
+    /// the complete probe — on a wrapper that retries, implementations must
+    /// measure the whole retry loop, not just the final successful call, so
+    /// oracle flakiness is visible in the latency signal.
+    fn explain_timed(&self, q: &Query) -> Result<(f64, f64), ProbeError> {
         let t0 = Instant::now();
-        let est = self.explain(q);
-        (est, t0.elapsed().as_secs_f64())
+        let est = self.explain(q)?;
+        Ok((est, t0.elapsed().as_secs_f64()))
     }
 
     /// `SELECT COUNT(*)`: the true cardinality.
-    fn count(&self, q: &Query) -> u64;
+    fn count(&self, q: &Query) -> Result<u64, ProbeError>;
 
     /// Runs queries against the database; the CE model observes them (with
     /// their true cardinalities) and updates itself incrementally.
-    fn run_queries(&mut self, queries: &[Query]);
+    /// Implementations must fail *before* mutating any state, so a failed
+    /// call can be retried without double-applying the queries.
+    fn run_queries(&mut self, queries: &[Query]) -> Result<(), ProbeError>;
 
     /// A sample of the historical workload (used to train the anomaly
     /// detector; the paper assumes the attacker "can obtain a set of
@@ -84,6 +110,18 @@ impl<'a> Victim<'a> {
         &self.injected
     }
 
+    /// Restores the injected-query log when a campaign resumes from its
+    /// manifest (evaluation side; labels are re-derived locally, no probes).
+    pub(crate) fn restore_injected(&mut self, queries: &[Query]) {
+        self.injected = queries
+            .iter()
+            .map(|q| LabeledQuery {
+                query: q.clone(),
+                cardinality: self.exec.count(q).max(1),
+            })
+            .collect();
+    }
+
     /// Labels and evaluates a test workload's Q-errors under the current
     /// model state (evaluation side).
     pub fn q_errors(&self, test: &Workload) -> Vec<f64> {
@@ -93,17 +131,29 @@ impl<'a> Victim<'a> {
 }
 
 impl BlackBox for Victim<'_> {
-    fn explain(&self, q: &Query) -> f64 {
-        self.model.estimate_query(q)
+    fn explain(&self, q: &Query) -> Result<f64, ProbeError> {
+        if injected_failure("explain")?.is_some() {
+            return Ok(f64::NAN); // corrupted response, caught by validation
+        }
+        Ok(self.model.estimate_query(q))
     }
 
-    fn count(&self, q: &Query) -> u64 {
-        self.exec.count(q)
+    fn count(&self, q: &Query) -> Result<u64, ProbeError> {
+        if injected_failure("count")?.is_some() {
+            return Ok(u64::MAX); // corrupted response, caught by validation
+        }
+        Ok(self.exec.count(q))
     }
 
-    fn run_queries(&mut self, queries: &[Query]) {
+    fn run_queries(&mut self, queries: &[Query]) -> Result<(), ProbeError> {
         if queries.is_empty() {
-            return;
+            return Ok(());
+        }
+        // Fault points fire before any mutation so a retry is safe.
+        if injected_failure("run-queries")?.is_some() {
+            return Err(ProbeError::Corrupted {
+                what: "batch submission rejected",
+            });
         }
         let labeled: Workload = queries
             .iter()
@@ -113,8 +163,9 @@ impl BlackBox for Victim<'_> {
             })
             .collect();
         let data = EncodedWorkload::from_workload(&self.encoder, &labeled);
-        self.model.update(&data);
+        self.model.update(&data).map_err(ProbeError::Update)?;
         self.injected.extend(labeled);
+        Ok(())
     }
 
     fn historical_sample(&self) -> &[Query] {
@@ -141,16 +192,18 @@ mod tests {
         let mut victim = Victim::new(model, Executor::new(&ds), history.clone());
 
         let q = &history[0];
-        let est = victim.explain(q);
+        let est = victim.explain(q).expect("no fault installed");
         assert!(est >= 1.0);
-        let truth = victim.count(q);
+        let truth = victim.count(q).expect("no fault installed");
         assert_eq!(truth, exec.count(q));
-        let (est2, latency) = victim.explain_timed(q);
+        let (est2, latency) = victim.explain_timed(q).expect("no fault installed");
         assert_eq!(est, est2);
         assert!(latency >= 0.0);
         assert_eq!(victim.historical_sample().len(), 20);
 
-        victim.run_queries(&history[..5.min(history.len())]);
+        victim
+            .run_queries(&history[..5.min(history.len())])
+            .expect("no fault installed");
         assert_eq!(victim.injected().len(), 5);
     }
 }

@@ -42,7 +42,9 @@ fn trained_victim<'a>(s: &'a Setup, ty: CeModelType, seed: u64) -> Victim<'a> {
     let data = EncodedWorkload::from_workload(&QueryEncoder::new(&s.ds), &labeled);
     let mut model = CeModel::new(ty, &s.ds, CeConfig::quick(), seed);
     let mut rng = StdRng::seed_from_u64(seed + 7);
-    model.train(&data, &mut rng);
+    model
+        .train(&data, &mut rng)
+        .expect("victim training converges");
     Victim::new(model, Executor::new(&s.ds), s.history.clone())
 }
 
@@ -64,7 +66,8 @@ fn pace_degrades_fcn_victim_on_dmv() {
         &s.test,
         &k,
         &quick_pipeline(CeModelType::Fcn),
-    );
+    )
+    .expect("attack campaign completes");
     assert!(
         outcome.poisoned.mean > outcome.clean.mean * 1.5,
         "PACE failed to degrade the victim: clean {} -> poisoned {}",
@@ -88,10 +91,12 @@ fn pace_beats_random_baseline() {
     let cfg = quick_pipeline(CeModelType::Fcn);
 
     let mut victim_rand = trained_victim(&s, CeModelType::Fcn, 5);
-    let random = run_attack(&mut victim_rand, AttackMethod::Random, &s.test, &k, &cfg);
+    let random = run_attack(&mut victim_rand, AttackMethod::Random, &s.test, &k, &cfg)
+        .expect("attack campaign completes");
 
     let mut victim_pace = trained_victim(&s, CeModelType::Fcn, 5);
-    let pace = run_attack(&mut victim_pace, AttackMethod::Pace, &s.test, &k, &cfg);
+    let pace = run_attack(&mut victim_pace, AttackMethod::Pace, &s.test, &k, &cfg)
+        .expect("attack campaign completes");
 
     assert!(
         pace.poisoned.mean > random.poisoned.mean,
@@ -116,7 +121,8 @@ fn attack_works_on_a_join_dataset() {
         &s.test,
         &k,
         &quick_pipeline(CeModelType::Mscn),
-    );
+    )
+    .expect("attack campaign completes");
     assert!(
         outcome.poisoned.mean > outcome.clean.mean,
         "clean {} -> poisoned {}",
@@ -136,7 +142,8 @@ fn surrogate_imitates_black_box_better_than_untrained() {
         strategy: pace_core::ImitationStrategy::Direct,
         ..SurrogateConfig::quick()
     };
-    let surrogate = train_surrogate(&victim, &k, CeModelType::Fcn, &cfg);
+    let surrogate =
+        train_surrogate(&victim, &k, CeModelType::Fcn, &cfg).expect("surrogate training completes");
     let untrained = CeModel::with_encoder(
         CeModelType::Fcn,
         k.encoder.clone(),
@@ -144,8 +151,10 @@ fn surrogate_imitates_black_box_better_than_untrained() {
         CeConfig::quick(),
         999,
     );
-    let err_trained = pace_core::imitation_error(&surrogate, &victim, &k, 100, 11);
-    let err_untrained = pace_core::imitation_error(&untrained, &victim, &k, 100, 11);
+    let err_trained =
+        pace_core::imitation_error(&surrogate, &victim, &k, 100, 11).expect("no fault installed");
+    let err_untrained =
+        pace_core::imitation_error(&untrained, &victim, &k, 100, 11).expect("no fault installed");
     assert!(
         err_trained < err_untrained,
         "imitation failed: trained {err_trained} vs untrained {err_untrained}"
@@ -172,7 +181,7 @@ fn speculation_identifies_extreme_architectures() {
         probes_per_group: 6,
         ..pace_core::SpeculationConfig::quick()
     };
-    let result = pace_core::speculate_model_type(&victim, &k, &cfg);
+    let result = pace_core::speculate_model_type(&victim, &k, &cfg).expect("speculation completes");
     assert_eq!(
         result.speculated,
         CeModelType::Linear,
@@ -191,7 +200,8 @@ fn detector_confrontation_lowers_divergence() {
     let cfg = quick_pipeline(CeModelType::Fcn);
 
     let mut victim_with = trained_victim(&s, CeModelType::Fcn, 13);
-    let with_det = run_attack(&mut victim_with, AttackMethod::Pace, &s.test, &k, &cfg);
+    let with_det = run_attack(&mut victim_with, AttackMethod::Pace, &s.test, &k, &cfg)
+        .expect("attack campaign completes");
 
     let mut victim_without = trained_victim(&s, CeModelType::Fcn, 13);
     let without_det = run_attack(
@@ -200,7 +210,8 @@ fn detector_confrontation_lowers_divergence() {
         &s.test,
         &k,
         &cfg,
-    );
+    )
+    .expect("attack campaign completes");
 
     assert!(
         with_det.divergence <= without_det.divergence * 1.15,
@@ -221,7 +232,8 @@ fn objective_curve_trends_upward() {
         &s.test,
         &k,
         &quick_pipeline(CeModelType::Fcn),
-    );
+    )
+    .expect("attack campaign completes");
     let curve = &outcome.objective_curve;
     assert!(!curve.is_empty());
     let head: f32 =

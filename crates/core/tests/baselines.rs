@@ -2,6 +2,7 @@
 
 use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
 use pace_core::attack::{greedy_poison, loss_based_selection, random_poison, train_lbg};
+use pace_core::ProbeError;
 use pace_core::{AttackConfig, AttackerKnowledge};
 use pace_data::{build, DatasetKind, Scale};
 use pace_engine::Executor;
@@ -20,10 +21,12 @@ fn setup() -> (pace_data::Dataset, AttackerKnowledge, CeModel) {
     let mut rng = StdRng::seed_from_u64(42);
     let train = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 400));
     let mut surrogate = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 43);
-    surrogate.train(
-        &EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &train),
-        &mut rng,
-    );
+    surrogate
+        .train(
+            &EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &train),
+            &mut rng,
+        )
+        .expect("surrogate training converges");
     (ds, k, surrogate)
 }
 
@@ -41,8 +44,9 @@ fn loss_based_selection_picks_high_loss_queries() {
     let (ds, k, surrogate) = setup();
     let exec = Executor::new(&ds);
     let mut rng = StdRng::seed_from_u64(45);
-    let mut count = |q: &Query| exec.count(q);
-    let selected = loss_based_selection(&surrogate, &mut count, &k, &mut rng, 20);
+    let mut count = |q: &Query| -> Result<u64, ProbeError> { Ok(exec.count(q)) };
+    let selected =
+        loss_based_selection(&surrogate, &mut count, &k, &mut rng, 20).expect("no fault installed");
     assert_eq!(selected.len(), 20);
 
     // Selected queries must have higher mean inference loss than a random
@@ -67,8 +71,8 @@ fn greedy_poison_builds_valid_multi_predicate_queries() {
     let (ds, k, surrogate) = setup();
     let exec = Executor::new(&ds);
     let mut rng = StdRng::seed_from_u64(46);
-    let mut count = |q: &Query| exec.count(q);
-    let qs = greedy_poison(&surrogate, &mut count, &k, &mut rng, 10);
+    let mut count = |q: &Query| -> Result<u64, ProbeError> { Ok(exec.count(q)) };
+    let qs = greedy_poison(&surrogate, &mut count, &k, &mut rng, 10).expect("no fault installed");
     assert_eq!(qs.len(), 10);
     assert!(qs.iter().all(|q| q.is_valid(&ds.schema)));
     // Greedy adds one condition per eligible attribute (up to the budget).
@@ -79,13 +83,13 @@ fn greedy_poison_builds_valid_multi_predicate_queries() {
 fn lbg_training_increases_generated_inference_loss() {
     let (ds, k, surrogate) = setup();
     let exec = Executor::new(&ds);
-    let mut count = |q: &Query| exec.count(q);
+    let mut count = |q: &Query| -> Result<u64, ProbeError> { Ok(exec.count(q)) };
     let cfg = AttackConfig {
         iters: 15,
         batch: 32,
         ..AttackConfig::quick()
     };
-    let artifacts = train_lbg(&surrogate, &mut count, &k, &cfg);
+    let artifacts = train_lbg(&surrogate, &mut count, &k, &cfg).expect("no fault installed");
     let curve = &artifacts.objective_curve;
     assert_eq!(curve.len(), 15);
     let head = curve[..3].iter().sum::<f32>() / 3.0;

@@ -1,0 +1,286 @@
+//! Fault-recovery behavior of the campaign runtime: each injected fault kind
+//! must be absorbed by the retry/degradation machinery, and an interrupted
+//! campaign must resume bit-identically from its manifest.
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_core::{
+    run_campaign, AttackMethod, AttackerKnowledge, CampaignError, PipelineConfig, ProbeError,
+    ResilientOracle, RetryPolicy, Victim,
+};
+use pace_data::{build, Dataset, DatasetKind, Scale};
+use pace_engine::Executor;
+use pace_tensor::fault::{self, FaultSpec};
+use pace_workload::{generate_queries, Query, QueryEncoder, Workload, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The fault injector is process-global; tests that install specs (and tests
+/// that require none) must not interleave.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    match FAULT_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn install(spec: &str) {
+    fault::install(Some(FaultSpec::parse(spec).expect("valid fault spec")));
+}
+
+struct Setup {
+    ds: Dataset,
+    history: Vec<Query>,
+    test: Workload,
+}
+
+fn setup(seed: u64) -> Setup {
+    let ds = build(DatasetKind::Dmv, Scale::tiny(), seed);
+    let exec = Executor::new(&ds);
+    let mut rng = StdRng::seed_from_u64(seed + 100);
+    let spec = WorkloadSpec::single_table();
+    let history = generate_queries(&ds, &spec, &mut rng, 200);
+    let test = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 60));
+    Setup { ds, history, test }
+}
+
+fn trained_victim(s: &Setup, seed: u64) -> Victim<'_> {
+    let exec = Executor::new(&s.ds);
+    let labeled = exec.label_nonzero(s.history.clone());
+    let data = EncodedWorkload::from_workload(&QueryEncoder::new(&s.ds), &labeled);
+    let mut model = CeModel::new(CeModelType::Linear, &s.ds, CeConfig::quick(), seed);
+    let mut rng = StdRng::seed_from_u64(seed + 7);
+    model
+        .train(&data, &mut rng)
+        .expect("victim training converges");
+    Victim::new(model, Executor::new(&s.ds), s.history.clone())
+}
+
+fn probe_query(s: &Setup) -> Query {
+    s.test.first().expect("non-empty test set").query.clone()
+}
+
+fn manifest_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pace-test-{}-{name}.campaign", std::process::id()))
+}
+
+#[test]
+fn timeout_fault_is_retried_and_latency_is_visible() {
+    let _g = lock();
+    let s = setup(1);
+    let victim = trained_victim(&s, 3);
+    let q = probe_query(&s);
+    install("timeout,site=explain,at=1,lat=0.5");
+    let oracle = ResilientOracle::new(&victim, RetryPolicy::default());
+    let result = oracle.explain_timed(&q);
+    fault::install(None);
+    let (est, seconds) = result.expect("one timeout must be absorbed by retry");
+    assert!(est.is_finite() && est >= 0.0);
+    assert!(
+        seconds >= 0.5,
+        "injected latency must show up in the measured probe time, got {seconds}"
+    );
+    let stats = oracle.stats();
+    assert!(stats.retries >= 1);
+    assert!(stats.faults_absorbed >= 1);
+    assert!(oracle.virtual_seconds() >= 0.5);
+}
+
+#[test]
+fn error_fault_is_retried() {
+    let _g = lock();
+    let s = setup(5);
+    let victim = trained_victim(&s, 7);
+    let q = probe_query(&s);
+    install("error,site=count,at=1");
+    let oracle = ResilientOracle::new(&victim, RetryPolicy::default());
+    let result = oracle.count(&q);
+    fault::install(None);
+    let truth = victim.executor().count(&q);
+    assert_eq!(result.expect("one error must be absorbed by retry"), truth);
+    assert!(oracle.stats().retries >= 1);
+}
+
+#[test]
+fn corrupt_responses_are_detected_and_retried() {
+    let _g = lock();
+    let s = setup(9);
+    let victim = trained_victim(&s, 11);
+    let q = probe_query(&s);
+    install("corrupt,site=explain,at=1;corrupt,site=count,at=1");
+    let oracle = ResilientOracle::new(&victim, RetryPolicy::default());
+    let est = oracle.explain(&q);
+    let cnt = oracle.count(&q);
+    fault::install(None);
+    let est = est.expect("corrupted estimate must be retried");
+    assert!(est.is_finite() && est >= 0.0);
+    assert_eq!(
+        cnt.expect("corrupted count must be retried"),
+        victim.executor().count(&q)
+    );
+    assert_eq!(oracle.stats().faults_absorbed, 2);
+}
+
+#[test]
+fn hard_down_oracle_trips_breaker_and_serves_cached_estimates() {
+    let _g = lock();
+    let s = setup(13);
+    let victim = trained_victim(&s, 15);
+    let q = probe_query(&s);
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        breaker_threshold: 1,
+        ..RetryPolicy::default()
+    };
+    fault::install(None);
+    let oracle = ResilientOracle::new(&victim, policy);
+    let healthy = oracle.explain(&q).expect("healthy probe succeeds");
+    install("error,site=explain,every=1");
+    let degraded = oracle.explain(&q);
+    fault::install(None);
+    assert_eq!(
+        degraded.expect("breaker must degrade to the cached estimate"),
+        healthy
+    );
+    let stats = oracle.stats();
+    assert!(stats.breaker_trips >= 1);
+    assert!(stats.degraded >= 1);
+}
+
+#[test]
+fn hard_down_oracle_without_cache_is_a_typed_error() {
+    let _g = lock();
+    let s = setup(17);
+    let victim = trained_victim(&s, 19);
+    let q = probe_query(&s);
+    install("error,site=count,every=1");
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    };
+    let oracle = ResilientOracle::new(&victim, policy);
+    let result = oracle.count(&q);
+    fault::install(None);
+    match result {
+        Err(ProbeError::Exhausted { site, attempts, .. }) => {
+            assert_eq!(site, "count");
+            assert_eq!(attempts, 2);
+        }
+        other => panic!("expected Exhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn run_queries_retries_without_double_applying() {
+    let _g = lock();
+    let s = setup(21);
+    let mut victim = trained_victim(&s, 23);
+    let batch: Vec<Query> = s.test.iter().take(8).map(|lq| lq.query.clone()).collect();
+    install("error,site=run-queries,at=1");
+    let result = pace_core::run_queries_resilient(&mut victim, &batch, &RetryPolicy::default());
+    fault::install(None);
+    result.expect("one rejected submission must be absorbed by retry");
+    assert_eq!(
+        victim.injected().len(),
+        batch.len(),
+        "a retried wave must be applied exactly once"
+    );
+}
+
+#[test]
+fn interrupted_campaign_resumes_bit_identical() {
+    let _g = lock();
+    fault::install(None);
+    let s = setup(25);
+    let k = AttackerKnowledge::from_public(&s.ds, WorkloadSpec::single_table());
+    let cfg = PipelineConfig::quick();
+
+    // Uninterrupted baseline campaign.
+    let mut baseline_victim = trained_victim(&s, 27);
+    let base_path = manifest_path("baseline");
+    let baseline = run_campaign(
+        &mut baseline_victim,
+        AttackMethod::Random,
+        &s.test,
+        &k,
+        &cfg,
+        &base_path,
+    )
+    .expect("uninterrupted campaign completes");
+    assert!(
+        !base_path.exists(),
+        "completed campaign removes its manifest"
+    );
+
+    // Identically-trained victim; the oracle goes hard-down during wave 2
+    // (visits 2..=5 of the run-queries site exhaust all 4 attempts).
+    let mut victim = trained_victim(&s, 27);
+    let path = manifest_path("interrupted");
+    install(
+        "error,site=run-queries,at=2;error,site=run-queries,at=3;\
+         error,site=run-queries,at=4;error,site=run-queries,at=5",
+    );
+    let interrupted = run_campaign(&mut victim, AttackMethod::Random, &s.test, &k, &cfg, &path);
+    fault::install(None);
+    match interrupted {
+        Err(CampaignError::Oracle(ProbeError::Exhausted { site, .. })) => {
+            assert_eq!(site, "run-queries");
+        }
+        other => panic!("expected an exhausted oracle, got {other:?}"),
+    }
+    assert!(path.exists(), "interrupted campaign leaves its manifest");
+
+    // Resume: the campaign picks up at the persisted wave boundary and the
+    // final outcome matches the uninterrupted run exactly.
+    let resumed = run_campaign(&mut victim, AttackMethod::Random, &s.test, &k, &cfg, &path)
+        .expect("resumed campaign completes");
+    assert!(!path.exists());
+    assert_eq!(resumed.poison, baseline.poison);
+    assert_eq!(resumed.clean.mean.to_bits(), baseline.clean.mean.to_bits());
+    assert_eq!(
+        resumed.poisoned.mean.to_bits(),
+        baseline.poisoned.mean.to_bits()
+    );
+    assert_eq!(
+        resumed.poisoned.median.to_bits(),
+        baseline.poisoned.median.to_bits()
+    );
+    assert_eq!(
+        resumed.poisoned.max.to_bits(),
+        baseline.poisoned.max.to_bits()
+    );
+    assert_eq!(resumed.divergence.to_bits(), baseline.divergence.to_bits());
+}
+
+#[test]
+fn resuming_with_a_different_method_is_rejected() {
+    let _g = lock();
+    fault::install(None);
+    let s = setup(29);
+    let k = AttackerKnowledge::from_public(&s.ds, WorkloadSpec::single_table());
+    let cfg = PipelineConfig::quick();
+    let mut victim = trained_victim(&s, 31);
+    let path = manifest_path("method-mismatch");
+
+    // Interrupt a Random campaign so its manifest survives.
+    install(
+        "error,site=run-queries,at=1;error,site=run-queries,at=2;\
+         error,site=run-queries,at=3;error,site=run-queries,at=4",
+    );
+    let interrupted = run_campaign(&mut victim, AttackMethod::Random, &s.test, &k, &cfg, &path);
+    fault::install(None);
+    assert!(interrupted.is_err());
+    assert!(path.exists());
+
+    let mismatched = run_campaign(&mut victim, AttackMethod::Clean, &s.test, &k, &cfg, &path);
+    match mismatched {
+        Err(CampaignError::Storage(e)) => {
+            assert!(e.to_string().contains("belongs to method"))
+        }
+        other => panic!("expected a storage error, got {other:?}"),
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+}

@@ -69,6 +69,6 @@ fn opt_hook_runs_through_ce_update_choke_point() {
     // divergence under strict mode would panic, so a clean pass through a
     // real incremental update exercises the whole wiring.
     set_opt_enabled(true);
-    model.update(&data);
+    model.update(&data).expect("update converges");
     set_opt_enabled(false);
 }

@@ -1,0 +1,557 @@
+//! Deterministic fault injection (`PACE_FAULTS`).
+//!
+//! The PACE reproduction models a long-running campaign against a remote
+//! black-box victim. To test that the campaign runtime survives operational
+//! failures — lost oracle responses, corrupted probe results, non-finite
+//! gradients, a killed process — this module injects those failures *on
+//! purpose*, deterministically, from a seeded spec. The same spec + seed
+//! always produces the same fault schedule, so every recovery path is
+//! reproducible in CI (`xtask chaos`) and in unit tests.
+//!
+//! # Spec grammar
+//!
+//! `PACE_FAULTS` joins the [`crate::flags`] family: unset/empty/`0` means
+//! off, the variable is read once, and tests override it via
+//! [`install`]. A non-off value is a `;`-separated list of entries. Each
+//! entry is a fault kind followed by `,`-separated `key=value` options:
+//!
+//! ```text
+//! PACE_FAULTS="seed=42;timeout,site=explain,every=3,lat=0.05;nan,at=10,site=ce-train"
+//! ```
+//!
+//! Kinds: `timeout`, `error`, `corrupt` (oracle-level, consumed through
+//! [`probe`]); `nan` (gradient corruption, [`poison_grads`]); `crash`
+//! (hard process exit, [`crash_point`]). Options:
+//!
+//! * `site=S` — only fire at sites whose label contains `S` (default: all);
+//! * `every=K` — fire on every `K`-th matching visit (deterministic);
+//! * `at=N` — fire exactly on the `N`-th matching visit (1-based);
+//! * `p=P` — fire with probability `P` per visit, decided by a hash of
+//!   `(seed, entry, visit)` — random-looking but fully reproducible;
+//! * `lat=SECS` — injected latency for `timeout` faults (default 0.05 s);
+//! * `seed=N` — standalone entry setting the schedule seed (default 0).
+//!
+//! An entry must carry at least one trigger (`every`/`at`/`p`). Malformed
+//! specs panic at first use with the offending fragment — a chaos run with a
+//! typo'd spec silently testing nothing would be worse.
+
+use crate::flags;
+use crate::matrix::Matrix;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Exit code used by [`crash_point`] when a `crash` fault fires. The chaos
+/// harness treats this code as "injected crash, resume expected".
+pub const CRASH_EXIT_CODE: i32 = 86;
+
+/// The failure taxonomy the campaign runtime must survive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Oracle probe exceeds its deadline (injected latency, then failure).
+    Timeout,
+    /// Oracle probe returns a hard error.
+    Error,
+    /// Oracle probe returns a corrupted (non-finite / absurd) response.
+    Corrupt,
+    /// A training step produces non-finite gradients.
+    NanGrad,
+    /// The process dies mid-campaign (simulated `kill -9`).
+    Crash,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "timeout" => Some(Self::Timeout),
+            "error" => Some(Self::Error),
+            "corrupt" => Some(Self::Corrupt),
+            "nan" | "nangrad" => Some(Self::NanGrad),
+            "crash" => Some(Self::Crash),
+            _ => None,
+        }
+    }
+
+    /// The spec spelling of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Timeout => "timeout",
+            Self::Error => "error",
+            Self::Corrupt => "corrupt",
+            Self::NanGrad => "nan",
+            Self::Crash => "crash",
+        }
+    }
+}
+
+/// A fault produced by the injector at a probe site.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// The probe hangs for `seconds`, then fails with a timeout.
+    Timeout {
+        /// Injected latency in (virtual) seconds.
+        seconds: f64,
+    },
+    /// The probe fails outright.
+    Error,
+    /// The probe "succeeds" but the response is garbage.
+    Corrupt,
+}
+
+/// One parsed spec entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEntry {
+    /// Which failure to inject.
+    pub kind: FaultKind,
+    /// Substring filter on the site label (`None` matches every site).
+    pub site: Option<String>,
+    /// Fire on every `K`-th matching visit.
+    pub every: Option<u64>,
+    /// Fire exactly on the `N`-th matching visit (1-based).
+    pub at: Option<u64>,
+    /// Fire with this probability per matching visit.
+    pub p: Option<f64>,
+    /// Injected latency in seconds (timeout faults).
+    pub latency: f64,
+}
+
+impl FaultEntry {
+    fn matches(&self, site: &str) -> bool {
+        self.site.as_deref().is_none_or(|s| site.contains(s))
+    }
+}
+
+/// A parsed `PACE_FAULTS` value: a seed plus a list of entries.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for probabilistic (`p=`) triggers.
+    pub seed: u64,
+    /// The fault entries, in spec order.
+    pub entries: Vec<FaultEntry>,
+}
+
+impl FaultSpec {
+    /// Parses the grammar described in the module docs.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first malformed fragment.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let mut spec = FaultSpec::default();
+        for part in raw.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some(seed) = part.strip_prefix("seed=") {
+                spec.seed = seed
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad seed {seed:?}"))?;
+                continue;
+            }
+            let mut fields = part.split(',');
+            let kind_str = fields.next().unwrap_or("").trim();
+            let kind = FaultKind::parse(kind_str)
+                .ok_or_else(|| format!("unknown fault kind {kind_str:?} in {part:?}"))?;
+            let mut entry = FaultEntry {
+                kind,
+                site: None,
+                every: None,
+                at: None,
+                p: None,
+                latency: 0.05,
+            };
+            for field in fields {
+                let field = field.trim();
+                let (key, val) = field
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected key=value, got {field:?} in {part:?}"))?;
+                match key.trim() {
+                    "site" => entry.site = Some(val.trim().to_string()),
+                    "every" => {
+                        let k: u64 = val
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad every={val:?} in {part:?}"))?;
+                        if k == 0 {
+                            return Err(format!("every=0 in {part:?}"));
+                        }
+                        entry.every = Some(k);
+                    }
+                    "at" => {
+                        let n: u64 = val
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad at={val:?} in {part:?}"))?;
+                        if n == 0 {
+                            return Err(format!("at=0 in {part:?} (visits are 1-based)"));
+                        }
+                        entry.at = Some(n);
+                    }
+                    "p" => {
+                        let p: f64 = val
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad p={val:?} in {part:?}"))?;
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(format!("p={p} out of [0,1] in {part:?}"));
+                        }
+                        entry.p = Some(p);
+                    }
+                    "lat" => {
+                        entry.latency = val
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad lat={val:?} in {part:?}"))?;
+                    }
+                    other => return Err(format!("unknown option {other:?} in {part:?}")),
+                }
+            }
+            if entry.every.is_none() && entry.at.is_none() && entry.p.is_none() {
+                return Err(format!(
+                    "entry {part:?} has no trigger (need every=, at=, or p=)"
+                ));
+            }
+            spec.entries.push(entry);
+        }
+        Ok(spec)
+    }
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic fault scheduler. Most code uses the process-global
+/// instance through the free functions ([`probe`], [`poison_grads`],
+/// [`crash_point`]); tests can also drive a private instance directly.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+    /// Per-entry count of matching visits.
+    counters: Vec<u64>,
+}
+
+impl FaultInjector {
+    /// Builds an injector with all counters at zero.
+    pub fn new(spec: FaultSpec) -> Self {
+        let counters = vec![0; spec.entries.len()];
+        Self { spec, counters }
+    }
+
+    fn entry_fires(&mut self, idx: usize, site: &str) -> bool {
+        let e = &self.spec.entries[idx];
+        if !e.matches(site) {
+            return false;
+        }
+        self.counters[idx] += 1;
+        let visit = self.counters[idx];
+        let e = &self.spec.entries[idx];
+        if e.at == Some(visit) {
+            return true;
+        }
+        if let Some(k) = e.every {
+            if visit.is_multiple_of(k) {
+                return true;
+            }
+        }
+        if let Some(p) = e.p {
+            let h = splitmix64(
+                self.spec
+                    .seed
+                    .wrapping_mul(0xd1b5_4a32_d192_ed03)
+                    .wrapping_add((idx as u64) << 32)
+                    .wrapping_add(visit),
+            );
+            let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if unit < p {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consults the oracle-level entries (`timeout`/`error`/`corrupt`) for a
+    /// probe at `site`. Every matching entry's visit counter advances; the
+    /// first entry that fires decides the fault.
+    pub fn probe(&mut self, site: &str) -> Option<Fault> {
+        let mut fault = None;
+        for idx in 0..self.spec.entries.len() {
+            let kind = self.spec.entries[idx].kind;
+            let oracle = matches!(
+                kind,
+                FaultKind::Timeout | FaultKind::Error | FaultKind::Corrupt
+            );
+            if !oracle {
+                continue;
+            }
+            let fired = self.entry_fires(idx, site);
+            if fired && fault.is_none() {
+                fault = Some(match kind {
+                    FaultKind::Timeout => Fault::Timeout {
+                        seconds: self.spec.entries[idx].latency,
+                    },
+                    FaultKind::Error => Fault::Error,
+                    _ => Fault::Corrupt,
+                });
+            }
+        }
+        fault
+    }
+
+    /// Consults entries of exactly `kind` (used for `nan` and `crash`)
+    /// for a visit at `site`.
+    pub fn fires(&mut self, kind: FaultKind, site: &str) -> bool {
+        let mut any = false;
+        for idx in 0..self.spec.entries.len() {
+            if self.spec.entries[idx].kind != kind {
+                continue;
+            }
+            any |= self.entry_fires(idx, site);
+        }
+        any
+    }
+}
+
+struct GlobalState {
+    loaded: bool,
+    injector: Option<FaultInjector>,
+}
+
+static GLOBAL: Mutex<GlobalState> = Mutex::new(GlobalState {
+    loaded: false,
+    injector: None,
+});
+
+// Lock-free fast path: every oracle probe and gradient step consults the
+// hooks below, so the common no-faults case must not pay a mutex. The flag
+// starts `UNKNOWN` (the env var hasn't been read yet); the first hook call
+// resolves it through the mutex and from then on a disarmed process answers
+// with one relaxed atomic load.
+const ARMED_UNKNOWN: u8 = 0;
+const ARMED_OFF: u8 = 1;
+const ARMED_ON: u8 = 2;
+static ARMED: AtomicU8 = AtomicU8::new(ARMED_UNKNOWN);
+
+#[inline]
+fn disarmed() -> bool {
+    match ARMED.load(Ordering::Relaxed) {
+        ARMED_OFF => true,
+        ARMED_ON => false,
+        _ => !with_global(|inj| inj.is_some()),
+    }
+}
+
+fn with_global<T>(f: impl FnOnce(&mut Option<FaultInjector>) -> T) -> T {
+    let mut g = match GLOBAL.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if !g.loaded {
+        g.loaded = true;
+        g.injector = flags::FAULTS.get().map(|raw| {
+            let spec = FaultSpec::parse(&raw).unwrap_or_else(|e| {
+                panic!("malformed {} spec: {e}", flags::FAULTS.name());
+            });
+            FaultInjector::new(spec)
+        });
+    }
+    let armed = if g.injector.is_some() {
+        ARMED_ON
+    } else {
+        ARMED_OFF
+    };
+    ARMED.store(armed, Ordering::Relaxed);
+    f(&mut g.injector)
+}
+
+/// Installs (or clears, with `None`) the process-global injector, resetting
+/// all visit counters. Overrides whatever `PACE_FAULTS` said.
+pub fn install(spec: Option<FaultSpec>) {
+    let mut g = match GLOBAL.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    g.loaded = true;
+    g.injector = spec.map(FaultInjector::new);
+    let armed = if g.injector.is_some() {
+        ARMED_ON
+    } else {
+        ARMED_OFF
+    };
+    ARMED.store(armed, Ordering::Relaxed);
+}
+
+/// True when fault injection is configured for this process.
+pub fn active() -> bool {
+    with_global(|inj| inj.is_some())
+}
+
+/// Oracle-probe hook: the fault (if any) scheduled for this visit to `site`.
+pub fn probe(site: &str) -> Option<Fault> {
+    if disarmed() {
+        return None;
+    }
+    with_global(|inj| inj.as_mut().and_then(|i| i.probe(site)))
+}
+
+/// Gradient hook: when a `nan` fault is scheduled for this visit to `site`,
+/// overwrites the first entry of each gradient with NaN and returns `true`.
+///
+/// Call this *after* gradient sanitization/clipping — the training loop's
+/// divergence detector, not the sanitizer, is the recovery path under test.
+pub fn poison_grads(site: &str, grads: &mut [Matrix]) -> bool {
+    if disarmed() {
+        return false;
+    }
+    let fired = with_global(|inj| {
+        inj.as_mut()
+            .map(|i| i.fires(FaultKind::NanGrad, site))
+            .unwrap_or(false)
+    });
+    if fired {
+        for g in grads.iter_mut() {
+            if let Some(x) = g.data_mut().first_mut() {
+                *x = f32::NAN;
+            }
+        }
+    }
+    fired
+}
+
+/// Crash hook: when a `crash` fault is scheduled for this visit to `site`,
+/// exits the process with [`CRASH_EXIT_CODE`] — simulating `kill -9` at a
+/// chosen point. Callers place this *after* persisting state they expect a
+/// resumed process to find.
+pub fn crash_point(site: &str) {
+    if disarmed() {
+        return;
+    }
+    let fired = with_global(|inj| {
+        inj.as_mut()
+            .map(|i| i.fires(FaultKind::Crash, site))
+            .unwrap_or(false)
+    });
+    if fired {
+        eprintln!("pace-tensor: injected crash at site {site:?}");
+        std::process::exit(CRASH_EXIT_CODE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let spec = FaultSpec::parse(
+            "seed=42; timeout,site=explain,every=3,lat=0.25; nan,at=10; corrupt,p=0.5",
+        )
+        .expect("valid spec");
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.entries.len(), 3);
+        assert_eq!(spec.entries[0].kind, FaultKind::Timeout);
+        assert_eq!(spec.entries[0].site.as_deref(), Some("explain"));
+        assert_eq!(spec.entries[0].every, Some(3));
+        assert_eq!(spec.entries[0].latency, 0.25);
+        assert_eq!(spec.entries[1].kind, FaultKind::NanGrad);
+        assert_eq!(spec.entries[1].at, Some(10));
+        assert_eq!(spec.entries[2].p, Some(0.5));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "bogus,every=2",
+            "timeout",
+            "timeout,every=0",
+            "timeout,at=0",
+            "corrupt,p=1.5",
+            "timeout,every=x",
+            "seed=abc",
+            "timeout,every=2,wat=1",
+            "timeout,every",
+        ] {
+            assert!(FaultSpec::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn every_fires_deterministically() {
+        let spec = FaultSpec::parse("error,every=3").expect("spec");
+        let mut inj = FaultInjector::new(spec);
+        let pattern: Vec<bool> = (0..9).map(|_| inj.probe("explain").is_some()).collect();
+        assert_eq!(
+            pattern,
+            [false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn at_fires_exactly_once() {
+        let spec = FaultSpec::parse("corrupt,at=2").expect("spec");
+        let mut inj = FaultInjector::new(spec);
+        let fired: Vec<bool> = (0..5).map(|_| inj.probe("count").is_some()).collect();
+        assert_eq!(fired, [false, true, false, false, false]);
+    }
+
+    #[test]
+    fn site_filter_scopes_visits() {
+        let spec = FaultSpec::parse("timeout,site=explain,at=1").expect("spec");
+        let mut inj = FaultInjector::new(spec);
+        assert_eq!(inj.probe("count"), None, "non-matching site must not fire");
+        assert!(
+            matches!(inj.probe("explain"), Some(Fault::Timeout { .. })),
+            "first matching visit fires"
+        );
+        assert_eq!(inj.probe("explain"), None);
+    }
+
+    #[test]
+    fn probabilistic_schedule_is_reproducible() {
+        let run = || {
+            let spec = FaultSpec::parse("seed=7;error,p=0.3").expect("spec");
+            let mut inj = FaultInjector::new(spec);
+            (0..200)
+                .map(|_| inj.probe("explain").is_some())
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed, same schedule");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!(
+            (30..=90).contains(&fired),
+            "p=0.3 over 200 visits fired {fired} times"
+        );
+    }
+
+    #[test]
+    fn nan_and_crash_use_exact_kind_matching() {
+        let spec = FaultSpec::parse("nan,at=1").expect("spec");
+        let mut inj = FaultInjector::new(spec);
+        assert_eq!(
+            inj.probe("train"),
+            None,
+            "nan entries are not oracle faults"
+        );
+        assert!(inj.fires(FaultKind::NanGrad, "train"));
+        assert!(!inj.fires(FaultKind::Crash, "train"));
+    }
+
+    #[test]
+    fn poison_grads_writes_nan_after_install() {
+        install(Some(
+            FaultSpec::parse("nan,at=1,site=poison-test").expect("spec"),
+        ));
+        let mut grads = vec![Matrix::row(&[1.0, 2.0])];
+        assert!(poison_grads("poison-test", &mut grads));
+        assert!(grads[0].data()[0].is_nan());
+        assert_eq!(grads[0].data()[1], 2.0);
+        assert!(!poison_grads("poison-test", &mut grads), "at=1 fires once");
+        install(None);
+        assert!(!active());
+    }
+}

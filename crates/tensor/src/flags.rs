@@ -108,6 +108,71 @@ pub static AUDIT: EnvFlag = EnvFlag::new("PACE_AUDIT");
 /// The optimizing-pipeline switch (`PACE_OPT`); see [`crate::opt`].
 pub static OPT: EnvFlag = EnvFlag::new("PACE_OPT");
 
+/// The snapshot finiteness gate (`PACE_FINITE`); when enabled,
+/// [`crate::serialize`] readers reject payloads containing NaN/Inf values
+/// instead of loading them into a model.
+pub static FINITE: EnvFlag = EnvFlag::new("PACE_FINITE");
+
+/// A lazily-read, process-global *string-valued* environment switch — the
+/// free-form companion of [`EnvFlag`] for instrumentation that needs a spec
+/// rather than an on/off/strict mode (e.g. the `PACE_FAULTS` fault matrix,
+/// [`crate::fault`]). Shares the flag conventions: the variable is read once
+/// on first query, unset/`0` means "off", and tests or embedders can override
+/// the value at any time with [`EnvSpec::set`].
+pub struct EnvSpec {
+    name: &'static str,
+    state: std::sync::Mutex<Option<Option<String>>>,
+}
+
+impl EnvSpec {
+    /// Declares a spec backed by the environment variable `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            state: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// The environment variable this spec reads.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Current value, reading the environment variable on first use. Unset,
+    /// empty, and `0` (the [`EnvFlag`] "off" spelling) all yield `None`.
+    pub fn get(&self) -> Option<String> {
+        let mut state = match self.state.lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if state.is_none() {
+            let raw = std::env::var(self.name).ok();
+            let normalized = raw.filter(|v| {
+                let t = v.trim();
+                !t.is_empty() && t != "0"
+            });
+            *state = Some(normalized);
+        }
+        state.as_ref().and_then(Clone::clone)
+    }
+
+    /// Forces the value for this process, overriding the environment.
+    /// `None` turns the spec off.
+    pub fn set(&self, value: Option<String>) {
+        let mut state = match self.state.lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *state = Some(value.filter(|v| {
+            let t = v.trim();
+            !t.is_empty() && t != "0"
+        }));
+    }
+}
+
+/// The fault-injection spec (`PACE_FAULTS`); see [`crate::fault`].
+pub static FAULTS: EnvSpec = EnvSpec::new("PACE_FAULTS");
+
 #[cfg(test)]
 mod tests {
     use super::*;

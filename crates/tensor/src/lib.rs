@@ -20,7 +20,9 @@
 //!   liveness, available expressions, cost model) and the verified
 //!   optimizing pass pipeline (`PACE_OPT`): constant folding, CSE, dead-node
 //!   elimination, liveness-driven buffer reuse, replay verification;
-//! * [`flags`] — the shared `0/1/strict` environment-flag grammar.
+//! * [`flags`] — the shared `0/1/strict` environment-flag grammar;
+//! * [`fault`] — deterministic, seeded fault injection (`PACE_FAULTS`) for
+//!   chaos-testing the campaign runtime's recovery paths.
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@
 pub mod analysis;
 pub mod check;
 pub mod dataflow;
+pub mod fault;
 pub mod flags;
 mod grad;
 mod graph;

@@ -97,6 +97,42 @@ impl Adam {
             self.v = self.m.clone();
         }
     }
+
+    /// Snapshots the optimizer's full mutable state. Restoring this snapshot
+    /// via [`Adam::import_state`] makes subsequent steps bit-identical to the
+    /// trajectory from the snapshot point — the contract the
+    /// checkpoint/rollback machinery relies on.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            lr: self.lr,
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`Adam::export_state`].
+    pub fn import_state(&mut self, state: AdamState) {
+        self.lr = state.lr;
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
+    }
+}
+
+/// The mutable state of an [`Adam`] optimizer: learning rate, step count,
+/// and the first/second moment estimates (in parameter allocation order).
+/// `β`/`ε` are construction-time constants and are not part of the state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdamState {
+    /// Current learning rate (rollback recovery halves this).
+    pub lr: f32,
+    /// Bias-correction step count.
+    pub t: u64,
+    /// First-moment estimates.
+    pub m: Vec<Matrix>,
+    /// Second-moment estimates.
+    pub v: Vec<Matrix>,
 }
 
 impl Optimizer for Adam {

@@ -1,0 +1,146 @@
+//! Deterministic quick campaign for the chaos matrix (`xtask chaos`).
+//!
+//! Runs one resumable PACE campaign against a quick TPC-H victim and prints
+//! a timing-free, bit-deterministic report (q-error table + FNV fingerprint
+//! of the poisoned model). The harness runs this binary under different
+//! `PACE_FAULTS` specs and compares stdout and exit codes:
+//!
+//! * `0` — campaign completed with finite results;
+//! * `2` — campaign failed with a typed [`CampaignError`];
+//! * `3` — campaign completed but produced non-finite q-errors (a recovery
+//!   path failed silently — always a bug);
+//! * `86` — an injected crash fault killed the process
+//!   ([`pace_tensor::fault::CRASH_EXIT_CODE`]); rerun with the same manifest
+//!   path to resume.
+//!
+//! ```text
+//! chaos_campaign <manifest-path> [seed]
+//! ```
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_core::{run_campaign, AttackMethod, AttackerKnowledge, PipelineConfig, Victim};
+use pace_data::{build, DatasetKind, Scale};
+use pace_engine::Executor;
+use pace_workload::{generate_queries, QErrorSummary, QueryEncoder, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(manifest) = args.next().map(PathBuf::from) else {
+        eprintln!("usage: chaos_campaign <manifest-path> [seed]");
+        return ExitCode::FAILURE;
+    };
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be an unsigned integer"))
+        .unwrap_or(42);
+
+    let ds = build(DatasetKind::Tpch, Scale::quick(), seed);
+    let exec = Executor::new(&ds);
+    let spec = WorkloadSpec {
+        max_join_tables: 3,
+        ..WorkloadSpec::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed + 100);
+    let history = generate_queries(&ds, &spec, &mut rng, 400);
+    let test = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 80));
+
+    let labeled = exec.label_nonzero(history.clone());
+    let data = EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &labeled);
+    let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), seed);
+    if let Err(e) = model.train(&data, &mut rng) {
+        eprintln!("chaos_campaign: victim training failed: {e}");
+        return ExitCode::from(2);
+    }
+    let mut victim = Victim::new(model, Executor::new(&ds), history);
+
+    let k = AttackerKnowledge::from_public(&ds, spec);
+    let mut cfg = PipelineConfig::quick();
+    // Fix the surrogate type: speculation's latency features are wall-clock
+    // and would make the report non-deterministic.
+    cfg.surrogate_type = Some(CeModelType::Fcn);
+
+    let outcome = match run_campaign(&mut victim, AttackMethod::Pace, &test, &k, &cfg, &manifest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("chaos_campaign: campaign failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let finite = |s: &QErrorSummary| {
+        [s.mean, s.median, s.p90, s.p95, s.p99, s.max]
+            .iter()
+            .all(|v| v.is_finite())
+    };
+    if !finite(&outcome.clean) || !finite(&outcome.poisoned) || !outcome.divergence.is_finite() {
+        eprintln!("chaos_campaign: non-finite q-errors after recovery");
+        return ExitCode::from(3);
+    }
+
+    let table = |name: &str, s: &QErrorSummary| {
+        println!(
+            "{name:<8} mean {:.6} median {:.6} p95 {:.6} max {:.6}",
+            s.mean, s.median, s.p95, s.max
+        );
+    };
+    table("clean", &outcome.clean);
+    table("poisoned", &outcome.poisoned);
+    println!(
+        "poison queries: {}  divergence {:.6}",
+        outcome.poison.len(),
+        outcome.divergence
+    );
+
+    // Bit-exact fingerprint: summaries, divergence, poison batch, and the
+    // poisoned model's parameter image. Two runs that print the same
+    // fingerprint reached the same final state.
+    let mut h = Fnv::new();
+    for s in [&outcome.clean, &outcome.poisoned] {
+        for v in [s.mean, s.median, s.p90, s.p95, s.p99, s.max] {
+            h.write_u64(v.to_bits());
+        }
+    }
+    h.write_u64(outcome.divergence.to_bits());
+    for q in &outcome.poison {
+        for &t in &q.tables {
+            h.write_u64(t as u64);
+        }
+        for p in &q.predicates {
+            h.write_u64(p.table as u64);
+            h.write_u64(p.col as u64);
+            h.write_u64(p.lo as u64);
+            h.write_u64(p.hi as u64);
+        }
+    }
+    let mut params = Vec::new();
+    if let Err(e) = pace_tensor::serialize::write_params(victim.model().params(), &mut params) {
+        eprintln!("chaos_campaign: cannot serialize the poisoned model: {e}");
+        return ExitCode::from(2);
+    }
+    for b in params {
+        h.write_u64(u64::from(b));
+    }
+    println!("fingerprint: {:016x}", h.finish());
+    ExitCode::SUCCESS
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}

@@ -1,4 +1,5 @@
-//! Workspace maintenance tasks: `cargo run -p xtask -- <lint|tape-report>`.
+//! Workspace maintenance tasks:
+//! `cargo run -p xtask -- <lint|tape-report|chaos>`.
 //!
 //! # `lint` — source-level checks the compiler cannot express
 //!
@@ -15,6 +16,22 @@
 //! 2. **No `unwrap()` in library code** — panics in the library crates must
 //!    carry context (`expect`) or be handled; bare `.unwrap()` is allowed
 //!    only under `#[cfg(test)]`, in `tests/`, benches, and this xtask.
+//! 3. **No panics on probe/IO results in the campaign runtime** — in
+//!    `crates/core` and `crates/ce` library code, oracle probes
+//!    (`explain`/`count`/`run_queries`), training results, and
+//!    checkpoint/manifest IO must be propagated with `?`, never
+//!    `.unwrap()`/`.expect()`-ed: a campaign that panics on a flaky probe
+//!    reintroduces the exact abort the resilience layer exists to absorb.
+//!
+//! # `chaos` — the fault-injection matrix
+//!
+//! Runs the `chaos_campaign` binary (a deterministic quick TPC-H PACE
+//! campaign) under each `PACE_FAULTS` spec of the matrix and checks the
+//! recovery contract: absorbed faults (timeout/error/corrupt retries,
+//! crash + resume) must reproduce the fault-free run **bit-identically**;
+//! NaN-gradient faults must still complete with finite results; a hard-down
+//! oracle must fail with a typed error, not a panic. See
+//! `pace_tensor::fault` for the spec grammar.
 //!
 //! # `tape-report` — static statistics of the real tapes
 //!
@@ -43,8 +60,9 @@ fn main() -> ExitCode {
     match mode.as_str() {
         "lint" => lint(),
         "tape-report" => tape_report(),
+        "chaos" => chaos(),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|tape-report>");
+            eprintln!("usage: cargo run -p xtask -- <lint|tape-report|chaos>");
             ExitCode::FAILURE
         }
     }
@@ -55,6 +73,7 @@ fn lint() -> ExitCode {
     let mut failures = Vec::new();
     check_op_coverage(&root, &mut failures);
     check_no_unwrap(&root, &mut failures);
+    check_no_probe_panics(&root, &mut failures);
     if failures.is_empty() {
         println!("xtask lint: OK");
         ExitCode::SUCCESS
@@ -364,6 +383,220 @@ fn strip_test_modules(src: &str) -> Vec<(usize, &str)> {
     out
 }
 
+/// Tokens marking a fallible probe / training / persistence call whose
+/// result must be propagated in the campaign-runtime crates.
+const PROBE_TOKENS: [&str; 9] = [
+    ".explain(",
+    ".explain_timed(",
+    ".count(",
+    ".run_queries(",
+    "read_params(",
+    "write_params(",
+    "read_checkpoint(",
+    "write_checkpoint(",
+    "load_manifest(",
+];
+
+/// In `crates/core` and `crates/ce` library code, probe/IO results must not
+/// be `.unwrap()`/`.expect()`-ed — they carry the typed failure surface the
+/// resilience layer recovers from.
+fn check_no_probe_panics(root: &Path, failures: &mut Vec<String>) {
+    let mut sources = Vec::new();
+    collect_rs(&root.join("crates/core/src"), root, &mut sources);
+    collect_rs(&root.join("crates/ce/src"), root, &mut sources);
+    for rel in sources {
+        let src = read(root, &rel.to_string_lossy());
+        for (line_no, line) in strip_test_modules(&src) {
+            let code = line.split("//").next().unwrap_or(line);
+            let panics = code.contains(".unwrap()") || code.contains(".expect(");
+            if panics && PROBE_TOKENS.iter().any(|t| code.contains(t)) {
+                failures.push(format!(
+                    "{}:{}: panicking on a probe/IO result — propagate the error with `?` \
+                     so the campaign runtime can retry, degrade, or resume",
+                    rel.display(),
+                    line_no
+                ));
+            }
+        }
+    }
+}
+
+// ---- chaos ------------------------------------------------------------------
+
+/// One `chaos_campaign` process run.
+struct ChaosRun {
+    code: i32,
+    stdout: String,
+    stderr: String,
+}
+
+fn chaos_campaign_once(manifest: &Path, faults: Option<&str>) -> ChaosRun {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut cmd = std::process::Command::new(cargo);
+    cmd.args([
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "xtask",
+        "--bin",
+        "chaos_campaign",
+        "--",
+    ]);
+    cmd.arg(manifest);
+    match faults {
+        Some(f) => {
+            cmd.env("PACE_FAULTS", f);
+        }
+        None => {
+            cmd.env_remove("PACE_FAULTS");
+        }
+    }
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("xtask chaos: cannot spawn chaos_campaign: {e}"));
+    ChaosRun {
+        code: out.status.code().unwrap_or(-1),
+        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+    }
+}
+
+/// Runs the campaign to completion through injected crashes: every exit code
+/// [`pace_tensor::fault::CRASH_EXIT_CODE`] resumes from the same manifest.
+/// Returns the final run and how many crashes were absorbed.
+fn chaos_campaign_resuming(manifest: &Path, faults: &str, max_runs: u32) -> (ChaosRun, u32) {
+    let mut crashes = 0;
+    for _ in 0..max_runs {
+        let run = chaos_campaign_once(manifest, Some(faults));
+        if run.code == pace_tensor::fault::CRASH_EXIT_CODE {
+            crashes += 1;
+            continue;
+        }
+        return (run, crashes);
+    }
+    panic!("xtask chaos: campaign under {faults:?} still crashing after {max_runs} runs");
+}
+
+fn chaos() -> ExitCode {
+    let dir = std::env::temp_dir().join(format!("pace-chaos-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("xtask chaos: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut failures: Vec<String> = Vec::new();
+
+    // Fault-free baseline, run twice: the campaign itself must be
+    // deterministic before fault recovery can promise bit-identity.
+    println!("chaos: baseline (faults off), twice...");
+    let base_a = chaos_campaign_once(&dir.join("baseline-a"), None);
+    let base_b = chaos_campaign_once(&dir.join("baseline-b"), None);
+    if base_a.code != 0 {
+        eprintln!("{}", base_a.stderr);
+        eprintln!(
+            "xtask chaos: fault-free campaign failed (exit {})",
+            base_a.code
+        );
+        return ExitCode::FAILURE;
+    }
+    if base_b.stdout != base_a.stdout {
+        failures
+            .push("baseline: two fault-free runs disagree — campaign is non-deterministic".into());
+    }
+    print!("{}", base_a.stdout);
+
+    // Transient faults: retries/validation absorb them and the campaign
+    // reproduces the baseline exactly.
+    for (name, spec) in [
+        ("timeout", "seed=7;timeout,site=explain,every=9,lat=0.05"),
+        ("error", "seed=7;error,site=explain,every=11"),
+        ("corrupt", "seed=7;corrupt,site=explain,every=13"),
+    ] {
+        println!("chaos: {name} ({spec})...");
+        let run = chaos_campaign_once(&dir.join(name), Some(spec));
+        if run.code != 0 {
+            failures.push(format!("{name}: exit {} — {}", run.code, run.stderr.trim()));
+        } else if run.stdout != base_a.stdout {
+            failures.push(format!(
+                "{name}: absorbed faults changed the outcome\n  baseline: {}\n  faulted : {}",
+                last_line(&base_a.stdout),
+                last_line(&run.stdout)
+            ));
+        }
+    }
+
+    // NaN gradients: rollback + halved LR changes the trajectory, so only
+    // completion with finite results is required.
+    {
+        let spec = "nan,site=ce-update,at=1;nan,site=surrogate-imitate,at=2";
+        println!("chaos: nan ({spec})...");
+        let run = chaos_campaign_once(&dir.join("nan"), Some(spec));
+        if run.code != 0 {
+            failures.push(format!("nan: exit {} — {}", run.code, run.stderr.trim()));
+        }
+    }
+
+    // Crashes: the process dies at the injected point; resuming from the
+    // manifest must reproduce the baseline bit-identically.
+    for (name, spec, min_crashes) in [
+        ("crash-craft", "crash,site=campaign-craft,at=1", 1),
+        ("crash-wave", "crash,site=campaign-wave,every=2", 1),
+    ] {
+        println!("chaos: {name} ({spec})...");
+        let (run, crashes) = chaos_campaign_resuming(&dir.join(name), spec, 10);
+        if crashes < min_crashes {
+            failures.push(format!("{name}: expected an injected crash, saw none"));
+        }
+        if run.code != 0 {
+            failures.push(format!(
+                "{name}: resumed campaign failed (exit {}) — {}",
+                run.code,
+                run.stderr.trim()
+            ));
+        } else if run.stdout != base_a.stdout {
+            failures.push(format!(
+                "{name}: resume after {crashes} crash(es) diverged from the baseline\n  \
+                 baseline: {}\n  resumed : {}",
+                last_line(&base_a.stdout),
+                last_line(&run.stdout)
+            ));
+        } else {
+            println!("chaos: {name}: resumed through {crashes} crash(es), bit-identical");
+        }
+    }
+
+    // Hard-down oracle: every retry and degradation path exhausts; the
+    // campaign must fail with a typed error (exit 2), never a panic.
+    {
+        let spec = "error,site=explain,every=1";
+        println!("chaos: hard-down ({spec})...");
+        let run = chaos_campaign_once(&dir.join("hard-down"), Some(spec));
+        if run.code != 2 {
+            failures.push(format!(
+                "hard-down: expected a typed campaign error (exit 2), got exit {} — {}",
+                run.code,
+                run.stderr.trim()
+            ));
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    if failures.is_empty() {
+        println!("xtask chaos: full fault matrix OK");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("xtask chaos: {f}");
+        }
+        eprintln!("xtask chaos: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn last_line(s: &str) -> &str {
+    s.lines().last().unwrap_or("")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,7 +632,15 @@ mod tests {
         let mut failures = Vec::new();
         check_op_coverage(&root, &mut failures);
         check_no_unwrap(&root, &mut failures);
+        check_no_probe_panics(&root, &mut failures);
         assert!(failures.is_empty(), "{failures:#?}");
+    }
+
+    #[test]
+    fn probe_panic_tokens_cover_the_oracle_surface() {
+        for t in [".explain(", ".count(", ".run_queries(", "read_params("] {
+            assert!(PROBE_TOKENS.contains(&t), "missing probe token {t}");
+        }
     }
 
     #[test]

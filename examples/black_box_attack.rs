@@ -31,10 +31,12 @@ fn main() {
 
     let encoder = QueryEncoder::new(&ds);
     let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 5);
-    model.train(
-        &EncodedWorkload::from_workload(&encoder, &history),
-        &mut rng,
-    );
+    model
+        .train(
+            &EncodedWorkload::from_workload(&encoder, &history),
+            &mut rng,
+        )
+        .expect("victim training converges");
     let history_queries = history.iter().map(|lq| lq.query.clone()).collect();
     let mut victim = Victim::new(model, Executor::new(&ds), history_queries);
     println!(
@@ -49,7 +51,8 @@ fn main() {
     cfg.attack.iters = 30;
 
     // Step 1: speculate the hidden model's type from behavioral probes.
-    let speculation = speculate_model_type(&victim, &k, &cfg.speculation);
+    let speculation =
+        speculate_model_type(&victim, &k, &cfg.speculation).expect("speculation completes");
     println!("speculated model type: {}", speculation.speculated.name());
     for (ty, sim) in &speculation.similarities {
         println!("  behavior similarity vs {:>8}: {sim:.3}", ty.name());
@@ -57,7 +60,8 @@ fn main() {
     cfg.surrogate_type = Some(speculation.speculated);
 
     // Steps 2–3: surrogate training, generator training, injection.
-    let outcome = run_attack(&mut victim, AttackMethod::Pace, &test, &k, &cfg);
+    let outcome = run_attack(&mut victim, AttackMethod::Pace, &test, &k, &cfg)
+        .expect("attack campaign completes");
 
     println!("\ninjected {} poisoning queries", outcome.poison.len());
     println!(

@@ -28,10 +28,12 @@ fn main() {
     let encoder = QueryEncoder::new(&ds);
 
     let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 31);
-    model.train(
-        &EncodedWorkload::from_workload(&encoder, &history),
-        &mut rng,
-    );
+    model
+        .train(
+            &EncodedWorkload::from_workload(&encoder, &history),
+            &mut rng,
+        )
+        .expect("victim training converges");
     let snapshot = model.params().snapshot();
     let history_q: Vec<_> = history.iter().map(|lq| lq.query.clone()).collect();
     let mut victim = Victim::new(model, Executor::new(&ds), history_q);
@@ -40,18 +42,22 @@ fn main() {
     let k = AttackerKnowledge::from_public(&ds, spec);
     let mut cfg = PipelineConfig::quick();
     cfg.surrogate_type = Some(CeModelType::Fcn);
-    let (pool, _, _, _) = craft_poison(&victim, AttackMethod::Pace, &test, &k, &cfg);
+    let (pool, _, _, _) = craft_poison(&victim, AttackMethod::Pace, &test, &k, &cfg)
+        .expect("poison crafting completes");
     println!(
         "candidate pool from the trained generator: {} queries",
         pool.len()
     );
 
     // Greedy marginal-damage selection against a surrogate simulation.
-    let surrogate = pace_core::train_surrogate(&victim, &k, CeModelType::Fcn, &cfg.surrogate);
+    let surrogate = pace_core::train_surrogate(&victim, &k, CeModelType::Fcn, &cfg.surrogate)
+        .expect("surrogate training completes");
     let test_data = EncodedWorkload::from_workload(&encoder, &test);
     let budget = 8;
-    let selection =
-        select_budgeted_poison(&surrogate, &victim, &k.encoder, &pool, &test_data, budget);
+    let selection = select_budgeted_poison(
+        &surrogate, &victim, &k.encoder, &pool, &test_data, budget, &cfg.retry,
+    )
+    .expect("budgeted selection completes");
     println!(
         "selected {} queries (budget {budget}); simulated damage curve:",
         selection.queries.len()
@@ -67,10 +73,12 @@ fn main() {
     // Deploy both and compare.
     let eval = |v: &Victim<'_>| QErrorSummary::from_samples(&v.q_errors(&test)).mean;
     let clean = eval(&victim);
-    victim.run_queries(&selection.queries);
+    victim
+        .run_queries(&selection.queries)
+        .expect("injection succeeds");
     let budgeted = eval(&victim);
     victim.model_mut().params_mut().restore(&snapshot);
-    victim.run_queries(&pool);
+    victim.run_queries(&pool).expect("injection succeeds");
     let full = eval(&victim);
 
     println!("\nmean test q-error:");

@@ -28,10 +28,12 @@ fn main() {
     let encoder = QueryEncoder::new(&ds);
 
     let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 31);
-    model.train(
-        &EncodedWorkload::from_workload(&encoder, &history),
-        &mut rng,
-    );
+    model
+        .train(
+            &EncodedWorkload::from_workload(&encoder, &history),
+            &mut rng,
+        )
+        .expect("victim training converges");
     let snapshot = model.params().snapshot();
     let history_queries: Vec<_> = history.iter().map(|lq| lq.query.clone()).collect();
     let mut victim = Victim::new(model, Executor::new(&ds), history_queries.clone());
@@ -41,7 +43,8 @@ fn main() {
     let k = AttackerKnowledge::from_public(&ds, spec);
     let mut cfg = PipelineConfig::quick();
     cfg.surrogate_type = Some(CeModelType::Fcn);
-    let (poison, _, _, _) = craft_poison(&victim, AttackMethod::PaceNoDetector, &test, &k, &cfg);
+    let (poison, _, _, _) = craft_poison(&victim, AttackMethod::PaceNoDetector, &test, &k, &cfg)
+        .expect("poison crafting completes");
 
     // The DBA trains a detector on the trusted historical workload.
     let hist_enc: Vec<Vec<f32>> = history_queries.iter().map(|q| encoder.encode(q)).collect();
@@ -76,7 +79,7 @@ fn main() {
     let clean = eval(&victim);
     {
         use pace_core::BlackBox;
-        victim.run_queries(&poison);
+        victim.run_queries(&poison).expect("injection succeeds");
     }
     let unprotected = eval(&victim);
 
@@ -90,7 +93,7 @@ fn main() {
         .collect();
     {
         use pace_core::BlackBox;
-        victim.run_queries(&screened);
+        victim.run_queries(&screened).expect("injection succeeds");
     }
     let protected = eval(&victim);
 

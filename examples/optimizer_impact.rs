@@ -28,7 +28,9 @@ fn main() {
     let train = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 1200));
     let encoder = QueryEncoder::new(&ds);
     let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 2);
-    model.train(&EncodedWorkload::from_workload(&encoder, &train), &mut rng);
+    model
+        .train(&EncodedWorkload::from_workload(&encoder, &train), &mut rng)
+        .expect("victim training converges");
 
     // 20 multi-table join queries we will execute end to end.
     let join_spec = WorkloadSpec {
@@ -60,7 +62,8 @@ fn main() {
     // Target the executed join workload itself (as the paper's E2E
     // experiment does).
     let target = exec.label(joins.clone());
-    let outcome = run_attack(&mut victim, AttackMethod::Pace, &target, &k, &cfg);
+    let outcome = run_attack(&mut victim, AttackMethod::Pace, &target, &k, &cfg)
+        .expect("attack campaign completes");
     let poisoned_latency = total_latency(&joins, &exec, victim.model(), &cost);
 
     println!("simulated E2E latency of 20 join queries:");

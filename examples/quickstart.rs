@@ -39,7 +39,9 @@ fn main() {
     let train_data = EncodedWorkload::from_workload(&encoder, &train);
     let test_data = EncodedWorkload::from_workload(&encoder, &test);
     let mut model = CeModel::new(CeModelType::Mscn, &ds, CeConfig::quick(), 1);
-    let final_loss = model.train(&train_data, &mut rng);
+    let final_loss = model
+        .train(&train_data, &mut rng)
+        .expect("training converges");
     println!("trained MSCN, final epoch loss {final_loss:.3}");
 
     // 4. Evaluate with the Q-error metric.

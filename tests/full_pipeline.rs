@@ -20,7 +20,9 @@ fn full_reproduction_shape_on_dmv() {
     let test = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 150));
     let encoder = QueryEncoder::new(&ds);
     let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 79);
-    model.train(&EncodedWorkload::from_workload(&encoder, &train), &mut rng);
+    model
+        .train(&EncodedWorkload::from_workload(&encoder, &train), &mut rng)
+        .expect("victim training converges");
     let snapshot = model.params().snapshot();
 
     // Clean accuracy must be decent — attacks are only meaningful against a
@@ -41,9 +43,11 @@ fn full_reproduction_shape_on_dmv() {
     cfg.surrogate_type = Some(CeModelType::Fcn);
 
     // Paper shape: PACE ≫ Random ≈ Clean.
-    let random = run_attack(&mut victim, AttackMethod::Random, &test, &k, &cfg);
+    let random = run_attack(&mut victim, AttackMethod::Random, &test, &k, &cfg)
+        .expect("attack campaign completes");
     victim.model_mut().params_mut().restore(&snapshot);
-    let pace = run_attack(&mut victim, AttackMethod::Pace, &test, &k, &cfg);
+    let pace = run_attack(&mut victim, AttackMethod::Pace, &test, &k, &cfg)
+        .expect("attack campaign completes");
 
     assert!(
         random.qerror_multiple() < 8.0,
@@ -83,7 +87,9 @@ fn poisoned_optimizer_does_more_true_work() {
     let train = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 900));
     let encoder = QueryEncoder::new(&ds);
     let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 92);
-    model.train(&EncodedWorkload::from_workload(&encoder, &train), &mut rng);
+    model
+        .train(&EncodedWorkload::from_workload(&encoder, &train), &mut rng)
+        .expect("victim training converges");
 
     let joins: Vec<_> = generate_queries(
         &ds,
@@ -110,7 +116,8 @@ fn poisoned_optimizer_does_more_true_work() {
     cfg.attack.iters = 40;
     cfg.attack.batch = 64;
     cfg.attack.n_poison = 60;
-    let outcome = run_attack(&mut victim, AttackMethod::Pace, &target, &k, &cfg);
+    let outcome = run_attack(&mut victim, AttackMethod::Pace, &target, &k, &cfg)
+        .expect("attack campaign completes");
     let poisoned_latency = total_latency(&joins, &exec, victim.model(), &cost);
 
     assert!(
@@ -161,8 +168,12 @@ fn victim_injection_is_observable_and_cumulative() {
     let history = generate_queries(&ds, &spec, &mut rng, 50);
     let model = CeModel::new(CeModelType::Linear, &ds, CeConfig::quick(), 62);
     let mut victim = Victim::new(model, exec, history.clone());
-    victim.run_queries(&history[..10]);
-    victim.run_queries(&history[10..15]);
+    victim
+        .run_queries(&history[..10])
+        .expect("no fault installed");
+    victim
+        .run_queries(&history[10..15])
+        .expect("no fault installed");
     assert_eq!(victim.injected().len(), 15);
     assert!(victim.injected().iter().all(|lq| lq.cardinality >= 1));
 }

@@ -47,6 +47,24 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The generator's full internal state. Together with
+        /// [`StdRng::from_state`] this allows checkpoint/resume machinery to
+        /// snapshot a generator mid-stream and later continue the *exact*
+        /// random sequence (upstream `rand` offers this through serde; the
+        /// offline stub exposes the four xoshiro256++ words directly).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Reconstructs a generator from a state captured by
+        /// [`StdRng::state`]. The resulting stream is bit-identical to the
+        /// original generator's continuation.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
