@@ -1,0 +1,104 @@
+//! Parallel-runtime payoff measurement: the same workloads timed at
+//! `PACE_THREADS = 1` vs a multi-thread setting, for (a) batch query
+//! labeling through [`pace_engine::Executor::count_batch`] and (b) the
+//! cache-blocked parallel matmul kernel. The determinism contract makes the
+//! thread count a pure performance knob, so the two timings compute
+//! bit-identical results. Run with `CRITERION_JSON=BENCH_parallel.json` to
+//! publish the numbers; speedups are hardware-dependent (single-core CI
+//! runners report ~1×).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pace_data::{build, DatasetKind, Scale};
+use pace_engine::Executor;
+use pace_tensor::{pool, Matrix};
+use pace_workload::{generate_queries, Query, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PAR_THREADS: usize = 8;
+
+fn bench_count_batch(c: &mut Criterion) {
+    let ds = build(DatasetKind::Tpch, Scale::quick(), 7);
+    let exec = Executor::new(&ds);
+    let mut rng = StdRng::seed_from_u64(7);
+    let queries: Vec<Query> = generate_queries(&ds, &WorkloadSpec::default(), &mut rng, 128);
+
+    pool::set_threads(1);
+    let reference = exec.count_batch(&queries);
+    pool::set_threads(PAR_THREADS);
+    assert_eq!(
+        exec.count_batch(&queries),
+        reference,
+        "count_batch must be thread-count invariant"
+    );
+
+    for (id, threads) in [
+        ("parallel/count_batch_t1", 1),
+        ("parallel/count_batch_t8", PAR_THREADS),
+    ] {
+        pool::set_threads(threads);
+        c.bench_function(id, |b| {
+            b.iter(|| black_box(exec.count_batch(black_box(&queries))))
+        });
+    }
+    pool::set_threads(0);
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let n = 192;
+    let mk = |seed: u64| {
+        let mut state = seed;
+        let data: Vec<f32> = (0..n * n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / 2.0e9) - 1.0
+            })
+            .collect();
+        Matrix::from_vec(n, n, data)
+    };
+    let a = mk(1);
+    let b = mk(2);
+
+    pool::set_threads(1);
+    let reference = a.matmul(&b);
+    pool::set_threads(PAR_THREADS);
+    let parallel = a.matmul(&b);
+    assert_eq!(
+        reference
+            .data()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>(),
+        parallel
+            .data()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>(),
+        "matmul must be thread-count invariant"
+    );
+
+    for (id, threads) in [
+        ("parallel/matmul_192_t1", 1),
+        ("parallel/matmul_192_t8", PAR_THREADS),
+    ] {
+        pool::set_threads(threads);
+        c.bench_function(id, |bch| {
+            bch.iter(|| black_box(black_box(&a).matmul(black_box(&b))))
+        });
+    }
+    pool::set_threads(0);
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    bench_count_batch(c);
+    bench_matmul(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_parallel
+}
+criterion_main!(benches);

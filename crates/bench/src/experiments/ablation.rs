@@ -7,7 +7,7 @@ use crate::setup::{Ctx, ExpScale};
 use pace_ce::CeModelType;
 use pace_core::{run_attack, AttackMethod, AttackOutcome};
 use pace_data::DatasetKind;
-use std::sync::Mutex;
+use pace_runtime as pool;
 
 fn attack_once(
     scale: &ExpScale,
@@ -35,33 +35,26 @@ pub fn fig12(scale: &ExpScale) {
     } else {
         vec![CeModelType::Fcn, CeModelType::Mscn]
     };
-    let rows: Mutex<Vec<(CeModelType, AttackOutcome, AttackOutcome)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for &ty in &models {
-            let rows = &rows;
-            let scale = scale.clone();
-            s.spawn(move || {
-                let basic = attack_once(
-                    &scale,
-                    DatasetKind::Dmv,
-                    ty,
-                    AttackMethod::PaceBasic,
-                    |_| {},
-                    0xf12,
-                );
-                let optimized = attack_once(
-                    &scale,
-                    DatasetKind::Dmv,
-                    ty,
-                    AttackMethod::Pace,
-                    |_| {},
-                    0xf12,
-                );
-                rows.lock().expect("f12 mutex").push((ty, basic, optimized));
-            });
-        }
-    });
-    let mut rows = rows.into_inner().expect("f12 mutex");
+    let mut rows: Vec<(CeModelType, AttackOutcome, AttackOutcome)> =
+        pool::par_map(&models, |_, &ty| {
+            let basic = attack_once(
+                scale,
+                DatasetKind::Dmv,
+                ty,
+                AttackMethod::PaceBasic,
+                |_| {},
+                0xf12,
+            );
+            let optimized = attack_once(
+                scale,
+                DatasetKind::Dmv,
+                ty,
+                AttackMethod::Pace,
+                |_| {},
+                0xf12,
+            );
+            (ty, basic, optimized)
+        });
     rows.sort_by_key(|r| r.0.name());
 
     let mut report = Report::new(format!("fig12_{}", scale.name));
@@ -102,44 +95,35 @@ pub fn fig12(scale: &ExpScale) {
 /// JS divergence of poisoning queries (DMV, FCN).
 pub fn fig13(scale: &ExpScale) {
     let thresholds = [0.05f32, 0.075, 0.10];
-    let rows: Mutex<Vec<(String, AttackOutcome)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        {
-            let rows = &rows;
-            let scale = scale.clone();
-            s.spawn(move || {
+    // `None` = detector disabled; `Some(δ)` = detector at threshold δ.
+    let variants: Vec<Option<f32>> = std::iter::once(None)
+        .chain(thresholds.iter().copied().map(Some))
+        .collect();
+    let mut rows: Vec<(String, AttackOutcome)> =
+        pool::par_map(&variants, |_, &variant| match variant {
+            None => {
                 let o = attack_once(
-                    &scale,
+                    scale,
                     DatasetKind::Dmv,
                     CeModelType::Fcn,
                     AttackMethod::PaceNoDetector,
                     |_| {},
                     0xf13,
                 );
-                rows.lock()
-                    .expect("f13 mutex")
-                    .push(("without detector".into(), o));
-            });
-        }
-        for &delta in &thresholds {
-            let rows = &rows;
-            let scale = scale.clone();
-            s.spawn(move || {
+                ("without detector".into(), o)
+            }
+            Some(delta) => {
                 let o = attack_once(
-                    &scale,
+                    scale,
                     DatasetKind::Dmv,
                     CeModelType::Fcn,
                     AttackMethod::Pace,
                     |cfg| cfg.attack.detector.threshold = delta,
                     0xf13,
                 );
-                rows.lock()
-                    .expect("f13 mutex")
-                    .push((format!("δ = {delta}"), o));
-            });
-        }
-    });
-    let mut rows = rows.into_inner().expect("f13 mutex");
+                (format!("δ = {delta}"), o)
+            }
+        });
     rows.sort_by(|a, b| a.0.cmp(&b.0));
 
     let mut report = Report::new(format!("fig13_{}", scale.name));
@@ -168,29 +152,21 @@ pub fn table8(scale: &ExpScale) {
     let base = scale.pipeline.attack.n_poison;
     let counts = [base / 2, base, base * 2, base * 4];
     let datasets = [DatasetKind::Dmv, DatasetKind::Imdb];
-    let rows: Mutex<Vec<(DatasetKind, usize, f64)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for &kind in &datasets {
-            for &n in &counts {
-                let rows = &rows;
-                let scale = scale.clone();
-                s.spawn(move || {
-                    let o = attack_once(
-                        &scale,
-                        kind,
-                        CeModelType::Fcn,
-                        AttackMethod::Pace,
-                        |cfg| cfg.attack.n_poison = n.max(1),
-                        0x7ab8,
-                    );
-                    rows.lock()
-                        .expect("t8 mutex")
-                        .push((kind, n, o.qerror_multiple()));
-                });
-            }
-        }
+    let cells: Vec<(DatasetKind, usize)> = datasets
+        .iter()
+        .flat_map(|&kind| counts.iter().map(move |&n| (kind, n)))
+        .collect();
+    let rows: Vec<(DatasetKind, usize, f64)> = pool::par_map(&cells, |_, &(kind, n)| {
+        let o = attack_once(
+            scale,
+            kind,
+            CeModelType::Fcn,
+            AttackMethod::Pace,
+            |cfg| cfg.attack.n_poison = n.max(1),
+            0x7ab8,
+        );
+        (kind, n, o.qerror_multiple())
     });
-    let rows = rows.into_inner().expect("t8 mutex");
 
     let mut report = Report::new(format!("table8_{}", scale.name));
     let mut t = Table::new(
@@ -235,25 +211,18 @@ fn quad(b: usize) -> String {
 /// Table 9: PACE overhead (training / generation / attacking seconds) for the
 /// FCN victim across all four datasets.
 pub fn table9(scale: &ExpScale) {
-    let rows: Mutex<Vec<(DatasetKind, AttackOutcome)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for kind in DatasetKind::all() {
-            let rows = &rows;
-            let scale = scale.clone();
-            s.spawn(move || {
-                let o = attack_once(
-                    &scale,
-                    kind,
-                    CeModelType::Fcn,
-                    AttackMethod::Pace,
-                    |_| {},
-                    0x7ab9,
-                );
-                rows.lock().expect("t9 mutex").push((kind, o));
-            });
-        }
+    let kinds = DatasetKind::all();
+    let rows: Vec<(DatasetKind, AttackOutcome)> = pool::par_map(&kinds, |_, &kind| {
+        let o = attack_once(
+            scale,
+            kind,
+            CeModelType::Fcn,
+            AttackMethod::Pace,
+            |_| {},
+            0x7ab9,
+        );
+        (kind, o)
     });
-    let rows = rows.into_inner().expect("t9 mutex");
 
     let mut report = Report::new(format!("table9_{}", scale.name));
     let mut t = Table::new(
@@ -277,25 +246,17 @@ pub fn table9(scale: &ExpScale) {
 pub fn table10(scale: &ExpScale) {
     let base = scale.pipeline.attack.n_poison;
     let counts = [base / 2, base, base * 2];
-    let rows: Mutex<Vec<(usize, AttackOutcome)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for &n in &counts {
-            let rows = &rows;
-            let scale = scale.clone();
-            s.spawn(move || {
-                let o = attack_once(
-                    &scale,
-                    DatasetKind::Dmv,
-                    CeModelType::Fcn,
-                    AttackMethod::Pace,
-                    |cfg| cfg.attack.n_poison = n.max(1),
-                    0x7a10,
-                );
-                rows.lock().expect("t10 mutex").push((n, o));
-            });
-        }
+    let mut rows: Vec<(usize, AttackOutcome)> = pool::par_map(&counts, |_, &n| {
+        let o = attack_once(
+            scale,
+            DatasetKind::Dmv,
+            CeModelType::Fcn,
+            AttackMethod::Pace,
+            |cfg| cfg.attack.n_poison = n.max(1),
+            0x7a10,
+        );
+        (n, o)
     });
-    let mut rows = rows.into_inner().expect("t10 mutex");
     rows.sort_by_key(|r| r.0);
 
     let mut report = Report::new(format!("table10_{}", scale.name));

@@ -9,7 +9,7 @@ use crate::setup::{Ctx, ExpScale};
 use pace_ce::CeModelType;
 use pace_core::{run_attack, AttackMethod, PipelineConfig};
 use pace_data::DatasetKind;
-use std::sync::Mutex;
+use pace_runtime as pool;
 
 /// Runs the design-choice ablation grid on DMV/FCN.
 pub fn design_ablation(scale: &ExpScale) {
@@ -30,42 +30,28 @@ pub fn design_ablation(scale: &ExpScale) {
         }),
         ("white-box surrogate (upper bound)", |c| c.white_box = true),
     ];
-    let rows: Mutex<Vec<(usize, f64, f64)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for (i, (_, mutate)) in variants.iter().enumerate() {
-            let rows = &rows;
-            let scale = scale.clone();
-            let mutate = *mutate;
-            s.spawn(move || {
-                // Average over three seeds: these deltas are smaller than the
-                // headline effects, so single runs are too noisy.
-                let mut mult = 0.0;
-                let mut div = 0.0;
-                let seeds = [0xab1au64, 0xab2b, 0xab3c];
-                for &seed in &seeds {
-                    let ctx = Ctx::new(DatasetKind::Dmv, &scale, seed);
-                    let model = ctx.train_victim_model(CeModelType::Fcn, scale.ce, seed ^ 0x9);
-                    let mut victim = ctx.victim(model);
-                    let k = ctx.knowledge();
-                    let mut cfg = scale.pipeline.clone();
-                    cfg.surrogate_type = Some(CeModelType::Fcn);
-                    cfg.attack.seed = seed;
-                    mutate(&mut cfg);
-                    let o = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
-                        .expect("attack campaign completes");
-                    mult += o.qerror_multiple();
-                    div += o.divergence;
-                }
-                rows.lock().expect("abl mutex").push((
-                    i,
-                    mult / seeds.len() as f64,
-                    div / seeds.len() as f64,
-                ));
-            });
+    let rows: Vec<(usize, f64, f64)> = pool::par_map(&variants, |i, &(_, mutate)| {
+        // Average over three seeds: these deltas are smaller than the
+        // headline effects, so single runs are too noisy.
+        let mut mult = 0.0;
+        let mut div = 0.0;
+        let seeds = [0xab1au64, 0xab2b, 0xab3c];
+        for &seed in &seeds {
+            let ctx = Ctx::new(DatasetKind::Dmv, scale, seed);
+            let model = ctx.train_victim_model(CeModelType::Fcn, scale.ce, seed ^ 0x9);
+            let mut victim = ctx.victim(model);
+            let k = ctx.knowledge();
+            let mut cfg = scale.pipeline.clone();
+            cfg.surrogate_type = Some(CeModelType::Fcn);
+            cfg.attack.seed = seed;
+            mutate(&mut cfg);
+            let o = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
+                .expect("attack campaign completes");
+            mult += o.qerror_multiple();
+            div += o.divergence;
         }
+        (i, mult / seeds.len() as f64, div / seeds.len() as f64)
     });
-    let mut rows = rows.into_inner().expect("abl mutex");
-    rows.sort_by_key(|r| r.0);
 
     let mut report = Report::new(format!("design_ablation_{}", scale.name));
     let mut t = Table::new(

@@ -6,10 +6,10 @@ use crate::setup::{Ctx, ExpScale};
 use pace_ce::{CeModel, CeModelType, EncodedWorkload};
 use pace_core::{run_attack, AttackMethod};
 use pace_data::DatasetKind;
+use pace_runtime as pool;
 use pace_workload::QueryEncoder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Mutex;
 
 /// Incremental-training rounds (paper: the training workload is split into 5
 /// parts).
@@ -18,49 +18,41 @@ pub const ROUNDS: usize = 5;
 /// Figure 14: after each incremental-training round, attack the model and
 /// record the Q-error multiple.
 pub fn fig14(scale: &ExpScale) {
-    let rows: Mutex<Vec<(DatasetKind, Vec<f64>)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for kind in DatasetKind::all() {
-            let rows = &rows;
-            let scale = scale.clone();
-            s.spawn(move || {
-                let ctx = Ctx::new(kind, &scale, 0xf14);
-                let encoder = QueryEncoder::new(&ctx.ds);
-                let data = EncodedWorkload::from_workload(&encoder, &ctx.train);
-                let part = (data.len() / ROUNDS).max(1);
-                let mut model =
-                    CeModel::new(CeModelType::Fcn, &ctx.ds, scale.ce, 0xf14 ^ kind as u64);
-                let mut rng = StdRng::seed_from_u64(0xf14);
-                let k = ctx.knowledge();
-                let mut multiples = Vec::with_capacity(ROUNDS);
-                for round in 0..ROUNDS {
-                    // Incremental training on the next chunk of the workload.
-                    let lo = round * part;
-                    let hi = ((round + 1) * part).min(data.len());
-                    let idx: Vec<usize> = (lo..hi).collect();
-                    let chunk = data.subset(&idx);
-                    if chunk.is_empty() {
-                        break;
-                    }
-                    model
-                        .train(&chunk, &mut rng)
-                        .expect("incremental training converges");
-                    // Attack a copy of the current model state.
-                    let snapshot = model.params().snapshot();
-                    let mut victim = ctx.victim(clone_model(&ctx, &model, &scale));
-                    let mut cfg = scale.pipeline.clone();
-                    cfg.surrogate_type = Some(CeModelType::Fcn);
-                    cfg.attack.seed ^= round as u64;
-                    let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
-                        .expect("attack campaign completes");
-                    multiples.push(outcome.qerror_multiple());
-                    model.params_mut().restore(&snapshot);
-                }
-                rows.lock().expect("f14 mutex").push((kind, multiples));
-            });
+    let kinds = DatasetKind::all();
+    let rows: Vec<(DatasetKind, Vec<f64>)> = pool::par_map(&kinds, |_, &kind| {
+        let ctx = Ctx::new(kind, scale, 0xf14);
+        let encoder = QueryEncoder::new(&ctx.ds);
+        let data = EncodedWorkload::from_workload(&encoder, &ctx.train);
+        let part = (data.len() / ROUNDS).max(1);
+        let mut model = CeModel::new(CeModelType::Fcn, &ctx.ds, scale.ce, 0xf14 ^ kind as u64);
+        let mut rng = StdRng::seed_from_u64(0xf14);
+        let k = ctx.knowledge();
+        let mut multiples = Vec::with_capacity(ROUNDS);
+        for round in 0..ROUNDS {
+            // Incremental training on the next chunk of the workload.
+            let lo = round * part;
+            let hi = ((round + 1) * part).min(data.len());
+            let idx: Vec<usize> = (lo..hi).collect();
+            let chunk = data.subset(&idx);
+            if chunk.is_empty() {
+                break;
+            }
+            model
+                .train(&chunk, &mut rng)
+                .expect("incremental training converges");
+            // Attack a copy of the current model state.
+            let snapshot = model.params().snapshot();
+            let mut victim = ctx.victim(clone_model(&ctx, &model, scale));
+            let mut cfg = scale.pipeline.clone();
+            cfg.surrogate_type = Some(CeModelType::Fcn);
+            cfg.attack.seed ^= round as u64;
+            let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
+                .expect("attack campaign completes");
+            multiples.push(outcome.qerror_multiple());
+            model.params_mut().restore(&snapshot);
         }
+        (kind, multiples)
     });
-    let rows = rows.into_inner().expect("f14 mutex");
 
     let mut report = Report::new(format!("fig14_{}", scale.name));
     let mut t = Table::new(
@@ -96,27 +88,18 @@ fn clone_model(ctx: &Ctx, model: &CeModel, scale: &ExpScale) -> CeModel {
 /// Figure 15: the objective value of Eq. 10 per generator iteration, FCN on
 /// all four datasets.
 pub fn fig15(scale: &ExpScale) {
-    let rows: Mutex<Vec<(DatasetKind, Vec<f32>)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for kind in DatasetKind::all() {
-            let rows = &rows;
-            let scale = scale.clone();
-            s.spawn(move || {
-                let ctx = Ctx::new(kind, &scale, 0xf15);
-                let model = ctx.train_victim_model(CeModelType::Fcn, scale.ce, 0xf15);
-                let mut victim = ctx.victim(model);
-                let k = ctx.knowledge();
-                let mut cfg = scale.pipeline.clone();
-                cfg.surrogate_type = Some(CeModelType::Fcn);
-                let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
-                    .expect("attack campaign completes");
-                rows.lock()
-                    .expect("f15 mutex")
-                    .push((kind, outcome.objective_curve));
-            });
-        }
+    let kinds = DatasetKind::all();
+    let rows: Vec<(DatasetKind, Vec<f32>)> = pool::par_map(&kinds, |_, &kind| {
+        let ctx = Ctx::new(kind, scale, 0xf15);
+        let model = ctx.train_victim_model(CeModelType::Fcn, scale.ce, 0xf15);
+        let mut victim = ctx.victim(model);
+        let k = ctx.knowledge();
+        let mut cfg = scale.pipeline.clone();
+        cfg.surrogate_type = Some(CeModelType::Fcn);
+        let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
+            .expect("attack campaign completes");
+        (kind, outcome.objective_curve)
     });
-    let rows = rows.into_inner().expect("f15 mutex");
 
     let mut report = Report::new(format!("fig15_{}", scale.name));
     let mut t = Table::new(

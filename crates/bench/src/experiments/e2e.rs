@@ -7,10 +7,10 @@ use pace_ce::CeModelType;
 use pace_core::{run_attack, AttackMethod};
 use pace_data::DatasetKind;
 use pace_engine::{total_latency, CostModel, Executor};
+use pace_runtime as pool;
 use pace_workload::{generate_queries, Query, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Mutex;
 
 /// Number of multi-table join queries executed end to end (paper: 20).
 pub const E2E_QUERIES: usize = 20;
@@ -57,67 +57,64 @@ pub fn table5(scale: &ExpScale) {
     let methods = AttackMethod::headline();
     let cost = CostModel::default();
 
-    let cells: Mutex<Vec<E2eCell>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for &kind in &datasets {
-            for &ty in &models {
-                let cells = &cells;
-                let scale = scale.clone();
-                s.spawn(move || {
-                    let ctx = Ctx::new(kind, &scale, 0x7ab5);
-                    let joins = join_queries(&ctx, E2E_QUERIES, 0xe2e);
-                    // The attack targets the workload that will be executed,
-                    // exactly as in the paper — augmented with each join
-                    // query's connected sub-queries, which are the estimates
-                    // the optimizer actually consumes when ordering joins.
-                    // Misestimating *those* heterogeneously is what flips
-                    // plans.
-                    let target = {
-                        let exec = Executor::new(&ctx.ds);
-                        let mut qs = joins.clone();
-                        for q in &joins {
-                            for pattern in ctx.ds.schema.connected_patterns(q.tables.len()) {
-                                if pattern.len() >= 2
-                                    && pattern.len() < q.tables.len()
-                                    && pattern.iter().all(|t| q.tables.contains(t))
-                                {
-                                    let preds = q
-                                        .predicates
-                                        .iter()
-                                        .copied()
-                                        .filter(|p| pattern.contains(&p.table))
-                                        .collect();
-                                    qs.push(Query::new(pattern, preds));
-                                }
-                            }
-                        }
-                        exec.label(qs)
-                    };
-                    let model = ctx.train_victim_model(ty, scale.ce, 0x7ab5 ^ (ty as u64 + 1));
-                    let snapshot = model.params().snapshot();
-                    let mut victim = ctx.victim(model);
-                    let k = ctx.knowledge();
-                    let mut cfg = scale.pipeline.clone();
-                    cfg.surrogate_type = Some(ty);
-                    let mut local = Vec::new();
-                    for &method in &methods {
-                        victim.model_mut().params_mut().restore(&snapshot);
-                        let _ = run_attack(&mut victim, method, &target, &k, &cfg);
-                        let exec = Executor::new(&ctx.ds);
-                        let latency_s = total_latency(&joins, &exec, victim.model(), &cost);
-                        local.push(E2eCell {
-                            dataset: kind,
-                            model: ty,
-                            method,
-                            latency_s,
-                        });
+    let grid: Vec<(DatasetKind, CeModelType)> = datasets
+        .iter()
+        .flat_map(|&kind| models.iter().map(move |&ty| (kind, ty)))
+        .collect();
+    let cells: Vec<E2eCell> = pool::par_map(&grid, |_, &(kind, ty)| {
+        let ctx = Ctx::new(kind, scale, 0x7ab5);
+        let joins = join_queries(&ctx, E2E_QUERIES, 0xe2e);
+        // The attack targets the workload that will be executed,
+        // exactly as in the paper — augmented with each join
+        // query's connected sub-queries, which are the estimates
+        // the optimizer actually consumes when ordering joins.
+        // Misestimating *those* heterogeneously is what flips
+        // plans.
+        let target = {
+            let exec = Executor::new(&ctx.ds);
+            let mut qs = joins.clone();
+            for q in &joins {
+                for pattern in ctx.ds.schema.connected_patterns(q.tables.len()) {
+                    if pattern.len() >= 2
+                        && pattern.len() < q.tables.len()
+                        && pattern.iter().all(|t| q.tables.contains(t))
+                    {
+                        let preds = q
+                            .predicates
+                            .iter()
+                            .copied()
+                            .filter(|p| pattern.contains(&p.table))
+                            .collect();
+                        qs.push(Query::new(pattern, preds));
                     }
-                    cells.lock().expect("e2e mutex").extend(local);
-                });
+                }
             }
+            exec.label(qs)
+        };
+        let model = ctx.train_victim_model(ty, scale.ce, 0x7ab5 ^ (ty as u64 + 1));
+        let snapshot = model.params().snapshot();
+        let mut victim = ctx.victim(model);
+        let k = ctx.knowledge();
+        let mut cfg = scale.pipeline.clone();
+        cfg.surrogate_type = Some(ty);
+        let mut local = Vec::new();
+        for &method in &methods {
+            victim.model_mut().params_mut().restore(&snapshot);
+            let _ = run_attack(&mut victim, method, &target, &k, &cfg);
+            let exec = Executor::new(&ctx.ds);
+            let latency_s = total_latency(&joins, &exec, victim.model(), &cost);
+            local.push(E2eCell {
+                dataset: kind,
+                model: ty,
+                method,
+                latency_s,
+            });
         }
-    });
-    let cells = cells.into_inner().expect("e2e mutex");
+        local
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     let mut report = Report::new(format!("table5_{}", scale.name));
     for kind in datasets {

@@ -9,7 +9,7 @@ use pace_core::{
     run_attack, speculate_model_type, AttackMethod, ImitationStrategy, SpeculationConfig,
 };
 use pace_data::DatasetKind;
-use std::sync::Mutex;
+use pace_runtime as pool;
 
 /// Speculation repetitions per (dataset, type) cell (paper: 20).
 fn runs_for(scale: &ExpScale) -> usize {
@@ -23,38 +23,35 @@ fn runs_for(scale: &ExpScale) -> usize {
 /// Table 6: accuracy of black-box model-type speculation.
 pub fn table6(scale: &ExpScale) {
     let runs = runs_for(scale);
-    let results: Mutex<Vec<(DatasetKind, CeModelType, usize, usize)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for kind in DatasetKind::all() {
-            let results = &results;
-            let scale = scale.clone();
-            s.spawn(move || {
-                let mut local = Vec::new();
-                for ty in CeModelType::all() {
-                    let mut correct = 0;
-                    for run in 0..runs {
-                        let seed = 0x7ab6 ^ (run as u64 * 131) ^ (ty as u64);
-                        let ctx = Ctx::new(kind, &scale, seed);
-                        let model = ctx.train_victim_model(ty, scale.ce, seed ^ 0x51);
-                        let victim = ctx.victim(model);
-                        let k = ctx.knowledge();
-                        let spec_cfg = SpeculationConfig {
-                            seed,
-                            ..scale.pipeline.speculation.clone()
-                        };
-                        let result = speculate_model_type(&victim, &k, &spec_cfg)
-                            .expect("speculation completes");
-                        if result.speculated == ty {
-                            correct += 1;
-                        }
+    let kinds = DatasetKind::all();
+    let results: Vec<(DatasetKind, CeModelType, usize, usize)> =
+        pool::par_map(&kinds, |_, &kind| {
+            let mut local = Vec::new();
+            for ty in CeModelType::all() {
+                let mut correct = 0;
+                for run in 0..runs {
+                    let seed = 0x7ab6 ^ (run as u64 * 131) ^ (ty as u64);
+                    let ctx = Ctx::new(kind, scale, seed);
+                    let model = ctx.train_victim_model(ty, scale.ce, seed ^ 0x51);
+                    let victim = ctx.victim(model);
+                    let k = ctx.knowledge();
+                    let spec_cfg = SpeculationConfig {
+                        seed,
+                        ..scale.pipeline.speculation.clone()
+                    };
+                    let result = speculate_model_type(&victim, &k, &spec_cfg)
+                        .expect("speculation completes");
+                    if result.speculated == ty {
+                        correct += 1;
                     }
-                    local.push((kind, ty, correct, runs));
                 }
-                results.lock().expect("t6 mutex").extend(local);
-            });
-        }
-    });
-    let results = results.into_inner().expect("t6 mutex");
+                local.push((kind, ty, correct, runs));
+            }
+            local
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     let mut report = Report::new(format!("table6_{}", scale.name));
     let mut t = Table::new(
@@ -89,32 +86,28 @@ pub fn table6(scale: &ExpScale) {
 /// Table 7: drop in attack effectiveness when the surrogate type is wrong
 /// (DMV; 6 victim types × 6 surrogate types).
 pub fn table7(scale: &ExpScale) {
-    let results: Mutex<Vec<(CeModelType, CeModelType, f64)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for victim_ty in CeModelType::all() {
-            let results = &results;
-            let scale = scale.clone();
-            s.spawn(move || {
-                let ctx = Ctx::new(DatasetKind::Dmv, &scale, 0x7ab7);
-                let model =
-                    ctx.train_victim_model(victim_ty, scale.ce, 0x7ab7 ^ (victim_ty as u64));
-                let snapshot = model.params().snapshot();
-                let mut victim = ctx.victim(model);
-                let k = ctx.knowledge();
-                let mut local = Vec::new();
-                for surrogate_ty in CeModelType::all() {
-                    victim.model_mut().params_mut().restore(&snapshot);
-                    let mut cfg = scale.pipeline.clone();
-                    cfg.surrogate_type = Some(surrogate_ty);
-                    let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
-                        .expect("attack campaign completes");
-                    local.push((victim_ty, surrogate_ty, outcome.qerror_multiple()));
-                }
-                results.lock().expect("t7 mutex").extend(local);
-            });
-        }
-    });
-    let results = results.into_inner().expect("t7 mutex");
+    let victim_tys = CeModelType::all();
+    let results: Vec<(CeModelType, CeModelType, f64)> =
+        pool::par_map(&victim_tys, |_, &victim_ty| {
+            let ctx = Ctx::new(DatasetKind::Dmv, scale, 0x7ab7);
+            let model = ctx.train_victim_model(victim_ty, scale.ce, 0x7ab7 ^ (victim_ty as u64));
+            let snapshot = model.params().snapshot();
+            let mut victim = ctx.victim(model);
+            let k = ctx.knowledge();
+            let mut local = Vec::new();
+            for surrogate_ty in CeModelType::all() {
+                victim.model_mut().params_mut().restore(&snapshot);
+                let mut cfg = scale.pipeline.clone();
+                cfg.surrogate_type = Some(surrogate_ty);
+                let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
+                    .expect("attack campaign completes");
+                local.push((victim_ty, surrogate_ty, outcome.qerror_multiple()));
+            }
+            local
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     let mut report = Report::new(format!("table7_{}", scale.name));
     let mut t = Table::new(
@@ -181,39 +174,29 @@ pub fn fig10(scale: &ExpScale) {
             "Gain %",
         ],
     );
-    let rows: Mutex<Vec<(CeModelType, f64, f64, f64)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for &ty in &models {
-            let rows = &rows;
-            let scale = scale.clone();
-            s.spawn(move || {
-                let ctx = Ctx::new(DatasetKind::Dmv, &scale, 0xf10);
-                let model = ctx.train_victim_model(ty, scale.ce, 0xf10 ^ (ty as u64));
-                let snapshot = model.params().snapshot();
-                let mut victim = ctx.victim(model);
-                let k = ctx.knowledge();
-                let mut by_strategy = [0.0f64; 2];
-                let mut clean = 0.0;
-                for (i, strategy) in [ImitationStrategy::Direct, ImitationStrategy::Combined]
-                    .iter()
-                    .enumerate()
-                {
-                    victim.model_mut().params_mut().restore(&snapshot);
-                    let mut cfg = scale.pipeline.clone();
-                    cfg.surrogate_type = Some(ty);
-                    cfg.surrogate.strategy = *strategy;
-                    let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
-                        .expect("attack campaign completes");
-                    by_strategy[i] = outcome.poisoned.mean;
-                    clean = outcome.clean.mean;
-                }
-                rows.lock()
-                    .expect("f10 mutex")
-                    .push((ty, clean, by_strategy[0], by_strategy[1]));
-            });
+    let mut rows: Vec<(CeModelType, f64, f64, f64)> = pool::par_map(&models, |_, &ty| {
+        let ctx = Ctx::new(DatasetKind::Dmv, scale, 0xf10);
+        let model = ctx.train_victim_model(ty, scale.ce, 0xf10 ^ (ty as u64));
+        let snapshot = model.params().snapshot();
+        let mut victim = ctx.victim(model);
+        let k = ctx.knowledge();
+        let mut by_strategy = [0.0f64; 2];
+        let mut clean = 0.0;
+        for (i, strategy) in [ImitationStrategy::Direct, ImitationStrategy::Combined]
+            .iter()
+            .enumerate()
+        {
+            victim.model_mut().params_mut().restore(&snapshot);
+            let mut cfg = scale.pipeline.clone();
+            cfg.surrogate_type = Some(ty);
+            cfg.surrogate.strategy = *strategy;
+            let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
+                .expect("attack campaign completes");
+            by_strategy[i] = outcome.poisoned.mean;
+            clean = outcome.clean.mean;
         }
+        (ty, clean, by_strategy[0], by_strategy[1])
     });
-    let mut rows = rows.into_inner().expect("f10 mutex");
     rows.sort_by_key(|r| r.0.name());
     for (ty, clean, direct, combined) in rows {
         let gain = (combined - direct) / direct.max(1e-9) * 100.0;
@@ -249,34 +232,35 @@ pub fn fig11(scale: &ExpScale) {
             .qerror_multiple()
     };
 
-    let layer_grid: Vec<usize> = vec![1, 2, 3, 4];
-    let hidden_scales: Vec<f64> = vec![0.5, 1.0, 2.0, 4.0];
-    let layer_out: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
-    let hidden_out: Mutex<Vec<(f64, f64)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for &layers in &layer_grid {
-            let layer_out = &layer_out;
-            let scale = scale.clone();
-            s.spawn(move || {
-                let ce = CeConfig { layers, ..scale.ce };
-                let m = run_with(ce, 0x111 ^ layers as u64, &scale);
-                layer_out.lock().expect("f11 mutex").push((layers, m));
-            });
+    /// One fig-11 sweep point: vary the black box's layer count or its
+    /// hidden-width scale (both grids run in one pool fan-out).
+    enum Point {
+        Layers(usize),
+        HiddenScale(f64),
+    }
+    let points: Vec<Point> = [1usize, 2, 3, 4]
+        .into_iter()
+        .map(Point::Layers)
+        .chain([0.5f64, 1.0, 2.0, 4.0].into_iter().map(Point::HiddenScale))
+        .collect();
+    /// Measurement for one sweep point: a layer-grid row or a hidden-grid row.
+    type Measured = (Option<(usize, f64)>, Option<(f64, f64)>);
+    let measured: Vec<Measured> = pool::par_map(&points, |_, point| match *point {
+        Point::Layers(layers) => {
+            let ce = CeConfig { layers, ..scale.ce };
+            let m = run_with(ce, 0x111 ^ layers as u64, scale);
+            (Some((layers, m)), None)
         }
-        for &hs in &hidden_scales {
-            let hidden_out = &hidden_out;
-            let scale = scale.clone();
-            s.spawn(move || {
-                let hidden = ((base_hidden as f64 * hs) as usize).max(4);
-                let ce = CeConfig { hidden, ..scale.ce };
-                let m = run_with(ce, 0x112 ^ hidden as u64, &scale);
-                hidden_out.lock().expect("f11 mutex").push((hs, m));
-            });
+        Point::HiddenScale(hs) => {
+            let hidden = ((base_hidden as f64 * hs) as usize).max(4);
+            let ce = CeConfig { hidden, ..scale.ce };
+            let m = run_with(ce, 0x112 ^ hidden as u64, scale);
+            (None, Some((hs, m)))
         }
     });
-    let mut layer_rows = layer_out.into_inner().expect("f11 mutex");
+    let mut layer_rows: Vec<(usize, f64)> = measured.iter().filter_map(|r| r.0).collect();
     layer_rows.sort_by_key(|a| a.0);
-    let mut hidden_rows = hidden_out.into_inner().expect("f11 mutex");
+    let mut hidden_rows: Vec<(f64, f64)> = measured.iter().filter_map(|r| r.1).collect();
     hidden_rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
 
     let base_l = layer_rows

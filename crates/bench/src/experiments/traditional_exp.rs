@@ -9,8 +9,8 @@ use pace_ce::{CeModelType, EncodedWorkload};
 use pace_core::{run_attack, AttackMethod};
 use pace_data::DatasetKind;
 use pace_engine::{CardEstimator, HistogramEstimator, SamplingEstimator};
+use pace_runtime as pool;
 use pace_workload::{q_error, QErrorSummary, QueryEncoder, Workload};
-use std::sync::Mutex;
 
 fn summary_for(est: &dyn CardEstimator, test: &Workload) -> QErrorSummary {
     let samples: Vec<f64> = test
@@ -25,41 +25,26 @@ fn summary_for(est: &dyn CardEstimator, test: &Workload) -> QErrorSummary {
 pub fn learned_vs_traditional(scale: &ExpScale) {
     let datasets = [DatasetKind::Dmv, DatasetKind::Tpch];
     type Row = (DatasetKind, f64, f64, f64, f64);
-    let rows: Mutex<Vec<Row>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for &kind in &datasets {
-            let rows = &rows;
-            let scale = scale.clone();
-            s.spawn(move || {
-                let ctx = Ctx::new(kind, &scale, 0x7d1);
-                let hist = HistogramEstimator::build(&ctx.ds, 64);
-                let samp = SamplingEstimator::build(&ctx.ds, 0.1, 0x7d2);
-                let hist_q = summary_for(&hist, &ctx.test).mean;
-                let samp_q = summary_for(&samp, &ctx.test).mean;
+    let rows: Vec<Row> = pool::par_map(&datasets, |_, &kind| {
+        let ctx = Ctx::new(kind, scale, 0x7d1);
+        let hist = HistogramEstimator::build(&ctx.ds, 64);
+        let samp = SamplingEstimator::build(&ctx.ds, 0.1, 0x7d2);
+        let hist_q = summary_for(&hist, &ctx.test).mean;
+        let samp_q = summary_for(&samp, &ctx.test).mean;
 
-                let model = ctx.train_victim_model(CeModelType::Fcn, scale.ce, 0x7d3);
-                let clean_q = {
-                    let data =
-                        EncodedWorkload::from_workload(&QueryEncoder::new(&ctx.ds), &ctx.test);
-                    QErrorSummary::from_samples(&model.evaluate(&data)).mean
-                };
-                let mut victim = ctx.victim(model);
-                let k = ctx.knowledge();
-                let mut cfg = scale.pipeline.clone();
-                cfg.surrogate_type = Some(CeModelType::Fcn);
-                let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
-                    .expect("attack campaign completes");
-                rows.lock().expect("lvt mutex").push((
-                    kind,
-                    clean_q,
-                    outcome.poisoned.mean,
-                    hist_q,
-                    samp_q,
-                ));
-            });
-        }
+        let model = ctx.train_victim_model(CeModelType::Fcn, scale.ce, 0x7d3);
+        let clean_q = {
+            let data = EncodedWorkload::from_workload(&QueryEncoder::new(&ctx.ds), &ctx.test);
+            QErrorSummary::from_samples(&model.evaluate(&data)).mean
+        };
+        let mut victim = ctx.victim(model);
+        let k = ctx.knowledge();
+        let mut cfg = scale.pipeline.clone();
+        cfg.surrogate_type = Some(CeModelType::Fcn);
+        let outcome = run_attack(&mut victim, AttackMethod::Pace, &ctx.test, &k, &cfg)
+            .expect("attack campaign completes");
+        (kind, clean_q, outcome.poisoned.mean, hist_q, samp_q)
     });
-    let rows = rows.into_inner().expect("lvt mutex");
 
     let mut report = Report::new(format!("learned_vs_traditional_{}", scale.name));
     let mut t = Table::new(

@@ -5,7 +5,7 @@ use crate::setup::{Ctx, ExpScale};
 use pace_ce::CeModelType;
 use pace_core::{run_attack, AttackMethod, AttackOutcome};
 use pace_data::DatasetKind;
-use std::sync::Mutex;
+use pace_runtime as pool;
 
 /// One grid cell's measurements.
 pub struct CellResult {
@@ -19,9 +19,10 @@ pub struct CellResult {
     pub outcome: AttackOutcome,
 }
 
-/// Runs every (dataset, model) victim in its own thread; within a cell the
-/// methods run sequentially against parameter-restored copies of the same
-/// trained victim, so methods are compared on identical models.
+/// Runs every (dataset, model) victim cell-parallel over the deterministic
+/// pool; within a cell the methods run sequentially against
+/// parameter-restored copies of the same trained victim, so methods are
+/// compared on identical models.
 ///
 /// The surrogate type is pinned to the victim's true type here; speculation
 /// accuracy and the cost of mis-speculation are measured separately
@@ -33,20 +34,16 @@ pub fn run_grid(
     methods: &[AttackMethod],
     seed: u64,
 ) -> Vec<CellResult> {
-    let results: Mutex<Vec<CellResult>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for &kind in datasets {
-            for &ty in models {
-                let results = &results;
-                let scale = scale.clone();
-                s.spawn(move || {
-                    let cell = run_cell(&scale, kind, ty, methods, seed);
-                    results.lock().expect("grid mutex").extend(cell);
-                });
-            }
-        }
-    });
-    let mut out = results.into_inner().expect("grid mutex");
+    let cells: Vec<(DatasetKind, CeModelType)> = datasets
+        .iter()
+        .flat_map(|&kind| models.iter().map(move |&ty| (kind, ty)))
+        .collect();
+    let mut out: Vec<CellResult> = pool::par_map(&cells, |_, &(kind, ty)| {
+        run_cell(scale, kind, ty, methods, seed)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     // Deterministic report order.
     out.sort_by_key(|c| {
         (

@@ -1,0 +1,94 @@
+//! Fault propagation through the deterministic pool: a worker whose probe
+//! fails must surface the typed [`ProbeError`] through
+//! [`pool::par_try_map`] — never a panic — and with faults off the parallel
+//! fan-out must reproduce the sequential probe results exactly.
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_core::{BlackBox, ProbeError, Victim};
+use pace_data::{build, Dataset, DatasetKind, Scale};
+use pace_engine::Executor;
+use pace_tensor::fault::{self, FaultSpec};
+use pace_tensor::pool;
+use pace_workload::{generate_queries, Query, QueryEncoder, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// The fault injector is process-global; tests that install specs (and tests
+/// that require none) must not interleave.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    match FAULT_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+struct Setup {
+    ds: Dataset,
+    queries: Vec<Query>,
+}
+
+fn setup() -> Setup {
+    let ds = build(DatasetKind::Dmv, Scale::tiny(), 5);
+    let mut rng = StdRng::seed_from_u64(50);
+    let queries = generate_queries(&ds, &WorkloadSpec::single_table(), &mut rng, 24);
+    Setup { ds, queries }
+}
+
+fn victim(s: &Setup) -> Victim<'_> {
+    let exec = Executor::new(&s.ds);
+    let labeled = exec.label_nonzero(s.queries.clone());
+    let data = EncodedWorkload::from_workload(&QueryEncoder::new(&s.ds), &labeled);
+    let mut model = CeModel::new(CeModelType::Linear, &s.ds, CeConfig::quick(), 5);
+    let mut rng = StdRng::seed_from_u64(51);
+    model
+        .train(&data, &mut rng)
+        .expect("victim training converges");
+    Victim::new(model, Executor::new(&s.ds), s.queries.clone())
+}
+
+#[test]
+fn pool_workers_match_sequential_probes_with_faults_off() {
+    let _g = lock();
+    fault::install(None);
+    let s = setup();
+    let v = victim(&s);
+    let sequential: Vec<u64> = s
+        .queries
+        .iter()
+        .map(|q| v.count(q).expect("fault-free probe"))
+        .collect();
+    for threads in [1usize, 3, 8] {
+        pool::set_threads(threads);
+        let parallel =
+            pool::par_try_map(&s.queries, |_, q| v.count(q)).expect("fault-free fan-out");
+        assert_eq!(parallel, sequential, "threads={threads}");
+    }
+    pool::set_threads(0);
+}
+
+/// A hard-down oracle (`every=1` fires on every visit, so the trigger is
+/// insensitive to the order workers reach the probe site) must surface as a
+/// typed `Err` from the fan-out — the pool propagates worker errors instead
+/// of panicking, and `par_try_map` reports the lowest-index failure.
+#[test]
+fn pool_workers_propagate_probe_errors_without_panicking() {
+    let _g = lock();
+    let s = setup();
+    let v = victim(&s);
+    fault::install(Some(
+        FaultSpec::parse("error,site=count,every=1").expect("valid fault spec"),
+    ));
+    for threads in [1usize, 4, 8] {
+        pool::set_threads(threads);
+        let result = pool::par_try_map(&s.queries, |_, q| v.count(q));
+        assert!(
+            matches!(result, Err(ProbeError::Unavailable)),
+            "threads={threads}: expected Err(Unavailable), got {result:?}"
+        );
+    }
+    fault::install(None);
+    pool::set_threads(0);
+}

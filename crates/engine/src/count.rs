@@ -16,6 +16,7 @@
 //! intermediate-size oracle of the execution simulator.
 
 use pace_data::Dataset;
+use pace_runtime as pool;
 use pace_workload::{LabeledQuery, Query, Workload};
 use std::collections::HashMap;
 
@@ -23,14 +24,33 @@ use std::collections::HashMap;
 pub struct Executor<'a> {
     ds: &'a Dataset,
     adj: Vec<Vec<(usize, usize)>>,
+    /// Unfiltered per-value row counts for every join-edge endpoint
+    /// `(table, column)`, accumulated in row order. Shared by every query in
+    /// a batch: a semi-join fold whose child has no predicates and no further
+    /// pattern children reads these sums instead of rescanning the child.
+    edge_sums: HashMap<(usize, usize), HashMap<i64, f64>>,
 }
 
 impl<'a> Executor<'a> {
-    /// Creates an executor (precomputes join-graph adjacency).
+    /// Creates an executor (precomputes join-graph adjacency and the
+    /// unfiltered group-by sums of every join-edge endpoint).
     pub fn new(ds: &'a Dataset) -> Self {
+        let mut edge_sums: HashMap<(usize, usize), HashMap<i64, f64>> = HashMap::new();
+        for edge in &ds.schema.edges {
+            for (table, col) in [edge.left, edge.right] {
+                edge_sums.entry((table, col)).or_insert_with(|| {
+                    let mut sums: HashMap<i64, f64> = HashMap::new();
+                    for &v in ds.tables[table].col(col) {
+                        *sums.entry(v).or_insert(0.0) += 1.0;
+                    }
+                    sums
+                });
+            }
+        }
         Self {
             ds,
             adj: ds.schema.adjacency(),
+            edge_sums,
         }
     }
 
@@ -64,20 +84,36 @@ impl<'a> Executor<'a> {
             if neighbor == parent || !q.tables.contains(&neighbor) {
                 continue;
             }
-            let child_w = self.subtree_weights(q, neighbor, table);
             let edge = self.ds.schema.edges[edge_idx];
             let (my_col, child_col) = if edge.left.0 == table {
                 (edge.left.1, edge.right.1)
             } else {
                 (edge.right.1, edge.left.1)
             };
-            let child_vals = self.ds.tables[neighbor].col(child_col);
-            let mut sums: HashMap<i64, f64> = HashMap::new();
-            for (r, &cw) in child_w.iter().enumerate() {
-                if cw > 0.0 {
-                    *sums.entry(child_vals[r]).or_insert(0.0) += cw;
+            // A child with no predicates and no further pattern neighbors
+            // contributes all-1 weights, so its fold is exactly the
+            // precomputed unfiltered group-by sums. Both are accumulated in
+            // row order (+1.0 per row), so the cached path is bit-identical
+            // to the recomputed one.
+            let trivial = q.predicates_on(neighbor).next().is_none()
+                && self.adj[neighbor]
+                    .iter()
+                    .all(|&(nb, _)| nb == table || !q.tables.contains(&nb));
+            let computed;
+            let sums: &HashMap<i64, f64> = if trivial {
+                &self.edge_sums[&(neighbor, child_col)]
+            } else {
+                let child_w = self.subtree_weights(q, neighbor, table);
+                let child_vals = self.ds.tables[neighbor].col(child_col);
+                let mut s: HashMap<i64, f64> = HashMap::new();
+                for (r, &cw) in child_w.iter().enumerate() {
+                    if cw > 0.0 {
+                        *s.entry(child_vals[r]).or_insert(0.0) += cw;
+                    }
                 }
-            }
+                computed = s;
+                &computed
+            };
             let my_vals = t.col(my_col);
             for (r, wr) in w.iter_mut().enumerate() {
                 if *wr > 0.0 {
@@ -123,17 +159,27 @@ impl<'a> Executor<'a> {
         self.count(&sub)
     }
 
+    /// Exact cardinalities of a batch of queries, fanned out over the
+    /// deterministic pool (`PACE_THREADS`). Queries are independent and the
+    /// per-edge group-by sums are shared read-only across workers, so the
+    /// result is identical to mapping [`Executor::count`] sequentially.
+    pub fn count_batch(&self, queries: &[Query]) -> Vec<u64> {
+        pool::par_map(queries, |_, q| self.count(q))
+    }
+
     /// Labels a batch of queries with their exact cardinalities.
     pub fn label(&self, queries: Vec<Query>) -> Workload {
+        self.label_par(queries)
+    }
+
+    /// Labels a batch of queries in parallel over the pool. Output order and
+    /// values match the sequential labeling exactly.
+    pub fn label_par(&self, queries: Vec<Query>) -> Workload {
+        let cards = self.count_batch(&queries);
         queries
             .into_iter()
-            .map(|q| {
-                let cardinality = self.count(&q);
-                LabeledQuery {
-                    query: q,
-                    cardinality,
-                }
-            })
+            .zip(cards)
+            .map(|(query, cardinality)| LabeledQuery { query, cardinality })
             .collect()
     }
 
@@ -176,6 +222,12 @@ pub fn naive_count(ds: &Dataset, q: &Query) -> u64 {
     }
     // Enumerate row combinations over the pattern, checking all induced edges.
     let tables = &q.tables;
+    // The odometer below probes row 0 of every pattern table before any
+    // bounds check, so an empty table must short-circuit here (its join is
+    // empty by definition).
+    if tables.iter().any(|&t| ds.tables[t].num_rows() == 0) {
+        return 0;
+    }
     let edges = ds.schema.induced_edges(tables);
     let mut rows = vec![0usize; tables.len()];
     let mut count = 0u64;
@@ -209,9 +261,6 @@ pub fn naive_count(ds: &Dataset, q: &Query) -> u64 {
             if i == tables.len() - 1 {
                 break 'outer;
             }
-        }
-        if tables.iter().any(|&t| ds.tables[t].num_rows() == 0) {
-            break;
         }
     }
     count
@@ -367,6 +416,87 @@ mod tests {
             }],
         );
         assert_eq!(ex.filtered_size(&q, 1), 4);
+    }
+
+    /// Regression: the odometer used to probe row 0 of each pattern table
+    /// before its (dead) empty-table check, so an empty table either panicked
+    /// on the index (with predicates/edges probing rows) or miscounted. Empty
+    /// tables must yield 0 up front.
+    #[test]
+    fn naive_count_on_empty_table_is_zero() {
+        let schema = Schema::new(
+            "empty",
+            vec![
+                table("a", &["id"], &[], &["x"]),
+                table("b", &["id"], &["a_id"], &[]),
+            ],
+            vec![JoinEdge {
+                left: (0, 0),
+                right: (1, 1),
+            }],
+        );
+        let a = Table::from_columns(vec![vec![], vec![]]);
+        let b = Table::from_columns(vec![vec![0, 1], vec![0, 0]]);
+        let ds = Dataset::new(schema, vec![a, b]);
+        // Join through the empty side: previously panicked indexing row 0.
+        let join = Query::new(vec![0, 1], vec![]);
+        assert_eq!(naive_count(&ds, &join), 0);
+        // Single empty table with a predicate: previously panicked in passes().
+        let filtered = Query::new(
+            vec![0],
+            vec![Predicate {
+                table: 0,
+                col: 1,
+                lo: 0,
+                hi: 10,
+            }],
+        );
+        assert_eq!(naive_count(&ds, &filtered), 0);
+        // Single empty table, no predicates: previously counted the empty
+        // row-combination as one match.
+        assert_eq!(naive_count(&ds, &Query::new(vec![0], vec![])), 0);
+        assert_eq!(Executor::new(&ds).count(&join), 0);
+    }
+
+    /// The trivial-child fast path (cached unfiltered group-by sums) must
+    /// agree with the brute-force reference, and a predicate on the child
+    /// must still take the recomputed path.
+    #[test]
+    fn cached_edge_sums_match_bruteforce() {
+        let ds = chain_dataset();
+        let ex = Executor::new(&ds);
+        for pattern in ds.schema.connected_patterns(3) {
+            let q = Query::new(pattern.clone(), vec![]);
+            assert_eq!(ex.count(&q), naive_count(&ds, &q), "pattern {pattern:?}");
+        }
+        let filtered_child = Query::new(
+            vec![0, 1],
+            vec![Predicate {
+                table: 1,
+                col: 2,
+                lo: 6,
+                hi: 8,
+            }],
+        );
+        assert_eq!(ex.count(&filtered_child), naive_count(&ds, &filtered_child));
+    }
+
+    #[test]
+    fn count_batch_matches_individual_counts_at_any_thread_count() {
+        let ds = chain_dataset();
+        let ex = Executor::new(&ds);
+        let queries: Vec<Query> = ds
+            .schema
+            .connected_patterns(3)
+            .into_iter()
+            .map(|p| Query::new(p, vec![]))
+            .collect();
+        let reference: Vec<u64> = queries.iter().map(|q| ex.count(q)).collect();
+        for threads in [1, 2, 5] {
+            pace_runtime::set_threads(threads);
+            assert_eq!(ex.count_batch(&queries), reference, "threads={threads}");
+        }
+        pace_runtime::set_threads(0);
     }
 
     #[test]

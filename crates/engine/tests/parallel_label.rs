@@ -1,0 +1,99 @@
+//! Property test for the pool-parallel labeling path: for random predicate
+//! sets and random `PACE_THREADS` settings, [`Executor::label_par`] and
+//! [`Executor::count_batch`] must reproduce the sequential per-query counts
+//! exactly — order, values, and zero/non-zero structure.
+
+use pace_data::schema::{table, JoinEdge};
+use pace_data::{Dataset, Schema, Table};
+use pace_engine::Executor;
+use pace_runtime as pool;
+use pace_workload::{Predicate, Query};
+use proptest::prelude::*;
+
+/// hub(6) — s1(8), hub — s2(5) star with value columns for predicates.
+fn star_dataset() -> Dataset {
+    let schema = Schema::new(
+        "star",
+        vec![
+            table("hub", &["id"], &[], &["h"]),
+            table("s1", &["id"], &["hub_id"], &["a"]),
+            table("s2", &["id"], &["hub_id"], &["b"]),
+        ],
+        vec![
+            JoinEdge {
+                left: (1, 1),
+                right: (0, 0),
+            },
+            JoinEdge {
+                left: (2, 1),
+                right: (0, 0),
+            },
+        ],
+    );
+    let hub = Table::from_columns(vec![vec![0, 1, 2, 3, 4, 5], vec![5, 6, 7, 8, 9, 10]]);
+    let s1 = Table::from_columns(vec![
+        vec![0, 1, 2, 3, 4, 5, 6, 7],
+        vec![0, 0, 1, 1, 2, 3, 3, 5],
+        vec![10, 11, 12, 13, 14, 15, 16, 17],
+    ]);
+    let s2 = Table::from_columns(vec![
+        vec![0, 1, 2, 3, 4],
+        vec![0, 1, 1, 4, 4],
+        vec![20, 21, 22, 23, 24],
+    ]);
+    Dataset::new(schema, vec![hub, s1, s2])
+}
+
+/// Predicate column/bounds per table index, kept inside each table's domain.
+fn predicate(tbl: usize, lo: i64, width: i64) -> Predicate {
+    let base = match tbl {
+        0 => 5,
+        1 => 10,
+        _ => 20,
+    };
+    Predicate {
+        table: tbl,
+        col: if tbl == 0 { 1 } else { 2 },
+        lo: base + lo,
+        hi: base + lo + width,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn label_par_matches_sequential_counts(
+        preds in proptest::collection::vec((0usize..3, 0i64..8, 0i64..6), 0..6),
+        threads in 1usize..9,
+    ) {
+        let ds = star_dataset();
+        let ex = Executor::new(&ds);
+        let patterns = [vec![0], vec![1], vec![0, 1], vec![0, 2], vec![0, 1, 2]];
+        let queries: Vec<Query> = patterns
+            .iter()
+            .map(|p| {
+                let ps = preds
+                    .iter()
+                    .filter(|(t, _, _)| p.contains(t))
+                    .map(|&(t, lo, w)| predicate(t, lo, w))
+                    .collect();
+                Query::new(p.clone(), ps)
+            })
+            .collect();
+
+        pool::set_threads(1);
+        let reference: Vec<u64> = queries.iter().map(|q| ex.count(q)).collect();
+        pool::set_threads(threads);
+        let batch = ex.count_batch(&queries);
+        let labeled = ex.label_par(queries.clone());
+        pool::set_threads(0);
+
+        prop_assert_eq!(&batch, &reference);
+        prop_assert_eq!(labeled.len(), queries.len());
+        for (i, lq) in labeled.iter().enumerate() {
+            prop_assert_eq!(&lq.query, &queries[i]);
+            prop_assert_eq!(lq.cardinality, reference[i]);
+        }
+    }
+}

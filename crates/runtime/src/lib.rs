@@ -1,0 +1,366 @@
+//! `pace-runtime` — the deterministic parallel runtime behind every PACE
+//! hot path (re-exported as `pace_tensor::pool`).
+//!
+//! # The determinism contract
+//!
+//! Every primitive in this module produces results that are **bit-identical
+//! for any thread count**, including fully sequential execution. Two rules
+//! make that hold:
+//!
+//! 1. **Chunk boundaries are derived from input size, never thread count.**
+//!    [`chunk_ranges`] partitions `0..len` into a grid that depends only on
+//!    `len` and the caller's (constant) minimum chunk size. Threads pull
+//!    whole chunks from a shared counter; which worker computes a chunk can
+//!    vary run to run, but *what* each chunk computes cannot.
+//! 2. **Reductions are ordered.** Per-chunk partial results land in a slot
+//!    indexed by chunk id, and the caller folds them in ascending chunk
+//!    order after the fan-out completes ([`par_chunks`] returns them in that
+//!    order). Floating-point accumulation order is therefore a pure function
+//!    of the input shape.
+//!
+//! Consequently `PACE_THREADS=1` and `PACE_THREADS=64` runs of labeling,
+//! training, and campaigns are byte-identical — the property the chaos
+//! matrix, campaign resume, and tape-replay parity gates all rely on
+//! (`cargo run -p xtask -- determinism` checks it in CI).
+//!
+//! # Thread-count resolution (`PACE_THREADS`)
+//!
+//! * `0` or unset — auto: [`std::thread::available_parallelism`];
+//! * `1` — fully sequential (no worker threads are ever spawned);
+//! * `N` — exactly `N` workers per parallel region.
+//!
+//! The variable is read once, on first use; tests and benchmarks override
+//! it at any time with [`set_threads`].
+//!
+//! # Why scoped fan-out rather than persistent workers
+//!
+//! The workspace forbids `unsafe` code, and lending stack-borrowed closures
+//! to long-lived worker threads cannot be expressed safely without it (this
+//! is the unsafe core of rayon). Instead each parallel region performs one
+//! `std::thread::scope` fan-out — the only place in the workspace allowed
+//! to touch raw threads (`xtask lint` enforces this). Regions are coarse
+//! (a chunk of queries, a panel of matrix rows), so the few-microsecond
+//! spawn cost is noise; the env-var parse and thread-count decision happen
+//! once per process.
+//!
+//! Parallel regions do not nest: a worker thread that reaches another
+//! parallel region runs it inline. Because of the determinism contract this
+//! changes nothing about the results — only about who computes them.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Sentinel meaning "PACE_THREADS not resolved yet".
+const UNRESOLVED: usize = usize::MAX;
+
+/// Resolved worker count (never [`UNRESOLVED`] after first use).
+static THREADS: AtomicUsize = AtomicUsize::new(UNRESOLVED);
+
+thread_local! {
+    /// True on a pool worker thread; nested regions run inline.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Auto thread count: the machine's available parallelism.
+fn auto_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The configured worker count: `PACE_THREADS` resolved once (`0`/unset →
+/// available parallelism), or the latest [`set_threads`] override.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        UNRESOLVED => {
+            let parsed = std::env::var("PACE_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(0);
+            let resolved = if parsed == 0 { auto_threads() } else { parsed };
+            THREADS.store(resolved, Ordering::Relaxed);
+            resolved
+        }
+        n => n,
+    }
+}
+
+/// Overrides the worker count for this process (`0` restores auto), taking
+/// precedence over `PACE_THREADS`. Results are unaffected by construction —
+/// this is a performance knob and the lever determinism tests sweep.
+pub fn set_threads(n: usize) {
+    let resolved = if n == 0 { auto_threads() } else { n };
+    THREADS.store(resolved, Ordering::Relaxed);
+}
+
+/// True when called from inside a pool worker (used to run nested parallel
+/// regions inline instead of over-subscribing).
+pub fn in_worker() -> bool {
+    IN_POOL.with(Cell::get)
+}
+
+/// Target number of chunks per region. More chunks than any sane thread
+/// count, so the work-pulling counter load-balances uneven chunks; a
+/// constant, so the grid never depends on the thread count.
+const TARGET_CHUNKS: usize = 32;
+
+/// Partitions `0..len` into contiguous `(start, end)` ranges — the fixed
+/// work grid of a parallel region. The grid depends only on `len` and
+/// `min_chunk` (which callers fix per call site): at most [`TARGET_CHUNKS`]
+/// chunks, each at least `min_chunk` items (except possibly the last),
+/// sized as evenly as integer division allows.
+pub fn chunk_ranges(len: usize, min_chunk: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let min_chunk = min_chunk.max(1);
+    let chunks = (len / min_chunk).clamp(1, TARGET_CHUNKS);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// Executes `f(0)`, …, `f(tasks - 1)`, each exactly once, distributing
+/// tasks over `min(threads(), tasks)` workers. Runs inline when the pool is
+/// sequential, the region is trivial, or we are already on a worker.
+///
+/// Task *results* must be communicated through disjoint slots (as the
+/// higher-level primitives do); the execution order of tasks is unspecified.
+/// A panicking task propagates the panic to the caller once the region
+/// joins — fallible work should return `Result` via [`par_try_map`] instead
+/// of panicking.
+pub fn run(tasks: usize, f: impl Fn(usize) + Sync) {
+    let workers = if in_worker() { 1 } else { threads().min(tasks) };
+    if workers <= 1 {
+        for i in 0..tasks {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                IN_POOL.with(|c| c.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks {
+                        break;
+                    }
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// Takes the lock even when a sibling worker panicked (the panic will
+/// propagate at scope join regardless).
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `f(i, item)` for each owned item, one task per item. Ownership
+/// transfer is what lets callers hand each task a disjoint `&mut` sub-slice
+/// of one output buffer (split before the fan-out).
+pub fn for_each_owned<T: Send>(items: Vec<T>, f: impl Fn(usize, T) + Sync) {
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    run(slots.len(), |i| {
+        let item = lock_ignore_poison(&slots[i])
+            .take()
+            .expect("pool task item taken exactly once");
+        f(i, item);
+    });
+}
+
+/// Maps `f` over `items` in parallel (one task per item — for coarse-grained
+/// items like experiment cells), returning results in **input order**.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    run(items.len(), |i| {
+        let r = f(i, &items[i]);
+        *lock_ignore_poison(&slots[i]) = Some(r);
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("pool task completed")
+        })
+        .collect()
+}
+
+/// Fallible [`par_map`]: every item runs to completion, then the result is
+/// `Ok(all results in input order)` or the error of the **lowest-indexed**
+/// failing item — deterministic no matter which worker failed first. Pool
+/// workers therefore surface typed errors (e.g. a `ProbeError` from a
+/// fault-injected oracle) instead of panicking the process.
+pub fn par_try_map<T: Sync, R: Send, E: Send>(
+    items: &[T],
+    f: impl Fn(usize, &T) -> Result<R, E> + Sync,
+) -> Result<Vec<R>, E> {
+    let slots: Vec<Mutex<Option<Result<R, E>>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    run(items.len(), |i| {
+        let r = f(i, &items[i]);
+        *lock_ignore_poison(&slots[i]) = Some(r);
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("pool task completed")
+        })
+        .collect()
+}
+
+/// Runs `f(start, end)` over the fixed chunk grid of `0..len` (see
+/// [`chunk_ranges`]) and returns one result per chunk **in chunk order** —
+/// the ordered-reduction primitive: fold the returned vector sequentially
+/// and the accumulation order is independent of the thread count.
+pub fn par_chunks<R: Send>(
+    len: usize,
+    min_chunk: usize,
+    f: impl Fn(usize, usize) -> R + Sync,
+) -> Vec<R> {
+    let grid = chunk_ranges(len, min_chunk);
+    par_map(&grid, |_, &(lo, hi)| f(lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunk_grid_covers_exactly_once() {
+        for len in [0usize, 1, 2, 7, 31, 32, 33, 1000, 4096] {
+            for min in [1usize, 4, 100] {
+                let grid = chunk_ranges(len, min);
+                let mut pos = 0;
+                for &(lo, hi) in &grid {
+                    assert_eq!(lo, pos, "gap in grid for len={len}");
+                    assert!(hi > lo, "empty chunk for len={len}");
+                    pos = hi;
+                }
+                assert_eq!(pos, len, "grid does not cover len={len}");
+                assert!(grid.len() <= TARGET_CHUNKS);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_grid_ignores_thread_count() {
+        let before = chunk_ranges(1000, 8);
+        set_threads(7);
+        assert_eq!(chunk_ranges(1000, 8), before);
+        set_threads(1);
+        assert_eq!(chunk_ranges(1000, 8), before);
+        set_threads(0);
+    }
+
+    #[test]
+    fn run_executes_every_task_once() {
+        for t in [1usize, 2, 5] {
+            set_threads(t);
+            let counts: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+            run(100, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for t in [1usize, 3, 8] {
+            set_threads(t);
+            let out = par_map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_try_map_returns_lowest_index_error() {
+        let items: Vec<usize> = (0..64).collect();
+        for t in [1usize, 4] {
+            set_threads(t);
+            let r: Result<Vec<usize>, usize> =
+                par_try_map(&items, |_, &x| if x % 10 == 3 { Err(x) } else { Ok(x) });
+            assert_eq!(r, Err(3), "threads={t}");
+        }
+        set_threads(0);
+        let ok: Result<Vec<usize>, usize> = par_try_map(&items, |_, &x| Ok(x));
+        assert_eq!(ok.expect("no failures"), items);
+    }
+
+    #[test]
+    fn ordered_chunk_reduction_is_thread_count_invariant() {
+        // A float sum whose value depends on accumulation order: the chunk
+        // grid pins the order, so every thread count agrees bitwise.
+        let data: Vec<f32> = (0..10_000)
+            .map(|i| ((i * 2654435761_usize) as f32).sin() * 1e3)
+            .collect();
+        let sum_with = |t: usize| -> f32 {
+            set_threads(t);
+            par_chunks(data.len(), 64, |lo, hi| data[lo..hi].iter().sum::<f32>())
+                .into_iter()
+                .sum()
+        };
+        let reference = sum_with(1);
+        for t in [2usize, 3, 8, 13] {
+            assert_eq!(sum_with(t).to_bits(), reference.to_bits(), "threads={t}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn nested_regions_run_inline() {
+        set_threads(4);
+        let outer: Vec<bool> = par_map(&[0usize; 8], |_, _| {
+            // Inside a worker the nested region must not spawn again.
+            let inner = par_map(&[0usize; 4], |_, _| in_worker());
+            inner.into_iter().all(|w| w)
+        });
+        // Whether the outer tasks saw workers depends on thread count, but
+        // nested tasks always report the worker flag (they ran inline).
+        assert!(outer.into_iter().all(|b| b));
+        set_threads(0);
+    }
+
+    #[test]
+    fn for_each_owned_hands_out_disjoint_buffers() {
+        let mut out = vec![0u32; 100];
+        let grid = chunk_ranges(out.len(), 10);
+        let mut rest: &mut [u32] = &mut out;
+        let mut parts = Vec::new();
+        for &(lo, hi) in &grid {
+            let (head, tail) = rest.split_at_mut(hi - lo);
+            parts.push((lo, head));
+            rest = tail;
+        }
+        set_threads(3);
+        for_each_owned(parts, |_, (lo, chunk)| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (lo + j) as u32;
+            }
+        });
+        set_threads(0);
+        assert!(out.iter().enumerate().all(|(i, &v)| v as usize == i));
+    }
+}

@@ -145,7 +145,7 @@ impl Graph {
 
     /// Leaf holding 1.0 where `pred(value)` and 0.0 elsewhere; treated as a
     /// constant by further differentiation (the a.e.-correct sub-gradient).
-    fn mask_leaf(&mut self, of: Var, pred: impl Fn(f32) -> bool) -> Var {
+    fn mask_leaf(&mut self, of: Var, pred: impl Fn(f32) -> bool + Sync) -> Var {
         let m = self.value(of).map(|x| if pred(x) { 1.0 } else { 0.0 });
         self.leaf(m)
     }

@@ -22,7 +22,11 @@
 //!   elimination, liveness-driven buffer reuse, replay verification;
 //! * [`flags`] — the shared `0/1/strict` environment-flag grammar;
 //! * [`fault`] — deterministic, seeded fault injection (`PACE_FAULTS`) for
-//!   chaos-testing the campaign runtime's recovery paths.
+//!   chaos-testing the campaign runtime's recovery paths;
+//! * [`pool`] — the deterministic parallel runtime (`PACE_THREADS`,
+//!   re-exported from `pace-runtime`): fixed size-derived chunk grids and
+//!   ordered reductions make parallel matmul/elementwise kernels and batch
+//!   labeling bit-identical to sequential execution at any thread count.
 //!
 //! # Example
 //!
@@ -60,4 +64,5 @@ pub mod serialize;
 
 pub use graph::{Graph, Var};
 pub use matrix::Matrix;
+pub use pace_runtime as pool;
 pub use param::{Binding, ParamId, ParamStore};

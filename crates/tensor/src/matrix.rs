@@ -3,8 +3,127 @@
 //! The matrix is deliberately minimal: the autograd graph in [`crate::graph`]
 //! is responsible for composition; this type only knows how to hold data and
 //! perform the eager value computations each op needs.
+//!
+//! The heavy kernels (matmul, elementwise map/zip) fan out over the
+//! deterministic pool ([`crate::pool`]) above a size threshold. Both the
+//! chunk grid and the per-element accumulation order are derived from the
+//! input shape alone, so parallel results are bit-identical to sequential
+//! ones at every `PACE_THREADS` setting, and the optimized-tape replay
+//! interpreter ([`crate::opt`]) reuses the same kernel for exact parity.
 
+use pace_runtime as pool;
 use std::fmt;
+
+/// Height of one `b`-row panel of the blocked matmul kernel: the panel
+/// (`MATMUL_PANEL × m` floats of `b`) stays resident in L1/L2 while every
+/// output row streams over it. Blocking reorders the *loop nest*, not the
+/// per-element accumulation: each `out[i][j]` still sums its `k` products in
+/// ascending-`k` order, so blocked, unblocked, and row-parallel results are
+/// bit-identical.
+const MATMUL_PANEL: usize = 128;
+
+/// Minimum multiply-add count before a matmul fans out over the pool.
+/// Below this, spawn overhead dominates; at or above it, rows are split into
+/// chunks of at least `MATMUL_PAR_MIN_FLOPS / (k·m)` rows each — a grid
+/// derived from the shape only, never the thread count.
+const MATMUL_PAR_MIN_FLOPS: usize = 1 << 18;
+
+/// Minimum element count before map/zip fan out over the pool.
+const ELEMWISE_PAR_MIN: usize = 1 << 16;
+
+/// Splits `data` into the disjoint `&mut` chunks of the given grid, paired
+/// with each chunk's start offset — the hand-off shape
+/// [`pool::for_each_owned`] expects.
+fn split_by_grid<'a>(
+    mut data: &'a mut [f32],
+    grid: &[(usize, usize)],
+) -> Vec<(usize, &'a mut [f32])> {
+    let mut parts = Vec::with_capacity(grid.len());
+    for &(lo, hi) in grid {
+        let (head, tail) = data.split_at_mut(hi - lo);
+        parts.push((lo, head));
+        data = tail;
+    }
+    parts
+}
+
+/// Computes output rows `[lo, hi)` of `a · b` into `out`, which is the
+/// row-major storage of exactly those rows.
+///
+/// The zero-skip fast path is gated per `b` row: `0 · x` contributes exactly
+/// `+0.0` only when `x` is finite (IEEE-754 addition of `+0.0`/`-0.0`
+/// products to a non-negative-zero accumulator is the identity), so skipping
+/// is bit-transparent there — but `0 · NaN` and `0 · ±Inf` are NaN and must
+/// reach the accumulator for non-finite values to propagate (the contract
+/// `Graph::push`'s producer tracking and `PACE_FINITE` rely on).
+fn matmul_rows(out: &mut [f32], a: &Matrix, b: &Matrix, lo: usize, hi: usize, b_finite: &[bool]) {
+    let (k, m) = (a.cols, b.cols);
+    out.fill(0.0);
+    for panel in (0..k).step_by(MATMUL_PANEL) {
+        let panel_end = (panel + MATMUL_PANEL).min(k);
+        for i in lo..hi {
+            let a_row = &a.data[i * k + panel..i * k + panel_end];
+            let out_row = &mut out[(i - lo) * m..(i - lo + 1) * m];
+            for (off, &av) in a_row.iter().enumerate() {
+                let kk = panel + off;
+                if av == 0.0 && b_finite[kk] {
+                    continue;
+                }
+                let b_row = &b.data[kk * m..(kk + 1) * m];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Writes `a · b` into `dst`, reusing `dst`'s allocation. This is the one
+/// matmul kernel in the workspace: [`Matrix::matmul`] and the replay
+/// interpreter ([`crate::opt`]) both call it, so eager, replayed, sequential
+/// and parallel products are bit-identical.
+///
+/// # Panics
+/// Panics when inner dimensions differ.
+pub(crate) fn matmul_into(dst: &mut Matrix, a: &Matrix, b: &Matrix) {
+    assert_eq!(
+        a.cols, b.rows,
+        "matmul shape mismatch: {}x{} . {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    let (n, k, m) = (a.rows, a.cols, b.cols);
+    dst.reset_shape(n, m);
+    let b_finite: Vec<bool> = (0..k)
+        .map(|r| b.data[r * m..(r + 1) * m].iter().all(|x| x.is_finite()))
+        .collect();
+    let flops = n.saturating_mul(k).saturating_mul(m);
+    if flops >= MATMUL_PAR_MIN_FLOPS && n > 1 && !pool::in_worker() && pool::threads() > 1 {
+        let min_rows = (MATMUL_PAR_MIN_FLOPS / k.saturating_mul(m).max(1)).max(1);
+        let grid = pool::chunk_ranges(n, min_rows);
+        let parts = split_by_grid_rows(dst.data.as_mut_slice(), &grid, m);
+        pool::for_each_owned(parts, |_, (lo, hi, chunk)| {
+            matmul_rows(chunk, a, b, lo, hi, &b_finite);
+        });
+    } else {
+        matmul_rows(&mut dst.data, a, b, 0, n, &b_finite);
+    }
+}
+
+/// Splits `data` (row-major, `m` columns) into the disjoint row-chunks of
+/// `grid`, tagged with their `[lo, hi)` row ranges.
+fn split_by_grid_rows<'a>(
+    mut data: &'a mut [f32],
+    grid: &[(usize, usize)],
+    m: usize,
+) -> Vec<(usize, usize, &'a mut [f32])> {
+    let mut parts = Vec::with_capacity(grid.len());
+    for &(lo, hi) in grid {
+        let (head, tail) = data.split_at_mut((hi - lo) * m);
+        parts.push((lo, hi, head));
+        data = tail;
+    }
+    parts
+}
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -144,20 +263,36 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Applies `f` elementwise, returning a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+    /// Applies `f` elementwise, returning a new matrix. Fans out over the
+    /// pool for large matrices; elementwise results are independent of the
+    /// chunking, so parallel and sequential outputs are identical.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        let mut data = vec![0.0f32; self.len()];
+        if self.len() >= ELEMWISE_PAR_MIN && !pool::in_worker() && pool::threads() > 1 {
+            let grid = pool::chunk_ranges(self.len(), ELEMWISE_PAR_MIN);
+            pool::for_each_owned(split_by_grid(&mut data, &grid), |_, (lo, chunk)| {
+                for (j, o) in chunk.iter_mut().enumerate() {
+                    *o = f(self.data[lo + j]);
+                }
+            });
+        } else {
+            for (o, &x) in data.iter_mut().zip(&self.data) {
+                *o = f(x);
+            }
+        }
         Self {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
     }
 
-    /// Combines two same-shaped matrices elementwise.
+    /// Combines two same-shaped matrices elementwise. Fans out over the pool
+    /// for large matrices (see [`Matrix::map`]).
     ///
     /// # Panics
     /// Panics on shape mismatch.
-    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32 + Sync) -> Self {
         assert_eq!(
             self.shape(),
             other.shape(),
@@ -165,49 +300,39 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
+        let mut data = vec![0.0f32; self.len()];
+        if self.len() >= ELEMWISE_PAR_MIN && !pool::in_worker() && pool::threads() > 1 {
+            let grid = pool::chunk_ranges(self.len(), ELEMWISE_PAR_MIN);
+            pool::for_each_owned(split_by_grid(&mut data, &grid), |_, (lo, chunk)| {
+                for (j, o) in chunk.iter_mut().enumerate() {
+                    *o = f(self.data[lo + j], other.data[lo + j]);
+                }
+            });
+        } else {
+            for ((o, &a), &b) in data.iter_mut().zip(&self.data).zip(&other.data) {
+                *o = f(a, b);
+            }
+        }
         Self {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         }
     }
 
-    /// Matrix product `self · other`.
+    /// Matrix product `self · other` — the blocked, pool-parallel kernel
+    /// ([`matmul_into`]); `0 · NaN` and `0 · Inf` propagate as NaN.
     ///
     /// # Panics
     /// Panics when inner dimensions differ.
     pub fn matmul(&self, other: &Self) -> Self {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul shape mismatch: {}x{} . {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let (n, k, m) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0f32; n * m];
-        // i-k-j loop order: streams through `other` rows, cache friendly.
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * m..(i + 1) * m];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * m..(kk + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        Self {
-            rows: n,
-            cols: m,
-            data: out,
-        }
+        let mut out = Self {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        };
+        matmul_into(&mut out, self, other);
+        out
     }
 
     /// Transposed copy.
@@ -451,6 +576,74 @@ mod tests {
         assert_eq!(c.shape(), (3, 2));
         assert_eq!(c.slice_rows(0, 1), a);
         assert_eq!(c.slice_rows(1, 3), b);
+    }
+
+    /// Regression: the zero-skip fast path used to swallow `0 · NaN` and
+    /// `0 · Inf` (IEEE says both are NaN), so a non-finite `b` never
+    /// propagated through rows of `a` containing zeros — contradicting the
+    /// non-finite producer tracking in `Graph::push` and `PACE_FINITE`.
+    #[test]
+    fn matmul_zero_times_nan_propagates() {
+        let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Matrix::from_vec(2, 2, vec![f32::NAN, 2.0, 3.0, 4.0]);
+        let c = a.matmul(&b);
+        assert!(
+            c.get(0, 0).is_nan(),
+            "0·NaN must be NaN, got {}",
+            c.get(0, 0)
+        );
+        assert_eq!(c.get(0, 1), 4.0);
+
+        let inf = Matrix::from_vec(2, 1, vec![f32::INFINITY, 5.0]);
+        let z = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        assert!(z.matmul(&inf).get(0, 0).is_nan(), "0·Inf must be NaN");
+    }
+
+    /// The zero-skip must still fire (and stay bit-transparent) when `b` is
+    /// finite: a zero row of `a` yields exactly +0.0.
+    #[test]
+    fn matmul_zero_row_with_finite_b_stays_zero() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 0.0, 1.0, 1.0]);
+        let b = Matrix::from_vec(2, 2, vec![-3.0, 7.0, 11.0, -2.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row_slice(0), &[0.0, 0.0]);
+        assert_eq!(c.row_slice(1), &[8.0, 5.0]);
+    }
+
+    /// Parallel matmul must be bit-identical to sequential for every thread
+    /// count — the pool's chunk grid is derived from the shape alone.
+    #[test]
+    fn matmul_bit_identical_across_thread_counts() {
+        // Big enough to clear MATMUL_PAR_MIN_FLOPS and engage the fan-out.
+        let (n, k, m) = (96, 64, 80);
+        let mut state = 0x243f_6a88u32;
+        let mut next = || {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (state >> 8) as f32 / (1 << 24) as f32 - 0.5
+        };
+        let mut av: Vec<f32> = (0..n * k).map(|_| next()).collect();
+        let mut bv: Vec<f32> = (0..k * m).map(|_| next()).collect();
+        // Exercise both the skip and NaN paths.
+        for i in (0..av.len()).step_by(17) {
+            av[i] = 0.0;
+        }
+        bv[5 * m + 3] = f32::NAN;
+        let a = Matrix::from_vec(n, k, av);
+        let b = Matrix::from_vec(k, m, bv);
+        pool::set_threads(1);
+        let reference = a.matmul(&b);
+        for t in [2usize, 3, 8] {
+            pool::set_threads(t);
+            let c = a.matmul(&b);
+            assert!(
+                c.data()
+                    .iter()
+                    .zip(reference.data())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "matmul diverged at {t} threads"
+            );
+        }
+        pool::set_threads(0);
     }
 
     #[test]

@@ -479,26 +479,12 @@ fn ew2(dst: &mut Matrix, a: &Matrix, b: &Matrix, f: impl Fn(f32, f32) -> f32) {
     }
 }
 
-/// Same loop order (and zero-skip) as [`Matrix::matmul`], so replayed values
-/// are bit-identical to eager execution.
+/// The replay interpreter shares [`crate::matrix::matmul_into`] — the one
+/// blocked, pool-parallel, NaN-propagating kernel — with eager execution,
+/// so replayed values are bit-identical to `Matrix::matmul` at every
+/// `PACE_THREADS` setting.
 fn matmul_into(dst: &mut Matrix, a: &Matrix, b: &Matrix) {
-    let (n, k) = a.shape();
-    let m = b.cols();
-    dst.reset_shape(n, m);
-    dst.data_mut().fill(0.0);
-    for i in 0..n {
-        let a_row = &a.data()[i * k..(i + 1) * k];
-        for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b.data()[kk * m..(kk + 1) * m];
-            let out_row = &mut dst.data_mut()[i * m..(i + 1) * m];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += av * bv;
-            }
-        }
-    }
+    crate::matrix::matmul_into(dst, a, b);
 }
 
 fn close(a: f32, b: f32, tol: f32) -> bool {

@@ -170,22 +170,33 @@ impl Optimizer for Adam {
 }
 
 /// Rescales `grads` in place so their global L2 norm is at most `max_norm`.
-/// Returns the pre-clip norm.
+/// Returns the pre-clip norm (saturating to `f32::INFINITY` only when the
+/// true norm exceeds `f32::MAX`).
+///
+/// Squared magnitudes accumulate in `f64`: any single `f32` gradient entry
+/// above `~1.8e19` squares past `f32::MAX`, and an `f32` accumulator would
+/// overflow to `inf`, making `scale = max_norm / inf = 0` and silently
+/// zeroing every gradient — the exact spikes clipping exists to tame.
 pub fn clip_global_norm(grads: &mut [Matrix], max_norm: f32) -> f32 {
     let norm = grads
         .iter()
-        .map(|g| g.data().iter().map(|x| x * x).sum::<f32>())
-        .sum::<f32>()
+        .map(|g| {
+            g.data()
+                .iter()
+                .map(|&x| f64::from(x) * f64::from(x))
+                .sum::<f64>()
+        })
+        .sum::<f64>()
         .sqrt();
-    if norm > max_norm && norm > 0.0 {
-        let scale = max_norm / norm;
+    if norm > f64::from(max_norm) && norm > 0.0 {
+        let scale = f64::from(max_norm) / norm;
         for g in grads.iter_mut() {
             for x in g.data_mut() {
-                *x *= scale;
+                *x = (f64::from(*x) * scale) as f32;
             }
         }
     }
-    norm
+    norm as f32
 }
 
 /// Replaces NaN/Inf gradient entries with zero. The attack's Q-error losses
@@ -253,6 +264,25 @@ mod tests {
         let mut grads = vec![Matrix::row(&[0.3, 0.4])];
         clip_global_norm(&mut grads, 1.0);
         assert_eq!(grads[0].data(), &[0.3, 0.4]);
+    }
+
+    /// Regression: with an `f32` accumulator, `(1e20)² = inf`, so the norm
+    /// was `inf`, `scale = 1/inf = 0`, and every gradient was silently
+    /// zeroed. The `f64` accumulator must instead rescale onto the ball.
+    #[test]
+    fn clip_survives_f32_overflow() {
+        let mut grads = vec![Matrix::row(&[1e20, -1e20, 0.0])];
+        let pre = clip_global_norm(&mut grads, 1.0);
+        assert!(pre.is_infinite() || pre > 1e20, "pre-clip norm reported");
+        let post = grads[0].norm();
+        assert!(
+            (post - 1.0).abs() < 1e-4,
+            "gradients zeroed instead of clipped: {:?}",
+            grads[0].data()
+        );
+        // Direction is preserved.
+        assert!(grads[0].data()[0] > 0.0 && grads[0].data()[1] < 0.0);
+        assert_eq!(grads[0].data()[2], 0.0);
     }
 
     #[test]

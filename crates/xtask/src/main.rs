@@ -1,5 +1,5 @@
 //! Workspace maintenance tasks:
-//! `cargo run -p xtask -- <lint|tape-report|chaos>`.
+//! `cargo run -p xtask -- <lint|tape-report|chaos|determinism>`.
 //!
 //! # `lint` — source-level checks the compiler cannot express
 //!
@@ -22,6 +22,21 @@
 //!    checkpoint/manifest IO must be propagated with `?`, never
 //!    `.unwrap()`/`.expect()`-ed: a campaign that panics on a flaky probe
 //!    reintroduces the exact abort the resilience layer exists to absorb.
+//! 4. **No raw thread primitives outside the pool** — `thread::spawn`/
+//!    `thread::scope` are allowed only in `crates/runtime`, the one
+//!    sanctioned fan-out site. Everything else must go through
+//!    `pace_runtime`, whose size-derived chunking keeps every parallel
+//!    result bit-identical at any `PACE_THREADS` setting; an ad-hoc spawn
+//!    would silently escape that contract.
+//!
+//! # `determinism` — the `PACE_THREADS` bit-identity gate
+//!
+//! Exercises the three parallel surfaces in-process at several thread
+//! counts and requires byte-identical results: batch exact counting
+//! (`Executor::count_batch`), the cache-blocked parallel matmul, and a
+//! briefly trained CE model's full parameter vector. CI runs it under
+//! `PACE_THREADS=1` and `PACE_THREADS=4` and additionally diffs the two
+//! process outputs.
 //!
 //! # `chaos` — the fault-injection matrix
 //!
@@ -61,8 +76,9 @@ fn main() -> ExitCode {
         "lint" => lint(),
         "tape-report" => tape_report(),
         "chaos" => chaos(),
+        "determinism" => determinism(),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|tape-report|chaos>");
+            eprintln!("usage: cargo run -p xtask -- <lint|tape-report|chaos|determinism>");
             ExitCode::FAILURE
         }
     }
@@ -74,6 +90,7 @@ fn lint() -> ExitCode {
     check_op_coverage(&root, &mut failures);
     check_no_unwrap(&root, &mut failures);
     check_no_probe_panics(&root, &mut failures);
+    check_no_raw_threads(&root, &mut failures);
     if failures.is_empty() {
         println!("xtask lint: OK");
         ExitCode::SUCCESS
@@ -421,6 +438,142 @@ fn check_no_probe_panics(root: &Path, failures: &mut Vec<String>) {
     }
 }
 
+/// Raw thread primitives; only `crates/runtime` (the pool's scoped fan-out)
+/// may use them.
+const THREAD_TOKENS: [&str; 2] = ["thread::spawn(", "thread::scope("];
+
+/// Every fan-out outside the pool crate must go through `pace_runtime`:
+/// an ad-hoc `thread::spawn`/`thread::scope` escapes the size-derived
+/// chunking and ordered reduction that make results `PACE_THREADS`-invariant.
+fn check_no_raw_threads(root: &Path, failures: &mut Vec<String>) {
+    let mut sources = Vec::new();
+    collect_rs(&root.join("crates"), root, &mut sources);
+    for rel in sources {
+        let s = rel.to_string_lossy().into_owned();
+        // crates/xtask is exempt because this lint's own token table would
+        // match itself; it is tooling, not product code.
+        if s.starts_with("crates/runtime/") || s.starts_with("crates/xtask/") {
+            continue;
+        }
+        let src = read(root, &s);
+        for (line_no, line) in src.lines().enumerate() {
+            let code = line.split("//").next().unwrap_or(line);
+            if THREAD_TOKENS.iter().any(|t| code.contains(t)) {
+                failures.push(format!(
+                    "{s}:{}: raw thread primitive outside crates/runtime — fan out through \
+                     `pace_runtime` so results stay thread-count invariant",
+                    line_no + 1
+                ));
+            }
+        }
+    }
+}
+
+// ---- determinism ------------------------------------------------------------
+
+/// The parameter bytes of `matrices`, flattened in order.
+fn matrix_bits(matrices: &[Matrix]) -> Vec<u32> {
+    matrices
+        .iter()
+        .flat_map(|m| m.data().iter().map(|x| x.to_bits()))
+        .collect()
+}
+
+/// Thread counts the in-process gate compares against the sequential run.
+const DETERMINISM_THREADS: [usize; 3] = [2, 4, 8];
+
+fn determinism() -> ExitCode {
+    use pace_tensor::pool;
+    let mut failures: Vec<String> = Vec::new();
+    println!("determinism: quick TPC-H dataset + labeled workload...");
+    let ds = build(DatasetKind::Tpch, Scale::quick(), 2);
+    let exec = Executor::new(&ds);
+    let mut rng = StdRng::seed_from_u64(42);
+    let queries = generate_queries(&ds, &WorkloadSpec::default(), &mut rng, 96);
+
+    // (1) Batch exact counting over the pool.
+    pool::set_threads(1);
+    let counts = exec.count_batch(&queries);
+    for threads in DETERMINISM_THREADS {
+        pool::set_threads(threads);
+        if exec.count_batch(&queries) != counts {
+            failures.push(format!("count_batch diverges at {threads} threads"));
+        }
+    }
+    println!(
+        "determinism: count_batch over {} queries — checked at {DETERMINISM_THREADS:?} threads",
+        queries.len()
+    );
+
+    // (2) The cache-blocked parallel matmul kernel, bit-for-bit.
+    let n = 160;
+    let mut state = 0x5eed_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / 2.0e9) - 1.0
+    };
+    let a = Matrix::from_vec(n, n, (0..n * n).map(|_| next()).collect());
+    let b = Matrix::from_vec(n, n, (0..n * n).map(|_| next()).collect());
+    pool::set_threads(1);
+    let product = matrix_bits(&[a.matmul(&b)]);
+    for threads in DETERMINISM_THREADS {
+        pool::set_threads(threads);
+        if matrix_bits(&[a.matmul(&b)]) != product {
+            failures.push(format!("matmul diverges at {threads} threads"));
+        }
+    }
+    println!("determinism: {n}x{n} matmul — checked at {DETERMINISM_THREADS:?} threads");
+
+    // (3) A briefly trained CE model: the full parameter vector must be
+    // byte-equal whatever the thread count, because training is a long chain
+    // of the kernels above — any reduction-order leak compounds here.
+    let labeled = exec.label_nonzero(queries);
+    let data = EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &labeled);
+    let train_once = || -> Result<Vec<u32>, String> {
+        let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        model
+            .train(&data, &mut rng)
+            .map_err(|e| format!("training failed: {e}"))?;
+        Ok(matrix_bits(&model.params().snapshot()))
+    };
+    pool::set_threads(1);
+    match train_once() {
+        Err(e) => failures.push(e),
+        Ok(params) => {
+            for threads in DETERMINISM_THREADS {
+                pool::set_threads(threads);
+                match train_once() {
+                    Err(e) => failures.push(format!("{threads} threads: {e}")),
+                    Ok(p) if p != params => {
+                        failures.push(format!("trained parameters diverge at {threads} threads"))
+                    }
+                    Ok(_) => {}
+                }
+            }
+            println!(
+                "determinism: FCN training ({} parameter scalars) — checked at \
+                 {DETERMINISM_THREADS:?} threads",
+                params.len()
+            );
+        }
+    }
+    pool::set_threads(0);
+
+    if failures.is_empty() {
+        println!("xtask determinism: bit-identical across thread counts");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("xtask determinism: {f}");
+        }
+        eprintln!("xtask determinism: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
 // ---- chaos ------------------------------------------------------------------
 
 /// One `chaos_campaign` process run.
@@ -633,7 +786,26 @@ mod tests {
         check_op_coverage(&root, &mut failures);
         check_no_unwrap(&root, &mut failures);
         check_no_probe_panics(&root, &mut failures);
+        check_no_raw_threads(&root, &mut failures);
         assert!(failures.is_empty(), "{failures:#?}");
+    }
+
+    #[test]
+    fn raw_thread_lint_exempts_only_the_pool_crate() {
+        // The pool's own scoped fan-out must stay lintable; everything else
+        // is scanned.
+        let root = workspace_root();
+        let mut sources = Vec::new();
+        collect_rs(&root.join("crates/runtime"), &root, &mut sources);
+        assert!(
+            !sources.is_empty(),
+            "crates/runtime sources exist for the exemption to cover"
+        );
+        let pool_src = read(&root, "crates/runtime/src/lib.rs");
+        assert!(
+            THREAD_TOKENS.iter().any(|t| pool_src.contains(t)),
+            "the pool crate is the sanctioned spawn site"
+        );
     }
 
     #[test]
