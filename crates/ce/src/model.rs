@@ -674,6 +674,7 @@ impl CeModel {
     /// [`TrainError::Diverged`] when `config.max_rollbacks` recoveries were
     /// not enough to finish training with finite parameters.
     pub fn train(&mut self, data: &EncodedWorkload, rng: &mut StdRng) -> Result<f32, TrainError> {
+        let _span = pace_tensor::trace::span("ce::train");
         if data.is_empty() {
             return Err(TrainError::EmptyWorkload);
         }
@@ -712,6 +713,7 @@ impl CeModel {
                     return Err(TrainError::Diverged { rollbacks });
                 }
                 rollbacks += 1;
+                pace_tensor::trace::CHECKPOINT_ROLLBACKS.add(1);
                 epoch = ckpt.restore(self, rng, &mut best_loss, &mut best_params);
                 self.adam.set_learning_rate(self.adam.learning_rate() * 0.5);
                 steps_since_ckpt = 0;
@@ -742,6 +744,7 @@ impl CeModel {
     }
 
     fn step_adam(&mut self, batch: &EncodedWorkload) -> f32 {
+        let _span = pace_tensor::trace::span("ce::step_adam");
         let mut g = Graph::new();
         let bind = self.params.bind(&mut g);
         let x = g.leaf(rows_to_matrix(&batch.enc));
@@ -848,6 +851,7 @@ impl CeModel {
     /// [`TrainError::EmptyWorkload`] on an empty workload;
     /// [`TrainError::Diverged`] when every retry diverged.
     pub fn update(&mut self, data: &EncodedWorkload) -> Result<(), TrainError> {
+        let _span = pace_tensor::trace::span("ce::update");
         if data.is_empty() {
             return Err(TrainError::EmptyWorkload);
         }
@@ -891,6 +895,7 @@ impl CeModel {
                 return Err(TrainError::Diverged { rollbacks });
             }
             rollbacks += 1;
+            pace_tensor::trace::CHECKPOINT_ROLLBACKS.add(1);
             lr *= 0.5;
             self.params.restore(&entry);
         }

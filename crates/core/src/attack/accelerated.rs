@@ -117,6 +117,7 @@ pub fn train_generator_accelerated(
     k: &AttackerKnowledge,
     cfg: &AttackConfig,
 ) -> Result<AttackArtifacts, CampaignError> {
+    let _span = pace_tensor::trace::span("attack::accelerated");
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut generator = PoisonGenerator::new(
@@ -149,6 +150,7 @@ pub fn train_generator_accelerated(
     let mut rollbacks = 0u32;
     let mut it = 0usize;
     while it < cfg.iters {
+        let _iter = pace_tensor::trace::span_at("attack::accelerated::iter", it as u64);
         if since_ckpt >= cfg.checkpoint_every.max(1)
             && generator.params_finite()
             && surrogate.params_finite()
@@ -296,6 +298,7 @@ pub fn train_generator_accelerated(
                 return Err(CampaignError::Train(TrainError::Diverged { rollbacks }));
             }
             rollbacks += 1;
+            pace_tensor::trace::CHECKPOINT_ROLLBACKS.add(1);
             base_lr *= 0.5;
             it = checkpoint.restore(
                 &mut generator,

@@ -37,6 +37,7 @@ pub fn train_generator_basic(
     k: &AttackerKnowledge,
     cfg: &AttackConfig,
 ) -> Result<AttackArtifacts, CampaignError> {
+    let _span = pace_tensor::trace::span("attack::basic");
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut generator = PoisonGenerator::new(
@@ -69,6 +70,7 @@ pub fn train_generator_basic(
     let mut checkpoint =
         LoopCheckpoint::capture(0, &generator, surrogate, &rng, best, &best_params, 0, 0);
     while outer < cfg.basic_outer {
+        let _round = pace_tensor::trace::span_at("attack::basic::round", outer as u64);
         if generator.params_finite() && surrogate.params_finite() {
             checkpoint = LoopCheckpoint::capture(
                 outer,
@@ -173,6 +175,7 @@ pub fn train_generator_basic(
                 return Err(CampaignError::Train(TrainError::Diverged { rollbacks }));
             }
             rollbacks += 1;
+            pace_tensor::trace::CHECKPOINT_ROLLBACKS.add(1);
             base_lr *= 0.5;
             let mut stall = 0usize;
             outer = checkpoint.restore(

@@ -92,6 +92,7 @@ pub fn run_campaign(
             m
         }
         None => {
+            let _craft = pace_tensor::trace::span("campaign::craft");
             let clean_samples = victim.q_errors(test);
             let (poison, train_seconds, generate_seconds, objective_curve) =
                 craft_poison(victim, method, test, k, cfg)?;
@@ -118,6 +119,7 @@ pub fn run_campaign(
     while (manifest.applied as usize) < manifest.poison.len() {
         let start = manifest.applied as usize;
         let end = (start + wave_size).min(manifest.poison.len());
+        let _wave = pace_tensor::trace::span_at("campaign::wave", (start / wave_size) as u64);
         let t_wave = Instant::now();
         run_queries_resilient(victim, &manifest.poison[start..end], &cfg.retry)?;
         manifest.attack_seconds += t_wave.elapsed().as_secs_f64();
@@ -127,6 +129,7 @@ pub fn run_campaign(
         fault::crash_point("campaign-wave");
     }
 
+    let _eval = pace_tensor::trace::span("campaign::evaluate");
     let clean = QErrorSummary::from_samples(&manifest.clean_samples);
     let poisoned = QErrorSummary::from_samples(&victim.q_errors(test));
     let divergence = poison_divergence(victim, &manifest.poison, k);

@@ -26,6 +26,7 @@
 
 use crate::victim::BlackBox;
 use pace_ce::TrainError;
+use pace_tensor::trace;
 use pace_workload::Query;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -346,6 +347,12 @@ impl<'a> ResilientOracle<'a> {
         attempt: impl Fn() -> Result<T, ProbeError>,
         degrade: impl Fn(&OracleState) -> Option<T>,
     ) -> Result<T, ProbeError> {
+        let _span = trace::span(match site {
+            "explain" => "oracle::explain",
+            "count" => "oracle::count",
+            _ => "oracle::probe",
+        });
+        trace::ORACLE_PROBES.add(1);
         {
             let mut state = self.state.borrow_mut();
             state.stats.probes += 1;
@@ -353,6 +360,7 @@ impl<'a> ResilientOracle<'a> {
                 if remaining > 0 {
                     state.breaker_open = Some(remaining - 1);
                     state.stats.degraded += 1;
+                    trace::ORACLE_DEGRADED.add(1);
                     return degrade(&state).ok_or(ProbeError::Unavailable);
                 }
                 // Cooldown over: half-open, fall through to one real trial.
@@ -390,6 +398,8 @@ impl<'a> ResilientOracle<'a> {
                     let mut state = self.state.borrow_mut();
                     state.stats.retries += 1;
                     state.virtual_clock += wait;
+                    trace::ORACLE_RETRIES.add(1);
+                    trace::BACKOFF_VIRTUAL_US.record((wait * 1e6) as u64);
                 }
             }
         };
@@ -406,10 +416,12 @@ impl<'a> ResilientOracle<'a> {
                 if state.consecutive_exhausted >= self.policy.breaker_threshold || was_open {
                     if !was_open {
                         state.stats.breaker_trips += 1;
+                        trace::BREAKER_TRIPS.add(1);
                     }
                     state.breaker_open = Some(self.policy.breaker_cooldown);
                     if let Some(v) = degrade(&state) {
                         state.stats.degraded += 1;
+                        trace::ORACLE_DEGRADED.add(1);
                         return Ok(v);
                     }
                 }
@@ -428,6 +440,7 @@ pub fn run_queries_resilient<B: BlackBox + ?Sized>(
     queries: &[Query],
     policy: &RetryPolicy,
 ) -> Result<(), ProbeError> {
+    let _span = trace::span("oracle::run_queries");
     let mut attempts = 0u32;
     let mut waited = 0.0f64;
     loop {
@@ -450,6 +463,8 @@ pub fn run_queries_resilient<B: BlackBox + ?Sized>(
                     });
                 }
                 waited += wait;
+                trace::ORACLE_RETRIES.add(1);
+                trace::BACKOFF_VIRTUAL_US.record((wait * 1e6) as u64);
             }
         }
     }
@@ -459,13 +474,42 @@ fn cache_key(q: &Query) -> String {
     format!("{q:?}")
 }
 
-fn median<T: Copy + PartialOrd>(values: impl Iterator<Item = T>) -> Option<T> {
-    let mut v: Vec<T> = values.collect();
+/// A cache value eligible for the degraded-median fallback. `f64` estimates
+/// must be finite: a NaN that slips into the cache (e.g. injected by a
+/// `corrupt` fault upstream of validation) would otherwise scramble the
+/// comparison sort and yield an arbitrary "median".
+trait CacheValue: Copy + PartialOrd {
+    /// True when the value may participate in the median.
+    fn is_usable(self) -> bool;
+}
+
+impl CacheValue for f64 {
+    fn is_usable(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl CacheValue for u64 {
+    fn is_usable(self) -> bool {
+        true
+    }
+}
+
+/// Upper median of the *usable* cached values, `None` when nothing usable
+/// remains. A `None` here surfaces as [`ProbeError::Unavailable`] (or the
+/// probe's own exhaustion error) from the degradation path — a typed
+/// [`CampaignError::Oracle`] at the campaign boundary — never as a silent
+/// NaN estimate.
+fn median<T: CacheValue>(values: impl Iterator<Item = T>) -> Option<T> {
+    let mut v: Vec<T> = values.filter(|x| x.is_usable()).collect();
     if v.is_empty() {
         return None;
     }
     let mid = v.len() / 2;
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("non-finite values filtered before sort")
+    });
     Some(v[mid])
 }
 
@@ -490,6 +534,23 @@ mod tests {
     fn median_of_cached_values() {
         assert_eq!(median([3.0, 1.0, 2.0].into_iter()), Some(2.0));
         assert_eq!(median(std::iter::empty::<f64>()), None);
+    }
+
+    // Regression: the old implementation sorted with
+    // `partial_cmp(..).unwrap_or(Equal)`, so a cached NaN scrambled the sort
+    // and an all-NaN cache yielded `Some(NaN)` instead of falling back to a
+    // typed probe error.
+    #[test]
+    fn median_filters_non_finite_cache_values() {
+        assert_eq!(median([1.0, f64::NAN, 9.0, 2.0].into_iter()), Some(2.0));
+        assert_eq!(
+            median([f64::INFINITY, 3.0, f64::NEG_INFINITY, 1.0, 2.0].into_iter()),
+            Some(2.0)
+        );
+        assert_eq!(median([f64::NAN, f64::NAN].into_iter()), None);
+        assert_eq!(median([f64::INFINITY].into_iter()), None);
+        // u64 caches have no non-finite values to filter.
+        assert_eq!(median([5u64, 1, 3].into_iter()), Some(3));
     }
 
     #[test]

@@ -440,6 +440,7 @@ pub fn train_surrogate(
     ty: CeModelType,
     cfg: &SurrogateConfig,
 ) -> Result<CeModel, CampaignError> {
+    let _span = pace_tensor::trace::span("surrogate::train");
     let oracle = ResilientOracle::new(bb, cfg.retry.clone());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let queries = generate_queries_schema_only(
@@ -453,9 +454,12 @@ pub fn train_surrogate(
     let enc: Vec<Vec<f32>> = queries.iter().map(|q| k.encoder.encode(q)).collect();
     let mut bb_norm: Vec<f32> = Vec::with_capacity(queries.len());
     let mut ln_true: Vec<f32> = Vec::with_capacity(queries.len());
-    for q in &queries {
-        bb_norm.push(((oracle.explain(q)?.max(1.0).ln() as f32) / k.ln_max).clamp(0.0, 1.0));
-        ln_true.push((oracle.count(q)?.max(1) as f32).ln());
+    {
+        let _probe_span = pace_tensor::trace::span("surrogate::probe-oracle");
+        for q in &queries {
+            bb_norm.push(((oracle.explain(q)?.max(1.0).ln() as f32) / k.ln_max).clamp(0.0, 1.0));
+            ln_true.push((oracle.count(q)?.max(1) as f32).ln());
+        }
     }
 
     let mut surrogate =
@@ -536,6 +540,7 @@ pub fn train_surrogate(
                 return Err(CampaignError::Train(TrainError::Diverged { rollbacks }));
             }
             rollbacks += 1;
+            pace_tensor::trace::CHECKPOINT_ROLLBACKS.add(1);
             surrogate.params_mut().restore(&checkpoint.params);
             let mut restored = checkpoint.adam.clone();
             restored.lr *= 0.5;

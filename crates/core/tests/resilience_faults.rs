@@ -150,6 +150,85 @@ fn hard_down_oracle_trips_breaker_and_serves_cached_estimates() {
     assert!(stats.degraded >= 1);
 }
 
+// Regression for the NaN-swallowing degraded-estimate path: the cache
+// median used to sort with `partial_cmp(..).unwrap_or(Equal)`, so any NaN
+// among the cached values scrambled the sort and the degraded estimate was
+// arbitrary. With NaN probes injected via `PACE_FAULTS`, the estimate
+// served from the cache median must be finite and bit-for-bit deterministic.
+#[test]
+fn nan_probes_degrade_to_a_finite_deterministic_median() {
+    let _g = lock();
+    let s = setup(33);
+    let victim = trained_victim(&s, 35);
+    let cached: Vec<Query> = s.test.iter().take(5).map(|lq| lq.query.clone()).collect();
+    let fresh = s.test.get(10).expect("enough test queries").query.clone();
+    let run = || -> f64 {
+        fault::install(None);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            breaker_threshold: 1,
+            ..RetryPolicy::default()
+        };
+        let oracle = ResilientOracle::new(&victim, policy);
+        for q in &cached {
+            oracle
+                .explain(q)
+                .expect("healthy probes populate the cache");
+        }
+        // From here every explain returns NaN: validation rejects each
+        // attempt, retries exhaust, the breaker trips, and the uncached
+        // query must be answered from the median of the cached estimates.
+        install("corrupt,site=explain,every=1");
+        let degraded = oracle.explain(&fresh);
+        fault::install(None);
+        let est = degraded.expect("breaker must degrade to the cache median");
+        assert!(
+            est.is_finite() && est >= 0.0,
+            "degraded estimate must be finite, got {est}"
+        );
+        let stats = oracle.stats();
+        assert!(stats.breaker_trips >= 1);
+        assert!(stats.degraded >= 1);
+        est
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first.to_bits(),
+        second.to_bits(),
+        "degraded estimate must be deterministic"
+    );
+}
+
+// When nothing finite is cached, the degradation path must surface a typed
+// probe error (which campaigns wrap as `CampaignError::Oracle`) instead of
+// fabricating an estimate.
+#[test]
+fn nan_probes_with_empty_cache_are_a_typed_error() {
+    let _g = lock();
+    let s = setup(37);
+    let victim = trained_victim(&s, 39);
+    let q = probe_query(&s);
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        breaker_threshold: 1,
+        ..RetryPolicy::default()
+    };
+    let oracle = ResilientOracle::new(&victim, policy);
+    install("corrupt,site=explain,every=1");
+    let exhausted = oracle.explain(&q);
+    let while_open = oracle.explain(&q);
+    fault::install(None);
+    match exhausted {
+        Err(ProbeError::Exhausted { site, .. }) => assert_eq!(site, "explain"),
+        other => panic!("expected Exhausted with an empty cache, got {other:?}"),
+    }
+    assert!(
+        matches!(while_open, Err(ProbeError::Unavailable)),
+        "open breaker with an empty cache must be Unavailable, got {while_open:?}"
+    );
+}
+
 #[test]
 fn hard_down_oracle_without_cache_is_a_typed_error() {
     let _g = lock();

@@ -164,6 +164,7 @@ impl<'a> Executor<'a> {
     /// per-edge group-by sums are shared read-only across workers, so the
     /// result is identical to mapping [`Executor::count`] sequentially.
     pub fn count_batch(&self, queries: &[Query]) -> Vec<u64> {
+        let _span = pace_trace::span("engine::count_batch");
         pool::par_map(queries, |_, q| self.count(q))
     }
 

@@ -143,6 +143,8 @@ pub fn run(tasks: usize, f: impl Fn(usize) + Sync) {
         for i in 0..tasks {
             f(i);
         }
+        pace_trace::POOL_TASKS.add(tasks as u64);
+        pace_trace::POOL_CHUNKS_PER_WORKER.record(tasks as u64);
         return;
     }
     let next = AtomicUsize::new(0);
@@ -150,13 +152,17 @@ pub fn run(tasks: usize, f: impl Fn(usize) + Sync) {
         for _ in 0..workers {
             s.spawn(|| {
                 IN_POOL.with(|c| c.set(true));
+                let mut pulled: u64 = 0;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= tasks {
                         break;
                     }
                     f(i);
+                    pulled += 1;
                 }
+                pace_trace::POOL_TASKS.add(pulled);
+                pace_trace::POOL_CHUNKS_PER_WORKER.record(pulled);
             });
         }
     });

@@ -1,0 +1,123 @@
+//! Integration of the pool with the tracing layer: per-worker task
+//! accounting (counter + chunk histogram) and span thread-attribution —
+//! worker spans carry their own thread ids, distinct from the caller's.
+
+use pace_trace::read::Value;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Metrics and the trace sink are process-global; the tests in this binary
+/// must not interleave.
+fn lock() -> MutexGuard<'static, ()> {
+    static POOL_TRACE_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match POOL_TRACE_LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn scratch_trace_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "pace-pool-trace-{tag}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// One traced fan-out: 64 tasks across 4 workers, each task opening a span
+/// on its worker thread while the caller holds an outer span.
+#[test]
+fn pool_tasks_are_counted_and_worker_spans_attributed() {
+    let _guard = lock();
+    let path = scratch_trace_path("fanout");
+    pace_runtime::set_threads(4);
+    pace_trace::reset_metrics();
+    pace_trace::install(Some(path.clone()));
+
+    let work = AtomicU64::new(0);
+    {
+        let _outer = pace_trace::span("test::fanout");
+        pace_runtime::run(64, |i| {
+            let _task = pace_trace::span_at("test::task", i as u64);
+            work.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            // Enough per-task work that every worker gets to pull a share.
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        });
+    }
+    pace_trace::flush();
+    pace_trace::install(None);
+    pace_runtime::set_threads(0);
+
+    assert_eq!(work.load(Ordering::Relaxed), 64 * 65 / 2, "all tasks ran");
+    assert_eq!(
+        pace_trace::POOL_TASKS.get(),
+        64,
+        "every pulled task counted"
+    );
+    // Each of the 4 workers records its chunk count; the histogram must
+    // hold exactly those 4 samples, totalling the 64 tasks is untestable
+    // from bucket counts alone, but the sample count is.
+    assert_eq!(pace_trace::POOL_CHUNKS_PER_WORKER.total(), 4);
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let mut outer_tid = None;
+    let mut task_tids = Vec::new();
+    for line in text.lines() {
+        let Some(obj) = pace_trace::read::parse_line(line) else {
+            panic!("unparseable trace line: {line}");
+        };
+        if obj.get("ev").and_then(Value::as_str) != Some("span") {
+            continue;
+        }
+        let name = obj.get("name").and_then(Value::as_str).expect("span name");
+        let tid = obj.get("tid").and_then(Value::as_u64).expect("span tid");
+        let depth = obj.get("depth").and_then(Value::as_u64).expect("depth");
+        match name {
+            "test::fanout" => {
+                outer_tid = Some(tid);
+                assert_eq!(depth, 0);
+            }
+            "test::task" => {
+                // Worker threads are fresh: their spans are thread roots.
+                assert_eq!(depth, 0);
+                task_tids.push(tid);
+            }
+            other => panic!("unexpected span {other}"),
+        }
+    }
+    let outer_tid = outer_tid.expect("outer span recorded");
+    assert_eq!(task_tids.len(), 64, "one span per task");
+    assert!(
+        task_tids.iter().all(|&t| t != outer_tid),
+        "worker spans must not claim the caller's thread id"
+    );
+    let mut distinct = task_tids.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert!(
+        (2..=4).contains(&distinct.len()),
+        "64 tasks across 4 workers should land on several threads, got {distinct:?}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The sequential path (one worker) still accounts its tasks: the counter
+/// and the chunk histogram see the whole batch as one worker's pull.
+#[test]
+fn sequential_path_records_one_chunk() {
+    let _guard = lock();
+    // Metrics only accumulate while armed, so arm to a scratch sink.
+    let path = scratch_trace_path("seq");
+    pace_runtime::set_threads(1);
+    pace_trace::install(Some(path.clone()));
+    let before_tasks = pace_trace::POOL_TASKS.get();
+    let before_chunks = pace_trace::POOL_CHUNKS_PER_WORKER.total();
+    pace_runtime::run(17, |_| {});
+    pace_runtime::set_threads(0);
+    let tasks = pace_trace::POOL_TASKS.get() - before_tasks;
+    let chunks = pace_trace::POOL_CHUNKS_PER_WORKER.total() - before_chunks;
+    pace_trace::install(None);
+    assert_eq!(tasks, 17);
+    assert_eq!(chunks, 1, "one worker pulls the whole batch sequentially");
+    let _ = std::fs::remove_file(&path);
+}

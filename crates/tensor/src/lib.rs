@@ -26,7 +26,11 @@
 //! * [`pool`] — the deterministic parallel runtime (`PACE_THREADS`,
 //!   re-exported from `pace-runtime`): fixed size-derived chunk grids and
 //!   ordered reductions make parallel matmul/elementwise kernels and batch
-//!   labeling bit-identical to sequential execution at any thread count.
+//!   labeling bit-identical to sequential execution at any thread count;
+//! * [`trace`] — the structured tracing and metrics layer (`PACE_TRACE`,
+//!   re-exported from `pace-trace`): scoped spans, lock-free
+//!   counters/histograms, and per-op tape profiles, all emitted as JSONL
+//!   and guaranteed not to perturb results.
 //!
 //! # Example
 //!
@@ -65,4 +69,5 @@ pub mod serialize;
 pub use graph::{Graph, Var};
 pub use matrix::Matrix;
 pub use pace_runtime as pool;
+pub use pace_trace as trace;
 pub use param::{Binding, ParamId, ParamStore};

@@ -97,6 +97,7 @@ pub(crate) fn matmul_into(dst: &mut Matrix, a: &Matrix, b: &Matrix) {
         .map(|r| b.data[r * m..(r + 1) * m].iter().all(|x| x.is_finite()))
         .collect();
     let flops = n.saturating_mul(k).saturating_mul(m);
+    pace_trace::MATMUL_FLOPS.add(2 * flops as u64);
     if flops >= MATMUL_PAR_MIN_FLOPS && n > 1 && !pool::in_worker() && pool::threads() > 1 {
         let min_rows = (MATMUL_PAR_MIN_FLOPS / k.saturating_mul(m).max(1)).max(1);
         let grid = pool::chunk_ranges(n, min_rows);

@@ -172,6 +172,23 @@ impl OptStats {
     }
 }
 
+/// One row of a profiled replay ([`TapePlan::replay_profiled`]): an op
+/// family's measured replay time joined against the `dataflow` static cost
+/// model, aggregated over every executed step of that family.
+#[derive(Clone, Debug)]
+pub struct OpProfile {
+    /// Op family name (as in [`OptStats::op_histogram`]).
+    pub op: &'static str,
+    /// Steps of this family the replay executed.
+    pub count: u64,
+    /// Modeled FLOPs across those steps ([`dataflow::node_cost`] weights).
+    pub flops: u64,
+    /// Modeled output bytes across those steps.
+    pub out_bytes: u64,
+    /// Measured wall time across those steps, nanoseconds.
+    pub measured_ns: u64,
+}
+
 /// Recycled execution buffers for [`TapePlan::replay`]. Keep one per
 /// context and replays allocate nothing once every buffer has been sized.
 #[derive(Default)]
@@ -243,6 +260,99 @@ impl TapePlan {
                 self.eval_into(arena, op, &mut dst);
                 arena.buffers[*buffer] = dst;
             }
+        }
+        pace_trace::REPLAY_NODE_VISITS.add(self.stats.steps_after as u64);
+    }
+
+    /// [`TapePlan::replay`] with per-op timing: every executed step is timed
+    /// and aggregated by op family, with the `dataflow` static cost model's
+    /// FLOP/byte estimate alongside — the join `xtask trace-report` uses to
+    /// surface cost-model-vs-reality divergences. Rows are emitted to the
+    /// trace ([`pace_trace::emit_op_profile`]) under the plan's context and
+    /// returned sorted by measured time, descending.
+    ///
+    /// Timing is per *step family*, not per element, so the numbers carry
+    /// overhead of ~one `Instant` read per step; use `replay` in hot loops.
+    pub fn replay_profiled(&self, arena: &mut Arena) -> Vec<OpProfile> {
+        if arena.buffers.len() < self.n_buffers {
+            arena
+                .buffers
+                .resize_with(self.n_buffers, || Matrix::zeros(0, 0));
+        }
+        // BTreeMap keyed by op name: deterministic aggregation order.
+        let mut rows: std::collections::BTreeMap<&'static str, OpProfile> =
+            std::collections::BTreeMap::new();
+        for node in &self.nodes {
+            if let PlanKind::Step { op, buffer } = &node.kind {
+                let mut dst = std::mem::replace(&mut arena.buffers[*buffer], Matrix::zeros(0, 0));
+                let t0 = std::time::Instant::now();
+                self.eval_into(arena, op, &mut dst);
+                let ns = t0.elapsed().as_nanos() as u64;
+                arena.buffers[*buffer] = dst;
+                let cost = self.step_cost(op, node.shape);
+                let row = rows.entry(op.name()).or_insert(OpProfile {
+                    op: op.name(),
+                    count: 0,
+                    flops: 0,
+                    out_bytes: 0,
+                    measured_ns: 0,
+                });
+                row.count += 1;
+                row.flops += cost.flops;
+                row.out_bytes += cost.out_bytes as u64;
+                row.measured_ns += ns;
+            }
+        }
+        pace_trace::REPLAY_NODE_VISITS.add(self.stats.steps_after as u64);
+        let mut out: Vec<OpProfile> = rows.into_values().collect();
+        out.sort_by(|a, b| b.measured_ns.cmp(&a.measured_ns).then(a.op.cmp(b.op)));
+        for row in &out {
+            pace_trace::emit_op_profile(
+                &self.stats.context,
+                row.op,
+                row.count,
+                row.flops,
+                row.out_bytes,
+                row.measured_ns,
+            );
+        }
+        out
+    }
+
+    /// Static cost of one plan step, mirroring [`dataflow::node_cost`] but
+    /// reading shapes from plan nodes (operand [`Var`]s are plan indices).
+    fn step_cost(&self, op: &Op, out_shape: (usize, usize)) -> dataflow::Cost {
+        let out = (out_shape.0 * out_shape.1) as u64;
+        let in_len = |x: Var| {
+            let (r, c) = self.nodes[x.index()].shape;
+            (r * c) as u64
+        };
+        let flops = match *op {
+            Op::Leaf => 0,
+            Op::Sigmoid(_)
+            | Op::Tanh(_)
+            | Op::Exp(_)
+            | Op::Ln(_)
+            | Op::Sqrt(_)
+            | Op::PowScalar(..) => out * dataflow::TRANSCENDENTAL_FLOPS,
+            Op::MatMul(a, b) => {
+                let (n, k) = self.nodes[a.index()].shape;
+                let m = self.nodes[b.index()].shape.1;
+                2 * (n * k * m) as u64
+            }
+            Op::Transpose(a)
+            | Op::SumAll(a)
+            | Op::MeanAll(a)
+            | Op::SumRows(a)
+            | Op::MeanRows(a)
+            | Op::SumCols(a) => in_len(a),
+            // Everything else (elementwise arithmetic, broadcasts, moves)
+            // costs one flop per output element, as in the dataflow model.
+            _ => out,
+        };
+        dataflow::Cost {
+            flops,
+            out_bytes: (out_shape.0 * out_shape.1) * size_of::<f32>(),
         }
     }
 

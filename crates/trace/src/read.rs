@@ -1,0 +1,230 @@
+//! A minimal reader for the flat JSONL trace format this crate emits.
+//!
+//! Every line `pace-trace` writes is one flat JSON object whose values are
+//! strings or non-negative numbers — no nesting, no arrays, no booleans.
+//! [`parse_line`] covers exactly that subset (plus negative and fractional
+//! numbers for forward compatibility) so `xtask trace-report` and tests can
+//! read traces without a JSON dependency.
+
+use std::collections::BTreeMap;
+
+/// A parsed field value: the trace format only carries strings and numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A JSON string (escapes resolved).
+    Str(String),
+    /// A JSON number.
+    Num(f64),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Num(_) => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_string(&mut self) -> Option<String> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek()?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                    let ch = rest.chars().next()?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<f64> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+}
+
+/// Parses one flat-JSON trace line into a field map. Returns `None` on any
+/// malformed input (including nested objects/arrays, which the trace never
+/// emits); callers typically `filter_map` over lines so foreign text is
+/// skipped silently.
+pub fn parse_line(line: &str) -> Option<BTreeMap<String, Value>> {
+    let mut c = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    c.skip_ws();
+    if !c.eat(b'{') {
+        return None;
+    }
+    let mut map = BTreeMap::new();
+    c.skip_ws();
+    if c.eat(b'}') {
+        return Some(map);
+    }
+    loop {
+        c.skip_ws();
+        let key = c.parse_string()?;
+        c.skip_ws();
+        if !c.eat(b':') {
+            return None;
+        }
+        c.skip_ws();
+        let value = match c.peek()? {
+            b'"' => Value::Str(c.parse_string()?),
+            b'-' | b'0'..=b'9' => Value::Num(c.parse_number()?),
+            _ => return None,
+        };
+        map.insert(key, value);
+        c.skip_ws();
+        if c.eat(b',') {
+            continue;
+        }
+        if c.eat(b'}') {
+            c.skip_ws();
+            if c.peek().is_some() {
+                return None;
+            }
+            return Some(map);
+        }
+        return None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_span_line() {
+        let m = parse_line(
+            r#"{"ev":"span","name":"campaign::wave","idx":3,"tid":0,"depth":1,"start_ns":12345,"dur_ns":678,"seq":9}"#,
+        )
+        .expect("valid line");
+        assert_eq!(m.get("ev").and_then(Value::as_str), Some("span"));
+        assert_eq!(m.get("idx").and_then(Value::as_u64), Some(3));
+        assert_eq!(m.get("dur_ns").and_then(Value::as_u64), Some(678));
+    }
+
+    #[test]
+    fn resolves_escapes() {
+        let m = parse_line(r#"{"k":"a\"b\\c\ndA"}"#).expect("valid line");
+        assert_eq!(m.get("k").and_then(Value::as_str), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_line("").is_none());
+        assert!(parse_line("not json").is_none());
+        assert!(parse_line(r#"{"k":}"#).is_none());
+        assert!(parse_line(r#"{"k":[1]}"#).is_none());
+        assert!(parse_line(r#"{"k":1} trailing"#).is_none());
+        assert!(parse_line(r#"{"k":1"#).is_none());
+    }
+
+    #[test]
+    fn empty_object_ok() {
+        assert_eq!(parse_line("{}").map(|m| m.len()), Some(0));
+    }
+
+    #[test]
+    fn numbers() {
+        let m = parse_line(r#"{"a":-2.5,"b":18446744073709551615}"#).expect("valid line");
+        assert_eq!(m.get("a").and_then(Value::as_f64), Some(-2.5));
+        assert_eq!(m.get("a").and_then(Value::as_u64), None);
+        assert!(m.get("b").and_then(Value::as_f64).is_some());
+    }
+}

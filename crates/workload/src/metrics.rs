@@ -32,15 +32,21 @@ pub struct QErrorSummary {
 impl QErrorSummary {
     /// Computes the summary of a non-empty sample.
     ///
+    /// Percentiles use the **nearest-rank** convention (`⌈p·n⌉`-th smallest
+    /// value), the definition the paper's tail statistics assume. The
+    /// previously used round-to-nearest index inflated tail percentiles on
+    /// small samples — with n < ~67 it collapsed p99 to the maximum.
+    ///
     /// # Panics
     /// Panics on an empty sample.
     pub fn from_samples(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "QErrorSummary of empty sample");
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN q-errors"));
+        let n = sorted.len();
         let pct = |p: f64| -> f64 {
-            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-            sorted[idx]
+            let rank = (p * n as f64).ceil() as usize;
+            sorted[rank.clamp(1, n) - 1]
         };
         Self {
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
@@ -59,8 +65,16 @@ impl QErrorSummary {
 /// and the per-dimension JS divergences (natural log) are averaged. Returns a
 /// value in `[0, ln 2]`; 0 means identical distributions.
 ///
+/// Non-finite encoding values (NaN/±Inf) carry **no probability mass**: they
+/// are skipped when histogramming, and a dimension where either sample has no
+/// finite values at all is excluded from the average. The alternative —
+/// clamping them into a boundary bin, as an earlier version did — let a
+/// batch of NaN encodings masquerade as a maximally concentrated (and
+/// therefore maximally divergent-looking) distribution.
+///
 /// # Panics
-/// Panics when either sample is empty or widths differ.
+/// Panics when either sample is empty, widths differ, or no dimension has
+/// finite values on both sides.
 pub fn js_divergence(a: &[Vec<f32>], b: &[Vec<f32>], bins: usize) -> f64 {
     assert!(
         !a.is_empty() && !b.is_empty(),
@@ -72,18 +86,25 @@ pub fn js_divergence(a: &[Vec<f32>], b: &[Vec<f32>], bins: usize) -> f64 {
         "encoding width mismatch"
     );
     assert!(bins >= 2);
-    let hist = |sample: &[Vec<f32>], d: usize| -> Vec<f64> {
+    // `None` when the dimension holds no finite values in this sample.
+    let hist = |sample: &[Vec<f32>], d: usize| -> Option<Vec<f64>> {
         let mut h = vec![0.0f64; bins];
         for v in sample {
-            let x = v[d].clamp(0.0, 1.0) as f64;
+            if !v[d].is_finite() {
+                continue;
+            }
+            let x = f64::from(v[d].clamp(0.0, 1.0));
             let i = ((x * bins as f64) as usize).min(bins - 1);
             h[i] += 1.0;
         }
         let total: f64 = h.iter().sum();
+        if total == 0.0 {
+            return None;
+        }
         for x in &mut h {
             *x /= total;
         }
-        h
+        Some(h)
     };
     let kl = |p: &[f64], q: &[f64]| -> f64 {
         p.iter()
@@ -93,13 +114,17 @@ pub fn js_divergence(a: &[Vec<f32>], b: &[Vec<f32>], bins: usize) -> f64 {
             .sum()
     };
     let mut total = 0.0;
+    let mut dims = 0usize;
     for d in 0..dim {
-        let p = hist(a, d);
-        let q = hist(b, d);
+        let (Some(p), Some(q)) = (hist(a, d), hist(b, d)) else {
+            continue;
+        };
         let m: Vec<f64> = p.iter().zip(&q).map(|(x, y)| 0.5 * (x + y)).collect();
         total += 0.5 * kl(&p, &m) + 0.5 * kl(&q, &m);
+        dims += 1;
     }
-    total / dim as f64
+    assert!(dims > 0, "js_divergence: no dimension has finite values");
+    total / dims as f64
 }
 
 #[cfg(test)]
@@ -127,6 +152,27 @@ mod tests {
         assert!((s.median - 50.0).abs() <= 1.0);
     }
 
+    // Regression: round-to-nearest indexing (`((n-1)·p).round()`) pulled
+    // small-sample percentiles one rank high — the n=4 median came back as
+    // the 3rd value and p99 collapsed to max for every n below ~67.
+    // Nearest-rank (`⌈p·n⌉`-th smallest) is the paper's convention.
+    #[test]
+    fn summary_uses_nearest_rank() {
+        let s = QErrorSummary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median, 2.0, "median of 4 samples is the 2nd smallest");
+        assert_eq!(s.p90, 4.0);
+
+        let samples: Vec<f64> = (1..=10).map(f64::from).collect();
+        let s = QErrorSummary::from_samples(&samples);
+        assert_eq!(s.median, 5.0, "median of 10 samples is the 5th smallest");
+        assert_eq!(s.p90, 9.0, "p90 of 10 samples is the 9th, not the max");
+        assert_eq!(s.p99, 10.0);
+
+        // Single sample: every percentile is that sample.
+        let s = QErrorSummary::from_samples(&[7.0]);
+        assert_eq!((s.median, s.p90, s.p99, s.max), (7.0, 7.0, 7.0, 7.0));
+    }
+
     #[test]
     #[should_panic(expected = "empty")]
     fn summary_empty_panics() {
@@ -146,6 +192,43 @@ mod tests {
         let b: Vec<Vec<f32>> = (0..100).map(|_| vec![0.95f32]).collect();
         let d = js_divergence(&a, &b, 10);
         assert!((d - std::f64::consts::LN_2).abs() < 1e-9, "d = {d}");
+    }
+
+    // Regression: non-finite encodings used to be clamped into a boundary
+    // bin (NaN → bin 0), so a half-NaN sample looked maximally far from an
+    // identical finite sample. They must carry no mass instead.
+    #[test]
+    fn js_skips_non_finite_values() {
+        let a: Vec<Vec<f32>> = (0..100).map(|_| vec![0.95f32]).collect();
+        let mut b = a.clone();
+        for v in b.iter_mut().take(50) {
+            v[0] = f32::NAN;
+        }
+        let d = js_divergence(&a, &b, 10);
+        assert!(
+            d.abs() < 1e-12,
+            "NaN entries must not contribute mass, got {d}"
+        );
+        // +Inf used to land in the top bin; it must be skipped too.
+        let c: Vec<Vec<f32>> = (0..100)
+            .map(|i| vec![if i % 2 == 0 { 0.95 } else { f32::INFINITY }])
+            .collect();
+        let d = js_divergence(&a, &c, 10);
+        assert!(d.abs() < 1e-12, "Inf entries must not contribute, got {d}");
+        // A dimension that is non-finite on one side is excluded from the
+        // average; finite dimensions still count.
+        let x = vec![vec![f32::NAN, 0.15f32]; 50];
+        let y = vec![vec![0.5f32, 0.15f32]; 50];
+        let d = js_divergence(&x, &y, 10);
+        assert!(d.abs() < 1e-12, "dead dimension must be excluded, got {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no dimension has finite values")]
+    fn js_all_non_finite_panics() {
+        let a = vec![vec![f32::NAN]; 3];
+        let b = vec![vec![0.5f32]; 3];
+        let _ = js_divergence(&a, &b, 4);
     }
 
     #[test]

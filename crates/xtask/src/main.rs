@@ -1,5 +1,5 @@
 //! Workspace maintenance tasks:
-//! `cargo run -p xtask -- <lint|tape-report|chaos|determinism>`.
+//! `cargo run -p xtask -- <lint|tape-report|trace-report|chaos|determinism>`.
 //!
 //! # `lint` — source-level checks the compiler cannot express
 //!
@@ -28,6 +28,11 @@
 //!    `pace_runtime`, whose size-derived chunking keeps every parallel
 //!    result bit-identical at any `PACE_THREADS` setting; an ad-hoc spawn
 //!    would silently escape that contract.
+//! 5. **No NaN-tolerant float sorts** — sorting float keys with
+//!    `partial_cmp(..).unwrap_or(..)` silently scrambles the order the
+//!    moment a NaN appears (the bug behind the degraded-estimate median);
+//!    library code must filter non-finite values first and `expect` the
+//!    comparison instead.
 //!
 //! # `determinism` — the `PACE_THREADS` bit-identity gate
 //!
@@ -56,29 +61,49 @@
 //! ([`pace_tensor::opt`]), verifies the optimized replay against eager
 //! execution, and prints the per-context report: node/FLOP/peak-live-byte
 //! counts before and after, per-pass removal counts, and the op histogram.
+//!
+//! # `trace-report` — dynamic observability of a real campaign
+//!
+//! With no argument: runs the deterministic quick TPC-H demo campaign (the
+//! same recipe as `chaos_campaign`) with `pace_tensor::trace` armed, then
+//! renders the captured trace — a span tree with per-phase totals (gated:
+//! the top-level phases must sum to within 1% of the measured wall time),
+//! counter and histogram snapshots, and a per-op profile of the `K = 4`
+//! hypergradient tape joining the static cost model against measured replay
+//! time. Writes `BENCH_trace.json` at the workspace root and finishes with
+//! a disarmed-overhead gate (a disarmed counter increment must cost about
+//! one relaxed atomic load). With a path argument: parses and renders an
+//! existing trace file, no gates.
 
 use pace_ce::{
     q_error_between, q_error_loss, rows_to_matrix, CeConfig, CeModel, CeModelType, EncodedWorkload,
 };
 use pace_core::attack::build_hypergradient_tape;
+use pace_core::{run_campaign, AttackMethod, AttackerKnowledge, PipelineConfig, Victim};
 use pace_data::{build, DatasetKind, Scale};
 use pace_engine::Executor;
+use pace_tensor::trace;
 use pace_tensor::{Graph, Matrix, Var};
-use pace_workload::{generate_queries, QueryEncoder, WorkloadSpec};
+use pace_workload::{generate_queries, QErrorSummary, QueryEncoder, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let mode = std::env::args().nth(1).unwrap_or_default();
     match mode.as_str() {
         "lint" => lint(),
         "tape-report" => tape_report(),
+        "trace-report" => trace_report(),
         "chaos" => chaos(),
         "determinism" => determinism(),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|tape-report|chaos|determinism>");
+            eprintln!(
+                "usage: cargo run -p xtask -- <lint|tape-report|trace-report|chaos|determinism>"
+            );
             ExitCode::FAILURE
         }
     }
@@ -91,6 +116,7 @@ fn lint() -> ExitCode {
     check_no_unwrap(&root, &mut failures);
     check_no_probe_panics(&root, &mut failures);
     check_no_raw_threads(&root, &mut failures);
+    check_no_nan_sort(&root, &mut failures);
     if failures.is_empty() {
         println!("xtask lint: OK");
         ExitCode::SUCCESS
@@ -197,6 +223,527 @@ fn tape_report() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("tape-report: at least one optimized replay diverged");
+        ExitCode::FAILURE
+    }
+}
+
+// ---- trace-report -----------------------------------------------------------
+
+/// One span event parsed back out of the trace file, re-linked to the spans
+/// it encloses.
+struct TraceSpan {
+    name: String,
+    idx: Option<u64>,
+    tid: u64,
+    depth: u64,
+    start: u64,
+    dur: u64,
+    children: Vec<usize>,
+}
+
+/// One `ev:"op"` per-op profile row.
+struct TraceOp {
+    ctx: String,
+    op: String,
+    count: u64,
+    flops: u64,
+    out_bytes: u64,
+    measured_ns: u64,
+}
+
+/// Everything the report renders, parsed from one trace file.
+struct TraceData {
+    spans: Vec<TraceSpan>,
+    roots: Vec<usize>,
+    counters: Vec<(String, u64)>,
+    hists: BTreeMap<String, Vec<(u64, u64)>>,
+    ops: Vec<TraceOp>,
+}
+
+/// Parses a JSONL trace and reconstructs span nesting.
+///
+/// Spans are emitted at *close*, so children precede parents in the file;
+/// the tree is rebuilt by sorting each thread's spans by start time and
+/// matching recorded depths.
+fn parse_trace(text: &str) -> TraceData {
+    use trace::read::Value;
+    let mut spans: Vec<TraceSpan> = Vec::new();
+    let mut counters = Vec::new();
+    let mut hists: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+    let mut ops = Vec::new();
+    for line in text.lines() {
+        let Some(obj) = trace::read::parse_line(line) else {
+            continue;
+        };
+        let str_of = |k: &str| obj.get(k).and_then(Value::as_str).map(str::to_string);
+        let u64_of = |k: &str| obj.get(k).and_then(Value::as_u64);
+        match obj.get("ev").and_then(Value::as_str) {
+            Some("span") => {
+                let (Some(name), Some(tid), Some(depth), Some(start), Some(dur)) = (
+                    str_of("name"),
+                    u64_of("tid"),
+                    u64_of("depth"),
+                    u64_of("start_ns"),
+                    u64_of("dur_ns"),
+                ) else {
+                    continue;
+                };
+                spans.push(TraceSpan {
+                    name,
+                    idx: u64_of("idx"),
+                    tid,
+                    depth,
+                    start,
+                    dur,
+                    children: Vec::new(),
+                });
+            }
+            Some("counter") => {
+                if let (Some(name), Some(value)) = (str_of("name"), u64_of("value")) {
+                    counters.push((name, value));
+                }
+            }
+            Some("hist") => {
+                if let (Some(name), Some(lo), Some(count)) =
+                    (str_of("name"), u64_of("bucket_lo"), u64_of("count"))
+                {
+                    hists.entry(name).or_default().push((lo, count));
+                }
+            }
+            Some("op") => {
+                if let (Some(ctx), Some(op)) = (str_of("ctx"), str_of("op")) {
+                    ops.push(TraceOp {
+                        ctx,
+                        op,
+                        count: u64_of("count").unwrap_or(0),
+                        flops: u64_of("flops").unwrap_or(0),
+                        out_bytes: u64_of("out_bytes").unwrap_or(0),
+                        measured_ns: u64_of("measured_ns").unwrap_or(0),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    // Nesting: within a thread, a span's parent is the most recent span at
+    // `depth - 1` that started before it.
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| (spans[i].tid, spans[i].start, spans[i].depth));
+    let mut roots = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut cur_tid = None;
+    for &i in &order {
+        if cur_tid != Some(spans[i].tid) {
+            stack.clear();
+            cur_tid = Some(spans[i].tid);
+        }
+        while stack
+            .last()
+            .is_some_and(|&top| spans[top].depth >= spans[i].depth)
+        {
+            stack.pop();
+        }
+        match stack.last().copied() {
+            Some(p) if spans[p].depth + 1 == spans[i].depth => spans[p].children.push(i),
+            _ => roots.push(i),
+        }
+        stack.push(i);
+    }
+    TraceData {
+        spans,
+        roots,
+        counters,
+        hists,
+        ops,
+    }
+}
+
+/// Prints one tree level, aggregating sibling spans that share a name
+/// (e.g. hundreds of `oracle::explain` probes become one `×N` line).
+fn print_span_group(spans: &[TraceSpan], nodes: &[usize], indent: usize) {
+    let mut order: Vec<&str> = Vec::new();
+    let mut groups: BTreeMap<&str, (u64, u64, Vec<usize>, usize)> = BTreeMap::new();
+    for &i in nodes {
+        let s = &spans[i];
+        let e = groups.entry(s.name.as_str()).or_insert_with(|| {
+            order.push(s.name.as_str());
+            (0, 0, Vec::new(), i)
+        });
+        e.0 += 1;
+        e.1 += s.dur;
+        e.2.extend_from_slice(&s.children);
+    }
+    for name in order {
+        let (count, total, children, first) = &groups[name];
+        let label = if *count > 1 {
+            format!("{name} ×{count}")
+        } else if let Some(idx) = spans[*first].idx {
+            format!("{name} #{idx}")
+        } else {
+            name.to_string()
+        };
+        let pad = "  ".repeat(indent);
+        let width = 46usize.saturating_sub(pad.len());
+        println!("  {pad}{label:<width$} {:>10.2} ms", *total as f64 / 1e6);
+        print_span_group(spans, children, indent + 1);
+    }
+}
+
+/// Renders the parsed trace: span tree, counters, histograms, op profiles.
+fn print_trace_report(t: &TraceData) {
+    println!("spans ({} recorded):", t.spans.len());
+    print_span_group(&t.spans, &t.roots, 0);
+    if !t.counters.is_empty() {
+        println!("\ncounters:");
+        for (name, value) in &t.counters {
+            println!("  {name:<28} {value}");
+        }
+    }
+    if !t.hists.is_empty() {
+        println!("\nhistograms (power-of-two buckets):");
+        for (name, buckets) in &t.hists {
+            let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+            println!("  {name} ({total} samples)");
+            for &(lo, count) in buckets {
+                println!("    >= {lo:<12} {count}");
+            }
+        }
+    }
+    print_op_profiles(&t.ops);
+}
+
+/// The cost-model-vs-reality table: for each op family of a profiled
+/// replay, its share of modeled FLOPs against its share of measured time,
+/// largest divergence first.
+fn print_op_profiles(ops: &[TraceOp]) {
+    let mut ctxs: Vec<&str> = Vec::new();
+    for o in ops {
+        if !ctxs.contains(&o.ctx.as_str()) {
+            ctxs.push(&o.ctx);
+        }
+    }
+    for ctx in ctxs {
+        let rows: Vec<&TraceOp> = ops.iter().filter(|o| o.ctx == ctx).collect();
+        let total_ns: u64 = rows.iter().map(|o| o.measured_ns).sum();
+        let total_flops: u64 = rows.iter().map(|o| o.flops).sum();
+        if total_ns == 0 || total_flops == 0 {
+            continue;
+        }
+        println!("\nper-op profile [{ctx}] — modeled FLOP share vs measured time share:");
+        let mut indexed: Vec<(&TraceOp, f64, f64)> = rows
+            .iter()
+            .map(|o| {
+                let measured = o.measured_ns as f64 / total_ns as f64;
+                let modeled = o.flops as f64 / total_flops as f64;
+                (*o, measured, modeled)
+            })
+            .collect();
+        indexed.sort_by(|a, b| {
+            let (da, db) = ((a.1 - a.2).abs(), (b.1 - b.2).abs());
+            db.partial_cmp(&da)
+                .expect("shares are finite")
+                .then_with(|| a.0.op.cmp(&b.0.op))
+        });
+        println!(
+            "  {:<16} {:>7} {:>14} {:>12} {:>10} {:>9} {:>9} {:>8}",
+            "op", "steps", "flops", "bytes", "ms", "modeled", "measured", "diverge"
+        );
+        for (o, measured, modeled) in indexed.iter().take(12) {
+            println!(
+                "  {:<16} {:>7} {:>14} {:>12} {:>10.3} {:>8.1}% {:>8.1}% {:>+7.1}%",
+                o.op,
+                o.count,
+                o.flops,
+                o.out_bytes,
+                o.measured_ns as f64 / 1e6,
+                modeled * 100.0,
+                measured * 100.0,
+                (measured - modeled) * 100.0,
+            );
+        }
+        if indexed.len() > 12 {
+            println!("  ... {} more op families", indexed.len() - 12);
+        }
+    }
+}
+
+/// Runs the deterministic demo campaign (the `chaos_campaign` recipe) with
+/// tracing armed, every stage inside an explicit phase span so the phase
+/// totals tile the run. Returns the measured wall time.
+fn run_traced_demo(trace_path: &Path, work_dir: &Path) -> Result<f64, String> {
+    trace::reset_metrics();
+    trace::install(Some(trace_path.to_path_buf()));
+    let wall0 = Instant::now();
+    let result = (|| -> Result<(), String> {
+        let _root = trace::span("trace-report::demo");
+        let seed = 42u64;
+        let (ds, test, history, data, k, cfg) = {
+            let _p = trace::span("demo::setup");
+            let ds = build(DatasetKind::Tpch, Scale::quick(), seed);
+            let exec = Executor::new(&ds);
+            let spec = WorkloadSpec {
+                max_join_tables: 3,
+                ..WorkloadSpec::default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed + 100);
+            let history = generate_queries(&ds, &spec, &mut rng, 400);
+            let test = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 80));
+            let labeled = exec.label_nonzero(history.clone());
+            let data = EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &labeled);
+            let k = AttackerKnowledge::from_public(&ds, spec);
+            let mut cfg = PipelineConfig::quick();
+            // Fixed surrogate type: speculation keys off wall-clock latency
+            // and would make the demo non-deterministic.
+            cfg.surrogate_type = Some(CeModelType::Fcn);
+            (ds, test, history, data, k, cfg)
+        };
+        let mut victim = {
+            let _p = trace::span("demo::train-victim");
+            let mut rng = StdRng::seed_from_u64(seed + 200);
+            let mut model = CeModel::new(CeModelType::Fcn, &ds, CeConfig::quick(), seed);
+            model
+                .train(&data, &mut rng)
+                .map_err(|e| format!("victim training failed: {e}"))?;
+            Victim::new(model, Executor::new(&ds), history)
+        };
+        let outcome = {
+            let _p = trace::span("demo::campaign");
+            let manifest = work_dir.join("demo.campaign");
+            run_campaign(&mut victim, AttackMethod::Pace, &test, &k, &cfg, &manifest)
+                .map_err(|e| format!("campaign failed: {e}"))?
+        };
+        {
+            // Optimize + profiled replay of the heaviest tape the attack
+            // builds; `replay_profiled` emits the `ev:"op"` rows.
+            let _p = trace::span("demo::tape-profile");
+            let model = victim.model();
+            let half = data.enc.len() / 2;
+            let m = half.min(32);
+            let (g, outputs, inputs) = build_hypergradient_tape(
+                model,
+                &data.enc[..m],
+                &data.ln_card[..m],
+                &data.enc[half..half + m],
+                &data.ln_card[half..half + m],
+                4,
+                1e-2,
+            );
+            let plan = pace_tensor::opt::optimize(&g, &outputs, &inputs, "attack::hypergradient");
+            let mut arena = pace_tensor::opt::Arena::new();
+            let _ = plan.replay_profiled(&mut arena);
+        }
+        {
+            let _p = trace::span("demo::evaluate");
+            let finite = |s: &QErrorSummary| {
+                [s.mean, s.median, s.p90, s.p95, s.p99, s.max]
+                    .iter()
+                    .all(|v| v.is_finite())
+            };
+            if !finite(&outcome.clean) || !finite(&outcome.poisoned) {
+                return Err("non-finite q-errors in the demo campaign".to_string());
+            }
+            println!(
+                "demo campaign: clean median q-error {:.4}, poisoned {:.4}, {} poison queries",
+                outcome.clean.median,
+                outcome.poisoned.median,
+                outcome.poison.len()
+            );
+        }
+        Ok(())
+    })();
+    let wall = wall0.elapsed().as_secs_f64();
+    trace::flush();
+    trace::install(None);
+    result.map(|()| wall)
+}
+
+/// The disarmed-overhead gate: with tracing off, a counter increment must
+/// cost about one relaxed atomic load. Generous bound (4× + 2 ns) so CI
+/// noise cannot flake it; a regression to a mutex or SeqCst fence is orders
+/// of magnitude beyond it.
+fn disarmed_overhead_ok() -> bool {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    trace::install(None);
+    trace::reset_metrics();
+    static BASELINE: AtomicU64 = AtomicU64::new(7);
+    const N: u64 = 20_000_000;
+    for _ in 0..N / 20 {
+        trace::MATMUL_FLOPS.add(std::hint::black_box(1));
+    }
+    let t0 = Instant::now();
+    for _ in 0..N {
+        trace::MATMUL_FLOPS.add(std::hint::black_box(1));
+    }
+    let disarmed_ns = t0.elapsed().as_secs_f64() * 1e9 / N as f64;
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..N {
+        acc = acc.wrapping_add(std::hint::black_box(BASELINE.load(Ordering::Relaxed)));
+    }
+    std::hint::black_box(acc);
+    let baseline_ns = t0.elapsed().as_secs_f64() * 1e9 / N as f64;
+    let counted = trace::MATMUL_FLOPS.get();
+    println!(
+        "\ndisarmed overhead: Counter::add {disarmed_ns:.2} ns/op, \
+         relaxed-load baseline {baseline_ns:.2} ns/op"
+    );
+    if counted != 0 {
+        eprintln!("trace-report: disarmed counter counted {counted} increments");
+        return false;
+    }
+    if disarmed_ns > baseline_ns * 4.0 + 2.0 {
+        eprintln!(
+            "trace-report: disarmed counter increment costs {disarmed_ns:.2} ns — \
+             more than one relaxed load's worth ({baseline_ns:.2} ns)"
+        );
+        return false;
+    }
+    true
+}
+
+/// Writes the machine-readable `BENCH_trace.json` next to the trace.
+fn write_bench_json(
+    path: &Path,
+    wall_s: f64,
+    phases: &[(String, u64, u64)],
+    t: &TraceData,
+) -> std::io::Result<()> {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"wall_s\": {wall_s:.6},\n"));
+    s.push_str("  \"phases\": [");
+    for (i, (name, count, total_ns)) in phases.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"name\": \"{name}\", \"count\": {count}, \"seconds\": {:.6}}}",
+            *total_ns as f64 / 1e9
+        ));
+    }
+    s.push_str("\n  ],\n  \"counters\": {");
+    for (i, (name, value)) in t.counters.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{name}\": {value}"));
+    }
+    s.push_str("\n  },\n  \"ops\": [");
+    for (i, o) in t.ops.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"ctx\": \"{}\", \"op\": \"{}\", \"count\": {}, \"flops\": {}, \
+             \"out_bytes\": {}, \"measured_ns\": {}}}",
+            o.ctx, o.op, o.count, o.flops, o.out_bytes, o.measured_ns
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+fn trace_report() -> ExitCode {
+    let root = workspace_root();
+    if let Some(path) = std::env::args().nth(2) {
+        // Report-only mode: render an existing trace, no demo, no gates.
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace-report: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("trace-report: {path}");
+        print_trace_report(&parse_trace(&text));
+        return ExitCode::SUCCESS;
+    }
+
+    let trace_path = root.join("pace_trace.jsonl");
+    let work_dir = std::env::temp_dir().join(format!("pace-trace-report-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&work_dir) {
+        eprintln!("trace-report: cannot create {}: {e}", work_dir.display());
+        return ExitCode::FAILURE;
+    }
+    println!("trace-report: running the traced demo campaign (quick TPC-H, PACE)...");
+    let demo = run_traced_demo(&trace_path, &work_dir);
+    let _ = std::fs::remove_dir_all(&work_dir);
+    let wall_s = match demo {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("trace-report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-report: cannot read {}: {e}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let t = parse_trace(&text);
+    println!(
+        "\ntrace: {} ({} lines)",
+        trace_path.display(),
+        text.lines().count()
+    );
+    print_trace_report(&t);
+
+    // Per-phase totals: the demo root's direct children, which tile it.
+    let Some(&root_span) = t
+        .roots
+        .iter()
+        .find(|&&i| t.spans[i].name == "trace-report::demo")
+    else {
+        eprintln!("trace-report: demo root span missing from the trace");
+        return ExitCode::FAILURE;
+    };
+    let mut phases: Vec<(String, u64, u64)> = Vec::new();
+    for &c in &t.spans[root_span].children {
+        let s = &t.spans[c];
+        match phases.iter_mut().find(|(n, _, _)| *n == s.name) {
+            Some(p) => {
+                p.1 += 1;
+                p.2 += s.dur;
+            }
+            None => phases.push((s.name.clone(), 1, s.dur)),
+        }
+    }
+    let phase_s: f64 = phases.iter().map(|&(_, _, ns)| ns as f64 / 1e9).sum();
+    println!("\nper-phase totals:");
+    for (name, _, ns) in &phases {
+        let s = *ns as f64 / 1e9;
+        println!(
+            "  {name:<24} {s:>8.3} s  ({:>5.1}% of wall)",
+            s / wall_s * 100.0
+        );
+    }
+    println!(
+        "  {:<24} {phase_s:>8.3} s  (wall {wall_s:.3} s, coverage {:.2}%)",
+        "sum",
+        phase_s / wall_s * 100.0
+    );
+
+    if let Err(e) = write_bench_json(&root.join("BENCH_trace.json"), wall_s, &phases, &t) {
+        eprintln!("trace-report: cannot write BENCH_trace.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", root.join("BENCH_trace.json").display());
+
+    let mut ok = true;
+    if (phase_s - wall_s).abs() / wall_s > 0.01 {
+        eprintln!(
+            "trace-report: phase totals ({phase_s:.3} s) diverge from wall time \
+             ({wall_s:.3} s) by more than 1% — untraced work inside the demo"
+        );
+        ok = false;
+    }
+    ok &= disarmed_overhead_ok();
+    if ok {
+        println!("trace-report: OK");
+        ExitCode::SUCCESS
+    } else {
         ExitCode::FAILURE
     }
 }
@@ -463,6 +1010,58 @@ fn check_no_raw_threads(root: &Path, failures: &mut Vec<String>) {
                     "{s}:{}: raw thread primitive outside crates/runtime — fan out through \
                      `pace_runtime` so results stay thread-count invariant",
                     line_no + 1
+                ));
+            }
+        }
+    }
+}
+
+/// True when `code` sorts float keys NaN-tolerantly: a `partial_cmp` whose
+/// `None` is absorbed by `.unwrap_or(..)` / `.unwrap_or_else(..)` /
+/// `.unwrap_or_default()`. One NaN key then scrambles the whole sort order
+/// (the comparator stops being a strict weak ordering), which is how the
+/// degraded-estimate median came to return garbage instead of failing.
+fn is_nan_tolerant_sort(code: &str) -> bool {
+    code.contains("partial_cmp") && code.contains(".unwrap_or")
+}
+
+/// Library code must filter non-finite values *before* sorting and then
+/// `expect` the comparison; swallowing the `None` hides the NaN.
+///
+/// Checks each line and each pair of adjacent lines (rustfmt likes to split
+/// `partial_cmp(b)` and the `.unwrap_or(..)` across lines).
+fn check_no_nan_sort(root: &Path, failures: &mut Vec<String>) {
+    let mut sources = Vec::new();
+    collect_rs(&root.join("crates"), root, &mut sources);
+    for rel in sources {
+        if unwrap_exempt(&rel) {
+            continue;
+        }
+        let src = read(root, &rel.to_string_lossy());
+        let lines = strip_test_modules(&src);
+        for w in 0..lines.len() {
+            let (line_no, line) = lines[w];
+            let code = line.split("//").next().unwrap_or(line).to_string();
+            let hit = if is_nan_tolerant_sort(&code) {
+                true
+            } else if let Some(&(next_no, next)) = lines.get(w + 1) {
+                // Only join physically adjacent lines; a gap means the two
+                // tokens belong to different expressions.
+                next_no == line_no + 1 && {
+                    let joined = format!("{code}{}", next.split("//").next().unwrap_or(next));
+                    // Report a split pattern once, at its first line.
+                    is_nan_tolerant_sort(&joined) && !is_nan_tolerant_sort(next)
+                }
+            } else {
+                false
+            };
+            if hit {
+                failures.push(format!(
+                    "{}:{}: `partial_cmp(..).unwrap_or(..)` on a float sort key silently \
+                     scrambles the order on NaN — filter non-finite values first and \
+                     `expect` the comparison",
+                    rel.display(),
+                    line_no
                 ));
             }
         }
@@ -787,7 +1386,24 @@ mod tests {
         check_no_unwrap(&root, &mut failures);
         check_no_probe_panics(&root, &mut failures);
         check_no_raw_threads(&root, &mut failures);
+        check_no_nan_sort(&root, &mut failures);
         assert!(failures.is_empty(), "{failures:#?}");
+    }
+
+    #[test]
+    fn nan_sort_predicate_catches_the_original_bug() {
+        // The exact shape of the pre-fix degraded-estimate median.
+        assert!(is_nan_tolerant_sort(
+            "v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));"
+        ));
+        assert!(is_nan_tolerant_sort(
+            "xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or_else(|| Ordering::Less));"
+        ));
+        // The fixed idiom must pass.
+        assert!(!is_nan_tolerant_sort(
+            "v.sort_by(|a, b| a.partial_cmp(b).expect(\"non-finite filtered\"));"
+        ));
+        assert!(!is_nan_tolerant_sort("total_cmp-based sort"));
     }
 
     #[test]
