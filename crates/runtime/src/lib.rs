@@ -23,6 +23,25 @@
 //! matrix, campaign resume, and tape-replay parity gates all rely on
 //! (`cargo run -p xtask -- determinism` checks it in CI).
 //!
+//! # Concurrency-safety instrumentation
+//!
+//! The contract is machine-checked from two directions (see [`race`]):
+//!
+//! * `PACE_RACE=<0|1|strict>` arms a shadow write-set checker: every region
+//!   records the slot indices and `(lo, hi)` ranges its tasks receive and
+//!   verifies after scope join that they are pairwise-disjoint and exactly
+//!   cover `0..len`. Disarmed cost is one relaxed atomic load per region.
+//! * `PACE_SCHED=<seed>` turns the work-pulling loop adversarial: task
+//!   execution order is permuted by a seeded PRNG and randomized yields are
+//!   injected between pulls. Results must not change — `xtask race-report`
+//!   sweeps seeds × thread counts and asserts bit-identical output.
+//!
+//! A panicking pool task no longer tears down the scope with a generic
+//! "scoped thread panicked" message: each task runs under `catch_unwind`,
+//! the **lowest-indexed** panic payload is kept (deterministic no matter
+//! which worker hit it first), and [`run`] re-raises it after the region
+//! joins.
+//!
 //! # Thread-count resolution (`PACE_THREADS`)
 //!
 //! * `0` or unset — auto: [`std::thread::available_parallelism`];
@@ -30,7 +49,9 @@
 //! * `N` — exactly `N` workers per parallel region.
 //!
 //! The variable is read once, on first use; tests and benchmarks override
-//! it at any time with [`set_threads`].
+//! it at any time with [`set_threads`]. An explicit [`set_threads`] always
+//! wins over a concurrent first-use env resolution (the resolver publishes
+//! with a compare-exchange and defers to any value that beat it in).
 //!
 //! # Why scoped fan-out rather than persistent workers
 //!
@@ -48,6 +69,9 @@
 //! changes nothing about the results — only about who computes them.
 
 #![warn(missing_docs)]
+
+pub mod flags;
+pub mod race;
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -79,8 +103,17 @@ pub fn threads() -> usize {
                 .and_then(|v| v.trim().parse::<usize>().ok())
                 .unwrap_or(0);
             let resolved = if parsed == 0 { auto_threads() } else { parsed };
-            THREADS.store(resolved, Ordering::Relaxed);
-            resolved
+            // Publish only if still unresolved: a concurrent `set_threads`
+            // override must not be clobbered by a late env-derived store.
+            match THREADS.compare_exchange(
+                UNRESOLVED,
+                resolved,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => resolved,
+                Err(current) => current,
+            }
         }
         n => n,
     }
@@ -92,6 +125,13 @@ pub fn threads() -> usize {
 pub fn set_threads(n: usize) {
     let resolved = if n == 0 { auto_threads() } else { n };
     THREADS.store(resolved, Ordering::Relaxed);
+}
+
+/// Puts thread-count resolution back in the "never resolved" state so tests
+/// can exercise the first-use path. Not part of the public API.
+#[doc(hidden)]
+pub fn unresolve_threads_for_tests() {
+    THREADS.store(UNRESOLVED, Ordering::Relaxed);
 }
 
 /// True when called from inside a pool worker (used to run nested parallel
@@ -128,55 +168,133 @@ pub fn chunk_ranges(len: usize, min_chunk: usize) -> Vec<(usize, usize)> {
     out
 }
 
+/// Splits one output buffer into the disjoint `&mut` chunks of a grid
+/// (normally from [`chunk_ranges`]), pairing each chunk with its `lo`
+/// offset. This is the sanctioned hand-off for parallel `&mut` access:
+/// split before the fan-out, move each chunk into its task.
+///
+/// The split is sequential by chunk *size*, so a grid with a gap or overlap
+/// silently mislabels chunks — exactly the bug class the `PACE_RACE`
+/// write-set checker (and the [`for_each_split`] wrapper) exists to catch.
+pub fn split_by_grid<'a, T>(
+    data: &'a mut [T],
+    grid: &[(usize, usize)],
+) -> Vec<(usize, &'a mut [T])> {
+    let mut rest = data;
+    let mut parts = Vec::with_capacity(grid.len());
+    for &(lo, hi) in grid {
+        let (head, tail) = rest.split_at_mut(hi - lo);
+        parts.push((lo, head));
+        rest = tail;
+    }
+    parts
+}
+
+/// One pull permutation + jitter stream per region when `PACE_SCHED` is
+/// armed; `None` under natural scheduling.
+fn adversarial_order(tasks: usize) -> Option<Vec<usize>> {
+    race::sched_seed().map(|seed| race::permutation(tasks, seed))
+}
+
 /// Executes `f(0)`, …, `f(tasks - 1)`, each exactly once, distributing
 /// tasks over `min(threads(), tasks)` workers. Runs inline when the pool is
 /// sequential, the region is trivial, or we are already on a worker.
 ///
 /// Task *results* must be communicated through disjoint slots (as the
-/// higher-level primitives do); the execution order of tasks is unspecified.
-/// A panicking task propagates the panic to the caller once the region
-/// joins — fallible work should return `Result` via [`par_try_map`] instead
-/// of panicking.
+/// higher-level primitives do); the execution order of tasks is unspecified
+/// (and actively permuted under `PACE_SCHED`). A panicking task propagates
+/// the panic to the caller once the region joins — the lowest-indexed
+/// panic wins when several tasks panic — but fallible work should return
+/// `Result` via [`par_try_map`] instead of panicking.
+#[track_caller]
 pub fn run(tasks: usize, f: impl Fn(usize) + Sync) {
+    let caller = std::panic::Location::caller();
     let workers = if in_worker() { 1 } else { threads().min(tasks) };
+    let recorder =
+        race::armed().then(|| race::RegionRecorder::new(race::site_label("run", caller), tasks));
+    let perm = adversarial_order(tasks);
     if workers <= 1 {
-        for i in 0..tasks {
+        for slot in 0..tasks {
+            let i = perm.as_ref().map_or(slot, |p| p[slot]);
             f(i);
+            if let Some(r) = &recorder {
+                r.record(i, i, i + 1);
+            }
         }
         pace_trace::POOL_TASKS.add(tasks as u64);
-        pace_trace::POOL_CHUNKS_PER_WORKER.record(tasks as u64);
+        pace_trace::POOL_INLINE_TASKS.record(tasks as u64);
+        if let Some(r) = recorder {
+            r.finish();
+        }
         return;
     }
     let next = AtomicUsize::new(0);
+    // Lowest-indexed panic payload across workers; re-raised after join.
+    let panicked: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+    let seed = race::sched_seed();
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
+        for w in 0..workers {
+            let recorder = recorder.as_ref();
+            let perm = perm.as_ref();
+            let (next, panicked, f) = (&next, &panicked, &f);
+            s.spawn(move || {
                 IN_POOL.with(|c| c.set(true));
+                let mut jitter = seed.map(|sd| race::SchedJitter::new(sd, w as u64));
                 let mut pulled: u64 = 0;
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= tasks {
                         break;
                     }
-                    f(i);
-                    pulled += 1;
+                    let i = perm.map_or(slot, |p| p[slot]);
+                    if let Some(j) = &mut jitter {
+                        j.yield_before(i);
+                    }
+                    // A panicking task only touched its own disjoint slot,
+                    // so resuming the unwind at the caller is sound.
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                        Ok(()) => {
+                            if let Some(r) = recorder {
+                                r.record(i, i, i + 1);
+                            }
+                            pulled += 1;
+                        }
+                        Err(payload) => {
+                            let mut lowest = lock_ignore_poison(panicked);
+                            if lowest.as_ref().is_none_or(|&(idx, _)| i < idx) {
+                                *lowest = Some((i, payload));
+                            }
+                            break;
+                        }
+                    }
                 }
                 pace_trace::POOL_TASKS.add(pulled);
                 pace_trace::POOL_CHUNKS_PER_WORKER.record(pulled);
             });
         }
     });
+    if let Some((_, payload)) = panicked
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
+        std::panic::resume_unwind(payload);
+    }
+    if let Some(r) = recorder {
+        r.finish();
+    }
 }
 
 /// Takes the lock even when a sibling worker panicked (the panic will
 /// propagate at scope join regardless).
-fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Runs `f(i, item)` for each owned item, one task per item. Ownership
 /// transfer is what lets callers hand each task a disjoint `&mut` sub-slice
-/// of one output buffer (split before the fan-out).
+/// of one output buffer (split before the fan-out) — [`for_each_split`]
+/// packages that pattern, write-set checking included.
+#[track_caller]
 pub fn for_each_owned<T: Send>(items: Vec<T>, f: impl Fn(usize, T) + Sync) {
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     run(slots.len(), |i| {
@@ -187,8 +305,38 @@ pub fn for_each_owned<T: Send>(items: Vec<T>, f: impl Fn(usize, T) + Sync) {
     });
 }
 
+/// Splits `data` over `grid` (see [`split_by_grid`]) and runs
+/// `f(lo, chunk)` for each part in parallel — the checked primitive for
+/// writing one buffer from many tasks. When `PACE_RACE` is armed the
+/// region records the `(lo, lo + chunk.len())` range each task received
+/// and verifies after join that the ranges tile `0..data.len()` exactly;
+/// a gap or overlap in a hand-rolled grid becomes a typed `RaceReport`
+/// instead of silently misplaced writes.
+#[track_caller]
+pub fn for_each_split<T: Send>(
+    data: &mut [T],
+    grid: &[(usize, usize)],
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let caller = std::panic::Location::caller();
+    let recorder = race::armed()
+        .then(|| race::RegionRecorder::new(race::site_label("for_each_split", caller), data.len()));
+    let parts = split_by_grid(data, grid);
+    let rec = recorder.as_ref();
+    for_each_owned(parts, |task, (lo, chunk)| {
+        if let Some(r) = rec {
+            r.record(task, lo, lo + chunk.len());
+        }
+        f(lo, chunk);
+    });
+    if let Some(r) = recorder {
+        r.finish();
+    }
+}
+
 /// Maps `f` over `items` in parallel (one task per item — for coarse-grained
 /// items like experiment cells), returning results in **input order**.
+#[track_caller]
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     run(items.len(), |i| {
@@ -210,6 +358,7 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync)
 /// failing item — deterministic no matter which worker failed first. Pool
 /// workers therefore surface typed errors (e.g. a `ProbeError` from a
 /// fault-injected oracle) instead of panicking the process.
+#[track_caller]
 pub fn par_try_map<T: Sync, R: Send, E: Send>(
     items: &[T],
     f: impl Fn(usize, &T) -> Result<R, E> + Sync,
@@ -232,13 +381,26 @@ pub fn par_try_map<T: Sync, R: Send, E: Send>(
 /// Runs `f(start, end)` over the fixed chunk grid of `0..len` (see
 /// [`chunk_ranges`]) and returns one result per chunk **in chunk order** —
 /// the ordered-reduction primitive: fold the returned vector sequentially
-/// and the accumulation order is independent of the thread count.
+/// and the accumulation order is independent of the thread count. When
+/// `PACE_RACE` is armed the grid itself is verified to tile `0..len`.
+#[track_caller]
 pub fn par_chunks<R: Send>(
     len: usize,
     min_chunk: usize,
     f: impl Fn(usize, usize) -> R + Sync,
 ) -> Vec<R> {
     let grid = chunk_ranges(len, min_chunk);
+    if race::armed() {
+        let spans: Vec<race::TaskSpan> = grid
+            .iter()
+            .enumerate()
+            .map(|(task, &(lo, hi))| race::TaskSpan { task, lo, hi })
+            .collect();
+        let site = race::site_label("par_chunks", std::panic::Location::caller());
+        if let Err(report) = race::check_write_set(&site, len, &spans) {
+            race::handle(&report);
+        }
+    }
     par_map(&grid, |_, &(lo, hi)| f(lo, hi))
 }
 
@@ -284,6 +446,21 @@ mod tests {
             });
             assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
         }
+        set_threads(0);
+    }
+
+    #[test]
+    fn run_executes_every_task_once_under_adversarial_schedule() {
+        race::set_sched(Some(0x5eed));
+        for t in [1usize, 2, 5] {
+            set_threads(t);
+            let counts: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+            run(100, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+        race::set_sched(None);
         set_threads(0);
     }
 
@@ -336,6 +513,29 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_schedule_does_not_change_results() {
+        let data: Vec<f32> = (0..10_000)
+            .map(|i| ((i * 2654435761_usize) as f32).sin() * 1e3)
+            .collect();
+        let sum = |t: usize| -> f32 {
+            set_threads(t);
+            par_chunks(data.len(), 64, |lo, hi| data[lo..hi].iter().sum::<f32>())
+                .into_iter()
+                .sum()
+        };
+        race::set_sched(None);
+        let reference = sum(1);
+        for seed in [1u64, 2, 0xfeed_f00d] {
+            race::set_sched(Some(seed));
+            for t in [1usize, 4, 8] {
+                assert_eq!(sum(t).to_bits(), reference.to_bits(), "seed={seed} t={t}");
+            }
+        }
+        race::set_sched(None);
+        set_threads(0);
+    }
+
+    #[test]
     fn nested_regions_run_inline() {
         set_threads(4);
         let outer: Vec<bool> = par_map(&[0usize; 8], |_, _| {
@@ -350,23 +550,28 @@ mod tests {
     }
 
     #[test]
-    fn for_each_owned_hands_out_disjoint_buffers() {
+    fn for_each_split_hands_out_disjoint_buffers() {
         let mut out = vec![0u32; 100];
         let grid = chunk_ranges(out.len(), 10);
-        let mut rest: &mut [u32] = &mut out;
-        let mut parts = Vec::new();
-        for &(lo, hi) in &grid {
-            let (head, tail) = rest.split_at_mut(hi - lo);
-            parts.push((lo, head));
-            rest = tail;
-        }
         set_threads(3);
-        for_each_owned(parts, |_, (lo, chunk)| {
+        for_each_split(&mut out, &grid, |lo, chunk| {
             for (j, v) in chunk.iter_mut().enumerate() {
                 *v = (lo + j) as u32;
             }
         });
         set_threads(0);
         assert!(out.iter().enumerate().all(|(i, &v)| v as usize == i));
+    }
+
+    #[test]
+    fn split_by_grid_matches_grid_labels() {
+        let mut data = vec![0u8; 37];
+        let grid = chunk_ranges(data.len(), 5);
+        let parts = split_by_grid(&mut data, &grid);
+        assert_eq!(parts.len(), grid.len());
+        for ((lo, chunk), &(glo, ghi)) in parts.iter().zip(&grid) {
+            assert_eq!(*lo, glo);
+            assert_eq!(chunk.len(), ghi - glo);
+        }
     }
 }

@@ -1,0 +1,26 @@
+//! First-use resolution of `PACE_THREADS` races against explicit
+//! `set_threads` overrides. This test lives alone in its own binary: it is
+//! the only test allowed to put the process-global thread count back into
+//! the unresolved state.
+
+/// An explicit `set_threads` must always win over a concurrent first-use
+/// env resolution: once the override's store lands, a late env-derived
+/// publish must not clobber it (the resolver uses a compare-exchange and
+/// defers to whatever beat it in). With the old unconditional store this
+/// assertion fails intermittently.
+#[test]
+fn set_threads_override_survives_concurrent_first_use() {
+    for round in 0..200 {
+        pace_runtime::unresolve_threads_for_tests();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _ = pace_runtime::threads();
+                });
+            }
+            s.spawn(|| pace_runtime::set_threads(3));
+        });
+        assert_eq!(pace_runtime::threads(), 3, "round {round}: override lost");
+    }
+    pace_runtime::set_threads(0);
+}

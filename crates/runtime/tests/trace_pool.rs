@@ -101,10 +101,12 @@ fn pool_tasks_are_counted_and_worker_spans_attributed() {
     let _ = std::fs::remove_file(&path);
 }
 
-/// The sequential path (one worker) still accounts its tasks: the counter
-/// and the chunk histogram see the whole batch as one worker's pull.
+/// The sequential path (one worker) still counts its tasks, but samples the
+/// *inline* histogram — not the per-worker chunk histogram, which would skew
+/// the per-worker distribution with whole-region samples and make 1-thread
+/// runs incomparable to multi-thread ones.
 #[test]
-fn sequential_path_records_one_chunk() {
+fn sequential_path_records_inline_region() {
     let _guard = lock();
     // Metrics only accumulate while armed, so arm to a scratch sink.
     let path = scratch_trace_path("seq");
@@ -112,12 +114,18 @@ fn sequential_path_records_one_chunk() {
     pace_trace::install(Some(path.clone()));
     let before_tasks = pace_trace::POOL_TASKS.get();
     let before_chunks = pace_trace::POOL_CHUNKS_PER_WORKER.total();
+    let before_inline = pace_trace::POOL_INLINE_TASKS.total();
     pace_runtime::run(17, |_| {});
     pace_runtime::set_threads(0);
     let tasks = pace_trace::POOL_TASKS.get() - before_tasks;
     let chunks = pace_trace::POOL_CHUNKS_PER_WORKER.total() - before_chunks;
+    let inline = pace_trace::POOL_INLINE_TASKS.total() - before_inline;
     pace_trace::install(None);
     assert_eq!(tasks, 17);
-    assert_eq!(chunks, 1, "one worker pulls the whole batch sequentially");
+    assert_eq!(
+        chunks, 0,
+        "inline regions must not pollute per-worker chunks"
+    );
+    assert_eq!(inline, 1, "one inline-region sample for the whole batch");
     let _ = std::fs::remove_file(&path);
 }

@@ -311,6 +311,104 @@ pub fn tape_cost(g: &Graph, outputs: &[Var]) -> Cost {
     total
 }
 
+// ---- arena-slot interference ------------------------------------------------
+
+/// One plan step's claim on an arena slot: the step writes `slot` at plan
+/// index `step`, and the value it produces is last read at plan index
+/// `last_use` (`usize::MAX` for plan outputs, which stay live past the end).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotStep {
+    /// Plan index of the step that writes the slot.
+    pub step: usize,
+    /// Arena slot the step writes.
+    pub slot: usize,
+    /// Plan index of the last read of the produced value (`usize::MAX` for
+    /// outputs).
+    pub last_use: usize,
+}
+
+/// Two steps whose liveness intervals collide on one arena slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotInterference {
+    /// The contested arena slot.
+    pub slot: usize,
+    /// The earlier writer, still live when the slot is reassigned.
+    pub first: SlotStep,
+    /// The later writer that takes the slot too early.
+    pub second: SlotStep,
+}
+
+impl std::fmt::Display for SlotInterference {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "arena slot {} interference: step {} (live through {}) vs step {}",
+            self.slot, self.first.step, self.first.last_use, self.second.step
+        )
+    }
+}
+
+/// Size of a clean interference check, for reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InterferenceStats {
+    /// Slot-writing steps examined.
+    pub steps: usize,
+    /// Distinct arena slots in use.
+    pub slots: usize,
+    /// Consecutive same-slot reuse pairs checked.
+    pub checked_pairs: usize,
+}
+
+/// Proves the buffer-reuse arena assignment race-free: no arena slot is
+/// handed to a step while a previous tenant of that slot is still live.
+///
+/// For two steps `s1 < s2` sharing a slot, safety requires
+/// `last_use(s1) < s2` **strictly**: at `last_use(s1) == s2` the step would
+/// read its operand out of the very buffer it is writing, and any overlap
+/// beyond that clobbers a live value outright. Under that condition every
+/// chunk grid a step's internal fan-out may choose is safe — each step owns
+/// its destination slot exclusively for its whole execution, so intra-step
+/// parallelism can never alias another live value. Plan outputs carry
+/// `last_use == usize::MAX` and must never be reassigned at all.
+///
+/// # Errors
+/// Returns every colliding pair (not just the first) when the assignment is
+/// dirty.
+pub fn check_slot_interference(
+    steps: &[SlotStep],
+) -> Result<InterferenceStats, Vec<SlotInterference>> {
+    let mut by_slot: HashMap<usize, Vec<SlotStep>> = HashMap::new();
+    for s in steps {
+        by_slot.entry(s.slot).or_default().push(*s);
+    }
+    let mut stats = InterferenceStats {
+        steps: steps.len(),
+        slots: by_slot.len(),
+        checked_pairs: 0,
+    };
+    let mut violations = Vec::new();
+    for tenants in by_slot.values_mut() {
+        tenants.sort_by_key(|s| s.step);
+        for pair in tenants.windows(2) {
+            stats.checked_pairs += 1;
+            let (first, second) = (pair[0], pair[1]);
+            if first.last_use >= second.step {
+                violations.push(SlotInterference {
+                    slot: first.slot,
+                    first,
+                    second,
+                });
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(stats)
+    } else {
+        violations.sort_by_key(|v| (v.second.step, v.slot));
+        Err(violations)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +500,52 @@ mod tests {
         let src = available_expr_sources(&g, &[x]);
         assert_eq!(src[a.index()], a.index());
         assert_eq!(src[b.index()], b.index());
+    }
+
+    fn slot(step: usize, slot: usize, last_use: usize) -> SlotStep {
+        SlotStep {
+            step,
+            slot,
+            last_use,
+        }
+    }
+
+    #[test]
+    fn interference_clean_reuse_passes() {
+        // Slot 0 is reused twice, each time strictly after the previous
+        // tenant's last use; slot 1 holds an output and is never reused.
+        let steps = [
+            slot(0, 0, 1),
+            slot(2, 0, 3),
+            slot(4, 0, 5),
+            slot(1, 1, usize::MAX),
+        ];
+        let stats = check_slot_interference(&steps).expect("clean assignment");
+        assert_eq!(stats.steps, 4);
+        assert_eq!(stats.slots, 2);
+        assert_eq!(stats.checked_pairs, 2);
+    }
+
+    #[test]
+    fn interference_catches_live_overlap_and_exact_touch() {
+        // Step 5 takes slot 0 while step 0's value is live through step 7.
+        let overlap = [slot(0, 0, 7), slot(5, 0, 6)];
+        let v = check_slot_interference(&overlap).expect_err("overlap");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].slot, 0);
+        assert_eq!((v[0].first.step, v[0].second.step), (0, 5));
+        // Reassignment exactly at the last use is also unsafe: the new step
+        // would read its operand out of the buffer it writes.
+        let touch = [slot(0, 3, 4), slot(4, 3, 9)];
+        assert_eq!(check_slot_interference(&touch).expect_err("touch").len(), 1);
+        // An output slot (live forever) must never be reassigned.
+        let output = [slot(0, 2, usize::MAX), slot(9, 2, 10)];
+        assert_eq!(
+            check_slot_interference(&output)
+                .expect_err("output reuse")
+                .len(),
+            1
+        );
     }
 
     #[test]

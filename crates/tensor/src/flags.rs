@@ -1,8 +1,11 @@
-//! Shared runtime-flag parsing for the tape-instrumentation switches.
+//! The tape-instrumentation switches, sharing the workspace's `PACE_*`
+//! env-flag grammar.
 //!
-//! Both the auditor (`PACE_AUDIT`, [`crate::analysis`]) and the optimizing
-//! pass pipeline (`PACE_OPT`, [`crate::opt`]) are opt-in at the workspace's
-//! graph-construction choke points and share one env-variable grammar:
+//! The parsing machinery ([`EnvFlag`], [`EnvSpec`], [`FlagMode`]) lives in
+//! [`pace_runtime::flags`] — the bottom of the crate stack, so the pool's
+//! own switches (`PACE_RACE`, `PACE_SCHED`; see `pace_runtime::race`) can
+//! use it too — and is re-exported here unchanged. The grammar, shared by
+//! every switch:
 //!
 //! * `0` (or unset, or anything unrecognized) — off;
 //! * `1` / `true` / `on` — enabled: findings are *reported* (a dirty audit
@@ -11,96 +14,10 @@
 //!   optimized-replay mismatch panics at the choke point, so CI and
 //!   experiment runs cannot silently proceed on a corrupted tape.
 //!
-//! The env variable is read once, on first query; tests and embedders can
-//! override it at any time with [`EnvFlag::set`].
+//! Each env variable is read once, on first query; tests and embedders can
+//! override at any time with [`EnvFlag::set`] / [`EnvSpec::set`].
 
-use std::sync::atomic::{AtomicU8, Ordering};
-
-/// The three states a tape-instrumentation flag can be in.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum FlagMode {
-    /// Instrumentation disabled (the default).
-    Off,
-    /// Instrumentation enabled; findings are reported on stderr.
-    On,
-    /// Instrumentation enabled; findings panic at the choke point.
-    Strict,
-}
-
-const UNREAD: u8 = 0;
-const OFF: u8 = 1;
-const ON: u8 = 2;
-const STRICT: u8 = 3;
-
-/// A lazily-read, process-global on/off/strict switch backed by an
-/// environment variable.
-pub struct EnvFlag {
-    name: &'static str,
-    state: AtomicU8,
-}
-
-impl EnvFlag {
-    /// Declares a flag backed by the environment variable `name`.
-    pub const fn new(name: &'static str) -> Self {
-        Self {
-            name,
-            state: AtomicU8::new(UNREAD),
-        }
-    }
-
-    /// The environment variable this flag reads.
-    pub fn name(&self) -> &'static str {
-        self.name
-    }
-
-    /// Parses the shared `0/1/strict` grammar (see the module docs).
-    pub fn parse(raw: &str) -> FlagMode {
-        match raw.trim().to_ascii_lowercase().as_str() {
-            "1" | "true" | "on" => FlagMode::On,
-            "strict" => FlagMode::Strict,
-            _ => FlagMode::Off,
-        }
-    }
-
-    /// Current mode, reading the environment variable on first use.
-    pub fn mode(&self) -> FlagMode {
-        match self.state.load(Ordering::Relaxed) {
-            UNREAD => {
-                let mode = std::env::var(self.name)
-                    .map(|v| Self::parse(&v))
-                    .unwrap_or(FlagMode::Off);
-                self.state.store(encode(mode), Ordering::Relaxed);
-                mode
-            }
-            OFF => FlagMode::Off,
-            ON => FlagMode::On,
-            _ => FlagMode::Strict,
-        }
-    }
-
-    /// Forces the flag for this process, overriding the environment.
-    pub fn set(&self, mode: FlagMode) {
-        self.state.store(encode(mode), Ordering::Relaxed);
-    }
-
-    /// True in [`FlagMode::On`] and [`FlagMode::Strict`].
-    pub fn enabled(&self) -> bool {
-        self.mode() != FlagMode::Off
-    }
-
-    /// True only in [`FlagMode::Strict`].
-    pub fn strict(&self) -> bool {
-        self.mode() == FlagMode::Strict
-    }
-}
-
-fn encode(mode: FlagMode) -> u8 {
-    match mode {
-        FlagMode::Off => OFF,
-        FlagMode::On => ON,
-        FlagMode::Strict => STRICT,
-    }
-}
+pub use pace_runtime::flags::{EnvFlag, EnvSpec, FlagMode};
 
 /// The tape-auditor switch (`PACE_AUDIT`); see [`crate::analysis`].
 pub static AUDIT: EnvFlag = EnvFlag::new("PACE_AUDIT");
@@ -113,93 +30,5 @@ pub static OPT: EnvFlag = EnvFlag::new("PACE_OPT");
 /// instead of loading them into a model.
 pub static FINITE: EnvFlag = EnvFlag::new("PACE_FINITE");
 
-/// A lazily-read, process-global *string-valued* environment switch — the
-/// free-form companion of [`EnvFlag`] for instrumentation that needs a spec
-/// rather than an on/off/strict mode (e.g. the `PACE_FAULTS` fault matrix,
-/// [`crate::fault`]). Shares the flag conventions: the variable is read once
-/// on first query, unset/`0` means "off", and tests or embedders can override
-/// the value at any time with [`EnvSpec::set`].
-pub struct EnvSpec {
-    name: &'static str,
-    state: std::sync::Mutex<Option<Option<String>>>,
-}
-
-impl EnvSpec {
-    /// Declares a spec backed by the environment variable `name`.
-    pub const fn new(name: &'static str) -> Self {
-        Self {
-            name,
-            state: std::sync::Mutex::new(None),
-        }
-    }
-
-    /// The environment variable this spec reads.
-    pub fn name(&self) -> &'static str {
-        self.name
-    }
-
-    /// Current value, reading the environment variable on first use. Unset,
-    /// empty, and `0` (the [`EnvFlag`] "off" spelling) all yield `None`.
-    pub fn get(&self) -> Option<String> {
-        let mut state = match self.state.lock() {
-            Ok(s) => s,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        if state.is_none() {
-            let raw = std::env::var(self.name).ok();
-            let normalized = raw.filter(|v| {
-                let t = v.trim();
-                !t.is_empty() && t != "0"
-            });
-            *state = Some(normalized);
-        }
-        state.as_ref().and_then(Clone::clone)
-    }
-
-    /// Forces the value for this process, overriding the environment.
-    /// `None` turns the spec off.
-    pub fn set(&self, value: Option<String>) {
-        let mut state = match self.state.lock() {
-            Ok(s) => s,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        *state = Some(value.filter(|v| {
-            let t = v.trim();
-            !t.is_empty() && t != "0"
-        }));
-    }
-}
-
 /// The fault-injection spec (`PACE_FAULTS`); see [`crate::fault`].
 pub static FAULTS: EnvSpec = EnvSpec::new("PACE_FAULTS");
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn grammar_covers_on_off_strict() {
-        assert_eq!(EnvFlag::parse("1"), FlagMode::On);
-        assert_eq!(EnvFlag::parse("true"), FlagMode::On);
-        assert_eq!(EnvFlag::parse("ON"), FlagMode::On);
-        assert_eq!(EnvFlag::parse("strict"), FlagMode::Strict);
-        assert_eq!(EnvFlag::parse("STRICT "), FlagMode::Strict);
-        assert_eq!(EnvFlag::parse("0"), FlagMode::Off);
-        assert_eq!(EnvFlag::parse(""), FlagMode::Off);
-        assert_eq!(EnvFlag::parse("yes?"), FlagMode::Off);
-    }
-
-    #[test]
-    fn set_overrides_and_sticks() {
-        static F: EnvFlag = EnvFlag::new("PACE_TEST_FLAG_NEVER_SET");
-        assert!(!F.enabled());
-        F.set(FlagMode::Strict);
-        assert!(F.enabled());
-        assert!(F.strict());
-        F.set(FlagMode::On);
-        assert!(F.enabled());
-        assert!(!F.strict());
-        F.set(FlagMode::Off);
-        assert!(!F.enabled());
-    }
-}

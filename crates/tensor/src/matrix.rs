@@ -31,22 +31,6 @@ const MATMUL_PAR_MIN_FLOPS: usize = 1 << 18;
 /// Minimum element count before map/zip fan out over the pool.
 const ELEMWISE_PAR_MIN: usize = 1 << 16;
 
-/// Splits `data` into the disjoint `&mut` chunks of the given grid, paired
-/// with each chunk's start offset — the hand-off shape
-/// [`pool::for_each_owned`] expects.
-fn split_by_grid<'a>(
-    mut data: &'a mut [f32],
-    grid: &[(usize, usize)],
-) -> Vec<(usize, &'a mut [f32])> {
-    let mut parts = Vec::with_capacity(grid.len());
-    for &(lo, hi) in grid {
-        let (head, tail) = data.split_at_mut(hi - lo);
-        parts.push((lo, head));
-        data = tail;
-    }
-    parts
-}
-
 /// Computes output rows `[lo, hi)` of `a · b` into `out`, which is the
 /// row-major storage of exactly those rows.
 ///
@@ -100,30 +84,20 @@ pub(crate) fn matmul_into(dst: &mut Matrix, a: &Matrix, b: &Matrix) {
     pace_trace::MATMUL_FLOPS.add(2 * flops as u64);
     if flops >= MATMUL_PAR_MIN_FLOPS && n > 1 && !pool::in_worker() && pool::threads() > 1 {
         let min_rows = (MATMUL_PAR_MIN_FLOPS / k.saturating_mul(m).max(1)).max(1);
-        let grid = pool::chunk_ranges(n, min_rows);
-        let parts = split_by_grid_rows(dst.data.as_mut_slice(), &grid, m);
-        pool::for_each_owned(parts, |_, (lo, hi, chunk)| {
-            matmul_rows(chunk, a, b, lo, hi, &b_finite);
+        // Row grid scaled to element offsets, so the pool's write-set
+        // checker sees the ranges in output-element coordinates.
+        let grid: Vec<(usize, usize)> = pool::chunk_ranges(n, min_rows)
+            .into_iter()
+            .map(|(lo, hi)| (lo * m, hi * m))
+            .collect();
+        pool::for_each_split(dst.data.as_mut_slice(), &grid, |lo, chunk| {
+            let lo_row = lo / m;
+            let hi_row = lo_row + chunk.len() / m;
+            matmul_rows(chunk, a, b, lo_row, hi_row, &b_finite);
         });
     } else {
         matmul_rows(&mut dst.data, a, b, 0, n, &b_finite);
     }
-}
-
-/// Splits `data` (row-major, `m` columns) into the disjoint row-chunks of
-/// `grid`, tagged with their `[lo, hi)` row ranges.
-fn split_by_grid_rows<'a>(
-    mut data: &'a mut [f32],
-    grid: &[(usize, usize)],
-    m: usize,
-) -> Vec<(usize, usize, &'a mut [f32])> {
-    let mut parts = Vec::with_capacity(grid.len());
-    for &(lo, hi) in grid {
-        let (head, tail) = data.split_at_mut((hi - lo) * m);
-        parts.push((lo, hi, head));
-        data = tail;
-    }
-    parts
 }
 
 /// A dense, row-major matrix of `f32` values.
@@ -271,7 +245,7 @@ impl Matrix {
         let mut data = vec![0.0f32; self.len()];
         if self.len() >= ELEMWISE_PAR_MIN && !pool::in_worker() && pool::threads() > 1 {
             let grid = pool::chunk_ranges(self.len(), ELEMWISE_PAR_MIN);
-            pool::for_each_owned(split_by_grid(&mut data, &grid), |_, (lo, chunk)| {
+            pool::for_each_split(&mut data, &grid, |lo, chunk| {
                 for (j, o) in chunk.iter_mut().enumerate() {
                     *o = f(self.data[lo + j]);
                 }
@@ -304,7 +278,7 @@ impl Matrix {
         let mut data = vec![0.0f32; self.len()];
         if self.len() >= ELEMWISE_PAR_MIN && !pool::in_worker() && pool::threads() > 1 {
             let grid = pool::chunk_ranges(self.len(), ELEMWISE_PAR_MIN);
-            pool::for_each_owned(split_by_grid(&mut data, &grid), |_, (lo, chunk)| {
+            pool::for_each_split(&mut data, &grid, |lo, chunk| {
                 for (j, o) in chunk.iter_mut().enumerate() {
                     *o = f(self.data[lo + j], other.data[lo + j]);
                 }

@@ -245,6 +245,47 @@ impl TapePlan {
         self.outputs.len()
     }
 
+    /// Proves the plan's arena assignment race-free: no slot is handed to a
+    /// step while a previous tenant's value is still live (see
+    /// [`dataflow::check_slot_interference`] for the exact condition). This
+    /// is the static half of the concurrency-safety auditor: it guarantees
+    /// that [`TapePlan::replay`]'s take-out-the-destination write borrow can
+    /// never alias a live operand, for any chunk grid the step's internal
+    /// fan-out may choose. `xtask race-report` runs it over the demo tapes;
+    /// [`optimize_if_enabled`] runs it at the `PACE_OPT` choke point.
+    ///
+    /// # Errors
+    /// Returns every colliding slot pair when the assignment is dirty.
+    pub fn check_interference(
+        &self,
+    ) -> Result<dataflow::InterferenceStats, Vec<dataflow::SlotInterference>> {
+        let mut last_use: Vec<usize> = (0..self.nodes.len()).collect();
+        for (j, node) in self.nodes.iter().enumerate() {
+            if let PlanKind::Step { op, .. } = &node.kind {
+                for inp in op_inputs(op) {
+                    last_use[inp.index()] = last_use[inp.index()].max(j);
+                }
+            }
+        }
+        for &o in &self.outputs {
+            last_use[o] = usize::MAX;
+        }
+        let steps: Vec<dataflow::SlotStep> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(j, node)| match &node.kind {
+                PlanKind::Step { buffer, .. } => Some(dataflow::SlotStep {
+                    step: j,
+                    slot: *buffer,
+                    last_use: last_use[j],
+                }),
+                PlanKind::Const(_) => None,
+            })
+            .collect();
+        dataflow::check_slot_interference(&steps)
+    }
+
     /// Executes every step in order, writing results into `arena`.
     pub fn replay(&self, arena: &mut Arena) {
         if arena.buffers.len() < self.n_buffers {
@@ -947,6 +988,19 @@ pub fn optimize_if_enabled(
         return None;
     }
     let plan = optimize(g, outputs, inputs, context);
+    if let Err(violations) = plan.check_interference() {
+        let rendered: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+        assert!(
+            !crate::flags::OPT.strict(),
+            "PACE_OPT=strict: arena interference in {context}: {}",
+            rendered.join("; ")
+        );
+        eprintln!(
+            "tape opt [{context}]: ARENA INTERFERENCE ({} pair(s)): {}",
+            rendered.len(),
+            rendered.join("; ")
+        );
+    }
     if let Err(msg) = plan.verify(g, VERIFY_TOL) {
         assert!(
             !crate::flags::OPT.strict(),
@@ -1097,6 +1151,70 @@ mod tests {
             plan.stats()
         );
         plan.verify(&g, VERIFY_TOL).expect("replay parity");
+    }
+
+    #[test]
+    fn interference_check_clean_on_reusing_plan() {
+        // Heavy slot reuse (chained same-shape steps) must still prove
+        // interference-free: the allocator only frees a slot strictly after
+        // its tenant's last use.
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(4, 4, vec![0.1; 16]));
+        let mut h = x;
+        for _ in 0..8 {
+            h = g.sigmoid(h);
+            h = g.add(h, x);
+        }
+        let out = g.sum_all(h);
+        let plan = optimize(&g, &[out], &[x], "test::interference");
+        let stats = plan.check_interference().expect("clean arena assignment");
+        assert_eq!(stats.steps, plan.stats().steps_after);
+        assert_eq!(stats.slots, plan.stats().buffers);
+        assert!(
+            stats.checked_pairs > 0,
+            "a reusing plan must have reuse pairs to check: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn interference_check_catches_seeded_overlap() {
+        // Hand-build a plan whose second step takes slot 0 while the first
+        // step's value is still live (step 2 reads it) — the fail-on-old-code
+        // witness for the static checker.
+        let shape = (1, 2);
+        let nodes = vec![
+            PlanNode {
+                kind: PlanKind::Const(Matrix::row(&[1.0, 2.0])),
+                shape,
+            },
+            PlanNode {
+                kind: PlanKind::Step {
+                    op: Op::Neg(Var::from_index(0)),
+                    buffer: 0,
+                },
+                shape,
+            },
+            PlanNode {
+                kind: PlanKind::Step {
+                    op: Op::Neg(Var::from_index(1)),
+                    buffer: 0,
+                },
+                shape,
+            },
+        ];
+        let plan = TapePlan {
+            nodes,
+            outputs: vec![2],
+            orig_outputs: vec![2],
+            n_buffers: 1,
+            stats: OptStats::default(),
+        };
+        let violations = plan.check_interference().expect_err("seeded overlap");
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].slot, 0);
+        assert_eq!(violations[0].first.step, 1);
+        assert_eq!(violations[0].second.step, 2);
+        assert!(violations[0].to_string().contains("arena slot 0"));
     }
 
     #[test]

@@ -555,8 +555,15 @@ pub static BREAKER_TRIPS: Counter = Counter::new("breaker_trips");
 pub static CHECKPOINT_ROLLBACKS: Counter = Counter::new("checkpoint_rollbacks");
 
 /// Tasks pulled per pool worker within one parallel region — the chunk
-/// utilization distribution across `PACE_THREADS` workers.
+/// utilization distribution across `PACE_THREADS` workers. Inline regions
+/// (sequential pool, nested region on a worker, trivial fan-out) are *not*
+/// sampled here — they land in [`POOL_INLINE_TASKS`] — so this histogram is
+/// comparable across thread counts.
 pub static POOL_CHUNKS_PER_WORKER: Histogram = Histogram::new("pool_chunks_per_worker");
+/// Region sizes executed inline (no worker fan-out): one sample of `tasks`
+/// per inline region. Kept apart from [`POOL_CHUNKS_PER_WORKER`] so the
+/// per-worker distribution is not skewed by whole-region samples.
+pub static POOL_INLINE_TASKS: Histogram = Histogram::new("pool_inline_tasks");
 /// Oracle backoff waits, in virtual microseconds.
 pub static BACKOFF_VIRTUAL_US: Histogram = Histogram::new("backoff_virtual_us");
 
@@ -573,7 +580,11 @@ pub static COUNTERS: [&Counter; 8] = [
 ];
 
 /// Every registered histogram, in emission order.
-pub static HISTOGRAMS: [&Histogram; 2] = [&POOL_CHUNKS_PER_WORKER, &BACKOFF_VIRTUAL_US];
+pub static HISTOGRAMS: [&Histogram; 3] = [
+    &POOL_CHUNKS_PER_WORKER,
+    &POOL_INLINE_TASKS,
+    &BACKOFF_VIRTUAL_US,
+];
 
 /// `(name, value)` snapshot of every registered counter.
 pub fn counter_snapshot() -> Vec<(&'static str, u64)> {
