@@ -160,12 +160,35 @@ impl<'a> Executor<'a> {
     }
 
     /// Exact cardinalities of a batch of queries, fanned out over the
-    /// deterministic pool (`PACE_THREADS`). Queries are independent and the
-    /// per-edge group-by sums are shared read-only across workers, so the
-    /// result is identical to mapping [`Executor::count`] sequentially.
+    /// deterministic pool (`PACE_THREADS`) when the calibrated
+    /// profitability oracle says the batch is worth it. Queries are
+    /// independent, the per-edge group-by sums are shared read-only across
+    /// workers, and per-chunk results are concatenated in chunk order, so
+    /// the result is identical to mapping [`Executor::count`] sequentially
+    /// whatever grain the oracle picks.
     pub fn count_batch(&self, queries: &[Query]) -> Vec<u64> {
         let _span = pace_trace::span("engine::count_batch");
-        pool::par_map(queries, |_, q| self.count(q))
+        // One query costs O(sum of pattern table rows); model an average
+        // query as one pass over the dataset's rows (a few flops and one
+        // i64 read per row). The old one-task-per-query fan-out paid pool
+        // dispatch per query and lost to sequential execution on hosts
+        // with little effective parallelism.
+        let rows: usize = self.ds.tables.iter().map(pace_data::Table::num_rows).sum();
+        let decision = pool::cost::decide(pool::cost::RegionCost {
+            items: queries.len(),
+            flops_per_item: 4.0 * rows as f64,
+            bytes_per_item: (rows * size_of::<i64>()) as f64,
+        });
+        let grain = decision.grain(queries.len());
+        pool::par_chunks(queries.len(), grain, |lo, hi| {
+            queries[lo..hi]
+                .iter()
+                .map(|q| self.count(q))
+                .collect::<Vec<u64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Labels a batch of queries with their exact cardinalities.

@@ -70,6 +70,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod flags;
 pub mod race;
 

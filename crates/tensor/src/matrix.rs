@@ -22,14 +22,14 @@ use std::fmt;
 /// bit-identical.
 const MATMUL_PANEL: usize = 128;
 
-/// Minimum multiply-add count before a matmul fans out over the pool.
-/// Below this, spawn overhead dominates; at or above it, rows are split into
-/// chunks of at least `MATMUL_PAR_MIN_FLOPS / (k·m)` rows each — a grid
-/// derived from the shape only, never the thread count.
-const MATMUL_PAR_MIN_FLOPS: usize = 1 << 18;
-
-/// Minimum element count before map/zip fan out over the pool.
-const ELEMWISE_PAR_MIN: usize = 1 << 16;
+// Whether (and how coarsely) matmul and map/zip fan out over the pool is
+// decided by the calibrated profitability oracle (`pool::cost::decide`)
+// instead of hand-picked FLOP thresholds: on machines where dispatch
+// overhead outweighs the region, the oracle answers `Sequential` and the
+// kernels stay inline. The resulting grids are still pure functions of the
+// shape and the per-process cost constants — never of the thread count —
+// and these regions' results are chunking-independent, so determinism
+// across `PACE_THREADS` settings is preserved.
 
 /// Computes output rows `[lo, hi)` of `a · b` into `out`, which is the
 /// row-major storage of exactly those rows.
@@ -82,8 +82,13 @@ pub(crate) fn matmul_into(dst: &mut Matrix, a: &Matrix, b: &Matrix) {
         .collect();
     let flops = n.saturating_mul(k).saturating_mul(m);
     pace_trace::MATMUL_FLOPS.add(2 * flops as u64);
-    if flops >= MATMUL_PAR_MIN_FLOPS && n > 1 && !pool::in_worker() && pool::threads() > 1 {
-        let min_rows = (MATMUL_PAR_MIN_FLOPS / k.saturating_mul(m).max(1)).max(1);
+    let decision = pool::cost::decide(pool::cost::RegionCost {
+        items: n,
+        flops_per_item: 2.0 * k.saturating_mul(m) as f64,
+        bytes_per_item: ((k + m) * size_of::<f32>()) as f64,
+    });
+    if decision.is_parallel() && n > 1 && m > 0 && !pool::in_worker() && pool::threads() > 1 {
+        let min_rows = decision.grain(n);
         // Row grid scaled to element offsets, so the pool's write-set
         // checker sees the ranges in output-element coordinates.
         let grid: Vec<(usize, usize)> = pool::chunk_ranges(n, min_rows)
@@ -98,6 +103,18 @@ pub(crate) fn matmul_into(dst: &mut Matrix, a: &Matrix, b: &Matrix) {
     } else {
         matmul_rows(&mut dst.data, a, b, 0, n, &b_finite);
     }
+}
+
+/// The oracle's verdict for an elementwise map/zip over `len` elements:
+/// one flop and two `f32` transfers per element. Callers still gate the
+/// fan-out on `!pool::in_worker()` and `pool::threads() > 1` at the site,
+/// keeping those checks outside the pool-call span.
+fn elementwise_decision(len: usize) -> pool::cost::Decision {
+    pool::cost::decide(pool::cost::RegionCost {
+        items: len,
+        flops_per_item: 1.0,
+        bytes_per_item: (2 * size_of::<f32>()) as f64,
+    })
 }
 
 /// A dense, row-major matrix of `f32` values.
@@ -243,8 +260,10 @@ impl Matrix {
     /// chunking, so parallel and sequential outputs are identical.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
         let mut data = vec![0.0f32; self.len()];
-        if self.len() >= ELEMWISE_PAR_MIN && !pool::in_worker() && pool::threads() > 1 {
-            let grid = pool::chunk_ranges(self.len(), ELEMWISE_PAR_MIN);
+        let decision = elementwise_decision(self.len());
+        if decision.is_parallel() && !pool::in_worker() && pool::threads() > 1 {
+            let grain = decision.grain(self.len());
+            let grid = pool::chunk_ranges(self.len(), grain);
             pool::for_each_split(&mut data, &grid, |lo, chunk| {
                 for (j, o) in chunk.iter_mut().enumerate() {
                     *o = f(self.data[lo + j]);
@@ -276,8 +295,10 @@ impl Matrix {
             other.shape()
         );
         let mut data = vec![0.0f32; self.len()];
-        if self.len() >= ELEMWISE_PAR_MIN && !pool::in_worker() && pool::threads() > 1 {
-            let grid = pool::chunk_ranges(self.len(), ELEMWISE_PAR_MIN);
+        let decision = elementwise_decision(self.len());
+        if decision.is_parallel() && !pool::in_worker() && pool::threads() > 1 {
+            let grain = decision.grain(self.len());
+            let grid = pool::chunk_ranges(self.len(), grain);
             pool::for_each_split(&mut data, &grid, |lo, chunk| {
                 for (j, o) in chunk.iter_mut().enumerate() {
                     *o = f(self.data[lo + j], other.data[lo + j]);
@@ -589,7 +610,8 @@ mod tests {
     /// count — the pool's chunk grid is derived from the shape alone.
     #[test]
     fn matmul_bit_identical_across_thread_counts() {
-        // Big enough to clear MATMUL_PAR_MIN_FLOPS and engage the fan-out.
+        // Big enough that a parallel-friendly cost model engages the
+        // fan-out; identity must hold whichever way the oracle decides.
         let (n, k, m) = (96, 64, 80);
         let mut state = 0x243f_6a88u32;
         let mut next = || {
@@ -605,6 +627,15 @@ mod tests {
         bv[5 * m + 3] = f32::NAN;
         let a = Matrix::from_vec(n, k, av);
         let b = Matrix::from_vec(k, m, bv);
+        // Force a parallel-friendly cost model so the fan-out path runs
+        // even on machines where calibration would answer Sequential.
+        pool::cost::set_constants(Some(pool::cost::CostConstants {
+            dispatch_ns: 100.0,
+            task_ns: 10.0,
+            flops_per_ns: 1.0,
+            bytes_per_ns: 1.0,
+            effective_parallelism: 8.0,
+        }));
         pool::set_threads(1);
         let reference = a.matmul(&b);
         for t in [2usize, 3, 8] {
@@ -619,6 +650,7 @@ mod tests {
             );
         }
         pool::set_threads(0);
+        pool::cost::set_constants(None);
     }
 
     #[test]

@@ -74,7 +74,7 @@ impl OptConfig {
 }
 
 /// What one plan node is.
-enum PlanKind {
+pub(crate) enum PlanKind {
     /// A materialized value (leaf, designated input, or folded subgraph).
     Const(Matrix),
     /// An op to execute; operand [`Var`]s are *plan* indices, `buffer` is
@@ -82,9 +82,9 @@ enum PlanKind {
     Step { op: Op, buffer: usize },
 }
 
-struct PlanNode {
-    kind: PlanKind,
-    shape: (usize, usize),
+pub(crate) struct PlanNode {
+    pub(crate) kind: PlanKind,
+    pub(crate) shape: (usize, usize),
 }
 
 /// Everything the pipeline measured, for reports and acceptance gates.
@@ -193,7 +193,7 @@ pub struct OpProfile {
 /// context and replays allocate nothing once every buffer has been sized.
 #[derive(Default)]
 pub struct Arena {
-    buffers: Vec<Matrix>,
+    pub(crate) buffers: Vec<Matrix>,
 }
 
 impl Arena {
@@ -215,13 +215,13 @@ impl Arena {
 /// produced by [`optimize`]. Replaying executes only the surviving steps,
 /// writing into recycled [`Arena`] buffers.
 pub struct TapePlan {
-    nodes: Vec<PlanNode>,
+    pub(crate) nodes: Vec<PlanNode>,
     /// Plan index of each requested output.
-    outputs: Vec<usize>,
+    pub(crate) outputs: Vec<usize>,
     /// Original tape index of each requested output (for [`TapePlan::verify`]).
-    orig_outputs: Vec<usize>,
-    n_buffers: usize,
-    stats: OptStats,
+    pub(crate) orig_outputs: Vec<usize>,
+    pub(crate) n_buffers: usize,
+    pub(crate) stats: OptStats,
 }
 
 impl TapePlan {
@@ -362,7 +362,7 @@ impl TapePlan {
 
     /// Static cost of one plan step, mirroring [`dataflow::node_cost`] but
     /// reading shapes from plan nodes (operand [`Var`]s are plan indices).
-    fn step_cost(&self, op: &Op, out_shape: (usize, usize)) -> dataflow::Cost {
+    pub(crate) fn step_cost(&self, op: &Op, out_shape: (usize, usize)) -> dataflow::Cost {
         let out = (out_shape.0 * out_shape.1) as u64;
         let in_len = |x: Var| {
             let (r, c) = self.nodes[x.index()].shape;
@@ -442,7 +442,7 @@ impl TapePlan {
 
     /// Executes one remapped op, reading operands from constants or arena
     /// buffers and writing the result into `dst` in place.
-    fn eval_into(&self, arena: &Arena, op: &Op, dst: &mut Matrix) {
+    pub(crate) fn eval_into(&self, arena: &Arena, op: &Op, dst: &mut Matrix) {
         let v = |x: Var| self.node_value(arena, x.index());
         match *op {
             Op::Leaf => unreachable!("leaves are materialized as plan constants"),

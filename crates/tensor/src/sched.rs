@@ -1,0 +1,730 @@
+//! Static tape scheduler: dependence-DAG parallelism with a profitability
+//! proof for every stage.
+//!
+//! [`TapePlan::replay`] executes steps strictly in plan order, which wastes
+//! the independence the optimizer's DAG already encodes: sibling gradient
+//! branches, per-layer forward steps, and the fan-out of an unrolled
+//! hypergradient are all mutually independent, yet replay runs them one at
+//! a time. This module recovers that parallelism *statically* — no runtime
+//! speculation, no locks — in three analysis steps over a [`TapePlan`]:
+//!
+//! 1. **Dependence DAG** ([`analyze`]): one node per plan step, with three
+//!    edge kinds. RAW edges come from use-def chains (a step depends on the
+//!    steps computing its operands). WAR and WAW edges come from the
+//!    *buffer-reuse plan*: when two steps share an arena slot, the later
+//!    tenant must wait for the earlier tenant (WAW) **and for every reader
+//!    of the earlier tenant's value** (WAR) — dropping either edge kind
+//!    would let a stage overwrite a value another concurrent step is still
+//!    reading.
+//! 2. **Level-set stages**: each step's stage is `1 + max(stage of its
+//!    predecessors)`. All steps of one stage are then *proved* mutually
+//!    independent by the same [`dataflow::check_slot_interference`] logic
+//!    that certifies the buffer plan — the schedule is collapsed to stage
+//!    granularity (step index → stage index, last use → last *reading
+//!    stage*) and the checker must find zero violations, which rules out
+//!    both intra-stage slot sharing and any operand written in the stage
+//!    that reads it. A plan that fails this proof is never parallelized:
+//!    [`analyze`] returns the violations and callers fall back to the
+//!    sequential [`TapePlan::replay`].
+//! 3. **Profitability**: every stage is costed with the static FLOP/byte
+//!    model ([`TapePlan::step_cost`]) and handed to the calibrated oracle
+//!    ([`pool::cost::decide`]), which marks it `Sequential` or
+//!    `Parallel { min_chunk }` from measured dispatch-overhead and
+//!    throughput constants. Stages dominated by one big contraction stay
+//!    sequential so the matmul kernel keeps its own (deeper) row-level
+//!    fan-out instead of being flattened to one task.
+//!
+//! [`TapePlan::replay_scheduled`] then executes stage by stage. A parallel
+//! stage takes all its destination buffers out of the arena (their slots
+//! are pairwise distinct — proved), fans the steps over
+//! [`pool::for_each_split`]'s disjoint `&mut` hand-offs with the whole
+//! arena shared read-only, and restores the buffers after the join. Every
+//! step computes exactly what sequential replay computes, from operands
+//! finalized in earlier stages, so the result is bit-identical for any
+//! thread count and any `PACE_SCHED` adversarial seed — `xtask
+//! sched-report` and the `prop_sched` suite enforce this.
+//!
+//! Classifying an op for the cost model is an exhaustive match —
+//! `xtask lint` extends its Op-coverage rule to this file so a new op
+//! cannot silently land without a scheduling class.
+
+use crate::dataflow::{self, SlotStep};
+use crate::grad::op_inputs;
+use crate::graph::Op;
+use crate::matrix::Matrix;
+use crate::opt::{Arena, PlanKind, TapePlan};
+use crate::pool;
+
+/// The three hazard kinds a dependence edge can encode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Read-after-write: `to` reads the value `from` computes.
+    Raw,
+    /// Write-after-read: `to` overwrites an arena slot whose previous
+    /// value `from` reads.
+    War,
+    /// Write-after-write: `to` overwrites a slot `from` wrote.
+    Waw,
+}
+
+/// One edge of the step-level dependence DAG: `from` must complete before
+/// `to` may start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Plan index of the prerequisite step.
+    pub from: usize,
+    /// Plan index of the dependent step.
+    pub to: usize,
+    /// Which hazard forces the ordering.
+    pub kind: EdgeKind,
+}
+
+/// How a step's kernel behaves inside a parallel stage — the scheduling
+/// class the profitability analysis uses. The classifying match is
+/// exhaustive over the op vocabulary (enforced by `xtask lint`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum StepClass {
+    /// Cheap per-output-element arithmetic (adds, scalar maps, ReLU).
+    Elementwise,
+    /// Transcendental per-element math (several flops per element).
+    Transcendental,
+    /// A contraction (matmul) whose kernel has its own internal row-level
+    /// fan-out; outer-level parallelism would flatten it to one task.
+    Contraction,
+    /// Whole-input reductions producing small outputs.
+    Reduction,
+    /// Pure data movement (transpose, broadcast, concat, slice).
+    Movement,
+}
+
+/// Scheduling class of one op (see [`StepClass`]).
+pub(crate) fn op_class(op: &Op) -> StepClass {
+    match op {
+        Op::Leaf => StepClass::Movement,
+        Op::Add(..)
+        | Op::Sub(..)
+        | Op::Mul(..)
+        | Op::Div(..)
+        | Op::Maximum(..)
+        | Op::Minimum(..)
+        | Op::Neg(_)
+        | Op::AddScalar(..)
+        | Op::MulScalar(..)
+        | Op::Relu(_)
+        | Op::Abs(_)
+        | Op::AddRow(..)
+        | Op::MulRow(..)
+        | Op::MulCol(..) => StepClass::Elementwise,
+        Op::Sigmoid(_) | Op::Tanh(_) | Op::Exp(_) | Op::Ln(_) | Op::Sqrt(_) | Op::PowScalar(..) => {
+            StepClass::Transcendental
+        }
+        Op::MatMul(..) => StepClass::Contraction,
+        Op::SumAll(_) | Op::MeanAll(_) | Op::SumRows(_) | Op::MeanRows(_) | Op::SumCols(_) => {
+            StepClass::Reduction
+        }
+        Op::Transpose(_)
+        | Op::RepeatRows(..)
+        | Op::RepeatCols(..)
+        | Op::BroadcastScalar(..)
+        | Op::ConcatCols(_)
+        | Op::ConcatRows(_)
+        | Op::SliceCols(..)
+        | Op::SliceRows(..) => StepClass::Movement,
+    }
+}
+
+/// One level set of the dependence DAG: steps proved mutually independent,
+/// plus the profitability verdict for executing them concurrently.
+#[derive(Clone, Debug)]
+pub struct Stage {
+    /// Plan indices of the stage's steps, ascending (= sequential order).
+    pub steps: Vec<usize>,
+    /// The oracle's verdict for fanning this stage out.
+    pub decision: pool::cost::Decision,
+    /// Modeled FLOPs across the stage's steps.
+    pub flops: u64,
+    /// Modeled output bytes across the stage's steps.
+    pub bytes: u64,
+}
+
+/// A verified static schedule for one [`TapePlan`].
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    stages: Vec<Stage>,
+    edges: Vec<DepEdge>,
+    /// Stage index of each plan node (0 for constants).
+    levels: Vec<usize>,
+    /// Stats from the stage-collapsed interference proof.
+    proof: dataflow::InterferenceStats,
+}
+
+/// Why a plan could not be scheduled; callers must fall back to the
+/// sequential [`TapePlan::replay`].
+#[derive(Clone, Debug)]
+pub enum SchedError {
+    /// A dependence edge points backwards — the plan order is corrupt.
+    BackwardEdge(DepEdge),
+    /// The stage-collapsed slot-interference proof found collisions.
+    Interference(Vec<dataflow::SlotInterference>),
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::BackwardEdge(e) => {
+                write!(
+                    f,
+                    "backward dependence edge {} -> {} ({:?})",
+                    e.from, e.to, e.kind
+                )
+            }
+            SchedError::Interference(v) => {
+                write!(
+                    f,
+                    "stage interference: {} collision(s), first: {}",
+                    v.len(),
+                    v[0]
+                )
+            }
+        }
+    }
+}
+
+impl Schedule {
+    /// The verified stages, in execution order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Every dependence edge the DAG holds (RAW ∪ WAR ∪ WAW).
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Number of edges of one hazard kind.
+    pub fn edge_count(&self, kind: EdgeKind) -> usize {
+        self.edges.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Stage index of a plan node (0 for constants).
+    pub fn level(&self, node: usize) -> usize {
+        self.levels[node]
+    }
+
+    /// Widest stage (steps per stage maximum).
+    pub fn max_width(&self) -> usize {
+        self.stages.iter().map(|s| s.steps.len()).max().unwrap_or(0)
+    }
+
+    /// Stages the oracle marked parallel.
+    pub fn parallel_stages(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| s.decision.is_parallel())
+            .count()
+    }
+
+    /// Stats of the stage-collapsed interference proof that certified this
+    /// schedule.
+    pub fn proof_stats(&self) -> dataflow::InterferenceStats {
+        self.proof
+    }
+
+    /// Predicted replay speedup of the scheduled execution vs. sequential,
+    /// from the calibrated cost model: per-stage speedups weighted by the
+    /// stage's share of modeled work. Sequential stages contribute 1×.
+    pub fn predicted_speedup(&self) -> f64 {
+        let total: f64 = self.stages.iter().map(|s| s.flops.max(1) as f64).sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let scaled: f64 = self
+            .stages
+            .iter()
+            .map(|s| {
+                let w = s.flops.max(1) as f64;
+                if s.decision.is_parallel() {
+                    let items = s.steps.len();
+                    let r = pool::cost::RegionCost {
+                        items,
+                        flops_per_item: s.flops as f64 / items.max(1) as f64,
+                        bytes_per_item: s.bytes as f64 / items.max(1) as f64,
+                    };
+                    w / pool::cost::predicted_speedup(&r).max(1.0)
+                } else {
+                    w
+                }
+            })
+            .sum();
+        (total / scaled.max(1e-9)).max(1.0)
+    }
+
+    /// Human-readable schedule summary for `xtask sched-report`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "schedule: {} stages, max width {}, {} parallel | edges raw {} war {} waw {} | \
+             proof: {} steps, {} slots, {} pairs",
+            self.stages.len(),
+            self.max_width(),
+            self.parallel_stages(),
+            self.edge_count(EdgeKind::Raw),
+            self.edge_count(EdgeKind::War),
+            self.edge_count(EdgeKind::Waw),
+            self.proof.steps,
+            self.proof.slots,
+            self.proof.checked_pairs,
+        );
+        for (i, s) in self.stages.iter().enumerate() {
+            let verdict = match s.decision {
+                pool::cost::Decision::Sequential => "seq".to_string(),
+                pool::cost::Decision::Parallel { min_chunk } => format!("par(grain {min_chunk})"),
+            };
+            let _ = writeln!(
+                out,
+                "  stage {i:>3}: {:>4} step(s) {verdict:<14} {:>12} flops",
+                s.steps.len(),
+                s.flops
+            );
+        }
+        out
+    }
+}
+
+/// Builds and verifies the static schedule of a plan (see the module docs
+/// for the three analysis steps).
+///
+/// # Errors
+/// [`SchedError`] when the dependence DAG is not a forward DAG or the
+/// stage-collapsed interference proof fails; callers must then replay
+/// sequentially.
+pub fn analyze(plan: &TapePlan) -> Result<Schedule, SchedError> {
+    let n = plan.nodes.len();
+    // Readers of each node's value (step indices that take it as operand).
+    let mut readers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Steps writing each arena slot, in plan order.
+    let mut tenants: Vec<Vec<usize>> = vec![Vec::new(); plan.n_buffers];
+    let mut edges: Vec<DepEdge> = Vec::new();
+
+    for (i, node) in plan.nodes.iter().enumerate() {
+        if let PlanKind::Step { op, buffer } = &node.kind {
+            for inp in op_inputs(op) {
+                let v = inp.index();
+                readers[v].push(i);
+                if matches!(plan.nodes[v].kind, PlanKind::Step { .. }) {
+                    edges.push(DepEdge {
+                        from: v,
+                        to: i,
+                        kind: EdgeKind::Raw,
+                    });
+                }
+            }
+            tenants[*buffer].push(i);
+        }
+    }
+    // Arena-slot reuse: the next tenant waits for the previous tenant (WAW)
+    // and for every reader of the previous tenant's value (WAR).
+    for slot_tenants in &tenants {
+        for pair in slot_tenants.windows(2) {
+            let (prev, next) = (pair[0], pair[1]);
+            edges.push(DepEdge {
+                from: prev,
+                to: next,
+                kind: EdgeKind::Waw,
+            });
+            for &r in &readers[prev] {
+                if r != next {
+                    edges.push(DepEdge {
+                        from: r,
+                        to: next,
+                        kind: EdgeKind::War,
+                    });
+                }
+            }
+        }
+    }
+
+    // Level assignment; every edge must point forward in plan order (the
+    // plan is its own topological order), so one pass suffices.
+    for e in &edges {
+        if e.from >= e.to {
+            return Err(SchedError::BackwardEdge(*e));
+        }
+    }
+    let mut levels = vec![0usize; n];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &edges {
+        preds[e.to].push(e.from);
+    }
+    for i in 0..n {
+        if matches!(plan.nodes[i].kind, PlanKind::Step { .. }) {
+            let base = preds[i].iter().map(|&p| levels[p]).max().unwrap_or(0);
+            levels[i] = base + 1;
+        }
+    }
+
+    // The independence proof: collapse to stage granularity and run the
+    // arena-interference checker. A clean result proves no two same-stage
+    // steps share a slot and no stage overwrites a slot whose previous
+    // value is still read in (or after) that stage.
+    let mut last_read_stage: Vec<usize> = levels.clone();
+    for (v, rs) in readers.iter().enumerate() {
+        for &r in rs {
+            last_read_stage[v] = last_read_stage[v].max(levels[r]);
+        }
+    }
+    for &o in &plan.outputs {
+        last_read_stage[o] = usize::MAX;
+    }
+    let collapsed: Vec<SlotStep> = plan
+        .nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, node)| match &node.kind {
+            PlanKind::Step { buffer, .. } => Some(SlotStep {
+                step: levels[i],
+                slot: *buffer,
+                last_use: last_read_stage[i],
+            }),
+            PlanKind::Const(_) => None,
+        })
+        .collect();
+    let proof = dataflow::check_slot_interference(&collapsed).map_err(SchedError::Interference)?;
+    // Defense in depth: RAW operands must be finalized in an earlier stage.
+    for e in &edges {
+        if levels[e.from] >= levels[e.to] {
+            return Err(SchedError::BackwardEdge(*e));
+        }
+    }
+
+    // Bucket steps into stages and run the profitability analysis.
+    let max_level = levels.iter().copied().max().unwrap_or(0);
+    let mut stages: Vec<Stage> = (0..max_level)
+        .map(|_| Stage {
+            steps: Vec::new(),
+            decision: pool::cost::Decision::Sequential,
+            flops: 0,
+            bytes: 0,
+        })
+        .collect();
+    for (i, node) in plan.nodes.iter().enumerate() {
+        if let PlanKind::Step { op, .. } = &node.kind {
+            let stage = &mut stages[levels[i] - 1];
+            stage.steps.push(i);
+            let c = plan.step_cost(op, node.shape);
+            stage.flops += c.flops;
+            stage.bytes += c.out_bytes as u64;
+        }
+    }
+    for stage in &mut stages {
+        stage.decision = stage_decision(plan, stage);
+    }
+
+    Ok(Schedule {
+        stages,
+        edges,
+        levels,
+        proof,
+    })
+}
+
+/// The profitability verdict for one stage: the calibrated oracle over the
+/// stage's modeled cost, with one static refinement — a stage whose work is
+/// dominated by a single contraction stays sequential, so the matmul
+/// kernel's own row-level fan-out (a much deeper source of parallelism)
+/// is not flattened into one outer task.
+fn stage_decision(plan: &TapePlan, stage: &Stage) -> pool::cost::Decision {
+    let items = stage.steps.len();
+    if items < 2 {
+        return pool::cost::Decision::Sequential;
+    }
+    let mut max_contraction: u64 = 0;
+    for &i in &stage.steps {
+        if let PlanKind::Step { op, .. } = &plan.nodes[i].kind {
+            if op_class(op) == StepClass::Contraction {
+                let c = plan.step_cost(op, plan.nodes[i].shape);
+                max_contraction = max_contraction.max(c.flops);
+            }
+        }
+    }
+    if max_contraction.saturating_mul(2) > stage.flops {
+        return pool::cost::Decision::Sequential;
+    }
+    pool::cost::decide(pool::cost::RegionCost {
+        items,
+        flops_per_item: stage.flops as f64 / items as f64,
+        bytes_per_item: stage.bytes as f64 / items as f64,
+    })
+}
+
+impl TapePlan {
+    /// Builds the verified static schedule for this plan — shorthand for
+    /// [`analyze`].
+    ///
+    /// # Errors
+    /// See [`analyze`].
+    pub fn schedule(&self) -> Result<Schedule, SchedError> {
+        analyze(self)
+    }
+
+    /// Replays the plan stage by stage under a verified [`Schedule`],
+    /// fanning parallel stages over the pool's disjoint `&mut` hand-offs.
+    /// Results are bit-identical to [`TapePlan::replay`] for any thread
+    /// count and any `PACE_SCHED` seed: each step reads only operands
+    /// finalized in earlier stages (RAW edges), never a slot overwritten in
+    /// its own stage (the interference proof), and writes only its own
+    /// taken-out destination buffer.
+    pub fn replay_scheduled(&self, sched: &Schedule, arena: &mut Arena) {
+        if arena.buffers.len() < self.n_buffers {
+            arena
+                .buffers
+                .resize_with(self.n_buffers, || Matrix::zeros(0, 0));
+        }
+        for stage in sched.stages() {
+            let fan_out = stage.decision.is_parallel()
+                && stage.steps.len() > 1
+                && !pool::in_worker()
+                && pool::threads() > 1;
+            if !fan_out {
+                for &i in &stage.steps {
+                    if let PlanKind::Step { op, buffer } = &self.nodes[i].kind {
+                        let mut dst =
+                            std::mem::replace(&mut arena.buffers[*buffer], Matrix::zeros(0, 0));
+                        self.eval_into(arena, op, &mut dst);
+                        arena.buffers[*buffer] = dst;
+                    }
+                }
+                continue;
+            }
+            // Take every destination out of the arena (slots are pairwise
+            // distinct within a stage — proved by the schedule), share the
+            // remaining arena read-only, and hand each task its disjoint
+            // chunk of (step, destination) pairs.
+            let mut outs: Vec<(usize, Matrix)> = stage
+                .steps
+                .iter()
+                .map(|&i| match &self.nodes[i].kind {
+                    PlanKind::Step { buffer, .. } => (
+                        i,
+                        std::mem::replace(&mut arena.buffers[*buffer], Matrix::zeros(0, 0)),
+                    ),
+                    PlanKind::Const(_) => unreachable!("stages hold only steps"),
+                })
+                .collect();
+            let grain = stage.decision.grain(outs.len());
+            let grid = pool::chunk_ranges(outs.len(), grain);
+            let shared: &Arena = arena;
+            pool::for_each_split(&mut outs, &grid, |_lo, chunk| {
+                for (i, dst) in chunk.iter_mut() {
+                    if let PlanKind::Step { op, .. } = &self.nodes[*i].kind {
+                        self.eval_into(shared, op, dst);
+                    }
+                }
+            });
+            for (i, m) in outs {
+                if let PlanKind::Step { buffer, .. } = &self.nodes[i].kind {
+                    arena.buffers[*buffer] = m;
+                }
+            }
+        }
+        pace_trace::REPLAY_NODE_VISITS.add(self.stats().steps_after as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::{optimize, OptStats, PlanNode};
+    use crate::{Graph, Var};
+
+    /// Hand-built plan with a pure WAR hazard: n3 reuses n1's slot but
+    /// reads only the constant, so *only* the WAR edge from n1's reader
+    /// (n2) keeps n3 out of n2's stage. Dropping WAR edges from the DAG
+    /// would let stage 2 run n2 (reading slot 0) concurrently with n3
+    /// (overwriting slot 0) and diverge.
+    fn war_plan() -> TapePlan {
+        let shape = (1, 2);
+        let nodes = vec![
+            PlanNode {
+                kind: PlanKind::Const(Matrix::row(&[1.0, 2.0])),
+                shape,
+            },
+            PlanNode {
+                kind: PlanKind::Step {
+                    op: Op::Neg(Var::from_index(0)),
+                    buffer: 0,
+                },
+                shape,
+            },
+            PlanNode {
+                kind: PlanKind::Step {
+                    op: Op::Neg(Var::from_index(1)),
+                    buffer: 1,
+                },
+                shape,
+            },
+            PlanNode {
+                kind: PlanKind::Step {
+                    op: Op::Neg(Var::from_index(0)),
+                    buffer: 0,
+                },
+                shape,
+            },
+        ];
+        TapePlan {
+            nodes,
+            outputs: vec![2, 3],
+            orig_outputs: vec![2, 3],
+            n_buffers: 2,
+            stats: OptStats::default(),
+        }
+    }
+
+    #[test]
+    fn seeded_war_slot_reuse_edge_is_present() {
+        let plan = war_plan();
+        let sched = analyze(&plan).expect("schedulable");
+        // The witness: the WAR edge n2 -> n3 must exist …
+        assert!(
+            sched.edges().contains(&DepEdge {
+                from: 2,
+                to: 3,
+                kind: EdgeKind::War
+            }),
+            "WAR edge from reader of previous slot tenant missing: {:?}",
+            sched.edges()
+        );
+        // … and it must actually delay n3 past n2's stage.
+        assert_eq!(sched.level(1), 1);
+        assert_eq!(sched.level(2), 2);
+        assert_eq!(
+            sched.level(3),
+            3,
+            "n3 must be ordered after n2 (the reader of slot 0's previous value)"
+        );
+        assert!(sched.edges().contains(&DepEdge {
+            from: 1,
+            to: 3,
+            kind: EdgeKind::Waw
+        }));
+    }
+
+    #[test]
+    fn interfering_plan_is_rejected() {
+        // n2 reads n1 out of the very slot it overwrites — unschedulable
+        // (and unsound for plain replay too; the static checker owns it).
+        let shape = (1, 2);
+        let nodes = vec![
+            PlanNode {
+                kind: PlanKind::Const(Matrix::row(&[1.0, 2.0])),
+                shape,
+            },
+            PlanNode {
+                kind: PlanKind::Step {
+                    op: Op::Neg(Var::from_index(0)),
+                    buffer: 0,
+                },
+                shape,
+            },
+            PlanNode {
+                kind: PlanKind::Step {
+                    op: Op::Neg(Var::from_index(1)),
+                    buffer: 0,
+                },
+                shape,
+            },
+        ];
+        let plan = TapePlan {
+            nodes,
+            outputs: vec![2],
+            orig_outputs: vec![2],
+            n_buffers: 1,
+            stats: OptStats::default(),
+        };
+        match analyze(&plan) {
+            Err(SchedError::Interference(v)) => {
+                assert_eq!(v[0].slot, 0);
+            }
+            other => panic!("expected interference rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn real_gradient_tape_schedules_and_matches_replay() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(
+            4,
+            3,
+            (0..12).map(|i| i as f32 * 0.17 - 1.0).collect(),
+        ));
+        let w = g.leaf(Matrix::from_vec(
+            3,
+            4,
+            (0..12).map(|i| i as f32 * 0.11 - 0.5).collect(),
+        ));
+        let h = g.matmul(x, w);
+        let s = g.sigmoid(h);
+        let t = g.tanh(h);
+        let joined = g.mul(s, t);
+        let loss = g.mean_all(joined);
+        let grads = g.grad(loss, &[x, w]);
+        let plan = optimize(&g, &[loss, grads[0], grads[1]], &[x, w], "test::sched");
+        let sched = plan.schedule().expect("clean plan schedules");
+        assert!(!sched.stages().is_empty());
+        assert_eq!(
+            sched.proof_stats().steps,
+            plan.stats().steps_after,
+            "proof must cover every step"
+        );
+
+        let mut seq = Arena::new();
+        plan.replay(&mut seq);
+        let reference: Vec<Vec<u32>> = (0..plan.num_outputs())
+            .map(|k| {
+                plan.output_value(&seq, k)
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect();
+
+        // Force a parallel-friendly cost model so fan-out paths execute.
+        pool::cost::set_constants(Some(pool::cost::CostConstants {
+            dispatch_ns: 100.0,
+            task_ns: 10.0,
+            flops_per_ns: 1.0,
+            bytes_per_ns: 1.0,
+            effective_parallelism: 8.0,
+        }));
+        let sched = plan.schedule().expect("schedules under parallel model");
+        for threads in [1usize, 4] {
+            pool::set_threads(threads);
+            let mut arena = Arena::new();
+            plan.replay_scheduled(&sched, &mut arena);
+            for (k, want) in reference.iter().enumerate() {
+                let got: Vec<u32> = plan
+                    .output_value(&arena, k)
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(&got, want, "output {k} diverged at threads={threads}");
+            }
+        }
+        pool::set_threads(0);
+        pool::cost::set_constants(None);
+    }
+
+    #[test]
+    fn op_classes_cover_cost_model_families() {
+        let a = Var::from_index(0);
+        assert_eq!(op_class(&Op::MatMul(a, a)), StepClass::Contraction);
+        assert_eq!(op_class(&Op::Sigmoid(a)), StepClass::Transcendental);
+        assert_eq!(op_class(&Op::SumAll(a)), StepClass::Reduction);
+        assert_eq!(op_class(&Op::Transpose(a)), StepClass::Movement);
+        assert_eq!(op_class(&Op::Add(a, a)), StepClass::Elementwise);
+    }
+}

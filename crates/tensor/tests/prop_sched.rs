@@ -1,0 +1,166 @@
+//! Property test for the static tape scheduler: on randomly built tapes
+//! (the same generator the optimizer property suite uses), the staged
+//! parallel replay must be **bit-identical** to the sequential replay —
+//! across thread counts and under adversarial `PACE_SCHED` seeds. A single
+//! flipped bit means a dependence edge (RAW, or a WAR/WAW slot-reuse edge)
+//! was dropped and a stage read or overwrote a live value.
+
+use pace_tensor::opt::{optimize, Arena};
+use pace_tensor::sched::analyze;
+use pace_tensor::{pool, Graph, Matrix, Var};
+use proptest::prelude::*;
+
+/// Applies one randomly selected, always-well-formed op to the chain.
+fn apply_op(g: &mut Graph, x: Var, pick: u8, all: &mut Vec<Var>) -> Var {
+    let (r, c) = g.shape(x);
+    let y = match pick % 16 {
+        0 => g.add(x, x),
+        1 => {
+            let prev = all[all.len() / 2];
+            if g.shape(prev) == (r, c) {
+                g.sub(x, prev)
+            } else {
+                g.neg(x)
+            }
+        }
+        2 => g.mul(x, x),
+        3 => {
+            let a = g.abs(x);
+            let d = g.add_scalar(a, 1.0);
+            g.div(x, d)
+        }
+        4 => g.sigmoid(x),
+        5 => g.tanh(x),
+        6 => {
+            let t = g.transpose(x);
+            g.matmul(x, t)
+        }
+        7 => {
+            let s = g.sum_all(x);
+            g.broadcast_scalar(s, r, c)
+        }
+        8 => {
+            let row = g.sum_rows(x);
+            let back = g.repeat_rows(row, r);
+            g.add(back, x)
+        }
+        9 => {
+            let col = g.sum_cols(x);
+            let back = g.repeat_cols(col, c);
+            g.mul(back, x)
+        }
+        10 => {
+            let row = g.mean_rows(x);
+            g.add_row(x, row)
+        }
+        11 => {
+            let col = g.sum_cols(x);
+            g.mul_col(x, col)
+        }
+        12 => g.concat_cols(&[x, x]),
+        13 => g.concat_rows(&[x, x]),
+        14 => {
+            if c > 1 {
+                g.slice_cols(x, 0, c - 1)
+            } else {
+                g.slice_rows(x, 0, r)
+            }
+        }
+        _ => {
+            let a = g.abs(x);
+            let shifted = g.add_scalar(a, 0.5);
+            g.ln(shifted)
+        }
+    };
+    all.push(y);
+    y
+}
+
+/// Random tape ending in a scalar loss, with first- and second-order
+/// gradients as extra outputs (the shapes PACE actually replays).
+fn random_grad_tape(r: usize, c: usize, seed_vals: &[f32], picks: &[u8]) -> (Graph, Var, Vec<Var>) {
+    let mut g = Graph::new();
+    let data: Vec<f32> = (0..r * c).map(|i| seed_vals[i % seed_vals.len()]).collect();
+    let leaf = g.leaf(Matrix::from_vec(r, c, data));
+    let mut all = vec![leaf];
+    let mut head = leaf;
+    for &p in picks {
+        head = apply_op(&mut g, head, p, &mut all);
+    }
+    let loss = g.sum_all(head);
+    let d1 = g.grad(loss, &[leaf])[0];
+    let d1_sum = g.sum_all(d1);
+    let d2 = g.grad(d1_sum, &[leaf])[0];
+    (g, leaf, vec![loss, d1, d2])
+}
+
+fn output_bits(plan: &pace_tensor::opt::TapePlan, arena: &Arena) -> Vec<Vec<u32>> {
+    (0..plan.num_outputs())
+        .map(|k| {
+            plan.output_value(arena, k)
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `replay_scheduled` ≡ `replay`, bit for bit, across {1, 4, 8} threads
+    /// and four adversarial `PACE_SCHED` seeds, under a cost model that
+    /// forces parallel stage decisions (so the fan-out path really runs).
+    #[test]
+    fn scheduled_replay_is_bit_identical_to_sequential(
+        r in 1usize..4,
+        c in 1usize..4,
+        seed_vals in prop::collection::vec(-1.5f32..1.5, 9),
+        picks in prop::collection::vec(0u8..=255, 1..10),
+    ) {
+        let (g, leaf, outputs) = random_grad_tape(r, c, &seed_vals, &picks);
+        let plan = optimize(&g, &outputs, &[leaf], "prop::sched");
+
+        // Reference: plain sequential replay, untouched cost model.
+        pool::cost::set_constants(None);
+        let mut seq = Arena::new();
+        plan.replay(&mut seq);
+        let reference = output_bits(&plan, &seq);
+
+        // Aggressively parallel model: every profitable-looking stage fans
+        // out, maximizing the chance a missing edge would diverge.
+        pool::cost::set_constants(Some(pool::cost::CostConstants {
+            dispatch_ns: 1.0,
+            task_ns: 1.0,
+            flops_per_ns: 1.0,
+            bytes_per_ns: 1.0,
+            effective_parallelism: 8.0,
+        }));
+        let sched = analyze(&plan);
+        prop_assert!(sched.is_ok(), "clean plan failed to schedule: {:?}", sched.err());
+        let sched = sched.unwrap();
+        prop_assert_eq!(sched.proof_stats().steps, plan.stats().steps_after);
+
+        for &threads in &[1usize, 4, 8] {
+            pool::set_threads(threads);
+            for &seed in &[1u64, 2, 0x5eed, 0xfeed_f00d] {
+                pool::race::set_sched(Some(seed));
+                let mut arena = Arena::new();
+                plan.replay_scheduled(&sched, &mut arena);
+                let got = output_bits(&plan, &arena);
+                prop_assert_eq!(
+                    &got,
+                    &reference,
+                    "scheduled replay diverged: threads={} seed={:#x} stages={}",
+                    threads,
+                    seed,
+                    sched.stages().len()
+                );
+            }
+        }
+        pool::race::set_sched(None);
+        pool::set_threads(0);
+        pool::cost::set_constants(None);
+    }
+}
