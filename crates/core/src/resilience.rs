@@ -168,8 +168,11 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Backoff (seconds) before attempt `attempt + 1`, with deterministic
-    /// jitter in `[0.5, 1.0)` of the exponential schedule.
-    fn backoff(&self, site: &str, attempt: u32) -> f64 {
+    /// jitter in `[0.5, 1.0)` of the exponential schedule. Public so the
+    /// latency-accounting regression tests can assert *exact* expected
+    /// virtual-clock sums (a wait cut short by the deadline must never be
+    /// charged).
+    pub fn backoff(&self, site: &str, attempt: u32) -> f64 {
         let exp = (self.base_backoff * f64::from(1u32 << attempt.min(16))).min(self.max_backoff);
         let mut h = self.seed ^ u64::from(attempt).wrapping_mul(0x9e3779b97f4a7c15);
         for b in site.bytes() {

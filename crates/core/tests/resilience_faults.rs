@@ -89,6 +89,114 @@ fn timeout_fault_is_retried_and_latency_is_visible() {
     assert!(oracle.virtual_seconds() >= 0.5);
 }
 
+// Latency-accounting regression: `explain_timed` sums the oracle-reported
+// seconds of every attempt plus the virtual clock (injected latencies +
+// backoff waits). Each component must be charged exactly once — in
+// particular, a timeout's injected latency lands on the virtual clock
+// only (the failed attempt reports no seconds), and the wrapper's own
+// bookkeeping adds nothing.
+#[test]
+fn explain_timed_charges_timeout_latency_and_backoff_exactly_once() {
+    let _g = lock();
+    let s = setup(51);
+    let victim = trained_victim(&s, 53);
+    let q = probe_query(&s);
+    let policy = RetryPolicy::default();
+    let w0 = policy.backoff("explain", 0);
+    install("timeout,site=explain,at=1,lat=0.25");
+    let oracle = ResilientOracle::new(&victim, policy);
+    let result = oracle.explain_timed(&q);
+    fault::install(None);
+    let (est, seconds) = result.expect("one timeout is absorbed by retry");
+    assert!(est.is_finite() && est >= 0.0);
+    let expected_virtual = 0.25 + w0;
+    assert_eq!(
+        oracle.virtual_seconds().to_bits(),
+        expected_virtual.to_bits(),
+        "virtual clock must be exactly one injected latency + one backoff, \
+         got {} vs {expected_virtual}",
+        oracle.virtual_seconds()
+    );
+    // The remainder is the successful attempt's real (wall-clock) seconds:
+    // non-negative and far smaller than the injected latency — if the
+    // 0.25 s timeout were double-counted, this margin would be blown.
+    let real_attempt = seconds - expected_virtual;
+    assert!(
+        (0.0..0.2).contains(&real_attempt),
+        "attempt time double-counted or negative: {real_attempt}"
+    );
+}
+
+// The interaction under test: when the deadline cuts a retry short, the
+// backoff wait that was *about to be* taken must not be charged to the
+// virtual clock (the probe gives up instead of sleeping).
+#[test]
+fn deadline_cut_retry_never_charges_the_forgone_backoff() {
+    let _g = lock();
+    let s = setup(55);
+    let victim = trained_victim(&s, 57);
+    let q = probe_query(&s);
+    let w0 = RetryPolicy::default().backoff("explain", 0);
+    // Deadline strictly between the injected latency and latency + first
+    // backoff: attempt 1 times out, the retry is cut short mid-decision.
+    let policy = RetryPolicy {
+        deadline: 0.5 + w0 * 0.5,
+        ..RetryPolicy::default()
+    };
+    install("timeout,site=explain,every=1,lat=0.5");
+    let oracle = ResilientOracle::new(&victim, policy);
+    let result = oracle.explain_timed(&q);
+    fault::install(None);
+    match result {
+        Err(ProbeError::Exhausted { site, attempts, .. }) => {
+            assert_eq!(site, "explain");
+            assert_eq!(attempts, 1, "the deadline cuts before the second attempt");
+        }
+        other => panic!("expected Exhausted, got {other:?}"),
+    }
+    assert_eq!(
+        oracle.virtual_seconds().to_bits(),
+        0.5f64.to_bits(),
+        "only the injected latency is charged — the forgone backoff is not, \
+         got {}",
+        oracle.virtual_seconds()
+    );
+    assert_eq!(oracle.stats().retries, 0, "no retry actually happened");
+}
+
+// Two timeouts with the deadline cutting the second backoff: the clock
+// carries both injected latencies and exactly the one wait that was taken.
+#[test]
+fn multi_retry_deadline_cut_accounts_each_component_once() {
+    let _g = lock();
+    let s = setup(59);
+    let victim = trained_victim(&s, 61);
+    let q = probe_query(&s);
+    let base = RetryPolicy::default();
+    let (w0, w1) = (base.backoff("explain", 0), base.backoff("explain", 1));
+    // Survives the first wait, dies mid-decision of the second.
+    let policy = RetryPolicy {
+        deadline: 0.3 + w0 + 0.3 + w1 * 0.5,
+        ..base
+    };
+    install("timeout,site=explain,every=1,lat=0.3");
+    let oracle = ResilientOracle::new(&victim, policy);
+    let result = oracle.explain_timed(&q);
+    fault::install(None);
+    match result {
+        Err(ProbeError::Exhausted { attempts, .. }) => assert_eq!(attempts, 2),
+        other => panic!("expected Exhausted after two attempts, got {other:?}"),
+    }
+    let expected = 0.3 + w0 + 0.3;
+    assert_eq!(
+        oracle.virtual_seconds().to_bits(),
+        expected.to_bits(),
+        "clock must be lat + taken-backoff + lat exactly, got {} vs {expected}",
+        oracle.virtual_seconds()
+    );
+    assert_eq!(oracle.stats().retries, 1, "exactly one backoff was taken");
+}
+
 #[test]
 fn error_fault_is_retried() {
     let _g = lock();

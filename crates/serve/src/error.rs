@@ -1,0 +1,99 @@
+//! Typed failure surface of the serving runtime.
+//!
+//! The contract: a well-formed request is *never* answered with an untyped
+//! panic or a silent hang. Either it gets an estimate (learned or fallback),
+//! or it gets exactly one of the [`ServeError`] variants below, chosen by
+//! the admission/batching state machine. Model hot-swap failures are a
+//! separate surface ([`SwapError`]) because they concern operators, not
+//! request callers — a rejected swap must be invisible to in-flight traffic.
+
+use std::fmt;
+
+/// Why a request was not answered with an estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The admission queue is at its configured cap and the degraded-path
+    /// budget is exhausted; the request was rejected instead of queued
+    /// unboundedly. `depth` is the queue depth observed at rejection.
+    Shed {
+        /// Admission-queue depth when the request was turned away.
+        depth: usize,
+    },
+    /// The request's deadline elapsed before a reply could be produced —
+    /// at admission, at batch formation, or at projected batch completion.
+    DeadlineExceeded {
+        /// The request's absolute deadline (virtual seconds).
+        deadline: f64,
+        /// Virtual time at which the miss was detected.
+        at: f64,
+    },
+    /// The learned model is out of service and no fallback estimator is
+    /// configured; the runtime has nothing safe to answer with.
+    Unhealthy,
+    /// The request is not well-formed against the dataset schema
+    /// (disconnected join pattern, predicate on an unknown attribute, or
+    /// reversed bounds); such requests are rejected at admission and do not
+    /// count against availability SLOs.
+    Malformed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Shed { depth } => {
+                write!(f, "request shed: admission queue at cap (depth {depth})")
+            }
+            Self::DeadlineExceeded { deadline, at } => {
+                write!(f, "deadline {deadline:.6}s exceeded at t={at:.6}s")
+            }
+            Self::Unhealthy => {
+                write!(f, "model unhealthy and no fallback estimator configured")
+            }
+            Self::Malformed => write!(f, "malformed request rejected at admission"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Why a candidate model snapshot was not swapped in.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SwapError {
+    /// The candidate has non-finite parameters (`params_finite` failed).
+    NonFiniteParams,
+    /// The candidate's median q-error on the pinned held-out probe set
+    /// exceeds the configured limit.
+    QualityRegression {
+        /// Median q-error the candidate scored on the pinned set.
+        median: f64,
+        /// The configured acceptance limit.
+        limit: f64,
+    },
+    /// This version already failed validation once; its per-version breaker
+    /// is open and it is rejected without re-validation.
+    VersionBanned {
+        /// The banned version.
+        version: u64,
+    },
+    /// Too many consecutive candidates failed validation; the update path's
+    /// circuit breaker is open until [`reset`](crate::SnapshotStore::reset_breaker).
+    BreakerOpen,
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonFiniteParams => write!(f, "candidate snapshot has non-finite parameters"),
+            Self::QualityRegression { median, limit } => write!(
+                f,
+                "candidate median q-error {median:.3} exceeds limit {limit:.3}"
+            ),
+            Self::VersionBanned { version } => {
+                write!(f, "version {version} previously failed validation")
+            }
+            Self::BreakerOpen => write!(f, "update circuit breaker is open"),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}

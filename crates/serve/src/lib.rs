@@ -1,0 +1,46 @@
+//! `pace-serve` — the overload-hardened serving runtime in front of the
+//! learned cardinality estimators.
+//!
+//! The estimators in `pace-ce` answer one-shot batch calls; a real
+//! optimizer's hot path instead sees a *stream* of concurrent estimate
+//! requests, models that are retrained and swapped while traffic flows,
+//! and load spikes that exceed capacity. This crate supplies the missing
+//! deployability layer, with robustness as the contract:
+//!
+//! * **Bounded batching** ([`Server`]): requests are admitted into a
+//!   bounded queue and coalesced into tensor batches executed on the
+//!   deterministic pool; the queue never grows past its cap.
+//! * **Typed load shedding** ([`ServeError`]): when the queue is at cap
+//!   and the degraded-path budget is spent, requests are rejected with
+//!   `Shed` — never hung, never silently dropped.
+//! * **Deadline propagation**: each request carries an absolute virtual
+//!   deadline, enforced at admission, batch formation, and projected
+//!   completion.
+//! * **Graceful degradation**: when the learned model is out of service,
+//!   well-formed requests are answered by the classical estimator
+//!   (`pace-engine`'s [`HistogramEstimator`](pace_engine::HistogramEstimator))
+//!   — an estimate, not an error.
+//! * **Atomic hot-swap** ([`SnapshotStore`]): candidate models are
+//!   shadow-validated (finite parameters + pinned-set q-error probe) and
+//!   installed with a single pointer store; failed validation rolls back
+//!   and trips a per-version circuit breaker.
+//!
+//! Everything is driven on a virtual clock, so a seeded request stream
+//! produces a bit-identical reply sequence at any `PACE_THREADS` — the
+//! chaos matrix (`overload`, `slow_consumer`, `bad_update` fault kinds)
+//! and the `xtask serve-report` gate rely on that.
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod loadgen;
+mod server;
+mod snapshot;
+
+pub use error::{ServeError, SwapError};
+pub use loadgen::{generate, total_duration, Phase, OVERLOAD_BURST};
+pub use server::{
+    Reply, ReplyRecord, Request, ServeConfig, ServeState, ServeSummary, Server, Source, SwapEvent,
+    SwapOutcome,
+};
+pub use snapshot::{pinned_from_encoded, ModelSnapshot, PinnedQuery, SnapshotStore};

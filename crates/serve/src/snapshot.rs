@@ -1,0 +1,377 @@
+//! Versioned model snapshots with shadow-validated atomic hot-swap.
+//!
+//! The serving runtime never trains in place: a new model arrives as a
+//! *candidate snapshot* carrying an operator-assigned version, is
+//! shadow-validated off to the side (finite parameters, then a median
+//! q-error probe on a pinned held-out query set), and only then replaces
+//! the active snapshot with a single pointer store. Readers hold an `Arc`
+//! clone, so requests that picked up the old snapshot finish on it —
+//! in-flight traffic never observes a half-swapped model.
+//!
+//! A failed validation *rolls back* (the active snapshot is untouched),
+//! trips a per-version circuit breaker (the same version is never
+//! re-validated), and counts toward a consecutive-failure breaker that
+//! closes the update path entirely until an operator resets it. The
+//! `bad_update` fault kind ([`pace_tensor::fault`]) corrupts a candidate's
+//! parameters just before validation, so the reject-and-roll-back path is
+//! exercised by the chaos matrix.
+
+use crate::error::SwapError;
+use pace_ce::{CeModel, EncodedWorkload};
+use pace_tensor::fault;
+use pace_workload::q_error;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// An immutable, versioned model the batcher serves from.
+pub struct ModelSnapshot {
+    /// Operator-assigned version label (monotonic by convention, not
+    /// enforced — the per-version breaker keys on this).
+    pub version: u64,
+    /// The validated model.
+    pub model: CeModel,
+}
+
+/// One held-out probe: an encoded query pinned with its true cardinality.
+#[derive(Clone, Debug)]
+pub struct PinnedQuery {
+    /// Encoded query row (the active encoder's layout).
+    pub enc: Vec<f32>,
+    /// True cardinality.
+    pub truth: f64,
+}
+
+/// Takes the first `n` queries of an encoded workload as the pinned
+/// validation set.
+pub fn pinned_from_encoded(data: &EncodedWorkload, n: usize) -> Vec<PinnedQuery> {
+    data.enc
+        .iter()
+        .zip(&data.ln_card)
+        .take(n)
+        .map(|(enc, &lt)| PinnedQuery {
+            enc: enc.clone(),
+            truth: f64::from(lt).exp(),
+        })
+        .collect()
+}
+
+/// Mutable swap-control state, held under one lock.
+struct SwapCtl {
+    banned: BTreeSet<u64>,
+    consecutive_failures: u32,
+    breaker_open: bool,
+}
+
+/// The store: one active snapshot behind a reader lock, swap control
+/// behind a second.
+pub struct SnapshotStore {
+    active: RwLock<Option<Arc<ModelSnapshot>>>,
+    ctl: Mutex<SwapCtl>,
+    pinned: Vec<PinnedQuery>,
+    qerr_limit: f64,
+    breaker_threshold: u32,
+}
+
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    match r {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl SnapshotStore {
+    /// An empty store (no active snapshot — the server degrades until the
+    /// first candidate validates). `qerr_limit` bounds the pinned-set median
+    /// q-error a candidate may score; after `breaker_threshold` consecutive
+    /// rejections the update path closes.
+    pub fn new(pinned: Vec<PinnedQuery>, qerr_limit: f64, breaker_threshold: u32) -> Self {
+        Self {
+            active: RwLock::new(None),
+            ctl: Mutex::new(SwapCtl {
+                banned: BTreeSet::new(),
+                consecutive_failures: 0,
+                breaker_open: false,
+            }),
+            pinned,
+            qerr_limit,
+            breaker_threshold: breaker_threshold.max(1),
+        }
+    }
+
+    /// The active snapshot, if any. Cloning the `Arc` is the whole read
+    /// path — a concurrent swap cannot invalidate it.
+    pub fn current(&self) -> Option<Arc<ModelSnapshot>> {
+        match self.active.read() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Version of the active snapshot, if any.
+    pub fn active_version(&self) -> Option<u64> {
+        self.current().map(|s| s.version)
+    }
+
+    /// Whether the consecutive-failure breaker is open.
+    pub fn breaker_open(&self) -> bool {
+        recover(self.ctl.lock()).breaker_open
+    }
+
+    /// Reopens the update path after the consecutive-failure breaker
+    /// tripped. Per-version bans stay: a version that failed validation
+    /// once is never retried.
+    pub fn reset_breaker(&self) {
+        let mut ctl = recover(self.ctl.lock());
+        ctl.breaker_open = false;
+        ctl.consecutive_failures = 0;
+    }
+
+    /// Median q-error of `model` on the pinned set (shadow probe only, no
+    /// state change). Non-finite estimates poison the median to infinity so
+    /// they can never pass the limit check.
+    pub fn shadow_median_qerr(&self, model: &CeModel) -> f64 {
+        if self.pinned.is_empty() {
+            return 1.0;
+        }
+        let encs: Vec<Vec<f32>> = self.pinned.iter().map(|p| p.enc.clone()).collect();
+        let ests = model.estimate_encoded_batch(&encs);
+        let mut errs: Vec<f64> = ests
+            .iter()
+            .zip(&self.pinned)
+            .map(|(&e, p)| {
+                if e.is_finite() {
+                    q_error(e, p.truth)
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect();
+        errs.sort_by(f64::total_cmp);
+        // Nearest-rank median.
+        errs[(errs.len() - 1) / 2]
+    }
+
+    /// Validates `candidate` and, on success, atomically swaps it in.
+    ///
+    /// The `bad_update` fault kind (site `serve-swap`) corrupts the
+    /// candidate's parameters before validation, exercising the rollback
+    /// path deterministically.
+    ///
+    /// # Errors
+    /// [`SwapError::BreakerOpen`] when too many consecutive candidates
+    /// failed; [`SwapError::VersionBanned`] when this version failed
+    /// before; [`SwapError::NonFiniteParams`] /
+    /// [`SwapError::QualityRegression`] when shadow validation rejects the
+    /// candidate — the active snapshot is left untouched (rollback).
+    pub fn try_swap(&self, version: u64, mut candidate: CeModel) -> Result<(), SwapError> {
+        {
+            let ctl = recover(self.ctl.lock());
+            if ctl.breaker_open {
+                pace_trace::SERVE_SWAPS_REJECTED.add(1);
+                return Err(SwapError::BreakerOpen);
+            }
+            if ctl.banned.contains(&version) {
+                pace_trace::SERVE_SWAPS_REJECTED.add(1);
+                return Err(SwapError::VersionBanned { version });
+            }
+        }
+        if fault::bad_update("serve-swap") {
+            corrupt_params(&mut candidate);
+        }
+        let verdict = {
+            let _span = pace_trace::span("serve::shadow-validate");
+            self.validate(&candidate)
+        };
+        match verdict {
+            Ok(()) => {
+                let snapshot = Arc::new(ModelSnapshot {
+                    version,
+                    model: candidate,
+                });
+                match self.active.write() {
+                    Ok(mut g) => *g = Some(snapshot),
+                    Err(poisoned) => *poisoned.into_inner() = Some(snapshot),
+                }
+                let mut ctl = recover(self.ctl.lock());
+                ctl.consecutive_failures = 0;
+                pace_trace::SERVE_SWAPS.add(1);
+                Ok(())
+            }
+            Err(e) => {
+                let mut ctl = recover(self.ctl.lock());
+                ctl.banned.insert(version);
+                ctl.consecutive_failures += 1;
+                if ctl.consecutive_failures >= self.breaker_threshold {
+                    ctl.breaker_open = true;
+                }
+                pace_trace::SERVE_SWAPS_REJECTED.add(1);
+                Err(e)
+            }
+        }
+    }
+
+    /// Break-glass install: swaps `model` in **without** shadow validation.
+    /// Exists for operator override and for chaos drills of the serving
+    /// side's own non-finite guard (with this architecture's sigmoid-
+    /// squashed output, only an unvalidated snapshot can emit NaN — a
+    /// validated one cannot). Normal updates go through [`try_swap`].
+    ///
+    /// [`try_swap`]: SnapshotStore::try_swap
+    pub fn force_install(&self, version: u64, model: CeModel) {
+        let snapshot = Arc::new(ModelSnapshot { version, model });
+        match self.active.write() {
+            Ok(mut g) => *g = Some(snapshot),
+            Err(poisoned) => *poisoned.into_inner() = Some(snapshot),
+        }
+        pace_trace::SERVE_SWAPS.add(1);
+    }
+
+    fn validate(&self, candidate: &CeModel) -> Result<(), SwapError> {
+        if !candidate.params_finite() {
+            return Err(SwapError::NonFiniteParams);
+        }
+        let median = self.shadow_median_qerr(candidate);
+        // A NaN median is a regression, not a pass.
+        if median.is_nan() || median > self.qerr_limit {
+            return Err(SwapError::QualityRegression {
+                median,
+                limit: self.qerr_limit,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Writes a NaN into the candidate's first parameter — the `bad_update`
+/// fault's corruption model (a torn or garbage incremental update).
+fn corrupt_params(model: &mut CeModel) {
+    let first = model.params().iter().next().map(|(id, _)| id);
+    if let Some(id) = first {
+        if let Some(slot) = model.params_mut().get_mut(id).data_mut().first_mut() {
+            *slot = f32::NAN;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_ce::{CeConfig, CeModelType};
+    use pace_data::{build, DatasetKind, Scale};
+    use pace_engine::Executor;
+    use pace_workload::{generate_queries, QueryEncoder, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Mutex as StdMutex;
+
+    /// The fault injector is process-global; swap tests that install specs
+    /// must not interleave.
+    static FAULT_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn lock() -> MutexGuard<'static, ()> {
+        match FAULT_LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn trained_setup(seed: u64) -> (CeModel, Vec<PinnedQuery>) {
+        let ds = build(DatasetKind::Dmv, Scale::tiny(), seed);
+        let exec = Executor::new(&ds);
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let spec = WorkloadSpec::single_table();
+        let labeled = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 160));
+        let data = EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &labeled);
+        let mut model = CeModel::new(CeModelType::Linear, &ds, CeConfig::quick(), seed + 2);
+        model.train(&data, &mut rng).expect("training converges");
+        (model, pinned_from_encoded(&data, 32))
+    }
+
+    #[test]
+    fn healthy_candidate_swaps_in_and_failed_candidate_rolls_back() {
+        let _g = lock();
+        fault::install(None);
+        let (model, pinned) = trained_setup(41);
+        let store = SnapshotStore::new(pinned, 1e6, 3);
+        assert!(store.current().is_none());
+        store.try_swap(1, model.clone()).expect("healthy candidate");
+        assert_eq!(store.active_version(), Some(1));
+
+        // A corrupted candidate is rejected; the active snapshot survives.
+        let mut bad = model.clone();
+        corrupt_params(&mut bad);
+        assert_eq!(store.try_swap(2, bad), Err(SwapError::NonFiniteParams));
+        assert_eq!(store.active_version(), Some(1), "rollback keeps v1");
+
+        // The failed version is banned without re-validation.
+        assert_eq!(
+            store.try_swap(2, model.clone()),
+            Err(SwapError::VersionBanned { version: 2 })
+        );
+    }
+
+    #[test]
+    fn quality_regression_is_rejected_by_the_pinned_probe() {
+        let _g = lock();
+        fault::install(None);
+        let (model, pinned) = trained_setup(43);
+        let honest_median = {
+            let probe = SnapshotStore::new(pinned.clone(), 1e6, 3);
+            probe.shadow_median_qerr(&model)
+        };
+        // A limit just below the model's own score must reject it.
+        let store = SnapshotStore::new(pinned, honest_median * 0.5, 3);
+        match store.try_swap(1, model) {
+            Err(SwapError::QualityRegression { median, limit }) => {
+                assert!(median > limit);
+            }
+            other => panic!("expected QualityRegression, got {other:?}"),
+        }
+        assert!(store.current().is_none());
+    }
+
+    #[test]
+    fn consecutive_failures_trip_the_update_breaker() {
+        let _g = lock();
+        fault::install(None);
+        let (model, pinned) = trained_setup(45);
+        let store = SnapshotStore::new(pinned, 1e6, 2);
+        for v in 10..12 {
+            let mut bad = model.clone();
+            corrupt_params(&mut bad);
+            assert_eq!(store.try_swap(v, bad), Err(SwapError::NonFiniteParams));
+        }
+        assert!(store.breaker_open());
+        assert_eq!(
+            store.try_swap(12, model.clone()),
+            Err(SwapError::BreakerOpen)
+        );
+        store.reset_breaker();
+        store
+            .try_swap(12, model)
+            .expect("breaker reset reopens swaps");
+        assert_eq!(store.active_version(), Some(12));
+    }
+
+    #[test]
+    fn bad_update_fault_corrupts_the_candidate_before_validation() {
+        let _g = lock();
+        let (model, pinned) = trained_setup(47);
+        let store = SnapshotStore::new(pinned, 1e6, 5);
+        fault::install(Some(
+            fault::FaultSpec::parse("bad_update,site=serve-swap,at=1").expect("valid spec"),
+        ));
+        let first = store.try_swap(1, model.clone());
+        let second = store.try_swap(2, model);
+        fault::install(None);
+        assert_eq!(
+            first,
+            Err(SwapError::NonFiniteParams),
+            "fault fires on the first swap attempt"
+        );
+        assert_eq!(second, Ok(()), "fault is one-shot; next candidate passes");
+        assert_eq!(store.active_version(), Some(2));
+    }
+}

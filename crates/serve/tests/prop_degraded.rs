@@ -1,0 +1,144 @@
+//! Property: every response the service produces under shedding or
+//! degradation — the fallback-estimator path — is finite and within the
+//! classical estimator's documented bounds (`[0, f64::MAX]`), across
+//! seeded `PACE_FAULTS` overload scenarios. Rejections are always typed;
+//! the queue never exceeds its cap; no request is silently dropped.
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_data::{build, Dataset, DatasetKind, Scale};
+use pace_engine::{Executor, HistogramEstimator};
+use pace_serve::{
+    pinned_from_encoded, Phase, PinnedQuery, ServeConfig, ServeError, Server, Source,
+};
+use pace_tensor::fault::{self, FaultSpec};
+use pace_workload::{generate_queries, Query, QueryEncoder, WorkloadSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Fault injection is process-global; property cases must not interleave.
+fn lock() -> MutexGuard<'static, ()> {
+    static FAULT_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match FAULT_LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+struct Setup {
+    ds: Dataset,
+    model: CeModel,
+    /// NaN params: unreachable through validated swaps, force-installed to
+    /// drill the per-item non-finite fallback replacement path.
+    garbage: CeModel,
+    pinned: Vec<PinnedQuery>,
+    pool: Vec<Query>,
+}
+
+fn setup() -> &'static Setup {
+    static SETUP: OnceLock<Setup> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let ds = build(DatasetKind::Dmv, Scale::tiny(), 211);
+        let exec = Executor::new(&ds);
+        let mut rng = StdRng::seed_from_u64(212);
+        let spec = WorkloadSpec::single_table();
+        let labeled = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 160));
+        let data = EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &labeled);
+        let mut model = CeModel::new(CeModelType::Linear, &ds, CeConfig::quick(), 213);
+        model.train(&data, &mut rng).expect("training converges");
+        let mut garbage = model.clone();
+        let first = garbage
+            .params()
+            .iter()
+            .next()
+            .map(|(id, _)| id)
+            .expect("model has params");
+        for v in garbage.params_mut().get_mut(first).data_mut() {
+            *v = f32::NAN;
+        }
+        let pool: Vec<Query> = labeled.iter().take(24).map(|lq| lq.query.clone()).collect();
+        Setup {
+            pinned: pinned_from_encoded(&data, 24),
+            ds,
+            model,
+            garbage,
+            pool,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Seeded overload (burst faults + a rate beyond service capacity)
+    /// against randomized caps and budgets: everything served is in
+    /// bounds, everything rejected is typed, the queue stays bounded.
+    #[test]
+    fn degraded_responses_are_finite_and_in_bounds(
+        fault_seed in 0u64..1000,
+        burst_every in 10u64..80,
+        rate in 1500.0f64..6000.0,
+        queue_cap in 8usize..48,
+        fallback_burst in 2.0f64..16.0,
+        deadline in 0.02f64..0.3,
+        unhealthy_model in any::<bool>(),
+    ) {
+        let _guard = lock();
+        let s = setup();
+        fault::install(Some(
+            FaultSpec::parse(&format!(
+                "overload,site=serve-admit,every={burst_every};seed={fault_seed}"
+            ))
+            .expect("valid spec"),
+        ));
+        let cfg = ServeConfig {
+            queue_cap,
+            fallback_burst,
+            ..ServeConfig::default()
+        };
+        let fallback = HistogramEstimator::build(&s.ds, 32);
+        let mut srv = Server::new(cfg, s.ds.schema.clone(), s.pinned.clone(), Some(fallback));
+        srv.try_swap(1, s.model.clone()).expect("initial swap");
+        if unhealthy_model {
+            // Break-glass install of a NaN snapshot: every learned output
+            // must be replaced by a fallback estimate, never served.
+            srv.snapshots().force_install(2, s.garbage.clone());
+        }
+        let phases = [Phase { name: "overload", duration: 0.5, rate }];
+        let requests = pace_serve::generate(&phases, &s.pool, fault_seed ^ 0x9e37, deadline, 0);
+        let expected = requests.len();
+        let replies = srv.run(requests, vec![]);
+        fault::install(None);
+
+        prop_assert_eq!(replies.len(), expected, "no request silently dropped");
+        let mut fallback_replies = 0usize;
+        for r in &replies {
+            match &r.outcome {
+                Ok(reply) => {
+                    prop_assert!(
+                        reply.estimate.is_finite(),
+                        "non-finite estimate served: {}", reply.estimate
+                    );
+                    prop_assert!((0.0..=f64::MAX).contains(&reply.estimate));
+                    prop_assert!(reply.completed_at >= r.arrival);
+                    if reply.source == Source::Fallback {
+                        fallback_replies += 1;
+                    }
+                }
+                Err(ServeError::Shed { depth }) => prop_assert!(*depth <= queue_cap),
+                Err(ServeError::DeadlineExceeded { deadline, at }) => {
+                    prop_assert!(at >= deadline);
+                }
+                Err(other) => {
+                    prop_assert!(false, "untyped/unexpected rejection: {other:?}");
+                }
+            }
+        }
+        prop_assert!(
+            fallback_replies > 0,
+            "overload past capacity must exercise the degraded path"
+        );
+        prop_assert!(srv.summary().max_queue_depth <= queue_cap);
+    }
+}

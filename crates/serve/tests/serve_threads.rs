@@ -1,0 +1,99 @@
+//! Thread-count independence of the serving runtime, in its own binary so
+//! `pace_runtime::set_threads` cannot interleave with other suites.
+//!
+//! The server's event machine runs on virtual time and the tensor batches
+//! execute on the deterministic pool, so an identical seeded request
+//! stream — including overload bursts and a mid-stream hot-swap — must
+//! produce a bit-identical reply sequence at `PACE_THREADS=1` and `8`.
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_data::{build, DatasetKind, Scale};
+use pace_engine::{Executor, HistogramEstimator};
+use pace_serve::{pinned_from_encoded, Phase, ReplyRecord, ServeConfig, Server, SwapEvent};
+use pace_tensor::fault::{self, FaultSpec};
+use pace_workload::{generate_queries, QueryEncoder, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_at(threads: usize) -> Vec<ReplyRecord> {
+    pace_runtime::set_threads(threads);
+    fault::install(Some(
+        FaultSpec::parse(
+            "overload,site=serve-admit,every=40;slow_consumer,site=serve-batch,every=25,lat=0.01",
+        )
+        .expect("valid spec"),
+    ));
+    let ds = build(DatasetKind::Dmv, Scale::tiny(), 131);
+    let exec = Executor::new(&ds);
+    let mut rng = StdRng::seed_from_u64(132);
+    let spec = WorkloadSpec::single_table();
+    let labeled = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 160));
+    let data = EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &labeled);
+    let mut model = CeModel::new(CeModelType::Linear, &ds, CeConfig::quick(), 133);
+    model.train(&data, &mut rng).expect("training converges");
+    let pool: Vec<_> = labeled.iter().take(24).map(|lq| lq.query.clone()).collect();
+
+    let fallback = HistogramEstimator::build(&ds, 32);
+    let cfg = ServeConfig {
+        queue_cap: 32,
+        fallback_burst: 8.0,
+        fallback_rate: 40.0,
+        ..ServeConfig::default()
+    };
+    let mut srv = Server::new(
+        cfg,
+        ds.schema.clone(),
+        pinned_from_encoded(&data, 24),
+        Some(fallback),
+    );
+    srv.try_swap(1, model.clone()).expect("initial swap");
+    let phases = [
+        Phase {
+            name: "rated",
+            duration: 0.4,
+            rate: 400.0,
+        },
+        Phase {
+            name: "overload",
+            duration: 0.4,
+            rate: 2500.0,
+        },
+        Phase {
+            name: "recovery",
+            duration: 0.4,
+            rate: 400.0,
+        },
+    ];
+    let requests = pace_serve::generate(&phases, &pool, 37, 0.1, 0);
+    let swaps = vec![SwapEvent {
+        at: 0.9,
+        version: 2,
+        model,
+    }];
+    let replies = srv.run(requests, swaps);
+    fault::install(None);
+    replies
+}
+
+#[test]
+fn reply_sequence_is_bit_identical_at_1_and_8_threads() {
+    let a = run_at(1);
+    let b = run_at(8);
+    assert_eq!(a.len(), b.len(), "same number of reply records");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.id, y.id, "same completion order");
+        match (&x.outcome, &y.outcome) {
+            (Ok(rx), Ok(ry)) => {
+                assert_eq!(
+                    rx.estimate.to_bits(),
+                    ry.estimate.to_bits(),
+                    "estimate for id {} differs across thread counts",
+                    x.id
+                );
+                assert_eq!(rx.source, ry.source);
+                assert_eq!(rx.completed_at.to_bits(), ry.completed_at.to_bits());
+            }
+            (ex, ey) => assert_eq!(ex, ey, "typed outcome for id {} differs", x.id),
+        }
+    }
+}

@@ -21,7 +21,11 @@
 //!
 //! Kinds: `timeout`, `error`, `corrupt` (oracle-level, consumed through
 //! [`probe`]); `nan` (gradient corruption, [`poison_grads`]); `crash`
-//! (hard process exit, [`crash_point`]). Options:
+//! (hard process exit, [`crash_point`]); and the serving-shaped kinds
+//! consumed by `pace-serve` — `overload` (burst arrivals, [`overload`]),
+//! `slow_consumer` (the batch consumer stalls for `lat=` virtual seconds,
+//! [`slow_consumer`]), and `bad_update` (a candidate model snapshot is
+//! corrupted before validation, [`bad_update`]). Options:
 //!
 //! * `site=S` — only fire at sites whose label contains `S` (default: all);
 //! * `every=K` — fire on every `K`-th matching visit (deterministic);
@@ -57,6 +61,14 @@ pub enum FaultKind {
     NanGrad,
     /// The process dies mid-campaign (simulated `kill -9`).
     Crash,
+    /// A burst of extra arrivals hits the serving runtime's admission queue.
+    Overload,
+    /// The serving runtime's batch consumer stalls (extra `lat=` virtual
+    /// seconds per fired visit), so the admission queue backs up.
+    SlowConsumer,
+    /// A candidate model snapshot is corrupted before shadow validation —
+    /// the hot-swap path must reject and roll back.
+    BadUpdate,
 }
 
 impl FaultKind {
@@ -67,6 +79,9 @@ impl FaultKind {
             "corrupt" => Some(Self::Corrupt),
             "nan" | "nangrad" => Some(Self::NanGrad),
             "crash" => Some(Self::Crash),
+            "overload" => Some(Self::Overload),
+            "slow_consumer" | "slow" => Some(Self::SlowConsumer),
+            "bad_update" | "badupdate" => Some(Self::BadUpdate),
             _ => None,
         }
     }
@@ -79,6 +94,9 @@ impl FaultKind {
             Self::Corrupt => "corrupt",
             Self::NanGrad => "nan",
             Self::Crash => "crash",
+            Self::Overload => "overload",
+            Self::SlowConsumer => "slow_consumer",
+            Self::BadUpdate => "bad_update",
         }
     }
 }
@@ -305,14 +323,24 @@ impl FaultInjector {
     /// Consults entries of exactly `kind` (used for `nan` and `crash`)
     /// for a visit at `site`.
     pub fn fires(&mut self, kind: FaultKind, site: &str) -> bool {
-        let mut any = false;
+        self.fires_with_latency(kind, site).is_some()
+    }
+
+    /// Like [`Self::fires`], but returns the firing entry's `lat=` payload
+    /// (the first firing entry wins). Every matching entry's visit counter
+    /// advances whether or not an earlier entry already fired.
+    pub fn fires_with_latency(&mut self, kind: FaultKind, site: &str) -> Option<f64> {
+        let mut lat = None;
         for idx in 0..self.spec.entries.len() {
             if self.spec.entries[idx].kind != kind {
                 continue;
             }
-            any |= self.entry_fires(idx, site);
+            let fired = self.entry_fires(idx, site);
+            if fired && lat.is_none() {
+                lat = Some(self.spec.entries[idx].latency);
+            }
         }
-        any
+        lat
     }
 }
 
@@ -422,6 +450,48 @@ pub fn poison_grads(site: &str, grads: &mut [Matrix]) -> bool {
     fired
 }
 
+/// Serving-arrival hook: true when an `overload` burst is scheduled for
+/// this visit to `site`. The load generator responds by emitting a burst of
+/// extra arrivals at the same (virtual) instant.
+pub fn overload(site: &str) -> bool {
+    if disarmed() {
+        return false;
+    }
+    with_global(|inj| {
+        inj.as_mut()
+            .map(|i| i.fires(FaultKind::Overload, site))
+            .unwrap_or(false)
+    })
+}
+
+/// Serving-consumer hook: the extra virtual seconds (`lat=`, default 0.05)
+/// a `slow_consumer` fault charges this visit to `site`, if one fires. The
+/// batch executor adds this to its service time, backing up the admission
+/// queue.
+pub fn slow_consumer(site: &str) -> Option<f64> {
+    if disarmed() {
+        return None;
+    }
+    with_global(|inj| {
+        inj.as_mut()
+            .and_then(|i| i.fires_with_latency(FaultKind::SlowConsumer, site))
+    })
+}
+
+/// Hot-swap hook: true when a `bad_update` fault is scheduled for this visit
+/// to `site`. The serving runtime responds by corrupting the candidate
+/// snapshot *before* shadow validation — validation must then reject it.
+pub fn bad_update(site: &str) -> bool {
+    if disarmed() {
+        return false;
+    }
+    with_global(|inj| {
+        inj.as_mut()
+            .map(|i| i.fires(FaultKind::BadUpdate, site))
+            .unwrap_or(false)
+    })
+}
+
 /// Crash hook: when a `crash` fault is scheduled for this visit to `site`,
 /// exits the process with [`CRASH_EXIT_CODE`] — simulating `kill -9` at a
 /// chosen point. Callers place this *after* persisting state they expect a
@@ -444,6 +514,16 @@ pub fn crash_point(site: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Tests that install the process-global injector must not interleave.
+    static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+    fn install_lock() -> std::sync::MutexGuard<'static, ()> {
+        match INSTALL_LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
 
     #[test]
     fn parses_full_grammar() {
@@ -542,7 +622,57 @@ mod tests {
     }
 
     #[test]
+    fn serving_kinds_parse_and_fire_by_exact_kind() {
+        let spec = FaultSpec::parse(
+            "overload,site=serve-arrival,every=2;slow_consumer,site=serve-batch,at=1,lat=0.25;\
+             bad_update,site=serve-update,at=2",
+        )
+        .expect("valid serving spec");
+        assert_eq!(spec.entries[0].kind, FaultKind::Overload);
+        assert_eq!(spec.entries[1].kind, FaultKind::SlowConsumer);
+        assert_eq!(spec.entries[2].kind, FaultKind::BadUpdate);
+        let mut inj = FaultInjector::new(spec);
+        // Serving kinds are not oracle faults: probe() ignores them.
+        assert_eq!(inj.probe("serve-arrival"), None);
+        assert!(!inj.fires(FaultKind::Overload, "serve-arrival"));
+        assert!(inj.fires(FaultKind::Overload, "serve-arrival"), "every=2");
+        assert_eq!(
+            inj.fires_with_latency(FaultKind::SlowConsumer, "serve-batch"),
+            Some(0.25),
+            "slow_consumer carries its lat= payload"
+        );
+        assert_eq!(
+            inj.fires_with_latency(FaultKind::SlowConsumer, "serve-batch"),
+            None,
+            "at=1 fires once"
+        );
+        assert!(!inj.fires(FaultKind::BadUpdate, "serve-update"));
+        assert!(inj.fires(FaultKind::BadUpdate, "serve-update"), "at=2");
+    }
+
+    #[test]
+    fn serving_hooks_consult_the_global_injector() {
+        let _g = install_lock();
+        install(Some(
+            FaultSpec::parse(
+                "overload,site=hook-arrival,at=1;slow,site=hook-batch,at=1,lat=0.5;\
+                 badupdate,site=hook-update,at=1",
+            )
+            .expect("spec with aliases"),
+        ));
+        assert!(!overload("hook-other"), "site filter scopes the burst");
+        assert!(overload("hook-arrival"));
+        assert_eq!(slow_consumer("hook-batch"), Some(0.5));
+        assert!(bad_update("hook-update"));
+        install(None);
+        assert!(!overload("hook-arrival"));
+        assert_eq!(slow_consumer("hook-batch"), None);
+        assert!(!bad_update("hook-update"));
+    }
+
+    #[test]
     fn poison_grads_writes_nan_after_install() {
+        let _g = install_lock();
         install(Some(
             FaultSpec::parse("nan,at=1,site=poison-test").expect("spec"),
         ));

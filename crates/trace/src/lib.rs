@@ -554,6 +554,25 @@ pub static BREAKER_TRIPS: Counter = Counter::new("breaker_trips");
 /// attack loops.
 pub static CHECKPOINT_ROLLBACKS: Counter = Counter::new("checkpoint_rollbacks");
 
+/// Requests admitted to (or rejected by) the `pace-serve` runtime.
+pub static SERVE_REQUESTS: Counter = Counter::new("serve_requests");
+/// Requests rejected with a typed `Shed` error (queue at cap, fallback
+/// budget exhausted).
+pub static SERVE_SHED: Counter = Counter::new("serve_shed");
+/// Requests served by the classical fallback estimator (degraded path).
+pub static SERVE_FALLBACK: Counter = Counter::new("serve_fallback");
+/// Requests that missed their deadline (at admission or batch formation).
+pub static SERVE_DEADLINE_MISSES: Counter = Counter::new("serve_deadline_misses");
+/// Tensor batches executed by the serving runtime.
+pub static SERVE_BATCHES: Counter = Counter::new("serve_batches");
+/// Model snapshots atomically swapped in after shadow validation.
+pub static SERVE_SWAPS: Counter = Counter::new("serve_swaps");
+/// Candidate snapshots rejected by shadow validation and rolled back.
+pub static SERVE_SWAPS_REJECTED: Counter = Counter::new("serve_swaps_rejected");
+/// Non-finite learned estimates replaced by the fallback estimator before
+/// being served (the zero-non-finite-replies invariant at work).
+pub static SERVE_NONFINITE_REPLACED: Counter = Counter::new("serve_nonfinite_replaced");
+
 /// Tasks pulled per pool worker within one parallel region — the chunk
 /// utilization distribution across `PACE_THREADS` workers. Inline regions
 /// (sequential pool, nested region on a worker, trivial fan-out) are *not*
@@ -567,8 +586,16 @@ pub static POOL_INLINE_TASKS: Histogram = Histogram::new("pool_inline_tasks");
 /// Oracle backoff waits, in virtual microseconds.
 pub static BACKOFF_VIRTUAL_US: Histogram = Histogram::new("backoff_virtual_us");
 
+/// End-to-end request latency through the serving runtime, in virtual
+/// microseconds (admission to reply).
+pub static SERVE_LATENCY_US: Histogram = Histogram::new("serve_latency_us");
+/// Admission-queue depth sampled at every enqueue.
+pub static SERVE_QUEUE_DEPTH: Histogram = Histogram::new("serve_queue_depth");
+/// Sizes of the tensor batches the serving runtime executed.
+pub static SERVE_BATCH_SIZE: Histogram = Histogram::new("serve_batch_size");
+
 /// Every registered counter, in emission order.
-pub static COUNTERS: [&Counter; 8] = [
+pub static COUNTERS: [&Counter; 16] = [
     &MATMUL_FLOPS,
     &REPLAY_NODE_VISITS,
     &POOL_TASKS,
@@ -577,13 +604,24 @@ pub static COUNTERS: [&Counter; 8] = [
     &ORACLE_DEGRADED,
     &BREAKER_TRIPS,
     &CHECKPOINT_ROLLBACKS,
+    &SERVE_REQUESTS,
+    &SERVE_SHED,
+    &SERVE_FALLBACK,
+    &SERVE_DEADLINE_MISSES,
+    &SERVE_BATCHES,
+    &SERVE_SWAPS,
+    &SERVE_SWAPS_REJECTED,
+    &SERVE_NONFINITE_REPLACED,
 ];
 
 /// Every registered histogram, in emission order.
-pub static HISTOGRAMS: [&Histogram; 3] = [
+pub static HISTOGRAMS: [&Histogram; 6] = [
     &POOL_CHUNKS_PER_WORKER,
     &POOL_INLINE_TASKS,
     &BACKOFF_VIRTUAL_US,
+    &SERVE_LATENCY_US,
+    &SERVE_QUEUE_DEPTH,
+    &SERVE_BATCH_SIZE,
 ];
 
 /// `(name, value)` snapshot of every registered counter.

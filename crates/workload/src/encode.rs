@@ -151,7 +151,7 @@ mod tests {
             .attributes()
             .iter()
             .position(|&a| a == (cust, acct_col))
-            .unwrap();
+            .expect("customer account column is an encoded attribute");
         assert_eq!(v[enc.num_tables() + 2 * i], 0.0);
         assert_eq!(v[enc.num_tables() + 2 * i + 1], 1.0);
     }

@@ -167,6 +167,12 @@ mod tests {
             ],
         );
         assert_eq!(q.predicates_on(1).count(), 1);
-        assert_eq!(q.predicates_on(0).next().unwrap().hi, 1);
+        assert_eq!(
+            q.predicates_on(0)
+                .next()
+                .expect("table 0 has a predicate")
+                .hi,
+            1
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Workspace maintenance tasks:
-//! `cargo run -p xtask -- <lint|tape-report|trace-report|chaos|determinism|race-report>`.
+//! `cargo run -p xtask --
+//! <lint|tape-report|trace-report|chaos|determinism|race-report|sched-report|serve-report>`.
 //!
 //! # `lint` — source-level checks the compiler cannot express
 //!
@@ -16,6 +17,8 @@
 //! 2. **No `unwrap()` in library code** — panics in the library crates must
 //!    carry context (`expect`) or be handled; bare `.unwrap()` is allowed
 //!    only under `#[cfg(test)]`, in `tests/`, benches, and this xtask.
+//!    `crates/workload` is held to the stricter form — its `#[cfg(test)]`
+//!    modules are scanned too, after two bare unwraps shipped there.
 //! 3. **No panics on probe/IO results in the campaign runtime** — in
 //!    `crates/core` and `crates/ce` library code, oracle probes
 //!    (`explain`/`count`/`run_queries`), training results, and
@@ -59,8 +62,12 @@
 //! recovery contract: absorbed faults (timeout/error/corrupt retries,
 //! crash + resume) must reproduce the fault-free run **bit-identically**;
 //! NaN-gradient faults must still complete with finite results; a hard-down
-//! oracle must fail with a typed error, not a panic. See
-//! `pace_tensor::fault` for the spec grammar.
+//! oracle must fail with a typed error, not a panic. The serving fault
+//! kinds (`overload`, `slow_consumer`, `bad_update`) run in-process
+//! against the [`pace_serve`] runtime: each scenario executes twice under
+//! the same spec and must be bit-identical, every rejection must be typed,
+//! and a corrupted hot-swap must be rejected with live traffic unharmed.
+//! See `pace_tensor::fault` for the spec grammar.
 //!
 //! # `tape-report` — static statistics of the real tapes
 //!
@@ -105,6 +112,23 @@
 //! must cost about one relaxed load, ≤ 1% of a matmul/count fan-out) and
 //! writes `BENCH_race.json` at the workspace root.
 //!
+//! # `serve-report` — the serving-runtime SLO gate
+//!
+//! Drives a seeded open-loop load generator through the [`pace_serve`]
+//! runtime across five virtual-time phases — ramp → rated → 2× overload
+//! (the armed `overload` fault adds same-instant admission bursts on top
+//! of a doubled rate) → a swap window in which a corrupted v2 snapshot is
+//! rejected mid-traffic and a clean v3 lands → recovery — and gates on the
+//! serving SLOs: the reply sequence must be bit-identical across repeated
+//! runs and across `PACE_THREADS` 1 vs 8; every served estimate must be
+//! finite and in `[0, f64::MAX]`; rated and recovery traffic must see zero
+//! rejections and p99 latency within budget; overload must produce typed
+//! sheds with the admission queue bounded by its cap; the bad update must
+//! be rejected (`NonFiniteParams`) with zero failed well-formed requests
+//! in the swap window. Writes `BENCH_serve.json` (per-phase latency
+//! percentiles, shed rates, a latency histogram, and the swap log) at the
+//! workspace root.
+//!
 //! # `sched-report` — the static-scheduler gate
 //!
 //! Builds the real tapes (CE training step, attack hypergradient at `K = 1`
@@ -129,16 +153,22 @@ use pace_ce::{
 };
 use pace_core::attack::build_hypergradient_tape;
 use pace_core::{run_campaign, AttackMethod, AttackerKnowledge, PipelineConfig, Victim};
-use pace_data::{build, DatasetKind, Scale};
-use pace_engine::Executor;
+use pace_data::{build, Dataset, DatasetKind, Scale};
+use pace_engine::{Executor, HistogramEstimator};
+use pace_serve::{
+    pinned_from_encoded, Phase, PinnedQuery, ReplyRecord, Request, ServeConfig, ServeError,
+    ServeSummary, Server, Source, SwapError, SwapEvent, SwapOutcome,
+};
+use pace_tensor::fault::{self, FaultSpec};
 use pace_tensor::trace;
 use pace_tensor::{Graph, Matrix, Var};
-use pace_workload::{generate_queries, QErrorSummary, QueryEncoder, WorkloadSpec};
+use pace_workload::{generate_queries, QErrorSummary, Query, QueryEncoder, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 fn main() -> ExitCode {
@@ -151,10 +181,12 @@ fn main() -> ExitCode {
         "determinism" => determinism(),
         "race-report" => race_report(),
         "sched-report" => sched_report(),
+        "serve-report" => serve_report(),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- \
-                 <lint|tape-report|trace-report|chaos|determinism|race-report|sched-report>"
+                 <lint|tape-report|trace-report|chaos|determinism|race-report|sched-report\
+                 |serve-report>"
             );
             ExitCode::FAILURE
         }
@@ -938,18 +970,34 @@ fn check_no_unwrap(root: &Path, failures: &mut Vec<String>) {
             continue;
         }
         let src = read(root, &rel.to_string_lossy());
-        for (line_no, line) in strip_test_modules(&src) {
-            let code = line.split("//").next().unwrap_or(line);
-            if code.contains(".unwrap()") {
-                failures.push(format!(
-                    "{}:{}: `.unwrap()` in library code — use `expect` with context or \
-                     handle the error",
-                    rel.display(),
-                    line_no
-                ));
-            }
+        failures.extend(unwrap_violations(&rel, &src));
+    }
+}
+
+/// Bare-`.unwrap()` violations in one file. Most crates get the rule on
+/// library code only (`#[cfg(test)]` items are stripped); the `workload`
+/// crate is scanned in full, including its test modules — bare unwraps
+/// crept back in through exactly that gap once.
+fn unwrap_violations(rel: &Path, src: &str) -> Vec<String> {
+    let full_coverage = rel.to_string_lossy().starts_with("crates/workload/");
+    let lines: Vec<(usize, &str)> = if full_coverage {
+        src.lines().enumerate().map(|(i, l)| (i + 1, l)).collect()
+    } else {
+        strip_test_modules(src)
+    };
+    let mut out = Vec::new();
+    for (line_no, line) in lines {
+        let code = line.split("//").next().unwrap_or(line);
+        if code.contains(".unwrap()") {
+            out.push(format!(
+                "{}:{}: `.unwrap()` in library code — use `expect` with context or \
+                 handle the error",
+                rel.display(),
+                line_no
+            ));
         }
     }
+    out
 }
 
 fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
@@ -1455,7 +1503,7 @@ impl Fnv {
 /// / 40 test queries) from scratch — victim training included, so every
 /// parallel kernel sits under the active schedule — and returns its
 /// bit-exact fingerprint.
-fn demo_campaign_digest(ds: &pace_data::Dataset, work: &Path, tag: &str) -> Result<u64, String> {
+fn demo_campaign_digest(ds: &Dataset, work: &Path, tag: &str) -> Result<u64, String> {
     let exec = Executor::new(ds);
     let spec = WorkloadSpec {
         max_join_tables: 3,
@@ -2283,7 +2331,7 @@ fn chaos_campaign_resuming(manifest: &Path, faults: &str, max_runs: u32) -> (Cha
     let mut crashes = 0;
     for _ in 0..max_runs {
         let run = chaos_campaign_once(manifest, Some(faults));
-        if run.code == pace_tensor::fault::CRASH_EXIT_CODE {
+        if run.code == fault::CRASH_EXIT_CODE {
             crashes += 1;
             continue;
         }
@@ -2394,6 +2442,25 @@ fn chaos() -> ExitCode {
         }
     }
 
+    // Serving kinds: in-process drills of the `pace-serve` runtime (the
+    // campaign binary has no serving path). Each scenario runs twice under
+    // the same spec and must be bit-identical; every rejection must be
+    // typed; a corrupted hot-swap must be rejected with traffic unharmed.
+    for (kind, spec) in [
+        ("overload", "overload,site=serve-admit,every=25"),
+        (
+            "slow_consumer",
+            "slow_consumer,site=serve-batch,every=4,lat=0.02",
+        ),
+        ("bad_update", "bad_update,site=serve-swap,at=1"),
+    ] {
+        println!("chaos: serve {kind} ({spec})...");
+        match serve_chaos_scenario(kind, spec) {
+            Ok(note) => println!("chaos: serve {kind}: {note}"),
+            Err(e) => failures.push(format!("serve {kind}: {e}")),
+        }
+    }
+
     let _ = std::fs::remove_dir_all(&dir);
     if failures.is_empty() {
         println!("xtask chaos: full fault matrix OK");
@@ -2409,6 +2476,734 @@ fn chaos() -> ExitCode {
 
 fn last_line(s: &str) -> &str {
     s.lines().last().unwrap_or("")
+}
+
+// ---------------------------------------------------------------------------
+// serve-report — the serving-runtime SLO gate
+// ---------------------------------------------------------------------------
+
+/// Deadline budget attached to every generated request (virtual seconds).
+const SERVE_DEADLINE: f64 = 0.1;
+
+/// The drill's load shape. The default config's service capacity is about
+/// 1080 req/s, so 600 req/s is comfortably rated; the overload phase
+/// doubles the rate and additionally arms the `overload` fault, whose
+/// same-instant admission bursts push the offered load to roughly 2×
+/// capacity. The two swap events (corrupted v2, clean v3) land inside the
+/// swap-window phase, after the overload backlog has drained.
+fn serve_phases() -> [Phase; 5] {
+    [
+        Phase {
+            name: "ramp",
+            duration: 0.5,
+            rate: 300.0,
+        },
+        Phase {
+            name: "rated",
+            duration: 1.0,
+            rate: 600.0,
+        },
+        Phase {
+            name: "overload",
+            duration: 1.5,
+            rate: 1200.0,
+        },
+        Phase {
+            name: "swap-window",
+            duration: 1.0,
+            rate: 600.0,
+        },
+        Phase {
+            name: "recovery",
+            duration: 1.0,
+            rate: 600.0,
+        },
+    ]
+}
+
+/// Shared dataset/model/workload for the serving drills; model training
+/// dominates the setup cost, so it runs once per process.
+struct ServeFixture {
+    ds: Dataset,
+    model: CeModel,
+    pinned: Vec<PinnedQuery>,
+    pool: Vec<Query>,
+}
+
+fn serve_fixture() -> &'static ServeFixture {
+    static FIXTURE: OnceLock<ServeFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ds = build(DatasetKind::Dmv, Scale::tiny(), 601);
+        let exec = Executor::new(&ds);
+        let mut rng = StdRng::seed_from_u64(602);
+        let labeled = exec.label_nonzero(generate_queries(
+            &ds,
+            &WorkloadSpec::single_table(),
+            &mut rng,
+            200,
+        ));
+        let data = EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &labeled);
+        let mut model = CeModel::new(CeModelType::Linear, &ds, CeConfig::quick(), 603);
+        model
+            .train(&data, &mut rng)
+            .expect("serve fixture model trains");
+        let pool = labeled.iter().take(32).map(|lq| lq.query.clone()).collect();
+        ServeFixture {
+            pinned: pinned_from_encoded(&data, 24),
+            ds,
+            model,
+            pool,
+        }
+    })
+}
+
+/// Everything one serving drill produced.
+struct DrillRun {
+    requests: usize,
+    records: Vec<ReplyRecord>,
+    summary: ServeSummary,
+    swaps: Vec<SwapOutcome>,
+    active: Option<u64>,
+}
+
+/// Runs the full five-phase drill at `threads` pool threads. Faults are
+/// scoped: the admission `overload` bursts are armed only while the
+/// overload phase's arrivals are generated, and `bad_update` is armed for
+/// the in-flight swaps (it fires once, corrupting v2; v3 passes clean).
+fn serve_drill(threads: usize) -> DrillRun {
+    use pace_tensor::pool;
+    let fx = serve_fixture();
+    pool::set_threads(threads);
+    fault::install(None);
+    let mut srv = Server::new(
+        ServeConfig::default(),
+        fx.ds.schema.clone(),
+        fx.pinned.clone(),
+        Some(HistogramEstimator::build(&fx.ds, 32)),
+    );
+    srv.try_swap(1, fx.model.clone())
+        .expect("initial snapshot validates");
+
+    let mut requests: Vec<Request> = Vec::new();
+    let mut offset = 0.0;
+    for (i, ph) in serve_phases().iter().enumerate() {
+        let spec = (ph.name == "overload").then(|| {
+            FaultSpec::parse("overload,site=serve-admit,every=30").expect("valid overload spec")
+        });
+        fault::install(spec);
+        let mut chunk = pace_serve::generate(
+            std::slice::from_ref(ph),
+            &fx.pool,
+            700 + i as u64,
+            SERVE_DEADLINE,
+            requests.len() as u64,
+        );
+        for r in &mut chunk {
+            r.arrival += offset;
+            r.deadline += offset;
+        }
+        offset += ph.duration;
+        requests.append(&mut chunk);
+    }
+
+    fault::install(Some(
+        FaultSpec::parse("bad_update,site=serve-swap,at=1").expect("valid bad_update spec"),
+    ));
+    let swaps = vec![
+        SwapEvent {
+            at: 3.5,
+            version: 2,
+            model: fx.model.clone(),
+        },
+        SwapEvent {
+            at: 3.8,
+            version: 3,
+            model: fx.model.clone(),
+        },
+    ];
+    let n = requests.len();
+    let records = srv.run(requests, swaps);
+    fault::install(None);
+    DrillRun {
+        requests: n,
+        records,
+        summary: srv.summary().clone(),
+        swaps: srv.swap_log().to_vec(),
+        active: srv.snapshots().active_version(),
+    }
+}
+
+/// First divergence between two reply sequences (bit-level on floats), or
+/// `None` when identical.
+fn records_diverge(a: &[ReplyRecord], b: &[ReplyRecord]) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!("lengths differ: {} vs {}", a.len(), b.len()));
+    }
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let same = x.id == y.id
+            && x.arrival.to_bits() == y.arrival.to_bits()
+            && match (&x.outcome, &y.outcome) {
+                (Ok(rx), Ok(ry)) => {
+                    rx.estimate.to_bits() == ry.estimate.to_bits()
+                        && rx.source == ry.source
+                        && rx.completed_at.to_bits() == ry.completed_at.to_bits()
+                }
+                (Err(ex), Err(ey)) => ex == ey,
+                _ => false,
+            };
+        if !same {
+            return Some(format!(
+                "record {i} (id {}) differs: {:?} vs {:?}",
+                x.id, x.outcome, y.outcome
+            ));
+        }
+    }
+    None
+}
+
+/// Per-phase serving statistics, bucketed by request arrival time.
+struct ServePhaseStats {
+    name: &'static str,
+    requests: usize,
+    ok: usize,
+    learned: usize,
+    fallback: usize,
+    shed: usize,
+    deadline_missed: usize,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+fn serve_phase_stats(records: &[ReplyRecord]) -> Vec<ServePhaseStats> {
+    let mut out = Vec::new();
+    let mut start = 0.0;
+    for ph in serve_phases() {
+        let end = start + ph.duration;
+        let mut s = ServePhaseStats {
+            name: ph.name,
+            requests: 0,
+            ok: 0,
+            learned: 0,
+            fallback: 0,
+            shed: 0,
+            deadline_missed: 0,
+            p50_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
+        };
+        let mut lat: Vec<f64> = Vec::new();
+        for r in records
+            .iter()
+            .filter(|r| r.arrival >= start && r.arrival < end)
+        {
+            s.requests += 1;
+            match &r.outcome {
+                Ok(reply) => {
+                    s.ok += 1;
+                    if reply.source == Source::Learned {
+                        s.learned += 1;
+                    } else {
+                        s.fallback += 1;
+                    }
+                    lat.push((reply.completed_at - r.arrival) * 1e3);
+                }
+                Err(ServeError::Shed { .. }) => s.shed += 1,
+                Err(ServeError::DeadlineExceeded { .. }) => s.deadline_missed += 1,
+                Err(_) => {}
+            }
+        }
+        lat.sort_by(f64::total_cmp);
+        s.p50_ms = pctl(&lat, 0.50);
+        s.p95_ms = pctl(&lat, 0.95);
+        s.p99_ms = pctl(&lat, 0.99);
+        out.push(s);
+        start = end;
+    }
+    out
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn pctl(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Upper edges of the served-latency histogram buckets (ms); the last
+/// bucket is open-ended.
+const SERVE_LAT_BUCKETS_MS: [f64; 7] = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0];
+
+fn serve_latency_histogram(records: &[ReplyRecord]) -> [u64; 8] {
+    let mut h = [0u64; 8];
+    for r in records {
+        if let Ok(reply) = &r.outcome {
+            let ms = (reply.completed_at - r.arrival) * 1e3;
+            let idx = SERVE_LAT_BUCKETS_MS
+                .iter()
+                .position(|&b| ms <= b)
+                .unwrap_or(SERVE_LAT_BUCKETS_MS.len());
+            h[idx] += 1;
+        }
+    }
+    h
+}
+
+/// Writes the machine-readable `BENCH_serve.json` at the workspace root.
+fn write_serve_json(
+    path: &Path,
+    wall_s: f64,
+    stats: &[ServePhaseStats],
+    hist: &[u64; 8],
+    run: &DrillRun,
+    queue_cap: usize,
+) -> std::io::Result<()> {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"wall_s\": {wall_s:.6},\n"));
+    s.push_str(&format!(
+        "  \"virtual_s\": {:.3},\n",
+        pace_serve::total_duration(&serve_phases())
+    ));
+    s.push_str("  \"phases\": [");
+    for (i, p) in stats.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let shed_rate = if p.requests == 0 {
+            0.0
+        } else {
+            p.shed as f64 / p.requests as f64
+        };
+        s.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"requests\": {}, \"ok\": {}, \"learned\": {}, \
+             \"fallback\": {}, \"shed\": {}, \"shed_rate\": {:.4}, \"deadline_missed\": {}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+            p.name,
+            p.requests,
+            p.ok,
+            p.learned,
+            p.fallback,
+            p.shed,
+            shed_rate,
+            p.deadline_missed,
+            p.p50_ms,
+            p.p95_ms,
+            p.p99_ms,
+        ));
+    }
+    s.push_str("\n  ],\n  \"latency_histogram_ms\": {");
+    for (i, count) in hist.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let label = match SERVE_LAT_BUCKETS_MS.get(i) {
+            Some(edge) => format!("le_{edge}"),
+            None => format!(
+                "gt_{}",
+                SERVE_LAT_BUCKETS_MS[SERVE_LAT_BUCKETS_MS.len() - 1]
+            ),
+        };
+        s.push_str(&format!("\n    \"{label}\": {count}"));
+    }
+    s.push_str("\n  },\n  \"swaps\": [");
+    for (i, sw) in run.swaps.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let outcome = match &sw.result {
+            Ok(()) => "installed".to_string(),
+            Err(e) => format!("rejected: {e}"),
+        };
+        s.push_str(&format!(
+            "\n    {{\"at\": {:.3}, \"version\": {}, \"outcome\": \"{outcome}\"}}",
+            sw.at, sw.version
+        ));
+    }
+    s.push_str("\n  ],\n");
+    s.push_str(&format!(
+        "  \"active_version\": {},\n",
+        run.active
+            .map_or_else(|| "null".to_string(), |v| v.to_string())
+    ));
+    s.push_str(&format!("  \"queue_cap\": {queue_cap},\n"));
+    s.push_str(&format!(
+        "  \"max_queue_depth\": {},\n",
+        run.summary.max_queue_depth
+    ));
+    s.push_str(&format!(
+        "  \"totals\": {{\"requests\": {}, \"shed\": {}, \"fallback_served\": {}, \
+         \"learned_served\": {}, \"deadline_missed\": {}, \"batches\": {}}}\n",
+        run.summary.requests,
+        run.summary.shed,
+        run.summary.fallback_served,
+        run.summary.learned_served,
+        run.summary.deadline_missed,
+        run.summary.batches,
+    ));
+    s.push_str("}\n");
+    std::fs::write(path, s)
+}
+
+fn serve_report() -> ExitCode {
+    use pace_tensor::pool;
+    let root = workspace_root();
+    let t0 = Instant::now();
+    let mut failures: Vec<String> = Vec::new();
+
+    println!(
+        "serve-report: five-phase drill (ramp -> rated -> 2x overload -> bad-update swap \
+         window -> recovery), ~5 s virtual time"
+    );
+    let run = serve_drill(1);
+    println!("serve-report: re-running at 1 thread and at 8 threads for bit-identity...");
+    let again = serve_drill(1);
+    let wide = serve_drill(8);
+    pool::set_threads(0);
+
+    if let Some(d) = records_diverge(&run.records, &again.records) {
+        failures.push(format!("determinism: two 1-thread runs diverge — {d}"));
+    }
+    if let Some(d) = records_diverge(&run.records, &wide.records) {
+        failures.push(format!(
+            "threads: 1-thread and 8-thread reply sequences diverge — {d}"
+        ));
+    }
+    if run.records.len() != run.requests {
+        failures.push(format!(
+            "{} requests in, {} reply records out — a request was silently dropped",
+            run.requests,
+            run.records.len()
+        ));
+    }
+
+    let queue_cap = ServeConfig::default().queue_cap;
+    for r in &run.records {
+        match &r.outcome {
+            Ok(reply) => {
+                if !(reply.estimate.is_finite() && reply.estimate >= 0.0) {
+                    failures.push(format!(
+                        "request {}: served estimate {} is outside [0, f64::MAX]",
+                        r.id, reply.estimate
+                    ));
+                }
+                if reply.completed_at < r.arrival {
+                    failures.push(format!("request {}: completed before it arrived", r.id));
+                }
+            }
+            Err(ServeError::Shed { depth }) => {
+                if *depth > queue_cap {
+                    failures.push(format!(
+                        "request {}: shed at depth {depth} above the cap {queue_cap}",
+                        r.id
+                    ));
+                }
+            }
+            Err(ServeError::DeadlineExceeded { .. }) => {}
+            Err(e) => failures.push(format!("request {}: unexpected rejection: {e}", r.id)),
+        }
+    }
+    if run.summary.max_queue_depth > queue_cap {
+        failures.push(format!(
+            "queue depth reached {} — the {queue_cap} cap did not hold",
+            run.summary.max_queue_depth
+        ));
+    }
+
+    let stats = serve_phase_stats(&run.records);
+    for p in &stats {
+        match p.name {
+            "rated" | "recovery" => {
+                if p.ok != p.requests {
+                    failures.push(format!(
+                        "{}: {} of {} requests rejected at rated load",
+                        p.name,
+                        p.requests - p.ok,
+                        p.requests
+                    ));
+                }
+                if p.p99_ms > 50.0 {
+                    failures.push(format!(
+                        "{}: p99 latency {:.1} ms exceeds the 50 ms budget",
+                        p.name, p.p99_ms
+                    ));
+                }
+            }
+            "overload" => {
+                if p.shed == 0 {
+                    failures.push("overload: expected typed sheds under 2x load, saw none".into());
+                }
+                if p.fallback == 0 {
+                    failures.push(
+                        "overload: expected token-bucket fallback service before shedding".into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Swap log: v1 installed pre-stream, corrupted v2 rejected, clean v3
+    // installed; zero failed well-formed requests around the swap window.
+    let expected = [(1u64, true), (2, false), (3, true)];
+    if run.swaps.len() != expected.len() {
+        failures.push(format!(
+            "expected {} swap attempts, saw {}",
+            expected.len(),
+            run.swaps.len()
+        ));
+    } else {
+        for (&(version, ok), sw) in expected.iter().zip(&run.swaps) {
+            if sw.version != version || sw.result.is_ok() != ok {
+                failures.push(format!(
+                    "swap v{}: expected {}, got {:?}",
+                    sw.version,
+                    if ok { "install" } else { "rejection" },
+                    sw.result
+                ));
+            }
+        }
+        if run.swaps[1].result != Err(SwapError::NonFiniteParams) {
+            failures.push(format!(
+                "corrupted v2 rejected for the wrong reason: {:?}",
+                run.swaps[1].result
+            ));
+        }
+    }
+    if run.active != Some(3) {
+        failures.push(format!(
+            "active version after the drill is {:?}, expected v3",
+            run.active
+        ));
+    }
+    if let Some(r) = run
+        .records
+        .iter()
+        .find(|r| r.arrival >= 3.3 && r.arrival <= 3.7 && r.outcome.is_err())
+    {
+        failures.push(format!(
+            "swap window: request {} failed ({:?}) while the bad update was being rejected",
+            r.id, r.outcome
+        ));
+    }
+
+    println!("serve-report: phase breakdown (virtual time):");
+    println!(
+        "  {:<12} {:>8} {:>6} {:>8} {:>9} {:>6} {:>8} {:>8} {:>8} {:>8}",
+        "phase",
+        "requests",
+        "ok",
+        "learned",
+        "fallback",
+        "shed",
+        "dl-miss",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms"
+    );
+    for p in &stats {
+        println!(
+            "  {:<12} {:>8} {:>6} {:>8} {:>9} {:>6} {:>8} {:>8.2} {:>8.2} {:>8.2}",
+            p.name,
+            p.requests,
+            p.ok,
+            p.learned,
+            p.fallback,
+            p.shed,
+            p.deadline_missed,
+            p.p50_ms,
+            p.p95_ms,
+            p.p99_ms
+        );
+    }
+    println!(
+        "serve-report: swaps: {}; active {}; max queue depth {} (cap {})",
+        run.swaps
+            .iter()
+            .map(|sw| format!(
+                "v{} {}",
+                sw.version,
+                if sw.result.is_ok() {
+                    "installed"
+                } else {
+                    "rejected"
+                }
+            ))
+            .collect::<Vec<_>>()
+            .join(", "),
+        run.active
+            .map_or_else(|| "none".to_string(), |v| format!("v{v}")),
+        run.summary.max_queue_depth,
+        queue_cap
+    );
+
+    let hist = serve_latency_histogram(&run.records);
+    let path = root.join("BENCH_serve.json");
+    match write_serve_json(
+        &path,
+        t0.elapsed().as_secs_f64(),
+        &stats,
+        &hist,
+        &run,
+        queue_cap,
+    ) {
+        Ok(()) => println!("serve-report: wrote {}", path.display()),
+        Err(e) => failures.push(format!("cannot write {}: {e}", path.display())),
+    }
+
+    if failures.is_empty() {
+        println!(
+            "serve-report: all gates OK ({} requests, {} batches, {} sheds, bit-identical at \
+             1 and 8 threads)",
+            run.summary.requests, run.summary.batches, run.summary.shed
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("xtask serve-report: {f}");
+        }
+        eprintln!("xtask serve-report: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// One in-process serving chaos run: rated then stressed traffic with a
+/// v2 hot-swap attempt mid-stream, under `spec`.
+fn serve_chaos_once(spec: &str, stress_rate: f64) -> DrillRun {
+    let fx = serve_fixture();
+    fault::install(None);
+    let cfg = ServeConfig {
+        queue_cap: 32,
+        ..ServeConfig::default()
+    };
+    let mut srv = Server::new(
+        cfg,
+        fx.ds.schema.clone(),
+        fx.pinned.clone(),
+        Some(HistogramEstimator::build(&fx.ds, 32)),
+    );
+    srv.try_swap(1, fx.model.clone())
+        .expect("initial snapshot validates");
+    fault::install(Some(FaultSpec::parse(spec).expect("valid serving spec")));
+    let phases = [
+        Phase {
+            name: "rated",
+            duration: 0.3,
+            rate: 600.0,
+        },
+        Phase {
+            name: "stress",
+            duration: 0.3,
+            rate: stress_rate,
+        },
+    ];
+    let requests = pace_serve::generate(&phases, &fx.pool, 811, 0.08, 0);
+    let n = requests.len();
+    let records = srv.run(
+        requests,
+        vec![SwapEvent {
+            at: 0.45,
+            version: 2,
+            model: fx.model.clone(),
+        }],
+    );
+    fault::install(None);
+    DrillRun {
+        requests: n,
+        records,
+        summary: srv.summary().clone(),
+        swaps: srv.swap_log().to_vec(),
+        active: srv.snapshots().active_version(),
+    }
+}
+
+/// Checks one serving fault kind end to end: two bit-identical runs, typed
+/// rejections only, finite estimates, and kind-specific recovery facts.
+fn serve_chaos_scenario(kind: &str, spec: &str) -> Result<String, String> {
+    // The bad-update scenario stays at rated load so the swap rejection is
+    // observed with zero collateral rejections; the others stress at 2.5×.
+    let stress_rate = if kind == "bad_update" { 600.0 } else { 1500.0 };
+    let a = serve_chaos_once(spec, stress_rate);
+    let b = serve_chaos_once(spec, stress_rate);
+    if let Some(d) = records_diverge(&a.records, &b.records) {
+        return Err(format!("two runs under the same spec diverge — {d}"));
+    }
+    if a.records.len() != a.requests {
+        return Err(format!(
+            "{} requests in, {} records out — silent drop",
+            a.requests,
+            a.records.len()
+        ));
+    }
+    for r in &a.records {
+        match &r.outcome {
+            Ok(reply) if reply.estimate.is_finite() && reply.estimate >= 0.0 => {}
+            Ok(reply) => {
+                return Err(format!(
+                    "request {}: served estimate {} is outside [0, f64::MAX]",
+                    r.id, reply.estimate
+                ))
+            }
+            Err(ServeError::Shed { depth }) if *depth <= 32 => {}
+            Err(ServeError::DeadlineExceeded { .. }) => {}
+            Err(e) => return Err(format!("request {}: unexpected rejection: {e}", r.id)),
+        }
+    }
+    match kind {
+        "overload" => {
+            if a.summary.shed == 0 {
+                return Err("expected typed sheds under burst overload, saw none".into());
+            }
+            if a.summary.max_queue_depth > 32 {
+                return Err(format!(
+                    "queue depth {} exceeded the cap",
+                    a.summary.max_queue_depth
+                ));
+            }
+            if a.active != Some(2) {
+                return Err(format!(
+                    "clean v2 swap did not land (active {:?})",
+                    a.active
+                ));
+            }
+            Ok(format!(
+                "{} typed sheds, depth capped at {}, bit-identical",
+                a.summary.shed, a.summary.max_queue_depth
+            ))
+        }
+        "slow_consumer" => {
+            let pressured = a.summary.shed + a.summary.fallback_served + a.summary.deadline_missed;
+            if pressured == 0 {
+                return Err("stalled batches produced no backpressure at all".into());
+            }
+            Ok(format!(
+                "absorbed stalls: {} fallback, {} shed, {} deadline misses, no hang",
+                a.summary.fallback_served, a.summary.shed, a.summary.deadline_missed
+            ))
+        }
+        "bad_update" => {
+            match a.swaps.get(1).map(|sw| &sw.result) {
+                Some(Err(SwapError::NonFiniteParams)) => {}
+                other => {
+                    return Err(format!(
+                        "corrupted v2 was not rejected as NonFiniteParams: {other:?}"
+                    ))
+                }
+            }
+            if a.active != Some(1) {
+                return Err(format!(
+                    "rollback failed: active {:?}, expected v1",
+                    a.active
+                ));
+            }
+            if a.records.iter().any(|r| r.outcome.is_err()) {
+                return Err("a well-formed request failed during the rejected swap".into());
+            }
+            Ok("v2 rejected, v1 stayed active, zero failed requests".into())
+        }
+        _ => Err(format!("unknown serving kind {kind}")),
+    }
 }
 
 #[cfg(test)]
@@ -2438,6 +3233,18 @@ mod tests {
             .map(|(_, l)| l)
             .collect();
         assert_eq!(kept, vec!["fn a() {}", "fn c() {}"]);
+    }
+
+    #[test]
+    fn workload_unwrap_rule_covers_test_modules() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        // Elsewhere the rule stops at `#[cfg(test)]`…
+        assert!(unwrap_violations(Path::new("crates/engine/src/count.rs"), src).is_empty());
+        // …but the workload crate is scanned in full.
+        let hits = unwrap_violations(Path::new("crates/workload/src/query.rs"), src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains("query.rs:4"));
     }
 
     #[test]
