@@ -66,6 +66,7 @@ pub mod check;
 pub mod dataflow;
 pub mod fault;
 pub mod flags;
+pub mod fuse;
 mod grad;
 mod graph;
 pub mod init;

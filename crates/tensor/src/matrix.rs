@@ -31,6 +31,15 @@ const MATMUL_PANEL: usize = 128;
 // and these regions' results are chunking-independent, so determinism
 // across `PACE_THREADS` settings is preserved.
 
+/// Accumulates `av · b_row` into `out_row` — one rank-1 row update of the
+/// panel kernel, in ascending-`j` order.
+#[inline]
+fn axpy_row(out_row: &mut [f32], av: f32, b_row: &[f32]) {
+    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+        *o += av * bv;
+    }
+}
+
 /// Computes output rows `[lo, hi)` of `a · b` into `out`, which is the
 /// row-major storage of exactly those rows.
 ///
@@ -40,26 +49,91 @@ const MATMUL_PANEL: usize = 128;
 /// is bit-transparent there — but `0 · NaN` and `0 · ±Inf` are NaN and must
 /// reach the accumulator for non-finite values to propagate (the contract
 /// `Graph::push`'s producer tracking and `PACE_FINITE` rely on).
+///
+/// The skip decision is hoisted out of the inner loop into a per-row-panel
+/// mask (`use_k`), so the hot `j`-loop carries no data-dependent branch and
+/// the autovectorizer sees straight-line multiply-adds. Runs of four
+/// unskipped `b` rows are processed together with the accumulator kept in a
+/// register across all four updates — per output element that is the *same
+/// sequence* of ascending-`k` adds the scalar path performs, so blocked,
+/// unrolled, masked, and row-parallel results stay bit-identical.
 fn matmul_rows(out: &mut [f32], a: &Matrix, b: &Matrix, lo: usize, hi: usize, b_finite: &[bool]) {
     let (k, m) = (a.cols, b.cols);
     out.fill(0.0);
+    let mut use_k = [false; MATMUL_PANEL];
     for panel in (0..k).step_by(MATMUL_PANEL) {
         let panel_end = (panel + MATMUL_PANEL).min(k);
+        let plen = panel_end - panel;
         for i in lo..hi {
             let a_row = &a.data[i * k + panel..i * k + panel_end];
-            let out_row = &mut out[(i - lo) * m..(i - lo + 1) * m];
+            // Per-(row, panel) skip mask: exactly the products the scalar
+            // path skipped (`+0.0` contributions with finite `b`), decided
+            // once per `a` element instead of inside the `j`-loop.
+            let mut any = false;
             for (off, &av) in a_row.iter().enumerate() {
-                let kk = panel + off;
-                if av == 0.0 && b_finite[kk] {
-                    continue;
+                let keep = !(av == 0.0 && b_finite[panel + off]);
+                use_k[off] = keep;
+                any |= keep;
+            }
+            if !any {
+                continue;
+            }
+            let out_row = &mut out[(i - lo) * m..(i - lo + 1) * m];
+            let mut off = 0;
+            while off + 4 <= plen {
+                if use_k[off] && use_k[off + 1] && use_k[off + 2] && use_k[off + 3] {
+                    let kk = panel + off;
+                    let (a0, a1, a2, a3) =
+                        (a_row[off], a_row[off + 1], a_row[off + 2], a_row[off + 3]);
+                    let b0 = &b.data[kk * m..(kk + 1) * m];
+                    let b1 = &b.data[(kk + 1) * m..(kk + 2) * m];
+                    let b2 = &b.data[(kk + 2) * m..(kk + 3) * m];
+                    let b3 = &b.data[(kk + 3) * m..(kk + 4) * m];
+                    for ((((o, &v0), &v1), &v2), &v3) in
+                        out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                    {
+                        // Four sequential adds in ascending-k order — the
+                        // accumulator stays in a register, the order is the
+                        // scalar path's.
+                        let mut acc = *o;
+                        acc += a0 * v0;
+                        acc += a1 * v1;
+                        acc += a2 * v2;
+                        acc += a3 * v3;
+                        *o = acc;
+                    }
+                } else {
+                    for u in off..off + 4 {
+                        if use_k[u] {
+                            let kk = panel + u;
+                            axpy_row(out_row, a_row[u], &b.data[kk * m..(kk + 1) * m]);
+                        }
+                    }
                 }
-                let b_row = &b.data[kk * m..(kk + 1) * m];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
+                off += 4;
+            }
+            while off < plen {
+                if use_k[off] {
+                    let kk = panel + off;
+                    axpy_row(out_row, a_row[off], &b.data[kk * m..(kk + 1) * m]);
                 }
+                off += 1;
             }
         }
     }
+}
+
+/// Modeled FLOPs of an `n×k · k×m` product (two per multiply-add), computed
+/// entirely in saturating `u64`. The counter once computed `2 * flops` with
+/// `flops` saturated in `usize` arithmetic — at `usize::MAX` the doubling
+/// wrapped in release and panicked in debug despite the upstream
+/// `saturating_mul`s; clamping every stage in `u64` makes pathological
+/// shapes saturate instead.
+pub(crate) fn matmul_flop_count(n: usize, k: usize, m: usize) -> u64 {
+    (n as u64)
+        .saturating_mul(k as u64)
+        .saturating_mul(m as u64)
+        .saturating_mul(2)
 }
 
 /// Writes `a · b` into `dst`, reusing `dst`'s allocation. This is the one
@@ -80,8 +154,7 @@ pub(crate) fn matmul_into(dst: &mut Matrix, a: &Matrix, b: &Matrix) {
     let b_finite: Vec<bool> = (0..k)
         .map(|r| b.data[r * m..(r + 1) * m].iter().all(|x| x.is_finite()))
         .collect();
-    let flops = n.saturating_mul(k).saturating_mul(m);
-    pace_trace::MATMUL_FLOPS.add(2 * flops as u64);
+    pace_trace::MATMUL_FLOPS.add(matmul_flop_count(n, k, m));
     let decision = pool::cost::decide(pool::cost::RegionCost {
         items: n,
         flops_per_item: 2.0 * k.saturating_mul(m) as f64,
@@ -105,16 +178,69 @@ pub(crate) fn matmul_into(dst: &mut Matrix, a: &Matrix, b: &Matrix) {
     }
 }
 
-/// The oracle's verdict for an elementwise map/zip over `len` elements:
-/// one flop and two `f32` transfers per element. Callers still gate the
-/// fan-out on `!pool::in_worker()` and `pool::threads() > 1` at the site,
-/// keeping those checks outside the pool-call span.
-fn elementwise_decision(len: usize) -> pool::cost::Decision {
-    pool::cost::decide(pool::cost::RegionCost {
+/// Cost spec of a unary elementwise map over `len` elements: one flop and
+/// two `f32` transfers (one read + one write) per element.
+pub(crate) fn map_region(len: usize) -> pool::cost::RegionCost {
+    pool::cost::RegionCost {
         items: len,
         flops_per_item: 1.0,
         bytes_per_item: (2 * size_of::<f32>()) as f64,
-    })
+    }
+}
+
+/// Cost spec of a binary elementwise zip over `len` elements: one flop and
+/// *three* `f32` transfers (two reads + one write) per element. Zips were
+/// once costed with the map spec's two transfers, under-counting bandwidth
+/// by a third and biasing the oracle toward unprofitable fan-out of
+/// bandwidth-bound zips.
+pub(crate) fn zip_region(len: usize) -> pool::cost::RegionCost {
+    pool::cost::RegionCost {
+        items: len,
+        flops_per_item: 1.0,
+        bytes_per_item: (3 * size_of::<f32>()) as f64,
+    }
+}
+
+/// The oracle's verdict for a unary map. Callers still gate the fan-out on
+/// `!pool::in_worker()` and `pool::threads() > 1` at the site, keeping
+/// those checks outside the pool-call span.
+fn map_decision(len: usize) -> pool::cost::Decision {
+    pool::cost::decide(map_region(len))
+}
+
+/// The oracle's verdict for a binary zip (see [`zip_region`]).
+fn zip_decision(len: usize) -> pool::cost::Decision {
+    pool::cost::decide(zip_region(len))
+}
+
+/// Edge of the square tiles [`transpose_into`] blocks the copy into: a
+/// 32×32 `f32` tile is 4 KiB read + 4 KiB written, resident in L1 while
+/// both the source rows and the destination rows of the tile are streamed.
+const TRANSPOSE_TILE: usize = 32;
+
+/// Writes `src`ᵀ into `dst`, reusing `dst`'s allocation. Blocked into
+/// [`TRANSPOSE_TILE`]² tiles like the matmul panel kernel: the naive loop
+/// walks one side of the copy at a column stride, missing cache on every
+/// element for matrices wider than a cache line — and a transpose sits on
+/// every gradient path through `Op::MatMul`. Element values are
+/// position-copies, so tiling changes only the visit order, never the
+/// result.
+pub(crate) fn transpose_into(dst: &mut Matrix, src: &Matrix) {
+    let (r, c) = src.shape();
+    dst.reset_shape(c, r);
+    let out = dst.data.as_mut_slice();
+    for ci in (0..c).step_by(TRANSPOSE_TILE) {
+        let ce = (ci + TRANSPOSE_TILE).min(c);
+        for ri in (0..r).step_by(TRANSPOSE_TILE) {
+            let re = (ri + TRANSPOSE_TILE).min(r);
+            for cc in ci..ce {
+                let out_row = &mut out[cc * r + ri..cc * r + re];
+                for (rr, o) in (ri..re).zip(out_row) {
+                    *o = src.data[rr * c + cc];
+                }
+            }
+        }
+    }
 }
 
 /// A dense, row-major matrix of `f32` values.
@@ -260,7 +386,7 @@ impl Matrix {
     /// chunking, so parallel and sequential outputs are identical.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
         let mut data = vec![0.0f32; self.len()];
-        let decision = elementwise_decision(self.len());
+        let decision = map_decision(self.len());
         if decision.is_parallel() && !pool::in_worker() && pool::threads() > 1 {
             let grain = decision.grain(self.len());
             let grid = pool::chunk_ranges(self.len(), grain);
@@ -295,7 +421,7 @@ impl Matrix {
             other.shape()
         );
         let mut data = vec![0.0f32; self.len()];
-        let decision = elementwise_decision(self.len());
+        let decision = zip_decision(self.len());
         if decision.is_parallel() && !pool::in_worker() && pool::threads() > 1 {
             let grain = decision.grain(self.len());
             let grid = pool::chunk_ranges(self.len(), grain);
@@ -331,19 +457,16 @@ impl Matrix {
         out
     }
 
-    /// Transposed copy.
+    /// Transposed copy — the tiled kernel ([`transpose_into`]), shared with
+    /// the optimized-tape replay interpreter.
     pub fn transpose(&self) -> Self {
-        let mut out = vec![0.0f32; self.len()];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
-        Self {
-            rows: self.cols,
-            cols: self.rows,
-            data: out,
-        }
+        let mut out = Self {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        };
+        transpose_into(&mut out, self);
+        out
     }
 
     /// Sum of all elements.
@@ -651,6 +774,49 @@ mod tests {
         }
         pool::set_threads(0);
         pool::cost::set_constants(None);
+    }
+
+    /// Regression: the FLOP counter computed `2 * flops` after `flops` had
+    /// already saturated — at `usize::MAX` the doubling wrapped in release
+    /// (to `u64::MAX - 1`) and panicked in debug. The whole computation now
+    /// runs in saturating `u64`, so pathological shapes clamp to `u64::MAX`.
+    #[test]
+    fn matmul_flop_count_saturates_instead_of_wrapping() {
+        assert_eq!(matmul_flop_count(usize::MAX, usize::MAX, 2), u64::MAX);
+        assert_eq!(matmul_flop_count(usize::MAX, 1, 1), u64::MAX);
+        // Non-saturating shapes are exact: 2·n·k·m.
+        assert_eq!(matmul_flop_count(3, 4, 5), 120);
+        assert_eq!(matmul_flop_count(0, 100, 100), 0);
+    }
+
+    /// Regression: zips were costed with the map spec (two `f32` transfers
+    /// per element), under-counting the two-reads-one-write traffic by a
+    /// third and biasing the oracle toward fanning out bandwidth-bound zips.
+    #[test]
+    fn zip_region_counts_three_float_transfers() {
+        let map = map_region(1024);
+        let zip = zip_region(1024);
+        assert_eq!(map.bytes_per_item, 8.0, "map: one read + one write");
+        assert_eq!(zip.bytes_per_item, 12.0, "zip: two reads + one write");
+        assert_eq!(map.items, 1024);
+        assert_eq!(zip.items, 1024);
+        assert_eq!(zip.flops_per_item, 1.0);
+    }
+
+    /// The tiled transpose must agree with the naive definition on shapes
+    /// around the tile edge (including tall/wide remainders).
+    #[test]
+    fn transpose_tiled_matches_naive_on_odd_shapes() {
+        for &(r, c) in &[(1usize, 1usize), (3, 70), (70, 3), (33, 65), (64, 32)] {
+            let src = Matrix::from_vec(r, c, (0..r * c).map(|i| i as f32 * 0.5 - 7.0).collect());
+            let t = src.transpose();
+            assert_eq!(t.shape(), (c, r));
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t.get(j, i).to_bits(), src.get(i, j).to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub struct OptConfig {
     pub dce: bool,
     /// Recycle arena buffers the moment their value dies.
     pub reuse_buffers: bool,
+    /// Collapse single-use map/zip chains into fused super-steps executed
+    /// in one pass over memory ([`crate::fuse`]).
+    pub fuse: bool,
 }
 
 impl Default for OptConfig {
@@ -57,6 +60,7 @@ impl Default for OptConfig {
             cse: true,
             dce: true,
             reuse_buffers: true,
+            fuse: true,
         }
     }
 }
@@ -69,6 +73,7 @@ impl OptConfig {
             cse: false,
             dce: false,
             reuse_buffers: false,
+            fuse: false,
         }
     }
 }
@@ -80,11 +85,40 @@ pub(crate) enum PlanKind {
     /// An op to execute; operand [`Var`]s are *plan* indices, `buffer` is
     /// the arena slot the result is written to.
     Step { op: Op, buffer: usize },
+    /// A fused elementwise super-step: a single-use map/zip chain executed
+    /// in one pass over memory by [`crate::fuse::eval_chain`]. Writes its
+    /// arena slot exactly like a `Step`.
+    Fused {
+        chain: crate::fuse::FusedChain,
+        buffer: usize,
+    },
 }
 
 pub(crate) struct PlanNode {
     pub(crate) kind: PlanKind,
     pub(crate) shape: (usize, usize),
+}
+
+impl PlanNode {
+    /// Arena slot this node writes — `None` for constants.
+    pub(crate) fn write_buffer(&self) -> Option<usize> {
+        match &self.kind {
+            PlanKind::Const(_) => None,
+            PlanKind::Step { buffer, .. } | PlanKind::Fused { buffer, .. } => Some(*buffer),
+        }
+    }
+}
+
+/// Plan indices a node reads: a step's operands, or a fused chain's lead
+/// plus every zip-side source. The interference checker, the buffer
+/// allocator, and the scheduler all walk reads through this one lens so
+/// fused super-steps inherit their guarantees unchanged.
+pub(crate) fn plan_inputs(kind: &PlanKind) -> Vec<Var> {
+    match kind {
+        PlanKind::Const(_) => Vec::new(),
+        PlanKind::Step { op, .. } => op_inputs(op),
+        PlanKind::Fused { chain, .. } => chain.inputs(),
+    }
 }
 
 /// Everything the pipeline measured, for reports and acceptance gates.
@@ -118,6 +152,13 @@ pub struct OptStats {
     pub buffers: usize,
     /// Op histogram of the reachable original tape, most frequent first.
     pub op_histogram: Vec<(&'static str, usize)>,
+    /// Fused elementwise super-steps in the plan ([`crate::fuse`]).
+    pub fused_chains: usize,
+    /// Original steps those chains absorbed.
+    pub fused_steps: usize,
+    /// Full-buffer memory passes fusion eliminated (one intermediate write
+    /// plus one read-back per interior link).
+    pub fused_passes_saved: u64,
 }
 
 impl OptStats {
@@ -161,6 +202,13 @@ impl OptStats {
             self.peak_live_bytes_after as f64 / 1024.0,
             self.buffers,
         );
+        if self.fused_chains > 0 {
+            let _ = writeln!(
+                out,
+                "   fused: {} chain(s) over {} step(s), {} memory pass(es) saved",
+                self.fused_chains, self.fused_steps, self.fused_passes_saved,
+            );
+        }
         let top: Vec<String> = self
             .op_histogram
             .iter()
@@ -261,10 +309,8 @@ impl TapePlan {
     ) -> Result<dataflow::InterferenceStats, Vec<dataflow::SlotInterference>> {
         let mut last_use: Vec<usize> = (0..self.nodes.len()).collect();
         for (j, node) in self.nodes.iter().enumerate() {
-            if let PlanKind::Step { op, .. } = &node.kind {
-                for inp in op_inputs(op) {
-                    last_use[inp.index()] = last_use[inp.index()].max(j);
-                }
+            for inp in plan_inputs(&node.kind) {
+                last_use[inp.index()] = last_use[inp.index()].max(j);
             }
         }
         for &o in &self.outputs {
@@ -274,13 +320,12 @@ impl TapePlan {
             .nodes
             .iter()
             .enumerate()
-            .filter_map(|(j, node)| match &node.kind {
-                PlanKind::Step { buffer, .. } => Some(dataflow::SlotStep {
+            .filter_map(|(j, node)| {
+                node.write_buffer().map(|slot| dataflow::SlotStep {
                     step: j,
-                    slot: *buffer,
+                    slot,
                     last_use: last_use[j],
-                }),
-                PlanKind::Const(_) => None,
+                })
             })
             .collect();
         dataflow::check_slot_interference(&steps)
@@ -293,14 +338,15 @@ impl TapePlan {
                 .buffers
                 .resize_with(self.n_buffers, || Matrix::zeros(0, 0));
         }
-        for node in &self.nodes {
-            if let PlanKind::Step { op, buffer } = &node.kind {
-                // The buffer plan guarantees the destination never aliases a
-                // live operand, so it can be taken out for the write borrow.
-                let mut dst = std::mem::replace(&mut arena.buffers[*buffer], Matrix::zeros(0, 0));
-                self.eval_into(arena, op, &mut dst);
-                arena.buffers[*buffer] = dst;
-            }
+        for i in 0..self.nodes.len() {
+            let Some(buffer) = self.nodes[i].write_buffer() else {
+                continue;
+            };
+            // The buffer plan guarantees the destination never aliases a
+            // live operand, so it can be taken out for the write borrow.
+            let mut dst = std::mem::replace(&mut arena.buffers[buffer], Matrix::zeros(0, 0));
+            self.exec_into(arena, i, &mut dst);
+            arena.buffers[buffer] = dst;
         }
         pace_trace::REPLAY_NODE_VISITS.add(self.stats.steps_after as u64);
     }
@@ -323,26 +369,33 @@ impl TapePlan {
         // BTreeMap keyed by op name: deterministic aggregation order.
         let mut rows: std::collections::BTreeMap<&'static str, OpProfile> =
             std::collections::BTreeMap::new();
-        for node in &self.nodes {
-            if let PlanKind::Step { op, buffer } = &node.kind {
-                let mut dst = std::mem::replace(&mut arena.buffers[*buffer], Matrix::zeros(0, 0));
-                let t0 = std::time::Instant::now();
-                self.eval_into(arena, op, &mut dst);
-                let ns = t0.elapsed().as_nanos() as u64;
-                arena.buffers[*buffer] = dst;
-                let cost = self.step_cost(op, node.shape);
-                let row = rows.entry(op.name()).or_insert(OpProfile {
-                    op: op.name(),
-                    count: 0,
-                    flops: 0,
-                    out_bytes: 0,
-                    measured_ns: 0,
-                });
-                row.count += 1;
-                row.flops += cost.flops;
-                row.out_bytes += cost.out_bytes as u64;
-                row.measured_ns += ns;
-            }
+        for i in 0..self.nodes.len() {
+            let node = &self.nodes[i];
+            let name = match &node.kind {
+                PlanKind::Const(_) => continue,
+                PlanKind::Step { op, .. } => op.name(),
+                PlanKind::Fused { .. } => "Fused",
+            };
+            let Some(buffer) = node.write_buffer() else {
+                continue;
+            };
+            let mut dst = std::mem::replace(&mut arena.buffers[buffer], Matrix::zeros(0, 0));
+            let t0 = std::time::Instant::now();
+            self.exec_into(arena, i, &mut dst);
+            let ns = t0.elapsed().as_nanos() as u64;
+            arena.buffers[buffer] = dst;
+            let cost = self.node_cost_at(i).unwrap_or_default();
+            let row = rows.entry(name).or_insert(OpProfile {
+                op: name,
+                count: 0,
+                flops: 0,
+                out_bytes: 0,
+                measured_ns: 0,
+            });
+            row.count += 1;
+            row.flops += cost.flops;
+            row.out_bytes += cost.out_bytes as u64;
+            row.measured_ns += ns;
         }
         pace_trace::REPLAY_NODE_VISITS.add(self.stats.steps_after as u64);
         let mut out: Vec<OpProfile> = rows.into_values().collect();
@@ -391,9 +444,37 @@ impl TapePlan {
             // costs one flop per output element, as in the dataflow model.
             _ => out,
         };
+        let in_bytes: usize = op_inputs(op)
+            .iter()
+            .map(|x| {
+                let (r, c) = self.nodes[x.index()].shape;
+                r * c * size_of::<f32>()
+            })
+            .sum();
         dataflow::Cost {
             flops,
             out_bytes: (out_shape.0 * out_shape.1) * size_of::<f32>(),
+            in_bytes,
+        }
+    }
+
+    /// Static cost of executing plan node `idx` — `None` for constants.
+    /// Fused super-steps are priced as one pass: the sum of their links'
+    /// per-element FLOP weights, reading each source once and writing the
+    /// destination once, with no intermediate traffic.
+    pub(crate) fn node_cost_at(&self, idx: usize) -> Option<dataflow::Cost> {
+        let node = &self.nodes[idx];
+        match &node.kind {
+            PlanKind::Const(_) => None,
+            PlanKind::Step { op, .. } => Some(self.step_cost(op, node.shape)),
+            PlanKind::Fused { chain, .. } => {
+                let out = (node.shape.0 * node.shape.1) as u64;
+                Some(dataflow::Cost {
+                    flops: out * chain.flops_per_elem(),
+                    out_bytes: node.shape.0 * node.shape.1 * size_of::<f32>(),
+                    in_bytes: (out * chain.reads_per_elem()) as usize * size_of::<f32>(),
+                })
+            }
         }
     }
 
@@ -402,10 +483,25 @@ impl TapePlan {
         self.node_value(arena, self.outputs[k])
     }
 
-    fn node_value<'a>(&'a self, arena: &'a Arena, idx: usize) -> &'a Matrix {
+    pub(crate) fn node_value<'a>(&'a self, arena: &'a Arena, idx: usize) -> &'a Matrix {
         match &self.nodes[idx].kind {
             PlanKind::Const(m) => m,
-            PlanKind::Step { buffer, .. } => &arena.buffers[*buffer],
+            PlanKind::Step { buffer, .. } | PlanKind::Fused { buffer, .. } => {
+                &arena.buffers[*buffer]
+            }
+        }
+    }
+
+    /// Executes plan node `idx` (an op step or a fused super-step), writing
+    /// the result into `dst` in place.
+    pub(crate) fn exec_into(&self, arena: &Arena, idx: usize, dst: &mut Matrix) {
+        let node = &self.nodes[idx];
+        match &node.kind {
+            PlanKind::Const(_) => unreachable!("constants are never executed"),
+            PlanKind::Step { op, .. } => self.eval_into(arena, op, dst),
+            PlanKind::Fused { chain, .. } => {
+                crate::fuse::eval_chain(self, arena, chain, node.shape, dst)
+            }
         }
     }
 
@@ -464,16 +560,7 @@ impl TapePlan {
             Op::Sqrt(a) => ew1(dst, v(a), f32::sqrt),
             Op::Abs(a) => ew1(dst, v(a), f32::abs),
             Op::MatMul(a, b) => matmul_into(dst, v(a), v(b)),
-            Op::Transpose(a) => {
-                let m = v(a);
-                let (r, c) = m.shape();
-                dst.reset_shape(c, r);
-                for i in 0..r {
-                    for j in 0..c {
-                        dst.data_mut()[j * r + i] = m.data()[i * c + j];
-                    }
-                }
-            }
+            Op::Transpose(a) => crate::matrix::transpose_into(dst, v(a)),
             Op::SumAll(a) => {
                 let s: f32 = v(a).data().iter().sum();
                 dst.reset_shape(1, 1);
@@ -819,13 +906,23 @@ pub fn optimize_with(
     }
     let outputs_final: Vec<usize> = v_outputs.iter().map(|&j| final_of[j]).collect();
 
+    // Elementwise fusion over the compacted plan, *before* buffers exist:
+    // absorbed intermediates never get arena slots at all, operand live
+    // ranges extend to the fused super-step that now reads them, and the
+    // allocator + interference checker below see fused nodes through the
+    // same `plan_inputs`/`write_buffer` lens as ordinary steps.
+    let nodes_pre_fuse = nodes.len();
+    let (mut nodes, outputs_final, fuse_outcome) = if cfg.fuse {
+        crate::fuse::fuse_plan_nodes(nodes, &outputs_final)
+    } else {
+        (nodes, outputs_final, crate::fuse::FuseOutcome::default())
+    };
+
     // Liveness-driven buffer assignment over the final steps.
     let mut last_use: Vec<usize> = (0..nodes.len()).collect();
     for (j, node) in nodes.iter().enumerate() {
-        if let PlanKind::Step { op, .. } = &node.kind {
-            for inp in op_inputs(op) {
-                last_use[inp.index()] = last_use[inp.index()].max(j);
-            }
+        for inp in plan_inputs(&node.kind) {
+            last_use[inp.index()] = last_use[inp.index()].max(j);
         }
     }
     for &o in &outputs_final {
@@ -835,8 +932,7 @@ pub fn optimize_with(
     let mut buffer_shapes: Vec<(usize, usize)> = Vec::new();
     for j in 0..nodes.len() {
         let shape = nodes[j].shape;
-        let is_step = matches!(nodes[j].kind, PlanKind::Step { .. });
-        if is_step {
+        if !matches!(nodes[j].kind, PlanKind::Const(_)) {
             let slot = if cfg.reuse_buffers {
                 free.get_mut(&shape).and_then(Vec::pop)
             } else {
@@ -846,35 +942,33 @@ pub fn optimize_with(
                 buffer_shapes.push(shape);
                 buffer_shapes.len() - 1
             });
-            if let PlanKind::Step { buffer, .. } = &mut nodes[j].kind {
-                *buffer = slot;
+            match &mut nodes[j].kind {
+                PlanKind::Step { buffer, .. } | PlanKind::Fused { buffer, .. } => *buffer = slot,
+                PlanKind::Const(_) => {}
             }
         }
         // Release operands whose last use is this step (after assigning the
         // destination, so a dying operand's buffer is never the destination).
         let dying: Vec<usize> = {
-            let mut d: Vec<usize> = match &nodes[j].kind {
-                PlanKind::Step { op, .. } => op_inputs(op)
-                    .iter()
-                    .map(|v| v.index())
-                    .filter(|&o| last_use[o] == j)
-                    .collect(),
-                PlanKind::Const(_) => Vec::new(),
-            };
+            let mut d: Vec<usize> = plan_inputs(&nodes[j].kind)
+                .iter()
+                .map(|v| v.index())
+                .filter(|&o| last_use[o] == j)
+                .collect();
             d.sort_unstable();
             d.dedup();
             d
         };
         for o in dying {
-            if let PlanKind::Step { buffer, .. } = &nodes[o].kind {
-                free.entry(nodes[o].shape).or_default().push(*buffer);
+            if let Some(buffer) = nodes[o].write_buffer() {
+                free.entry(nodes[o].shape).or_default().push(buffer);
             }
         }
     }
 
     let steps_after = nodes
         .iter()
-        .filter(|nd| matches!(nd.kind, PlanKind::Step { .. }))
+        .filter(|nd| !matches!(nd.kind, PlanKind::Const(_)))
         .count();
     let arena_bytes: usize = buffer_shapes
         .iter()
@@ -889,13 +983,18 @@ pub fn optimize_with(
         steps_after,
         folded,
         cse_merged,
-        dead_removed: n.saturating_sub(nodes_after + cse_merged),
+        // Counted against the pre-fusion plan: fusion removes nodes too,
+        // but those were live, not dead.
+        dead_removed: n.saturating_sub(nodes_pre_fuse + cse_merged),
         flops_before: cost_before.flops,
         flops_after,
         peak_live_bytes_before: live.peak_live_bytes,
         peak_live_bytes_after: arena_bytes + const_bytes,
         buffers: buffer_shapes.len(),
         op_histogram,
+        fused_chains: fuse_outcome.chains,
+        fused_steps: fuse_outcome.steps_fused,
+        fused_passes_saved: fuse_outcome.passes_saved,
     };
 
     TapePlan {
@@ -908,7 +1007,7 @@ pub fn optimize_with(
 }
 
 /// Rewrites an op's operand [`Var`]s through `map` (tape index → plan index).
-fn remap_op(op: &Op, map: &[usize]) -> Op {
+pub(crate) fn remap_op(op: &Op, map: &[usize]) -> Op {
     let m = |v: Var| Var::from_index(map[v.index()]);
     match *op {
         Op::Leaf => Op::Leaf,
@@ -1144,7 +1243,13 @@ mod tests {
             h = g.add(h, x);
         }
         let out = g.sum_all(h);
-        let plan = optimize(&g, &[out], &[x], "test::buffers");
+        // Fusion off: this test exercises the allocator on a long chain of
+        // distinct steps, which fusion would otherwise collapse to one.
+        let cfg = OptConfig {
+            fuse: false,
+            ..OptConfig::default()
+        };
+        let plan = optimize_with(&g, &[out], &[x], "test::buffers", cfg);
         assert!(
             plan.stats().buffers < plan.stats().steps_after,
             "16 chained steps must share buffers: {:?}",
@@ -1166,7 +1271,13 @@ mod tests {
             h = g.add(h, x);
         }
         let out = g.sum_all(h);
-        let plan = optimize(&g, &[out], &[x], "test::interference");
+        // Fusion off, as in `buffer_plan_reuses_slots_on_chains`: the test
+        // needs many reusing steps, not one fused super-step.
+        let cfg = OptConfig {
+            fuse: false,
+            ..OptConfig::default()
+        };
+        let plan = optimize_with(&g, &[out], &[x], "test::interference", cfg);
         let stats = plan.check_interference().expect("clean arena assignment");
         assert_eq!(stats.steps, plan.stats().steps_after);
         assert_eq!(stats.slots, plan.stats().buffers);

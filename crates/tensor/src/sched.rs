@@ -49,10 +49,9 @@
 //! cannot silently land without a scheduling class.
 
 use crate::dataflow::{self, SlotStep};
-use crate::grad::op_inputs;
 use crate::graph::Op;
 use crate::matrix::Matrix;
-use crate::opt::{Arena, PlanKind, TapePlan};
+use crate::opt::{plan_inputs, Arena, PlanKind, TapePlan};
 use crate::pool;
 
 /// The three hazard kinds a dependence edge can encode.
@@ -95,6 +94,25 @@ pub(crate) enum StepClass {
     Reduction,
     /// Pure data movement (transpose, broadcast, concat, slice).
     Movement,
+}
+
+/// Scheduling class of one plan node: ops classify by [`op_class`]; fused
+/// super-steps ([`crate::fuse`]) are transcendental-class when any link
+/// carries transcendental weight, elementwise otherwise — either way one
+/// coarse node whose per-item work is the whole chain, which is exactly
+/// what gives the profitability oracle grains worth fanning out.
+pub(crate) fn node_class(kind: &PlanKind) -> StepClass {
+    match kind {
+        PlanKind::Const(_) => StepClass::Movement,
+        PlanKind::Step { op, .. } => op_class(op),
+        PlanKind::Fused { chain, .. } => {
+            if chain.has_transcendental() {
+                StepClass::Transcendental
+            } else {
+                StepClass::Elementwise
+            }
+        }
+    }
 }
 
 /// Scheduling class of one op (see [`StepClass`]).
@@ -143,7 +161,9 @@ pub struct Stage {
     pub decision: pool::cost::Decision,
     /// Modeled FLOPs across the stage's steps.
     pub flops: u64,
-    /// Modeled output bytes across the stage's steps.
+    /// Modeled bytes moved across the stage's steps: operand reads plus
+    /// output writes. (Write-side-only counting under-costed bandwidth-bound
+    /// stages and biased the oracle toward unprofitable fan-out.)
     pub bytes: u64,
 }
 
@@ -309,20 +329,21 @@ pub fn analyze(plan: &TapePlan) -> Result<Schedule, SchedError> {
     let mut edges: Vec<DepEdge> = Vec::new();
 
     for (i, node) in plan.nodes.iter().enumerate() {
-        if let PlanKind::Step { op, buffer } = &node.kind {
-            for inp in op_inputs(op) {
-                let v = inp.index();
-                readers[v].push(i);
-                if matches!(plan.nodes[v].kind, PlanKind::Step { .. }) {
-                    edges.push(DepEdge {
-                        from: v,
-                        to: i,
-                        kind: EdgeKind::Raw,
-                    });
-                }
+        let Some(buffer) = node.write_buffer() else {
+            continue;
+        };
+        for inp in plan_inputs(&node.kind) {
+            let v = inp.index();
+            readers[v].push(i);
+            if plan.nodes[v].write_buffer().is_some() {
+                edges.push(DepEdge {
+                    from: v,
+                    to: i,
+                    kind: EdgeKind::Raw,
+                });
             }
-            tenants[*buffer].push(i);
         }
+        tenants[buffer].push(i);
     }
     // Arena-slot reuse: the next tenant waits for the previous tenant (WAW)
     // and for every reader of the previous tenant's value (WAR).
@@ -359,7 +380,7 @@ pub fn analyze(plan: &TapePlan) -> Result<Schedule, SchedError> {
         preds[e.to].push(e.from);
     }
     for i in 0..n {
-        if matches!(plan.nodes[i].kind, PlanKind::Step { .. }) {
+        if plan.nodes[i].write_buffer().is_some() {
             let base = preds[i].iter().map(|&p| levels[p]).max().unwrap_or(0);
             levels[i] = base + 1;
         }
@@ -382,13 +403,12 @@ pub fn analyze(plan: &TapePlan) -> Result<Schedule, SchedError> {
         .nodes
         .iter()
         .enumerate()
-        .filter_map(|(i, node)| match &node.kind {
-            PlanKind::Step { buffer, .. } => Some(SlotStep {
+        .filter_map(|(i, node)| {
+            node.write_buffer().map(|slot| SlotStep {
                 step: levels[i],
-                slot: *buffer,
+                slot,
                 last_use: last_read_stage[i],
-            }),
-            PlanKind::Const(_) => None,
+            })
         })
         .collect();
     let proof = dataflow::check_slot_interference(&collapsed).map_err(SchedError::Interference)?;
@@ -410,13 +430,14 @@ pub fn analyze(plan: &TapePlan) -> Result<Schedule, SchedError> {
         })
         .collect();
     for (i, node) in plan.nodes.iter().enumerate() {
-        if let PlanKind::Step { op, .. } = &node.kind {
-            let stage = &mut stages[levels[i] - 1];
-            stage.steps.push(i);
-            let c = plan.step_cost(op, node.shape);
-            stage.flops += c.flops;
-            stage.bytes += c.out_bytes as u64;
+        if node.write_buffer().is_none() {
+            continue;
         }
+        let stage = &mut stages[levels[i] - 1];
+        stage.steps.push(i);
+        let c = plan.node_cost_at(i).unwrap_or_default();
+        stage.flops += c.flops;
+        stage.bytes += (c.out_bytes + c.in_bytes) as u64;
     }
     for stage in &mut stages {
         stage.decision = stage_decision(plan, stage);
@@ -442,11 +463,9 @@ fn stage_decision(plan: &TapePlan, stage: &Stage) -> pool::cost::Decision {
     }
     let mut max_contraction: u64 = 0;
     for &i in &stage.steps {
-        if let PlanKind::Step { op, .. } = &plan.nodes[i].kind {
-            if op_class(op) == StepClass::Contraction {
-                let c = plan.step_cost(op, plan.nodes[i].shape);
-                max_contraction = max_contraction.max(c.flops);
-            }
+        if node_class(&plan.nodes[i].kind) == StepClass::Contraction {
+            let c = plan.node_cost_at(i).unwrap_or_default();
+            max_contraction = max_contraction.max(c.flops);
         }
     }
     if max_contraction.saturating_mul(2) > stage.flops {
@@ -489,12 +508,13 @@ impl TapePlan {
                 && pool::threads() > 1;
             if !fan_out {
                 for &i in &stage.steps {
-                    if let PlanKind::Step { op, buffer } = &self.nodes[i].kind {
-                        let mut dst =
-                            std::mem::replace(&mut arena.buffers[*buffer], Matrix::zeros(0, 0));
-                        self.eval_into(arena, op, &mut dst);
-                        arena.buffers[*buffer] = dst;
-                    }
+                    let Some(buffer) = self.nodes[i].write_buffer() else {
+                        continue;
+                    };
+                    let mut dst =
+                        std::mem::replace(&mut arena.buffers[buffer], Matrix::zeros(0, 0));
+                    self.exec_into(arena, i, &mut dst);
+                    arena.buffers[buffer] = dst;
                 }
                 continue;
             }
@@ -505,12 +525,14 @@ impl TapePlan {
             let mut outs: Vec<(usize, Matrix)> = stage
                 .steps
                 .iter()
-                .map(|&i| match &self.nodes[i].kind {
-                    PlanKind::Step { buffer, .. } => (
+                .map(|&i| {
+                    let buffer = self.nodes[i]
+                        .write_buffer()
+                        .unwrap_or_else(|| unreachable!("stages hold only executable nodes"));
+                    (
                         i,
-                        std::mem::replace(&mut arena.buffers[*buffer], Matrix::zeros(0, 0)),
-                    ),
-                    PlanKind::Const(_) => unreachable!("stages hold only steps"),
+                        std::mem::replace(&mut arena.buffers[buffer], Matrix::zeros(0, 0)),
+                    )
                 })
                 .collect();
             let grain = stage.decision.grain(outs.len());
@@ -518,14 +540,12 @@ impl TapePlan {
             let shared: &Arena = arena;
             pool::for_each_split(&mut outs, &grid, |_lo, chunk| {
                 for (i, dst) in chunk.iter_mut() {
-                    if let PlanKind::Step { op, .. } = &self.nodes[*i].kind {
-                        self.eval_into(shared, op, dst);
-                    }
+                    self.exec_into(shared, *i, dst);
                 }
             });
             for (i, m) in outs {
-                if let PlanKind::Step { buffer, .. } = &self.nodes[i].kind {
-                    arena.buffers[*buffer] = m;
+                if let Some(buffer) = self.nodes[i].write_buffer() {
+                    arena.buffers[buffer] = m;
                 }
             }
         }

@@ -1,0 +1,199 @@
+//! Property test for elementwise fusion: on randomly built tapes (the same
+//! generator the optimizer and scheduler property suites use), replaying a
+//! fused plan must be **bit-identical** to replaying the unfused plan — for
+//! the forward value, the gradient, and the gradient-of-gradient, across
+//! thread counts and adversarial `PACE_SCHED` seeds, through both the
+//! sequential interpreter and the staged scheduler. A single flipped bit
+//! means a fused chain crossed a multi-use intermediate, picked the wrong
+//! carry side of a non-commutative zip, or let blocking/chunking perturb a
+//! per-element result.
+
+use pace_tensor::opt::{optimize_with, Arena, OptConfig, TapePlan};
+use pace_tensor::sched::analyze;
+use pace_tensor::{pool, Graph, Matrix, Var};
+use proptest::prelude::*;
+
+/// Applies one randomly selected, always-well-formed op to the chain.
+/// Biased toward map/zip runs (the fusible class) but still exercising
+/// contraction, reduction, broadcast, and movement boundaries that must
+/// break chains.
+fn apply_op(g: &mut Graph, x: Var, pick: u8, all: &mut Vec<Var>) -> Var {
+    let (r, c) = g.shape(x);
+    let y = match pick % 16 {
+        0 => g.add(x, x),
+        1 => {
+            let prev = all[all.len() / 2];
+            if g.shape(prev) == (r, c) {
+                g.sub(x, prev)
+            } else {
+                g.neg(x)
+            }
+        }
+        2 => g.mul(x, x),
+        3 => {
+            let a = g.abs(x);
+            let d = g.add_scalar(a, 1.0);
+            g.div(x, d)
+        }
+        4 => g.sigmoid(x),
+        5 => g.tanh(x),
+        6 => {
+            let t = g.transpose(x);
+            g.matmul(x, t)
+        }
+        7 => {
+            let s = g.sum_all(x);
+            g.broadcast_scalar(s, r, c)
+        }
+        8 => {
+            let row = g.sum_rows(x);
+            let back = g.repeat_rows(row, r);
+            g.add(back, x)
+        }
+        9 => {
+            // A long straight map run: prime fusion bait.
+            let a = g.mul_scalar(x, 0.75);
+            let b = g.add_scalar(a, -0.25);
+            let d = g.relu(b);
+            g.sigmoid(d)
+        }
+        10 => {
+            let row = g.mean_rows(x);
+            g.add_row(x, row)
+        }
+        11 => {
+            let prev = all[all.len() / 2];
+            if g.shape(prev) == (r, c) {
+                let t = g.tanh(x);
+                g.maximum(t, prev)
+            } else {
+                let t = g.tanh(x);
+                g.minimum(t, x)
+            }
+        }
+        12 => g.concat_cols(&[x, x]),
+        13 => g.concat_rows(&[x, x]),
+        14 => {
+            if c > 1 {
+                g.slice_cols(x, 0, c - 1)
+            } else {
+                g.slice_rows(x, 0, r)
+            }
+        }
+        _ => {
+            let a = g.abs(x);
+            let shifted = g.add_scalar(a, 0.5);
+            g.ln(shifted)
+        }
+    };
+    all.push(y);
+    y
+}
+
+/// Random tape ending in a scalar loss, with first- and second-order
+/// gradients as extra outputs (the shapes PACE actually replays).
+fn random_grad_tape(r: usize, c: usize, seed_vals: &[f32], picks: &[u8]) -> (Graph, Var, Vec<Var>) {
+    let mut g = Graph::new();
+    let data: Vec<f32> = (0..r * c).map(|i| seed_vals[i % seed_vals.len()]).collect();
+    let leaf = g.leaf(Matrix::from_vec(r, c, data));
+    let mut all = vec![leaf];
+    let mut head = leaf;
+    for &p in picks {
+        head = apply_op(&mut g, head, p, &mut all);
+    }
+    let loss = g.sum_all(head);
+    let d1 = g.grad(loss, &[leaf])[0];
+    let d1_sum = g.sum_all(d1);
+    let d2 = g.grad(d1_sum, &[leaf])[0];
+    (g, leaf, vec![loss, d1, d2])
+}
+
+fn output_bits(plan: &TapePlan, arena: &Arena) -> Vec<Vec<u32>> {
+    (0..plan.num_outputs())
+        .map(|k| {
+            plan.output_value(arena, k)
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fused replay ≡ unfused replay, bit for bit — forward, grad, and
+    /// grad-of-grad — across {1, 4, 8} threads and four adversarial
+    /// `PACE_SCHED` seeds, through both `replay` and `replay_scheduled`,
+    /// under a cost model that forces the fused chains' own fan-out path
+    /// to really run.
+    #[test]
+    fn fused_replay_is_bit_identical_to_unfused(
+        r in 1usize..4,
+        c in 1usize..4,
+        seed_vals in prop::collection::vec(-1.5f32..1.5, 9),
+        picks in prop::collection::vec(0u8..=255, 1..10),
+    ) {
+        let (g, leaf, outputs) = random_grad_tape(r, c, &seed_vals, &picks);
+        let unfused_cfg = OptConfig { fuse: false, ..OptConfig::default() };
+        let unfused = optimize_with(&g, &outputs, &[leaf], "prop::fuse_off", unfused_cfg);
+        let fused = optimize_with(&g, &outputs, &[leaf], "prop::fuse_on", OptConfig::default());
+        prop_assert!(
+            fused.check_interference().is_ok(),
+            "fused plan failed the arena interference proof"
+        );
+
+        // Reference: the unfused plan, sequential, untouched cost model.
+        pool::cost::set_constants(None);
+        let mut seq = Arena::new();
+        unfused.replay(&mut seq);
+        let reference = output_bits(&unfused, &seq);
+
+        // Aggressively parallel model: fused super-steps fan out over the
+        // pool whenever remotely profitable, maximizing the chance a
+        // chunking-dependent kernel would diverge.
+        pool::cost::set_constants(Some(pool::cost::CostConstants {
+            dispatch_ns: 1.0,
+            task_ns: 1.0,
+            flops_per_ns: 1.0,
+            bytes_per_ns: 1.0,
+            effective_parallelism: 8.0,
+        }));
+        let sched = analyze(&fused);
+        prop_assert!(sched.is_ok(), "fused plan failed to schedule: {:?}", sched.err());
+        let sched = sched.unwrap();
+
+        for &threads in &[1usize, 4, 8] {
+            pool::set_threads(threads);
+            for &seed in &[1u64, 2, 0x5eed, 0xfeed_f00d] {
+                pool::race::set_sched(Some(seed));
+                let mut arena = Arena::new();
+                fused.replay(&mut arena);
+                let got = output_bits(&fused, &arena);
+                prop_assert_eq!(
+                    &got,
+                    &reference,
+                    "fused replay diverged: threads={} seed={:#x} chains={}",
+                    threads,
+                    seed,
+                    fused.stats().fused_chains
+                );
+                let mut staged = Arena::new();
+                fused.replay_scheduled(&sched, &mut staged);
+                let got = output_bits(&fused, &staged);
+                prop_assert_eq!(
+                    &got,
+                    &reference,
+                    "fused scheduled replay diverged: threads={} seed={:#x} stages={}",
+                    threads,
+                    seed,
+                    sched.stages().len()
+                );
+            }
+        }
+        pool::race::set_sched(None);
+        pool::set_threads(0);
+        pool::cost::set_constants(None);
+    }
+}
