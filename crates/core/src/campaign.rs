@@ -11,17 +11,30 @@
 //! restored from the manifest, and only the remaining waves run. On
 //! successful completion the manifest is removed.
 //!
-//! The manifest format (`PACECAM1`) is length-prefixed and FNV-1a
+//! [`run_served_campaign`] is the same campaign routed through the
+//! validated hot-swap serving path: each wave's poison accumulates into a
+//! candidate snapshot that must pass [`pace_serve`]'s shadow validation
+//! before it reaches the serving model (see [`crate::served`]), and the
+//! manifest additionally persists the per-wave swap ledger and the
+//! serving runtime's virtual-clock state, so a resumed served campaign
+//! replays to the same accept/reject log bit for bit.
+//!
+//! The manifest format (`PACECAM2`) is length-prefixed and FNV-1a
 //! checksummed like the training-checkpoint format in
 //! [`pace_tensor::serialize`]; a truncated or bit-flipped manifest fails
-//! closed with [`CampaignError::Storage`] instead of resuming from garbage.
+//! closed with [`CampaignError::Storage`] instead of resuming from
+//! garbage. So does a manifest whose persisted wave size or campaign kind
+//! (direct vs served) disagrees with the resuming configuration — a
+//! silent mismatch would shift every remaining wave boundary.
 
 use crate::knowledge::AttackerKnowledge;
 use crate::pipeline::{
     craft_poison, poison_divergence, AttackMethod, AttackOutcome, PipelineConfig,
 };
 use crate::resilience::{run_queries_resilient, CampaignError};
-use crate::victim::Victim;
+use crate::served::{ServedVictim, WaveSwap};
+use crate::victim::{AttackTarget, Victim};
+use pace_serve::SwapError;
 use pace_tensor::{fault, serialize};
 use pace_workload::{Predicate, QErrorSummary, Query, Workload};
 use std::fs;
@@ -29,7 +42,7 @@ use std::io::{self, Read};
 use std::path::Path;
 use std::time::Instant;
 
-const MAGIC: &[u8; 8] = b"PACECAM1";
+const MAGIC: &[u8; 8] = b"PACECAM2";
 
 /// Everything a killed campaign needs to resume: progress counters, the
 /// poison batch, the clean baseline, timings, and the victim's parameters as
@@ -47,6 +60,69 @@ struct Manifest {
     poison: Vec<Query>,
     /// `serialize::write_params` image of the victim model.
     victim_params: Vec<u8>,
+    /// Wave size the campaign was persisted with. Checked at resume: a
+    /// mismatched wave size would silently shift every remaining wave
+    /// boundary, so resuming with a different configuration fails closed.
+    wave_size: u64,
+    /// Whether the campaign runs through the serving path
+    /// ([`run_served_campaign`]); a direct manifest cannot resume a served
+    /// campaign or vice versa.
+    served: bool,
+    /// Serving-runtime timing state `[now, busy_until, tokens,
+    /// last_refill]` at the last persisted boundary (all zero for direct
+    /// campaigns).
+    clock: [f64; 4],
+    /// Per-wave hot-swap verdicts of a served campaign (empty for direct).
+    swaps: Vec<WaveSwap>,
+}
+
+/// Resume-compatibility gate: the persisted manifest must match the
+/// resuming campaign's method, kind (direct vs served), and wave size —
+/// anything else fails closed instead of silently replaying with shifted
+/// wave boundaries.
+fn check_resume(
+    m: &Manifest,
+    path: &Path,
+    method: AttackMethod,
+    wave_size: usize,
+    served: bool,
+) -> Result<(), CampaignError> {
+    let fail = |msg: String| {
+        Err(CampaignError::Storage(io::Error::new(
+            io::ErrorKind::InvalidData,
+            msg,
+        )))
+    };
+    if m.method_tag != method.tag() {
+        return fail(format!(
+            "manifest at {} belongs to method {:?}, not {:?}",
+            path.display(),
+            AttackMethod::from_tag(m.method_tag),
+            method
+        ));
+    }
+    if m.served != served {
+        let (have, want) = if m.served {
+            ("served", "direct")
+        } else {
+            ("direct", "served")
+        };
+        return fail(format!(
+            "manifest at {} belongs to a {have} campaign, not a {want} one",
+            path.display()
+        ));
+    }
+    if m.wave_size != wave_size as u64 {
+        return fail(format!(
+            "manifest at {} was persisted with wave size {}, but the resuming \
+             campaign is configured with {} — a mismatch would shift every \
+             remaining wave boundary",
+            path.display(),
+            m.wave_size,
+            wave_size
+        ));
+    }
+    Ok(())
 }
 
 /// Runs an attack campaign that persists its progress to `manifest_path`.
@@ -68,19 +144,10 @@ pub fn run_campaign(
     cfg: &PipelineConfig,
     manifest_path: &Path,
 ) -> Result<AttackOutcome, CampaignError> {
+    let wave_size = cfg.wave_size.max(1);
     let mut manifest = match load_manifest(manifest_path)? {
         Some(m) => {
-            if m.method_tag != method.tag() {
-                return Err(CampaignError::Storage(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!(
-                        "manifest at {} belongs to method {:?}, not {:?}",
-                        manifest_path.display(),
-                        AttackMethod::from_tag(m.method_tag),
-                        method
-                    ),
-                )));
-            }
+            check_resume(&m, manifest_path, method, wave_size, false)?;
             // Resume: restore the victim to the last persisted wave boundary.
             serialize::read_params(
                 victim.model_mut().params_mut(),
@@ -106,6 +173,10 @@ pub fn run_campaign(
                 objective_curve,
                 poison,
                 victim_params: params_image(victim)?,
+                wave_size: wave_size as u64,
+                served: false,
+                clock: [0.0; 4],
+                swaps: Vec::new(),
             };
             store_manifest(manifest_path, &m)?;
             // Crash fault point: after persisting, so a killed process
@@ -115,7 +186,6 @@ pub fn run_campaign(
         }
     };
 
-    let wave_size = cfg.wave_size.max(1);
     while (manifest.applied as usize) < manifest.poison.len() {
         let start = manifest.applied as usize;
         let end = (start + wave_size).min(manifest.poison.len());
@@ -146,12 +216,123 @@ pub fn run_campaign(
         generate_seconds: manifest.generate_seconds,
         attack_seconds: manifest.attack_seconds,
         objective_curve: manifest.objective_curve,
+        swaps: Vec::new(),
+    })
+}
+
+/// [`run_campaign`] routed through the validated hot-swap serving path: the
+/// victim is a [`ServedVictim`], so each wave's poison becomes a candidate
+/// snapshot submitted as a versioned swap event under concurrent traffic,
+/// and the swap gate may *reject* waves (the measured defense — see
+/// [`crate::served`]). On top of [`run_campaign`]'s durability guarantees,
+/// the manifest persists the per-wave swap ledger and the serving runtime's
+/// virtual-clock state, so a killed campaign resumes to the same virtual
+/// instant and replays the remaining waves to a bit-identical accept/reject
+/// log. The returned [`AttackOutcome::swaps`] holds the full ledger.
+pub fn run_served_campaign(
+    served: &mut ServedVictim<'_>,
+    method: AttackMethod,
+    test: &Workload,
+    k: &AttackerKnowledge,
+    cfg: &PipelineConfig,
+    manifest_path: &Path,
+) -> Result<AttackOutcome, CampaignError> {
+    let wave_size = cfg.wave_size.max(1);
+    let mut manifest = match load_manifest(manifest_path)? {
+        Some(m) => {
+            check_resume(&m, manifest_path, method, wave_size, true)?;
+            let applied = (m.applied as usize).min(m.poison.len());
+            // Only accepted waves' queries reached the serving model; the
+            // rejected ones were rolled back and must not be replayed into
+            // the restored injected-query log.
+            let accepted: Vec<Query> = m
+                .swaps
+                .iter()
+                .filter(|s| s.result.is_ok())
+                .flat_map(|s| {
+                    let start = ((s.wave as usize) * wave_size).min(applied);
+                    let end = (start + wave_size).min(applied);
+                    m.poison[start..end].iter()
+                })
+                .cloned()
+                .collect();
+            served
+                .restore_resume_state(&m.victim_params, &accepted, m.swaps.clone(), m.clock)
+                .map_err(CampaignError::Storage)?;
+            m
+        }
+        None => {
+            let _craft = pace_tensor::trace::span("campaign::craft");
+            let clean_samples = served.q_errors(test);
+            let (poison, train_seconds, generate_seconds, objective_curve) =
+                craft_poison(served, method, test, k, cfg)?;
+            let m = Manifest {
+                method_tag: method.tag(),
+                applied: 0,
+                train_seconds,
+                generate_seconds,
+                attack_seconds: 0.0,
+                clean_samples,
+                objective_curve,
+                poison,
+                victim_params: served_params_image(served)?,
+                wave_size: wave_size as u64,
+                served: true,
+                // The craft phase's probes advanced the virtual clock; a
+                // resume must re-enter at the same instant.
+                clock: served.clock_state(),
+                swaps: Vec::new(),
+            };
+            store_manifest(manifest_path, &m)?;
+            fault::crash_point("campaign-craft");
+            m
+        }
+    };
+
+    while (manifest.applied as usize) < manifest.poison.len() {
+        let start = manifest.applied as usize;
+        let end = (start + wave_size).min(manifest.poison.len());
+        let _wave = pace_tensor::trace::span_at("campaign::wave", (start / wave_size) as u64);
+        let t_wave = Instant::now();
+        run_queries_resilient(served, &manifest.poison[start..end], &cfg.retry)?;
+        manifest.attack_seconds += t_wave.elapsed().as_secs_f64();
+        manifest.applied = end as u64;
+        manifest.victim_params = served_params_image(served)?;
+        manifest.clock = served.clock_state();
+        manifest.swaps = served.wave_swaps().to_vec();
+        store_manifest(manifest_path, &manifest)?;
+        fault::crash_point("campaign-wave");
+    }
+
+    let _eval = pace_tensor::trace::span("campaign::evaluate");
+    let clean = QErrorSummary::from_samples(&manifest.clean_samples);
+    let poisoned = QErrorSummary::from_samples(&served.q_errors(test));
+    let divergence = poison_divergence(served, &manifest.poison, k);
+    fs::remove_file(manifest_path).map_err(CampaignError::Storage)?;
+    Ok(AttackOutcome {
+        method,
+        poison: manifest.poison,
+        clean,
+        poisoned,
+        divergence,
+        train_seconds: manifest.train_seconds,
+        generate_seconds: manifest.generate_seconds,
+        attack_seconds: manifest.attack_seconds,
+        objective_curve: manifest.objective_curve,
+        swaps: manifest.swaps,
     })
 }
 
 fn params_image(victim: &Victim<'_>) -> Result<Vec<u8>, CampaignError> {
     let mut buf = Vec::new();
     serialize::write_params(victim.model().params(), &mut buf).map_err(CampaignError::Storage)?;
+    Ok(buf)
+}
+
+fn served_params_image(served: &ServedVictim<'_>) -> Result<Vec<u8>, CampaignError> {
+    let mut buf = Vec::new();
+    serialize::write_params(served.effective_model().params(), &mut buf)
+        .map_err(CampaignError::Storage)?;
     Ok(buf)
 }
 
@@ -225,6 +406,32 @@ fn encode_manifest(m: &Manifest) -> Vec<u8> {
     }
     w.extend_from_slice(&(m.victim_params.len() as u64).to_le_bytes());
     w.extend_from_slice(&m.victim_params);
+    w.extend_from_slice(&m.wave_size.to_le_bytes());
+    w.push(u8::from(m.served));
+    for c in m.clock {
+        w.extend_from_slice(&c.to_le_bytes());
+    }
+    w.extend_from_slice(&(m.swaps.len() as u64).to_le_bytes());
+    for s in &m.swaps {
+        w.extend_from_slice(&s.wave.to_le_bytes());
+        w.extend_from_slice(&s.version.to_le_bytes());
+        w.extend_from_slice(&s.at.to_le_bytes());
+        match &s.result {
+            Ok(()) => w.push(0),
+            Err(SwapError::NonFiniteParams) => w.push(1),
+            Err(SwapError::QualityRegression { median, limit }) => {
+                w.push(2);
+                w.extend_from_slice(&median.to_le_bytes());
+                w.extend_from_slice(&limit.to_le_bytes());
+            }
+            Err(SwapError::VersionBanned { version }) => {
+                w.push(3);
+                w.extend_from_slice(&version.to_le_bytes());
+            }
+            Err(SwapError::BreakerOpen) => w.push(4),
+            Err(SwapError::NoPinnedSet) => w.push(5),
+        }
+    }
     w
 }
 
@@ -314,6 +521,51 @@ fn decode_manifest(payload: &[u8]) -> io::Result<Manifest> {
     let n_params = read_len(&mut r, 1)?;
     let mut victim_params = vec![0u8; n_params];
     r.read_exact(&mut victim_params)?;
+    let wave_size = read_u64(&mut r)?;
+    if wave_size == 0 {
+        return Err(invalid("zero wave size"));
+    }
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let served = match flag[0] {
+        0 => false,
+        1 => true,
+        _ => return Err(invalid("bad served-campaign flag")),
+    };
+    let mut clock = [0.0f64; 4];
+    for c in &mut clock {
+        *c = read_f64(&mut r)?;
+    }
+    // Each swap record is at least wave + version + at + verdict tag.
+    let n_swaps = read_len(&mut r, 25)?;
+    let mut swaps = Vec::with_capacity(n_swaps);
+    for _ in 0..n_swaps {
+        let wave = read_u64(&mut r)?;
+        let version = read_u64(&mut r)?;
+        let at = read_f64(&mut r)?;
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let result = match tag[0] {
+            0 => Ok(()),
+            1 => Err(SwapError::NonFiniteParams),
+            2 => Err(SwapError::QualityRegression {
+                median: read_f64(&mut r)?,
+                limit: read_f64(&mut r)?,
+            }),
+            3 => Err(SwapError::VersionBanned {
+                version: read_u64(&mut r)?,
+            }),
+            4 => Err(SwapError::BreakerOpen),
+            5 => Err(SwapError::NoPinnedSet),
+            _ => return Err(invalid("unknown swap verdict tag")),
+        };
+        swaps.push(WaveSwap {
+            wave,
+            version,
+            at,
+            result,
+        });
+    }
     Ok(Manifest {
         method_tag,
         applied,
@@ -324,6 +576,10 @@ fn decode_manifest(payload: &[u8]) -> io::Result<Manifest> {
         objective_curve,
         poison,
         victim_params,
+        wave_size,
+        served,
+        clock,
+        swaps,
     })
 }
 
@@ -386,6 +642,50 @@ mod tests {
                 ),
             ],
             victim_params: vec![1, 2, 3, 4, 5],
+            wave_size: 2,
+            served: true,
+            clock: [3.5, 3.625, 12.0, 3.25],
+            swaps: vec![
+                WaveSwap {
+                    wave: 0,
+                    version: 2,
+                    at: 1.125,
+                    result: Ok(()),
+                },
+                WaveSwap {
+                    wave: 1,
+                    version: 3,
+                    at: 2.25,
+                    result: Err(SwapError::QualityRegression {
+                        median: 9.5,
+                        limit: 4.0,
+                    }),
+                },
+                WaveSwap {
+                    wave: 2,
+                    version: 4,
+                    at: 3.375,
+                    result: Err(SwapError::VersionBanned { version: 4 }),
+                },
+                WaveSwap {
+                    wave: 3,
+                    version: 5,
+                    at: 3.5,
+                    result: Err(SwapError::BreakerOpen),
+                },
+                WaveSwap {
+                    wave: 4,
+                    version: 6,
+                    at: 3.5,
+                    result: Err(SwapError::NonFiniteParams),
+                },
+                WaveSwap {
+                    wave: 5,
+                    version: 7,
+                    at: 3.5,
+                    result: Err(SwapError::NoPinnedSet),
+                },
+            ],
         }
     }
 

@@ -47,13 +47,14 @@ pub mod generator;
 mod knowledge;
 mod pipeline;
 pub mod resilience;
+pub mod served;
 pub mod surrogate;
 mod victim;
 
 pub use advisor::{recommend_robust_model, ModelRobustness, RobustnessReport};
 pub use attack::{AttackArtifacts, AttackConfig};
 pub use budget::{select_budgeted_poison, BudgetedSelection};
-pub use campaign::run_campaign;
+pub use campaign::{run_campaign, run_served_campaign};
 pub use defense::{ClassifierConfig, PoisonClassifier};
 pub use detector::{AnomalyDetector, DetectorConfig};
 pub use generator::{GeneratorConfig, JoinBatch, PoisonGenerator};
@@ -62,8 +63,9 @@ pub use pipeline::{craft_poison, run_attack, AttackMethod, AttackOutcome, Pipeli
 pub use resilience::{
     run_queries_resilient, CampaignError, OracleStats, ProbeError, ResilientOracle, RetryPolicy,
 };
+pub use served::{ServedTraffic, ServedVictim, WaveSwap};
 pub use surrogate::{
     imitation_error, speculate_model_type, train_surrogate, ImitationStrategy, SpeculationConfig,
     SpeculationResult, SurrogateConfig,
 };
-pub use victim::{BlackBox, Victim};
+pub use victim::{AttackTarget, BlackBox, Victim};

@@ -14,8 +14,9 @@ use crate::attack::{
 };
 use crate::knowledge::AttackerKnowledge;
 use crate::resilience::{run_queries_resilient, CampaignError, ResilientOracle, RetryPolicy};
+use crate::served::WaveSwap;
 use crate::surrogate::{speculate_model_type, train_surrogate, SpeculationConfig, SurrogateConfig};
-use crate::victim::{BlackBox, Victim};
+use crate::victim::{AttackTarget, BlackBox, Victim};
 use pace_ce::{CeModelType, EncodedWorkload};
 use pace_workload::{js_divergence, QErrorSummary, Query, Workload};
 use rand::rngs::StdRng;
@@ -160,6 +161,10 @@ pub struct AttackOutcome {
     pub attack_seconds: f64,
     /// Generator-objective convergence curve, when applicable.
     pub objective_curve: Vec<f32>,
+    /// Per-wave hot-swap outcomes, when the campaign ran through the
+    /// serving path ([`crate::campaign::run_served_campaign`]); empty for
+    /// direct in-process attacks, where no swap gate exists.
+    pub swaps: Vec<WaveSwap>,
 }
 
 impl AttackOutcome {
@@ -171,10 +176,11 @@ impl AttackOutcome {
 }
 
 /// Crafts poisoning queries with the given method (attacker side: read-only
-/// access to the victim). Returns the queries, crafting seconds, generation
-/// seconds, and the objective curve.
-pub fn craft_poison(
-    victim: &Victim<'_>,
+/// access to the victim — the direct [`Victim`] or the served adapter,
+/// anything implementing [`AttackTarget`]). Returns the queries, crafting
+/// seconds, generation seconds, and the objective curve.
+pub fn craft_poison<B: AttackTarget>(
+    victim: &B,
     method: AttackMethod,
     test: &Workload,
     k: &AttackerKnowledge,
@@ -269,13 +275,13 @@ pub fn craft_poison(
     })
 }
 
-fn acquire_surrogate(
-    victim: &Victim<'_>,
+fn acquire_surrogate<B: AttackTarget>(
+    victim: &B,
     k: &AttackerKnowledge,
     cfg: &PipelineConfig,
 ) -> Result<pace_ce::CeModel, CampaignError> {
     if cfg.white_box {
-        return Ok(victim.model().clone());
+        return Ok(victim.effective_model().clone());
     }
     let ty = match cfg.surrogate_type {
         Some(ty) => ty,
@@ -317,13 +323,14 @@ pub fn run_attack(
         generate_seconds,
         attack_seconds,
         objective_curve,
+        swaps: Vec::new(),
     })
 }
 
 /// JS divergence between the poison batch and the historical workload
-/// (shared by [`run_attack`] and the resumable campaign).
-pub(crate) fn poison_divergence(
-    victim: &Victim<'_>,
+/// (shared by [`run_attack`] and the resumable campaigns).
+pub(crate) fn poison_divergence<B: BlackBox + ?Sized>(
+    victim: &B,
     poison: &[Query],
     k: &AttackerKnowledge,
 ) -> f64 {

@@ -24,8 +24,10 @@ use std::time::Instant;
 
 /// Maps an injected fault to the probe error a remote oracle would produce.
 /// `Corrupt` returns `None`: the probe then *succeeds* with a mangled value,
-/// which the resilience layer must catch by validation.
-fn injected_failure(site: &str) -> Result<Option<()>, ProbeError> {
+/// which the resilience layer must catch by validation. Shared with the
+/// served adapter ([`crate::served::ServedVictim`]), which exposes the same
+/// fault sites.
+pub(crate) fn injected_failure(site: &str) -> Result<Option<()>, ProbeError> {
     match fault::probe(site) {
         Some(Fault::Timeout { seconds }) => Err(ProbeError::Timeout { seconds }),
         Some(Fault::Error) => Err(ProbeError::Unavailable),
@@ -62,6 +64,25 @@ pub trait BlackBox {
     /// detector; the paper assumes the attacker "can obtain a set of
     /// historical queries").
     fn historical_sample(&self) -> &[Query];
+}
+
+/// Evaluation-side surface shared by every campaignable victim — the direct
+/// in-process [`Victim`] and the served adapter
+/// ([`crate::served::ServedVictim`], which fronts a `pace_serve::Server`).
+///
+/// These methods are *measurement*, not attacker capability: the pipeline
+/// uses them to compute clean/poisoned q-error baselines and (under the
+/// explicit `white_box` ablation) to hand the attacker an exact model copy.
+pub trait AttackTarget: BlackBox {
+    /// Labels and evaluates a test workload's Q-errors under the victim's
+    /// currently *effective* model — for the direct victim its in-place
+    /// model, for the served victim the last snapshot that passed shadow
+    /// validation (rejected poison waves leave it unchanged).
+    fn q_errors(&self, test: &Workload) -> Vec<f64>;
+
+    /// The currently effective model (evaluation side; also the surrogate
+    /// source for the `white_box` ablation).
+    fn effective_model(&self) -> &CeModel;
 }
 
 /// A concrete victim: a trained CE model plus the live database it estimates
@@ -127,6 +148,16 @@ impl<'a> Victim<'a> {
     pub fn q_errors(&self, test: &Workload) -> Vec<f64> {
         let data = EncodedWorkload::from_workload(&self.encoder, test);
         self.model.evaluate(&data)
+    }
+}
+
+impl AttackTarget for Victim<'_> {
+    fn q_errors(&self, test: &Workload) -> Vec<f64> {
+        Victim::q_errors(self, test)
+    }
+
+    fn effective_model(&self) -> &CeModel {
+        &self.model
     }
 }
 

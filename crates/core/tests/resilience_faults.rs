@@ -471,3 +471,55 @@ fn resuming_with_a_different_method_is_rejected() {
     }
     std::fs::remove_file(&path).expect("cleanup");
 }
+
+// Regression: the manifest used to omit the wave size, so a campaign
+// resumed under a different `cfg.wave_size` silently re-sliced the
+// remaining poison at shifted boundaries — the resumed run was no longer
+// bit-identical to an uninterrupted one. The wave size is now persisted
+// and checked: a mismatch fails closed with a typed storage error.
+#[test]
+fn resuming_with_a_different_wave_size_is_rejected() {
+    let _g = lock();
+    fault::install(None);
+    let s = setup(41);
+    let k = AttackerKnowledge::from_public(&s.ds, WorkloadSpec::single_table());
+    let cfg = PipelineConfig::quick();
+    let mut victim = trained_victim(&s, 43);
+    let path = manifest_path("wave-size-mismatch");
+
+    // Interrupt a Random campaign during its first wave so its manifest
+    // survives with waves still outstanding.
+    install(
+        "error,site=run-queries,at=1;error,site=run-queries,at=2;\
+         error,site=run-queries,at=3;error,site=run-queries,at=4",
+    );
+    let interrupted = run_campaign(&mut victim, AttackMethod::Random, &s.test, &k, &cfg, &path);
+    fault::install(None);
+    assert!(interrupted.is_err());
+    assert!(path.exists());
+
+    // Same method, different wave size: the persisted wave boundaries no
+    // longer line up with the resuming configuration.
+    let halved = PipelineConfig {
+        wave_size: cfg.wave_size / 2,
+        ..PipelineConfig::quick()
+    };
+    let mismatched = run_campaign(
+        &mut victim,
+        AttackMethod::Random,
+        &s.test,
+        &k,
+        &halved,
+        &path,
+    );
+    match mismatched {
+        Err(CampaignError::Storage(e)) => {
+            assert!(
+                e.to_string().contains("wave size"),
+                "error must name the wave-size mismatch, got: {e}"
+            )
+        }
+        other => panic!("expected a storage error, got {other:?}"),
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+}

@@ -1,0 +1,242 @@
+//! Campaigns routed through the validated hot-swap serving path: the swap
+//! gate must reject poisoned candidates (and roll their waves back), and an
+//! interrupted served campaign must resume from its manifest to the same
+//! accept/reject swap ledger bit for bit.
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_core::{
+    run_served_campaign, AttackMethod, AttackerKnowledge, CampaignError, PipelineConfig,
+    ProbeError, ServedTraffic, ServedVictim,
+};
+use pace_data::{build, Dataset, DatasetKind, Scale};
+use pace_engine::{Executor, HistogramEstimator};
+use pace_serve::{pinned_from_encoded, ServeConfig, Server, SwapError};
+use pace_tensor::fault::{self, FaultSpec};
+use pace_workload::{generate_queries, Query, QueryEncoder, Workload, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The fault injector is process-global; tests that install specs (and tests
+/// that require none) must not interleave.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    match FAULT_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+struct Setup {
+    ds: Dataset,
+    history: Vec<Query>,
+    test: Workload,
+}
+
+fn setup(seed: u64) -> Setup {
+    let ds = build(DatasetKind::Dmv, Scale::tiny(), seed);
+    let exec = Executor::new(&ds);
+    let mut rng = StdRng::seed_from_u64(seed + 100);
+    let spec = WorkloadSpec::single_table();
+    let history = generate_queries(&ds, &spec, &mut rng, 200);
+    let test = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 60));
+    Setup { ds, history, test }
+}
+
+fn trained_model(s: &Setup, seed: u64) -> (CeModel, EncodedWorkload, Workload) {
+    let exec = Executor::new(&s.ds);
+    let labeled = exec.label_nonzero(s.history.clone());
+    let data = EncodedWorkload::from_workload(&QueryEncoder::new(&s.ds), &labeled);
+    let mut model = CeModel::new(CeModelType::Linear, &s.ds, CeConfig::quick(), seed);
+    let mut rng = StdRng::seed_from_u64(seed + 7);
+    model
+        .train(&data, &mut rng)
+        .expect("victim training converges");
+    (model, data, labeled)
+}
+
+fn served_victim(s: &Setup, seed: u64) -> ServedVictim<'_> {
+    let (model, data, labeled) = trained_model(s, seed);
+    let fallback = HistogramEstimator::build(&s.ds, 32);
+    let server = Server::new(
+        ServeConfig::default(),
+        s.ds.schema.clone(),
+        pinned_from_encoded(&data, 24),
+        Some(fallback),
+    );
+    let pool: Vec<Query> = labeled.iter().take(24).map(|lq| lq.query.clone()).collect();
+    let traffic = ServedTraffic::new(pool, seed ^ 0xace);
+    ServedVictim::new(
+        server,
+        model,
+        Executor::new(&s.ds),
+        s.history.clone(),
+        traffic,
+    )
+    .expect("clean model passes shadow validation")
+}
+
+fn manifest_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pace-test-{}-{name}.campaign", std::process::id()))
+}
+
+#[test]
+fn swap_gate_rejects_a_corrupted_wave_and_rolls_it_back() {
+    let _g = lock();
+    let s = setup(71);
+    let k = AttackerKnowledge::from_public(&s.ds, WorkloadSpec::single_table());
+    let cfg = PipelineConfig::quick();
+    let mut served = served_victim(&s, 73);
+    let path = manifest_path("swap-gate");
+
+    // The clean install in `ServedVictim::new` ran before the fault was
+    // armed, so serve-swap site visits count from the waves: 1 = wave 0's
+    // swap, 2 = wave 1's swap — which the fault corrupts just before
+    // shadow validation.
+    fault::install(Some(
+        FaultSpec::parse("bad_update,site=serve-swap,at=2").expect("valid spec"),
+    ));
+    let outcome = run_served_campaign(&mut served, AttackMethod::Random, &s.test, &k, &cfg, &path);
+    fault::install(None);
+    let outcome = outcome.expect("a rejected wave is a defense verdict, not a campaign failure");
+    assert!(!path.exists(), "completed campaign removes its manifest");
+
+    // quick() config: 60 poison queries in waves of 16 → 4 waves.
+    assert_eq!(outcome.swaps.len(), 4);
+    for (w, swap) in outcome.swaps.iter().enumerate() {
+        assert_eq!(swap.wave, w as u64);
+        assert_eq!(swap.version, 2 + w as u64);
+    }
+    assert_eq!(
+        outcome.swaps[1].result,
+        Err(SwapError::NonFiniteParams),
+        "the corrupted candidate is refused by shadow validation"
+    );
+    assert_eq!(outcome.swaps[1].class(), "rejected-by-probe");
+    for w in [0, 2, 3] {
+        assert_eq!(outcome.swaps[w].result, Ok(()), "wave {w} validates");
+        assert_eq!(outcome.swaps[w].class(), "accepted");
+    }
+    // The rejected wave's 16 queries were rolled back: they never reached
+    // the serving model and do not count as injected.
+    assert_eq!(served.injected().len(), 60 - 16);
+    // Waves 0, 2, 3 accepted → the last accepted version (wave 3 = v5) is
+    // in service.
+    assert_eq!(served.active_version(), Some(5));
+    // Background traffic actually flowed during the waves.
+    let summary = served.summary();
+    assert!(summary.requests > 100, "waves carry background traffic");
+    assert!(summary.learned_served > 0);
+}
+
+#[test]
+fn served_victim_without_a_pinned_set_is_refused_at_construction() {
+    let _g = lock();
+    fault::install(None);
+    let s = setup(75);
+    let (model, _data, labeled) = trained_model(&s, 77);
+    let server = Server::new(
+        ServeConfig::default(),
+        s.ds.schema.clone(),
+        Vec::new(),
+        Some(HistogramEstimator::build(&s.ds, 32)),
+    );
+    let pool: Vec<Query> = labeled.iter().take(8).map(|lq| lq.query.clone()).collect();
+    let err = ServedVictim::new(
+        server,
+        model,
+        Executor::new(&s.ds),
+        s.history.clone(),
+        ServedTraffic::new(pool, 79),
+    )
+    .err();
+    assert_eq!(
+        err,
+        Some(SwapError::NoPinnedSet),
+        "a server with no pinned probes must be refused before any wave runs"
+    );
+}
+
+#[test]
+fn interrupted_served_campaign_resumes_to_the_same_swap_ledger() {
+    let _g = lock();
+    fault::install(None);
+    let s = setup(81);
+    let k = AttackerKnowledge::from_public(&s.ds, WorkloadSpec::single_table());
+    let cfg = PipelineConfig::quick();
+
+    // Uninterrupted baseline through the serving path.
+    let mut baseline_served = served_victim(&s, 83);
+    let base_path = manifest_path("served-baseline");
+    let baseline = run_served_campaign(
+        &mut baseline_served,
+        AttackMethod::Random,
+        &s.test,
+        &k,
+        &cfg,
+        &base_path,
+    )
+    .expect("uninterrupted served campaign completes");
+    assert_eq!(baseline.swaps.len(), 4);
+
+    // Identically-seeded served victim; the oracle goes hard-down during
+    // wave 1 (visits 2..=5 of the run-queries site exhaust all 4 attempts),
+    // after wave 0's swap verdict was persisted.
+    let mut served = served_victim(&s, 83);
+    let path = manifest_path("served-interrupted");
+    fault::install(Some(
+        FaultSpec::parse(
+            "error,site=run-queries,at=2;error,site=run-queries,at=3;\
+             error,site=run-queries,at=4;error,site=run-queries,at=5",
+        )
+        .expect("valid spec"),
+    ));
+    let interrupted =
+        run_served_campaign(&mut served, AttackMethod::Random, &s.test, &k, &cfg, &path);
+    fault::install(None);
+    match interrupted {
+        Err(CampaignError::Oracle(ProbeError::Exhausted { site, .. })) => {
+            assert_eq!(site, "run-queries");
+        }
+        other => panic!("expected an exhausted oracle, got {other:?}"),
+    }
+    assert!(path.exists(), "interrupted campaign leaves its manifest");
+
+    // Resume with a *fresh* served victim, as after a process kill: the
+    // manifest restores the model, the swap-control state, and the serving
+    // runtime's virtual clock.
+    let mut resumed_served = served_victim(&s, 83);
+    let resumed = run_served_campaign(
+        &mut resumed_served,
+        AttackMethod::Random,
+        &s.test,
+        &k,
+        &cfg,
+        &path,
+    )
+    .expect("resumed served campaign completes");
+    assert!(!path.exists());
+
+    assert_eq!(resumed.poison, baseline.poison);
+    assert_eq!(
+        resumed.swaps, baseline.swaps,
+        "the accept/reject swap ledger must replay bit-identically \
+         (virtual times included)"
+    );
+    assert_eq!(resumed.clean.mean.to_bits(), baseline.clean.mean.to_bits());
+    assert_eq!(
+        resumed.poisoned.mean.to_bits(),
+        baseline.poisoned.mean.to_bits()
+    );
+    assert_eq!(
+        resumed.poisoned.median.to_bits(),
+        baseline.poisoned.median.to_bits()
+    );
+    assert_eq!(resumed.divergence.to_bits(), baseline.divergence.to_bits());
+    assert_eq!(
+        resumed_served.active_version(),
+        baseline_served.active_version()
+    );
+}

@@ -78,6 +78,11 @@ pub enum SwapError {
     /// Too many consecutive candidates failed validation; the update path's
     /// circuit breaker is open until [`reset`](crate::SnapshotStore::reset_breaker).
     BreakerOpen,
+    /// The store has no pinned validation queries, so the q-error probe
+    /// would be vacuous (any finite-param candidate would pass). Swaps are
+    /// refused outright: the defense cannot be silently disabled by wiring
+    /// a server up without a pinned set.
+    NoPinnedSet,
 }
 
 impl fmt::Display for SwapError {
@@ -92,6 +97,9 @@ impl fmt::Display for SwapError {
                 write!(f, "version {version} previously failed validation")
             }
             Self::BreakerOpen => write!(f, "update circuit breaker is open"),
+            Self::NoPinnedSet => {
+                write!(f, "no pinned validation set: shadow probe would be vacuous")
+            }
         }
     }
 }

@@ -279,6 +279,43 @@ impl Server {
         result
     }
 
+    /// Break-glass install: puts `model` into service **without** shadow
+    /// validation and marks the learned path healthy. Exists for operator
+    /// override and for campaign *resume*, where a model that already
+    /// passed validation before a crash is being restored from a manifest
+    /// — re-validating it against the pinned probe would be redundant, but
+    /// the install must still be visible in traces
+    /// (`SERVE_FORCE_INSTALLS`), so restores are never mistaken for
+    /// validated swaps. Not recorded in the swap log: the log holds swap
+    /// *attempts*, and a restore replays no attempt.
+    pub fn force_install(&mut self, version: u64, model: pace_ce::CeModel) {
+        self.store.force_install(version, model);
+        self.model_healthy = true;
+        self.state = ServeState::Healthy;
+    }
+
+    /// The timing state a resumed campaign must persist and restore for
+    /// bit-identical replay: `(now, busy_until, fallback tokens,
+    /// last token refill)`. The clock alone is not enough — the batcher's
+    /// busy horizon shifts the next wave's fire times, and the token
+    /// bucket's fill level decides the next shed-versus-fallback call.
+    pub fn clock_state(&self) -> (f64, f64, f64, f64) {
+        (self.now, self.busy_until, self.tokens, self.last_refill)
+    }
+
+    /// Restores [`clock_state`](Server::clock_state) when a campaign
+    /// resumes from a manifest, re-entering the exact virtual instant the
+    /// manifest was persisted at so the resumed waves' batches, sheds, and
+    /// swap events fire identically to an uninterrupted run. `now` and
+    /// `busy_until` only move forward; `tokens` is clamped to the
+    /// configured burst so a corrupt manifest cannot mint budget.
+    pub fn restore_clock(&mut self, now: f64, busy_until: f64, tokens: f64, last_refill: f64) {
+        self.now = self.now.max(now);
+        self.busy_until = self.busy_until.max(busy_until);
+        self.tokens = tokens.clamp(0.0, self.cfg.fallback_burst);
+        self.last_refill = last_refill;
+    }
+
     /// Current coarse state.
     pub fn state(&self) -> ServeState {
         self.state

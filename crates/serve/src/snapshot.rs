@@ -128,9 +128,27 @@ impl SnapshotStore {
         ctl.consecutive_failures = 0;
     }
 
+    /// Restores swap-control state when a campaign resumes from a
+    /// manifest: re-bans the versions that had failed validation before
+    /// the interruption and sets the consecutive-failure count (the
+    /// breaker re-opens when the count is at or past the threshold). A
+    /// resumed run must see the same bans and breaker state as an
+    /// uninterrupted one, or its remaining swap attempts diverge.
+    pub fn restore_ctl(&self, banned: &[u64], consecutive_failures: u32) {
+        let mut ctl = recover(self.ctl.lock());
+        ctl.banned.extend(banned.iter().copied());
+        ctl.consecutive_failures = consecutive_failures;
+        ctl.breaker_open = consecutive_failures >= self.breaker_threshold;
+    }
+
     /// Median q-error of `model` on the pinned set (shadow probe only, no
     /// state change). Non-finite estimates poison the median to infinity so
-    /// they can never pass the limit check.
+    /// they can never pass the limit check. With an empty pinned set the
+    /// probe is vacuous and returns 1.0 — which is why [`try_swap`]
+    /// refuses empty-pinned stores outright with
+    /// [`SwapError::NoPinnedSet`] instead of consulting this.
+    ///
+    /// [`try_swap`]: SnapshotStore::try_swap
     pub fn shadow_median_qerr(&self, model: &CeModel) -> f64 {
         if self.pinned.is_empty() {
             return 1.0;
@@ -159,13 +177,27 @@ impl SnapshotStore {
     /// candidate's parameters before validation, exercising the rollback
     /// path deterministically.
     ///
+    /// Validation runs *outside* the control lock (it is the expensive
+    /// part), so two candidates carrying the same version can race to the
+    /// probe. The verdict is only *recorded* after re-checking the ban set
+    /// and breaker under the lock: whichever attempt records first wins,
+    /// and the loser is turned into a plain [`SwapError::VersionBanned`] /
+    /// [`SwapError::BreakerOpen`] without touching `consecutive_failures`
+    /// or the active snapshot — one logical bad version counts as exactly
+    /// one failure, no matter how many threads submitted it.
+    ///
     /// # Errors
-    /// [`SwapError::BreakerOpen`] when too many consecutive candidates
-    /// failed; [`SwapError::VersionBanned`] when this version failed
-    /// before; [`SwapError::NonFiniteParams`] /
+    /// [`SwapError::NoPinnedSet`] when the store has no pinned probes (the
+    /// validation would be vacuous); [`SwapError::BreakerOpen`] when too
+    /// many consecutive candidates failed; [`SwapError::VersionBanned`]
+    /// when this version failed before; [`SwapError::NonFiniteParams`] /
     /// [`SwapError::QualityRegression`] when shadow validation rejects the
     /// candidate — the active snapshot is left untouched (rollback).
     pub fn try_swap(&self, version: u64, mut candidate: CeModel) -> Result<(), SwapError> {
+        if self.pinned.is_empty() {
+            pace_trace::SERVE_SWAPS_REJECTED.add(1);
+            return Err(SwapError::NoPinnedSet);
+        }
         {
             let ctl = recover(self.ctl.lock());
             if ctl.breaker_open {
@@ -184,6 +216,18 @@ impl SnapshotStore {
             let _span = pace_trace::span("serve::shadow-validate");
             self.validate(&candidate)
         };
+        // Re-acquire the control lock and hold it across the whole
+        // record step. A concurrent attempt with the same version may have
+        // recorded its verdict while we validated — its decision stands.
+        let mut ctl = recover(self.ctl.lock());
+        if ctl.breaker_open {
+            pace_trace::SERVE_SWAPS_REJECTED.add(1);
+            return Err(SwapError::BreakerOpen);
+        }
+        if ctl.banned.contains(&version) {
+            pace_trace::SERVE_SWAPS_REJECTED.add(1);
+            return Err(SwapError::VersionBanned { version });
+        }
         match verdict {
             Ok(()) => {
                 let snapshot = Arc::new(ModelSnapshot {
@@ -194,13 +238,11 @@ impl SnapshotStore {
                     Ok(mut g) => *g = Some(snapshot),
                     Err(poisoned) => *poisoned.into_inner() = Some(snapshot),
                 }
-                let mut ctl = recover(self.ctl.lock());
                 ctl.consecutive_failures = 0;
                 pace_trace::SERVE_SWAPS.add(1);
                 Ok(())
             }
             Err(e) => {
-                let mut ctl = recover(self.ctl.lock());
                 ctl.banned.insert(version);
                 ctl.consecutive_failures += 1;
                 if ctl.consecutive_failures >= self.breaker_threshold {
@@ -225,7 +267,9 @@ impl SnapshotStore {
             Ok(mut g) => *g = Some(snapshot),
             Err(poisoned) => *poisoned.into_inner() = Some(snapshot),
         }
-        pace_trace::SERVE_SWAPS.add(1);
+        // Deliberately NOT `SERVE_SWAPS`: a break-glass install bypassed
+        // validation and must stay distinguishable in traces.
+        pace_trace::SERVE_FORCE_INSTALLS.add(1);
     }
 
     fn validate(&self, candidate: &CeModel) -> Result<(), SwapError> {
@@ -353,6 +397,41 @@ mod tests {
             .try_swap(12, model)
             .expect("breaker reset reopens swaps");
         assert_eq!(store.active_version(), Some(12));
+    }
+
+    #[test]
+    fn empty_pinned_set_refuses_swaps_with_a_typed_error() {
+        let _g = lock();
+        fault::install(None);
+        let (model, _pinned) = trained_setup(49);
+        let store = SnapshotStore::new(Vec::new(), 1e6, 3);
+        assert_eq!(store.try_swap(1, model), Err(SwapError::NoPinnedSet));
+        assert!(store.current().is_none(), "nothing may install vacuously");
+        assert!(!store.breaker_open(), "refusal is not a validation failure");
+    }
+
+    #[test]
+    fn force_install_counts_apart_from_validated_swaps() {
+        let _g = lock();
+        fault::install(None);
+        let (model, pinned) = trained_setup(51);
+        let store = SnapshotStore::new(pinned, 1e6, 3);
+        // Counters are no-ops unless a trace sink is armed.
+        let trace_path = std::env::temp_dir().join("pace-force-install-counter.jsonl");
+        pace_trace::install(Some(trace_path.clone()));
+        let swaps_before = pace_trace::SERVE_SWAPS.get();
+        let force_before = pace_trace::SERVE_FORCE_INSTALLS.get();
+        store.force_install(9, model);
+        let swaps_after = pace_trace::SERVE_SWAPS.get();
+        let force_after = pace_trace::SERVE_FORCE_INSTALLS.get();
+        pace_trace::install(None);
+        let _ = std::fs::remove_file(&trace_path);
+        assert_eq!(
+            swaps_after, swaps_before,
+            "a break-glass install must not count as a validated swap"
+        );
+        assert_eq!(force_after, force_before + 1);
+        assert_eq!(store.active_version(), Some(9));
     }
 
     #[test]

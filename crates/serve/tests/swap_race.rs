@@ -1,0 +1,133 @@
+//! Regression test for the `try_swap` check-validate-record race, in its
+//! own binary so `pace_runtime::set_threads` cannot interleave with other
+//! suites.
+//!
+//! The bug: `try_swap` checked the ban set / breaker under the `ctl`
+//! lock, dropped the lock during shadow validation, then re-acquired it
+//! to record the verdict. Several concurrent candidates carrying the
+//! *same* version could all pass the initial ban check, all validate, and
+//! all record a failure — one logical bad version then counted as many
+//! `consecutive_failures` and could trip the update breaker on its own.
+//!
+//! The fix re-checks ban/breaker under `ctl` after validation and only
+//! lets the first attempt record; the rest collapse into plain
+//! `VersionBanned`. This test releases four threads at a barrier onto the
+//! same bad version and asserts exactly one recorded validation failure.
+
+use pace_ce::{CeConfig, CeModel, CeModelType, EncodedWorkload};
+use pace_data::{build, DatasetKind, Scale};
+use pace_engine::Executor;
+use pace_serve::{pinned_from_encoded, SnapshotStore, SwapError};
+use pace_tensor::fault;
+use pace_workload::{generate_queries, QueryEncoder, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Scales every parameter by a large *finite* factor: the candidate keeps
+/// passing the cheap `params_finite` pre-check and fails only at the end
+/// of the full pinned-set q-error probe. A NaN candidate would fail in
+/// nanoseconds and never overlap with its racing duplicates — the finite
+/// corruption keeps the check→validate→record window wide open.
+fn degrade(model: &mut CeModel) {
+    let ids: Vec<_> = model.params().iter().map(|(id, _)| id).collect();
+    for id in ids {
+        for slot in model.params_mut().get_mut(id).data_mut() {
+            *slot *= 64.0;
+        }
+    }
+}
+
+#[test]
+fn concurrent_same_version_candidates_record_one_failure() {
+    pace_runtime::set_threads(4);
+    fault::install(None);
+
+    let ds = build(DatasetKind::Dmv, Scale::tiny(), 211);
+    let exec = Executor::new(&ds);
+    let mut rng = StdRng::seed_from_u64(212);
+    let spec = WorkloadSpec::single_table();
+    let labeled = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 240));
+    let data = EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &labeled);
+    let mut model = CeModel::new(CeModelType::Linear, &ds, CeConfig::quick(), 213);
+    model.train(&data, &mut rng).expect("training converges");
+    let mut bad = model.clone();
+    degrade(&mut bad);
+
+    // The race window is check → validate → record. Replicating the
+    // pinned set (same median, ~15k probes) stretches the shadow probe to
+    // around a millisecond — far past thread wake-up jitter — so the
+    // barrier-released threads reliably overlap inside validation. Many
+    // rounds amplify the interleaving odds further — the old (non-atomic)
+    // code records several failures in virtually every round.
+    let pinned: Vec<_> = std::iter::repeat_n(pinned_from_encoded(&data, data.enc.len()), 64)
+        .flatten()
+        .collect();
+    let (good_median, bad_median) = {
+        let probe = SnapshotStore::new(pinned.clone(), 1e6, 3);
+        (
+            probe.shadow_median_qerr(&model),
+            probe.shadow_median_qerr(&bad),
+        )
+    };
+    assert!(
+        bad_median > good_median * 2.0,
+        "degraded candidate must score clearly worse ({bad_median} vs {good_median})"
+    );
+    let limit = good_median * 1.5;
+    for round in 0..32u64 {
+        // Breaker threshold 3: under the old double-validation race, four
+        // concurrent failures of one version trip the breaker; under the
+        // fixed path one logical bad version counts exactly once.
+        let store = Arc::new(SnapshotStore::new(pinned.clone(), limit, 3));
+        let barrier = Barrier::new(4);
+        let results: Mutex<Vec<Result<(), SwapError>>> = Mutex::new(Vec::new());
+
+        // Four pool workers (one task each — a worker blocked at the
+        // barrier cannot pull a second task, so all four tasks run
+        // concurrently) race the same bad candidate version through
+        // `try_swap`.
+        pace_runtime::run(4, |_i| {
+            let candidate = bad.clone();
+            barrier.wait();
+            let r = store.try_swap(7, candidate);
+            results
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .push(r);
+        });
+
+        let results = results
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        assert_eq!(results.len(), 4);
+        let validation_failures = results
+            .iter()
+            .filter(|r| matches!(r, Err(SwapError::QualityRegression { .. })))
+            .count();
+        let banned = results
+            .iter()
+            .filter(|r| matches!(r, Err(SwapError::VersionBanned { version: 7 })))
+            .count();
+        assert_eq!(
+            validation_failures, 1,
+            "round {round}: exactly one attempt may record the validation \
+             failure, got {results:?}"
+        );
+        assert_eq!(
+            banned, 3,
+            "round {round}: racing duplicates must collapse into \
+             VersionBanned, got {results:?}"
+        );
+        assert!(
+            !store.breaker_open(),
+            "round {round}: one logical bad version must count once, not \
+             trip the breaker"
+        );
+        // The update path is still open: a healthy candidate swaps in.
+        store
+            .try_swap(8, model.clone())
+            .expect("breaker must not have tripped");
+        assert_eq!(store.active_version(), Some(8));
+    }
+}

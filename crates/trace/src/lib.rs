@@ -572,6 +572,17 @@ pub static SERVE_SWAPS_REJECTED: Counter = Counter::new("serve_swaps_rejected");
 /// Non-finite learned estimates replaced by the fallback estimator before
 /// being served (the zero-non-finite-replies invariant at work).
 pub static SERVE_NONFINITE_REPLACED: Counter = Counter::new("serve_nonfinite_replaced");
+/// Break-glass snapshot installs that bypassed shadow validation
+/// (`SnapshotStore::force_install`). Kept apart from [`SERVE_SWAPS`] so an
+/// operator override is never mistaken for a validated swap in traces.
+pub static SERVE_FORCE_INSTALLS: Counter = Counter::new("serve_force_installs");
+/// Campaign poison waves whose candidate snapshot passed shadow validation
+/// and was swapped into the serving path.
+pub static SERVE_POISON_WAVES_ACCEPTED: Counter = Counter::new("serve_poison_waves_accepted");
+/// Campaign poison waves whose candidate snapshot was rejected (pinned
+/// q-error probe, non-finite parameters, version ban, or open breaker) and
+/// rolled back — the serving layer's defense actually firing.
+pub static SERVE_POISON_WAVES_REJECTED: Counter = Counter::new("serve_poison_waves_rejected");
 
 /// Tasks pulled per pool worker within one parallel region — the chunk
 /// utilization distribution across `PACE_THREADS` workers. Inline regions
@@ -595,7 +606,7 @@ pub static SERVE_QUEUE_DEPTH: Histogram = Histogram::new("serve_queue_depth");
 pub static SERVE_BATCH_SIZE: Histogram = Histogram::new("serve_batch_size");
 
 /// Every registered counter, in emission order.
-pub static COUNTERS: [&Counter; 16] = [
+pub static COUNTERS: [&Counter; 19] = [
     &MATMUL_FLOPS,
     &REPLAY_NODE_VISITS,
     &POOL_TASKS,
@@ -612,6 +623,9 @@ pub static COUNTERS: [&Counter; 16] = [
     &SERVE_SWAPS,
     &SERVE_SWAPS_REJECTED,
     &SERVE_NONFINITE_REPLACED,
+    &SERVE_FORCE_INSTALLS,
+    &SERVE_POISON_WAVES_ACCEPTED,
+    &SERVE_POISON_WAVES_REJECTED,
 ];
 
 /// Every registered histogram, in emission order.

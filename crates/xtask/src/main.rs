@@ -1,6 +1,7 @@
 //! Workspace maintenance tasks:
 //! `cargo run -p xtask --
-//! <lint|tape-report|trace-report|chaos|determinism|race-report|sched-report|serve-report>`.
+//! <lint|tape-report|trace-report|chaos|determinism|race-report|sched-report|serve-report
+//! |defense-report>`.
 //!
 //! # `lint` — source-level checks the compiler cannot express
 //!
@@ -68,7 +69,12 @@
 //! against the [`pace_serve`] runtime: each scenario executes twice under
 //! the same spec and must be bit-identical, every rejection must be typed,
 //! and a corrupted hot-swap must be rejected with live traffic unharmed.
-//! See `pace_tensor::fault` for the spec grammar.
+//! A final served-campaign scenario routes a whole poison campaign through
+//! the hot-swap gate with a corrupted wave-1 candidate and admission
+//! overload bursts armed at once: the corrupted wave must be rejected and
+//! rolled back, backpressure must be observed, and the campaign — swap
+//! ledger, reply log, and attack measurements — must be bit-identical
+//! across two runs. See `pace_tensor::fault` for the spec grammar.
 //!
 //! # `tape-report` — static statistics of the real tapes
 //!
@@ -140,7 +146,34 @@
 //! be rejected (`NonFiniteParams`) with zero failed well-formed requests
 //! in the swap window. Writes `BENCH_serve.json` (per-phase latency
 //! percentiles, shed rates, a latency histogram, and the swap log) at the
-//! workspace root.
+//! workspace root. Ends with a break-glass drill: an operator
+//! `force_install` must activate its snapshot without shadow validation
+//! and bump the `serve_force_installs` counter while the validated
+//! `serve_swaps` counter stays put — an override is never mistaken for a
+//! validated swap in traces.
+//!
+//! # `defense-report` — the served-campaign defense gate
+//!
+//! Runs a poison campaign *through the validated hot-swap serving path*
+//! ([`pace_core::ServedVictim`]): every attacker `EXPLAIN` probe is a
+//! served request, and each poison wave's retrained candidate is submitted
+//! as a versioned hot-swap halfway through a window of seeded background
+//! traffic. The swap gate's q-error limit is pinned relative to the clean
+//! model's own shadow median ([`DEFENSE_QERR_MARGIN`]), so the report
+//! measures the deployment-layer defense the paper's direct-update threat
+//! model bypasses: the fraction of poison waves the pinned probe rejects
+//! and rolls back. The drill uses the Lb-S waves deliberately — a single
+//! full-strength PACE wave already blows the pinned median past any sane
+//! margin, so the gate would reject everything and measure nothing; Lb-S
+//! degrades cumulatively, and the ledger shows poison landing until the
+//! accumulated damage trips the probe. Gates: the campaign must complete with zero
+//! un-typed failures (every reply `Ok` or a typed [`ServeError`], every
+//! swap verdict a typed [`SwapError`]); at least one wave must be
+//! accepted *and* at least one rejected by the probe (the gate is neither
+//! vacuous nor absolute); and the whole campaign — swap ledger with
+//! virtual timestamps, reply log, and attack measurements — must be
+//! bit-identical across two 1-thread runs and across `PACE_THREADS` 1
+//! vs 8. Writes `BENCH_defense.json` at the workspace root.
 //!
 //! # `sched-report` — the static-scheduler gate
 //!
@@ -165,17 +198,20 @@ use pace_ce::{
     q_error_between, q_error_loss, rows_to_matrix, CeConfig, CeModel, CeModelType, EncodedWorkload,
 };
 use pace_core::attack::build_hypergradient_tape;
-use pace_core::{run_campaign, AttackMethod, AttackerKnowledge, PipelineConfig, Victim};
+use pace_core::{
+    run_campaign, run_served_campaign, AttackMethod, AttackOutcome, AttackerKnowledge,
+    PipelineConfig, ServedTraffic, ServedVictim, Victim,
+};
 use pace_data::{build, Dataset, DatasetKind, Scale};
 use pace_engine::{Executor, HistogramEstimator};
 use pace_serve::{
     pinned_from_encoded, Phase, PinnedQuery, ReplyRecord, Request, ServeConfig, ServeError,
-    ServeSummary, Server, Source, SwapError, SwapEvent, SwapOutcome,
+    ServeSummary, Server, SnapshotStore, Source, SwapError, SwapEvent, SwapOutcome,
 };
 use pace_tensor::fault::{self, FaultSpec};
 use pace_tensor::trace;
 use pace_tensor::{Graph, Matrix, Var};
-use pace_workload::{generate_queries, QErrorSummary, Query, QueryEncoder, WorkloadSpec};
+use pace_workload::{generate_queries, QErrorSummary, Query, QueryEncoder, Workload, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -195,11 +231,12 @@ fn main() -> ExitCode {
         "race-report" => race_report(),
         "sched-report" => sched_report(),
         "serve-report" => serve_report(),
+        "defense-report" => defense_report(),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- \
                  <lint|tape-report|trace-report|chaos|determinism|race-report|sched-report\
-                 |serve-report>"
+                 |serve-report|defense-report>"
             );
             ExitCode::FAILURE
         }
@@ -2669,6 +2706,16 @@ fn chaos() -> ExitCode {
         }
     }
 
+    // The served campaign: a whole poison campaign through the hot-swap
+    // gate with a corrupted wave-1 candidate and admission overload bursts
+    // armed at once. The rejected wave must roll back, every reply must
+    // stay typed, and two runs must be bit-identical end to end.
+    println!("chaos: served campaign (bad_update wave 1 + overload bursts)...");
+    match served_campaign_chaos_scenario() {
+        Ok(note) => println!("chaos: served campaign: {note}"),
+        Err(e) => failures.push(format!("served campaign: {e}")),
+    }
+
     let _ = std::fs::remove_dir_all(&dir);
     if failures.is_empty() {
         println!("xtask chaos: full fault matrix OK");
@@ -3246,6 +3293,43 @@ fn serve_report() -> ExitCode {
         queue_cap
     );
 
+    // Break-glass drill: an operator `force_install` must activate its
+    // snapshot without shadow validation and be counted apart from
+    // validated swaps (counters only move while a trace sink is armed).
+    {
+        let fx = serve_fixture();
+        let trace_path = std::env::temp_dir().join(format!(
+            "pace-serve-report-counters-{}.jsonl",
+            std::process::id()
+        ));
+        trace::install(Some(trace_path.clone()));
+        let swaps_before = trace::SERVE_SWAPS.get();
+        let force_before = trace::SERVE_FORCE_INSTALLS.get();
+        let mut srv = Server::new(
+            ServeConfig::default(),
+            fx.ds.schema.clone(),
+            fx.pinned.clone(),
+            Some(HistogramEstimator::build(&fx.ds, 32)),
+        );
+        srv.force_install(9, fx.model.clone());
+        let swap_delta = trace::SERVE_SWAPS.get() - swaps_before;
+        let force_delta = trace::SERVE_FORCE_INSTALLS.get() - force_before;
+        trace::install(None);
+        let _ = std::fs::remove_file(&trace_path);
+        if srv.snapshots().active_version() != Some(9) {
+            failures.push("break-glass: force_install did not activate its snapshot".into());
+        }
+        if force_delta != 1 || swap_delta != 0 {
+            failures.push(format!(
+                "break-glass: force_install moved the wrong counters (force installs +{}, \
+                 validated swaps +{}); an override must count once, apart from swaps",
+                force_delta, swap_delta
+            ));
+        } else {
+            println!("serve-report: break-glass force_install counted apart from validated swaps");
+        }
+    }
+
     let hist = serve_latency_histogram(&run.records);
     let path = root.join("BENCH_serve.json");
     match write_serve_json(
@@ -3411,6 +3495,528 @@ fn serve_chaos_scenario(kind: &str, spec: &str) -> Result<String, String> {
             Ok("v2 rejected, v1 stayed active, zero failed requests".into())
         }
         _ => Err(format!("unknown serving kind {kind}")),
+    }
+}
+
+/// One in-process served-campaign chaos run: a quick `Random` poison
+/// campaign through the hot-swap serving path with the wave-1 candidate
+/// corrupted mid-swap and admission overload bursts armed throughout.
+/// Returns the attack outcome plus the serving-side ledgers.
+fn served_campaign_chaos_once(
+    tag: &str,
+) -> Result<(AttackOutcome, Vec<ReplyRecord>, ServeSummary, Option<u64>), String> {
+    let fx = defense_fixture();
+    fault::install(None);
+    // A tight admission queue: the injected same-instant bursts (24
+    // arrivals) nearly fill it, so overload pressure is actually observed
+    // during the waves.
+    let server = Server::new(
+        ServeConfig {
+            queue_cap: 32,
+            ..ServeConfig::default()
+        },
+        fx.ds.schema.clone(),
+        fx.pinned.clone(),
+        Some(HistogramEstimator::build(&fx.ds, 32)),
+    );
+    // Near-capacity background traffic: the runtime serves ~1080 req/s, so
+    // at 900 req/s the injected bursts overflow the tight queue instead of
+    // being absorbed by headroom.
+    let mut traffic = ServedTraffic::new(fx.pool.clone(), 907);
+    traffic.rate = 900.0;
+    let mut served = ServedVictim::new(
+        server,
+        fx.model.clone(),
+        Executor::new(&fx.ds),
+        fx.history.clone(),
+        traffic,
+    )
+    .map_err(|e| format!("clean install failed shadow validation: {e}"))?;
+    // Armed *after* construction, so serve-swap site visits count from the
+    // waves: visit 1 is wave 0's swap, visit 2 is wave 1's — which the
+    // fault corrupts just before shadow validation. The overload bursts
+    // hit every wave's background-traffic admission.
+    fault::install(Some(
+        FaultSpec::parse("bad_update,site=serve-swap,at=2;overload,site=serve-admit,every=25")
+            .expect("valid chaos spec"),
+    ));
+    let k = AttackerKnowledge::from_public(&fx.ds, WorkloadSpec::single_table());
+    let cfg = PipelineConfig::quick();
+    let manifest = std::env::temp_dir().join(format!(
+        "pace-chaos-served-{}-{tag}.campaign",
+        std::process::id()
+    ));
+    let out = run_served_campaign(
+        &mut served,
+        AttackMethod::Random,
+        &fx.test,
+        &k,
+        &cfg,
+        &manifest,
+    );
+    fault::install(None);
+    let out = out.map_err(|e| format!("served campaign failed under chaos: {e}"))?;
+    if manifest.exists() {
+        let _ = std::fs::remove_file(&manifest);
+        return Err("completed campaign left its manifest behind".into());
+    }
+    Ok((
+        out,
+        served.replies(),
+        served.summary(),
+        served.active_version(),
+    ))
+}
+
+/// The served-campaign chaos scenario: two identical runs under the
+/// combined bad-update + overload spec must be bit-identical (swap ledger,
+/// reply log, and attack measurements), the corrupted wave must be
+/// rejected and rolled back while the other waves land, backpressure must
+/// actually be observed, and every reply must be typed.
+fn served_campaign_chaos_scenario() -> Result<String, String> {
+    let (a, replies_a, summary_a, active_a) = served_campaign_chaos_once("a")?;
+    let (b, replies_b, _, _) = served_campaign_chaos_once("b")?;
+    if a.swaps != b.swaps {
+        return Err(format!(
+            "two runs under the same spec produce different swap ledgers:\n  a: {:?}\n  b: {:?}",
+            a.swaps, b.swaps
+        ));
+    }
+    if let Some(d) = records_diverge(&replies_a, &replies_b) {
+        return Err(format!("two runs under the same spec diverge — {d}"));
+    }
+    if a.poisoned.mean.to_bits() != b.poisoned.mean.to_bits()
+        || a.divergence.to_bits() != b.divergence.to_bits()
+    {
+        return Err("attack measurements differ between two identical runs".into());
+    }
+
+    let waves = a.swaps.len();
+    if waves < 3 {
+        return Err(format!("expected at least 3 waves, saw {waves}"));
+    }
+    match a.swaps.get(1).map(|s| &s.result) {
+        Some(Err(SwapError::NonFiniteParams)) => {}
+        other => {
+            return Err(format!(
+                "corrupted wave-1 candidate was not rejected as NonFiniteParams: {other:?}"
+            ))
+        }
+    }
+    let accepted = a.swaps.iter().filter(|s| s.result.is_ok()).count();
+    if accepted != waves - 1 {
+        return Err(format!(
+            "expected every wave but the corrupted one to land, got {accepted} of {waves}: {:?}",
+            a.swaps
+        ));
+    }
+    let last_accepted = a
+        .swaps
+        .iter()
+        .filter(|s| s.result.is_ok())
+        .map(|s| s.version)
+        .max();
+    if active_a != last_accepted {
+        return Err(format!(
+            "active version {active_a:?} is not the last accepted {last_accepted:?} — \
+             the rejected wave was not rolled back cleanly"
+        ));
+    }
+
+    let queue_cap = 32; // must match the scenario's ServeConfig
+    for r in &replies_a {
+        match &r.outcome {
+            Ok(reply) if reply.estimate.is_finite() && reply.estimate >= 0.0 => {}
+            Ok(reply) => {
+                return Err(format!(
+                    "request {}: served estimate {} is outside [0, f64::MAX]",
+                    r.id, reply.estimate
+                ))
+            }
+            Err(ServeError::Shed { depth }) if *depth <= queue_cap => {}
+            Err(ServeError::DeadlineExceeded { .. }) => {}
+            Err(e) => return Err(format!("request {}: un-typed rejection: {e}", r.id)),
+        }
+    }
+    let pressured = summary_a.shed + summary_a.fallback_served + summary_a.deadline_missed;
+    if pressured == 0 {
+        return Err("overload bursts produced no backpressure at all".into());
+    }
+    Ok(format!(
+        "wave 1 rejected and rolled back, {accepted} of {waves} waves landed, \
+         {pressured} pressured replies, bit-identical"
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// defense-report — the served-campaign defense gate
+// ---------------------------------------------------------------------------
+
+/// Acceptance margin the defense drill applies to the clean model's own
+/// pinned-set median q-error: a candidate snapshot passes shadow
+/// validation only while its median stays within `margin ×` the honest
+/// score. Wide enough that the clean v1 install and benign drift pass,
+/// tight enough that accumulated poison trips the probe within a quick
+/// campaign.
+const DEFENSE_QERR_MARGIN: f64 = 2.0;
+
+/// Shared dataset/model/workloads of the defense drill and the served
+/// chaos scenario; model training dominates setup, so it runs once.
+struct DefenseFixture {
+    ds: Dataset,
+    model: CeModel,
+    pinned: Vec<PinnedQuery>,
+    pool: Vec<Query>,
+    history: Vec<Query>,
+    test: Workload,
+    /// The clean model's own median q-error on the pinned set.
+    honest_median: f64,
+    /// `honest_median × DEFENSE_QERR_MARGIN` — the drill's swap limit.
+    qerr_limit: f64,
+}
+
+fn defense_fixture() -> &'static DefenseFixture {
+    static FIXTURE: OnceLock<DefenseFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ds = build(DatasetKind::Dmv, Scale::tiny(), 901);
+        let exec = Executor::new(&ds);
+        let mut rng = StdRng::seed_from_u64(902);
+        let spec = WorkloadSpec::single_table();
+        let history = generate_queries(&ds, &spec, &mut rng, 200);
+        let test = exec.label_nonzero(generate_queries(&ds, &spec, &mut rng, 60));
+        let labeled = exec.label_nonzero(history.clone());
+        let data = EncodedWorkload::from_workload(&QueryEncoder::new(&ds), &labeled);
+        let mut model = CeModel::new(CeModelType::Linear, &ds, CeConfig::quick(), 903);
+        model
+            .train(&data, &mut rng)
+            .expect("defense fixture model trains");
+        let pinned = pinned_from_encoded(&data, 24);
+        let honest_median = SnapshotStore::new(pinned.clone(), 1e6, 3).shadow_median_qerr(&model);
+        let pool = labeled.iter().take(24).map(|lq| lq.query.clone()).collect();
+        DefenseFixture {
+            ds,
+            model,
+            pinned,
+            pool,
+            history,
+            test,
+            honest_median,
+            qerr_limit: honest_median * DEFENSE_QERR_MARGIN,
+        }
+    })
+}
+
+/// Everything one defense drill produced.
+struct DefenseRun {
+    outcome: AttackOutcome,
+    replies: Vec<ReplyRecord>,
+    summary: ServeSummary,
+    active: Option<u64>,
+}
+
+/// Runs the full PACE campaign through the serving path at `threads` pool
+/// threads, with the swap gate pinned to the fixture's q-error limit.
+fn defense_drill(threads: usize, tag: &str) -> Result<DefenseRun, String> {
+    use pace_tensor::pool;
+    let fx = defense_fixture();
+    pool::set_threads(threads);
+    fault::install(None);
+    let serve_cfg = ServeConfig {
+        swap_qerr_limit: fx.qerr_limit,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(
+        serve_cfg,
+        fx.ds.schema.clone(),
+        fx.pinned.clone(),
+        Some(HistogramEstimator::build(&fx.ds, 32)),
+    );
+    let mut served = ServedVictim::new(
+        server,
+        fx.model.clone(),
+        Executor::new(&fx.ds),
+        fx.history.clone(),
+        ServedTraffic::new(fx.pool.clone(), 905),
+    )
+    .map_err(|e| format!("clean model failed its own shadow validation: {e}"))?;
+    let k = AttackerKnowledge::from_public(&fx.ds, WorkloadSpec::single_table());
+    // Lb-S, not full PACE: one PACE wave alone pushes the pinned median
+    // ~15× past the honest score, so every wave would be rejected and the
+    // report would measure nothing. Lb-S degrades cumulatively — poison
+    // lands until the accumulated damage trips the probe. The surrogate
+    // type is fixed: speculation's behavioral-similarity probes add
+    // nothing to the defense measurement.
+    let cfg = PipelineConfig {
+        surrogate_type: Some(CeModelType::Linear),
+        ..PipelineConfig::quick()
+    };
+    let manifest = std::env::temp_dir().join(format!(
+        "pace-defense-{}-{tag}.campaign",
+        std::process::id()
+    ));
+    let outcome = run_served_campaign(
+        &mut served,
+        AttackMethod::LbS,
+        &fx.test,
+        &k,
+        &cfg,
+        &manifest,
+    )
+    .map_err(|e| format!("served campaign failed: {e}"))?;
+    if manifest.exists() {
+        let _ = std::fs::remove_file(&manifest);
+        return Err("completed campaign left its manifest behind".into());
+    }
+    Ok(DefenseRun {
+        outcome,
+        replies: served.replies(),
+        summary: served.summary(),
+        active: served.active_version(),
+    })
+}
+
+/// Writes the machine-readable `BENCH_defense.json` at the workspace root.
+fn write_defense_json(
+    path: &Path,
+    wall_s: f64,
+    run: &DefenseRun,
+    accepted: usize,
+    rejected_by_probe: usize,
+) -> std::io::Result<()> {
+    let fx = defense_fixture();
+    let waves = run.outcome.swaps.len().max(1);
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"wall_s\": {wall_s:.6},\n"));
+    s.push_str(&format!(
+        "  \"honest_median_qerr\": {:.6},\n",
+        fx.honest_median
+    ));
+    s.push_str(&format!("  \"swap_qerr_limit\": {:.6},\n", fx.qerr_limit));
+    s.push_str("  \"waves\": [");
+    for (i, sw) in run.outcome.swaps.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let detail = match &sw.result {
+            Ok(()) => "installed".to_string(),
+            Err(e) => format!("{e}"),
+        };
+        s.push_str(&format!(
+            "\n    {{\"wave\": {}, \"version\": {}, \"at\": {:.6}, \"class\": \"{}\", \
+             \"detail\": \"{detail}\"}}",
+            sw.wave,
+            sw.version,
+            sw.at,
+            sw.class()
+        ));
+    }
+    s.push_str("\n  ],\n");
+    s.push_str(&format!("  \"accepted\": {accepted},\n"));
+    s.push_str(&format!("  \"rejected_by_probe\": {rejected_by_probe},\n"));
+    s.push_str(&format!(
+        "  \"rejection_fraction\": {:.4},\n",
+        rejected_by_probe as f64 / waves as f64
+    ));
+    s.push_str(&format!(
+        "  \"clean\": {{\"mean\": {:.6}, \"median\": {:.6}, \"p95\": {:.6}}},\n",
+        run.outcome.clean.mean, run.outcome.clean.median, run.outcome.clean.p95
+    ));
+    s.push_str(&format!(
+        "  \"poisoned\": {{\"mean\": {:.6}, \"median\": {:.6}, \"p95\": {:.6}}},\n",
+        run.outcome.poisoned.mean, run.outcome.poisoned.median, run.outcome.poisoned.p95
+    ));
+    s.push_str(&format!(
+        "  \"divergence\": {:.6},\n",
+        run.outcome.divergence
+    ));
+    s.push_str(&format!(
+        "  \"active_version\": {},\n",
+        run.active
+            .map_or_else(|| "null".to_string(), |v| v.to_string())
+    ));
+    s.push_str(&format!(
+        "  \"totals\": {{\"requests\": {}, \"shed\": {}, \"fallback_served\": {}, \
+         \"learned_served\": {}, \"deadline_missed\": {}, \"batches\": {}}}\n",
+        run.summary.requests,
+        run.summary.shed,
+        run.summary.fallback_served,
+        run.summary.learned_served,
+        run.summary.deadline_missed,
+        run.summary.batches,
+    ));
+    s.push_str("}\n");
+    std::fs::write(path, s)
+}
+
+fn defense_report() -> ExitCode {
+    use pace_tensor::pool;
+    let root = workspace_root();
+    let t0 = Instant::now();
+    let mut failures: Vec<String> = Vec::new();
+
+    println!(
+        "defense-report: Lb-S poison campaign through the validated hot-swap serving path \
+         (swap limit = clean median × {DEFENSE_QERR_MARGIN})"
+    );
+    let run = match defense_drill(1, "a") {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask defense-report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("defense-report: re-running at 1 thread and at 8 threads for bit-identity...");
+    let again = defense_drill(1, "b");
+    let wide = defense_drill(8, "c");
+    pool::set_threads(0);
+
+    for (label, other) in [("two 1-thread runs", again), ("1 vs 8 threads", wide)] {
+        match other {
+            Ok(o) => {
+                if o.outcome.swaps != run.outcome.swaps {
+                    failures.push(format!(
+                        "{label}: swap ledgers diverge:\n  a: {:?}\n  b: {:?}",
+                        run.outcome.swaps, o.outcome.swaps
+                    ));
+                }
+                if let Some(d) = records_diverge(&run.replies, &o.replies) {
+                    failures.push(format!("{label}: reply sequences diverge — {d}"));
+                }
+                if run.outcome.poisoned.mean.to_bits() != o.outcome.poisoned.mean.to_bits()
+                    || run.outcome.divergence.to_bits() != o.outcome.divergence.to_bits()
+                {
+                    failures.push(format!("{label}: attack measurements diverge"));
+                }
+                if run.outcome.poison != o.outcome.poison {
+                    failures.push(format!("{label}: crafted poison batches diverge"));
+                }
+            }
+            Err(e) => failures.push(format!("{label}: {e}")),
+        }
+    }
+
+    // Every wave must have reached a typed swap verdict, in order.
+    for (w, sw) in run.outcome.swaps.iter().enumerate() {
+        if sw.wave != w as u64 || sw.version != 2 + w as u64 {
+            failures.push(format!(
+                "wave {w}: ledger entry out of order (wave {}, version {})",
+                sw.wave, sw.version
+            ));
+        }
+    }
+    let waves = run.outcome.swaps.len();
+    let accepted = run
+        .outcome
+        .swaps
+        .iter()
+        .filter(|s| s.result.is_ok())
+        .count();
+    let rejected_by_probe = run
+        .outcome
+        .swaps
+        .iter()
+        .filter(|s| s.class() == "rejected-by-probe")
+        .count();
+    if waves == 0 {
+        failures.push("campaign submitted no waves at all".into());
+    }
+    if rejected_by_probe == 0 {
+        failures.push(
+            "the pinned q-error probe rejected no poison wave — the swap gate is vacuous \
+             at this margin"
+                .into(),
+        );
+    }
+    if accepted == 0 {
+        failures.push(
+            "no poison wave was accepted — the gate rejects everything, so the campaign \
+             measures nothing"
+                .into(),
+        );
+    }
+    let last_accepted = run
+        .outcome
+        .swaps
+        .iter()
+        .filter(|s| s.result.is_ok())
+        .map(|s| s.version)
+        .max();
+    if run.active != last_accepted.or(Some(1)) {
+        failures.push(format!(
+            "active version {:?} is not the last accepted snapshot {:?}",
+            run.active, last_accepted
+        ));
+    }
+
+    // Zero un-typed failures: every reply is Ok or a typed, in-contract
+    // rejection.
+    let queue_cap = ServeConfig::default().queue_cap;
+    for r in &run.replies {
+        match &r.outcome {
+            Ok(reply) if reply.estimate.is_finite() && reply.estimate >= 0.0 => {}
+            Ok(reply) => failures.push(format!(
+                "request {}: served estimate {} is outside [0, f64::MAX]",
+                r.id, reply.estimate
+            )),
+            Err(ServeError::Shed { depth }) if *depth <= queue_cap => {}
+            Err(ServeError::DeadlineExceeded { .. }) => {}
+            Err(e) => failures.push(format!("request {}: un-typed rejection: {e}", r.id)),
+        }
+    }
+
+    let fx = defense_fixture();
+    println!(
+        "defense-report: clean pinned median {:.3}, swap limit {:.3}",
+        fx.honest_median, fx.qerr_limit
+    );
+    println!("defense-report: wave ledger:");
+    for sw in &run.outcome.swaps {
+        let detail = match &sw.result {
+            Ok(()) => "installed".to_string(),
+            Err(e) => format!("{e}"),
+        };
+        println!(
+            "  wave {} v{} at {:.3}s: {} ({detail})",
+            sw.wave,
+            sw.version,
+            sw.at,
+            sw.class()
+        );
+    }
+    println!(
+        "defense-report: {rejected_by_probe}/{waves} poison waves rejected by the pinned \
+         probe; test q-error median {:.2} -> {:.2}; active {}",
+        run.outcome.clean.median,
+        run.outcome.poisoned.median,
+        run.active
+            .map_or_else(|| "none".to_string(), |v| format!("v{v}"))
+    );
+
+    let path = root.join("BENCH_defense.json");
+    match write_defense_json(
+        &path,
+        t0.elapsed().as_secs_f64(),
+        &run,
+        accepted,
+        rejected_by_probe,
+    ) {
+        Ok(()) => println!("defense-report: wrote {}", path.display()),
+        Err(e) => failures.push(format!("cannot write {}: {e}", path.display())),
+    }
+
+    if failures.is_empty() {
+        println!(
+            "defense-report: all gates OK ({} served requests, {accepted} waves landed, \
+             {rejected_by_probe} rolled back, bit-identical at 1 and 8 threads)",
+            run.summary.requests
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("xtask defense-report: {f}");
+        }
+        eprintln!("xtask defense-report: {} failure(s)", failures.len());
+        ExitCode::FAILURE
     }
 }
 
